@@ -1,0 +1,76 @@
+"""X3e — ablation: the paper's random-read charging approximation.
+
+Section 3 prices a random fetch of a multi-page object at ``alpha`` per
+page — every page of the object pays the seek premium.  A more physical
+model charges one seek plus sequential streaming.  This ablation runs
+HVNL (the random-fetch-heavy algorithm) under both disk charge models
+and reports how much the paper's approximation overcharges; with
+sub-page entries (all TREC profiles) the two models coincide, which is
+why the approximation was safe for the paper's study.
+"""
+
+from repro.core.hvnl import run_hvnl
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.cost.params import SystemParams
+from repro.experiments.tables import format_grid
+from repro.storage.disk import DiskChargeModel
+from repro.storage.pages import PageGeometry
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+# a narrow vocabulary gives long posting lists: at 64-byte pages each
+# entry spans ~3 pages and the two charge models diverge
+SMALL_PAGE = generate_collection(
+    SyntheticSpec("sp", n_documents=200, avg_terms_per_doc=18,
+                  vocabulary_size=100, skew=0.0, seed=401)
+)
+# large pages -> sub-page entries -> the models coincide
+CASES = [
+    ("multi-page entries", 64),
+    ("sub-page entries", 4096),
+]
+
+
+def run_both():
+    rows = []
+    for label, page_bytes in CASES:
+        costs = {}
+        for model in DiskChargeModel:
+            env = JoinEnvironment(SMALL_PAGE, SMALL_PAGE, PageGeometry(page_bytes))
+            env.disk.charge_model = model
+            system = SystemParams(
+                buffer_pages=max(16, 80_000 // page_bytes), page_bytes=page_bytes
+            )
+            result = run_hvnl(
+                env, TextJoinSpec(lam=5), system,
+                outer_ids=list(range(0, 200, 10)), delta=0.5,
+            )
+            costs[model] = result.weighted_cost(system.alpha)
+        overcharge = costs[DiskChargeModel.PAPER_ALL_RANDOM] / costs[
+            DiskChargeModel.FIRST_PAGE_SEEK
+        ]
+        rows.append(
+            {
+                "case": label,
+                "paper model": costs[DiskChargeModel.PAPER_ALL_RANDOM],
+                "seek model": costs[DiskChargeModel.FIRST_PAGE_SEEK],
+                "overcharge": overcharge,
+            }
+        )
+    return rows
+
+
+def test_charge_model_ablation(benchmark, save_table):
+    rows = benchmark.pedantic(run_both, rounds=3, iterations=1)
+    save_table(
+        "ablation_charge_model",
+        format_grid(
+            rows,
+            columns=["case", "paper model", "seek model", "overcharge"],
+            title="X3e — the paper's all-pages-random fetch pricing vs one-seek",
+        ),
+    )
+    by_case = {row["case"]: row for row in rows}
+    # multi-page entries: the approximation visibly overcharges
+    assert by_case["multi-page entries"]["overcharge"] > 1.2
+    # sub-page entries (the TREC regime): the models nearly coincide
+    assert by_case["sub-page entries"]["overcharge"] < 1.1

@@ -1,0 +1,62 @@
+"""X3c — ablation: VVM's multi-pass partitioning (Section 4.3 extension).
+
+Executes VVM under shrinking buffers so the accumulator no longer fits,
+confirming the ``ceil(SM/M)``-times cost multiplication the extension
+predicts, with identical results at every pass count.
+"""
+
+from repro.core.vvm import run_vvm
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.cost.params import SystemParams
+from repro.experiments.tables import format_grid
+from repro.storage.pages import PageGeometry
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+C = generate_collection(
+    SyntheticSpec("vvm", n_documents=160, avg_terms_per_doc=20,
+                  vocabulary_size=800, seed=71)
+)
+
+BUFFERS = [256, 48, 24, 12, 8]
+
+
+def run_sweep():
+    env = JoinEnvironment(C, C, PageGeometry(512))
+    rows = []
+    reference = None
+    for buffer_pages in BUFFERS:
+        system = SystemParams(buffer_pages=buffer_pages, page_bytes=512)
+        result = run_vvm(env, TextJoinSpec(lam=5), system, delta=0.9)
+        if reference is None:
+            reference = result
+        else:
+            assert result.same_matches_as(reference)
+        rows.append(
+            {
+                "B (pages)": buffer_pages,
+                "passes": result.extras["passes"],
+                "pages read": result.io.total_reads,
+                "weighted cost": result.weighted_cost(5),
+                "measured delta": result.extras["measured_delta"],
+            }
+        )
+    return rows
+
+
+def test_vvm_partitioning_ablation(benchmark, save_table):
+    rows = benchmark.pedantic(run_sweep, rounds=3, iterations=1)
+    save_table(
+        "ablation_vvm_partitioning",
+        format_grid(
+            rows,
+            columns=["B (pages)", "passes", "pages read", "weighted cost", "measured delta"],
+            title="X3c — VVM pass-count growth as the buffer shrinks",
+        ),
+    )
+    passes = [row["passes"] for row in rows]
+    assert passes == sorted(passes)
+    assert passes[0] == 1
+    assert passes[-1] > 1
+    # cost scales exactly with the pass count (the one-scan property per pass)
+    for row in rows:
+        assert row["pages read"] == rows[0]["pages read"] * row["passes"]

@@ -1,0 +1,52 @@
+"""X7 — decision boundaries of the integrated algorithm, located exactly.
+
+Sharpens the paper's qualitative regions into numbers via bisection:
+the HVNL selection crossover (point 2's "limited by 100"), the VVM
+rescale crossover (point 3's window) and the buffer size at which HHNL
+becomes single-scan, for every TREC profile.
+"""
+
+from repro.experiments.boundaries import trec_boundaries
+from repro.experiments.tables import format_grid
+from repro.workloads.trec import TREC_COLLECTIONS
+
+
+def locate():
+    rows = []
+    for boundary in trec_boundaries():
+        stats = TREC_COLLECTIONS[boundary.collection]
+        rows.append(
+            {
+                "collection": boundary.collection,
+                "K (terms/doc)": stats.K,
+                "HVNL wins up to n2 =": boundary.hvnl_selection_crossover,
+                "VVM wins from factor": boundary.vvm_rescale_crossover,
+                "HHNL single-scan at B >=": boundary.hhnl_buffer_escape,
+            }
+        )
+    return rows
+
+
+def test_decision_boundaries(benchmark, save_table):
+    rows = benchmark.pedantic(locate, rounds=3, iterations=1)
+    save_table(
+        "boundaries",
+        format_grid(
+            rows,
+            columns=["collection", "K (terms/doc)", "HVNL wins up to n2 =",
+                     "VVM wins from factor", "HHNL single-scan at B >="],
+            title="X7 — exact decision boundaries at base parameters",
+        ),
+    )
+    by_name = {row["collection"]: row for row in rows}
+    # point 2's bound and its K-ordering
+    for row in rows:
+        assert 1 <= row["HVNL wins up to n2 ="] <= 100
+    assert (
+        by_name["FR"]["HVNL wins up to n2 ="]
+        < by_name["WSJ"]["HVNL wins up to n2 ="]
+        < by_name["DOE"]["HVNL wins up to n2 ="]
+    )
+    # every collection has a finite VVM crossover (point 3)
+    for row in rows:
+        assert row["VVM wins from factor"] >= 2

@@ -1,0 +1,62 @@
+"""X4a — extension: CPU cost folded into the comparison (future work 2).
+
+The paper prices I/O only.  With the CPU models of
+:mod:`repro.cost.cpu` we can ask where that simplification would have
+changed the story: HHNL touches every document pair, so on CPU it loses
+exactly where it wins on I/O, and the combined winner depends on the
+ops-per-I/O calibration.
+"""
+
+from repro.cost.cpu import cpu_report
+from repro.cost.model import CostModel
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.experiments.tables import format_grid
+from repro.workloads.trec import DOE, FR, WSJ
+
+OPS_PER_IO = [1e4, 1e6, 1e8]
+
+
+def sweep():
+    system, query = SystemParams(), QueryParams()
+    rows = []
+    for stats in (WSJ, FR, DOE):
+        side = JoinSide(stats)
+        io_report = CostModel(side, side, system, query).report()
+        cpu = cpu_report(side, side, system, query, p=io_report.p, q=io_report.q)
+        for ops_per_io in OPS_PER_IO:
+            combined = {
+                name: cpu[name].combined(io_report[name].sequential, ops_per_io)
+                for name in ("HHNL", "HVNL", "VVM")
+            }
+            winner = min(combined, key=combined.get)
+            rows.append(
+                {
+                    "collection": stats.name,
+                    "ops/IO": ops_per_io,
+                    "HHNL": combined["HHNL"],
+                    "HVNL": combined["HVNL"],
+                    "VVM": combined["VVM"],
+                    "winner": winner,
+                    "io-only winner": io_report.winner(),
+                }
+            )
+    return rows
+
+
+def test_cpu_io_tradeoff(benchmark, save_table):
+    rows = benchmark(sweep)
+    save_table(
+        "extension_cpu_tradeoff",
+        format_grid(
+            rows,
+            columns=["collection", "ops/IO", "HHNL", "HVNL", "VVM", "winner", "io-only winner"],
+            title="X4a — combined CPU+I/O winners by CPU calibration",
+        ),
+    )
+    # on slow CPUs the pairwise HHNL work dominates and dethrones it
+    slow_cpu = [r for r in rows if r["ops/IO"] == 1e4]
+    assert all(r["winner"] != "HHNL" for r in slow_cpu)
+    # only with CPU effectively free does the paper's I/O-only story
+    # fully survive — a substantive caveat to Section 3's assumption
+    free_cpu = [r for r in rows if r["ops/IO"] == 1e8]
+    assert all(r["winner"] == r["io-only winner"] for r in free_cpu)

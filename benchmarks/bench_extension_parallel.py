@@ -1,0 +1,57 @@
+"""X4b — extension: parallel text joins (future work 3).
+
+Fragment-and-replicate over k sites: C2 partitioned, C1's structures
+replicated.  Reports per-site cost, speedup and the replication bill for
+each algorithm on the WSJ self-join.
+"""
+
+from repro.cost.parallel import parallel_report
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.experiments.tables import format_grid
+from repro.workloads.trec import WSJ
+
+SITES = [1, 2, 4, 8, 16]
+
+
+def sweep():
+    side = JoinSide(WSJ)
+    system, query = SystemParams(), QueryParams()
+    rows = []
+    for k in SITES:
+        report = parallel_report(side, side, system, query, q=0.8, k=k)
+        for name, cost in report.items():
+            rows.append(
+                {
+                    "sites": k,
+                    "algorithm": name,
+                    "per-site cost": cost.per_site_cost,
+                    "speedup": cost.speedup,
+                    "efficiency": cost.efficiency,
+                    "replication pages": cost.replication_pages,
+                }
+            )
+    return rows
+
+
+def test_parallel_scaling(benchmark, save_table):
+    rows = benchmark(sweep)
+    save_table(
+        "extension_parallel",
+        format_grid(
+            rows,
+            columns=["sites", "algorithm", "per-site cost", "speedup",
+                     "efficiency", "replication pages"],
+            title="X4b — parallel scaling of the WSJ self-join",
+        ),
+    )
+    by_key = {(r["sites"], r["algorithm"]): r for r in rows}
+    # speedups grow with sites for every algorithm
+    for name in ("HHNL", "HVNL", "VVM"):
+        speedups = [by_key[(k, name)]["speedup"] for k in SITES]
+        assert speedups == sorted(speedups)
+        assert by_key[(1, name)]["speedup"] == 1.0
+    # VVM parallelises super-linearly at first: partitioning the outer
+    # documents also slashes the accumulator, hence the pass count.
+    assert by_key[(16, "VVM")]["speedup"] > 16
+    # HHNL is sub-linear: every site still scans the whole inner side.
+    assert by_key[(16, "HHNL")]["speedup"] < 16

@@ -1,0 +1,41 @@
+"""F1-F4 — the paper's figure series, rendered.
+
+The tech report's plots are regenerated as log-scale ASCII charts (one
+per emblematic figure) plus the raw series, all written to
+``benchmarks/results/figures_*.txt`` for eyeballing against the
+qualitative claims.
+"""
+
+from repro.experiments.figures import extract_series, render_ascii
+from repro.experiments.groups import (
+    run_group1,
+    run_group3,
+    run_group4,
+    run_group5,
+)
+
+
+def build_all():
+    g1, g3, g4, g5 = run_group1(), run_group3(), run_group4(), run_group5()
+    figures = []
+    for name in ("WSJ", "FR", "DOE"):
+        figures.append(extract_series(g1, name, "B", name))
+        figures.append(extract_series(g1, name, "alpha", name))
+        figures.append(extract_series(g3, name, "n2", name))
+        figures.append(extract_series(g4, name, "n2"))
+        figures.append(extract_series(g5, name, "factor", match_prefix=True))
+    return figures
+
+
+def test_figures(benchmark, save_table):
+    figures = benchmark.pedantic(build_all, rounds=2, iterations=1)
+    rendered = "\n\n".join(render_ascii(figure) for figure in figures)
+    save_table("figures_all_groups", rendered)
+
+    assert len(figures) == 15
+    for figure in figures:
+        assert figure.x_values, figure.title
+        chart = render_ascii(figure)
+        # every chart shows at least the three sequential series
+        assert "H" in chart or "*" in chart
+        assert "M" in chart or "*" in chart

@@ -1,0 +1,51 @@
+"""G1 — Group 1: self-join of each real collection, sweeping B and alpha.
+
+The paper runs six simulations here (3 collections x 2 swept
+parameters).  We regenerate the full cost grid — all six formulas per
+point — and assert the qualitative outcome the paper reports: HHNL is
+the top performer throughout this group (summary point 4), the random
+variants do not change the ranking (point 5), and costs fall as the
+buffer grows.
+"""
+
+from repro.experiments.groups import run_group1
+from repro.experiments.tables import format_grid
+
+COLUMNS = ["C1", "C2", "B", "alpha", "hhs", "hhr", "hvs", "hvr", "vvs", "vvr",
+           "winner_seq", "winner_rnd"]
+
+
+def _rows(result):
+    rows = []
+    for point in result.points:
+        row = {
+            "C1": point.collection1,
+            "C2": point.collection2,
+            "B": point.buffer_pages,
+            "alpha": point.alpha,
+        }
+        row.update({k: v for k, v in point.report.row().items() if k != "label"})
+        rows.append(row)
+    return rows
+
+
+def test_group1_grid(benchmark, save_table):
+    result = benchmark(run_group1)
+    save_table(
+        "group1_self_join",
+        format_grid(_rows(result), columns=COLUMNS,
+                    title="Group 1 — self-joins, sweep B and alpha"),
+    )
+    # Paper point 4: HHNL wins the whole group at every swept setting.
+    winners = result.winners("sequential")
+    assert winners["HHNL"] == len(result)
+
+    # Paper point 5: the worst-case scenario does not flip rankings here.
+    for point in result.points:
+        assert point.report.winner("random") == point.report.winner("sequential")
+
+    # Buffer sweeps are monotone for the nested-loop algorithms.
+    for name in ("WSJ", "FR", "DOE"):
+        sweep = [p for p in result.points if p.collection1 == name and p.variable == "B"]
+        hh = [p.report["HHNL"].sequential for p in sweep]
+        assert hh == sorted(hh, reverse=True)

@@ -1,0 +1,45 @@
+"""G2 — Group 2: joins between *different* real collections, sweeping B.
+
+Six ordered pairs of (WSJ, FR, DOE).  The paper's summary places this
+group under point 4 (HHNL wins in "most other cases"); we regenerate the
+grid, record it, and assert HHNL's dominance plus the forward-order
+asymmetry (cost depends on which collection is outer).
+"""
+
+from repro.experiments.groups import run_group2
+from repro.experiments.tables import format_grid
+
+COLUMNS = ["C1", "C2", "B", "hhs", "hhr", "hvs", "hvr", "vvs", "vvr",
+           "winner_seq", "winner_rnd"]
+
+
+def _rows(result):
+    rows = []
+    for point in result.points:
+        row = {"C1": point.collection1, "C2": point.collection2, "B": point.buffer_pages}
+        row.update({k: v for k, v in point.report.row().items() if k != "label"})
+        rows.append(row)
+    return rows
+
+
+def test_group2_grid(benchmark, save_table):
+    result = benchmark(run_group2)
+    save_table(
+        "group2_cross_join",
+        format_grid(_rows(result), columns=COLUMNS,
+                    title="Group 2 — cross-collection joins, sweep B"),
+    )
+    assert len(result) == 36  # 6 ordered pairs x 6 buffer settings
+
+    # Point 4: HHNL dominates the cross joins at base parameters.
+    base = [p for p in result.points if p.buffer_pages == 10_000]
+    assert all(p.report.winner() == "HHNL" for p in base)
+
+    # SIMILAR_TO is asymmetric: (WSJ, FR) and (FR, WSJ) cost differently.
+    def cost(c1, c2):
+        for p in result.points:
+            if p.collection1 == c1 and p.collection2 == c2 and p.buffer_pages == 10_000:
+                return p.report["HHNL"].sequential
+        raise AssertionError("point missing")
+
+    assert cost("WSJ", "FR") != cost("FR", "WSJ")

@@ -1,0 +1,68 @@
+"""G3 — Group 3: a selection leaves few participating documents of C2.
+
+C1 = C2 = a real collection; only ``n2`` documents of C2 join.  The
+survivors are fetched at random and C2's inverted file and B+-tree keep
+their original size.  Paper summary point 2: HVNL wins while the
+selected set is very small, with the crossover governed by the outer
+collection's terms-per-document.
+"""
+
+from repro.experiments.groups import run_group3
+from repro.experiments.tables import format_grid
+
+COLUMNS = ["C1", "C2", "n2", "hhs", "hhr", "hvs", "hvr", "vvs", "vvr",
+           "winner_seq", "winner_rnd"]
+
+
+def _rows(result):
+    rows = []
+    for point in result.points:
+        row = {"C1": point.collection1, "C2": point.collection2, "n2": point.value}
+        row.update({k: v for k, v in point.report.row().items() if k != "label"})
+        rows.append(row)
+    return rows
+
+
+def test_group3_grid(benchmark, save_table):
+    result = benchmark(run_group3)
+    save_table(
+        "group3_selection",
+        format_grid(_rows(result), columns=COLUMNS,
+                    title="Group 3 — few selected documents of an originally large C2"),
+    )
+
+    # Point 2: tiny selections go to HVNL...
+    tiny = [p for p in result.points if p.value <= 5]
+    assert all(p.report.winner() == "HVNL" for p in tiny)
+    # ...and large ones revert to HHNL.
+    large = [p for p in result.points if p.value >= 500]
+    assert all(p.report.winner() == "HHNL" for p in large)
+
+    # The crossover is collection-dependent (terms per outer document):
+    # FR (K=1017) flips earliest.
+    def crossover(name):
+        for p in sorted(
+            (p for p in result.points if p.collection1 == name),
+            key=lambda p: p.value,
+        ):
+            if p.report.winner() != "HVNL":
+                return p.value
+        return float("inf")
+
+    assert crossover("FR") <= crossover("WSJ")
+    assert crossover("FR") <= crossover("DOE")
+
+    # VVM never benefits from the selection: its inverted files stay full
+    # size, so its cost never drops below one full scan of both files and
+    # only grows (pass count) as the accumulator space grows with n2.
+    for name in ("WSJ", "FR", "DOE"):
+        sweep = sorted(
+            (p for p in result.points if p.collection1 == name),
+            key=lambda p: p.value,
+        )
+        vvs = [p.report["VVM"].sequential for p in sweep]
+        assert vvs == sorted(vvs)
+        full_scan = 2 * sweep[0].report["VVM"].detail.sequential / (
+            2 * sweep[0].report["VVM"].detail.passes
+        )
+        assert min(vvs) >= full_scan

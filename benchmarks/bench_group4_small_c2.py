@@ -1,0 +1,61 @@
+"""G4 — Group 4: C2 is an *originally small* collection derived from C1.
+
+Unlike Group 3, the small collection owns genuinely small structures —
+sequential document reads, a small inverted file and B+-tree — which
+moves the costs of all three algorithms.  Paper point 2 again: HVNL wins
+while N2 is tiny; the paper also stresses that Group 4's cost structure
+differs from Group 3's, which we assert explicitly.
+"""
+
+from repro.cost.model import CostModel
+from repro.cost.params import JoinSide, SystemParams
+from repro.experiments.groups import run_group3, run_group4
+from repro.experiments.tables import format_grid
+
+COLUMNS = ["C1", "C2", "n2", "hhs", "hhr", "hvs", "hvr", "vvs", "vvr",
+           "winner_seq", "winner_rnd"]
+
+
+def _rows(result):
+    rows = []
+    for point in result.points:
+        row = {"C1": point.collection1, "C2": point.collection2, "n2": point.value}
+        row.update({k: v for k, v in point.report.row().items() if k != "label"})
+        rows.append(row)
+    return rows
+
+
+def test_group4_grid(benchmark, save_table):
+    result = benchmark(run_group4)
+    save_table(
+        "group4_small_c2",
+        format_grid(_rows(result), columns=COLUMNS,
+                    title="Group 4 — an originally small C2 derived from C1"),
+    )
+
+    tiny = [p for p in result.points if p.value <= 5]
+    assert all(p.report.winner() == "HVNL" for p in tiny)
+
+    # An originally small C2 reads sequentially, so HHNL's outer term is
+    # cheaper than Group 3's random fetches at the same n2 once random
+    # fetches actually dominate (very small selections round to similar
+    # costs).
+    g3 = {
+        (p.collection1, p.value): p.report["HHNL"].sequential
+        for p in run_group3().points
+    }
+    for point in result.points:
+        base_name = point.collection1
+        key = (base_name, point.value)
+        if key in g3:
+            assert point.report["HHNL"].sequential <= g3[key] + 1e-6
+
+    # Group 4's VVM also shrinks with n2 (small inverted file on C2),
+    # unlike Group 3 where I2 stays at full size.
+    for name in ("WSJ", "FR", "DOE"):
+        sweep = sorted(
+            (p for p in result.points if p.collection1 == name),
+            key=lambda p: p.value,
+        )
+        smallest, largest = sweep[0], sweep[-1]
+        assert smallest.report["VVM"].sequential < largest.report["VVM"].sequential

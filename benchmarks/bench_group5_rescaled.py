@@ -1,0 +1,58 @@
+"""G5 — Group 5: self-joins of size-preserving rescaled collections.
+
+Each derived collection keeps the original pages but packs them into
+``N / factor`` documents of ``K * factor`` terms — "especially aimed at
+observing the behavior of Algorithm VVM".  Paper point 3: once
+``N1 * N2 < 10000 * B`` (and the collections still exceed the buffer),
+sequential VVM wins; we also locate the crossover factor per collection.
+"""
+
+from repro.experiments.groups import run_group5
+from repro.experiments.tables import format_grid
+
+COLUMNS = ["C1", "factor", "hhs", "hhr", "hvs", "hvr", "vvs", "vvr",
+           "winner_seq", "winner_rnd"]
+
+
+def _rows(result):
+    rows = []
+    for point in result.points:
+        row = {"C1": point.collection1, "factor": point.value}
+        row.update({k: v for k, v in point.report.row().items() if k != "label"})
+        rows.append(row)
+    return rows
+
+
+def test_group5_grid(benchmark, save_table):
+    result = benchmark(run_group5)
+    save_table(
+        "group5_rescaled",
+        format_grid(_rows(result), columns=COLUMNS,
+                    title="Group 5 — rescaled self-joins (VVM's sweet spot)"),
+    )
+
+    # Factor 1 is the Group 1 situation: HHNL wins.
+    assert all(
+        p.report.winner() == "HHNL" for p in result.points if p.value == 1
+    )
+    # Extreme factors: VVM wins everywhere (point 3).
+    assert all(
+        p.report.winner() == "VVM" for p in result.points if p.value >= 50
+    )
+
+    # Each collection has a crossover factor after which VVM stays ahead.
+    for name in ("WSJ", "FR", "DOE"):
+        sweep = sorted(
+            (p for p in result.points if p.collection1.startswith(name)),
+            key=lambda p: p.value,
+        )
+        winners = [p.report.winner() for p in sweep]
+        flips = sum(1 for a, b in zip(winners, winners[1:]) if a != b)
+        assert flips == 1, f"{name}: expected a single HHNL->VVM crossover, got {winners}"
+
+    # Random variants matter for VVM (point 5's exception): at high
+    # factors vvr exceeds hhr's ordering influence.
+    extreme = [p for p in result.points if p.value >= 50]
+    assert any(
+        p.report.winner("random") != p.report.winner("sequential") for p in extreme
+    ) or all(p.report.winner("random") == "VVM" for p in extreme)

@@ -1,0 +1,65 @@
+"""X1 — the integrated algorithm (Sections 6-7).
+
+Sweeps representative situations from all five groups and records which
+algorithm the integrated optimizer picks where, plus the price of always
+using one fixed algorithm instead (the paper's argument for building the
+integrated algorithm at all).
+"""
+
+from repro.cost.model import CostModel
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.experiments.tables import format_grid
+from repro.workloads.trec import DOE, FR, WSJ
+
+SITUATIONS = [
+    ("G1 WSJ self", JoinSide(WSJ), JoinSide(WSJ)),
+    ("G1 FR self", JoinSide(FR), JoinSide(FR)),
+    ("G1 DOE self", JoinSide(DOE), JoinSide(DOE)),
+    ("G2 WSJ->FR", JoinSide(FR), JoinSide(WSJ)),
+    ("G2 DOE->WSJ", JoinSide(WSJ), JoinSide(DOE)),
+    ("G3 WSJ sel=5", JoinSide(WSJ), JoinSide(WSJ, participating=5)),
+    ("G3 DOE sel=50", JoinSide(DOE), JoinSide(DOE, participating=50)),
+    ("G4 WSJ small=10", JoinSide(WSJ), JoinSide(WSJ.with_documents(10))),
+    ("G5 FR x10", JoinSide(FR.rescaled(10)), JoinSide(FR.rescaled(10))),
+    ("G5 WSJ x20", JoinSide(WSJ.rescaled(20)), JoinSide(WSJ.rescaled(20))),
+]
+
+
+def sweep():
+    system, query = SystemParams(), QueryParams()
+    rows = []
+    for label, side1, side2 in SITUATIONS:
+        report = CostModel(side1, side2, system, query).report(label)
+        best = report.winner()
+        best_cost = report[best].sequential
+        row = {"situation": label, "integrated": best}
+        for name in ("HHNL", "HVNL", "VVM"):
+            cost = report[name]
+            row[f"{name} penalty"] = (
+                cost.sequential / best_cost if cost.feasible else float("inf")
+            )
+        rows.append(row)
+    return rows
+
+
+def test_integrated_choices(benchmark, save_table):
+    rows = benchmark(sweep)
+    save_table(
+        "integrated_choices",
+        format_grid(
+            rows,
+            columns=["situation", "integrated", "HHNL penalty", "HVNL penalty", "VVM penalty"],
+            title="X1 — integrated algorithm choices and fixed-algorithm penalties",
+        ),
+    )
+    choices = {row["situation"]: row["integrated"] for row in rows}
+    assert choices["G1 WSJ self"] == "HHNL"
+    assert choices["G3 WSJ sel=5"] == "HVNL"
+    assert choices["G4 WSJ small=10"] == "HVNL"
+    assert choices["G5 FR x10"] == "VVM"
+
+    # The integrated algorithm's whole point: every fixed choice pays a
+    # large penalty somewhere in the situation space.
+    for name in ("HHNL", "HVNL", "VVM"):
+        worst = max(row[f"{name} penalty"] for row in rows)
+        assert worst > 2.0, f"always-{name} should be badly beaten somewhere"

@@ -1,0 +1,136 @@
+"""X5 — executable mini-TREC: measured winners vs predicted winners.
+
+The paper's simulation evaluates formulas; our substrate can go one step
+further and *execute* all three algorithms on collections shaped like
+the TREC profiles (shrunk via the Section 5.2 vocabulary-growth model so
+they stay self-consistent), then check that the cheapest measured
+algorithm is the one the cost model predicts — per scenario:
+
+* a plain self-join (HHNL territory),
+* a tiny selection (HVNL territory, Group 3's shape),
+* a rescaled collection (VVM territory, Group 5's shape).
+"""
+
+from repro.core.hhnl import run_hhnl
+from repro.core.hvnl import run_hvnl
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.core.vvm import run_vvm
+from repro.cost.model import CostModel
+from repro.cost.params import QueryParams, SystemParams
+from repro.errors import InsufficientMemoryError
+from repro.experiments.tables import format_grid
+from repro.storage.pages import PageGeometry
+from repro.workloads.derive import rescale_collection, select_subset
+from repro.workloads.synthetic import SyntheticSpec, generate_collection, spec_from_stats
+from repro.workloads.trec import DOE, WSJ
+
+PAGE = 1024
+DELTA = 0.4
+LAM = 5
+
+WSJ_MINI = generate_collection(spec_from_stats(WSJ, 1200, seed=7))
+DOE_MINI = generate_collection(spec_from_stats(DOE, 2500, seed=8))
+# HVNL's regime cannot be reached by shrinking a TREC profile: the
+# vocabulary (hence the B+-tree) shrinks much more slowly than N, so at
+# mini scale Bt rivals D1 and the one-time tree read-in drowns HVNL's
+# advantage.  A deep, narrow-vocabulary collection reproduces the regime
+# executably: many documents (big D1), few distinct terms (small Bt).
+DEEP_NARROW = generate_collection(
+    SyntheticSpec("deep-narrow", n_documents=800, avg_terms_per_doc=20,
+                  vocabulary_size=300, skew=0.0, seed=9)
+)
+# skew=0: with a Zipfian draw the terms *in* an outer document are
+# exactly the terms with the longest posting lists (length bias), which
+# the uniform-J cost formula undercounts; a flat distribution keeps the
+# executable run inside the model's assumptions.
+
+RUNNERS = {"HHNL": run_hhnl, "HVNL": run_hvnl, "VVM": run_vvm}
+
+
+def _scenario(env, system, outer_ids=None):
+    """Measured costs for all three algorithms plus the model's pick."""
+    spec = TextJoinSpec(lam=LAM)
+    measured = {}
+    reference = None
+    for name, runner in RUNNERS.items():
+        kwargs = {"outer_ids": outer_ids}
+        if name in ("HVNL", "VVM"):
+            kwargs["delta"] = DELTA
+        try:
+            result = runner(env, spec, system, **kwargs)
+        except InsufficientMemoryError:
+            measured[name] = float("inf")
+            continue
+        if reference is None:
+            reference = result
+        else:
+            assert result.same_matches_as(reference)
+        measured[name] = result.weighted_cost(system.alpha)
+    model = CostModel(
+        *env.cost_sides(outer_ids),
+        system,
+        QueryParams(lam=LAM, delta=DELTA),
+        q=env.measured_q(),
+        p=env.measured_p(),
+    )
+    return measured, model.report().winner()
+
+
+def run_scenarios():
+    rows = []
+
+    # (a) plain self-join on the WSJ-shaped mini collection
+    env = JoinEnvironment(WSJ_MINI, WSJ_MINI, PageGeometry(PAGE))
+    system = SystemParams(buffer_pages=10, page_bytes=PAGE)
+    measured, predicted = _scenario(env, system)
+    rows.append({"scenario": "wsj-mini self-join", **measured, "predicted": predicted})
+
+    # (b) Group 3's shape on the DOE mini: 3 selected outer documents.
+    # At mini scale the model (correctly) still prefers HHNL here — the
+    # shrunken D1 no longer dwarfs the per-entry random reads.
+    env = JoinEnvironment(DOE_MINI, DOE_MINI, PageGeometry(PAGE))
+    system = SystemParams(buffer_pages=60, page_bytes=PAGE)
+    chosen = select_subset(DOE_MINI, 3, seed=5)
+    measured, predicted = _scenario(env, system, outer_ids=chosen)
+    rows.append({"scenario": "doe-mini, 3 selected", **measured, "predicted": predicted})
+
+    # (b') HVNL's regime, reproduced with a deep narrow-vocabulary
+    # collection and small pages: D1 huge, Bt tiny, 2 outer documents.
+    env = JoinEnvironment(DEEP_NARROW, DEEP_NARROW, PageGeometry(64))
+    system = SystemParams(buffer_pages=1000, page_bytes=64)
+    chosen = select_subset(DEEP_NARROW, 2, seed=6)
+    measured, predicted = _scenario(env, system, outer_ids=chosen)
+    rows.append({"scenario": "deep-narrow, 2 selected", **measured, "predicted": predicted})
+
+    # (c) Group 5's shape: the WSJ mini rescaled into few huge documents
+    merged = rescale_collection(WSJ_MINI, 12)
+    env = JoinEnvironment(merged, merged, PageGeometry(PAGE))
+    system = SystemParams(buffer_pages=8, page_bytes=PAGE)
+    measured, predicted = _scenario(env, system)
+    rows.append({"scenario": "wsj-mini rescaled x12", **measured, "predicted": predicted})
+
+    for row in rows:
+        best = min(("HHNL", "HVNL", "VVM"), key=lambda n: row[n])
+        row["measured best"] = best
+    return rows
+
+
+def test_minitrec_executable(benchmark, save_table):
+    rows = benchmark.pedantic(run_scenarios, rounds=1, iterations=1)
+    save_table(
+        "minitrec_executable",
+        format_grid(
+            rows,
+            columns=["scenario", "HHNL", "HVNL", "VVM", "predicted", "measured best"],
+            title="X5 — executed costs on TREC-shaped collections vs model prediction",
+        ),
+    )
+    for row in rows:
+        # the predicted winner's measured cost must be (near-)optimal
+        best_cost = row[row["measured best"]]
+        predicted_cost = row[row["predicted"]]
+        assert predicted_cost <= best_cost * 1.5, row
+    # the scenarios exercise all three winners, executably
+    assert {row["measured best"] for row in rows} == {"HHNL", "HVNL", "VVM"}
+    by_scenario = {row["scenario"]: row for row in rows}
+    assert by_scenario["deep-narrow, 2 selected"]["measured best"] == "HVNL"

@@ -1,0 +1,69 @@
+"""X2 — measured-vs-model validation on executable collections.
+
+Runs all three executors over synthetic Zipfian collections on the
+simulated disk and compares the measured weighted I/O to the Section 5
+formulas under the same parameters.  This experiment has no counterpart
+in the paper (the authors could only evaluate the formulas); it is the
+reproduction's evidence that the executors and the formulas describe the
+same algorithms.
+"""
+
+import pytest
+
+from repro.cost.params import SystemParams
+from repro.experiments.tables import format_grid
+from repro.experiments.validate import validate_algorithms
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+C1 = generate_collection(
+    SyntheticSpec("bench1", n_documents=150, avg_terms_per_doc=22,
+                  vocabulary_size=700, seed=41)
+)
+C2 = generate_collection(
+    SyntheticSpec("bench2", n_documents=110, avg_terms_per_doc=18,
+                  vocabulary_size=700, seed=42)
+)
+
+CONFIGS = [
+    ("tight", SystemParams(buffer_pages=10, page_bytes=1024), False),
+    ("tight-noisy", SystemParams(buffer_pages=10, page_bytes=1024), True),
+    ("mid", SystemParams(buffer_pages=24, page_bytes=1024), False),
+    ("roomy", SystemParams(buffer_pages=64, page_bytes=1024), False),
+    ("roomy-noisy", SystemParams(buffer_pages=64, page_bytes=1024), True),
+]
+
+
+def run_all():
+    rows = []
+    for label, system, interference in CONFIGS:
+        for row in validate_algorithms(
+            C1, C2, system=system, lam=5, delta=0.5, interference=interference
+        ):
+            rows.append(
+                {
+                    "config": label,
+                    "algorithm": row.algorithm,
+                    "scenario": row.scenario,
+                    "measured": row.measured,
+                    "predicted": row.predicted,
+                    "ratio": row.ratio,
+                }
+            )
+    return rows
+
+
+def test_model_validation(benchmark, save_table):
+    rows = benchmark.pedantic(run_all, rounds=3, iterations=1)
+    save_table(
+        "model_validation",
+        format_grid(
+            rows,
+            columns=["config", "algorithm", "scenario", "measured", "predicted", "ratio"],
+            title="X2 — executor-measured weighted I/O vs Section 5 formulas",
+        ),
+    )
+    for row in rows:
+        assert 0.4 < row["ratio"] < 2.5, f"{row['config']} {row['algorithm']}: {row['ratio']}"
+    # The bulk of the grid should be tight, not just inside the band.
+    tight = [r for r in rows if 0.8 < r["ratio"] < 1.35]
+    assert len(tight) >= len(rows) * 0.6

@@ -1,0 +1,95 @@
+"""X9 — calibrating the Section 6 overlap model against data.
+
+The paper *assumes* its piecewise ``q`` model (0.8 plateau, proportional
+shrink, asymptotic dominance).  With executable collections we can
+measure the true overlap in two vocabulary regimes:
+
+* **same-domain** — both collections draw from the same Zipf-ranked
+  vocabulary, so the smaller vocabulary nests in the larger (shared
+  high-frequency head): measured ``q ~= min(1, T1/T2)``;
+* **cross-domain** — each collection's vocabulary is an independent
+  random subset of a larger term universe: measured ``q ~= T1/U``.
+
+The paper's 0.8 factor sits between the two — it discounts the
+same-domain ceiling for exactly the cross-domain divergence the nested
+case cannot show.
+"""
+
+import random
+
+from repro.cost.overlap import overlap_probability
+from repro.experiments.tables import format_grid
+from repro.index.stats import CollectionStats
+from repro.text.collection import DocumentCollection
+from repro.text.document import Document
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+VOCAB_PAIRS = [(150, 1500), (500, 1000), (1000, 1000), (1500, 500), (3000, 400)]
+
+
+def _make(n_vocab: int, seed: int) -> DocumentCollection:
+    return generate_collection(
+        SyntheticSpec(
+            f"cal{seed}", n_documents=400, avg_terms_per_doc=25,
+            vocabulary_size=n_vocab, skew=0.4, seed=seed,
+        )
+    )
+
+
+def _remap(collection: DocumentCollection, universe: int, seed: int) -> DocumentCollection:
+    """Scatter the collection's term ids over a larger universe."""
+    rng = random.Random(seed)
+    used = sorted(collection.terms())
+    targets = rng.sample(range(universe), len(used))
+    mapping = dict(zip(used, sorted(targets)))
+    docs = [
+        Document.from_counts(doc.doc_id, {mapping[t]: w for t, w in doc.cells})
+        for doc in collection
+    ]
+    return DocumentCollection(collection.name + "-remap", docs)
+
+
+def calibrate():
+    rows = []
+    for index, (v1, v2) in enumerate(VOCAB_PAIRS):
+        c1 = _make(v1, seed=700 + 2 * index)
+        c2 = _make(v2, seed=701 + 2 * index)
+        t1 = CollectionStats.from_collection(c1).T
+        t2 = CollectionStats.from_collection(c2).T
+        universe = int(1.5 * max(t1, t2))
+        x1 = _remap(c1, universe, seed=800 + index)
+        x2 = _remap(c2, universe, seed=900 + index)
+        rows.append(
+            {
+                "T1": t1,
+                "T2": t2,
+                "same-domain q": c2.term_overlap_with(c1),
+                "cross-domain q": x2.term_overlap_with(x1),
+                "modelled q": overlap_probability(t1, t2),
+            }
+        )
+    return rows
+
+
+def test_overlap_calibration(benchmark, save_table):
+    rows = benchmark.pedantic(calibrate, rounds=2, iterations=1)
+    save_table(
+        "overlap_calibration",
+        format_grid(
+            rows,
+            columns=["T1", "T2", "same-domain q", "cross-domain q", "modelled q"],
+            title="X9 — the Section 6 overlap heuristic vs measured overlap",
+        ),
+    )
+    for row in rows:
+        # nested vocabularies are the ceiling, scattered ones the floor
+        assert row["cross-domain q"] <= row["same-domain q"] + 1e-9
+        # the model sits within the envelope the two regimes span
+        low = row["cross-domain q"] - 0.15
+        high = row["same-domain q"] + 0.05
+        assert low <= row["modelled q"] <= high, row
+    # qualitative shape: measured q grows with T1/T2 (tiny sampling
+    # noise allowed once the overlap saturates near 1.0)
+    same = [row["same-domain q"] for row in rows]
+    for earlier, later in zip(same, same[1:]):
+        assert later >= earlier - 0.01

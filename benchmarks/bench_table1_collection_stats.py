@@ -1,0 +1,62 @@
+"""T1 — the Section 6 collection-statistics table.
+
+Regenerates the paper's first table (WSJ / FR / DOE statistics) and
+checks every published cell.  The benchmark times the derivation of the
+full statistics profile from the primary figures.
+"""
+
+import pytest
+
+from repro.experiments.groups import statistics_table
+from repro.experiments.tables import format_grid
+from repro.workloads.trec import DOE, FR, TREC_COLLECTIONS, WSJ
+
+PAPER_TABLE = {
+    "#documents": {"WSJ": 98_736, "FR": 26_207, "DOE": 226_087},
+    "#terms per doc": {"WSJ": 329, "FR": 1017, "DOE": 89},
+    "total # of distinct terms": {"WSJ": 156_298, "FR": 126_258, "DOE": 186_225},
+    "collection size in pages": {"WSJ": 40_605, "FR": 33_315, "DOE": 25_152},
+    "avg. size of a document": {"WSJ": 0.41, "FR": 1.27, "DOE": 0.111},
+    "avg. size of an inv. fi. en.": {"WSJ": 0.26, "FR": 0.264, "DOE": 0.135},
+}
+
+
+def test_table1_collection_statistics(benchmark, save_table):
+    rows = benchmark(statistics_table)
+    table = format_grid(rows, title="Table 1 — TREC collection statistics (Section 6)")
+    save_table("table1_collection_stats", table)
+
+    regenerated = {row["statistic"]: row for row in rows}
+    for statistic, cells in PAPER_TABLE.items():
+        for name, value in cells.items():
+            assert regenerated[statistic][name] == pytest.approx(value), (
+                f"{statistic} / {name}"
+            )
+
+
+def test_table1_derived_quantities(benchmark, save_table):
+    """The derived I and Bt columns the cost formulas actually consume."""
+
+    def derive():
+        return [
+            {
+                "collection": stats.name,
+                "I (inverted pages)": stats.I,
+                "Bt (B+tree pages)": stats.Bt,
+                "D (collection pages)": stats.D,
+            }
+            for stats in TREC_COLLECTIONS.values()
+        ]
+
+    rows = benchmark(derive)
+    save_table(
+        "table1_derived",
+        format_grid(rows, title="Derived sizes used by the cost model"),
+    )
+    by_name = {r["collection"]: r for r in rows}
+    # I ~= D (Section 3's size identity), Bt = 9T/P
+    for stats in (WSJ, FR, DOE):
+        assert by_name[stats.name]["I (inverted pages)"] == pytest.approx(stats.D, rel=0.1)
+        assert by_name[stats.name]["Bt (B+tree pages)"] == pytest.approx(
+            9 * stats.T / 4096
+        )

@@ -1,0 +1,27 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables/figure-series and
+writes the rendered grid to ``benchmarks/results/<name>.txt`` (they feed
+EXPERIMENTS.md), in addition to pytest-benchmark's timing numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Write a rendered table to the results directory (and echo it)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}\n")
+
+    return _save

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Algorithm advisor: explore the paper's decision space interactively.
+
+Feeds the cost model with collection statistics (no data needed — this
+is exactly the paper's "simulation") and prints which algorithm wins
+across a grid of situations, reproducing the texture of Section 6:
+HVNL's small-side region, VVM's N1*N2 window, HHNL everywhere else.
+
+Run:  python examples/algorithm_advisor.py
+"""
+
+from repro import CostModel, JoinSide, SystemParams
+from repro.workloads.trec import DOE, FR, WSJ
+
+
+def winner_map() -> None:
+    """Winner by (outer selection size x buffer size) for a WSJ self-join."""
+    print("WSJ self-join: winner by participating outer docs vs buffer size\n")
+    buffers = [1_000, 5_000, 10_000, 50_000]
+    selections = [1, 10, 50, 100, 1_000, 10_000, None]
+    header = "  n2\\B   " + "".join(f"{b:>9}" for b in buffers)
+    print(header)
+    for n2 in selections:
+        label = "all" if n2 is None else str(n2)
+        cells = []
+        for b in buffers:
+            model = CostModel(
+                JoinSide(WSJ),
+                JoinSide(WSJ, participating=n2),
+                SystemParams(buffer_pages=b),
+            )
+            cells.append(f"{model.choose():>9}")
+        print(f"  {label:>6} " + "".join(cells))
+    print()
+
+
+def rescale_map() -> None:
+    """Winner by rescale factor for each collection (Group 5's texture)."""
+    print("self-joins of rescaled collections: winner by merge factor\n")
+    factors = [1, 2, 5, 10, 20, 50, 100]
+    print("  coll\\f " + "".join(f"{f:>7}" for f in factors))
+    for stats in (WSJ, FR, DOE):
+        cells = []
+        for factor in factors:
+            scaled = stats.rescaled(factor)
+            model = CostModel(JoinSide(scaled), JoinSide(scaled))
+            cells.append(f"{model.choose():>7}")
+        print(f"  {stats.name:>6} " + "".join(cells))
+    print()
+
+
+def detail(name: str, model: CostModel) -> None:
+    report = model.report(name)
+    print(f"{name}: winner = {report.winner()}  (q = {report.q:.2f})")
+    for algorithm, cost in report.costs.items():
+        status = "" if cost.feasible else "  [infeasible]"
+        print(f"  {algorithm:5} seq={cost.sequential:14,.0f}  rand={cost.random:14,.0f}{status}")
+    print()
+
+
+def main() -> None:
+    winner_map()
+    rescale_map()
+    print("full cost breakdowns for three emblematic situations:\n")
+    detail("Group 1 — DOE self-join", CostModel(JoinSide(DOE), JoinSide(DOE)))
+    detail(
+        "Group 3 — WSJ with 5 selected outer docs",
+        CostModel(JoinSide(WSJ), JoinSide(WSJ, participating=5)),
+    )
+    scaled = FR.rescaled(20)
+    detail("Group 5 — FR merged x20", CostModel(JoinSide(scaled), JoinSide(scaled)))
+
+
+if __name__ == "__main__":
+    main()

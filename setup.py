@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools 65 without ``wheel``, which
+breaks PEP 517 editable installs; this file lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` path.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,86 @@
+"""textjoin-repro: processing joins between textual attributes.
+
+A faithful, executable reproduction of *"Performance Analysis of Several
+Algorithms for Processing Joins between Textual Attributes"* (Meng, Yu,
+Wang, Rishe — ICDE 1996): the HHNL / HVNL / VVM join algorithms, their
+six analytical I/O cost formulas, the integrated algorithm that picks the
+cheapest one, and the full five-group simulation study over the paper's
+TREC collection statistics.
+
+Quickstart::
+
+    from repro import (
+        DocumentCollection, JoinEnvironment, TextJoinSpec,
+        SystemParams, IntegratedJoin,
+    )
+
+    c1 = DocumentCollection.from_term_lists("resumes", [[1, 2, 3], [2, 4]])
+    c2 = DocumentCollection.from_term_lists("jobs", [[2, 3], [1, 4]])
+    env = JoinEnvironment(c1, c2)
+    result = IntegratedJoin(env, SystemParams(buffer_pages=64)).run(
+        TextJoinSpec(lam=1)
+    )
+    print(result.matches, result.io)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.constants import (
+    DEFAULT_ALPHA,
+    DEFAULT_BUFFER_PAGES,
+    DEFAULT_DELTA,
+    DEFAULT_LAMBDA,
+    DEFAULT_PAGE_BYTES,
+)
+from repro.core import (
+    IntegratedDecision,
+    IntegratedJoin,
+    JoinEnvironment,
+    TextJoinResult,
+    TextJoinSpec,
+    run_hhnl,
+    run_hvnl,
+    run_vvm,
+)
+from repro.cost import (
+    CostModel,
+    CostReport,
+    JoinSide,
+    QueryParams,
+    SystemParams,
+    overlap_probabilities,
+)
+from repro.index import BPlusTree, CollectionStats, InvertedFile
+from repro.text import Document, DocumentCollection, Tokenizer, Vocabulary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BPlusTree",
+    "CollectionStats",
+    "CostModel",
+    "CostReport",
+    "DEFAULT_ALPHA",
+    "DEFAULT_BUFFER_PAGES",
+    "DEFAULT_DELTA",
+    "DEFAULT_LAMBDA",
+    "DEFAULT_PAGE_BYTES",
+    "Document",
+    "DocumentCollection",
+    "IntegratedDecision",
+    "IntegratedJoin",
+    "InvertedFile",
+    "JoinEnvironment",
+    "JoinSide",
+    "QueryParams",
+    "SystemParams",
+    "TextJoinResult",
+    "TextJoinSpec",
+    "Tokenizer",
+    "Vocabulary",
+    "overlap_probabilities",
+    "run_hhnl",
+    "run_hvnl",
+    "run_vvm",
+]

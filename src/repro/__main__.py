@@ -1,0 +1,16 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from repro.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # stdout was closed early (e.g. piped through `head`); exit quietly
+    # like well-behaved Unix tools do.
+    import os
+
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

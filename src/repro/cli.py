@@ -1,0 +1,272 @@
+"""Command-line interface: the paper's simulation study from a shell.
+
+Subcommands::
+
+    python -m repro stats                       # the Section 6 statistics table
+    python -m repro advise --n1 .. --k1 .. ..   # integrated algorithm on raw stats
+    python -m repro group 1..5                  # regenerate a simulation group
+    python -m repro summary                     # check the Section 6.1 points
+    python -m repro validate                    # measured-vs-model quick run
+
+Every command writes plain text to stdout and exits 0 on success; the
+``summary`` command exits 1 if any of the paper's five points fails to
+hold, so it can gate CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cost.model import CostModel
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.experiments.groups import (
+    run_group1,
+    run_group2,
+    run_group3,
+    run_group4,
+    run_group5,
+    statistics_table,
+)
+from repro.experiments.summary import evaluate_summary
+from repro.experiments.tables import format_grid
+from repro.experiments.validate import validate_algorithms
+from repro.index.stats import CollectionStats
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+_GROUPS = {1: run_group1, 2: run_group2, 3: run_group3, 4: run_group4, 5: run_group5}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Text-join algorithms (ICDE 1996 reproduction): "
+        "cost models, simulations and validation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="print the paper's collection-statistics table")
+
+    advise = sub.add_parser(
+        "advise", help="run the integrated algorithm on collection statistics"
+    )
+    advise.add_argument("--n1", type=int, required=True, help="documents in C1")
+    advise.add_argument("--k1", type=float, required=True, help="avg terms per C1 document")
+    advise.add_argument("--t1", type=int, required=True, help="distinct terms in C1")
+    advise.add_argument("--n2", type=int, required=True, help="documents in C2")
+    advise.add_argument("--k2", type=float, required=True, help="avg terms per C2 document")
+    advise.add_argument("--t2", type=int, required=True, help="distinct terms in C2")
+    advise.add_argument("--buffer", type=int, default=10_000, help="B in pages")
+    advise.add_argument("--alpha", type=float, default=5.0, help="random/sequential ratio")
+    advise.add_argument("--lam", type=int, default=20, help="SIMILAR_TO lambda")
+    advise.add_argument("--delta", type=float, default=0.1, help="non-zero similarity fraction")
+    advise.add_argument("--select2", type=int, default=None,
+                        help="participating C2 documents after a selection")
+    advise.add_argument("--backward", action="store_true",
+                        help="also consider HHNL in backward order")
+
+    group = sub.add_parser("group", help="regenerate one simulation group (1-5)")
+    group.add_argument("number", type=int, choices=sorted(_GROUPS))
+
+    sub.add_parser("summary", help="check the five Section 6.1 summary points")
+
+    validate = sub.add_parser(
+        "validate", help="run executors on synthetic data vs the cost model"
+    )
+    validate.add_argument("--documents", type=int, default=120)
+    validate.add_argument("--buffer", type=int, default=24)
+    validate.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="regenerate the whole simulation study as markdown"
+    )
+    report.add_argument("--output", default=None,
+                        help="file to write (default: stdout)")
+
+    sub.add_parser(
+        "boundaries", help="locate the exact algorithm crossovers by bisection"
+    )
+
+    join = sub.add_parser(
+        "join", help="join two folders of .txt files (SIMILAR_TO over files)"
+    )
+    join.add_argument("--inner-dir", required=True,
+                      help="folder of candidate documents (C1)")
+    join.add_argument("--outer-dir", required=True,
+                      help="folder of query documents (C2); one result group per file")
+    join.add_argument("--lam", type=int, default=3, help="matches per outer file")
+    join.add_argument("--buffer", type=int, default=256, help="B in pages")
+    join.add_argument("--cosine", action="store_true",
+                      help="normalise similarities (cosine)")
+    join.add_argument("--pattern", default="*.txt", help="filename glob")
+    return parser
+
+
+def _cmd_stats(_args: argparse.Namespace) -> int:
+    print(format_grid(statistics_table(), title="TREC collection statistics (Section 6)"))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    side1 = JoinSide(CollectionStats("C1", args.n1, args.k1, args.t1))
+    side2 = JoinSide(
+        CollectionStats("C2", args.n2, args.k2, args.t2), participating=args.select2
+    )
+    model = CostModel(
+        side1,
+        side2,
+        SystemParams(buffer_pages=args.buffer, alpha=args.alpha),
+        QueryParams(lam=args.lam, delta=args.delta),
+    )
+    report = model.report("advise", include_backward=args.backward)
+    rows = [
+        {
+            "algorithm": name,
+            "sequential": cost.sequential,
+            "worst-case": cost.random,
+            "feasible": cost.feasible,
+        }
+        for name, cost in report.costs.items()
+    ]
+    print(format_grid(rows, title=f"q = {report.q:.3f}, p = {report.p:.3f}"))
+    print(f"\nwinner (sequential): {report.winner('sequential')}")
+    print(f"winner (worst case): {report.winner('random')}")
+    return 0
+
+
+def _cmd_group(args: argparse.Namespace) -> int:
+    result = _GROUPS[args.number]()
+    print(format_grid(result.rows(), title=f"Group {args.number} — {result.description}"))
+    winners = result.winners()
+    print(f"\nwinners (sequential): {winners}")
+    return 0
+
+
+def _cmd_summary(_args: argparse.Namespace) -> int:
+    findings = evaluate_summary()
+    checks = [
+        ("1: drastic cost spread", findings.point1_drastic_spread),
+        ("2: HVNL wins small outer side", findings.point2_hvnl_small_side),
+        ("3: VVM wins in the N1*N2 window", findings.point3_vvm_window),
+        ("4: HHNL wins elsewhere", findings.point4_hhnl_default),
+        ("5: random scenario flips nothing (ex VVM)", findings.point5_random_stable),
+    ]
+    for label, holds in checks:
+        print(f"  [{'ok' if holds else 'FAIL'}] {label}")
+    print(
+        f"\nevidence: spread x{findings.max_cost_spread:,.0f}; "
+        f"HVNL {findings.hvnl_wins_small_side}/{findings.small_side_points}; "
+        f"VVM {findings.vvm_wins_in_window}/{findings.window_points}; "
+        f"HHNL {findings.hhnl_wins_elsewhere}/{findings.elsewhere_points}"
+    )
+    return 0 if findings.all_points_hold() else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    c1 = generate_collection(
+        SyntheticSpec("v1", n_documents=args.documents, avg_terms_per_doc=18,
+                      vocabulary_size=500, seed=args.seed * 2 + 1)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("v2", n_documents=max(1, args.documents * 3 // 4),
+                      avg_terms_per_doc=15, vocabulary_size=500,
+                      seed=args.seed * 2 + 2)
+    )
+    system = SystemParams(buffer_pages=args.buffer, page_bytes=1024)
+    rows = [
+        {
+            "algorithm": row.algorithm,
+            "measured": row.measured,
+            "predicted": row.predicted,
+            "ratio": row.ratio,
+        }
+        for row in validate_algorithms(c1, c2, system=system, lam=5, delta=0.5)
+    ]
+    print(format_grid(rows, title="executor-measured vs Section 5 formulas"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    text = build_report()
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_boundaries(_args: argparse.Namespace) -> int:
+    from repro.experiments.boundaries import trec_boundaries
+    from repro.workloads.trec import TREC_COLLECTIONS
+
+    rows = []
+    for boundary in trec_boundaries():
+        stats = TREC_COLLECTIONS[boundary.collection]
+        rows.append(
+            {
+                "collection": boundary.collection,
+                "K": stats.K,
+                "HVNL wins up to n2": boundary.hvnl_selection_crossover,
+                "VVM wins from factor": boundary.vvm_rescale_crossover,
+                "HHNL single-scan at B": boundary.hhnl_buffer_escape,
+            }
+        )
+    print(format_grid(rows, title="decision boundaries at base parameters"))
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    from repro.core.integrated import IntegratedJoin
+    from repro.core.join import JoinEnvironment, TextJoinSpec
+    from repro.text.tokenizer import Tokenizer
+    from repro.text.vocabulary import Vocabulary
+    from repro.workloads.files import collection_from_directory
+
+    vocabulary = Vocabulary()
+    tokenizer = Tokenizer()
+    inner, inner_paths = collection_from_directory(
+        "inner", args.inner_dir, vocabulary, tokenizer, pattern=args.pattern
+    )
+    outer, outer_paths = collection_from_directory(
+        "outer", args.outer_dir, vocabulary, tokenizer, pattern=args.pattern
+    )
+    environment = JoinEnvironment(inner, outer)
+    joiner = IntegratedJoin(environment, SystemParams(buffer_pages=args.buffer))
+    result = joiner.run(TextJoinSpec(lam=args.lam, normalized=args.cosine))
+    print(
+        f"# joined {inner.n_documents} inner x {outer.n_documents} outer files "
+        f"with {result.algorithm}; {result.io}"
+    )
+    for outer_id in sorted(result.matches):
+        print(outer_paths[outer_id].name)
+        for inner_id, similarity in result.matches[outer_id]:
+            print(f"    {similarity:10.3f}  {inner_paths[inner_id].name}")
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "advise": _cmd_advise,
+    "group": _cmd_group,
+    "summary": _cmd_summary,
+    "validate": _cmd_validate,
+    "report": _cmd_report,
+    "boundaries": _cmd_boundaries,
+    "join": _cmd_join,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Physical constants and defaults from the paper (Sections 3, 5 and 6).
+
+All sizes are in bytes unless the name says otherwise.  The paper fixes a
+small physical vocabulary in Section 3:
+
+* a *d-cell* ``(t#, w)`` is one term of a document: a 3-byte term number
+  plus a 2-byte occurrence count;
+* an *i-cell* ``(d#, w)`` is one posting of an inverted-file entry: a
+  3-byte document number plus a 2-byte occurrence count (the paper notes
+  d-cells and i-cells have approximately the same size);
+* a B+-tree leaf cell is 9 bytes: 3 for the term number, 4 for the disk
+  address of the inverted-file entry and 2 for the document frequency;
+* an intermediate similarity value occupies 4 bytes.
+
+Section 6 fixes the simulation defaults: page size ``P`` = 4 KB,
+non-zero-similarity fraction ``delta`` = 0.1, ``lambda`` = 20, memory
+buffer ``B`` = 10,000 pages and random/sequential cost ratio
+``alpha`` = 5.
+"""
+
+from __future__ import annotations
+
+# --- Section 3: cell geometry -------------------------------------------------
+TERM_NUMBER_BYTES = 3
+"""``|t#|`` — bytes used to store one term number."""
+
+OCCURRENCE_BYTES = 2
+"""``|w|`` — bytes used to store one occurrence count."""
+
+DOC_NUMBER_BYTES = 3
+"""``|d#|`` — bytes used to store one document number."""
+
+D_CELL_BYTES = TERM_NUMBER_BYTES + OCCURRENCE_BYTES
+"""Size of one d-cell ``(t#, w)`` in a stored document."""
+
+I_CELL_BYTES = DOC_NUMBER_BYTES + OCCURRENCE_BYTES
+"""Size of one i-cell ``(d#, w)`` in an inverted-file entry."""
+
+BTREE_ADDRESS_BYTES = 4
+"""Bytes of the disk address stored in a B+-tree leaf cell."""
+
+DOC_FREQUENCY_BYTES = 2
+"""Bytes of the document frequency stored in a B+-tree leaf cell."""
+
+BTREE_CELL_BYTES = TERM_NUMBER_BYTES + BTREE_ADDRESS_BYTES + DOC_FREQUENCY_BYTES
+"""Size of one B+-tree leaf cell (9 bytes per Section 5.2)."""
+
+SIMILARITY_VALUE_BYTES = 4
+"""Bytes needed to hold one intermediate similarity value."""
+
+# --- Section 6: simulation defaults -------------------------------------------
+DEFAULT_PAGE_BYTES = 4096
+"""``P`` — page size in bytes."""
+
+DEFAULT_BUFFER_PAGES = 10_000
+"""``B`` — base value of the memory buffer size in pages."""
+
+DEFAULT_ALPHA = 5.0
+"""``alpha`` — base cost ratio of a random I/O over a sequential I/O."""
+
+DEFAULT_DELTA = 0.1
+"""``delta`` — base fraction of document pairs with non-zero similarity."""
+
+DEFAULT_LAMBDA = 20
+"""``lambda`` — base value of the SIMILAR_TO(lambda) operator."""
+
+OVERLAP_BASE_PROBABILITY = 0.8
+"""The 0.8 plateau of the Section 6 term-overlap probability model."""
+
+OVERLAP_DOMINANCE_FACTOR = 5
+"""``T1 >= 5 * T2`` threshold of the Section 6 overlap model."""

@@ -1,0 +1,53 @@
+"""The paper's contribution: three text-join algorithms plus the optimizer.
+
+* :func:`repro.core.hhnl.run_hhnl` — Horizontal-Horizontal Nested Loop,
+* :func:`repro.core.hvnl.run_hvnl` — Horizontal-Vertical Nested Loop,
+* :func:`repro.core.vvm.run_vvm` — Vertical-Vertical Merge,
+* :class:`repro.core.integrated.IntegratedJoin` — pick the cheapest.
+
+All executors share :class:`repro.core.join.JoinEnvironment` (collections
+laid out on a simulated disk) and return a
+:class:`repro.core.join.TextJoinResult` whose matches are identical
+across algorithms — only the measured I/O differs.
+"""
+
+from repro.core.accumulator import PairAccumulator, SparseAccumulator
+from repro.core.hhnl import run_hhnl, run_hhnl_backward
+from repro.core.hvnl import run_hvnl
+from repro.core.integrated import IntegratedDecision, IntegratedJoin
+from repro.core.join import (
+    JoinEnvironment,
+    TextJoinResult,
+    TextJoinSpec,
+    resolve_outer_ids,
+)
+from repro.core.optimizer import (
+    OptimizedPlan,
+    OptimizerConfig,
+    PlanCost,
+    execute_plan,
+    optimize,
+)
+from repro.core.topk import TopK
+from repro.core.vvm import run_vvm
+
+__all__ = [
+    "IntegratedDecision",
+    "IntegratedJoin",
+    "JoinEnvironment",
+    "OptimizedPlan",
+    "OptimizerConfig",
+    "PairAccumulator",
+    "PlanCost",
+    "SparseAccumulator",
+    "TextJoinResult",
+    "TextJoinSpec",
+    "TopK",
+    "execute_plan",
+    "optimize",
+    "resolve_outer_ids",
+    "run_hhnl",
+    "run_hhnl_backward",
+    "run_hvnl",
+    "run_vvm",
+]

@@ -1,0 +1,108 @@
+"""Similarity accumulators.
+
+HVNL accumulates similarities between the current outer document and
+every inner document (``U_i + w * w_i``, Section 4.2); VVM accumulates
+them for *all pairs at once* (``U_pq + u_p * v_q``, Section 4.3).  Both
+keep only non-zero values — that is what makes the paper's ``delta``
+(fraction of non-zero similarities) the memory-sizing parameter.
+
+The accumulators track their peak cell count so executable runs can
+report the *measured* delta next to the modelled one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.constants import SIMILARITY_VALUE_BYTES
+
+
+class SparseAccumulator:
+    """Per-outer-document accumulator: ``{inner doc id: similarity}``."""
+
+    __slots__ = ("_cells", "peak_cells")
+
+    def __init__(self) -> None:
+        self._cells: dict[int, float] = {}
+        self.peak_cells = 0
+
+    def add(self, doc_id: int, contribution: float) -> None:
+        """``U_i += contribution`` (creates the cell on first touch)."""
+        cells = self._cells
+        cells[doc_id] = cells.get(doc_id, 0.0) + contribution
+        if len(cells) > self.peak_cells:
+            self.peak_cells = len(cells)
+
+    def items(self) -> Iterator[tuple[int, float]]:
+        return iter(self._cells.items())
+
+    def clear(self) -> None:
+        """Reset for the next outer document (peak is preserved)."""
+        self._cells.clear()
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.peak_cells * SIMILARITY_VALUE_BYTES
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+class PairAccumulator:
+    """VVM's all-pairs accumulator: ``{outer doc: {inner doc: similarity}}``.
+
+    Grouped by outer document so the end-of-pass top-``lambda``
+    extraction walks each outer document's row once.
+    """
+
+    __slots__ = ("_rows", "_n_cells", "peak_cells")
+
+    def __init__(self) -> None:
+        self._rows: dict[int, dict[int, float]] = {}
+        self._n_cells = 0
+        self.peak_cells = 0
+
+    def add(self, outer_doc: int, inner_doc: int, contribution: float) -> None:
+        """``U_pq += contribution``."""
+        row = self._rows.get(outer_doc)
+        if row is None:
+            row = {}
+            self._rows[outer_doc] = row
+        if inner_doc not in row:
+            self._n_cells += 1
+            if self._n_cells > self.peak_cells:
+                self.peak_cells = self._n_cells
+            row[inner_doc] = contribution
+        else:
+            row[inner_doc] += contribution
+
+    def row(self, outer_doc: int) -> dict[int, float]:
+        """All accumulated similarities for one outer document."""
+        return self._rows.get(outer_doc, {})
+
+    def rows(self) -> Iterator[tuple[int, dict[int, float]]]:
+        return iter(self._rows.items())
+
+    def clear(self) -> None:
+        """Reset between VVM passes (peak is preserved)."""
+        self._rows.clear()
+        self._n_cells = 0
+
+    @property
+    def n_cells(self) -> int:
+        return self._n_cells
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.peak_cells * SIMILARITY_VALUE_BYTES
+
+    def measured_delta(self, n_inner: int, n_outer: int) -> float:
+        """Observed fraction of non-zero similarities (the paper's delta)."""
+        total = n_inner * n_outer
+        if total == 0:
+            return 0.0
+        return self.peak_cells / total

@@ -1,0 +1,274 @@
+"""HHNL executor (paper Section 4.1).
+
+The blocked nested loop: read the next ``X`` outer (C2) documents into
+the buffer, scan the whole inner collection C1, and for every buffered
+outer document maintain the ``lambda`` largest similarities seen so far.
+``X`` comes from the same memory equation as the cost model
+(:func:`repro.cost.hhnl.hhnl_memory_capacity`), so measured I/O is
+directly comparable to ``hhs``/``hhr``.
+
+Selections: with ``outer_ids`` the surviving outer documents are fetched
+with random reads from their original storage locations (Group 3);
+everything else is unchanged.  ``interference=True`` reproduces the
+worst-case scenario behind ``hhr`` — each scan resumption and each chunk
+read pays a seek.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.join import (
+    JoinEnvironment,
+    TextJoinResult,
+    TextJoinSpec,
+    resolve_inner_ids,
+    resolve_outer_ids,
+    scan_with_block_seeks,
+)
+from repro.core.topk import TopK
+from repro.cost.hhnl import hhnl_backward_memory_capacity, hhnl_memory_capacity
+from repro.cost.params import QueryParams, SystemParams
+from repro.text.document import Document
+from repro.text.similarity import dot_product
+
+
+def run_hhnl(
+    environment: JoinEnvironment,
+    spec: TextJoinSpec,
+    system: SystemParams,
+    *,
+    outer_ids: Sequence[int] | None = None,
+    inner_ids: Sequence[int] | None = None,
+    interference: bool = False,
+) -> TextJoinResult:
+    """Execute HHNL in forward order (C2 outer, C1 inner).
+
+    ``inner_ids`` restricts the candidate pool to selected C1 documents
+    (Section 2 allows selections on either relation); like the outer
+    side, survivors are random-fetched only while that beats scanning
+    and filtering.
+    """
+    outer_ids = resolve_outer_ids(environment, outer_ids)
+    inner_ids = resolve_inner_ids(environment, inner_ids)
+    side1, side2 = environment.cost_sides(outer_ids, inner_ids)
+    query = QueryParams(lam=spec.lam)
+    x = hhnl_memory_capacity(side1, side2, system, query)
+
+    disk = environment.disk
+    io_start = disk.stats.snapshot()
+    docs1, docs2 = environment.docs1, environment.docs2
+    norms1 = environment.norms1() if spec.normalized else None
+    norms2 = environment.norms2() if spec.normalized else None
+
+    all_outer = list(range(environment.collection2.n_documents))
+    participating = outer_ids if outer_ids is not None else all_outer
+    selected = outer_ids is not None and len(outer_ids) < len(all_outer)
+    if selected:
+        # Fetch survivors at random only while that beats scanning the
+        # whole collection and filtering (the model's min in
+        # JoinSide.document_read_cost).
+        import math
+
+        per_doc_pages = (
+            math.ceil(environment.stats2.S) if environment.stats2.S > 0 else 0
+        )
+        random_cost = len(participating) * per_doc_pages * system.alpha
+        if random_cost >= environment.stats2.D:
+            selected = False  # scan-and-filter: charge like a plain scan
+
+    inner_selected = (
+        inner_ids is not None
+        and len(inner_ids) < environment.collection1.n_documents
+    )
+    if inner_selected:
+        import math
+
+        per_doc_pages = (
+            math.ceil(environment.stats1.S) if environment.stats1.S > 0 else 0
+        )
+        if len(inner_ids) * per_doc_pages * system.alpha >= environment.stats1.D:
+            inner_selected = False  # scan-and-filter the inner side too
+    inner_filter = set(inner_ids) if inner_ids is not None else None
+
+    matches: dict[int, list[tuple[int, float]]] = {}
+    inner_scans = 0
+    cpu_ops = 0  # merge comparisons, the unit of repro.cost.cpu
+    pages_read_through = -1  # sequential progress within the outer extent
+
+    for chunk_start in range(0, len(participating), x):
+        chunk_ids = participating[chunk_start : chunk_start + x]
+        if not chunk_ids:
+            continue
+        # --- bring the outer chunk in -----------------------------------
+        if selected:
+            chunk_docs = [disk.read_record(docs2, doc_id) for doc_id in chunk_ids]
+        else:
+            chunk_docs = [docs2.payload(doc_id) for doc_id in chunk_ids]
+            first_page = docs2.span(chunk_ids[0]).first_page
+            last_page = docs2.span(chunk_ids[-1]).last_page
+            first_new = max(first_page, pages_read_through + 1)
+            new_pages = last_page - first_new + 1
+            if new_pages > 0:
+                if interference:
+                    disk.stats.record(docs2.name, random=1, sequential=new_pages - 1)
+                else:
+                    disk.stats.record(docs2.name, sequential=new_pages)
+                pages_read_through = last_page
+        trackers = {doc_id: TopK(spec.lam) for doc_id in chunk_ids}
+
+        # --- bring the inner candidates in once for this chunk -------------
+        inner_scans += 1
+        if inner_selected:
+            # few surviving inner documents: fetch them at random
+            inner_stream = (
+                (None, disk.read_record(docs1, doc_id)) for doc_id in inner_ids
+            )
+        elif interference and len(participating) < x:
+            # All outer documents fit (the paper's N2 < X case): the
+            # leftover buffer reads C1 in blocks, one seek per block.
+            leftover = (x - len(participating)) * environment.stats2.S
+            inner_stream = scan_with_block_seeks(disk, docs1, leftover)
+        else:
+            inner_stream = disk.scan_records(docs1, interference=interference)
+        for _, inner_doc in inner_stream:
+            inner_doc: Document
+            if inner_filter is not None and inner_doc.doc_id not in inner_filter:
+                continue
+            for outer_id, outer_doc in zip(chunk_ids, chunk_docs):
+                cpu_ops += outer_doc.n_terms + inner_doc.n_terms
+                similarity = dot_product(outer_doc, inner_doc)
+                if similarity <= 0.0:
+                    continue
+                if norms1 is not None:
+                    denominator = norms1[inner_doc.doc_id] * norms2[outer_id]
+                    similarity = similarity / denominator if denominator else 0.0
+                trackers[outer_id].offer(inner_doc.doc_id, similarity)
+
+        for doc_id, tracker in trackers.items():
+            matches[doc_id] = tracker.results()
+
+    return TextJoinResult(
+        algorithm="HHNL",
+        spec=spec,
+        matches=matches,
+        io=disk.stats.delta(io_start),
+        extras={
+            "x": x,
+            "inner_scans": inner_scans,
+            "outer_documents": len(participating),
+            "interference": interference,
+            "cpu_ops": cpu_ops,
+        },
+    )
+
+
+def run_hhnl_backward(
+    environment: JoinEnvironment,
+    spec: TextJoinSpec,
+    system: SystemParams,
+    *,
+    outer_ids: Sequence[int] | None = None,
+    interference: bool = False,
+) -> TextJoinResult:
+    """Execute HHNL in *backward* order: C1 drives the loop.
+
+    The join semantics are unchanged (top-``lambda`` C1 documents per C2
+    document), so a running :class:`TopK` per C2 document is kept alive
+    for the whole join — the memory reservation priced by
+    :func:`repro.cost.hhnl.hhnl_backward_cost`.  The paper defers this
+    order to [11], noting it "can be more efficient if C1 is much
+    smaller than C2": the repeated-scan factor moves onto the small
+    collection.
+
+    ``outer_ids`` still selects C2 documents (the per-group side); C2 is
+    re-read once per C1 chunk, scanning and filtering or random-fetching
+    whichever the statistics say is cheaper.
+    """
+    outer_ids = resolve_outer_ids(environment, outer_ids)
+    side1, side2 = environment.cost_sides(outer_ids)
+    query = QueryParams(lam=spec.lam)
+    x = hhnl_backward_memory_capacity(side1, side2, system, query)
+
+    disk = environment.disk
+    io_start = disk.stats.snapshot()
+    docs1, docs2 = environment.docs1, environment.docs2
+    norms1 = environment.norms1() if spec.normalized else None
+    norms2 = environment.norms2() if spec.normalized else None
+
+    all_c2 = list(range(environment.collection2.n_documents))
+    participating = outer_ids if outer_ids is not None else all_c2
+    c2_selected = outer_ids is not None and len(outer_ids) < len(all_c2)
+    if c2_selected:
+        import math
+
+        per_doc_pages = (
+            math.ceil(environment.stats2.S) if environment.stats2.S > 0 else 0
+        )
+        if len(participating) * per_doc_pages * system.alpha >= environment.stats2.D:
+            c2_selected = False  # scan-and-filter is cheaper
+    participating_set = set(participating)
+
+    trackers = {doc_id: TopK(spec.lam) for doc_id in participating}
+    loop_ids = list(range(environment.collection1.n_documents))
+    scans = 0
+    pages_read_through = -1
+
+    for chunk_start in range(0, len(loop_ids), x):
+        chunk_ids = loop_ids[chunk_start : chunk_start + x]
+        if not chunk_ids:
+            continue
+        # --- bring the C1 chunk in (sequential progress over the extent) --
+        chunk_docs = [docs1.payload(doc_id) for doc_id in chunk_ids]
+        first_page = docs1.span(chunk_ids[0]).first_page
+        last_page = docs1.span(chunk_ids[-1]).last_page
+        first_new = max(first_page, pages_read_through + 1)
+        new_pages = last_page - first_new + 1
+        if new_pages > 0:
+            if interference:
+                disk.stats.record(docs1.name, random=1, sequential=new_pages - 1)
+            else:
+                disk.stats.record(docs1.name, sequential=new_pages)
+            pages_read_through = last_page
+
+        # --- one pass over the participating C2 documents -----------------
+        scans += 1
+        if c2_selected:
+            c2_stream = ((d, disk.read_record(docs2, d)) for d in participating)
+        elif interference and len(loop_ids) < x:
+            leftover = (x - len(loop_ids)) * environment.stats1.S
+            c2_stream = (
+                (span.record_id, doc)
+                for span, doc in scan_with_block_seeks(disk, docs2, leftover)
+                if span.record_id in participating_set
+            )
+        else:
+            c2_stream = (
+                (span.record_id, doc)
+                for span, doc in disk.scan_records(docs2, interference=interference)
+                if span.record_id in participating_set
+            )
+        for c2_id, c2_doc in c2_stream:
+            tracker = trackers[c2_id]
+            for c1_id, c1_doc in zip(chunk_ids, chunk_docs):
+                similarity = dot_product(c2_doc, c1_doc)
+                if similarity <= 0.0:
+                    continue
+                if norms1 is not None:
+                    denominator = norms1[c1_id] * norms2[c2_id]
+                    similarity = similarity / denominator if denominator else 0.0
+                tracker.offer(c1_id, similarity)
+
+    matches = {doc_id: tracker.results() for doc_id, tracker in trackers.items()}
+    return TextJoinResult(
+        algorithm="HHNL-BWD",
+        spec=spec,
+        matches=matches,
+        io=disk.stats.delta(io_start),
+        extras={
+            "x": x,
+            "c2_scans": scans,
+            "outer_documents": len(participating),
+            "interference": interference,
+        },
+    )

@@ -1,0 +1,247 @@
+"""HVNL executor (paper Section 4.2).
+
+For each outer (C2) document, probe the inner collection's inverted file:
+look each term up in C1's B+-tree, fetch the inverted-file entry (unless
+already resident), and accumulate ``U_i + w * w_i`` per inner document.
+The entry buffer holds as many entries as fit after the outer document,
+the B+-tree and the similarity accumulators are accounted for; the
+default victim is the entry whose term has the **lowest document
+frequency in C2** — the paper's replacement policy — with LRU/FIFO/random
+available for the ablation.
+
+The paper's resident-first optimisation is applied: a document's terms
+whose entries are already buffered are processed before the terms that
+need a fetch, so a term fetched for this document cannot evict an entry
+this same document still needs.
+
+The whole B+-tree is read in once up-front (Section 5.2's one-time
+``Bt1`` charge).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.constants import TERM_NUMBER_BYTES
+from repro.core.accumulator import SparseAccumulator
+from repro.core.join import (
+    JoinEnvironment,
+    TextJoinResult,
+    TextJoinSpec,
+    resolve_inner_ids,
+    resolve_outer_ids,
+    scan_with_block_seeks,
+)
+from repro.core.topk import TopK
+from repro.cost.params import QueryParams, SystemParams
+from repro.errors import InsufficientMemoryError, JoinError
+from repro.storage.buffer import ObjectBuffer
+from repro.storage.policies import LowestDocFrequencyPolicy, ReplacementPolicy
+
+BTREE_IO_LABEL = "c1.btree"
+
+
+def run_hvnl(
+    environment: JoinEnvironment,
+    spec: TextJoinSpec,
+    system: SystemParams,
+    *,
+    outer_ids: Sequence[int] | None = None,
+    inner_ids: Sequence[int] | None = None,
+    interference: bool = False,
+    delta: float = 0.1,
+    policy: ReplacementPolicy | None = None,
+) -> TextJoinResult:
+    """Execute HVNL: C2 documents against C1's inverted file.
+
+    ``delta`` sizes the similarity-accumulator reservation exactly as the
+    cost model does (it does not limit the actual accumulation).
+    ``inner_ids`` restricts the candidate pool: postings of filtered-out
+    C1 documents are skipped during accumulation — the inverted file
+    itself keeps its full size, the paper's Section 5.4 caveat.
+    """
+    if environment.inverted1 is None or environment.btree1 is None:
+        raise JoinError("HVNL needs the inverted file and B+-tree on C1")
+    outer_ids = resolve_outer_ids(environment, outer_ids)
+    inner_ids = resolve_inner_ids(environment, inner_ids)
+    inner_filter = set(inner_ids) if inner_ids is not None else None
+    query = QueryParams(lam=spec.lam, delta=delta)
+
+    disk = environment.disk
+    io_start = disk.stats.snapshot()
+    inv1_extent = environment.inv1_extent
+    btree1 = environment.btree1
+    docs2 = environment.docs2
+    page_bytes = environment.geometry.page_bytes
+
+    # --- memory budget (mirrors cost.hvnl.hvnl_memory_capacity) ------------
+    btree_pages = math.ceil(btree1.size_in_pages(environment.geometry)) or 1
+    stats2 = environment.stats2
+    reserved_pages = (
+        (math.ceil(stats2.S) if stats2.S > 0 else 0)
+        + btree_pages
+        + 4 * environment.collection1.n_documents * query.delta / page_bytes
+    )
+    budget_pages = system.buffer_pages - reserved_pages
+    if budget_pages < 0:
+        raise InsufficientMemoryError(
+            f"HVNL needs {reserved_pages:.1f} pages reserved; "
+            f"buffer is {system.buffer_pages}"
+        )
+    # Each resident entry also costs a |t#| slot in the resident-term list.
+    budget_bytes = int(budget_pages * page_bytes)
+
+    # `policy or default` would misfire here: an empty policy is falsy
+    # (it implements __len__), so test identity against None.
+    buffer = ObjectBuffer(
+        budget_bytes, policy if policy is not None else LowestDocFrequencyPolicy()
+    )
+    df2 = environment.collection2.document_frequency()
+
+    # One-time B+-tree read-in.
+    disk.stats.record(BTREE_IO_LABEL, sequential=btree_pages)
+
+    # Section 5.2, case X >= T1: when the whole inverted file fits, the
+    # algorithm may load it with one sequential scan instead of fetching
+    # the needed entries at random — whichever the statistics say is
+    # cheaper.  The estimate uses metadata only (no extra I/O).
+    bulk_loaded = False
+    inverted1 = environment.inverted1
+    total_entry_bytes = sum(
+        entry.n_bytes + TERM_NUMBER_BYTES for entry in inverted1.entries
+    )
+    if total_entry_bytes <= budget_bytes:
+        stats1 = environment.stats1
+        needed_entries = environment.measured_q() * environment.stats2.T
+        entry_pages = math.ceil(stats1.J) if stats1.J > 0 else 1
+        scan_cost = stats1.I
+        fetch_cost = needed_entries * entry_pages * system.alpha
+        if scan_cost <= fetch_cost:
+            # One continuous sequential read — the hvr formula keeps the
+            # I1 term sequential even in the worst-case scenario.
+            for span, entry in disk.scan_records(inv1_extent, interference=False):
+                buffer.insert(
+                    entry.term,
+                    entry,
+                    entry.n_bytes + TERM_NUMBER_BYTES,
+                    priority=df2.get(entry.term, 0),
+                )
+            bulk_loaded = True
+
+    # --- outer document stream ------------------------------------------------
+    selected = outer_ids is not None and len(outer_ids) < environment.collection2.n_documents
+    if selected:
+        per_doc_pages = math.ceil(stats2.S) if stats2.S > 0 else 0
+        if len(outer_ids) * per_doc_pages * system.alpha >= stats2.D:
+            # Scan-and-filter beats random fetches (the model's min).
+            participating_set = set(outer_ids)
+            outer_stream = (
+                (span.record_id, doc)
+                for span, doc in disk.scan_records(docs2, interference=interference)
+                if span.record_id in participating_set
+            )
+        else:
+            outer_stream = (
+                (doc_id, disk.read_record(docs2, doc_id)) for doc_id in outer_ids
+            )
+    elif interference:
+        # Worst case with spare memory (Section 5.2's hvr, cases 1-2):
+        # entry capacity beyond the resident working set buffers blocks
+        # of C2, one seek per block; with no spare capacity every
+        # document read can seek (case 3).
+        stats1 = environment.stats1
+        per_entry_pages = stats1.J + TERM_NUMBER_BYTES / page_bytes
+        capacity = (budget_bytes / page_bytes / per_entry_pages) if per_entry_pages > 0 else 0.0
+        working_set = (
+            float(stats1.T)
+            if bulk_loaded
+            else min(environment.measured_q() * environment.stats2.T, float(stats1.T))
+        )
+        leftover_pages = max(0.0, capacity - working_set) * stats1.J
+        if leftover_pages >= 1.0:
+            outer_stream = (
+                (span.record_id, doc)
+                for span, doc in scan_with_block_seeks(disk, docs2, leftover_pages)
+            )
+        else:
+            outer_stream = (
+                (span.record_id, doc)
+                for span, doc in disk.scan_records(docs2, interference=True)
+            )
+    else:
+        outer_stream = (
+            (span.record_id, doc)
+            for span, doc in disk.scan_records(docs2, interference=False)
+        )
+
+    norms1 = environment.norms1() if spec.normalized else None
+    norms2 = environment.norms2() if spec.normalized else None
+
+    matches: dict[int, list[tuple[int, float]]] = {}
+    accumulator = SparseAccumulator()
+    entries_fetched = 0
+    cpu_ops = 0  # posting accumulations, the unit of repro.cost.cpu
+
+    for outer_id, outer_doc in outer_stream:
+        accumulator.clear()
+        # Resident-first term order (Section 4.2's reuse optimisation).
+        resident_terms: list[tuple[int, int]] = []
+        absent_terms: list[tuple[int, int]] = []
+        for term, weight in outer_doc.cells:
+            (resident_terms if term in buffer else absent_terms).append((term, weight))
+
+        for term, weight in resident_terms + absent_terms:
+            entry = buffer.get(term)
+            if entry is None:
+                location = btree1.search(term)
+                if location is None:
+                    continue  # term does not appear in C1
+                record_id, _df1 = location
+                entry = disk.read_record(inv1_extent, record_id)
+                entries_fetched += 1
+                buffer.insert(
+                    term,
+                    entry,
+                    entry.n_bytes + TERM_NUMBER_BYTES,
+                    priority=df2.get(term, 0),
+                )
+            cpu_ops += len(entry.postings)
+            if inner_filter is None:
+                for inner_id, inner_weight in entry.postings:
+                    accumulator.add(inner_id, weight * inner_weight)
+            else:
+                for inner_id, inner_weight in entry.postings:
+                    if inner_id in inner_filter:
+                        accumulator.add(inner_id, weight * inner_weight)
+
+        tracker = TopK(spec.lam)
+        if norms1 is None:
+            for inner_id, similarity in accumulator.items():
+                tracker.offer(inner_id, similarity)
+        else:
+            outer_norm = norms2[outer_id]
+            for inner_id, similarity in accumulator.items():
+                denominator = norms1[inner_id] * outer_norm
+                tracker.offer(inner_id, similarity / denominator if denominator else 0.0)
+        matches[outer_id] = tracker.results()
+
+    return TextJoinResult(
+        algorithm="HVNL",
+        spec=spec,
+        matches=matches,
+        io=disk.stats.delta(io_start),
+        extras={
+            "entry_budget_bytes": budget_bytes,
+            "bulk_loaded": bulk_loaded,
+            "btree_pages": btree_pages,
+            "entries_fetched": entries_fetched,
+            "buffer_hits": buffer.hits,
+            "buffer_misses": buffer.misses,
+            "buffer_evictions": buffer.evictions,
+            "buffer_hit_rate": buffer.hit_rate,
+            "peak_accumulator_cells": accumulator.peak_cells,
+            "interference": interference,
+            "cpu_ops": cpu_ops,
+        },
+    )

@@ -1,0 +1,131 @@
+"""The integrated algorithm (paper Sections 6 and 7).
+
+"Since no one algorithm is definitely better than all other algorithms,
+we proposed the idea of constructing an integrated algorithm consisting
+of the basic algorithms such that a particular basic algorithm is invoked
+if it has the lowest estimated cost."
+
+:class:`IntegratedJoin` does exactly that over a
+:class:`~repro.core.join.JoinEnvironment`: build the statistics, evaluate
+all six cost formulas, pick the cheapest feasible algorithm under the
+chosen I/O scenario, and dispatch to its executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.hhnl import run_hhnl, run_hhnl_backward
+from repro.core.hvnl import run_hvnl
+from repro.core.join import JoinEnvironment, TextJoinResult, TextJoinSpec
+from repro.core.vvm import run_vvm
+from repro.cost.model import CostModel, CostReport
+from repro.cost.params import QueryParams, SystemParams
+from repro.errors import JoinError
+
+
+@dataclass(frozen=True)
+class IntegratedDecision:
+    """The optimizer's verdict for one join configuration."""
+
+    chosen: str
+    scenario: str
+    report: CostReport
+
+    @property
+    def estimated_cost(self) -> float:
+        return self.report[self.chosen].cost(self.scenario)
+
+
+@dataclass
+class IntegratedJoin:
+    """Estimate, choose, execute.
+
+    ``scenario`` selects which cost variant drives the choice:
+    ``"sequential"`` assumes dedicated devices, ``"random"`` the
+    worst-case shared device.  ``use_measured_q=True`` derives ``q`` from
+    the actual vocabularies instead of the Section 6 analytic model —
+    the executable environment knows the truth, so the optimizer may use
+    it; set it False to reproduce the paper's setting.
+
+    Only the forward order is considered (C2 outer), matching the paper's
+    scope; the backward order changes nothing semantically but was left
+    to the technical report.
+    """
+
+    environment: JoinEnvironment
+    system: SystemParams = field(default_factory=SystemParams)
+    scenario: str = "sequential"
+    use_measured_q: bool = True
+    delta: float = 0.1
+    #: also consider HHNL in backward order (the [11] extension; the
+    #: paper's own simulations use forward order only)
+    consider_backward: bool = False
+
+    def decide(
+        self,
+        spec: TextJoinSpec,
+        outer_ids: Sequence[int] | None = None,
+        inner_ids: Sequence[int] | None = None,
+    ) -> IntegratedDecision:
+        """Evaluate all six formulas and pick the cheapest algorithm."""
+        side1, side2 = self.environment.cost_sides(outer_ids, inner_ids)
+        query = QueryParams(lam=spec.lam, delta=self.delta)
+        q = self.environment.measured_q() if self.use_measured_q else None
+        p = self.environment.measured_p() if self.use_measured_q else None
+        model = CostModel(side1, side2, self.system, query, p=p, q=q)
+        report = model.report(
+            label="integrated", include_backward=self.consider_backward
+        )
+        return IntegratedDecision(
+            chosen=report.winner(self.scenario), scenario=self.scenario, report=report
+        )
+
+    def run(
+        self,
+        spec: TextJoinSpec,
+        outer_ids: Sequence[int] | None = None,
+        *,
+        inner_ids: Sequence[int] | None = None,
+        interference: bool = False,
+    ) -> TextJoinResult:
+        """Choose and execute; the decision rides along in ``extras``."""
+        decision = self.decide(spec, outer_ids, inner_ids)
+        if decision.chosen == "HHNL":
+            result = run_hhnl(
+                self.environment, spec, self.system,
+                outer_ids=outer_ids, inner_ids=inner_ids,
+                interference=interference,
+            )
+        elif decision.chosen == "HHNL-BWD":
+            # the backward executor predates inner selections; fall back
+            # to filtering via the forward runner when one is requested
+            if inner_ids is not None:
+                result = run_hhnl(
+                    self.environment, spec, self.system,
+                    outer_ids=outer_ids, inner_ids=inner_ids,
+                    interference=interference,
+                )
+            else:
+                result = run_hhnl_backward(
+                    self.environment, spec, self.system,
+                    outer_ids=outer_ids, interference=interference,
+                )
+        elif decision.chosen == "HVNL":
+            result = run_hvnl(
+                self.environment, spec, self.system,
+                outer_ids=outer_ids, inner_ids=inner_ids,
+                interference=interference, delta=self.delta,
+            )
+        elif decision.chosen == "VVM":
+            result = run_vvm(
+                self.environment, spec, self.system,
+                outer_ids=outer_ids, inner_ids=inner_ids,
+                interference=interference, delta=self.delta,
+            )
+        else:  # pragma: no cover — the report only emits the three names
+            raise JoinError(f"unknown algorithm {decision.chosen!r}")
+        result.extras["decision"] = decision
+        result.extras["estimated_cost"] = decision.estimated_cost
+        return result

@@ -1,0 +1,63 @@
+"""Top-``lambda`` similarity tracking.
+
+Every algorithm ends the same way per outer document: keep the ``lambda``
+inner documents with the largest similarities (Section 4.1's "replace the
+smallest of the lambda largest similarities").  Ties are broken toward
+the smaller document number so all three executors return bit-identical
+results — an invariant the integration tests rely on.
+
+Only strictly positive similarities qualify: a pair sharing no terms is
+not "similar", and the inverted-file algorithms never even see such
+pairs, so admitting zeros in HHNL would make the algorithms disagree.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class TopK:
+    """A bounded max-similarity tracker for one outer document.
+
+    Internally a min-heap of ``(similarity, -doc_id)`` so the *worst*
+    retained candidate — smallest similarity, largest doc id among equals
+    — sits at the root and is evicted first.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._heap: list[tuple[float, int]] = []
+
+    def offer(self, doc_id: int, similarity: float) -> bool:
+        """Consider a candidate; returns True if it was retained."""
+        if similarity <= 0.0:
+            return False
+        entry = (similarity, -doc_id)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def threshold(self) -> float:
+        """Smallest similarity that currently survives (0.0 while unfilled)."""
+        if len(self._heap) < self.k:
+            return 0.0
+        return self._heap[0][0]
+
+    def results(self) -> list[tuple[int, float]]:
+        """``(doc_id, similarity)`` best-first; ties by ascending doc id."""
+        ordered = sorted(self._heap, key=lambda e: (-e[0], -e[1]))
+        return [(-neg_id, sim) for sim, neg_id in ordered]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return f"TopK(k={self.k}, held={len(self._heap)})"

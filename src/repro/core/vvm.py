@@ -1,0 +1,162 @@
+"""VVM executor (paper Sections 4.3 and 5.3).
+
+One synchronized scan of both inverted files, merged on term number (the
+files are stored in increasing term order, so this is the merge phase of
+sort-merge).  Whenever both files carry an entry for the same term, every
+posting pair contributes ``u_p * v_q`` to the similarity accumulator of
+documents ``(r_p, s_q)``.
+
+When the accumulator would not fit (``SM > M``), the outer collection is
+split into ``ceil(SM / M)`` sub-collections and the whole merge scan is
+repeated per sub-collection — the Section 4.3 extension, and the source
+of VVM's multiplicative cost blow-up on document-rich collections.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.accumulator import PairAccumulator
+from repro.core.join import (
+    JoinEnvironment,
+    TextJoinResult,
+    TextJoinSpec,
+    resolve_inner_ids,
+    resolve_outer_ids,
+)
+from repro.core.topk import TopK
+from repro.cost.params import QueryParams, SystemParams
+from repro.cost.vvm import vvm_passes
+from repro.errors import JoinError
+
+
+def run_vvm(
+    environment: JoinEnvironment,
+    spec: TextJoinSpec,
+    system: SystemParams,
+    *,
+    outer_ids: Sequence[int] | None = None,
+    inner_ids: Sequence[int] | None = None,
+    interference: bool = False,
+    delta: float = 0.1,
+) -> TextJoinResult:
+    """Execute VVM over both inverted files.
+
+    ``delta`` feeds the pass-count calculation exactly as in the cost
+    model; the measured non-zero fraction is reported in
+    ``extras['measured_delta']`` so the estimate can be checked.
+    ``inner_ids`` filters C1 postings during accumulation; the inverted
+    files are still scanned whole (Section 5.4: selections do not shrink
+    them).
+    """
+    if environment.inverted1 is None or environment.inverted2 is None:
+        raise JoinError("VVM needs inverted files on both collections")
+    outer_ids = resolve_outer_ids(environment, outer_ids)
+    inner_ids = resolve_inner_ids(environment, inner_ids)
+    inner_filter = set(inner_ids) if inner_ids is not None else None
+    side1, side2 = environment.cost_sides(outer_ids, inner_ids)
+    query = QueryParams(lam=spec.lam, delta=delta)
+    passes, sm_pages, m_pages = vvm_passes(side1, side2, system, query)
+
+    disk = environment.disk
+    io_start = disk.stats.snapshot()
+    inv1_extent, inv2_extent = environment.inv1_extent, environment.inv2_extent
+
+    participating = (
+        outer_ids
+        if outer_ids is not None
+        else list(range(environment.collection2.n_documents))
+    )
+    norms1 = environment.norms1() if spec.normalized else None
+    norms2 = environment.norms2() if spec.normalized else None
+
+    # Split the outer documents into `passes` near-equal sub-collections.
+    # Rounding can leave fewer (never more) chunks than the modelled pass
+    # count; each chunk costs one merge scan, so the chunk count is the
+    # number that matters.
+    chunk_size = -(-len(participating) // passes) if participating else 1
+    chunks = [
+        participating[start : start + chunk_size]
+        for start in range(0, len(participating), chunk_size)
+    ] or [[]]
+    actual_passes = len(chunks)
+
+    matches: dict[int, list[tuple[int, float]]] = {}
+    accumulator = PairAccumulator()
+    peak_cells_overall = 0
+    cpu_ops = 0  # posting-pair products, the unit of repro.cost.cpu
+
+    for chunk in chunks:
+        accumulator.clear()
+        chunk_set = set(chunk)
+
+        scan1 = disk.scan_records(inv1_extent, interference=interference)
+        scan2 = disk.scan_records(inv2_extent, interference=interference)
+        entry1 = next(scan1, None)
+        entry2 = next(scan2, None)
+        while entry1 is not None and entry2 is not None:
+            term1 = entry1[1].term
+            term2 = entry2[1].term
+            if term1 == term2:
+                postings1 = entry1[1].postings
+                if inner_filter is not None:
+                    postings1 = tuple(
+                        cell for cell in postings1 if cell[0] in inner_filter
+                    )
+                for outer_doc, outer_weight in entry2[1].postings:
+                    if outer_doc not in chunk_set:
+                        continue
+                    cpu_ops += len(postings1)
+                    for inner_doc, inner_weight in postings1:
+                        accumulator.add(outer_doc, inner_doc, outer_weight * inner_weight)
+                entry1 = next(scan1, None)
+                entry2 = next(scan2, None)
+            elif term1 < term2:
+                entry1 = next(scan1, None)
+            else:
+                entry2 = next(scan2, None)
+        # Drain the remainder of both scans: the merge reads each file to
+        # its end (the cost model charges the full I1 + I2 per pass).
+        for _ in scan1:
+            pass
+        for _ in scan2:
+            pass
+
+        for outer_doc in chunk:
+            tracker = TopK(spec.lam)
+            row = accumulator.row(outer_doc)
+            if norms1 is None:
+                for inner_doc, similarity in row.items():
+                    tracker.offer(inner_doc, similarity)
+            else:
+                outer_norm = norms2[outer_doc]
+                for inner_doc, similarity in row.items():
+                    denominator = norms1[inner_doc] * outer_norm
+                    tracker.offer(
+                        inner_doc, similarity / denominator if denominator else 0.0
+                    )
+            matches[outer_doc] = tracker.results()
+        peak_cells_overall = max(peak_cells_overall, accumulator.peak_cells)
+
+    n1 = environment.collection1.n_documents
+    measured_delta = (
+        peak_cells_overall * actual_passes / (n1 * len(participating))
+        if n1 and participating
+        else 0.0
+    )
+    return TextJoinResult(
+        algorithm="VVM",
+        spec=spec,
+        matches=matches,
+        io=disk.stats.delta(io_start),
+        extras={
+            "passes": actual_passes,
+            "modelled_passes": passes,
+            "modelled_accumulator_pages": sm_pages,
+            "memory_pages": m_pages,
+            "peak_accumulator_cells": peak_cells_overall,
+            "measured_delta": min(measured_delta, 1.0),
+            "interference": interference,
+            "cpu_ops": cpu_ops,
+        },
+    )

@@ -1,0 +1,75 @@
+"""Analytical I/O cost models (paper Section 5).
+
+For each algorithm the paper derives two costs: an all-sequential
+estimate (``hhs``, ``hvs``, ``vvs``) and a worst-case estimate where the
+I/O device is shared with other jobs and reads become random (``hhr``,
+``hvr``, ``vvr``).  This subpackage implements the six formulas exactly,
+plus the Section 6 term-overlap probability model for ``p``/``q`` and the
+parameter dataclasses everything shares.
+
+Entry point: :class:`repro.cost.model.CostModel`.
+"""
+
+from repro.cost.communication import (
+    CommunicationCost,
+    ExecutionSite,
+    best_site,
+    communication_cost,
+    communication_report,
+)
+from repro.cost.cpu import (
+    CpuCost,
+    cpu_report,
+    hhnl_cpu_cost,
+    hvnl_cpu_cost,
+    vvm_cpu_cost,
+)
+from repro.cost.hhnl import (
+    hhnl_backward_cost,
+    hhnl_backward_memory_capacity,
+    hhnl_cost,
+    hhnl_memory_capacity,
+)
+from repro.cost.hvnl import (
+    distinct_terms_in_documents,
+    hvnl_cost,
+    hvnl_memory_capacity,
+)
+from repro.cost.model import AlgorithmCost, CostModel, CostReport
+from repro.cost.overlap import overlap_probability, overlap_probabilities
+from repro.cost.parallel import ParallelCost, parallel_cost, parallel_report
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.cost.vvm import vvm_cost, vvm_passes
+
+__all__ = [
+    "AlgorithmCost",
+    "CommunicationCost",
+    "CostModel",
+    "CostReport",
+    "CpuCost",
+    "ExecutionSite",
+    "JoinSide",
+    "ParallelCost",
+    "QueryParams",
+    "SystemParams",
+    "best_site",
+    "communication_cost",
+    "communication_report",
+    "cpu_report",
+    "distinct_terms_in_documents",
+    "hhnl_backward_cost",
+    "hhnl_backward_memory_capacity",
+    "hhnl_cost",
+    "hhnl_cpu_cost",
+    "hhnl_memory_capacity",
+    "hvnl_cost",
+    "hvnl_cpu_cost",
+    "hvnl_memory_capacity",
+    "overlap_probabilities",
+    "overlap_probability",
+    "parallel_cost",
+    "parallel_report",
+    "vvm_cost",
+    "vvm_cpu_cost",
+    "vvm_passes",
+]

@@ -1,0 +1,144 @@
+"""Communication cost models (future-work item 2, second half).
+
+The paper's setting is a multidatabase: C1 and C2 live in *different
+local systems*, so evaluating the join means shipping data between
+sites.  Section 3 already contains the key observation — with the
+standard term numbering "no actual terms need to be transferred", so
+what moves over the network is exactly the packed pages this library
+accounts everywhere else.
+
+The model: three sites (site 1 holds C1 + its index, site 2 holds C2 +
+its index, and the join executes at one of them or at a third
+*mediator*).  Network transfer costs ``beta`` per page — expressed in
+the same units as a sequential page read so it composes with the I/O
+formulas.
+
+What each algorithm must ship depends on the execution site:
+
+* executing at site 1: HHNL/HVNL ship C2's participating documents
+  (``D2`` or the selected pages); VVM ships C2's inverted file ``I2``
+  once per pass (re-scans re-read locally only if the receiver spools —
+  we assume it spools, so one shipment).
+* executing at site 2: mirror image (HHNL ships ``D1`` per *scan* if
+  not spooled; we assume spooling, one shipment of ``D1``/``I1``).
+* executing at a mediator: both sides ship once.
+
+Result shipping (the ``lambda * N2`` matched ids) is negligible and
+charged as ``8 bytes * lambda * N2 / P`` pages for completeness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.constants import SIMILARITY_VALUE_BYTES
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+
+
+class ExecutionSite(enum.Enum):
+    """Where the join runs in the multidatabase."""
+
+    SITE1 = "site1"  # where C1 (the inner collection) lives
+    SITE2 = "site2"  # where C2 (the outer collection) lives
+    MEDIATOR = "mediator"  # a third site; both collections ship
+
+
+@dataclass(frozen=True)
+class CommunicationCost:
+    """Pages shipped and the resulting cost at ``beta`` per page."""
+
+    algorithm: str
+    site: ExecutionSite
+    shipped_pages: float
+
+    def cost(self, beta: float) -> float:
+        """Shipped pages priced at ``beta`` sequential-read units each."""
+        if beta < 0:
+            raise ValueError(f"beta must be non-negative, got {beta}")
+        return self.shipped_pages * beta
+
+
+def _result_pages(side2: JoinSide, query: QueryParams, page_bytes: int) -> float:
+    """Shipping the join result back: two ids + similarity per match."""
+    matches = query.lam * side2.n_participating
+    return 2 * SIMILARITY_VALUE_BYTES * matches / page_bytes
+
+
+def _participating_document_pages(side: JoinSide) -> float:
+    """Pages of the participating documents (selected docs ship whole
+    pages, like the random-read accounting)."""
+    import math
+
+    stats = side.stats
+    if not side.is_selected:
+        return stats.D
+    per_doc = math.ceil(stats.S) if stats.S > 0 else 0
+    return min(stats.D, side.n_participating * per_doc)
+
+
+def communication_cost(
+    algorithm: str,
+    side1: JoinSide,
+    side2: JoinSide,
+    query: QueryParams,
+    system: SystemParams,
+    site: ExecutionSite = ExecutionSite.SITE1,
+) -> CommunicationCost:
+    """Pages crossing the network for one algorithm at one site.
+
+    Each remote input ships exactly once (the executing site spools it
+    to local disk, whose re-reads the I/O formulas already price).
+    """
+    d1 = _participating_document_pages(side1)
+    d2 = _participating_document_pages(side2)
+    i1, i2 = side1.stats.I, side2.stats.I
+    bt1 = side1.stats.Bt
+    result = _result_pages(side2, query, system.page_bytes)
+
+    if algorithm == "HHNL":
+        needs = {"C1-docs": d1, "C2-docs": d2}
+    elif algorithm == "HVNL":
+        needs = {"C1-inv": i1 + bt1, "C2-docs": d2}
+    elif algorithm == "VVM":
+        needs = {"C1-inv": i1, "C2-inv": i2}
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    local_at = {
+        ExecutionSite.SITE1: {"C1-docs", "C1-inv"},
+        ExecutionSite.SITE2: {"C2-docs", "C2-inv"},
+        ExecutionSite.MEDIATOR: set(),
+    }[site]
+    shipped = sum(pages for label, pages in needs.items() if label not in local_at)
+    # the result returns to the global user through the mediator either way
+    shipped += result
+    return CommunicationCost(algorithm=algorithm, site=site, shipped_pages=shipped)
+
+
+def best_site(
+    algorithm: str,
+    side1: JoinSide,
+    side2: JoinSide,
+    query: QueryParams,
+    system: SystemParams,
+) -> CommunicationCost:
+    """The execution site minimising shipped pages for one algorithm."""
+    candidates = [
+        communication_cost(algorithm, side1, side2, query, system, site)
+        for site in ExecutionSite
+    ]
+    return min(candidates, key=lambda c: c.shipped_pages)
+
+
+def communication_report(
+    side1: JoinSide,
+    side2: JoinSide,
+    query: QueryParams,
+    system: SystemParams,
+) -> dict[str, CommunicationCost]:
+    """Cheapest-site communication cost per algorithm."""
+    return {
+        name: best_site(name, side1, side2, query, system)
+        for name in ("HHNL", "HVNL", "VVM")
+    }

@@ -1,0 +1,125 @@
+"""CPU cost models (the paper's future-work item 2, first half).
+
+Section 3 restricts the analysis to I/O "as if we have a centralized
+environment where I/O cost dominates CPU cost".  This module supplies
+the missing CPU term so the trade-off can be studied: each algorithm's
+work is counted in *cell operations* — one d-cell/i-cell comparison or
+one multiply-accumulate — which is the unit all three algorithms share.
+
+Per algorithm (forward order, unselected; selections substitute the
+participating counts):
+
+* **HHNL** compares every document pair with a sorted-list merge:
+  roughly ``K1 + K2`` cell comparisons per pair, ``N1 * N2`` pairs.
+* **HVNL** walks, for each outer document, the posting lists of its
+  ``K2 * q`` matched terms: the expected posting length is
+  ``K1 * N1 / T1``, each posting costing one multiply-accumulate; plus
+  a B+-tree probe per term (``log2 T1`` comparisons).
+* **VVM** multiplies posting lists pairwise for each shared term:
+  ``sum over shared terms of df1(t) * df2(t)``; with uniform postings
+  that is ``p * T1 * (K1*N1/T1) * (K2*N2/T2)`` multiply-accumulates per
+  pass, all passes repeating the scan *and* the merge.
+
+The executors in :mod:`repro.core` report their measured operation
+counts (``extras['cpu_ops']``) so these estimates are testable, exactly
+like the I/O formulas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.cost.vvm import vvm_passes
+from repro.errors import InsufficientMemoryError
+
+
+@dataclass(frozen=True)
+class CpuCost:
+    """Estimated CPU work, split so the executors can validate it.
+
+    ``cell_operations`` are the merge comparisons / multiply-accumulates
+    the executors count in ``extras['cpu_ops']``; ``overhead_operations``
+    are index-probe comparisons (B+-tree descents) the executors perform
+    but do not itemise.
+    """
+
+    algorithm: str
+    cell_operations: float
+    overhead_operations: float = 0.0
+
+    @property
+    def total_operations(self) -> float:
+        return self.cell_operations + self.overhead_operations
+
+    def combined(self, io_cost: float, ops_per_io_unit: float) -> float:
+        """Total cost with CPU folded in.
+
+        ``ops_per_io_unit`` calibrates how many cell operations take as
+        long as one sequential page read (hardware-dependent; 1e5-1e6 is
+        a sensible 1996-era range).
+        """
+        if ops_per_io_unit <= 0:
+            raise ValueError("ops_per_io_unit must be positive")
+        return io_cost + self.total_operations / ops_per_io_unit
+
+
+def hhnl_cpu_cost(side1: JoinSide, side2: JoinSide) -> CpuCost:
+    """Merge comparisons over all document pairs."""
+    s1, s2 = side1.stats, side2.stats
+    pairs = side1.n_participating * side2.n_participating
+    per_pair = s1.K + s2.K
+    return CpuCost("HHNL", pairs * per_pair)
+
+
+def hvnl_cpu_cost(side1: JoinSide, side2: JoinSide, q: float) -> CpuCost:
+    """Posting-list accumulation plus B+-tree probes per outer term."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    s1, s2 = side1.stats, side2.stats
+    n2 = side2.n_participating
+    avg_posting = (s1.K * s1.N / s1.T) if s1.T else 0.0
+    probes = n2 * s2.K * math.log2(s1.T) if s1.T > 1 else 0.0
+    accumulates = n2 * s2.K * q * avg_posting
+    return CpuCost("HVNL", accumulates, overhead_operations=probes)
+
+
+def vvm_cpu_cost(
+    side1: JoinSide,
+    side2: JoinSide,
+    system: SystemParams,
+    query: QueryParams,
+    p: float,
+) -> CpuCost:
+    """Pairwise posting products over shared terms, once per pass."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    s1, s2 = side1.stats, side2.stats
+    if s1.T == 0 or s2.T == 0:
+        return CpuCost("VVM", 0.0)
+    shared_terms = p * s1.T
+    posting1 = s1.K * s1.N / s1.T
+    posting2 = s2.K * side2.n_participating / s2.T
+    per_pass = shared_terms * posting1 * posting2
+    try:
+        passes, _, _ = vvm_passes(side1, side2, system, query)
+    except InsufficientMemoryError:
+        return CpuCost("VVM", float("inf"))
+    return CpuCost("VVM", per_pass * passes)
+
+
+def cpu_report(
+    side1: JoinSide,
+    side2: JoinSide,
+    system: SystemParams,
+    query: QueryParams,
+    p: float,
+    q: float,
+) -> dict[str, CpuCost]:
+    """All three CPU estimates keyed by algorithm name."""
+    return {
+        "HHNL": hhnl_cpu_cost(side1, side2),
+        "HVNL": hvnl_cpu_cost(side1, side2, q),
+        "VVM": vvm_cpu_cost(side1, side2, system, query, p),
+    }

@@ -1,0 +1,195 @@
+"""HHNL cost model (paper Section 5.1).
+
+With C2 as the outer collection and a buffer of ``B`` pages, the number
+of outer documents held at once is::
+
+    X = (B - ceil(S1)) / (S2 + 4*lambda/P)
+
+(one inner document must stay resident, and each buffered outer document
+carries its top-``lambda`` similarity list, 4 bytes per value).  The
+inner collection is scanned once per outer chunk::
+
+    hhs = D2 + ceil(N2 / X) * D1                                  (HHS1)
+
+The worst case adds interference: each resumption of an interrupted scan
+costs a seek, so per outer chunk there is one random read for the chunk
+itself plus ``min(D1, N1)`` random reads inside the inner scan::
+
+    hhr = hhs + ceil(N2/X) * (1 + min(D1, N1)) * (alpha - 1)       N2 >= X
+    hhr = hhs + ceil(D1 / ((X - N2) * S2)) * (alpha - 1)           N2 <  X
+
+(the second case: all of C2 fits, so the leftover buffer reads C1 in
+blocks and only each block start can seek).
+
+Selections (Group 3) replace the sequential ``D`` terms with random
+fetches of the surviving documents — see
+:meth:`repro.cost.params.JoinSide.document_read_cost`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import SIMILARITY_VALUE_BYTES
+from repro.errors import InsufficientMemoryError
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+
+
+@dataclass(frozen=True)
+class HHNLCost:
+    """Both cost variants plus the intermediate quantities, for reporting."""
+
+    sequential: float
+    random: float
+    outer_chunk_docs: int
+    inner_scans: int
+    order: str = "forward"
+
+    @property
+    def x(self) -> int:
+        """The paper's ``X`` — outer documents buffered at once."""
+        return self.outer_chunk_docs
+
+
+def hhnl_memory_capacity(
+    side1: JoinSide, side2: JoinSide, system: SystemParams, query: QueryParams
+) -> int:
+    """``X``: outer (C2) documents the buffer can hold at once.
+
+    Raises :class:`InsufficientMemoryError` when not even one outer
+    document fits next to one inner document.
+    """
+    s1, s2 = side1.stats.S, side2.stats.S
+    reserved = math.ceil(s1) if s1 > 0 else 0
+    per_doc = s2 + SIMILARITY_VALUE_BYTES * query.lam / system.page_bytes
+    available = system.buffer_pages - reserved
+    if per_doc <= 0:  # degenerate: empty outer documents cost nothing
+        return side2.n_participating or 1
+    x = int(available / per_doc)
+    if x < 1:
+        raise InsufficientMemoryError(
+            f"HHNL needs at least ceil(S1)={reserved} + {per_doc:.4f} pages, "
+            f"buffer is {system.buffer_pages}"
+        )
+    return x
+
+
+def hhnl_cost(
+    side1: JoinSide, side2: JoinSide, system: SystemParams, query: QueryParams
+) -> HHNLCost:
+    """Evaluate HHS1 and the matching worst-case formula.
+
+    ``side1`` is the inner collection C1, ``side2`` the outer C2
+    (the paper's *forward order*; swap the sides for backward order).
+    """
+    alpha = system.alpha
+    stats1, stats2 = side1.stats, side2.stats
+    n2 = side2.n_participating
+    x = hhnl_memory_capacity(side1, side2, system, query)
+    inner_scans = math.ceil(n2 / x) if n2 > 0 else 0
+
+    outer_read = side2.document_read_cost(alpha)
+    inner_scan_once = side1.document_read_cost(alpha)
+    hhs = outer_read + inner_scans * inner_scan_once
+
+    # Worst case: interference turns scan resumptions into seeks.  A
+    # selected side already pays random reads in `document_read_cost`,
+    # so the interference surcharge applies only to sequential portions.
+    inner_random_starts = (
+        min(stats1.D, stats1.N) if not side1.is_selected else 0.0
+    )
+    outer_random_starts = 0.0 if side2.is_selected else 1.0
+    if inner_scans == 0:
+        extra = 0.0
+    elif n2 >= x:
+        extra = inner_scans * (outer_random_starts + inner_random_starts) * (alpha - 1)
+    else:
+        # All outer documents fit; the leftover buffer reads C1 in blocks.
+        block_pages = (x - n2) * stats2.S
+        if block_pages > 0 and stats1.D > 0:
+            blocks = math.ceil(stats1.D / block_pages)
+            extra = min(blocks, min(stats1.D, stats1.N)) * (alpha - 1)
+        elif stats1.D > 0:
+            extra = inner_random_starts * (alpha - 1)
+        else:
+            extra = 0.0
+    hhr = hhs + extra
+    return HHNLCost(
+        sequential=hhs, random=hhr, outer_chunk_docs=x, inner_scans=inner_scans
+    )
+
+
+def hhnl_backward_memory_capacity(
+    side1: JoinSide, side2: JoinSide, system: SystemParams, query: QueryParams
+) -> int:
+    """``X`` for the *backward* order: C1 documents buffered at once.
+
+    Backward order (Section 2) drives the loop by C1 while the join
+    semantics stay per-C2-document, so *every* C2 document's running
+    top-``lambda`` list must live in memory for the whole join —
+    ``4 * lambda * N2 / P`` pages — next to one resident C2 document.
+    """
+    s1, s2 = side1.stats.S, side2.stats.S
+    reserved = (
+        (math.ceil(s2) if s2 > 0 else 0)
+        + SIMILARITY_VALUE_BYTES * query.lam * side2.n_participating / system.page_bytes
+    )
+    available = system.buffer_pages - reserved
+    if s1 <= 0:
+        return side1.n_participating or 1
+    x = int(available / s1)
+    if x < 1:
+        raise InsufficientMemoryError(
+            f"backward HHNL needs {reserved:.1f} pages reserved (including "
+            f"{query.lam}*N2 similarity slots) plus one C1 document; "
+            f"buffer is {system.buffer_pages}"
+        )
+    return x
+
+
+def hhnl_backward_cost(
+    side1: JoinSide, side2: JoinSide, system: SystemParams, query: QueryParams
+) -> HHNLCost:
+    """HHNL in backward order: C1 is chunked, C2 is scanned per chunk.
+
+    ``hhs_b = D1 + ceil(N1 / X) * D2``, the mirror of HHS1.  The paper
+    defers this order to the technical report with the remark that it
+    "can be more efficient if C1 is much smaller than C2"; the formula
+    shows why — the repeated-scan factor moves onto the small side, at
+    the price of the ``4*lambda*N2/P`` memory reservation.
+    """
+    alpha = system.alpha
+    stats1, stats2 = side1.stats, side2.stats
+    n1 = side1.n_participating
+    x = hhnl_backward_memory_capacity(side1, side2, system, query)
+    scans = math.ceil(n1 / x) if n1 > 0 else 0
+
+    loop_read = side1.document_read_cost(alpha)
+    scanned_once = side2.document_read_cost(alpha)
+    hhs = loop_read + scans * scanned_once
+
+    scanned_random_starts = (
+        min(stats2.D, stats2.N) if not side2.is_selected else 0.0
+    )
+    loop_random_starts = 0.0 if side1.is_selected else 1.0
+    if scans == 0:
+        extra = 0.0
+    elif n1 >= x:
+        extra = scans * (loop_random_starts + scanned_random_starts) * (alpha - 1)
+    else:
+        block_pages = (x - n1) * stats1.S
+        if block_pages > 0 and stats2.D > 0:
+            blocks = math.ceil(stats2.D / block_pages)
+            extra = min(blocks, min(stats2.D, stats2.N)) * (alpha - 1)
+        elif stats2.D > 0:
+            extra = scanned_random_starts * (alpha - 1)
+        else:
+            extra = 0.0
+    return HHNLCost(
+        sequential=hhs,
+        random=hhs + extra,
+        outer_chunk_docs=x,
+        inner_scans=scans,
+        order="backward",
+    )

@@ -1,0 +1,234 @@
+"""HVNL cost model (paper Section 5.2).
+
+Memory layout while HVNL runs: one outer document (``ceil(S2)``), the
+whole B+-tree of the inner collection (``Bt1``), the non-zero similarity
+accumulators (``4 * N1 * delta / P``) and the term list of the resident
+entries (``|t#|/P`` per entry), leaving room for ``X`` inverted-file
+entries::
+
+    X = floor( (B - ceil(S2) - Bt1 - 4*N1*delta/P) / (J1 + |t#|/P) )
+
+Three regimes follow (the paper's three-case ``hvs``):
+
+1. ``X >= T1`` — the whole inverted file fits: either scan it in
+   sequentially (``I1``) or fetch just the ``T2 * q`` needed entries at
+   random (``ceil(J1) * alpha`` each); take the cheaper.
+2. ``T1 > X >= T2 * q`` — all *needed* entries fit: fetch each once.
+3. ``X < T2 * q`` — thrashing: the buffer fills after the first
+   ``s + X1 - 1`` outer documents; each later document forces ``Y`` fresh
+   fetches.  ``s``, ``X1`` and ``Y`` come from the vocabulary-growth
+   model ``f(m) = T2 - T2 * (1 - K2/T2)**m`` (expected distinct terms in
+   ``m`` outer documents).
+
+The worst-case ``hvr`` adds random reads for the outer scan: leftover
+memory after the entries lets C2 be read in blocks (cases 1-2), and with
+no leftover every document read can seek (case 3, ``min(D2, N2)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import SIMILARITY_VALUE_BYTES, TERM_NUMBER_BYTES
+from repro.errors import InsufficientMemoryError
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+
+
+@dataclass(frozen=True)
+class HVNLCost:
+    """Both cost variants plus the regime diagnostics."""
+
+    sequential: float
+    random: float
+    entry_capacity: int
+    regime: str  # 'all-entries-fit' | 'needed-entries-fit' | 'thrashing'
+    fill_document: float | None = None  # the paper's s (thrashing only)
+    fill_fraction: float | None = None  # the paper's X1
+    fetches_per_document: float | None = None  # the paper's Y
+
+    @property
+    def x(self) -> int:
+        """The paper's ``X`` — inverted-file entries buffered at once."""
+        return self.entry_capacity
+
+
+def distinct_terms_in_documents(m: float, k: float, t: float) -> float:
+    """The paper's ``f(m) = T - T * (1 - K/T)**m``.
+
+    Expected number of distinct terms across ``m`` documents of ``K``
+    average distinct terms drawn from a ``T``-term vocabulary.  Defined
+    for real ``m >= 0`` (the paper evaluates it at ``s + X1``).
+    """
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    if t <= 0 or k <= 0:
+        return 0.0
+    ratio = max(0.0, 1.0 - k / t)
+    return t * (1.0 - ratio**m)
+
+
+def hvnl_memory_capacity(
+    side1: JoinSide, side2: JoinSide, system: SystemParams, query: QueryParams
+) -> int:
+    """``X``: inner inverted-file entries the buffer can hold at once."""
+    stats1, stats2 = side1.stats, side2.stats
+    reserved = (
+        (math.ceil(stats2.S) if stats2.S > 0 else 0)
+        + stats1.Bt
+        + SIMILARITY_VALUE_BYTES * side1.n_participating * query.delta / system.page_bytes
+    )
+    available = system.buffer_pages - reserved
+    if available < 0:
+        raise InsufficientMemoryError(
+            f"HVNL needs {reserved:.1f} pages for the outer document, B+-tree "
+            f"and similarity accumulators; buffer is {system.buffer_pages}"
+        )
+    per_entry = stats1.J + TERM_NUMBER_BYTES / system.page_bytes
+    if per_entry <= 0:
+        return stats1.T or 1
+    return int(available / per_entry)
+
+
+def _blocked_outer_random_reads(d2: float, leftover_pages: float, n2: int) -> float:
+    """Random reads for the outer collection, given leftover buffer pages.
+
+    ``ceil(D2 / leftover)`` block seeks, never more than one seek per
+    document (or per page when documents are sub-page) — the paper's
+    ``min(D2, N2)`` bound.
+    """
+    if d2 <= 0 or n2 <= 0:
+        return 0.0
+    per_read_bound = min(d2, float(n2))
+    if leftover_pages <= 0:
+        return per_read_bound
+    return min(math.ceil(d2 / leftover_pages), per_read_bound)
+
+
+def hvnl_cost(
+    side1: JoinSide,
+    side2: JoinSide,
+    system: SystemParams,
+    query: QueryParams,
+    q: float,
+) -> HVNLCost:
+    """Evaluate ``hvs``/``hvr`` for inner C1 (inverted) and outer C2 (docs).
+
+    ``q`` is the probability that an outer term also appears in C1
+    (Section 6 model or measured).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    alpha = system.alpha
+    stats1, stats2 = side1.stats, side2.stats
+    n2 = side2.n_participating
+    x = hvnl_memory_capacity(side1, side2, system, query)
+    cj1 = math.ceil(stats1.J) if stats1.J > 0 else 0
+    bt1 = stats1.Bt
+    d2_read = side2.document_read_cost(alpha)
+    d2 = stats2.D
+    # Entries ever touched: q * (distinct terms among the participating
+    # documents).  For a full collection f(N2) ~= T2, recovering the
+    # paper's ``T2 * q``; for a Group 3 selection only the survivors'
+    # terms matter.
+    needed = q * distinct_terms_in_documents(n2, stats2.K, stats2.T)
+
+    # A selected outer side already pays random document reads inside
+    # d2_read, so the hvr surcharge on outer reads vanishes.
+    outer_interference = not side2.is_selected
+
+    if n2 == 0:
+        return HVNLCost(sequential=0.0, random=0.0, entry_capacity=x, regime="empty")
+
+    if x >= stats1.T:
+        seq_scan_all = d2_read + stats1.I + bt1
+        seq_fetch_needed = d2_read + needed * cj1 * alpha + bt1
+        if outer_interference:
+            extra_scan = _blocked_outer_random_reads(d2, (x - stats1.T) * stats1.J, n2)
+            extra_fetch = _blocked_outer_random_reads(d2, (x - needed) * stats1.J, n2)
+        else:
+            extra_scan = extra_fetch = 0.0
+        hvs = min(seq_scan_all, seq_fetch_needed)
+        hvr = min(
+            seq_scan_all + extra_scan * (alpha - 1),
+            seq_fetch_needed + extra_fetch * (alpha - 1),
+        )
+        return HVNLCost(
+            sequential=hvs, random=hvr, entry_capacity=x, regime="all-entries-fit"
+        )
+
+    if x >= needed:
+        hvs = d2_read + needed * cj1 * alpha + bt1
+        if outer_interference:
+            extra = _blocked_outer_random_reads(d2, (x - needed) * stats1.J, n2)
+        else:
+            extra = 0.0
+        return HVNLCost(
+            sequential=hvs,
+            random=hvs + extra * (alpha - 1),
+            entry_capacity=x,
+            regime="needed-entries-fit",
+        )
+
+    # Thrashing: the buffer fills partway through the outer scan.
+    k2, t2 = stats2.K, stats2.T
+    s, x1 = _fill_point(x, q, k2, t2)
+    y = max(0.0, q * distinct_terms_in_documents(s + x1, k2, t2) - x)
+    remaining_docs = max(0.0, n2 - s - x1 + 1)
+    # The first phase reads at most X entries, and never more than the
+    # distinct needed terms of the whole outer side.
+    first_phase_entries = min(
+        float(x), q * distinct_terms_in_documents(n2, k2, t2)
+    )
+    hvs = (
+        d2_read
+        + first_phase_entries * cj1 * alpha
+        + bt1
+        + remaining_docs * y * cj1 * alpha
+    )
+    if outer_interference:
+        extra = min(d2, float(n2))
+    else:
+        extra = 0.0
+    return HVNLCost(
+        sequential=hvs,
+        random=hvs + extra * (alpha - 1),
+        entry_capacity=x,
+        regime="thrashing",
+        fill_document=float(s),
+        fill_fraction=x1,
+        fetches_per_document=y,
+    )
+
+
+def _fill_point(x: int, q: float, k2: float, t2: float) -> tuple[int, float]:
+    """The paper's ``s`` and ``X1``.
+
+    ``s`` is the smallest document count with ``q * f(s) > X`` (the buffer
+    fills while processing document ``s``); ``X1`` is the fraction of
+    document ``s``'s fresh entries that still fit.
+    """
+    if q <= 0 or t2 <= 0 or k2 <= 0:
+        return 1, 0.0
+    limit = q * t2
+    if x >= limit:  # defensive: the caller only reaches here when X < q*T2
+        return 1, 0.0
+    ratio = max(0.0, 1.0 - k2 / t2)
+    if ratio == 0.0:
+        s = 1
+    else:
+        # q * T2 * (1 - ratio**m) > X  <=>  ratio**m < 1 - X/(q*T2)
+        target = 1.0 - x / limit
+        s = max(1, math.floor(math.log(target) / math.log(ratio)) + 1)
+        # Float fix-up: enforce q*f(s) > X >= q*f(s-1).
+        while q * distinct_terms_in_documents(s, k2, t2) <= x:
+            s += 1
+        while s > 1 and q * distinct_terms_in_documents(s - 1, k2, t2) > x:
+            s -= 1
+    f_prev = distinct_terms_in_documents(s - 1, k2, t2)
+    f_here = distinct_terms_in_documents(s, k2, t2)
+    growth = q * (f_here - f_prev)
+    if growth <= 0:
+        return s, 0.0
+    x1 = (x - q * f_prev) / growth
+    return s, min(max(x1, 0.0), 1.0)

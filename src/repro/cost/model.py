@@ -1,0 +1,204 @@
+"""The cost-model facade: all six formulas over one join, plus the winner.
+
+:class:`CostModel` bundles the two collections' statistics, the system
+and query parameters and the overlap probabilities, evaluates
+``hhs/hhr``, ``hvs/hvr`` and ``vvs/vvr``, and reports which algorithm is
+cheapest — the estimation half of the paper's integrated algorithm
+(Section 6).  The dispatch half lives in
+:class:`repro.core.integrated.IntegratedJoin`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cost.hhnl import hhnl_backward_cost, hhnl_cost
+from repro.cost.hvnl import hvnl_cost
+from repro.cost.overlap import overlap_probabilities
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.cost.vvm import vvm_cost
+from repro.errors import CostModelError, InsufficientMemoryError
+from repro.index.stats import CollectionStats
+
+ALGORITHMS = ("HHNL", "HVNL", "VVM")
+
+SCENARIOS = ("sequential", "random")
+
+
+@dataclass(frozen=True)
+class AlgorithmCost:
+    """One algorithm's estimate under both I/O scenarios."""
+
+    algorithm: str
+    sequential: float
+    random: float
+    feasible: bool = True
+    detail: Any = None
+    error: str | None = None
+
+    def cost(self, scenario: str) -> float:
+        """The estimate under ``'sequential'`` or ``'random'``."""
+        if scenario == "sequential":
+            return self.sequential
+        if scenario == "random":
+            return self.random
+        raise CostModelError(f"unknown scenario {scenario!r}; use one of {SCENARIOS}")
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """All three algorithms' estimates for one join configuration."""
+
+    costs: dict[str, AlgorithmCost]
+    p: float
+    q: float
+    label: str = ""
+
+    def __getitem__(self, algorithm: str) -> AlgorithmCost:
+        try:
+            return self.costs[algorithm]
+        except KeyError:
+            raise CostModelError(
+                f"unknown algorithm {algorithm!r}; use one of {ALGORITHMS}"
+            ) from None
+
+    def feasible(self) -> list[AlgorithmCost]:
+        """The algorithms the configured buffer can actually run."""
+        return [c for c in self.costs.values() if c.feasible]
+
+    def winner(self, scenario: str = "sequential") -> str:
+        """Cheapest feasible algorithm under the given scenario."""
+        candidates = self.feasible()
+        if not candidates:
+            raise InsufficientMemoryError(
+                "no algorithm is feasible under the configured buffer"
+            )
+        return min(candidates, key=lambda c: c.cost(scenario)).algorithm
+
+    def ranking(self, scenario: str = "sequential") -> list[str]:
+        """Feasible algorithms from cheapest to dearest."""
+        return [
+            c.algorithm
+            for c in sorted(self.feasible(), key=lambda c: c.cost(scenario))
+        ]
+
+    def spread(self, scenario: str = "sequential") -> float:
+        """Max/min cost ratio across feasible algorithms (summary point 1)."""
+        costs = [c.cost(scenario) for c in self.feasible()]
+        if not costs or min(costs) <= 0:
+            return float("inf")
+        return max(costs) / min(costs)
+
+    def row(self) -> dict[str, float | str]:
+        """Flat dict for table printing: label + six costs + winners."""
+        out: dict[str, float | str] = {"label": self.label}
+        for name, key_seq, key_rnd in (
+            ("HHNL", "hhs", "hhr"),
+            ("HVNL", "hvs", "hvr"),
+            ("VVM", "vvs", "vvr"),
+        ):
+            cost = self.costs[name]
+            out[key_seq] = cost.sequential if cost.feasible else float("inf")
+            out[key_rnd] = cost.random if cost.feasible else float("inf")
+        out["winner_seq"] = self.winner("sequential")
+        out["winner_rnd"] = self.winner("random")
+        return out
+
+
+@dataclass
+class CostModel:
+    """Evaluate the paper's cost formulas for one join.
+
+    ``side1`` is the inner collection C1, ``side2`` the outer C2 (the
+    *forward order*: find the ``lambda`` most similar C1 documents for
+    each C2 document).  ``p``/``q`` default to the Section 6 overlap
+    model computed from the two vocabulary sizes.
+    """
+
+    side1: JoinSide
+    side2: JoinSide
+    system: SystemParams = field(default_factory=SystemParams)
+    query: QueryParams = field(default_factory=QueryParams)
+    p: float | None = None
+    q: float | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.side1, CollectionStats):
+            self.side1 = JoinSide(self.side1)
+        if isinstance(self.side2, CollectionStats):
+            self.side2 = JoinSide(self.side2)
+        default_p, default_q = overlap_probabilities(
+            self.side1.stats.T, self.side2.stats.T
+        )
+        if self.p is None:
+            self.p = default_p
+        if self.q is None:
+            self.q = default_q
+
+    # --- individual algorithms -------------------------------------------
+
+    def hhnl(self) -> AlgorithmCost:
+        """HHNL's estimate (Section 5.1)."""
+        return self._evaluate(
+            "HHNL", lambda: hhnl_cost(self.side1, self.side2, self.system, self.query)
+        )
+
+    def hhnl_backward(self) -> AlgorithmCost:
+        """HHNL in backward order (the [11] extension, off by default)."""
+        return self._evaluate(
+            "HHNL-BWD",
+            lambda: hhnl_backward_cost(self.side1, self.side2, self.system, self.query),
+        )
+
+    def hvnl(self) -> AlgorithmCost:
+        """HVNL's estimate (Section 5.2)."""
+        return self._evaluate(
+            "HVNL",
+            lambda: hvnl_cost(self.side1, self.side2, self.system, self.query, self.q),
+        )
+
+    def vvm(self) -> AlgorithmCost:
+        """VVM's estimate (Section 5.3)."""
+        return self._evaluate(
+            "VVM", lambda: vvm_cost(self.side1, self.side2, self.system, self.query)
+        )
+
+    def _evaluate(self, name: str, thunk: Any) -> AlgorithmCost:
+        try:
+            detail = thunk()
+        except InsufficientMemoryError as exc:
+            return AlgorithmCost(
+                algorithm=name,
+                sequential=float("inf"),
+                random=float("inf"),
+                feasible=False,
+                error=str(exc),
+            )
+        return AlgorithmCost(
+            algorithm=name,
+            sequential=detail.sequential,
+            random=detail.random,
+            detail=detail,
+        )
+
+    # --- the full report ------------------------------------------------
+
+    def report(self, label: str = "", *, include_backward: bool = False) -> CostReport:
+        """All estimates; ``include_backward`` adds the HHNL-BWD candidate.
+
+        The paper's simulations consider only the forward order, so
+        backward is opt-in and never changes the default report.
+        """
+        costs = {
+            "HHNL": self.hhnl(),
+            "HVNL": self.hvnl(),
+            "VVM": self.vvm(),
+        }
+        if include_backward:
+            costs["HHNL-BWD"] = self.hhnl_backward()
+        return CostReport(costs=costs, p=self.p, q=self.q, label=label)
+
+    def choose(self, scenario: str = "sequential") -> str:
+        """The integrated algorithm's pick: cheapest feasible algorithm."""
+        return self.report().winner(scenario)

@@ -1,0 +1,49 @@
+"""The Section 6 term-overlap probability model.
+
+``q`` is the probability that a term of the outer collection C2 also
+appears in the inner collection C1.  The paper models it from the two
+vocabulary sizes alone::
+
+    q = 0.8 * T1 / T2    if T1 <= T2
+    q = 0.8              if T2 < T1 < 5 * T2
+    q = 1 - T2 / T1      if T1 >= 5 * T2
+
+i.e. a small inner vocabulary can only cover a proportional share of the
+outer one, comparable vocabularies overlap at the 0.8 plateau, and a
+dominating inner vocabulary asymptotically covers everything.  ``p``
+(C1's terms appearing in C2) uses the same shape with the roles swapped.
+"""
+
+from __future__ import annotations
+
+from repro.constants import OVERLAP_BASE_PROBABILITY, OVERLAP_DOMINANCE_FACTOR
+from repro.errors import CostModelError
+
+
+def overlap_probability(t_inner: int, t_outer: int) -> float:
+    """Probability that a term drawn from the outer vocabulary (size
+    ``t_outer``) also appears in the inner vocabulary (size ``t_inner``).
+
+    This is the paper's ``q`` when called as
+    ``overlap_probability(T1, T2)`` and its ``p`` when called as
+    ``overlap_probability(T2, T1)``.
+    """
+    if t_inner < 0 or t_outer < 0:
+        raise CostModelError("vocabulary sizes must be non-negative")
+    if t_outer == 0:
+        return 0.0  # no terms to overlap
+    if t_inner == 0:
+        return 0.0
+    if t_inner <= t_outer:
+        return OVERLAP_BASE_PROBABILITY * t_inner / t_outer
+    if t_inner < OVERLAP_DOMINANCE_FACTOR * t_outer:
+        return OVERLAP_BASE_PROBABILITY
+    return 1.0 - t_outer / t_inner
+
+
+def overlap_probabilities(t1: int, t2: int) -> tuple[float, float]:
+    """Both directions at once: ``(p, q)`` for vocabularies ``T1``, ``T2``.
+
+    ``p`` — a C1 term appears in C2; ``q`` — a C2 term appears in C1.
+    """
+    return overlap_probability(t2, t1), overlap_probability(t1, t2)

@@ -1,0 +1,131 @@
+"""Parallel text-join cost models (the paper's future-work item 3).
+
+A first-order model of running each algorithm on ``k`` servers with the
+outer collection C2 *document-partitioned* evenly across sites and the
+inner collection's data structures replicated (the usual fragment-and-
+replicate scheme for asymmetric joins).  Each site then runs the
+sequential algorithm on its fragment, so per-site cost comes from the
+Section 5 formulas with the outer side scaled to ``N2 / k`` — including
+the vocabulary-growth correction for the fragment's distinct terms.
+
+The model's makespan is the per-site cost (fragments are even and sites
+are identical); reported speedup is sequential cost / makespan.  The
+one-time cost of replicating C1 is reported separately, priced with the
+:mod:`repro.cost.communication` machinery — whether to amortise it is a
+workload question, not an algorithm one.
+
+Deliberate simplifications (documented, testable): no skew, no
+coordination cost, results merged for free (each outer document's
+top-lambda list is complete at one site, so the merge is a
+concatenation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.cost.hhnl import hhnl_cost
+from repro.cost.hvnl import hvnl_cost
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.cost.vvm import vvm_cost
+from repro.errors import CostModelError, InsufficientMemoryError
+
+
+@dataclass(frozen=True)
+class ParallelCost:
+    """One algorithm's parallel execution profile."""
+
+    algorithm: str
+    sites: int
+    per_site_cost: float  # = makespan under even fragments
+    sequential_cost: float
+    replication_pages: float  # one-time shipping of the inner structures
+
+    @property
+    def speedup(self) -> float:
+        if self.per_site_cost <= 0:
+            return float("inf") if self.sequential_cost > 0 else 1.0
+        return self.sequential_cost / self.per_site_cost
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per site (1.0 = perfectly parallel)."""
+        return self.speedup / self.sites
+
+
+def _fragment(side2: JoinSide, k: int) -> JoinSide:
+    """The outer side as seen by one of ``k`` sites."""
+    n_fragment = math.ceil(side2.n_participating / k)
+    if side2.is_selected:
+        # a selection's survivors are split across sites; each site keeps
+        # the original (large) collection statistics with a smaller
+        # participating count
+        return replace(side2, participating=n_fragment)
+    return JoinSide(side2.stats.with_documents(n_fragment))
+
+
+def parallel_cost(
+    algorithm: str,
+    side1: JoinSide,
+    side2: JoinSide,
+    system: SystemParams,
+    query: QueryParams,
+    q: float,
+    k: int,
+    scenario: str = "sequential",
+) -> ParallelCost:
+    """Per-site cost of one algorithm across ``k`` sites."""
+    if k < 1:
+        raise CostModelError(f"site count must be >= 1, got {k}")
+    fragment = _fragment(side2, k) if k > 1 else side2
+
+    def evaluate(s2: JoinSide) -> float:
+        if algorithm == "HHNL":
+            detail = hhnl_cost(side1, s2, system, query)
+        elif algorithm == "HVNL":
+            detail = hvnl_cost(side1, s2, system, query, q)
+        elif algorithm == "VVM":
+            detail = vvm_cost(side1, s2, system, query)
+        else:
+            raise CostModelError(f"unknown algorithm {algorithm!r}")
+        return detail.sequential if scenario == "sequential" else detail.random
+
+    try:
+        sequential = evaluate(side2)
+    except InsufficientMemoryError:
+        sequential = float("inf")
+    try:
+        per_site = evaluate(fragment)
+    except InsufficientMemoryError:
+        per_site = float("inf")
+
+    if algorithm == "HHNL":
+        replication = side1.stats.D * (k - 1)
+    elif algorithm == "HVNL":
+        replication = (side1.stats.I + side1.stats.Bt) * (k - 1)
+    else:  # VVM ships the inner inverted file to every site
+        replication = side1.stats.I * (k - 1)
+
+    return ParallelCost(
+        algorithm=algorithm,
+        sites=k,
+        per_site_cost=per_site,
+        sequential_cost=sequential,
+        replication_pages=replication,
+    )
+
+
+def parallel_report(
+    side1: JoinSide,
+    side2: JoinSide,
+    system: SystemParams,
+    query: QueryParams,
+    q: float,
+    k: int,
+) -> dict[str, ParallelCost]:
+    """All three algorithms' parallel profiles at ``k`` sites."""
+    return {
+        name: parallel_cost(name, side1, side2, system, query, q, k)
+        for name in ("HHNL", "HVNL", "VVM")
+    }

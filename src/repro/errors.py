@@ -1,0 +1,81 @@
+"""Exception hierarchy for the textjoin reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+caller embedding the library can catch one base class.  Subclasses are
+grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class StorageError(ReproError):
+    """Base class for simulated-storage errors."""
+
+
+class PageOutOfRangeError(StorageError):
+    """A page id outside an extent or disk was requested."""
+
+
+class BufferExhaustedError(StorageError):
+    """The buffer manager could not free a frame (all frames pinned)."""
+
+
+class ExtentFullError(StorageError):
+    """An append was attempted past a fixed-size extent."""
+
+
+class TextError(ReproError):
+    """Base class for text-model errors."""
+
+
+class VocabularyError(TextError):
+    """An unknown term or term number was looked up."""
+
+
+class DocumentFormatError(TextError):
+    """A document's d-cells are malformed (unsorted, duplicated, bad weight)."""
+
+
+class IndexError_(ReproError):
+    """Base class for index-structure errors (named to avoid shadowing built-in)."""
+
+
+class BPlusTreeError(IndexError_):
+    """Structural error inside the B+-tree."""
+
+
+class InvertedFileError(IndexError_):
+    """Structural error inside an inverted file."""
+
+
+class CostModelError(ReproError):
+    """A cost formula was evaluated with inconsistent parameters."""
+
+
+class InsufficientMemoryError(CostModelError):
+    """The configured buffer cannot satisfy an algorithm's floor requirement."""
+
+
+class JoinError(ReproError):
+    """Base class for join-execution errors."""
+
+
+class SqlError(ReproError):
+    """Base class for the mini SQL front-end."""
+
+
+class SqlSyntaxError(SqlError):
+    """The query text could not be parsed."""
+
+
+class SqlSemanticError(SqlError):
+    """The query parsed but references unknown relations/attributes or
+    applies SIMILAR_TO to non-textual attributes."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload was requested with impossible parameters."""

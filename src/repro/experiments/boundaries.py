@@ -1,0 +1,153 @@
+"""Decision boundaries of the integrated algorithm.
+
+The paper's contribution (4) is "insight on the type of input document
+collections with which each algorithm is likely to perform well".  This
+module sharpens that insight into numbers: for each knob the simulation
+groups sweep, it locates the exact crossover where the winner changes,
+by bisection over the cost models.
+
+Boundaries located:
+
+* ``hvnl_selection_crossover`` — the largest selected-outer count where
+  HVNL still wins (Group 3's knee; the paper bounds it by ~100 and ties
+  it to the outer collection's terms per document);
+* ``vvm_rescale_crossover`` — the smallest merge factor where VVM takes
+  over a self-join (Group 5's knee; the paper's ``N1·N2 < 10000·B``
+  window predicts it);
+* ``hhnl_buffer_escape`` — the buffer size where HHNL's cost stops
+  being scan-bound (single inner scan), i.e. where extra memory stops
+  mattering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cost.model import CostModel
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.index.stats import CollectionStats
+from repro.workloads.trec import TREC_COLLECTIONS
+
+
+def bisect_int_boundary(
+    predicate: Callable[[int], bool], lo: int, hi: int
+) -> int | None:
+    """Largest ``x`` in ``[lo, hi]`` with ``predicate(x)`` true.
+
+    Assumes the predicate is monotone (true then false) over the range;
+    returns ``None`` when even ``lo`` is false.
+    """
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    if not predicate(lo):
+        return None
+    if predicate(hi):
+        return hi
+    # invariant: predicate(lo) true, predicate(hi) false
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if predicate(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+@dataclass(frozen=True)
+class DecisionBoundaries:
+    """The located crossovers for one collection profile."""
+
+    collection: str
+    hvnl_selection_crossover: int | None
+    vvm_rescale_crossover: int | None
+    hhnl_buffer_escape: int | None
+
+
+def hvnl_selection_crossover(
+    stats: CollectionStats,
+    system: SystemParams | None = None,
+    query: QueryParams | None = None,
+    hi: int = 10_000,
+) -> int | None:
+    """Largest n2 where HVNL wins the selected self-join (Group 3)."""
+    system = system or SystemParams()
+    query = query or QueryParams()
+
+    def hvnl_wins(n2: int) -> bool:
+        model = CostModel(
+            JoinSide(stats), JoinSide(stats, participating=n2), system, query
+        )
+        return model.choose() == "HVNL"
+
+    return bisect_int_boundary(hvnl_wins, 1, min(hi, stats.n_documents))
+
+
+def vvm_rescale_crossover(
+    stats: CollectionStats,
+    system: SystemParams | None = None,
+    query: QueryParams | None = None,
+    hi: int = 10_000,
+) -> int | None:
+    """Smallest merge factor where VVM wins the rescaled self-join.
+
+    Found as (largest factor where VVM does *not* win) + 1; ``None``
+    when VVM already wins at factor 1.
+    """
+    system = system or SystemParams()
+    query = query or QueryParams()
+
+    def vvm_loses(factor: int) -> bool:
+        scaled = stats.rescaled(factor)
+        model = CostModel(JoinSide(scaled), JoinSide(scaled), system, query)
+        return model.choose() != "VVM"
+
+    last_losing = bisect_int_boundary(vvm_loses, 1, hi)
+    if last_losing is None:
+        return 1  # VVM wins immediately
+    if last_losing >= hi:
+        return None  # VVM never wins in range
+    return last_losing + 1
+
+
+def hhnl_buffer_escape(
+    stats: CollectionStats,
+    query: QueryParams | None = None,
+    hi: int = 10_000_000,
+) -> int | None:
+    """Smallest buffer where HHNL needs only one inner scan."""
+    query = query or QueryParams()
+
+    def multi_scan(buffer_pages: int) -> bool:
+        model = CostModel(
+            JoinSide(stats), JoinSide(stats),
+            SystemParams(buffer_pages=buffer_pages), query,
+        )
+        detail = model.hhnl().detail
+        return detail is None or detail.inner_scans > 1
+
+    last_multi = bisect_int_boundary(multi_scan, 1, hi)
+    if last_multi is None:
+        return 1
+    if last_multi >= hi:
+        return None
+    return last_multi + 1
+
+
+def decision_boundaries(
+    stats: CollectionStats,
+    system: SystemParams | None = None,
+    query: QueryParams | None = None,
+) -> DecisionBoundaries:
+    """All boundaries for one collection profile."""
+    return DecisionBoundaries(
+        collection=stats.name,
+        hvnl_selection_crossover=hvnl_selection_crossover(stats, system, query),
+        vvm_rescale_crossover=vvm_rescale_crossover(stats, system, query),
+        hhnl_buffer_escape=hhnl_buffer_escape(stats, query),
+    )
+
+
+def trec_boundaries() -> list[DecisionBoundaries]:
+    """Boundaries for all three paper collections at base parameters."""
+    return [decision_boundaries(stats) for stats in TREC_COLLECTIONS.values()]

@@ -1,0 +1,144 @@
+"""Text rendering of the paper's figures.
+
+The ICDE paper's per-group plots live in the unavailable tech report;
+what we can regenerate is the underlying *series* — cost versus the
+swept parameter, one line per cost formula.  This module turns a
+:class:`~repro.experiments.groups.GroupResult` into those series and
+renders them as log-scale ASCII charts, so ``benchmarks/results``
+contains something a reader can eyeball against the qualitative claims.
+
+No plotting dependency: the charts are plain text, column per swept
+value, row per decade.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.experiments.groups import GroupResult
+
+SERIES_KEYS = ("hhs", "hhr", "hvs", "hvr", "vvs", "vvr")
+_MARKERS = {"hhs": "H", "hhr": "h", "hvs": "V", "hvr": "v", "vvs": "M", "vvr": "m"}
+
+
+@dataclass
+class FigureSeries:
+    """One figure: x values plus one y-series per cost formula."""
+
+    title: str
+    x_label: str
+    x_values: list[float] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """CSV-ready rows, one per x value."""
+        rows = []
+        for index, x in enumerate(self.x_values):
+            row: dict[str, float] = {self.x_label: x}
+            for name, values in self.series.items():
+                row[name] = values[index]
+            rows.append(row)
+        return rows
+
+
+def extract_series(
+    group: GroupResult,
+    collection1: str,
+    variable: str,
+    collection2: str | None = None,
+    *,
+    match_prefix: bool = False,
+) -> FigureSeries:
+    """Pull one figure's series out of a group grid.
+
+    ``variable`` names the swept knob (``'B'``, ``'alpha'``, ``'n2'``,
+    ``'factor'``); points are matched on C1 (and C2 when given) and
+    sorted by the swept value.  ``match_prefix`` matches derived
+    collection names like ``WSJ/x10`` against their base name (needed
+    for Group 5's rescaled labels).
+    """
+
+    def c1_matches(name: str) -> bool:
+        if match_prefix:
+            return name == collection1 or name.startswith(collection1 + "/") or name.startswith(collection1 + "[")
+        return name == collection1
+
+    points = [
+        p
+        for p in group.points
+        if p.variable == variable
+        and c1_matches(p.collection1)
+        and (collection2 is None or p.collection2 == collection2)
+    ]
+    points.sort(key=lambda p: p.value)
+    figure = FigureSeries(
+        title=(
+            f"Group {group.group}: {collection1}"
+            + (f" x {collection2}" if collection2 else "")
+            + f" — cost vs {variable}"
+        ),
+        x_label=variable,
+        x_values=[p.value for p in points],
+    )
+    for key in SERIES_KEYS:
+        figure.series[key] = [float(p.report.row()[key]) for p in points]
+    return figure
+
+
+def render_ascii(figure: FigureSeries, height: int = 12) -> str:
+    """A log-scale ASCII chart: one column per x value, rows are decades.
+
+    Series markers: H/h = hhs/hhr, V/v = hvs/hvr, M/m = vvs/vvr; ``*``
+    marks collisions.  Infinite (infeasible) values are skipped.
+    """
+    finite = [
+        value
+        for values in figure.series.values()
+        for value in values
+        if 0 < value < float("inf")
+    ]
+    if not finite or not figure.x_values:
+        return f"{figure.title}\n(no finite data)"
+    low = math.floor(math.log10(min(finite)))
+    high = math.ceil(math.log10(max(finite)))
+    high = max(high, low + 1)
+    column_width = max(len(_format_x(x)) for x in figure.x_values) + 2
+
+    grid = [
+        [" "] * (len(figure.x_values) * column_width) for _ in range(height)
+    ]
+    for name, values in figure.series.items():
+        marker = _MARKERS[name]
+        for index, value in enumerate(values):
+            if not (0 < value < float("inf")):
+                continue
+            fraction = (math.log10(value) - low) / (high - low)
+            row = height - 1 - round(fraction * (height - 1))
+            row = min(max(row, 0), height - 1)
+            column = index * column_width + column_width // 2
+            cell = grid[row][column]
+            grid[row][column] = marker if cell == " " else "*"
+
+    lines = [figure.title]
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        decade = low + fraction * (high - low)
+        label = f"1e{decade:4.1f} |"
+        lines.append(label + "".join(row))
+    axis = " " * 8 + "".join(
+        _format_x(x).center(column_width) for x in figure.x_values
+    )
+    lines.append(" " * 7 + "-" * (len(figure.x_values) * column_width))
+    lines.append(axis)
+    lines.append(
+        f"        ({figure.x_label};  H/h=hhs/hhr  V/v=hvs/hvr  M/m=vvs/vvr  *=overlap)"
+    )
+    return "\n".join(lines)
+
+
+def _format_x(x: float) -> str:
+    if x == int(x):
+        value = int(x)
+        return f"{value // 1000}k" if value >= 10_000 else str(value)
+    return f"{x:g}"

@@ -1,0 +1,247 @@
+"""The five simulation groups of Section 6.
+
+Each ``run_groupN`` reproduces one experiment family over the paper's
+TREC statistics (or any :class:`~repro.index.stats.CollectionStats` you
+pass in) and returns a :class:`GroupResult` — a labelled grid of
+:class:`~repro.cost.model.CostReport` points ready for table rendering
+or assertion.
+
+Parameter conventions (Section 6): page size fixed at 4 KB, ``delta`` at
+0.1, ``lambda`` at 20; base values ``B = 10,000`` pages and
+``alpha = 5``; one parameter sweeps while the other stays at its base.
+The paper does not publish its sweep grids (they are in tech report
+[11]), so we choose round grids bracketing the base values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.cost.model import CostModel, CostReport
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.index.stats import CollectionStats
+from repro.workloads.trec import TREC_COLLECTIONS
+
+BUFFER_SWEEP: tuple[int, ...] = (2_000, 5_000, 10_000, 20_000, 40_000, 80_000)
+"""Buffer sizes (pages) swept around the base B = 10,000."""
+
+ALPHA_SWEEP: tuple[float, ...] = (2.0, 3.0, 5.0, 8.0, 10.0)
+"""Cost ratios swept around the base alpha = 5."""
+
+SELECTION_SWEEP: tuple[int, ...] = (1, 5, 10, 20, 50, 100, 200, 500, 1_000)
+"""Participating outer documents for Groups 3 and 4."""
+
+RESCALE_SWEEP: tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100)
+"""Document-merging factors for Group 5."""
+
+
+@dataclass(frozen=True)
+class SimulationPoint:
+    """One cell of a group's grid."""
+
+    group: int
+    collection1: str
+    collection2: str
+    buffer_pages: int
+    alpha: float
+    variable: str  # which knob this point sweeps ('B', 'alpha', 'n2', 'factor')
+    value: float
+    report: CostReport
+
+    def row(self) -> dict[str, object]:
+        """Flat dict for table rendering: config plus the six costs."""
+        out: dict[str, object] = {
+            "C1": self.collection1,
+            "C2": self.collection2,
+            "B": self.buffer_pages,
+            "alpha": self.alpha,
+        }
+        if self.variable not in out:
+            out[self.variable] = self.value
+        out.update(self.report.row())
+        del out["label"]
+        return out
+
+
+@dataclass
+class GroupResult:
+    """All points of one simulation group."""
+
+    group: int
+    description: str
+    points: list[SimulationPoint] = field(default_factory=list)
+
+    def rows(self) -> list[dict[str, object]]:
+        return [p.row() for p in self.points]
+
+    def winners(self, scenario: str = "sequential") -> dict[str, int]:
+        """How often each algorithm wins across the grid."""
+        counts: dict[str, int] = {"HHNL": 0, "HVNL": 0, "VVM": 0}
+        for point in self.points:
+            counts[point.report.winner(scenario)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def _base_query() -> QueryParams:
+    return QueryParams()  # lambda = 20, delta = 0.1 — the fixed Section 6 values
+
+
+def _point(
+    group: int,
+    side1: JoinSide,
+    side2: JoinSide,
+    system: SystemParams,
+    variable: str,
+    value: float,
+) -> SimulationPoint:
+    report = CostModel(side1, side2, system, _base_query()).report(
+        label=f"{side1.stats.name}|{side2.stats.name}|{variable}={value}"
+    )
+    return SimulationPoint(
+        group=group,
+        collection1=side1.stats.name,
+        collection2=side2.stats.name,
+        buffer_pages=system.buffer_pages,
+        alpha=system.alpha,
+        variable=variable,
+        value=value,
+        report=report,
+    )
+
+
+def run_group1(
+    collections: Iterable[CollectionStats] | None = None,
+    buffer_sweep: Sequence[int] = BUFFER_SWEEP,
+    alpha_sweep: Sequence[float] = ALPHA_SWEEP,
+) -> GroupResult:
+    """Group 1: self-joins of each real collection; sweep B, then alpha.
+
+    Six simulations in the paper: three collections x two swept
+    parameters.
+    """
+    result = GroupResult(1, "self-join of each real collection; sweep B and alpha")
+    for stats in collections or TREC_COLLECTIONS.values():
+        side = JoinSide(stats)
+        for b in buffer_sweep:
+            result.points.append(
+                _point(1, side, side, SystemParams(buffer_pages=b), "B", b)
+            )
+        for alpha in alpha_sweep:
+            result.points.append(
+                _point(1, side, side, SystemParams(alpha=alpha), "alpha", alpha)
+            )
+    return result
+
+
+def run_group2(
+    collections: Iterable[CollectionStats] | None = None,
+    buffer_sweep: Sequence[int] = BUFFER_SWEEP,
+) -> GroupResult:
+    """Group 2: every ordered pair of distinct collections; sweep B."""
+    result = GroupResult(2, "cross-joins of distinct collections; sweep B")
+    pool = list(collections or TREC_COLLECTIONS.values())
+    for stats1 in pool:
+        for stats2 in pool:
+            if stats1.name == stats2.name:
+                continue
+            for b in buffer_sweep:
+                result.points.append(
+                    _point(
+                        2,
+                        JoinSide(stats1),
+                        JoinSide(stats2),
+                        SystemParams(buffer_pages=b),
+                        "B",
+                        b,
+                    )
+                )
+    return result
+
+
+def run_group3(
+    collections: Iterable[CollectionStats] | None = None,
+    selection_sweep: Sequence[int] = SELECTION_SWEEP,
+) -> GroupResult:
+    """Group 3: a selection leaves few participating documents of C2.
+
+    C1 = C2 = a real collection, but only ``n`` documents of C2 join:
+    they are fetched randomly and C2's index structures keep their
+    original size.  Base B and alpha.
+    """
+    result = GroupResult(3, "few selected documents of an originally large C2")
+    system = SystemParams()
+    for stats in collections or TREC_COLLECTIONS.values():
+        for n in selection_sweep:
+            if n > stats.n_documents:
+                continue
+            result.points.append(
+                _point(3, JoinSide(stats), JoinSide(stats, participating=n), system, "n2", n)
+            )
+    return result
+
+
+def run_group4(
+    collections: Iterable[CollectionStats] | None = None,
+    selection_sweep: Sequence[int] = SELECTION_SWEEP,
+) -> GroupResult:
+    """Group 4: C2 is an originally small collection derived from C1.
+
+    Unlike Group 3 the small collection owns its (small) inverted file
+    and B+-tree and is read sequentially.  Base B and alpha.
+    """
+    result = GroupResult(4, "an originally small C2 derived from C1")
+    system = SystemParams()
+    for stats in collections or TREC_COLLECTIONS.values():
+        for n in selection_sweep:
+            if n > stats.n_documents:
+                continue
+            small = stats.with_documents(n)
+            result.points.append(
+                _point(4, JoinSide(stats), JoinSide(small), system, "n2", n)
+            )
+    return result
+
+
+def run_group5(
+    collections: Iterable[CollectionStats] | None = None,
+    rescale_sweep: Sequence[int] = RESCALE_SWEEP,
+) -> GroupResult:
+    """Group 5: self-joins of rescaled collections (VVM's sweet spot).
+
+    Each derived collection keeps the original total size but has
+    ``N / factor`` documents of ``K * factor`` terms.  Base B and alpha.
+    """
+    result = GroupResult(5, "self-joins of size-preserving rescaled collections")
+    system = SystemParams()
+    for stats in collections or TREC_COLLECTIONS.values():
+        for factor in rescale_sweep:
+            scaled = stats.rescaled(factor)
+            side = JoinSide(scaled)
+            result.points.append(_point(5, side, side, system, "factor", factor))
+    return result
+
+
+def statistics_table(
+    collections: Iterable[CollectionStats] | None = None,
+) -> list[dict[str, object]]:
+    """The paper's Section 6 statistics table, one dict-row per statistic."""
+    pool = list(collections or TREC_COLLECTIONS.values())
+    rows: list[dict[str, object]] = []
+    metrics: list[tuple[str, object]] = [
+        ("#documents", lambda s: s.N),
+        ("#terms per doc", lambda s: s.K),
+        ("total # of distinct terms", lambda s: s.T),
+        ("collection size in pages", lambda s: s.D),
+        ("avg. size of a document", lambda s: s.S),
+        ("avg. size of an inv. fi. en.", lambda s: s.J),
+    ]
+    for label, metric in metrics:
+        row: dict[str, object] = {"statistic": label}
+        for stats in pool:
+            row[stats.name] = metric(stats)
+        rows.append(row)
+    return rows

@@ -1,0 +1,218 @@
+"""Programmatic checks of the Section 6.1 summary points.
+
+The ICDE paper compresses its result tables (published separately in
+tech report CS-TR-95-07) into five qualitative findings.  This module
+re-derives each finding from the regenerated grids so the reproduction
+can assert them:
+
+1. Costs of different algorithms under one situation differ drastically.
+2. When one collection has (or is reduced to) very few documents —
+   "likely limited by 100" — HVNL has a very good chance to win.
+3. When ``N1 * N2 < 10000 * B`` and both collections exceed the memory,
+   VVM (sequential version) can outperform the others.
+4. In most other cases plain HHNL performs very well.
+5. The random-I/O variants depict the worst case and, except for VVM,
+   do not change the ranking of the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.model import CostModel, CostReport
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.experiments.groups import (
+    GroupResult,
+    run_group1,
+    run_group2,
+    run_group3,
+    run_group4,
+    run_group5,
+)
+from repro.index.stats import CollectionStats
+from repro.workloads.trec import TREC_COLLECTIONS
+
+
+@dataclass(frozen=True)
+class SummaryFindings:
+    """Evidence for the five summary points, over the regenerated grids."""
+
+    max_cost_spread: float  # point 1: max over grid of (max cost / min cost)
+    hvnl_wins_small_side: int  # point 2: HVNL wins among points with n2 <= threshold
+    small_side_points: int
+    vvm_wins_in_window: int  # point 3: VVM wins where N1*N2 < 10000*B and D > B
+    window_points: int
+    hhnl_wins_elsewhere: int  # point 4
+    elsewhere_points: int
+    ranking_changes_excl_vvm: int  # point 5: seq-vs-random winner flips not involving VVM
+    total_points: int
+
+    @property
+    def point1_drastic_spread(self) -> bool:
+        return self.max_cost_spread > 10.0
+
+    @property
+    def point2_hvnl_small_side(self) -> bool:
+        return (
+            self.small_side_points > 0
+            and self.hvnl_wins_small_side / self.small_side_points > 0.5
+        )
+
+    @property
+    def point3_vvm_window(self) -> bool:
+        return self.window_points > 0 and self.vvm_wins_in_window / self.window_points > 0.5
+
+    @property
+    def point4_hhnl_default(self) -> bool:
+        return (
+            self.elsewhere_points > 0
+            and self.hhnl_wins_elsewhere / self.elsewhere_points > 0.5
+        )
+
+    @property
+    def point5_random_stable(self) -> bool:
+        return self.ranking_changes_excl_vvm == 0
+
+    def all_points_hold(self) -> bool:
+        """True when every one of the five summary points reproduces."""
+        return (
+            self.point1_drastic_spread
+            and self.point2_hvnl_small_side
+            and self.point3_vvm_window
+            and self.point4_hhnl_default
+            and self.point5_random_stable
+        )
+
+
+SMALL_SIDE_LIMIT = 20
+"""Paper point 2: "M is likely to be limited by 100"; we check the
+region where it should clearly hold (how small is small enough "mainly
+depends on the number of terms in each document of the outer
+collection", and the TREC profiles have large K)."""
+
+VVM_WINDOW_FACTOR = 10_000
+"""Paper point 3's ``N1 * N2 < 10000 * B`` window."""
+
+
+def _window(point_side1: JoinSide, point_side2: JoinSide, buffer_pages: int) -> bool:
+    """Point 3's condition: product window plus both collections exceed B."""
+    s1, s2 = point_side1.stats, point_side2.stats
+    n1 = point_side1.n_participating
+    n2 = point_side2.n_participating
+    return (
+        n1 * n2 < VVM_WINDOW_FACTOR * buffer_pages
+        and s1.D > buffer_pages
+        and s2.D > buffer_pages
+    )
+
+
+def evaluate_summary(
+    groups: list[GroupResult] | None = None,
+) -> SummaryFindings:
+    """Scan the grids of all five groups and tally each point's evidence."""
+    if groups is None:
+        groups = [run_group1(), run_group2(), run_group3(), run_group4(), run_group5()]
+
+    max_spread = 0.0
+    hvnl_small = small_points = 0
+    vvm_window = window_points = 0
+    hhnl_elsewhere = elsewhere_points = 0
+    ranking_changes = 0
+    total = 0
+
+    for group in groups:
+        for point in group.points:
+            total += 1
+            report = point.report
+            max_spread = max(max_spread, _finite_spread(report))
+
+            # classify the point
+            side2_small = _outer_count(point) <= SMALL_SIDE_LIMIT
+            in_window = _point_in_window(point)
+            winner = report.winner("sequential")
+            if side2_small:
+                small_points += 1
+                if winner == "HVNL":
+                    hvnl_small += 1
+            elif in_window:
+                window_points += 1
+                if winner == "VVM":
+                    vvm_window += 1
+            else:
+                elsewhere_points += 1
+                if winner == "HHNL":
+                    hhnl_elsewhere += 1
+
+            # point 5: does the random scenario flip the winner, VVM aside?
+            winner_rnd = report.winner("random")
+            if winner != winner_rnd and "VVM" not in (winner, winner_rnd):
+                ranking_changes += 1
+
+    return SummaryFindings(
+        max_cost_spread=max_spread,
+        hvnl_wins_small_side=hvnl_small,
+        small_side_points=small_points,
+        vvm_wins_in_window=vvm_window,
+        window_points=window_points,
+        hhnl_wins_elsewhere=hhnl_elsewhere,
+        elsewhere_points=elsewhere_points,
+        ranking_changes_excl_vvm=ranking_changes,
+        total_points=total,
+    )
+
+
+def _finite_spread(report: CostReport) -> float:
+    costs = [c.sequential for c in report.feasible() if c.sequential < float("inf")]
+    if len(costs) < 2 or min(costs) <= 0:
+        return 0.0
+    return max(costs) / min(costs)
+
+
+def _outer_count(point) -> int:
+    if point.variable == "n2":
+        return int(point.value)
+    return 10**9  # not a small-side experiment
+
+
+def _point_in_window(point) -> bool:
+    # Point 3 speaks about whole collections: a Group 3/4 selection does
+    # not shrink the inverted files, so those points are never in VVM's
+    # window no matter how small the participating count is.
+    if point.variable == "n2":
+        return False
+    stats_by_name = dict(TREC_COLLECTIONS)
+    b = point.buffer_pages
+    if point.group == 5:
+        base = stats_by_name.get(point.collection1.split("/")[0])
+        if base is None:
+            return False
+        scaled = base.rescaled(int(point.value))
+        return scaled.N * scaled.N < VVM_WINDOW_FACTOR * b and scaled.D > b
+    s1 = stats_by_name.get(point.collection1)
+    s2 = stats_by_name.get(point.collection2)
+    if s1 is None or s2 is None:
+        return False
+    return s1.N * s2.N < VVM_WINDOW_FACTOR * b and s1.D > b and s2.D > b
+
+
+def choose_algorithm(
+    stats1: CollectionStats,
+    stats2: CollectionStats,
+    system: SystemParams | None = None,
+    query: QueryParams | None = None,
+    participating2: int | None = None,
+) -> str:
+    """Standalone integrated-algorithm entry point over raw statistics.
+
+    The statistics-only counterpart of
+    :class:`repro.core.integrated.IntegratedJoin` for when no executable
+    environment exists (e.g. query optimisation in a multidatabase
+    front-end).
+    """
+    model = CostModel(
+        JoinSide(stats1),
+        JoinSide(stats2, participating=participating2),
+        system or SystemParams(),
+        query or QueryParams(),
+    )
+    return model.choose()

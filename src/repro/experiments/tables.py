@@ -1,0 +1,49 @@
+"""Plain-text tables for the benchmark harness.
+
+The benches print the same kind of rows the paper's tech report tabulates
+(configuration, six costs, winner); these helpers keep the formatting in
+one place and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_grid(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render dict-rows (e.g. :meth:`CostReport.row` output) as a table."""
+    if not rows:
+        return title or "(no rows)"
+    columns = list(columns or rows[0].keys())
+    return format_table(columns, [[row.get(c, "") for c in columns] for row in rows], title)

@@ -1,0 +1,34 @@
+"""Index substrate: inverted files, B+-trees and collection statistics.
+
+The vertical (column-wise) form of the document-term matrix.  An inverted
+file holds one entry per distinct term — a list of *i-cells*
+``(d#, w)`` sorted by document number — and the entries themselves are
+stored consecutively in increasing term-number order (Section 3).  A
+B+-tree per inverted file maps a term number to the entry's location and
+the term's document frequency (Section 4.2/5.2).
+"""
+
+from repro.index.bptree import BPlusTree
+from repro.index.compression import (
+    CompressedInvertedEntry,
+    CompressedInvertedFile,
+    compress_postings,
+    decode_vbyte,
+    decompress_postings,
+    encode_vbyte,
+)
+from repro.index.inverted import InvertedEntry, InvertedFile
+from repro.index.stats import CollectionStats
+
+__all__ = [
+    "BPlusTree",
+    "CollectionStats",
+    "CompressedInvertedEntry",
+    "CompressedInvertedFile",
+    "InvertedEntry",
+    "InvertedFile",
+    "compress_postings",
+    "decode_vbyte",
+    "decompress_postings",
+    "encode_vbyte",
+]

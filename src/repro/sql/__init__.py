@@ -1,0 +1,50 @@
+"""A mini extended-SQL front-end for textual joins (paper Section 2).
+
+The paper motivates text joins with queries like::
+
+    SELECT P.P#, P.Title, A.SSN, A.Name
+    FROM Positions P, Applicants A
+    WHERE P.Title LIKE '%Engineer%'
+      AND A.Resume SIMILAR_TO(20) P.Job_descr
+
+This subpackage parses that dialect, resolves it against a catalog of
+relations whose textual attributes are backed by document collections,
+pushes the ordinary selections down (Section 2's point: only surviving
+documents participate in the join), lets the integrated algorithm pick
+the join strategy, and executes.
+
+Modules: :mod:`lexer`, :mod:`ast_nodes`, :mod:`parser`, :mod:`catalog`,
+:mod:`planner`, :mod:`executor`.
+"""
+
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    LikePredicate,
+    SelectQuery,
+    SimilarToPredicate,
+    TableRef,
+)
+from repro.sql.catalog import Catalog, Relation
+from repro.sql.executor import QueryResult, execute
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+from repro.sql.planner import TextJoinPlan, plan
+
+__all__ = [
+    "Catalog",
+    "ColumnRef",
+    "Comparison",
+    "LikePredicate",
+    "QueryResult",
+    "Relation",
+    "SelectQuery",
+    "SimilarToPredicate",
+    "TableRef",
+    "TextJoinPlan",
+    "Token",
+    "execute",
+    "parse",
+    "plan",
+    "tokenize",
+]

@@ -1,0 +1,125 @@
+"""Abstract syntax for the extended-SQL dialect.
+
+The grammar is deliberately exactly as large as the paper's queries
+need: a single SELECT over a comma-separated FROM list, with a WHERE
+conjunction of comparisons, LIKE patterns and (at most) one
+``SIMILAR_TO(lambda)`` join predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column: ``alias.column`` or bare ``column``."""
+
+    table: str | None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """One FROM-list entry: relation name plus optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by in column qualifiers."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal`` with op in =, <>, !=, <, <=, >, >=."""
+
+    column: ColumnRef
+    op: str
+    literal: Union[str, int, float]
+
+
+@dataclass(frozen=True)
+class LikePredicate:
+    """``column LIKE 'pattern'`` with SQL ``%``/``_`` wildcards."""
+
+    column: ColumnRef
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SimilarToPredicate:
+    """``left SIMILAR_TO(lambda) right``.
+
+    Asymmetric (Section 2): for each document of the *right* attribute,
+    find the ``lam`` most similar documents of the *left* attribute —
+    right is the outer collection C2, left the inner C1.
+    """
+
+    left: ColumnRef
+    lam: int
+    right: ColumnRef
+
+
+Predicate = Union[Comparison, LikePredicate, SimilarToPredicate]
+
+
+def _quote(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+def predicate_to_sql(predicate: Predicate) -> str:
+    """Render one predicate back to query text."""
+    if isinstance(predicate, Comparison):
+        literal = predicate.literal
+        rendered = _quote(literal) if isinstance(literal, str) else repr(literal)
+        return f"{predicate.column} {predicate.op} {rendered}"
+    if isinstance(predicate, LikePredicate):
+        keyword = "NOT LIKE" if predicate.negated else "LIKE"
+        return f"{predicate.column} {keyword} {_quote(predicate.pattern)}"
+    if isinstance(predicate, SimilarToPredicate):
+        return f"{predicate.left} SIMILAR_TO({predicate.lam}) {predicate.right}"
+    raise TypeError(f"unknown predicate {predicate!r}")
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed query: projection, FROM list, WHERE conjunction."""
+
+    columns: tuple[ColumnRef, ...]
+    tables: tuple[TableRef, ...]
+    predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    @property
+    def similar_to(self) -> SimilarToPredicate | None:
+        for predicate in self.predicates:
+            if isinstance(predicate, SimilarToPredicate):
+                return predicate
+        return None
+
+    @property
+    def local_predicates(self) -> tuple[Predicate, ...]:
+        return tuple(
+            p for p in self.predicates if not isinstance(p, SimilarToPredicate)
+        )
+
+    def to_sql(self) -> str:
+        """Render the query back to parseable text (see the parser's
+        round-trip property test)."""
+        columns = ", ".join(str(column) for column in self.columns)
+        tables = ", ".join(
+            f"{t.name} {t.alias}" if t.alias else t.name for t in self.tables
+        )
+        text = f"SELECT {columns} FROM {tables}"
+        if self.predicates:
+            text += " WHERE " + " AND ".join(
+                predicate_to_sql(p) for p in self.predicates
+            )
+        return text

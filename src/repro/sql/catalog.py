@@ -1,0 +1,134 @@
+"""Catalog: relations whose textual attributes are document collections.
+
+The multidatabase picture of Sections 1-3: a global relation may mix
+ordinary attributes (managed by a relational local system) with textual
+attributes (managed by a local IR system).  Here a :class:`Relation`
+stores its ordinary attribute values row-wise, and each *textual*
+attribute is bound to a :class:`~repro.text.collection.DocumentCollection`
+in which row ``i``'s document is the one numbered ``i`` — the usual
+"document id = tuple position" coupling of the paper's storage model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SqlSemanticError
+from repro.text.collection import DocumentCollection
+
+
+@dataclass
+class Relation:
+    """One global relation.
+
+    ``attributes`` lists the ordinary (non-textual) attribute names;
+    ``rows`` holds their values.  Textual attributes are added with
+    :meth:`bind_text` and resolve through the bound collection.
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    text_attributes: dict[str, DocumentCollection] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for row_number, row in enumerate(self.rows):
+            missing = set(self.attributes) - set(row)
+            if missing:
+                raise SqlSemanticError(
+                    f"relation {self.name!r} row {row_number} is missing "
+                    f"attributes {sorted(missing)}"
+                )
+
+    def bind_text(self, attribute: str, collection: DocumentCollection) -> "Relation":
+        """Declare ``attribute`` textual, backed by ``collection``.
+
+        The collection must have exactly one document per row (document
+        ``i`` belongs to row ``i``).
+        """
+        if attribute in self.attributes:
+            raise SqlSemanticError(
+                f"{self.name}.{attribute} is already an ordinary attribute"
+            )
+        if collection.n_documents != len(self.rows):
+            raise SqlSemanticError(
+                f"collection {collection.name!r} has {collection.n_documents} "
+                f"documents but relation {self.name!r} has {len(self.rows)} rows"
+            )
+        self.text_attributes[attribute] = collection
+        return self
+
+    # --- attribute access -------------------------------------------------
+
+    def has_attribute(self, attribute: str) -> bool:
+        """True when ``attribute`` is ordinary or textual here."""
+        return attribute in self.attributes or attribute in self.text_attributes
+
+    def is_text(self, attribute: str) -> bool:
+        """True when ``attribute`` is backed by a document collection."""
+        return attribute in self.text_attributes
+
+    def collection(self, attribute: str) -> DocumentCollection:
+        """The collection behind a textual attribute; raises otherwise."""
+        try:
+            return self.text_attributes[attribute]
+        except KeyError:
+            raise SqlSemanticError(
+                f"{self.name}.{attribute} is not a textual attribute"
+            ) from None
+
+    def value(self, row_id: int, attribute: str) -> Any:
+        """Ordinary attribute value of one row."""
+        if attribute in self.text_attributes:
+            raise SqlSemanticError(
+                f"{self.name}.{attribute} is textual; project it via the join result"
+            )
+        try:
+            return self.rows[row_id][attribute]
+        except KeyError:
+            raise SqlSemanticError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @classmethod
+    def from_rows(
+        cls, name: str, rows: Sequence[Mapping[str, Any]]
+    ) -> "Relation":
+        """Infer the attribute list from the first row."""
+        if not rows:
+            raise SqlSemanticError(f"relation {name!r} needs at least one row")
+        attributes = tuple(rows[0].keys())
+        return cls(name=name, attributes=attributes, rows=[dict(r) for r in rows])
+
+
+class Catalog:
+    """All relations visible to the query planner."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+
+    def register(self, relation: Relation) -> Relation:
+        """Add a relation under its (case-insensitive) name."""
+        key = relation.name.upper()
+        if key in self._relations:
+            raise SqlSemanticError(f"relation {relation.name!r} already registered")
+        self._relations[key] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        """Look a relation up by name; raises for unknown names."""
+        try:
+            return self._relations[name.upper()]
+        except KeyError:
+            raise SqlSemanticError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)

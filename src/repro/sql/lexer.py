@@ -1,0 +1,86 @@
+"""Tokenizer for the extended-SQL dialect.
+
+Token kinds: keywords (case-insensitive), identifiers (which may contain
+``#`` and ``_``, e.g. ``P#``), qualified via ``.``, string literals in
+single quotes, integer/float numbers, and the punctuation the grammar
+needs.  ``SIMILAR_TO`` is a keyword; its ``(lambda)`` argument is plain
+parenthesised-number syntax handled by the parser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    {"SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "LIKE", "SIMILAR_TO", "AS"}
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_#]*)
+  | (?P<op><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[(),.*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str  # 'keyword' | 'name' | 'string' | 'number' | 'op' | 'punct' | 'eof'
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        """True when this token has the given kind (and value, if given)."""
+        if self.kind != kind:
+            return False
+        return value is None or self.value.upper() == value.upper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex the query text; raises :class:`SqlSyntaxError` on junk."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        if match.lastgroup == "name":
+            if value.upper() in KEYWORDS:
+                tokens.append(Token("keyword", value.upper(), match.start()))
+            else:
+                tokens.append(Token("name", value, match.start()))
+        elif match.lastgroup == "string":
+            literal = value[1:-1].replace("''", "'")
+            tokens.append(Token("string", literal, match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(Token("number", value, match.start()))
+        elif match.lastgroup == "op":
+            tokens.append(Token("op", value, match.start()))
+        else:
+            tokens.append(Token("punct", value, match.start()))
+    tokens.append(Token("eof", "", len(text)))
+    return tokens
+
+
+def iter_significant(tokens: list[Token]) -> Iterator[Token]:
+    """All tokens except the trailing EOF (convenience for tests)."""
+    for token in tokens:
+        if token.kind != "eof":
+            yield token

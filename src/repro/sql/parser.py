@@ -1,0 +1,153 @@
+"""Recursive-descent parser for the extended-SQL dialect.
+
+Grammar::
+
+    query      := SELECT columns FROM tables [WHERE conjunction]
+    columns    := column (',' column)* | '*'
+    column     := name ['.' name]
+    tables     := table (',' table)*
+    table      := name [[AS] name]
+    conjunction:= predicate (AND predicate)*
+    predicate  := column op literal
+               |  column [NOT] LIKE string
+               |  column SIMILAR_TO '(' number ')' column
+
+Only conjunctions are supported (the paper's queries need no OR); at
+most one SIMILAR_TO per query is enforced by the planner, not here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    LikePredicate,
+    Predicate,
+    SelectQuery,
+    SimilarToPredicate,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # --- token plumbing --------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._current
+        if not token.matches(kind, value):
+            wanted = value or kind
+            raise SqlSyntaxError(
+                f"expected {wanted!r} but found {token.value!r} "
+                f"at offset {token.position}"
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self._current.matches(kind, value):
+            return self._advance()
+        return None
+
+    # --- grammar ------------------------------------------------------------
+
+    def parse_query(self) -> SelectQuery:
+        self._expect("keyword", "SELECT")
+        columns = self._parse_columns()
+        self._expect("keyword", "FROM")
+        tables = self._parse_tables()
+        predicates: tuple[Predicate, ...] = ()
+        if self._accept("keyword", "WHERE"):
+            predicates = self._parse_conjunction()
+        self._expect("eof")
+        return SelectQuery(columns=columns, tables=tables, predicates=predicates)
+
+    def _parse_columns(self) -> tuple[ColumnRef, ...]:
+        if self._accept("punct", "*"):
+            return (ColumnRef(None, "*"),)
+        columns = [self._parse_column()]
+        while self._accept("punct", ","):
+            columns.append(self._parse_column())
+        return tuple(columns)
+
+    def _parse_column(self) -> ColumnRef:
+        first = self._expect("name").value
+        if self._accept("punct", "."):
+            second = self._expect("name").value
+            return ColumnRef(first, second)
+        return ColumnRef(None, first)
+
+    def _parse_tables(self) -> tuple[TableRef, ...]:
+        tables = [self._parse_table()]
+        while self._accept("punct", ","):
+            tables.append(self._parse_table())
+        return tuple(tables)
+
+    def _parse_table(self) -> TableRef:
+        name = self._expect("name").value
+        self._accept("keyword", "AS")
+        alias_token = self._accept("name")
+        return TableRef(name, alias_token.value if alias_token else None)
+
+    def _parse_conjunction(self) -> tuple[Predicate, ...]:
+        predicates = [self._parse_predicate()]
+        while self._accept("keyword", "AND"):
+            predicates.append(self._parse_predicate())
+        return tuple(predicates)
+
+    def _parse_predicate(self) -> Predicate:
+        column = self._parse_column()
+        if self._accept("keyword", "SIMILAR_TO"):
+            self._expect("punct", "(")
+            lam_token = self._expect("number")
+            self._expect("punct", ")")
+            right = self._parse_column()
+            lam = int(float(lam_token.value))
+            if lam <= 0:
+                raise SqlSyntaxError(
+                    f"SIMILAR_TO lambda must be positive, got {lam_token.value} "
+                    f"at offset {lam_token.position}"
+                )
+            return SimilarToPredicate(left=column, lam=lam, right=right)
+        negated = bool(self._accept("keyword", "NOT"))
+        if self._accept("keyword", "LIKE"):
+            pattern = self._expect("string").value
+            return LikePredicate(column=column, pattern=pattern, negated=negated)
+        if negated:
+            raise SqlSyntaxError(
+                f"NOT is only supported before LIKE (offset {self._current.position})"
+            )
+        op_token = self._expect("op")
+        literal = self._parse_literal()
+        return Comparison(column=column, op=op_token.value, literal=literal)
+
+    def _parse_literal(self) -> str | int | float:
+        token = self._current
+        if token.kind == "string":
+            self._advance()
+            return token.value
+        if token.kind == "number":
+            self._advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        raise SqlSyntaxError(
+            f"expected a literal but found {token.value!r} at offset {token.position}"
+        )
+
+
+def parse(text: str) -> SelectQuery:
+    """Parse one extended-SQL SELECT statement."""
+    return _Parser(tokenize(text)).parse_query()

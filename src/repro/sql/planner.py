@@ -1,0 +1,319 @@
+"""Query planner: selection pushdown + integrated algorithm choice.
+
+Planning a text-join query follows Section 2's playbook:
+
+1. Evaluate every local predicate (``LIKE``, comparisons) first — only
+   surviving documents participate in the join.
+2. The ``SIMILAR_TO`` predicate fixes the roles: its *right* attribute is
+   the outer collection C2 (one result group per outer document), its
+   *left* attribute the inner collection C1.
+3. A selection on the **outer** side becomes a participating-id list
+   (Group 3 style: random fetches, original index sizes).  A selection on
+   the **inner** side must restrict the candidate pool itself, so the
+   planner materialises a renumbered sub-collection (its inverted file
+   and B+-tree are rebuilt at the small size, Group 4 style) and keeps
+   the id mapping for projection.
+4. The integrated algorithm picks HHNL / HVNL / VVM from the estimated
+   costs at execution time.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SqlSemanticError
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    LikePredicate,
+    Predicate,
+    SelectQuery,
+    SimilarToPredicate,
+    TableRef,
+)
+from repro.sql.catalog import Catalog, Relation
+from repro.text.collection import DocumentCollection
+
+
+@dataclass(frozen=True)
+class ResolvedColumn:
+    """A column bound to its table."""
+
+    binding: str  # the alias (or name) used in the query
+    relation: Relation
+    attribute: str
+
+    @property
+    def is_text(self) -> bool:
+        return self.relation.is_text(self.attribute)
+
+
+@dataclass
+class TextJoinPlan:
+    """Everything the executor needs to run one text-join query."""
+
+    query: SelectQuery
+    inner_binding: str
+    outer_binding: str
+    inner_relation: Relation
+    outer_relation: Relation
+    inner_collection: DocumentCollection  # possibly a renumbered sub-collection
+    outer_collection: DocumentCollection
+    lam: int
+    #: original row id per inner-collection doc id (identity when no inner selection)
+    inner_row_of_doc: list[int]
+    #: surviving outer row ids (None = all rows participate)
+    outer_ids: list[int] | None
+    #: surviving inner doc ids under the "filter" strategy (None = all /
+    #: already materialised)
+    inner_ids: list[int] | None = None
+    projections: list[ResolvedColumn] = field(default_factory=list)
+
+    @property
+    def inner_is_filtered(self) -> bool:
+        return len(self.inner_row_of_doc) != self.inner_relation.n_rows
+
+
+@dataclass
+class SelectionPlan:
+    """A single-table query with no text join."""
+
+    query: SelectQuery
+    binding: str
+    relation: Relation
+    row_ids: list[int]
+    projections: list[ResolvedColumn] = field(default_factory=list)
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """SQL LIKE pattern to an anchored regex (``%`` -> ``.*``, ``_`` -> ``.``)."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE)
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _predicate_survivors(relation: Relation, attribute: str, predicate: Predicate) -> set[int]:
+    """Row ids of ``relation`` satisfying one local predicate."""
+    survivors: set[int] = set()
+    if isinstance(predicate, LikePredicate):
+        regex = like_to_regex(predicate.pattern)
+        for row_id in range(relation.n_rows):
+            value = relation.value(row_id, attribute)
+            hit = bool(regex.match(str(value)))
+            if hit != predicate.negated:
+                survivors.add(row_id)
+        return survivors
+    if isinstance(predicate, Comparison):
+        compare = _OPS[predicate.op]
+        for row_id in range(relation.n_rows):
+            value = relation.value(row_id, attribute)
+            try:
+                if compare(value, predicate.literal):
+                    survivors.add(row_id)
+            except TypeError as exc:
+                raise SqlSemanticError(
+                    f"cannot compare {relation.name}.{attribute} value {value!r} "
+                    f"with {predicate.literal!r}"
+                ) from exc
+        return survivors
+    raise SqlSemanticError(f"unsupported local predicate {predicate!r}")
+
+
+class _Resolver:
+    """Binds table refs to relations and columns to bindings."""
+
+    def __init__(self, query: SelectQuery, catalog: Catalog) -> None:
+        self.query = query
+        self.bindings: dict[str, Relation] = {}
+        for table in query.tables:
+            if table.binding.upper() in {b.upper() for b in self.bindings}:
+                raise SqlSemanticError(f"duplicate table binding {table.binding!r}")
+            self.bindings[table.binding] = catalog.relation(table.name)
+
+    def resolve(self, column: ColumnRef) -> ResolvedColumn:
+        if column.table is not None:
+            relation = self._binding(column.table)
+            if not relation.has_attribute(column.column):
+                raise SqlSemanticError(
+                    f"relation bound to {column.table!r} has no attribute "
+                    f"{column.column!r}"
+                )
+            return ResolvedColumn(self._canonical(column.table), relation, column.column)
+        owners = [
+            binding
+            for binding, relation in self.bindings.items()
+            if relation.has_attribute(column.column)
+        ]
+        if not owners:
+            raise SqlSemanticError(f"unknown column {column.column!r}")
+        if len(owners) > 1:
+            raise SqlSemanticError(
+                f"ambiguous column {column.column!r}: owned by {sorted(owners)}"
+            )
+        return ResolvedColumn(owners[0], self.bindings[owners[0]], column.column)
+
+    def _binding(self, name: str) -> Relation:
+        for binding, relation in self.bindings.items():
+            if binding.upper() == name.upper():
+                return relation
+        raise SqlSemanticError(f"unknown table binding {name!r}")
+
+    def _canonical(self, name: str) -> str:
+        for binding in self.bindings:
+            if binding.upper() == name.upper():
+                return binding
+        raise SqlSemanticError(f"unknown table binding {name!r}")
+
+
+def _expand_projections(
+    query: SelectQuery, resolver: _Resolver
+) -> list[ResolvedColumn]:
+    projections: list[ResolvedColumn] = []
+    for column in query.columns:
+        if column.column == "*":
+            for binding, relation in resolver.bindings.items():
+                for attribute in relation.attributes:
+                    projections.append(ResolvedColumn(binding, relation, attribute))
+            continue
+        resolved = resolver.resolve(column)
+        if resolved.is_text:
+            raise SqlSemanticError(
+                f"cannot project textual attribute {resolved.attribute!r}; "
+                f"textual attributes exist as document vectors, not strings"
+            )
+        projections.append(resolved)
+    return projections
+
+
+def plan(
+    query: SelectQuery,
+    catalog: Catalog,
+    *,
+    inner_strategy: str = "materialize",
+) -> TextJoinPlan | SelectionPlan:
+    """Resolve, push selections down and produce an executable plan.
+
+    ``inner_strategy`` controls how a selection on the *inner* relation
+    is applied:
+
+    * ``"materialize"`` (default) — copy the survivors into a fresh,
+      renumbered collection whose indexes are rebuilt at the small size
+      (Group 4 semantics: pay once, then everything shrinks);
+    * ``"filter"`` — keep the original collection and filter candidates
+      inside the executors (Group 3 semantics: index structures keep
+      their original size, no materialisation cost).
+    """
+    if inner_strategy not in ("materialize", "filter"):
+        raise SqlSemanticError(
+            f"unknown inner_strategy {inner_strategy!r}; "
+            f"use 'materialize' or 'filter'"
+        )
+    resolver = _Resolver(query, catalog)
+    similar = [p for p in query.predicates if isinstance(p, SimilarToPredicate)]
+    if len(similar) > 1:
+        raise SqlSemanticError("at most one SIMILAR_TO predicate is supported")
+
+    # --- local selections per binding ---------------------------------------
+    survivors: dict[str, set[int]] = {
+        binding: set(range(relation.n_rows))
+        for binding, relation in resolver.bindings.items()
+    }
+    for predicate in query.local_predicates:
+        column = resolver.resolve(predicate.column)  # type: ignore[union-attr]
+        if column.is_text:
+            raise SqlSemanticError(
+                f"local predicates on textual attribute {column.attribute!r} "
+                f"are not supported; use SIMILAR_TO"
+            )
+        survivors[column.binding] &= _predicate_survivors(
+            column.relation, column.attribute, predicate
+        )
+
+    projections = _expand_projections(query, resolver)
+
+    if not similar:
+        if len(query.tables) != 1:
+            raise SqlSemanticError(
+                "queries without SIMILAR_TO must reference exactly one table "
+                "(cross products are not supported)"
+            )
+        binding = query.tables[0].binding
+        return SelectionPlan(
+            query=query,
+            binding=binding,
+            relation=resolver.bindings[binding],
+            row_ids=sorted(survivors[binding]),
+            projections=projections,
+        )
+
+    predicate = similar[0]
+    inner_col = resolver.resolve(predicate.left)
+    outer_col = resolver.resolve(predicate.right)
+    if not inner_col.is_text or not outer_col.is_text:
+        raise SqlSemanticError("SIMILAR_TO requires textual attributes on both sides")
+    if inner_col.binding == outer_col.binding:
+        raise SqlSemanticError(
+            "SIMILAR_TO must join two different table bindings "
+            "(self-joins need two aliases of the relation)"
+        )
+    if len(query.tables) != 2:
+        raise SqlSemanticError("text-join queries must reference exactly two tables")
+
+    inner_relation = inner_col.relation
+    outer_relation = outer_col.relation
+    inner_collection = inner_relation.collection(inner_col.attribute)
+    outer_collection = outer_relation.collection(outer_col.attribute)
+
+    # Inner selection restricts the candidate pool.
+    inner_survivors = sorted(survivors[inner_col.binding])
+    inner_ids: list[int] | None = None
+    if len(inner_survivors) != inner_relation.n_rows:
+        if inner_strategy == "materialize":
+            inner_collection = inner_collection.renumbered_subset(
+                inner_survivors, f"{inner_collection.name}[{len(inner_survivors)}]"
+            )
+            inner_row_of_doc = inner_survivors
+        else:  # filter: original storage and indexes, executor-side filtering
+            inner_ids = inner_survivors
+            inner_row_of_doc = list(range(inner_relation.n_rows))
+    else:
+        inner_row_of_doc = list(range(inner_relation.n_rows))
+
+    outer_survivors = sorted(survivors[outer_col.binding])
+    outer_ids = (
+        None if len(outer_survivors) == outer_relation.n_rows else outer_survivors
+    )
+
+    return TextJoinPlan(
+        query=query,
+        inner_binding=inner_col.binding,
+        outer_binding=outer_col.binding,
+        inner_relation=inner_relation,
+        outer_relation=outer_relation,
+        inner_collection=inner_collection,
+        outer_collection=outer_collection,
+        lam=predicate.lam,
+        inner_row_of_doc=inner_row_of_doc,
+        outer_ids=outer_ids,
+        inner_ids=inner_ids,
+        projections=projections,
+    )

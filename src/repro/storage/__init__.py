@@ -1,0 +1,50 @@
+"""Simulated paged storage substrate.
+
+The paper measures every algorithm purely by weighted I/O count:
+sequential page reads cost 1 unit and random page reads cost ``alpha``
+units (Section 3).  This subpackage provides the machinery the join
+executors run on:
+
+* :mod:`repro.storage.pages` — page-geometry arithmetic,
+* :mod:`repro.storage.iostats` — sequential/random read accounting,
+* :mod:`repro.storage.extents` — consecutively laid-out record files,
+* :mod:`repro.storage.disk` — the simulated disk that classifies reads,
+* :mod:`repro.storage.policies` — buffer replacement policies,
+* :mod:`repro.storage.buffer` — a budgeted object buffer used by HVNL.
+"""
+
+from repro.storage.buffer import BufferedObject, ObjectBuffer
+from repro.storage.disk import DiskChargeModel, SimulatedDisk
+from repro.storage.extents import Extent, RecordSpan
+from repro.storage.iostats import IOStats
+from repro.storage.pages import PageGeometry, ceil_div, pages_for_bytes, span_pages
+from repro.storage.policies import (
+    FIFOPolicy,
+    LowestDocFrequencyPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+)
+from repro.storage.trace import IOTrace, TraceEvent, TracingIOStats
+
+__all__ = [
+    "BufferedObject",
+    "DiskChargeModel",
+    "Extent",
+    "FIFOPolicy",
+    "IOStats",
+    "IOTrace",
+    "TraceEvent",
+    "TracingIOStats",
+    "LRUPolicy",
+    "LowestDocFrequencyPolicy",
+    "ObjectBuffer",
+    "PageGeometry",
+    "RandomPolicy",
+    "RecordSpan",
+    "ReplacementPolicy",
+    "SimulatedDisk",
+    "ceil_div",
+    "pages_for_bytes",
+    "span_pages",
+]

@@ -1,0 +1,82 @@
+"""Sequential/random I/O accounting.
+
+The single performance metric of the paper is
+
+    cost = sequential_page_reads + alpha * random_page_reads
+
+(Section 3: a random read pays the extra seek and rotation delay, modelled
+as the cost ratio ``alpha``).  :class:`IOStats` is the one mutable counter
+threaded through the simulated disk and the join executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable counter of page reads, split by access pattern.
+
+    The counter does not know ``alpha`` itself; :meth:`weighted_cost`
+    takes it as an argument so one measured run can be re-priced under
+    several cost ratios (used by the alpha-sweep experiments).
+    """
+
+    sequential_reads: int = 0
+    random_reads: int = 0
+    #: per-extent breakdown, ``{extent_name: (sequential, random)}``
+    by_extent: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def record(self, extent_name: str, *, sequential: int = 0, random: int = 0) -> None:
+        """Add page reads attributed to one extent."""
+        if sequential < 0 or random < 0:
+            raise ValueError("I/O counts cannot be negative")
+        self.sequential_reads += sequential
+        self.random_reads += random
+        seq0, rnd0 = self.by_extent.get(extent_name, (0, 0))
+        self.by_extent[extent_name] = (seq0 + sequential, rnd0 + random)
+
+    @property
+    def total_reads(self) -> int:
+        """Total pages transferred, ignoring access pattern."""
+        return self.sequential_reads + self.random_reads
+
+    def weighted_cost(self, alpha: float) -> float:
+        """The paper's I/O cost: sequential reads + ``alpha`` * random reads."""
+        if alpha < 1:
+            raise ValueError(f"alpha must be >= 1, got {alpha}")
+        return self.sequential_reads + alpha * self.random_reads
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy, for before/after deltas."""
+        return IOStats(
+            sequential_reads=self.sequential_reads,
+            random_reads=self.random_reads,
+            by_extent=dict(self.by_extent),
+        )
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Reads accumulated since ``earlier`` (a prior :meth:`snapshot`)."""
+        by_extent: dict[str, tuple[int, int]] = {}
+        for name, (seq, rnd) in self.by_extent.items():
+            seq0, rnd0 = earlier.by_extent.get(name, (0, 0))
+            if seq != seq0 or rnd != rnd0:
+                by_extent[name] = (seq - seq0, rnd - rnd0)
+        return IOStats(
+            sequential_reads=self.sequential_reads - earlier.sequential_reads,
+            random_reads=self.random_reads - earlier.random_reads,
+            by_extent=by_extent,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.sequential_reads = 0
+        self.random_reads = 0
+        self.by_extent.clear()
+
+    def __str__(self) -> str:
+        return (
+            f"IOStats(seq={self.sequential_reads}, rand={self.random_reads}, "
+            f"total={self.total_reads})"
+        )

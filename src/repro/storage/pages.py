@@ -1,0 +1,75 @@
+"""Page-geometry arithmetic shared by storage, index and cost modules.
+
+Everything in the paper is measured in pages of ``P`` bytes.  Collection
+and inverted-file sizes are *fractional* page counts (documents are
+"tightly packed", Section 3), while any actual transfer of course moves
+whole pages.  This module centralises the ceil/floor conventions so the
+cost model and the executable storage agree byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import DEFAULT_PAGE_BYTES
+from repro.errors import StorageError
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if denominator <= 0:
+        raise StorageError(f"ceil_div denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise StorageError(f"ceil_div numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def pages_for_bytes(n_bytes: int, page_bytes: int = DEFAULT_PAGE_BYTES) -> int:
+    """Whole pages needed to hold ``n_bytes`` starting at a page boundary."""
+    if n_bytes == 0:
+        return 0
+    return ceil_div(n_bytes, page_bytes)
+
+
+def span_pages(start_byte: int, n_bytes: int, page_bytes: int = DEFAULT_PAGE_BYTES) -> tuple[int, int]:
+    """Page interval ``[first, last]`` touched by a byte range.
+
+    ``start_byte`` is an absolute offset inside an extent; the record is
+    *packed*, i.e. not page aligned, so a record smaller than one page can
+    still straddle two pages.  Returns ``(first_page, last_page)``
+    inclusive.  A zero-length record touches the single page containing
+    its offset.
+    """
+    if start_byte < 0 or n_bytes < 0:
+        raise StorageError("span_pages requires non-negative offsets and sizes")
+    first = start_byte // page_bytes
+    if n_bytes == 0:
+        return first, first
+    last = (start_byte + n_bytes - 1) // page_bytes
+    return first, last
+
+
+@dataclass(frozen=True)
+class PageGeometry:
+    """Page size plus the fractional-page helpers the cost model uses."""
+
+    page_bytes: int = DEFAULT_PAGE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0:
+            raise StorageError(f"page size must be positive, got {self.page_bytes}")
+
+    def fractional_pages(self, n_bytes: float) -> float:
+        """Exact (fractional) number of pages for a byte count."""
+        return n_bytes / self.page_bytes
+
+    def whole_pages(self, n_bytes: int) -> int:
+        """Whole pages needed for ``n_bytes`` (page-aligned placement)."""
+        return pages_for_bytes(n_bytes, self.page_bytes)
+
+    def ceil_pages(self, fractional: float) -> int:
+        """The paper's ``ceil(S)``: whole pages read for a fractional size."""
+        if fractional < 0:
+            raise StorageError("fractional page count must be non-negative")
+        return math.ceil(fractional) if fractional > 0 else 0

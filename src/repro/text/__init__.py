@@ -1,0 +1,39 @@
+"""Text substrate: the vector-space document model of Section 3.
+
+A document is a sorted list of *d-cells* ``(t#, w)`` — term number plus
+occurrence count — and a document collection is a bag of such documents
+sharing one vocabulary (the paper's "standard mapping" from terms to term
+numbers, assumed common across local IR systems).
+
+Modules:
+
+* :mod:`repro.text.document` — documents and d-cells,
+* :mod:`repro.text.tokenizer` — raw text to term lists,
+* :mod:`repro.text.vocabulary` — the term <-> term-number standard mapping,
+* :mod:`repro.text.collection` — document collections and their statistics,
+* :mod:`repro.text.similarity` — dot-product / cosine / idf similarity.
+"""
+
+from repro.text.collection import DocumentCollection
+from repro.text.document import Document
+from repro.text.similarity import (
+    cosine_similarity,
+    dot_product,
+    idf_weights,
+    norm,
+    weighted_dot_product,
+)
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "Document",
+    "DocumentCollection",
+    "Tokenizer",
+    "Vocabulary",
+    "cosine_similarity",
+    "dot_product",
+    "idf_weights",
+    "norm",
+    "weighted_dot_product",
+]

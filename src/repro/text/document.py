@@ -1,0 +1,130 @@
+"""Documents as sorted d-cell vectors.
+
+Section 3: "each document consists of a list of cells of the form
+``(t#, w)``, called document-cell or d-cell, where ``t#`` is a term
+number and ``w`` is the number of occurrences of the term in the
+document.  All d-cells in a document are ordered in increasing order of
+the term number."  The stored size of a document is 5 bytes per d-cell
+(``|t#| = 3``, ``|w| = 2``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Iterator, Mapping
+
+from repro.constants import D_CELL_BYTES
+from repro.errors import DocumentFormatError
+
+
+class Document:
+    """An immutable document: an id plus sorted ``(term, weight)`` d-cells.
+
+    ``doc_id`` is the document number within its collection (``d#``);
+    weights are positive integers (occurrence counts).  Construction
+    validates the Section 3 format: strictly increasing term numbers and
+    positive weights.
+    """
+
+    __slots__ = ("doc_id", "cells", "_norm")
+
+    def __init__(self, doc_id: int, cells: Iterable[tuple[int, int]]) -> None:
+        self.doc_id = doc_id
+        self.cells: tuple[tuple[int, int], ...] = tuple(cells)
+        self._validate()
+        self._norm: float | None = None
+
+    def _validate(self) -> None:
+        if self.doc_id < 0:
+            raise DocumentFormatError(f"doc_id must be non-negative, got {self.doc_id}")
+        previous = -1
+        for term, weight in self.cells:
+            if term < 0:
+                raise DocumentFormatError(f"term number must be non-negative, got {term}")
+            if term <= previous:
+                raise DocumentFormatError(
+                    f"d-cells must be strictly increasing by term number; "
+                    f"term {term} follows {previous} in document {self.doc_id}"
+                )
+            if weight <= 0:
+                raise DocumentFormatError(
+                    f"occurrence count must be positive, got {weight} "
+                    f"for term {term} in document {self.doc_id}"
+                )
+            previous = term
+
+    # --- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, doc_id: int, counts: Mapping[int, int]) -> "Document":
+        """Build from an unordered ``{term: occurrences}`` mapping."""
+        return cls(doc_id, sorted(counts.items()))
+
+    @classmethod
+    def from_terms(cls, doc_id: int, terms: Iterable[int]) -> "Document":
+        """Build from a raw term-number sequence, counting occurrences."""
+        return cls.from_counts(doc_id, Counter(terms))
+
+    # --- vector-space accessors -------------------------------------------
+
+    @property
+    def n_terms(self) -> int:
+        """Number of *distinct* terms (the paper's per-document ``K``)."""
+        return len(self.cells)
+
+    @property
+    def n_bytes(self) -> int:
+        """Stored size: 5 bytes per d-cell."""
+        return len(self.cells) * D_CELL_BYTES
+
+    @property
+    def terms(self) -> tuple[int, ...]:
+        return tuple(term for term, _ in self.cells)
+
+    def weight(self, term: int) -> int:
+        """Occurrences of ``term`` in this document, 0 if absent.
+
+        Binary search over the sorted d-cells.
+        """
+        cells = self.cells
+        lo, hi = 0, len(cells)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cells[mid][0] < term:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(cells) and cells[lo][0] == term:
+            return cells[lo][1]
+        return 0
+
+    def __contains__(self, term: int) -> bool:
+        return self.weight(term) > 0
+
+    def as_dict(self) -> dict[int, int]:
+        """The d-cells as a ``{term: occurrences}`` mapping."""
+        return dict(self.cells)
+
+    def norm(self) -> float:
+        """Euclidean norm of the occurrence vector (cached)."""
+        if self._norm is None:
+            self._norm = math.sqrt(sum(w * w for _, w in self.cells))
+        return self._norm
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Document):
+            return NotImplemented
+        return self.doc_id == other.doc_id and self.cells == other.cells
+
+    def __hash__(self) -> int:
+        return hash((self.doc_id, self.cells))
+
+    def __repr__(self) -> str:
+        return f"Document(id={self.doc_id}, terms={self.n_terms}, bytes={self.n_bytes})"

@@ -1,0 +1,195 @@
+"""The paper's physical format, for real files.
+
+Section 3 fixes the on-disk layout this library simulates everywhere:
+documents are lists of 5-byte d-cells — a 3-byte term number and a
+2-byte occurrence count — packed back to back with no alignment, and
+inverted files store 5-byte i-cells the same way.  This module writes
+and reads that exact format, so a collection's file size on disk equals
+``collection.total_bytes`` to the byte and the simulated page counts
+describe a real file.
+
+Layout of a ``.docs`` / ``.inv`` pair of files:
+
+* ``<name>.docs`` — the packed cells, nothing else;
+* ``<name>.dir``  — the directory: magic, record count, then one u32
+  *end offset* per record (start offsets are implied by packing).
+
+The 3/2-byte widths make the paper's capacity limits concrete: term
+numbers above ``2**24 - 1`` or occurrence counts above ``2**16 - 1``
+cannot be represented and raise — occurrence counts may be clamped
+instead by passing ``clamp_weights=True`` (real IR systems cap term
+frequency anyway).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.constants import (
+    D_CELL_BYTES,
+    OCCURRENCE_BYTES,
+    TERM_NUMBER_BYTES,
+)
+from repro.errors import DocumentFormatError
+from repro.index.inverted import InvertedEntry, InvertedFile
+from repro.text.collection import DocumentCollection
+from repro.text.document import Document
+
+MAX_TERM_NUMBER = (1 << (8 * TERM_NUMBER_BYTES)) - 1
+MAX_OCCURRENCES = (1 << (8 * OCCURRENCE_BYTES)) - 1
+
+_DIR_MAGIC = b"TJR1"
+_DIR_HEADER = struct.Struct("<4sI")
+_DIR_OFFSET = struct.Struct("<I")
+
+
+def cells_to_bytes(
+    cells: tuple[tuple[int, int], ...], *, clamp_weights: bool = False
+) -> bytes:
+    """Pack ``(number, weight)`` cells into the 5-byte wire format."""
+    out = bytearray()
+    for number, weight in cells:
+        if number > MAX_TERM_NUMBER or number < 0:
+            raise DocumentFormatError(
+                f"number {number} does not fit the paper's {TERM_NUMBER_BYTES}-byte field"
+            )
+        if weight > MAX_OCCURRENCES:
+            if not clamp_weights:
+                raise DocumentFormatError(
+                    f"occurrence count {weight} does not fit the paper's "
+                    f"{OCCURRENCE_BYTES}-byte field (pass clamp_weights=True to cap)"
+                )
+            weight = MAX_OCCURRENCES
+        out += number.to_bytes(TERM_NUMBER_BYTES, "little")
+        out += weight.to_bytes(OCCURRENCE_BYTES, "little")
+    return bytes(out)
+
+
+def cells_from_bytes(data: bytes) -> tuple[tuple[int, int], ...]:
+    """Inverse of :func:`cells_to_bytes`."""
+    if len(data) % D_CELL_BYTES:
+        raise DocumentFormatError(
+            f"cell stream length {len(data)} is not a multiple of {D_CELL_BYTES}"
+        )
+    cells = []
+    for position in range(0, len(data), D_CELL_BYTES):
+        number = int.from_bytes(
+            data[position : position + TERM_NUMBER_BYTES], "little"
+        )
+        weight = int.from_bytes(
+            data[position + TERM_NUMBER_BYTES : position + D_CELL_BYTES], "little"
+        )
+        cells.append((number, weight))
+    return tuple(cells)
+
+
+def _write_records(
+    base: Path, records: list[bytes]
+) -> tuple[Path, Path]:
+    docs_path = base.with_suffix(base.suffix + ".cells")
+    dir_path = base.with_suffix(base.suffix + ".dir")
+    end = 0
+    with open(docs_path, "wb") as cells_file, open(dir_path, "wb") as dir_file:
+        dir_file.write(_DIR_HEADER.pack(_DIR_MAGIC, len(records)))
+        for record in records:
+            cells_file.write(record)
+            end += len(record)
+            dir_file.write(_DIR_OFFSET.pack(end))
+    return docs_path, dir_path
+
+
+def _read_records(base: Path) -> list[bytes]:
+    docs_path = base.with_suffix(base.suffix + ".cells")
+    dir_path = base.with_suffix(base.suffix + ".dir")
+    with open(dir_path, "rb") as dir_file:
+        header = dir_file.read(_DIR_HEADER.size)
+        magic, count = _DIR_HEADER.unpack(header)
+        if magic != _DIR_MAGIC:
+            raise DocumentFormatError(f"{dir_path} is not a textjoin directory file")
+        ends = [
+            _DIR_OFFSET.unpack(dir_file.read(_DIR_OFFSET.size))[0]
+            for _ in range(count)
+        ]
+    data = docs_path.read_bytes()
+    if ends and ends[-1] != len(data):
+        raise DocumentFormatError(
+            f"{docs_path} has {len(data)} bytes but the directory expects {ends[-1]}"
+        )
+    records = []
+    start = 0
+    for end in ends:
+        records.append(data[start:end])
+        start = end
+    return records
+
+
+def save_collection(
+    collection: DocumentCollection, directory: str | Path, *, clamp_weights: bool = False
+) -> Path:
+    """Write a collection in the Section 3 format; returns the base path.
+
+    Creates ``<name>.docs.cells`` (packed d-cells; its size equals
+    ``collection.total_bytes`` exactly) and ``<name>.docs.dir``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    base = directory / f"{collection.name}.docs"
+    _write_records(
+        base,
+        [cells_to_bytes(doc.cells, clamp_weights=clamp_weights) for doc in collection],
+    )
+    return base
+
+
+def load_collection(name: str, directory: str | Path) -> DocumentCollection:
+    """Read a collection written by :func:`save_collection`."""
+    base = Path(directory) / f"{name}.docs"
+    records = _read_records(base)
+    documents = [
+        Document(doc_id, cells_from_bytes(record))
+        for doc_id, record in enumerate(records)
+    ]
+    return DocumentCollection(name, documents)
+
+
+def save_inverted(
+    inverted: InvertedFile, directory: str | Path, *, clamp_weights: bool = False
+) -> Path:
+    """Write an inverted file: i-cells packed per entry, terms in the
+    directory file's companion ``.terms`` listing."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    base = directory / f"{inverted.collection_name}.inv"
+    _write_records(
+        base,
+        [
+            cells_to_bytes(entry.postings, clamp_weights=clamp_weights)
+            for entry in inverted.entries
+        ],
+    )
+    terms_path = base.with_suffix(".inv.terms")
+    with open(terms_path, "wb") as terms_file:
+        for entry in inverted.entries:
+            terms_file.write(entry.term.to_bytes(TERM_NUMBER_BYTES, "little"))
+    return base
+
+
+def load_inverted(name: str, directory: str | Path) -> InvertedFile:
+    """Read an inverted file written by :func:`save_inverted`."""
+    base = Path(directory) / f"{name}.inv"
+    records = _read_records(base)
+    terms_data = base.with_suffix(".inv.terms").read_bytes()
+    if len(terms_data) != TERM_NUMBER_BYTES * len(records):
+        raise DocumentFormatError(
+            f"term listing for {name!r} has {len(terms_data)} bytes, "
+            f"expected {TERM_NUMBER_BYTES * len(records)}"
+        )
+    entries = []
+    for index, record in enumerate(records):
+        term = int.from_bytes(
+            terms_data[index * TERM_NUMBER_BYTES : (index + 1) * TERM_NUMBER_BYTES],
+            "little",
+        )
+        entries.append(InvertedEntry(term, cells_from_bytes(record)))
+    return InvertedFile(name, entries)

@@ -1,0 +1,122 @@
+"""Similarity functions over d-cell vectors.
+
+The paper's working similarity (Section 3) is the plain inner product of
+occurrence counts over common terms: ``sum(u_i * v_i)``.  It notes that a
+"more realistic" function divides by the document norms and applies
+inverse-document-frequency term weights, both of which can be
+pre-computed; the join algorithms are agnostic to the choice.  All three
+are provided here and every executor accepts any of them through the
+same two-document callable signature.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Sequence
+
+from repro.text.document import Document
+
+SimilarityFn = Callable[[Document, Document], float]
+
+
+def dot_product(doc1: Document, doc2: Document) -> float:
+    """The paper's base similarity: sum of products over common terms.
+
+    Linear merge over the two sorted d-cell lists.
+    """
+    cells1, cells2 = doc1.cells, doc2.cells
+    i = j = 0
+    n1, n2 = len(cells1), len(cells2)
+    total = 0
+    while i < n1 and j < n2:
+        t1, w1 = cells1[i]
+        t2, w2 = cells2[j]
+        if t1 == t2:
+            total += w1 * w2
+            i += 1
+            j += 1
+        elif t1 < t2:
+            i += 1
+        else:
+            j += 1
+    return float(total)
+
+
+def norm(doc: Document) -> float:
+    """Euclidean norm of a document's occurrence vector."""
+    return doc.norm()
+
+
+def cosine_similarity(doc1: Document, doc2: Document) -> float:
+    """Dot product normalised by both document norms (0 for empty docs)."""
+    denominator = doc1.norm() * doc2.norm()
+    if denominator == 0.0:
+        return 0.0
+    return dot_product(doc1, doc2) / denominator
+
+
+def idf_weights(document_frequency: Mapping[int, int], n_documents: int) -> dict[int, float]:
+    """Inverse-document-frequency weight per term.
+
+    Uses the standard ``log(N / df)`` form (Salton & McGill); a term that
+    appears in every document gets weight 0, rare terms get large weights.
+    Document frequencies of 0 are ignored (the term never occurs).
+    """
+    if n_documents <= 0:
+        raise ValueError(f"n_documents must be positive, got {n_documents}")
+    weights: dict[int, float] = {}
+    for term, df in document_frequency.items():
+        if df < 0:
+            raise ValueError(f"negative document frequency {df} for term {term}")
+        if df > 0:
+            weights[term] = math.log(n_documents / df)
+    return weights
+
+
+def weighted_dot_product(
+    idf: Mapping[int, float], *, normalise: bool = False
+) -> SimilarityFn:
+    """Build a similarity function with per-term idf weighting.
+
+    Each common term contributes ``u * v * idf(t)**2`` (both vectors carry
+    the weight, as in tf-idf).  With ``normalise=True`` the result is
+    divided by the documents' plain norms — a cheap stand-in for full
+    tf-idf normalisation that keeps pre-computed norms usable, exactly the
+    pre-computation strategy Section 3 describes.
+    """
+
+    def similarity(doc1: Document, doc2: Document) -> float:
+        cells1, cells2 = doc1.cells, doc2.cells
+        i = j = 0
+        n1, n2 = len(cells1), len(cells2)
+        total = 0.0
+        while i < n1 and j < n2:
+            t1, w1 = cells1[i]
+            t2, w2 = cells2[j]
+            if t1 == t2:
+                weight = idf.get(t1, 0.0)
+                total += w1 * w2 * weight * weight
+                i += 1
+                j += 1
+            elif t1 < t2:
+                i += 1
+            else:
+                j += 1
+        if normalise:
+            denominator = doc1.norm() * doc2.norm()
+            return total / denominator if denominator else 0.0
+        return total
+
+    return similarity
+
+
+def pairwise_similarity_matrix(
+    docs1: Sequence[Document], docs2: Sequence[Document], similarity: SimilarityFn = dot_product
+) -> list[list[float]]:
+    """Dense all-pairs similarity matrix (reference oracle for tests).
+
+    Row ``i`` corresponds to ``docs1[i]``, column ``j`` to ``docs2[j]``.
+    Quadratic — intended for validating the join executors on small
+    collections, never for production joins.
+    """
+    return [[similarity(d1, d2) for d2 in docs2] for d1 in docs1]

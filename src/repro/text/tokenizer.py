@@ -1,0 +1,84 @@
+"""A small, deterministic tokenizer for building collections from raw text.
+
+The paper's collections arrive pre-vectorised, but the examples (resume /
+job-description matching, reviewer assignment) start from prose.  The
+tokenizer is deliberately simple and dependency-free: lowercase, split on
+non-alphanumerics, drop stopwords and short tokens, and optionally strip
+a few common English suffixes (a light stemmer, not Porter).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+# A compact stopword list: enough to keep example vocabularies honest
+# without pretending to be a linguistics package.
+DEFAULT_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again all also am an and any are as at be because
+    been before being below between both but by can could did do does doing
+    down during each few for from further had has have having he her here
+    hers him his how i if in into is it its just me more most my no nor not
+    of off on once only or other our ours out over own same she should so
+    some such than that the their theirs them then there these they this
+    those through to too under until up very was we were what when where
+    which while who whom why will with you your yours
+    """.split()
+)
+
+# Ordered (suffix, replacement) rules; first match wins.  "ies" -> "y"
+# keeps 'queries'/'query' conflated, "es" -> "e" keeps 'databases' ->
+# 'database'; the rest plainly strip.
+_SUFFIX_RULES: tuple[tuple[str, str], ...] = (
+    ("sses", "ss"),
+    ("ies", "y"),
+    ("ingly", ""),
+    ("edly", ""),
+    ("ings", ""),
+    ("ing", ""),
+    ("ed", ""),
+    ("es", "e"),
+    ("s", ""),
+    ("ly", ""),
+)
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Configurable text-to-terms pipeline.
+
+    Parameters
+    ----------
+    stopwords:
+        Words dropped after lowercasing (before stemming).
+    min_length:
+        Tokens shorter than this are dropped.
+    stem:
+        If true, apply the first matching rule from ``_SUFFIX_RULES``
+        provided at least ``min_stem_root`` characters remain.
+    """
+
+    stopwords: frozenset[str] = DEFAULT_STOPWORDS
+    min_length: int = 2
+    stem: bool = True
+    min_stem_root: int = 3
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split ``text`` into normalised term strings, in order."""
+        terms: list[str] = []
+        for token in _TOKEN_RE.findall(text.lower()):
+            if len(token) < self.min_length or token in self.stopwords:
+                continue
+            if self.stem:
+                token = self._strip_suffix(token)
+            terms.append(token)
+        return terms
+
+    def _strip_suffix(self, token: str) -> str:
+        for suffix, replacement in _SUFFIX_RULES:
+            root_len = len(token) - len(suffix)
+            if root_len >= self.min_stem_root and token.endswith(suffix):
+                return token[:root_len] + replacement
+        return token

@@ -1,0 +1,104 @@
+"""The standard term <-> term-number mapping.
+
+Section 3 argues for "a standard mapping from terms to term numbers" used
+by every local IR system of the multidatabase, so joins compare 3-byte
+numbers instead of strings.  :class:`Vocabulary` is that mapping: it
+interns term strings to dense consecutive numbers and can be frozen once
+the standard is published.
+
+The mapping also resolves the paper's local-autonomy concern: two local
+systems that used *different* private numberings can both be re-expressed
+against one shared :class:`Vocabulary` (see :meth:`renumber`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import VocabularyError
+
+
+class Vocabulary:
+    """Bidirectional, densely-numbered term mapping.
+
+    Term numbers are assigned in first-seen order starting at 0, so a
+    vocabulary built from a stable corpus order is itself stable.
+    """
+
+    def __init__(self) -> None:
+        self._number_of: dict[str, int] = {}
+        self._term_of: list[str] = []
+        self._frozen = False
+
+    # --- building ---------------------------------------------------------
+
+    def add(self, term: str) -> int:
+        """Return the number for ``term``, assigning a new one if needed."""
+        number = self._number_of.get(term)
+        if number is not None:
+            return number
+        if self._frozen:
+            raise VocabularyError(f"vocabulary is frozen; cannot add term {term!r}")
+        if not term:
+            raise VocabularyError("cannot add an empty term")
+        number = len(self._term_of)
+        self._number_of[term] = number
+        self._term_of.append(term)
+        return number
+
+    def add_all(self, terms: Iterable[str]) -> list[int]:
+        """Intern many terms, returning their numbers in order."""
+        return [self.add(term) for term in terms]
+
+    def freeze(self) -> "Vocabulary":
+        """Make the mapping immutable (the published standard)."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    # --- lookups -----------------------------------------------------------
+
+    def number(self, term: str) -> int:
+        """The number of a known term; raises for unknown terms."""
+        try:
+            return self._number_of[term]
+        except KeyError:
+            raise VocabularyError(f"unknown term {term!r}") from None
+
+    def term(self, number: int) -> str:
+        """The term string for a known number; raises for unknown numbers."""
+        if 0 <= number < len(self._term_of):
+            return self._term_of[number]
+        raise VocabularyError(f"unknown term number {number}")
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._number_of
+
+    def __len__(self) -> int:
+        return len(self._term_of)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._term_of)
+
+    # --- multidatabase support ----------------------------------------------
+
+    def renumber(self, local_numbering: Mapping[int, str]) -> dict[int, int]:
+        """Map a local system's private numbering onto this standard.
+
+        ``local_numbering`` maps the local system's term numbers to term
+        strings.  Returns ``{local_number: standard_number}``, adding any
+        term this vocabulary has not seen (unless frozen, in which case an
+        unknown term raises).  This is the "mapping between corresponding
+        numbers" alternative the paper describes for autonomous systems.
+        """
+        translation: dict[int, int] = {}
+        for local_number, term in local_numbering.items():
+            if self._frozen and term not in self._number_of:
+                raise VocabularyError(
+                    f"frozen standard has no term {term!r} (local number {local_number})"
+                )
+            translation[local_number] = self.add(term)
+        return translation

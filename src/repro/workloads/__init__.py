@@ -1,0 +1,36 @@
+"""Workloads: the paper's collection profiles and synthetic equivalents.
+
+* :mod:`repro.workloads.trec` — the statistics of the three ARPA/NIST
+  TREC-1 collections (WSJ, FR, DOE) exactly as published in Section 6.
+* :mod:`repro.workloads.synthetic` — a Zipfian document-collection
+  generator producing *executable* collections with a chosen
+  (N, K, T) profile, optionally clustered in storage order.
+* :mod:`repro.workloads.derive` — the Group 3/4/5 derivations
+  (selected subsets, originally-small collections, rescaled collections).
+"""
+
+from repro.workloads.derive import (
+    originally_small,
+    rescale_collection,
+    select_subset,
+    shuffle_collection,
+)
+from repro.workloads.files import collection_from_directory, collection_from_files
+from repro.workloads.synthetic import SyntheticSpec, generate_collection, spec_from_stats
+from repro.workloads.trec import DOE, FR, TREC_COLLECTIONS, WSJ
+
+__all__ = [
+    "DOE",
+    "FR",
+    "TREC_COLLECTIONS",
+    "WSJ",
+    "SyntheticSpec",
+    "collection_from_directory",
+    "collection_from_files",
+    "generate_collection",
+    "spec_from_stats",
+    "originally_small",
+    "rescale_collection",
+    "select_subset",
+    "shuffle_collection",
+]

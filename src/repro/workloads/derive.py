@@ -1,0 +1,96 @@
+"""Derived workloads for Groups 3, 4 and 5.
+
+Three ways a join's inputs deviate from "two whole, independent
+collections":
+
+* **Group 3** — a *selection* on non-textual attributes leaves only a few
+  participating documents of an originally large C2.  The survivors stay
+  where they were stored (random reads) and C2's inverted file and
+  B+-tree keep their original size.  :func:`select_subset` draws the
+  surviving document ids.
+* **Group 4** — C2 is *originally small*: a genuinely separate collection
+  whose documents happen to match C1's profile.  :func:`originally_small`
+  copies and renumbers a sample into a new collection (sequential reads,
+  small index structures).
+* **Group 5** — same total size, fewer/larger documents: merge groups of
+  ``factor`` storage-adjacent documents into one (:func:`rescale_collection`).
+  ``N`` drops by ``factor``, per-document terms grow by about ``factor``,
+  total d-cells stay within a whisker of the original — VVM's sweet spot.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.errors import WorkloadError
+from repro.text.collection import DocumentCollection
+from repro.text.document import Document
+
+
+def select_subset(
+    collection: DocumentCollection, n_selected: int, seed: int = 0
+) -> list[int]:
+    """Group 3: ids of the documents surviving a selection, sorted.
+
+    Sorted ascending because the executor fetches them in storage order
+    (cheapest order for random reads).
+    """
+    if n_selected < 0 or n_selected > collection.n_documents:
+        raise WorkloadError(
+            f"cannot select {n_selected} of {collection.n_documents} documents"
+        )
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(collection.n_documents), n_selected))
+
+
+def originally_small(
+    collection: DocumentCollection, n_documents: int, seed: int = 0, name: str | None = None
+) -> DocumentCollection:
+    """Group 4: an independent small collection with this profile.
+
+    Samples ``n_documents`` documents and renumbers them into a fresh
+    collection: its storage, inverted file and B+-tree are all built from
+    scratch at the small size.
+    """
+    doc_ids = select_subset(collection, n_documents, seed)
+    return collection.renumbered_subset(
+        doc_ids, name or f"{collection.name}-small{n_documents}"
+    )
+
+
+def rescale_collection(
+    collection: DocumentCollection, factor: int, name: str | None = None
+) -> DocumentCollection:
+    """Group 5: merge each run of ``factor`` adjacent documents into one.
+
+    Weights of shared terms add up, so the total occurrence mass is
+    preserved; the d-cell count shrinks only by however many terms the
+    merged documents shared.
+    """
+    if factor <= 0:
+        raise WorkloadError(f"factor must be positive, got {factor}")
+    merged: list[Document] = []
+    for new_id, start in enumerate(range(0, collection.n_documents, factor)):
+        counts: Counter[int] = Counter()
+        for doc in collection.documents[start : start + factor]:
+            counts.update(dict(doc.cells))
+        merged.append(Document.from_counts(new_id, counts))
+    return DocumentCollection(name or f"{collection.name}-x{factor}", merged)
+
+
+def shuffle_collection(
+    collection: DocumentCollection, seed: int = 0, name: str | None = None
+) -> DocumentCollection:
+    """Destroy any clustering by permuting storage order (ablation control).
+
+    Documents are renumbered to their new positions, so the result is a
+    valid standalone collection with identical global statistics.
+    """
+    order = list(range(collection.n_documents))
+    random.Random(seed).shuffle(order)
+    docs = [
+        Document(new_id, collection.documents[old_id].cells)
+        for new_id, old_id in enumerate(order)
+    ]
+    return DocumentCollection(name or f"{collection.name}-shuffled", docs)

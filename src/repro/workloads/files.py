@@ -1,0 +1,75 @@
+"""Building collections from real text files.
+
+The adoption path for a downstream user: point the library at a
+directory of plain-text documents and get a
+:class:`~repro.text.collection.DocumentCollection` ready to join.  Both
+collections of a join must share one :class:`~repro.text.vocabulary.Vocabulary`
+(the paper's standard term-number mapping), so the loader takes it as an
+argument rather than creating its own.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import WorkloadError
+from repro.text.collection import DocumentCollection
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+
+
+def collection_from_files(
+    name: str,
+    paths: Iterable[str | Path],
+    vocabulary: Vocabulary,
+    tokenizer: Tokenizer | None = None,
+    *,
+    encoding: str = "utf-8",
+    errors: str = "replace",
+) -> DocumentCollection:
+    """One document per file, in the order given.
+
+    Document ``i`` corresponds to the ``i``-th path, so callers can map
+    results back to file names.  Unreadable paths raise immediately —
+    silently skipping files would silently renumber every later
+    document.
+    """
+    texts: list[str] = []
+    for path in paths:
+        path = Path(path)
+        try:
+            texts.append(path.read_text(encoding=encoding, errors=errors))
+        except OSError as exc:
+            raise WorkloadError(f"cannot read {path}: {exc}") from exc
+    if not texts:
+        raise WorkloadError(f"collection {name!r} needs at least one file")
+    return DocumentCollection.from_texts(name, texts, vocabulary, tokenizer)
+
+
+def collection_from_directory(
+    name: str,
+    directory: str | Path,
+    vocabulary: Vocabulary,
+    tokenizer: Tokenizer | None = None,
+    *,
+    pattern: str = "*.txt",
+    encoding: str = "utf-8",
+) -> tuple[DocumentCollection, list[Path]]:
+    """All files matching ``pattern``, sorted by name for stable ids.
+
+    Returns the collection plus the path list (``paths[i]`` is document
+    ``i``'s source file).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise WorkloadError(f"{directory} is not a directory")
+    paths = sorted(directory.glob(pattern))
+    if not paths:
+        raise WorkloadError(
+            f"no files matching {pattern!r} under {directory}"
+        )
+    collection = collection_from_files(
+        name, paths, vocabulary, tokenizer, encoding=encoding
+    )
+    return collection, paths

@@ -1,0 +1,173 @@
+"""Zipfian synthetic document collections.
+
+The executable experiments (measured-vs-model validation, executor tests,
+ablations) need real collections with a controllable statistical profile.
+:func:`generate_collection` produces one from a
+:class:`SyntheticSpec`: ``n_documents`` documents whose distinct-term
+counts scatter around ``avg_terms_per_doc``, with terms drawn from a
+Zipf-like distribution over a ``vocabulary_size``-term vocabulary — the
+canonical shape of natural-language term frequencies (Salton & McGill).
+
+``clusters > 1`` arranges documents so that storage-adjacent documents
+share a topic vocabulary: Section 5.4 predicts HVNL benefits from exactly
+this layout (resident inverted entries get reused), and the ablation
+benchmark measures it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.text.collection import DocumentCollection
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Recipe for one synthetic collection.
+
+    ``skew`` is the Zipf exponent (1.0 = classic Zipf; 0.0 = uniform).
+    With ``clusters > 1``, each document draws ``cluster_affinity`` of its
+    terms from its cluster's topic sub-vocabulary and the rest globally.
+    """
+
+    name: str
+    n_documents: int
+    avg_terms_per_doc: int
+    vocabulary_size: int
+    skew: float = 1.0
+    seed: int = 0
+    clusters: int = 1
+    cluster_affinity: float = 0.8
+    max_occurrences: int = 6
+
+    def __post_init__(self) -> None:
+        if self.n_documents < 0:
+            raise WorkloadError(f"n_documents must be non-negative, got {self.n_documents}")
+        if self.avg_terms_per_doc <= 0 and self.n_documents > 0:
+            raise WorkloadError("avg_terms_per_doc must be positive for a non-empty collection")
+        if self.vocabulary_size < self.avg_terms_per_doc:
+            raise WorkloadError(
+                f"vocabulary ({self.vocabulary_size}) smaller than a document "
+                f"({self.avg_terms_per_doc})"
+            )
+        if self.skew < 0:
+            raise WorkloadError(f"skew must be non-negative, got {self.skew}")
+        if self.clusters < 1:
+            raise WorkloadError(f"clusters must be >= 1, got {self.clusters}")
+        if not 0.0 <= self.cluster_affinity <= 1.0:
+            raise WorkloadError("cluster_affinity must be in [0, 1]")
+        if self.max_occurrences < 1:
+            raise WorkloadError("max_occurrences must be >= 1")
+
+
+def _zipf_sampler(vocabulary_size: int, skew: float, rng: random.Random):
+    """Inverse-CDF sampler over ranks ``0..V-1`` with weight ``1/(r+1)**skew``.
+
+    Binary search over the cumulative weights; O(log V) per draw.
+    """
+    weights = [1.0 / (rank + 1) ** skew for rank in range(vocabulary_size)]
+    cumulative: list[float] = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cumulative.append(total)
+
+    def draw() -> int:
+        target = rng.random() * total
+        lo, hi = 0, vocabulary_size - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return draw
+
+
+def spec_from_stats(
+    stats, scale: int, *, seed: int = 0, skew: float = 1.0, name: str | None = None
+) -> SyntheticSpec:
+    """A spec shaped like a statistics profile, shrunk by ``scale``.
+
+    Documents keep their size (``K`` unchanged); the document count
+    drops to ``N / scale`` and the vocabulary follows the Section 5.2
+    growth model ``f(m)`` so the shrunken collection has the vocabulary
+    a real subsample of that size would — this is what makes executable
+    "mini-TREC" collections behave like their full-size parents under
+    the cost model.
+    """
+    if scale < 1:
+        raise WorkloadError(f"scale must be >= 1, got {scale}")
+    small = stats.with_documents(max(1, round(stats.n_documents / scale)))
+    return SyntheticSpec(
+        name=name or f"{stats.name}-mini{scale}",
+        n_documents=small.n_documents,
+        avg_terms_per_doc=max(1, round(small.avg_terms_per_doc)),
+        vocabulary_size=max(small.n_distinct_terms, round(small.avg_terms_per_doc)),
+        skew=skew,
+        seed=seed,
+    )
+
+
+def generate_collection(spec: SyntheticSpec) -> DocumentCollection:
+    """Materialise the spec into a real :class:`DocumentCollection`.
+
+    Deterministic for a given spec (seeded RNG).  Document lengths follow
+    a lognormal around ``avg_terms_per_doc`` (documents in real
+    collections are far from equal-sized); each document keeps drawing
+    terms until it reaches its distinct-term target, and occurrence
+    counts follow a truncated geometric distribution.
+    """
+    rng = random.Random(spec.seed)
+    if spec.n_documents == 0:
+        return DocumentCollection(spec.name, [])
+
+    draw_global = _zipf_sampler(spec.vocabulary_size, spec.skew, rng)
+
+    # Topic sub-vocabularies: contiguous, slightly overlapping slices of
+    # the rank space so clusters stay distinguishable but not disjoint.
+    topics: list[list[int]] = []
+    if spec.clusters > 1:
+        slice_size = max(spec.avg_terms_per_doc * 3, spec.vocabulary_size // spec.clusters)
+        permutation = list(range(spec.vocabulary_size))
+        rng.shuffle(permutation)
+        for c in range(spec.clusters):
+            start = (c * spec.vocabulary_size // spec.clusters) % spec.vocabulary_size
+            topic = permutation[start : start + slice_size]
+            if len(topic) < slice_size:  # wrap around
+                topic += permutation[: slice_size - len(topic)]
+            topics.append(topic)
+
+    sigma = 0.4  # lognormal shape: ~±50% document-length scatter
+    mu = math.log(spec.avg_terms_per_doc) - sigma * sigma / 2.0
+
+    from repro.text.document import Document
+
+    docs_per_cluster = max(1, -(-spec.n_documents // spec.clusters))
+    documents: list[Document] = []
+    for doc_index in range(spec.n_documents):
+        target = max(1, min(round(rng.lognormvariate(mu, sigma)), spec.vocabulary_size))
+        counts: dict[int, int] = {}
+        attempts = 0
+        max_attempts = target * 50 + 100
+        cluster = doc_index // docs_per_cluster if spec.clusters > 1 else 0
+        while len(counts) < target and attempts < max_attempts:
+            attempts += 1
+            if spec.clusters > 1 and rng.random() < spec.cluster_affinity:
+                topic = topics[cluster]
+                term = topic[draw_global() % len(topic)]
+            else:
+                term = draw_global()
+            if term not in counts:
+                # truncated geometric occurrence count
+                occurrences = 1
+                while occurrences < spec.max_occurrences and rng.random() < 0.35:
+                    occurrences += 1
+                counts[term] = occurrences
+        documents.append(Document.from_counts(doc_index, counts))
+    return DocumentCollection(spec.name, documents)

@@ -1,0 +1,62 @@
+"""The paper's TREC-1 collection statistics (Section 6, first table).
+
+The simulation study drives the cost formulas with the published
+statistics of three ARPA/NIST collections — raw TREC data is not
+redistributable, but the paper itself never touches the raw text either:
+its "simulation" is exactly the evaluation of Section 5's formulas over
+this table.  Values are reproduced verbatim; the collection-size,
+document-size and entry-size rows are pinned as overrides because the
+paper measured them rather than deriving them from N, K, T
+(the derived values agree to within a few percent).
+
+============================  ======  ======  ======
+statistic                     WSJ     FR      DOE
+============================  ======  ======  ======
+#documents (N)                98736   26207   226087
+#terms per doc (K)            329     1017    89
+total # of distinct terms (T) 156298  126258  186225
+collection size in pages (D)  40605   33315   25152
+avg. size of a document (S)   0.41    1.27    0.111
+avg. size of an inv. entry (J) 0.26   0.264   0.135
+============================  ======  ======  ======
+"""
+
+from __future__ import annotations
+
+from repro.index.stats import CollectionStats
+
+WSJ = CollectionStats(
+    name="WSJ",
+    n_documents=98_736,
+    avg_terms_per_doc=329,
+    n_distinct_terms=156_298,
+    collection_pages_override=40_605,
+    doc_pages_override=0.41,
+    entry_pages_override=0.26,
+)
+"""Wall Street Journal: mid-sized documents, mid-sized count."""
+
+FR = CollectionStats(
+    name="FR",
+    n_documents=26_207,
+    avg_terms_per_doc=1017,
+    n_distinct_terms=126_258,
+    collection_pages_override=33_315,
+    doc_pages_override=1.27,
+    entry_pages_override=0.264,
+)
+"""Federal Register: fewer but larger documents."""
+
+DOE = CollectionStats(
+    name="DOE",
+    n_documents=226_087,
+    avg_terms_per_doc=89,
+    n_distinct_terms=186_225,
+    collection_pages_override=25_152,
+    doc_pages_override=0.111,
+    entry_pages_override=0.135,
+)
+"""Department of Energy abstracts: many small documents."""
+
+TREC_COLLECTIONS: dict[str, CollectionStats] = {"WSJ": WSJ, "FR": FR, "DOE": DOE}
+"""All three, keyed by the paper's names."""

@@ -1,0 +1,76 @@
+"""Shared fixtures: small deterministic collections and environments.
+
+Collection sizes are chosen so the whole suite stays fast while still
+exercising multi-page layouts, buffer eviction and multi-pass VVM: the
+test geometry uses small pages (512B-1024B) so "big" is cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.join import JoinEnvironment
+from repro.cost.params import SystemParams
+from repro.storage.pages import PageGeometry
+from repro.text.collection import DocumentCollection
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+SMALL_PAGE = 512
+
+
+@pytest.fixture(scope="session")
+def tiny_pair() -> tuple[DocumentCollection, DocumentCollection]:
+    """Two hand-written collections with known similarities."""
+    c1 = DocumentCollection.from_term_lists(
+        "tiny1",
+        [
+            [1, 2, 3],        # doc 0
+            [2, 2, 4],        # doc 1: term 2 twice
+            [5],              # doc 2
+            [1, 1, 1, 6, 7],  # doc 3: term 1 three times
+        ],
+    )
+    c2 = DocumentCollection.from_term_lists(
+        "tiny2",
+        [
+            [2, 3],     # doc 0
+            [1, 5, 8],  # doc 1
+            [9],        # doc 2: no overlap with c1
+        ],
+    )
+    return c1, c2
+
+
+@pytest.fixture(scope="session")
+def synthetic_pair() -> tuple[DocumentCollection, DocumentCollection]:
+    """Mid-sized Zipfian pair for executor/integration tests."""
+    c1 = generate_collection(
+        SyntheticSpec("syn1", n_documents=120, avg_terms_per_doc=18,
+                      vocabulary_size=600, seed=11)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("syn2", n_documents=90, avg_terms_per_doc=14,
+                      vocabulary_size=600, seed=22)
+    )
+    return c1, c2
+
+
+@pytest.fixture()
+def small_geometry() -> PageGeometry:
+    return PageGeometry(SMALL_PAGE)
+
+
+@pytest.fixture()
+def synthetic_env(synthetic_pair, small_geometry) -> JoinEnvironment:
+    c1, c2 = synthetic_pair
+    return JoinEnvironment(c1, c2, small_geometry)
+
+
+@pytest.fixture()
+def small_system() -> SystemParams:
+    return SystemParams(buffer_pages=16, page_bytes=SMALL_PAGE, alpha=5.0)
+
+
+@pytest.fixture()
+def roomy_system() -> SystemParams:
+    return SystemParams(buffer_pages=256, page_bytes=SMALL_PAGE, alpha=5.0)

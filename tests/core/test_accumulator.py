@@ -1,0 +1,80 @@
+"""Similarity accumulators (HVNL per-document, VVM all-pairs)."""
+
+import pytest
+
+from repro.core.accumulator import PairAccumulator, SparseAccumulator
+
+
+class TestSparse:
+    def test_accumulates(self):
+        acc = SparseAccumulator()
+        acc.add(3, 2.0)
+        acc.add(3, 4.0)
+        acc.add(5, 1.0)
+        assert dict(acc.items()) == {3: 6.0, 5: 1.0}
+
+    def test_clear_preserves_peak(self):
+        acc = SparseAccumulator()
+        for doc in range(10):
+            acc.add(doc, 1.0)
+        acc.clear()
+        acc.add(1, 1.0)
+        assert acc.peak_cells == 10
+        assert acc.n_cells == 1
+
+    def test_peak_bytes(self):
+        acc = SparseAccumulator()
+        acc.add(1, 1.0)
+        acc.add(2, 1.0)
+        assert acc.peak_bytes == 8  # 4 bytes per similarity value
+
+    def test_len(self):
+        acc = SparseAccumulator()
+        acc.add(1, 1.0)
+        assert len(acc) == 1
+
+
+class TestPair:
+    def test_accumulates_pairwise(self):
+        acc = PairAccumulator()
+        acc.add(0, 1, 2.0)
+        acc.add(0, 1, 3.0)
+        acc.add(0, 2, 1.0)
+        acc.add(7, 1, 4.0)
+        assert acc.row(0) == {1: 5.0, 2: 1.0}
+        assert acc.row(7) == {1: 4.0}
+
+    def test_missing_row_is_empty(self):
+        assert PairAccumulator().row(42) == {}
+
+    def test_cell_count(self):
+        acc = PairAccumulator()
+        acc.add(0, 1, 1.0)
+        acc.add(0, 1, 1.0)  # same cell
+        acc.add(1, 1, 1.0)
+        assert acc.n_cells == 2
+
+    def test_peak_survives_clear(self):
+        acc = PairAccumulator()
+        for outer in range(3):
+            for inner in range(4):
+                acc.add(outer, inner, 1.0)
+        acc.clear()
+        assert acc.peak_cells == 12
+        assert acc.n_cells == 0
+
+    def test_rows_iteration(self):
+        acc = PairAccumulator()
+        acc.add(1, 2, 1.0)
+        acc.add(3, 4, 1.0)
+        assert {outer for outer, _ in acc.rows()} == {1, 3}
+
+    def test_measured_delta(self):
+        acc = PairAccumulator()
+        acc.add(0, 0, 1.0)
+        acc.add(1, 1, 1.0)
+        # 2 non-zero cells of a 4 x 5 pair space
+        assert acc.measured_delta(4, 5) == pytest.approx(2 / 20)
+
+    def test_measured_delta_empty_space(self):
+        assert PairAccumulator().measured_delta(0, 0) == 0.0

@@ -1,0 +1,177 @@
+"""HHNL backward order (the [11] extension): cost model and executor."""
+
+import math
+
+import pytest
+
+from repro.core.hhnl import run_hhnl, run_hhnl_backward
+from repro.core.integrated import IntegratedJoin
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.cost.hhnl import (
+    hhnl_backward_cost,
+    hhnl_backward_memory_capacity,
+    hhnl_cost,
+)
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.errors import InsufficientMemoryError
+from repro.index.stats import CollectionStats
+from repro.storage.pages import PageGeometry
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+from repro.workloads.trec import DOE, WSJ
+
+
+def side(n, k, t, participating=None):
+    return JoinSide(CollectionStats("s", n, k, t), participating=participating)
+
+
+@pytest.fixture(scope="module")
+def asymmetric_pair():
+    """Tiny C1, large C2 — the backward order's sweet spot."""
+    c1 = generate_collection(
+        SyntheticSpec("small1", n_documents=12, avg_terms_per_doc=18,
+                      vocabulary_size=400, seed=81)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("big2", n_documents=300, avg_terms_per_doc=18,
+                      vocabulary_size=400, seed=82)
+    )
+    return c1, c2
+
+
+class TestBackwardCostModel:
+    def test_memory_capacity_reserves_lambda_slots(self):
+        s1 = side(100, 80, 1000)
+        s2 = side(5000, 40, 1000)
+        system = SystemParams(buffer_pages=100)
+        query = QueryParams(lam=20)
+        reserved = 1 + 4 * 20 * 5000 / 4096
+        expected = int((100 - reserved) / s1.stats.S)
+        assert hhnl_backward_memory_capacity(s1, s2, system, query) == expected
+
+    def test_mirror_formula(self):
+        s1, s2 = side(200, 40, 1000), side(1000, 80, 1000)
+        system = SystemParams(buffer_pages=50)
+        query = QueryParams(lam=5)
+        x = hhnl_backward_memory_capacity(s1, s2, system, query)
+        scans = math.ceil(200 / x)
+        cost = hhnl_backward_cost(s1, s2, system, query)
+        assert cost.order == "backward"
+        assert cost.sequential == pytest.approx(s1.stats.D + scans * s2.stats.D)
+
+    def test_infeasible_when_lambda_slots_exceed_buffer(self):
+        # 4 * lam * N2 / P alone exceeds the buffer
+        s1 = side(100, 80, 1000)
+        s2 = side(10_000_000, 40, 100_000)
+        with pytest.raises(InsufficientMemoryError):
+            hhnl_backward_cost(s1, s2, SystemParams(buffer_pages=100), QueryParams(lam=100))
+
+    def test_backward_wins_with_tiny_inner_collection(self):
+        # paper: "more efficient if C1 is much smaller than C2"
+        tiny_inner = JoinSide(WSJ.with_documents(500))
+        big_outer = JoinSide(DOE)
+        system, query = SystemParams(), QueryParams()
+        forward = hhnl_cost(tiny_inner, big_outer, system, query)
+        backward = hhnl_backward_cost(tiny_inner, big_outer, system, query)
+        assert backward.sequential < forward.sequential
+
+    def test_forward_wins_symmetric_case(self):
+        both = JoinSide(WSJ)
+        system, query = SystemParams(), QueryParams()
+        forward = hhnl_cost(both, both, system, query)
+        backward = hhnl_backward_cost(both, both, system, query)
+        # symmetric self-join: backward only adds the lambda*N2 reservation
+        assert forward.sequential <= backward.sequential
+
+    def test_random_at_least_sequential(self):
+        s1, s2 = side(200, 40, 1000), side(1000, 80, 1000)
+        cost = hhnl_backward_cost(s1, s2, SystemParams(buffer_pages=50), QueryParams(lam=5))
+        assert cost.random >= cost.sequential
+
+
+class TestBackwardExecutor:
+    def test_matches_forward_results(self, asymmetric_pair):
+        c1, c2 = asymmetric_pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=16, page_bytes=512)
+        spec = TextJoinSpec(lam=3)
+        forward = run_hhnl(env, spec, system)
+        backward = run_hhnl_backward(env, spec, system)
+        assert backward.algorithm == "HHNL-BWD"
+        assert forward.same_matches_as(backward)
+
+    def test_measured_io_matches_model(self, asymmetric_pair):
+        c1, c2 = asymmetric_pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=16, page_bytes=512)
+        spec = TextJoinSpec(lam=3)
+        result = run_hhnl_backward(env, spec, system)
+        predicted = hhnl_backward_cost(
+            *env.cost_sides(), system, QueryParams(lam=3)
+        )
+        assert result.weighted_cost(5) == pytest.approx(predicted.sequential, rel=0.2)
+
+    def test_selection_on_c2(self, asymmetric_pair):
+        c1, c2 = asymmetric_pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=16, page_bytes=512)
+        spec = TextJoinSpec(lam=3)
+        chosen = [0, 7, 100, 299]
+        result = run_hhnl_backward(env, spec, system, outer_ids=chosen)
+        full = run_hhnl(env, spec, system)
+        assert set(result.matches) == set(chosen)
+        for doc_id in chosen:
+            assert result.matches[doc_id] == full.matches[doc_id]
+
+    def test_interference_increases_cost_not_results(self, asymmetric_pair):
+        c1, c2 = asymmetric_pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=16, page_bytes=512)
+        spec = TextJoinSpec(lam=3)
+        calm = run_hhnl_backward(env, spec, system)
+        noisy = run_hhnl_backward(env, spec, system, interference=True)
+        assert calm.same_matches_as(noisy)
+        assert noisy.weighted_cost(5) > calm.weighted_cost(5)
+
+    def test_normalized_mode(self, asymmetric_pair):
+        c1, c2 = asymmetric_pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=16, page_bytes=512)
+        spec = TextJoinSpec(lam=3, normalized=True)
+        forward = run_hhnl(env, spec, system)
+        backward = run_hhnl_backward(env, spec, system)
+        assert forward.same_matches_as(backward)
+
+
+class TestIntegratedBackward:
+    def test_disabled_by_default(self, asymmetric_pair):
+        c1, c2 = asymmetric_pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        joiner = IntegratedJoin(env, SystemParams(buffer_pages=16, page_bytes=512))
+        decision = joiner.decide(TextJoinSpec(lam=3))
+        assert "HHNL-BWD" not in decision.report.costs
+
+    def test_considered_when_enabled(self, asymmetric_pair):
+        c1, c2 = asymmetric_pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        joiner = IntegratedJoin(
+            env,
+            SystemParams(buffer_pages=16, page_bytes=512),
+            consider_backward=True,
+        )
+        decision = joiner.decide(TextJoinSpec(lam=3))
+        assert "HHNL-BWD" in decision.report.costs
+
+    def test_dispatches_backward_when_cheapest(self, asymmetric_pair):
+        c1, c2 = asymmetric_pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        joiner = IntegratedJoin(
+            env,
+            SystemParams(buffer_pages=16, page_bytes=512),
+            consider_backward=True,
+        )
+        spec = TextJoinSpec(lam=3)
+        result = joiner.run(spec)
+        assert result.algorithm == result.extras["decision"].chosen
+        # whatever was chosen, the matches equal plain forward HHNL's
+        reference = run_hhnl(env, spec, SystemParams(buffer_pages=16, page_bytes=512))
+        assert result.same_matches_as(reference)

@@ -1,0 +1,103 @@
+"""Batch query processing vs the join setting (Section 1's contrast)."""
+
+import pytest
+
+from repro.core.batch import run_batch_queries
+from repro.core.hvnl import run_hvnl
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.cost.params import SystemParams
+from repro.errors import JoinError
+from repro.storage.pages import PageGeometry
+from repro.text.document import Document
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+
+@pytest.fixture(scope="module")
+def setup():
+    c1 = generate_collection(
+        SyntheticSpec("corpus", n_documents=150, avg_terms_per_doc=20,
+                      vocabulary_size=500, skew=1.1, seed=201)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("batch", n_documents=100, avg_terms_per_doc=15,
+                      vocabulary_size=500, skew=1.1, seed=202)
+    )
+    return c1, c2
+
+
+def env_and_system(c1, c2, buffer_pages=14):
+    env = JoinEnvironment(c1, c2, PageGeometry(512))
+    return env, SystemParams(buffer_pages=buffer_pages, page_bytes=512)
+
+
+class TestCorrectness:
+    def test_batch_matches_join_results(self, setup):
+        c1, c2 = setup
+        env, system = env_and_system(c1, c2, buffer_pages=64)
+        spec = TextJoinSpec(lam=3)
+        batch = run_batch_queries(env, list(c2), spec, system)
+        join = run_hvnl(env, spec, system)
+        # query position i == c2 doc id i, so the results line up
+        assert batch.matches == join.matches
+        assert batch.algorithm == "BATCH"
+
+    def test_empty_batch(self, setup):
+        c1, c2 = setup
+        env, system = env_and_system(c1, c2)
+        result = run_batch_queries(env, [], TextJoinSpec(lam=3), system)
+        assert result.matches == {}
+
+    def test_single_query(self, setup):
+        c1, c2 = setup
+        env, system = env_and_system(c1, c2)
+        result = run_batch_queries(env, [c2[7]], TextJoinSpec(lam=3), system)
+        assert set(result.matches) == {0}
+
+    def test_rejects_non_documents(self, setup):
+        c1, c2 = setup
+        env, system = env_and_system(c1, c2)
+        with pytest.raises(JoinError):
+            run_batch_queries(env, ["not a document"], TextJoinSpec(lam=3), system)
+
+    def test_queries_with_foreign_terms(self, setup):
+        c1, c2 = setup
+        env, system = env_and_system(c1, c2)
+        alien = Document(0, ((10_000, 3), (10_001, 1)))
+        result = run_batch_queries(env, [alien], TextJoinSpec(lam=3), system)
+        assert result.matches == {0: []}
+
+    def test_normalized_mode(self, setup):
+        c1, c2 = setup
+        env, system = env_and_system(c1, c2, buffer_pages=64)
+        spec = TextJoinSpec(lam=3, normalized=True)
+        batch = run_batch_queries(env, list(c2), spec, system)
+        join = run_hvnl(env, spec, system)
+        assert batch.matches == join.matches
+
+
+class TestIOCharacteristics:
+    def test_no_outer_document_io(self, setup):
+        # queries arrive from outside; only the inverted file is read
+        c1, c2 = setup
+        env, system = env_and_system(c1, c2)
+        result = run_batch_queries(env, list(c2), TextJoinSpec(lam=3), system)
+        assert "c2.docs" not in result.io.by_extent
+
+    def test_join_setting_never_loses_under_churn(self, setup):
+        # Section 1's argument: the join has batch statistics (df2) and
+        # the bulk-load decision; under buffer pressure it fetches no
+        # more entries than the blind batch processor.
+        c1, c2 = setup
+        env, system = env_and_system(c1, c2, buffer_pages=14)
+        spec = TextJoinSpec(lam=3)
+        batch = run_batch_queries(env, list(c2), spec, system)
+        join = run_hvnl(env, spec, system)
+        assert join.extras["entries_fetched"] <= batch.extras["entries_fetched"]
+
+    def test_batch_reports_buffer_stats(self, setup):
+        c1, c2 = setup
+        env, system = env_and_system(c1, c2)
+        result = run_batch_queries(env, list(c2), TextJoinSpec(lam=3), system)
+        assert result.extras["n_queries"] == 100
+        assert result.extras["entries_fetched"] > 0
+        assert 0 <= result.extras["buffer_hit_rate"] <= 1

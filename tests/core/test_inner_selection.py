@@ -1,0 +1,128 @@
+"""Inner-side (C1) selections: native filtering in all executors."""
+
+import pytest
+
+from repro.core.hhnl import run_hhnl
+from repro.core.hvnl import run_hvnl
+from repro.core.integrated import IntegratedJoin
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.core.vvm import run_vvm
+from repro.cost.params import SystemParams
+from repro.errors import JoinError
+from repro.storage.pages import PageGeometry
+from repro.text.similarity import dot_product
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+RUNNERS = {"HHNL": run_hhnl, "HVNL": run_hvnl, "VVM": run_vvm}
+
+
+@pytest.fixture(scope="module")
+def pair():
+    c1 = generate_collection(
+        SyntheticSpec("is1", n_documents=100, avg_terms_per_doc=14,
+                      vocabulary_size=400, seed=601)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("is2", n_documents=70, avg_terms_per_doc=12,
+                      vocabulary_size=400, seed=602)
+    )
+    return c1, c2
+
+
+def oracle(c1, c2, lam, inner_ids):
+    inner_set = set(inner_ids)
+    expected = {}
+    for outer in c2:
+        candidates = [
+            (inner.doc_id, dot_product(outer, inner))
+            for inner in c1
+            if inner.doc_id in inner_set and dot_product(outer, inner) > 0
+        ]
+        candidates.sort(key=lambda pair: (-pair[1], pair[0]))
+        expected[outer.doc_id] = candidates[:lam]
+    return expected
+
+
+@pytest.mark.parametrize("name", ["HHNL", "HVNL", "VVM"])
+class TestInnerSelection:
+    def test_matches_filtered_oracle(self, pair, name):
+        c1, c2 = pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=24, page_bytes=512)
+        inner_ids = list(range(0, 100, 3))
+        result = RUNNERS[name](
+            env, TextJoinSpec(lam=3), system, inner_ids=inner_ids
+        )
+        assert result.matches == oracle(c1, c2, 3, inner_ids)
+
+    def test_tiny_inner_pool(self, pair, name):
+        c1, c2 = pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=24, page_bytes=512)
+        result = RUNNERS[name](
+            env, TextJoinSpec(lam=5), system, inner_ids=[7]
+        )
+        for hits in result.matches.values():
+            assert all(doc == 7 for doc, _ in hits)
+
+    def test_combined_with_outer_selection(self, pair, name):
+        c1, c2 = pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=24, page_bytes=512)
+        inner_ids = list(range(50))
+        outer_ids = [1, 5, 60]
+        result = RUNNERS[name](
+            env, TextJoinSpec(lam=3), system,
+            inner_ids=inner_ids, outer_ids=outer_ids,
+        )
+        full = oracle(c1, c2, 3, inner_ids)
+        assert result.matches == {o: full[o] for o in outer_ids}
+
+    def test_invalid_inner_ids(self, pair, name):
+        c1, c2 = pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=24, page_bytes=512)
+        with pytest.raises(JoinError):
+            RUNNERS[name](env, TextJoinSpec(lam=3), system, inner_ids=[500])
+        with pytest.raises(JoinError):
+            RUNNERS[name](env, TextJoinSpec(lam=3), system, inner_ids=[1, 1])
+
+
+class TestIOEffects:
+    def test_hhnl_tiny_inner_selection_cuts_io(self, pair):
+        # few surviving inner docs -> random fetches beat repeated scans
+        c1, c2 = pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=12, page_bytes=512)
+        full = run_hhnl(env, TextJoinSpec(lam=3), system)
+        filtered = run_hhnl(env, TextJoinSpec(lam=3), system, inner_ids=[0, 1])
+        assert filtered.weighted_cost(5) < full.weighted_cost(5)
+
+    def test_vvm_io_unchanged_by_inner_selection(self, pair):
+        # Section 5.4: the inverted files do not shrink
+        c1, c2 = pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=64, page_bytes=512)
+        full = run_vvm(env, TextJoinSpec(lam=3), system)
+        filtered = run_vvm(env, TextJoinSpec(lam=3), system, inner_ids=[0, 1, 2])
+        assert filtered.io.total_reads == full.io.total_reads
+
+
+class TestIntegrated:
+    def test_integrated_passes_inner_ids(self, pair):
+        c1, c2 = pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        joiner = IntegratedJoin(env, SystemParams(buffer_pages=24, page_bytes=512))
+        inner_ids = list(range(0, 100, 4))
+        result = joiner.run(TextJoinSpec(lam=3), inner_ids=inner_ids)
+        assert result.matches == oracle(c1, c2, 3, inner_ids)
+
+    def test_integrated_backward_with_inner_ids_falls_back(self, pair):
+        c1, c2 = pair
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        joiner = IntegratedJoin(
+            env, SystemParams(buffer_pages=24, page_bytes=512),
+            consider_backward=True,
+        )
+        result = joiner.run(TextJoinSpec(lam=3), inner_ids=[0, 1, 2])
+        assert result.matches == oracle(c1, c2, 3, [0, 1, 2])

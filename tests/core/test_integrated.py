@@ -1,0 +1,96 @@
+"""The integrated algorithm: estimate, choose, dispatch."""
+
+import pytest
+
+from repro.core.integrated import IntegratedJoin
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.cost.params import SystemParams
+from repro.storage.pages import PageGeometry
+from repro.workloads.derive import rescale_collection
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+PAGE = 512
+
+
+def env_for(c1, c2=None):
+    return JoinEnvironment(c1, c2 if c2 is not None else c1, PageGeometry(PAGE))
+
+
+@pytest.fixture(scope="module")
+def base_collection():
+    return generate_collection(
+        SyntheticSpec("base", n_documents=200, avg_terms_per_doc=20,
+                      vocabulary_size=900, seed=5)
+    )
+
+
+class TestDecision:
+    def test_decision_reports_all_costs(self, base_collection):
+        joiner = IntegratedJoin(env_for(base_collection), SystemParams(buffer_pages=32, page_bytes=PAGE))
+        decision = joiner.decide(TextJoinSpec(lam=3))
+        assert decision.chosen in ("HHNL", "HVNL", "VVM")
+        assert decision.estimated_cost < float("inf")
+        assert set(decision.report.costs) == {"HHNL", "HVNL", "VVM"}
+
+    def test_decision_scenario_respected(self, base_collection):
+        env = env_for(base_collection)
+        seq = IntegratedJoin(env, SystemParams(buffer_pages=32, page_bytes=PAGE), scenario="sequential")
+        rnd = IntegratedJoin(env, SystemParams(buffer_pages=32, page_bytes=PAGE), scenario="random")
+        assert seq.decide(TextJoinSpec(lam=3)).scenario == "sequential"
+        assert rnd.decide(TextJoinSpec(lam=3)).scenario == "random"
+
+    def test_measured_q_toggle(self, base_collection):
+        env = env_for(base_collection)
+        measured = IntegratedJoin(env, use_measured_q=True).decide(TextJoinSpec(lam=3))
+        modelled = IntegratedJoin(env, use_measured_q=False).decide(TextJoinSpec(lam=3))
+        assert measured.report.q == pytest.approx(env.measured_q())
+        assert modelled.report.q == pytest.approx(0.8)  # self-join, T1 == T2
+
+
+class TestDispatch:
+    def test_run_attaches_decision(self, base_collection):
+        joiner = IntegratedJoin(env_for(base_collection), SystemParams(buffer_pages=32, page_bytes=PAGE))
+        result = joiner.run(TextJoinSpec(lam=3))
+        assert result.algorithm == result.extras["decision"].chosen
+        assert result.extras["estimated_cost"] > 0
+
+    def test_estimate_close_to_measured(self, base_collection):
+        joiner = IntegratedJoin(env_for(base_collection), SystemParams(buffer_pages=32, page_bytes=PAGE))
+        result = joiner.run(TextJoinSpec(lam=3))
+        measured = result.weighted_cost(5)
+        estimated = result.extras["estimated_cost"]
+        assert measured == pytest.approx(estimated, rel=0.6)
+
+    def test_small_outer_selection_dispatches_hvnl(self, base_collection):
+        joiner = IntegratedJoin(env_for(base_collection), SystemParams(buffer_pages=64, page_bytes=PAGE))
+        spec = TextJoinSpec(lam=3)
+        decision = joiner.decide(spec, outer_ids=[0])
+        result = joiner.run(spec, outer_ids=[0])
+        assert result.algorithm == decision.chosen
+        assert set(result.matches) == {0}
+
+    def test_rescaled_collection_prefers_vvm(self, base_collection):
+        # Group 5's effect, executably: few huge documents, big pair space OK.
+        merged = rescale_collection(base_collection, 20)
+        env = env_for(merged)
+        joiner = IntegratedJoin(env, SystemParams(buffer_pages=24, page_bytes=PAGE), delta=0.5)
+        decision = joiner.decide(TextJoinSpec(lam=3))
+        report = decision.report
+        # VVM's one-scan property must beat HHNL's repeated scans here
+        # whenever HHNL needs more than two passes over the inner side.
+        if report["HHNL"].detail and report["HHNL"].detail.inner_scans > 2:
+            assert decision.chosen == "VVM"
+
+    def test_integrated_result_matches_direct_run(self, base_collection):
+        from repro.core.hhnl import run_hhnl
+        from repro.core.hvnl import run_hvnl
+        from repro.core.vvm import run_vvm
+
+        env = env_for(base_collection)
+        system = SystemParams(buffer_pages=32, page_bytes=PAGE)
+        joiner = IntegratedJoin(env, system)
+        result = joiner.run(TextJoinSpec(lam=2))
+        direct = {"HHNL": run_hhnl, "HVNL": run_hvnl, "VVM": run_vvm}[result.algorithm](
+            env, TextJoinSpec(lam=2), system
+        )
+        assert result.same_matches_as(direct)

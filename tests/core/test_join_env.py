@@ -1,0 +1,175 @@
+"""JoinEnvironment layout, sharing and the cost-model bridge."""
+
+import pytest
+
+from repro.core.join import (
+    JoinEnvironment,
+    TextJoinSpec,
+    resolve_outer_ids,
+    scan_with_block_seeks,
+)
+from repro.errors import JoinError
+from repro.storage.pages import PageGeometry
+from repro.text.collection import DocumentCollection
+
+
+def collections():
+    c1 = DocumentCollection.from_term_lists("c1", [[1, 2], [2, 3], [4]])
+    c2 = DocumentCollection.from_term_lists("c2", [[2, 4], [9]])
+    return c1, c2
+
+
+class TestLayout:
+    def test_document_extents(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, PageGeometry(64))
+        assert env.docs1.n_records == 3
+        assert env.docs2.n_records == 2
+        assert env.docs1.total_bytes == c1.total_bytes
+
+    def test_inverted_extent_in_term_order(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, PageGeometry(64))
+        terms = [env.inv1_extent.payload(i).term for i in range(env.inv1_extent.n_records)]
+        assert terms == sorted(terms)
+
+    def test_btree_locates_entries(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, PageGeometry(64))
+        record_id, df = env.btree1.search(2)
+        assert env.inv1_extent.payload(record_id).term == 2
+        assert df == 2  # term 2 appears in docs 0 and 1
+
+    def test_skip_inverted_build(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, build_inverted=False)
+        assert env.inverted1 is None
+        assert env.btree1 is None
+
+    def test_self_join_shares_storage(self):
+        c1, _ = collections()
+        env = JoinEnvironment(c1, c1, PageGeometry(64))
+        assert env.docs2 is env.docs1
+        assert env.inverted2 is env.inverted1
+        assert env.btree2 is env.btree1
+
+    def test_measured_stats(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, PageGeometry(64))
+        assert env.stats1.N == 3
+        assert env.stats2.N == 2
+        assert env.stats1.T == 4
+
+
+class TestBridge:
+    def test_cost_sides_with_selection(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2)
+        side1, side2 = env.cost_sides([0])
+        assert side2.n_participating == 1
+        assert not side1.is_selected
+
+    def test_measured_overlap(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2)
+        # c2 terms {2, 4, 9}; {2, 4} appear in c1 -> q = 2/3
+        assert env.measured_q() == pytest.approx(2 / 3)
+        # c1 terms {1,2,3,4}; {2,4} appear in c2 -> p = 1/2
+        assert env.measured_p() == pytest.approx(0.5)
+
+    def test_norms_cached_and_shared_for_self_join(self):
+        c1, _ = collections()
+        env = JoinEnvironment(c1, c1)
+        assert env.norms2() is env.norms1()
+
+    def test_reset_io(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, PageGeometry(64))
+        list(env.disk.scan_records(env.docs1))
+        env.reset_io()
+        assert env.disk.stats.total_reads == 0
+
+
+class TestSpecAndIds:
+    def test_spec_validates_lambda(self):
+        with pytest.raises(JoinError):
+            TextJoinSpec(lam=0)
+
+    def test_resolve_outer_ids_sorts(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2)
+        assert resolve_outer_ids(env, [1, 0]) == [0, 1]
+
+    def test_resolve_outer_ids_none(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2)
+        assert resolve_outer_ids(env, None) is None
+
+    def test_resolve_rejects_duplicates(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2)
+        with pytest.raises(JoinError):
+            resolve_outer_ids(env, [0, 0])
+
+    def test_resolve_rejects_out_of_range(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2)
+        with pytest.raises(JoinError):
+            resolve_outer_ids(env, [5])
+
+
+class TestBlockSeekScan:
+    def test_blocked_scan_charges_one_seek_per_block(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, PageGeometry(16))
+        total = env.docs1.n_pages
+        list(scan_with_block_seeks(env.disk, env.docs1, leftover_pages=2))
+        expected_blocks = -(-total // 2)
+        assert env.disk.stats.random_reads == expected_blocks
+        assert env.disk.stats.total_reads == total
+
+    def test_blocked_scan_without_leftover_all_random(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, PageGeometry(16))
+        list(scan_with_block_seeks(env.disk, env.docs1, leftover_pages=0))
+        assert env.disk.stats.random_reads == env.docs1.n_pages
+
+    def test_blocked_scan_yields_all_records(self):
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, PageGeometry(16))
+        docs = [doc for _, doc in scan_with_block_seeks(env.disk, env.docs1, 100)]
+        assert [d.doc_id for d in docs] == [0, 1, 2]
+
+
+class TestResultExport:
+    def test_to_dict_roundtrips_through_json(self):
+        import json
+
+        from repro.core.hhnl import run_hhnl
+        from repro.cost.params import SystemParams
+
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, PageGeometry(64))
+        result = run_hhnl(env, TextJoinSpec(lam=2), SystemParams(buffer_pages=16, page_bytes=64))
+        payload = json.loads(result.to_json())
+        assert payload["algorithm"] == "HHNL"
+        assert payload["lambda"] == 2
+        assert payload["io"]["sequential_reads"] == result.io.sequential_reads
+        # matches keyed by stringified outer doc id, ranked pairs inside
+        for outer, hits in result.matches.items():
+            assert payload["matches"][str(outer)] == [[d, s] for d, s in hits]
+
+    def test_to_dict_sanitises_extras(self):
+        from repro.core.integrated import IntegratedJoin
+        from repro.cost.params import SystemParams
+
+        c1, c2 = collections()
+        env = JoinEnvironment(c1, c2, PageGeometry(64))
+        joiner = IntegratedJoin(env, SystemParams(buffer_pages=16, page_bytes=64))
+        result = joiner.run(TextJoinSpec(lam=1))
+        payload = result.to_dict()
+        # the IntegratedDecision object becomes its repr, not a crash
+        assert isinstance(payload["extras"]["decision"], str)
+        import json
+
+        json.dumps(payload)  # fully serialisable

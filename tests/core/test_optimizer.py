@@ -1,0 +1,160 @@
+"""The full plan optimizer: algorithm x order x site x cost components."""
+
+import pytest
+
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.core.optimizer import (
+    OptimizerConfig,
+    PlanCost,
+    execute_plan,
+    optimize,
+)
+from repro.cost.communication import ExecutionSite
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.errors import JoinError
+from repro.index.stats import CollectionStats
+from repro.storage.pages import PageGeometry
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+from repro.workloads.trec import DOE, WSJ
+
+
+def sides(n2_participating=None):
+    return (
+        JoinSide(WSJ),
+        JoinSide(DOE, participating=n2_participating),
+    )
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = OptimizerConfig()
+        assert config.beta == 0.0
+        assert config.ops_per_io_unit is None
+        assert config.consider_backward
+
+    @pytest.mark.parametrize(
+        "kw", [{"beta": -1}, {"ops_per_io_unit": 0}, {"scenario": "best-case"}]
+    )
+    def test_validation(self, kw):
+        with pytest.raises(JoinError):
+            OptimizerConfig(**kw)
+
+
+class TestEnumeration:
+    def test_candidate_space(self):
+        plan = optimize(*sides(), SystemParams(), QueryParams())
+        # 4 algorithms x 3 sites (all feasible at base parameters)
+        assert len(plan.candidates) == 12
+        assert {c.algorithm for c in plan.candidates} == {
+            "HHNL", "HHNL-BWD", "HVNL", "VVM",
+        }
+        assert {c.site for c in plan.candidates} == set(ExecutionSite)
+
+    def test_backward_can_be_disabled(self):
+        plan = optimize(
+            *sides(), SystemParams(), QueryParams(),
+            OptimizerConfig(consider_backward=False),
+        )
+        assert {c.algorithm for c in plan.candidates} == {"HHNL", "HVNL", "VVM"}
+
+    def test_candidates_sorted_by_total(self):
+        config = OptimizerConfig(beta=2.0)
+        plan = optimize(*sides(), SystemParams(), QueryParams(), config)
+        totals = [c.total(config.beta, config.ops_per_io_unit) for c in plan.candidates]
+        assert totals == sorted(totals)
+
+    def test_zero_beta_recovers_integrated_algorithm(self):
+        # with communication free, the winner matches the paper's choice
+        plan = optimize(
+            *sides(), SystemParams(), QueryParams(),
+            OptimizerConfig(beta=0.0, consider_backward=False),
+        )
+        assert plan.best.algorithm == "HHNL"
+
+    def test_small_outer_selection_prefers_hvnl(self):
+        side1 = JoinSide(WSJ)
+        side2 = JoinSide(WSJ, participating=5)
+        plan = optimize(side1, side2, SystemParams(), QueryParams())
+        assert plan.best.algorithm == "HVNL"
+
+
+class TestCostComponents:
+    def test_beta_moves_execution_to_big_side(self):
+        # With expensive shipping, the plan should run where the bulk of
+        # the data lives (DOE's site, since DOE's pages exceed WSJ's
+        # shipped structures).
+        free = optimize(*sides(), SystemParams(), QueryParams(), OptimizerConfig(beta=0.0))
+        costly = optimize(*sides(), SystemParams(), QueryParams(), OptimizerConfig(beta=50.0))
+        # at beta=0 all sites tie; at high beta the best plan ships less
+        best_total = costly.best.total(50.0, None)
+        for candidate in costly.candidates:
+            assert best_total <= candidate.total(50.0, None)
+        assert costly.best.communication_pages <= free.best.communication_pages
+
+    def test_cpu_component_changes_winner(self):
+        side = JoinSide(WSJ)
+        io_only = optimize(side, side, SystemParams(), QueryParams())
+        slow_cpu = optimize(
+            side, side, SystemParams(), QueryParams(),
+            OptimizerConfig(ops_per_io_unit=1e4),
+        )
+        assert io_only.best.algorithm == "HHNL"
+        assert slow_cpu.best.algorithm != "HHNL"
+
+    def test_plan_cost_total(self):
+        plan = PlanCost("HHNL", ExecutionSite.SITE1, io_cost=100,
+                        communication_pages=10, cpu_operations=1e6)
+        assert plan.total(beta=2.0, ops_per_io_unit=None) == pytest.approx(120)
+        assert plan.total(beta=2.0, ops_per_io_unit=1e5) == pytest.approx(130)
+
+    def test_totals_listing(self):
+        config = OptimizerConfig(beta=1.0)
+        plan = optimize(*sides(), SystemParams(), QueryParams(), config)
+        listed = plan.totals()
+        assert len(listed) == len(plan.candidates)
+        assert listed[0][1] <= listed[-1][1]
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def env(self):
+        c1 = generate_collection(
+            SyntheticSpec("opt1", n_documents=60, avg_terms_per_doc=12,
+                          vocabulary_size=300, seed=71)
+        )
+        c2 = generate_collection(
+            SyntheticSpec("opt2", n_documents=40, avg_terms_per_doc=10,
+                          vocabulary_size=300, seed=72)
+        )
+        return JoinEnvironment(c1, c2, PageGeometry(512))
+
+    def test_execute_best_plan(self, env):
+        system = SystemParams(buffer_pages=32, page_bytes=512)
+        plan = optimize(
+            *env.cost_sides(), system, QueryParams(lam=3),
+            q=env.measured_q(), p=env.measured_p(),
+        )
+        result = execute_plan(plan.best, env, TextJoinSpec(lam=3), system)
+        assert result.algorithm == plan.best.algorithm
+        assert result.extras["plan"] is plan.best
+
+    def test_all_plans_execute_to_same_matches(self, env):
+        system = SystemParams(buffer_pages=32, page_bytes=512)
+        plan = optimize(
+            *env.cost_sides(), system, QueryParams(lam=3),
+            q=env.measured_q(), p=env.measured_p(),
+        )
+        results = {}
+        for candidate in plan.candidates:
+            if candidate.algorithm not in results:
+                results[candidate.algorithm] = execute_plan(
+                    candidate, env, TextJoinSpec(lam=3), system
+                )
+        reference = next(iter(results.values()))
+        for result in results.values():
+            assert result.same_matches_as(reference)
+
+    def test_unknown_algorithm_rejected(self, env):
+        bogus = PlanCost("SORT", ExecutionSite.SITE1, 0, 0, 0)
+        with pytest.raises(JoinError):
+            execute_plan(bogus, env, TextJoinSpec(lam=3), SystemParams())

@@ -1,0 +1,84 @@
+"""Top-lambda tracking and its tie-breaking contract."""
+
+import pytest
+
+from repro.core.topk import TopK
+
+
+class TestBasics:
+    def test_keeps_best_k(self):
+        top = TopK(2)
+        for doc, sim in [(1, 5.0), (2, 9.0), (3, 7.0), (4, 1.0)]:
+            top.offer(doc, sim)
+        assert top.results() == [(2, 9.0), (3, 7.0)]
+
+    def test_underfilled(self):
+        top = TopK(5)
+        top.offer(1, 3.0)
+        assert top.results() == [(1, 3.0)]
+
+    def test_rejects_nonpositive_similarity(self):
+        top = TopK(3)
+        assert not top.offer(1, 0.0)
+        assert not top.offer(2, -1.0)
+        assert top.results() == []
+
+    def test_offer_returns_retention(self):
+        top = TopK(1)
+        assert top.offer(1, 5.0)
+        assert not top.offer(2, 3.0)
+        assert top.offer(3, 8.0)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TopK(0)
+
+    def test_len(self):
+        top = TopK(3)
+        top.offer(1, 1.0)
+        top.offer(2, 2.0)
+        assert len(top) == 2
+
+
+class TestTieBreaking:
+    def test_equal_similarity_prefers_smaller_doc_id(self):
+        top = TopK(1)
+        top.offer(7, 5.0)
+        top.offer(3, 5.0)
+        assert top.results() == [(3, 5.0)]
+
+    def test_tie_break_independent_of_offer_order(self):
+        offers = [(5, 2.0), (1, 2.0), (9, 2.0), (3, 2.0)]
+        a = TopK(2)
+        for doc, sim in offers:
+            a.offer(doc, sim)
+        b = TopK(2)
+        for doc, sim in reversed(offers):
+            b.offer(doc, sim)
+        assert a.results() == b.results() == [(1, 2.0), (3, 2.0)]
+
+    def test_results_sorted_best_first_then_doc_id(self):
+        top = TopK(4)
+        for doc, sim in [(4, 1.0), (2, 3.0), (8, 3.0), (1, 2.0)]:
+            top.offer(doc, sim)
+        assert top.results() == [(2, 3.0), (8, 3.0), (1, 2.0), (4, 1.0)]
+
+
+class TestThreshold:
+    def test_zero_while_unfilled(self):
+        top = TopK(3)
+        top.offer(1, 9.0)
+        assert top.threshold() == 0.0
+
+    def test_threshold_is_kth_best(self):
+        top = TopK(2)
+        for doc, sim in [(1, 9.0), (2, 5.0), (3, 7.0)]:
+            top.offer(doc, sim)
+        assert top.threshold() == 7.0
+
+    def test_candidates_below_threshold_rejected(self):
+        top = TopK(2)
+        top.offer(1, 9.0)
+        top.offer(2, 8.0)
+        assert not top.offer(3, 7.9)
+        assert top.threshold() == 8.0

@@ -1,0 +1,110 @@
+"""Communication cost extension: shipping pages between local systems."""
+
+import pytest
+
+from repro.cost.communication import (
+    ExecutionSite,
+    best_site,
+    communication_cost,
+    communication_report,
+)
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.index.stats import CollectionStats
+
+
+def side(n, k, t, participating=None):
+    return JoinSide(CollectionStats("s", n, k, t), participating=participating)
+
+
+@pytest.fixture()
+def sides():
+    return side(1000, 100, 5000), side(500, 80, 4000)
+
+
+class TestPerSiteAccounting:
+    def test_hhnl_at_site1_ships_c2_docs(self, sides):
+        s1, s2 = sides
+        cost = communication_cost("HHNL", s1, s2, QueryParams(), SystemParams(), ExecutionSite.SITE1)
+        assert cost.shipped_pages == pytest.approx(
+            s2.stats.D + 2 * 4 * 20 * 500 / 4096
+        )
+
+    def test_hhnl_at_mediator_ships_both(self, sides):
+        s1, s2 = sides
+        at1 = communication_cost("HHNL", s1, s2, QueryParams(), SystemParams(), ExecutionSite.SITE1)
+        med = communication_cost("HHNL", s1, s2, QueryParams(), SystemParams(), ExecutionSite.MEDIATOR)
+        assert med.shipped_pages == pytest.approx(at1.shipped_pages + s1.stats.D)
+
+    def test_hvnl_ships_index_or_documents(self, sides):
+        s1, s2 = sides
+        at1 = communication_cost("HVNL", s1, s2, QueryParams(), SystemParams(), ExecutionSite.SITE1)
+        at2 = communication_cost("HVNL", s1, s2, QueryParams(), SystemParams(), ExecutionSite.SITE2)
+        # at site 1 the inverted file is local, only C2 docs ship
+        assert at1.shipped_pages < at2.shipped_pages + s2.stats.D
+
+    def test_vvm_ships_inverted_files(self, sides):
+        s1, s2 = sides
+        med = communication_cost("VVM", s1, s2, QueryParams(), SystemParams(), ExecutionSite.MEDIATOR)
+        assert med.shipped_pages >= s1.stats.I + s2.stats.I
+
+    def test_unknown_algorithm(self, sides):
+        with pytest.raises(ValueError):
+            communication_cost("SORT", *sides, QueryParams(), SystemParams())
+
+    def test_cost_scales_with_beta(self, sides):
+        cost = communication_cost("HHNL", *sides, QueryParams(), SystemParams())
+        assert cost.cost(beta=2.0) == pytest.approx(2 * cost.shipped_pages)
+        with pytest.raises(ValueError):
+            cost.cost(beta=-1)
+
+
+class TestSelections:
+    def test_selected_outer_ships_fewer_pages(self):
+        s1 = side(1000, 100, 5000)
+        full = communication_cost(
+            "HHNL", s1, side(500, 80, 4000), QueryParams(), SystemParams(), ExecutionSite.SITE1
+        )
+        selected = communication_cost(
+            "HHNL", s1, side(500, 80, 4000, participating=3),
+            QueryParams(), SystemParams(), ExecutionSite.SITE1,
+        )
+        assert selected.shipped_pages < full.shipped_pages
+
+    def test_selection_does_not_shrink_inverted_shipping(self):
+        # the paper: selections do not shrink inverted files
+        s1 = side(1000, 100, 5000)
+        full = communication_cost(
+            "VVM", s1, side(500, 80, 4000), QueryParams(), SystemParams(), ExecutionSite.MEDIATOR
+        )
+        selected = communication_cost(
+            "VVM", s1, side(500, 80, 4000, participating=3),
+            QueryParams(), SystemParams(), ExecutionSite.MEDIATOR,
+        )
+        # both ship the full inverted files; only the result term differs
+        inverted = s1.stats.I + side(500, 80, 4000).stats.I
+        assert selected.shipped_pages >= inverted
+        assert full.shipped_pages - selected.shipped_pages == pytest.approx(
+            2 * 4 * 20 * (500 - 3) / 4096
+        )
+
+
+class TestBestSite:
+    def test_best_site_minimises(self, sides):
+        s1, s2 = sides
+        best = best_site("HHNL", s1, s2, QueryParams(), SystemParams())
+        for site in ExecutionSite:
+            other = communication_cost("HHNL", s1, s2, QueryParams(), SystemParams(), site)
+            assert best.shipped_pages <= other.shipped_pages
+
+    def test_big_side_stays_put(self):
+        # C2 huge, C1 small -> run at site 2, ship C1
+        s1 = side(10, 100, 500)
+        s2 = side(100_000, 100, 50_000)
+        best = best_site("HHNL", s1, s2, QueryParams(), SystemParams())
+        assert best.site is ExecutionSite.SITE2
+
+    def test_report_shape(self, sides):
+        report = communication_report(*sides, QueryParams(), SystemParams())
+        assert set(report) == {"HHNL", "HVNL", "VVM"}
+        for cost in report.values():
+            assert cost.shipped_pages > 0

@@ -1,0 +1,139 @@
+"""CPU cost extension: estimates and executor-measured operation counts."""
+
+import pytest
+
+from repro.core.hhnl import run_hhnl
+from repro.core.hvnl import run_hvnl
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.core.vvm import run_vvm
+from repro.cost.cpu import (
+    CpuCost,
+    cpu_report,
+    hhnl_cpu_cost,
+    hvnl_cpu_cost,
+    vvm_cpu_cost,
+)
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.index.stats import CollectionStats
+from repro.storage.pages import PageGeometry
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+
+def side(n, k, t, participating=None):
+    return JoinSide(CollectionStats("s", n, k, t), participating=participating)
+
+
+class TestEstimates:
+    def test_hhnl_pairwise_merge_count(self):
+        cost = hhnl_cpu_cost(side(100, 50, 500), side(200, 30, 400))
+        assert cost.cell_operations == pytest.approx(100 * 200 * (50 + 30))
+
+    def test_hhnl_selection_reduces_pairs(self):
+        full = hhnl_cpu_cost(side(100, 50, 500), side(200, 30, 400))
+        sel = hhnl_cpu_cost(side(100, 50, 500), side(200, 30, 400, participating=10))
+        assert sel.cell_operations == pytest.approx(full.cell_operations / 20)
+
+    def test_hvnl_scales_with_q(self):
+        lo = hvnl_cpu_cost(side(100, 50, 500), side(200, 30, 400), q=0.1)
+        hi = hvnl_cpu_cost(side(100, 50, 500), side(200, 30, 400), q=0.9)
+        assert hi.cell_operations > lo.cell_operations
+
+    def test_hvnl_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            hvnl_cpu_cost(side(10, 5, 50), side(10, 5, 50), q=-0.1)
+
+    def test_vvm_multiplies_with_passes(self):
+        s = side(10_000, 100, 5000)
+        roomy = vvm_cpu_cost(s, s, SystemParams(buffer_pages=20_000), QueryParams(), p=0.8)
+        tight = vvm_cpu_cost(s, s, SystemParams(buffer_pages=100), QueryParams(), p=0.8)
+        assert tight.cell_operations > roomy.cell_operations
+
+    def test_vvm_empty_vocabulary(self):
+        empty = JoinSide(CollectionStats("e", 0, 0, 0))
+        cost = vvm_cpu_cost(empty, empty, SystemParams(), QueryParams(), p=0.0)
+        assert cost.cell_operations == 0.0
+
+    def test_report_covers_all(self):
+        report = cpu_report(
+            side(100, 50, 500), side(200, 30, 400),
+            SystemParams(), QueryParams(), p=0.5, q=0.5,
+        )
+        assert set(report) == {"HHNL", "HVNL", "VVM"}
+
+    def test_combined_folds_cpu_into_io(self):
+        cost = CpuCost("HHNL", 1_000_000)
+        assert cost.combined(io_cost=100, ops_per_io_unit=100_000) == pytest.approx(110)
+        with pytest.raises(ValueError):
+            cost.combined(100, 0)
+
+
+class TestMeasuredAgainstEstimates:
+    @pytest.fixture(scope="class")
+    def env(self):
+        c1 = generate_collection(
+            SyntheticSpec("cpu1", n_documents=80, avg_terms_per_doc=15,
+                          vocabulary_size=400, seed=91)
+        )
+        c2 = generate_collection(
+            SyntheticSpec("cpu2", n_documents=60, avg_terms_per_doc=12,
+                          vocabulary_size=400, seed=92)
+        )
+        return JoinEnvironment(c1, c2, PageGeometry(512))
+
+    def test_hhnl_measured_matches_model(self, env):
+        system = SystemParams(buffer_pages=32, page_bytes=512)
+        result = run_hhnl(env, TextJoinSpec(lam=3), system)
+        predicted = hhnl_cpu_cost(*env.cost_sides()).cell_operations
+        assert result.extras["cpu_ops"] == pytest.approx(predicted, rel=0.1)
+
+    def test_hvnl_measured_bounded_below_by_model(self, env):
+        # The estimate assumes uniform posting lengths; Zipf skew makes
+        # the true count larger (frequent terms have long postings AND
+        # appear in more outer documents), so the model is a first-order
+        # lower bound on skewed data.
+        system = SystemParams(buffer_pages=32, page_bytes=512)
+        result = run_hvnl(env, TextJoinSpec(lam=3), system)
+        predicted = hvnl_cpu_cost(*env.cost_sides(), q=env.measured_q()).cell_operations
+        ratio = result.extras["cpu_ops"] / predicted
+        assert 0.8 < ratio < 10.0
+
+    def test_vvm_measured_bounded_below_by_model(self, env):
+        system = SystemParams(buffer_pages=64, page_bytes=512)
+        result = run_vvm(env, TextJoinSpec(lam=3), system)
+        predicted = vvm_cpu_cost(
+            *env.cost_sides(), system, QueryParams(lam=3), p=env.measured_p()
+        ).cell_operations
+        ratio = result.extras["cpu_ops"] / predicted
+        assert 0.8 < ratio < 10.0
+
+    def test_inverted_models_near_exact_on_uniform_collections(self):
+        # With skew = 0 the uniform-posting assumption holds and the
+        # estimates should land close to the measured counts.
+        c1 = generate_collection(
+            SyntheticSpec("flat1", n_documents=80, avg_terms_per_doc=15,
+                          vocabulary_size=400, skew=0.0, seed=93)
+        )
+        c2 = generate_collection(
+            SyntheticSpec("flat2", n_documents=60, avg_terms_per_doc=12,
+                          vocabulary_size=400, skew=0.0, seed=94)
+        )
+        env = JoinEnvironment(c1, c2, PageGeometry(512))
+        system = SystemParams(buffer_pages=64, page_bytes=512)
+        hv = run_hvnl(env, TextJoinSpec(lam=3), system)
+        hv_predicted = hvnl_cpu_cost(*env.cost_sides(), q=env.measured_q()).cell_operations
+        assert hv.extras["cpu_ops"] / hv_predicted == pytest.approx(1.0, abs=0.5)
+        vv = run_vvm(env, TextJoinSpec(lam=3), system)
+        vv_predicted = vvm_cpu_cost(
+            *env.cost_sides(), system, QueryParams(lam=3), p=env.measured_p()
+        ).cell_operations
+        assert vv.extras["cpu_ops"] / vv_predicted == pytest.approx(1.0, abs=0.5)
+
+    def test_cpu_ordering_matches_paper_intuition(self, env):
+        # inverted-file algorithms touch only matching cells; HHNL
+        # touches every pair — its CPU work must dominate.
+        system = SystemParams(buffer_pages=64, page_bytes=512)
+        hh = run_hhnl(env, TextJoinSpec(lam=3), system).extras["cpu_ops"]
+        hv = run_hvnl(env, TextJoinSpec(lam=3), system).extras["cpu_ops"]
+        vv = run_vvm(env, TextJoinSpec(lam=3), system).extras["cpu_ops"]
+        assert hh > hv
+        assert hh > vv

@@ -1,0 +1,140 @@
+"""HHNL cost formulas (Section 5.1) against hand computations."""
+
+import math
+
+import pytest
+
+from repro.cost.hhnl import hhnl_cost, hhnl_memory_capacity
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.errors import InsufficientMemoryError
+from repro.index.stats import CollectionStats
+
+P = 4096
+
+
+def side(n, k, t, participating=None):
+    return JoinSide(CollectionStats("s", n, k, t), participating=participating)
+
+
+@pytest.fixture()
+def inner():
+    return side(50, 80, 1000)  # S1 ~ 0.0977, D1 ~ 4.883
+
+
+@pytest.fixture()
+def outer():
+    return side(200, 40, 1000)  # S2 ~ 0.0488, D2 ~ 9.766
+
+
+class TestMemoryCapacity:
+    def test_x_formula(self, inner, outer):
+        query = QueryParams(lam=20)
+        system = SystemParams(buffer_pages=100)
+        # X = (B - ceil(S1)) / (S2 + 4*lam/P)
+        expected = int((100 - 1) / (outer.stats.S + 80 / P))
+        assert hhnl_memory_capacity(inner, outer, system, query) == expected
+
+    def test_lambda_shrinks_x(self, inner, outer):
+        system = SystemParams(buffer_pages=100)
+        x_small = hhnl_memory_capacity(inner, outer, system, QueryParams(lam=1000))
+        x_large = hhnl_memory_capacity(inner, outer, system, QueryParams(lam=1))
+        assert x_small < x_large
+
+    def test_insufficient_memory(self):
+        # inner document alone fills the buffer
+        big_inner = side(10, 10_000, 20_000)  # S1 ~ 12.2 pages
+        system = SystemParams(buffer_pages=12)
+        with pytest.raises(InsufficientMemoryError):
+            hhnl_memory_capacity(big_inner, side(10, 10, 100), system, QueryParams())
+
+
+class TestSequentialCost:
+    def test_single_scan_when_outer_fits(self, inner, outer):
+        cost = hhnl_cost(inner, outer, SystemParams(buffer_pages=100), QueryParams())
+        assert cost.inner_scans == 1
+        assert cost.sequential == pytest.approx(outer.stats.D + inner.stats.D)
+
+    def test_hhs1_formula_multi_scan(self, inner, outer):
+        system = SystemParams(buffer_pages=5)
+        query = QueryParams(lam=20)
+        x = hhnl_memory_capacity(inner, outer, system, query)
+        scans = math.ceil(200 / x)
+        cost = hhnl_cost(inner, outer, system, query)
+        assert cost.inner_scans == scans > 1
+        assert cost.sequential == pytest.approx(
+            outer.stats.D + scans * inner.stats.D
+        )
+
+    def test_more_memory_never_costs_more(self, inner, outer):
+        costs = [
+            hhnl_cost(inner, outer, SystemParams(buffer_pages=b), QueryParams()).sequential
+            for b in (5, 10, 50, 100, 1000)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_empty_outer(self, inner):
+        empty = side(200, 40, 1000, participating=0)
+        cost = hhnl_cost(inner, empty, SystemParams(buffer_pages=100), QueryParams())
+        assert cost.sequential == 0.0
+        assert cost.random == 0.0
+
+
+class TestWorstCase:
+    def test_hhr_when_outer_exceeds_memory(self, inner, outer):
+        system = SystemParams(buffer_pages=5, alpha=5)
+        query = QueryParams()
+        cost = hhnl_cost(inner, outer, system, query)
+        scans = cost.inner_scans
+        d1, n1 = inner.stats.D, inner.stats.N
+        expected_extra = scans * (1 + min(d1, n1)) * (5 - 1)
+        assert cost.random == pytest.approx(cost.sequential + expected_extra)
+
+    def test_hhr_when_outer_fits(self, inner, outer):
+        system = SystemParams(buffer_pages=100, alpha=5)
+        query = QueryParams()
+        x = hhnl_memory_capacity(inner, outer, system, query)
+        cost = hhnl_cost(inner, outer, system, query)
+        blocks = math.ceil(inner.stats.D / ((x - 200) * outer.stats.S))
+        assert cost.random == pytest.approx(cost.sequential + blocks * 4)
+
+    def test_alpha_one_collapses_to_sequential(self, inner, outer):
+        cost = hhnl_cost(inner, outer, SystemParams(buffer_pages=5, alpha=1), QueryParams())
+        assert cost.random == pytest.approx(cost.sequential)
+
+    def test_random_at_least_sequential(self, inner, outer):
+        for b in (5, 20, 100):
+            cost = hhnl_cost(inner, outer, SystemParams(buffer_pages=b), QueryParams())
+            assert cost.random >= cost.sequential
+
+
+class TestSelection:
+    def test_selected_outer_pays_random_fetches(self, inner):
+        selected = side(200, 40, 1000, participating=1)
+        cost = hhnl_cost(inner, selected, SystemParams(buffer_pages=100), QueryParams())
+        expected_outer = 1 * math.ceil(selected.stats.S) * 5  # < D2, so random wins
+        assert cost.sequential == pytest.approx(expected_outer + inner.stats.D)
+
+    def test_large_selection_falls_back_to_scan(self, inner):
+        # Fetching 150 sub-page documents at random would cost more than
+        # scanning all 200; document_read_cost takes the min.
+        selected = side(200, 40, 1000, participating=150)
+        cost = hhnl_cost(inner, selected, SystemParams(buffer_pages=100), QueryParams())
+        assert cost.sequential == pytest.approx(selected.stats.D + inner.stats.D)
+
+    def test_selection_reduces_cost_when_small(self, inner, outer):
+        system = SystemParams(buffer_pages=5)
+        full = hhnl_cost(inner, outer, system, QueryParams()).sequential
+        sel = hhnl_cost(
+            inner, side(200, 40, 1000, participating=5), system, QueryParams()
+        ).sequential
+        assert sel < full
+
+    def test_paper_benefit_claim(self, inner):
+        # Section 5.4: HHNL benefits naturally from reductions of either
+        # collection.  A selection on the outer side cuts the scan count.
+        system = SystemParams(buffer_pages=5)
+        costs = [
+            hhnl_cost(inner, side(200, 40, 1000, participating=n), system, QueryParams()).sequential
+            for n in (200, 100, 50, 10)
+        ]
+        assert costs == sorted(costs, reverse=True)

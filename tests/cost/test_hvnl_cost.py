@@ -1,0 +1,191 @@
+"""HVNL cost formulas (Section 5.2): memory regimes, f(m), s/X1/Y."""
+
+import math
+
+import pytest
+
+from repro.constants import TERM_NUMBER_BYTES
+from repro.cost.hvnl import (
+    distinct_terms_in_documents,
+    hvnl_cost,
+    hvnl_memory_capacity,
+)
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.errors import InsufficientMemoryError
+from repro.index.stats import CollectionStats
+
+P = 4096
+
+
+def side(n, k, t, participating=None):
+    return JoinSide(CollectionStats("s", n, k, t), participating=participating)
+
+
+@pytest.fixture()
+def inner():
+    return side(100, 50, 500)  # J1 ~ 0.0122, I1 ~ 6.1, Bt1 ~ 1.1
+
+
+@pytest.fixture()
+def outer():
+    return side(80, 30, 400)  # S2 ~ 0.0366, D2 ~ 2.93
+
+
+class TestVocabularyGrowth:
+    def test_f_zero(self):
+        assert distinct_terms_in_documents(0, 30, 400) == 0.0
+
+    def test_f_one_is_k(self):
+        assert distinct_terms_in_documents(1, 30, 400) == pytest.approx(30)
+
+    def test_f_monotone(self):
+        values = [distinct_terms_in_documents(m, 30, 400) for m in range(0, 50, 5)]
+        assert values == sorted(values)
+
+    def test_f_approaches_t(self):
+        assert distinct_terms_in_documents(10_000, 30, 400) == pytest.approx(400)
+
+    def test_f_never_exceeds_t(self):
+        for m in (1, 10, 100, 10_000):
+            assert distinct_terms_in_documents(m, 30, 400) <= 400
+
+    def test_f_with_k_equals_t(self):
+        # every document contains the whole vocabulary
+        assert distinct_terms_in_documents(1, 400, 400) == pytest.approx(400)
+
+    def test_f_real_m(self):
+        # defined for fractional m (the paper evaluates f(s + X1))
+        low = distinct_terms_in_documents(3, 30, 400)
+        mid = distinct_terms_in_documents(3.5, 30, 400)
+        high = distinct_terms_in_documents(4, 30, 400)
+        assert low < mid < high
+
+    def test_f_rejects_negative_m(self):
+        with pytest.raises(ValueError):
+            distinct_terms_in_documents(-1, 30, 400)
+
+    def test_f_degenerate_vocabulary(self):
+        assert distinct_terms_in_documents(5, 0, 400) == 0.0
+        assert distinct_terms_in_documents(5, 10, 0) == 0.0
+
+
+class TestMemoryCapacity:
+    def test_x_formula(self, inner, outer):
+        system = SystemParams(buffer_pages=50)
+        query = QueryParams(lam=20, delta=0.1)
+        reserved = (
+            math.ceil(outer.stats.S)
+            + inner.stats.Bt
+            + 4 * 100 * 0.1 / P
+        )
+        expected = int((50 - reserved) / (inner.stats.J + TERM_NUMBER_BYTES / P))
+        assert hvnl_memory_capacity(inner, outer, system, query) == expected
+
+    def test_delta_shrinks_capacity(self, inner, outer):
+        # more accumulators -> fewer resident entries (visible with many docs)
+        big_inner = side(2_000_000, 50, 500)
+        system = SystemParams(buffer_pages=5000)
+        x_dense = hvnl_memory_capacity(big_inner, outer, system, QueryParams(delta=0.9))
+        x_sparse = hvnl_memory_capacity(big_inner, outer, system, QueryParams(delta=0.01))
+        assert x_dense < x_sparse
+
+    def test_insufficient_memory(self, inner, outer):
+        # B+-tree alone cannot fit
+        huge_tree_inner = side(100, 50, 10_000_000)  # Bt ~ 21,973 pages
+        with pytest.raises(InsufficientMemoryError):
+            hvnl_memory_capacity(
+                huge_tree_inner, outer, SystemParams(buffer_pages=100), QueryParams()
+            )
+
+
+class TestRegimes:
+    def test_all_entries_fit(self, inner, outer):
+        system = SystemParams(buffer_pages=1000, alpha=5)
+        cost = hvnl_cost(inner, outer, system, QueryParams(), q=0.5)
+        assert cost.regime == "all-entries-fit"
+        s1, s2 = inner.stats, outer.stats
+        needed = 0.5 * distinct_terms_in_documents(80, s2.K, s2.T)
+        expected = min(
+            s2.D + s1.I + s1.Bt,
+            s2.D + needed * math.ceil(s1.J) * 5 + s1.Bt,
+        )
+        assert cost.sequential == pytest.approx(expected)
+
+    def test_needed_entries_fit(self):
+        inner = side(100, 50, 5000)  # T1 = 5000 entries, tiny J1, Bt1 ~ 11
+        outer = side(80, 30, 400)
+        # B = 14 leaves room for ~1000 entries: above needed (~80), below T1.
+        system = SystemParams(buffer_pages=14, alpha=5)
+        cost = hvnl_cost(inner, outer, system, QueryParams(), q=0.2)
+        assert cost.regime == "needed-entries-fit"
+        s1, s2 = inner.stats, outer.stats
+        needed = 0.2 * distinct_terms_in_documents(80, s2.K, s2.T)
+        assert cost.sequential == pytest.approx(
+            s2.D + needed * math.ceil(s1.J) * 5 + s1.Bt,
+        )
+
+    def test_thrashing_regime(self):
+        inner = side(5000, 200, 20_000)
+        outer = side(4000, 150, 20_000)
+        system = SystemParams(buffer_pages=60, alpha=5)
+        cost = hvnl_cost(inner, outer, system, QueryParams(), q=0.8)
+        assert cost.regime == "thrashing"
+        assert cost.fill_document is not None and cost.fill_document >= 1
+        assert 0.0 <= cost.fill_fraction <= 1.0
+        assert cost.fetches_per_document > 0
+
+    def test_q_zero_reads_no_entries(self, inner, outer):
+        cost = hvnl_cost(inner, outer, SystemParams(buffer_pages=50), QueryParams(), q=0.0)
+        assert cost.sequential == pytest.approx(outer.stats.D + inner.stats.Bt)
+
+    def test_invalid_q(self, inner, outer):
+        with pytest.raises(ValueError):
+            hvnl_cost(inner, outer, SystemParams(), QueryParams(), q=1.5)
+
+    def test_empty_outer(self, inner):
+        empty = side(80, 30, 400, participating=0)
+        cost = hvnl_cost(inner, empty, SystemParams(buffer_pages=50), QueryParams(), q=0.5)
+        assert cost.sequential == 0.0
+
+
+class TestMonotonicity:
+    def test_more_memory_never_costs_more(self):
+        inner = side(5000, 200, 20_000)
+        outer = side(4000, 150, 20_000)
+        costs = [
+            hvnl_cost(inner, outer, SystemParams(buffer_pages=b), QueryParams(), q=0.8).sequential
+            for b in (60, 200, 1000, 5000, 20_000)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_random_at_least_sequential(self, inner, outer):
+        for b in (30, 100, 1000):
+            cost = hvnl_cost(inner, outer, SystemParams(buffer_pages=b), QueryParams(), q=0.6)
+            assert cost.random >= cost.sequential
+
+    def test_alpha_one_random_equals_sequential_in_thrashing(self):
+        inner = side(5000, 200, 20_000)
+        outer = side(4000, 150, 20_000)
+        cost = hvnl_cost(
+            inner, outer, SystemParams(buffer_pages=60, alpha=1), QueryParams(), q=0.8
+        )
+        assert cost.random == pytest.approx(cost.sequential)
+
+
+class TestSmallOuterAdvantage:
+    def test_hvnl_cost_scales_with_selection(self):
+        # Paper summary point 2: few outer documents -> few entry fetches.
+        inner = side(100_000, 300, 150_000)
+        system = SystemParams()
+        costs = [
+            hvnl_cost(
+                inner,
+                side(100_000, 300, 150_000, participating=n),
+                system,
+                QueryParams(),
+                q=0.8,
+            ).sequential
+            for n in (1, 10, 100, 1000)
+        ]
+        assert costs == sorted(costs)
+        assert costs[0] < costs[-1] / 10

@@ -1,0 +1,107 @@
+"""The CostModel facade and CostReport winner logic."""
+
+import pytest
+
+from repro.cost.model import ALGORITHMS, CostModel
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.errors import CostModelError
+from repro.index.stats import CollectionStats
+from repro.workloads.trec import DOE, FR, WSJ
+
+
+def model(stats1=None, stats2=None, **kw):
+    s1 = stats1 or CollectionStats("a", 1000, 100, 5000)
+    s2 = stats2 or CollectionStats("b", 800, 120, 5000)
+    return CostModel(JoinSide(s1), JoinSide(s2), **kw)
+
+
+class TestReport:
+    def test_contains_all_algorithms(self):
+        report = model().report()
+        assert set(report.costs) == set(ALGORITHMS)
+
+    def test_accepts_bare_stats(self):
+        m = CostModel(CollectionStats("a", 10, 10, 50), CollectionStats("b", 10, 10, 50))
+        assert m.report().winner() in ALGORITHMS
+
+    def test_default_p_q_from_overlap_model(self):
+        m = model()
+        assert m.q == pytest.approx(0.8)  # equal vocabularies
+        assert m.p == pytest.approx(0.8)
+
+    def test_explicit_q_respected(self):
+        m = model(q=0.25)
+        assert m.q == 0.25
+
+    def test_getitem_and_unknown(self):
+        report = model().report()
+        assert report["HHNL"].algorithm == "HHNL"
+        with pytest.raises(CostModelError):
+            report["QUICKSORT"]
+
+    def test_cost_by_scenario(self):
+        cost = model().report()["HHNL"]
+        assert cost.cost("sequential") == cost.sequential
+        assert cost.cost("random") == cost.random
+        with pytest.raises(CostModelError):
+            cost.cost("optimistic")
+
+
+class TestWinner:
+    def test_winner_is_cheapest(self):
+        report = model().report()
+        winner = report.winner("sequential")
+        for cost in report.feasible():
+            assert report[winner].sequential <= cost.sequential
+
+    def test_ranking_sorted(self):
+        report = model().report()
+        ranking = report.ranking("sequential")
+        costs = [report[name].sequential for name in ranking]
+        assert costs == sorted(costs)
+
+    def test_infeasible_excluded(self):
+        # A buffer too small for VVM's resident entries but fine for HHNL.
+        fat = CollectionStats("fat", 1000, 3000, 30)  # J ~ 122 pages
+        slim = CollectionStats("slim", 100, 10, 1000)
+        m = CostModel(
+            JoinSide(slim), JoinSide(fat),
+            SystemParams(buffer_pages=60), QueryParams(),
+        )
+        report = m.report()
+        assert not report["VVM"].feasible
+        assert report["VVM"].sequential == float("inf")
+        assert report.winner() in ("HHNL", "HVNL")
+
+    def test_spread(self):
+        report = model().report()
+        assert report.spread() >= 1.0
+
+    def test_row_shape(self):
+        row = model().report("cfg").row()
+        for key in ("hhs", "hhr", "hvs", "hvr", "vvs", "vvr", "winner_seq", "winner_rnd"):
+            assert key in row
+        assert row["label"] == "cfg"
+
+
+class TestPaperScenarios:
+    def test_trec_self_joins_prefer_hhnl(self):
+        # Summary point 4 at base parameters.
+        for stats in (WSJ, FR, DOE):
+            m = CostModel(JoinSide(stats), JoinSide(stats))
+            assert m.choose() == "HHNL"
+
+    def test_tiny_outer_prefers_hvnl(self):
+        # Summary point 2.
+        m = CostModel(JoinSide(WSJ), JoinSide(WSJ, participating=10))
+        assert m.report().winner() == "HVNL"
+
+    def test_rescaled_fr_prefers_vvm(self):
+        # Summary point 3 (FR x10 is well inside the window).
+        scaled = FR.rescaled(10)
+        m = CostModel(JoinSide(scaled), JoinSide(scaled))
+        assert m.choose() == "VVM"
+
+    def test_choose_equals_report_winner(self):
+        m = model()
+        assert m.choose() == m.report().winner("sequential")

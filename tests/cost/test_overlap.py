@@ -1,0 +1,67 @@
+"""The Section 6 overlap probability model for p and q."""
+
+import pytest
+
+from repro.cost.overlap import overlap_probabilities, overlap_probability
+from repro.errors import CostModelError
+
+
+class TestRegimes:
+    def test_small_inner_vocabulary(self):
+        # T1 <= T2: q = 0.8 * T1/T2
+        assert overlap_probability(50_000, 100_000) == pytest.approx(0.4)
+
+    def test_equal_vocabularies(self):
+        assert overlap_probability(100_000, 100_000) == pytest.approx(0.8)
+
+    def test_plateau(self):
+        # T2 < T1 < 5*T2: q = 0.8
+        assert overlap_probability(300_000, 100_000) == pytest.approx(0.8)
+
+    def test_dominant_inner_vocabulary(self):
+        # T1 >= 5*T2: q = 1 - T2/T1
+        assert overlap_probability(500_000, 100_000) == pytest.approx(0.8)
+        assert overlap_probability(1_000_000, 100_000) == pytest.approx(0.9)
+
+    def test_continuity_at_five_t2(self):
+        # at T1 = 5*T2 both branches give 0.8
+        below = overlap_probability(499_999, 100_000)
+        at = overlap_probability(500_000, 100_000)
+        assert at == pytest.approx(below, abs=1e-5)
+
+    def test_paper_trec_values(self):
+        # WSJ self-join: T1 = T2 -> 0.8 (the simulation's typical q)
+        assert overlap_probability(156_298, 156_298) == pytest.approx(0.8)
+        # FR inner, DOE outer: T1=126258 <= T2=186225
+        assert overlap_probability(126_258, 186_225) == pytest.approx(
+            0.8 * 126_258 / 186_225
+        )
+
+
+class TestEdgeCases:
+    def test_empty_vocabularies(self):
+        assert overlap_probability(0, 100) == 0.0
+        assert overlap_probability(100, 0) == 0.0
+        assert overlap_probability(0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(CostModelError):
+            overlap_probability(-1, 10)
+
+    def test_result_in_unit_interval(self):
+        for t1 in (1, 10, 1000, 10**6):
+            for t2 in (1, 10, 1000, 10**6):
+                assert 0.0 <= overlap_probability(t1, t2) <= 1.0
+
+
+class TestBothDirections:
+    def test_p_and_q_roles(self):
+        p, q = overlap_probabilities(100_000, 50_000)
+        # q: C2 term in C1; T1 dominant-ish (T2 < T1 < 5T2) -> 0.8
+        assert q == pytest.approx(0.8)
+        # p: C1 term in C2; inner vocab is T2=50k vs outer T1=100k
+        assert p == pytest.approx(0.8 * 50_000 / 100_000)
+
+    def test_symmetric_case(self):
+        p, q = overlap_probabilities(70_000, 70_000)
+        assert p == q == pytest.approx(0.8)

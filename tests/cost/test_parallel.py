@@ -1,0 +1,84 @@
+"""Parallel join cost extension: fragment-and-replicate over k sites."""
+
+import pytest
+
+from repro.cost.parallel import parallel_cost, parallel_report
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.errors import CostModelError
+from repro.index.stats import CollectionStats
+from repro.workloads.trec import WSJ
+
+
+def side(n, k, t, participating=None):
+    return JoinSide(CollectionStats("s", n, k, t), participating=participating)
+
+
+@pytest.fixture()
+def sides():
+    return side(2000, 100, 8000), side(4000, 80, 8000)
+
+
+class TestScaling:
+    def test_one_site_is_sequential(self, sides):
+        s1, s2 = sides
+        cost = parallel_cost("HHNL", s1, s2, SystemParams(buffer_pages=100), QueryParams(), 0.8, k=1)
+        assert cost.per_site_cost == pytest.approx(cost.sequential_cost)
+        assert cost.speedup == pytest.approx(1.0)
+        assert cost.replication_pages == 0.0
+
+    def test_speedup_grows_with_sites(self, sides):
+        s1, s2 = sides
+        system = SystemParams(buffer_pages=100)
+        speedups = [
+            parallel_cost("HHNL", s1, s2, system, QueryParams(), 0.8, k=k).speedup
+            for k in (1, 2, 4, 8)
+        ]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 2.0
+
+    def test_efficiency_bounded(self, sides):
+        s1, s2 = sides
+        system = SystemParams(buffer_pages=100)
+        for k in (2, 4, 8):
+            cost = parallel_cost("HHNL", s1, s2, system, QueryParams(), 0.8, k=k)
+            # HHNL's inner scans repeat on every site: sublinear speedup
+            assert 0.0 < cost.efficiency <= 1.0 + 1e-9
+
+    def test_vvm_parallel_reduces_passes(self):
+        s = JoinSide(WSJ)
+        system = SystemParams()
+        seq = parallel_cost("VVM", s, s, system, QueryParams(), 0.8, k=1)
+        par = parallel_cost("VVM", s, s, system, QueryParams(), 0.8, k=16)
+        # each site accumulates 1/16th of the pairs: far fewer passes
+        assert par.per_site_cost < seq.per_site_cost / 4
+
+    def test_replication_cost_by_algorithm(self, sides):
+        s1, s2 = sides
+        system = SystemParams(buffer_pages=100)
+        hh = parallel_cost("HHNL", s1, s2, system, QueryParams(), 0.8, k=4)
+        hv = parallel_cost("HVNL", s1, s2, system, QueryParams(), 0.8, k=4)
+        assert hh.replication_pages == pytest.approx(3 * s1.stats.D)
+        assert hv.replication_pages == pytest.approx(3 * (s1.stats.I + s1.stats.Bt))
+
+
+class TestValidation:
+    def test_rejects_zero_sites(self, sides):
+        with pytest.raises(CostModelError):
+            parallel_cost("HHNL", *sides, SystemParams(), QueryParams(), 0.8, k=0)
+
+    def test_rejects_unknown_algorithm(self, sides):
+        with pytest.raises(CostModelError):
+            parallel_cost("SORT", *sides, SystemParams(), QueryParams(), 0.8, k=2)
+
+    def test_report_shape(self, sides):
+        report = parallel_report(*sides, SystemParams(buffer_pages=100), QueryParams(), 0.8, k=4)
+        assert set(report) == {"HHNL", "HVNL", "VVM"}
+        for cost in report.values():
+            assert cost.sites == 4
+
+    def test_selected_outer_fragments_participating_count(self):
+        s1 = side(2000, 100, 8000)
+        s2 = side(4000, 80, 8000, participating=40)
+        cost = parallel_cost("HHNL", s1, s2, SystemParams(buffer_pages=100), QueryParams(), 0.8, k=4)
+        # 10 participating docs per site instead of 40
+        assert cost.per_site_cost < cost.sequential_cost

@@ -1,0 +1,132 @@
+"""VVM cost formulas (Section 5.3): the one-scan property and SM/M passes."""
+
+import math
+
+import pytest
+
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.cost.vvm import vvm_cost, vvm_passes
+from repro.errors import InsufficientMemoryError
+from repro.index.stats import CollectionStats
+
+P = 4096
+
+
+def side(n, k, t, participating=None):
+    return JoinSide(CollectionStats("s", n, k, t), participating=participating)
+
+
+class TestPasses:
+    def test_sm_formula(self):
+        s1, s2 = side(1000, 100, 5000), side(1000, 100, 5000)
+        passes, sm, m = vvm_passes(s1, s2, SystemParams(buffer_pages=50), QueryParams(delta=0.1))
+        assert sm == pytest.approx(4 * 0.1 * 1000 * 1000 / P)
+        assert m == 50 - 2 * math.ceil(s1.stats.J)
+        assert passes == math.ceil(sm / m)
+
+    def test_single_pass_when_memory_suffices(self):
+        s = side(100, 100, 5000)
+        passes, _, _ = vvm_passes(s, s, SystemParams(buffer_pages=100), QueryParams(delta=0.1))
+        assert passes == 1
+
+    def test_delta_zero_single_pass(self):
+        s = side(10_000, 100, 5000)
+        passes, sm, _ = vvm_passes(s, s, SystemParams(buffer_pages=10), QueryParams(delta=0.0))
+        assert sm == 0.0
+        assert passes == 1
+
+    def test_selection_shrinks_accumulator(self):
+        s = side(10_000, 100, 5000)
+        sel = side(10_000, 100, 5000, participating=100)
+        p_full, _, _ = vvm_passes(s, s, SystemParams(buffer_pages=100), QueryParams())
+        p_sel, _, _ = vvm_passes(s, sel, SystemParams(buffer_pages=100), QueryParams())
+        assert p_sel < p_full
+
+    def test_insufficient_memory(self):
+        fat = side(1_000_000, 5000, 100)  # J ~ 6103 pages per entry
+        with pytest.raises(InsufficientMemoryError):
+            vvm_passes(fat, fat, SystemParams(buffer_pages=100), QueryParams())
+
+
+class TestSequentialCost:
+    def test_one_scan_property(self):
+        # enough memory: cost is exactly I1 + I2, independent of N sizes
+        s1, s2 = side(100, 100, 5000), side(50, 200, 5000)
+        cost = vvm_cost(s1, s2, SystemParams(buffer_pages=1000), QueryParams())
+        assert cost.passes == 1
+        assert cost.sequential == pytest.approx(s1.stats.I + s2.stats.I)
+
+    def test_multi_pass_multiplies(self):
+        s = side(10_000, 100, 5000)
+        cost = vvm_cost(s, s, SystemParams(buffer_pages=100), QueryParams(delta=0.1))
+        assert cost.passes > 1
+        assert cost.sequential == pytest.approx(2 * s.stats.I * cost.passes)
+
+    def test_paper_inverted_size_equivalence(self):
+        # I == D, so single-pass VVM costs what one HHNL pass over both
+        # collections costs — "at least as good as HHNL" (Section 4.3).
+        s = side(100, 500, 5000)
+        cost = vvm_cost(s, s, SystemParams(buffer_pages=2000), QueryParams())
+        assert cost.sequential == pytest.approx(2 * s.stats.D)
+
+
+class TestWorstCase:
+    def test_vvr_formula_small_entries(self):
+        # J < 1 page: min(I, T) = I
+        s = side(1000, 100, 5000)
+        cost = vvm_cost(s, s, SystemParams(buffer_pages=50, alpha=5), QueryParams())
+        expected = 2 * s.stats.I * 5 * cost.passes
+        assert cost.random == pytest.approx(expected)
+
+    def test_vvr_formula_large_entries(self):
+        # J > 1 page: min(I, T) = T (seek count), floored at vvs so the
+        # worst case never undercuts the sequential case.
+        s = side(100_000, 2000, 300)  # J ~ 325 pages
+        other = side(100, 10, 300)
+        cost = vvm_cost(
+            s,
+            other,
+            SystemParams(buffer_pages=100_000, alpha=5),
+            QueryParams(delta=0.001),
+        )
+        formula = (300 + other.stats.I) * 5 * cost.passes
+        assert cost.random == pytest.approx(max(formula, cost.sequential))
+
+    def test_vvr_never_below_vvs(self):
+        # the clamp in action: J >> 1 and alpha = 1
+        s = side(100_000, 2000, 300)
+        cost = vvm_cost(
+            s, s, SystemParams(buffer_pages=200_000, alpha=1), QueryParams(delta=0.0)
+        )
+        assert cost.random >= cost.sequential
+
+    def test_random_scales_with_alpha(self):
+        s = side(1000, 100, 5000)
+        c2 = vvm_cost(s, s, SystemParams(buffer_pages=50, alpha=2), QueryParams())
+        c8 = vvm_cost(s, s, SystemParams(buffer_pages=50, alpha=8), QueryParams())
+        assert c8.random == pytest.approx(4 * c2.random)
+
+
+class TestScaleBehaviour:
+    def test_rescaling_reaches_single_pass(self):
+        # Group 5's premise: fewer, larger documents shrink SM while I stays.
+        base = CollectionStats("c", 50_000, 100, 100_000)
+        system = SystemParams(buffer_pages=10_000)
+        passes = []
+        for factor in (1, 10, 100):
+            scaled = JoinSide(base.rescaled(factor))
+            p, _, _ = vvm_passes(scaled, scaled, system, QueryParams())
+            passes.append(p)
+        assert passes[0] > passes[-1] == 1
+
+    def test_cost_invariant_once_single_pass(self):
+        base = CollectionStats("c", 50_000, 100, 100_000)
+        system = SystemParams(buffer_pages=10_000)
+        c100 = vvm_cost(
+            JoinSide(base.rescaled(100)), JoinSide(base.rescaled(100)), system, QueryParams()
+        )
+        c200 = vvm_cost(
+            JoinSide(base.rescaled(200)), JoinSide(base.rescaled(200)), system, QueryParams()
+        )
+        assert c100.passes == c200.passes == 1
+        assert c100.sequential == pytest.approx(c200.sequential, rel=0.02)

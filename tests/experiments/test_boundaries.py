@@ -1,0 +1,123 @@
+"""Decision-boundary location by bisection over the cost models."""
+
+import pytest
+
+from repro.cost.params import SystemParams
+from repro.experiments.boundaries import (
+    bisect_int_boundary,
+    decision_boundaries,
+    hhnl_buffer_escape,
+    hvnl_selection_crossover,
+    trec_boundaries,
+    vvm_rescale_crossover,
+)
+from repro.workloads.trec import DOE, FR, WSJ
+
+
+class TestBisection:
+    def test_finds_threshold(self):
+        assert bisect_int_boundary(lambda x: x <= 37, 1, 1000) == 37
+
+    def test_all_true(self):
+        assert bisect_int_boundary(lambda x: True, 1, 100) == 100
+
+    def test_all_false(self):
+        assert bisect_int_boundary(lambda x: False, 1, 100) is None
+
+    def test_single_point_range(self):
+        assert bisect_int_boundary(lambda x: x == 5, 5, 5) == 5
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            bisect_int_boundary(lambda x: True, 10, 5)
+
+    def test_matches_linear_scan(self):
+        for threshold in (1, 2, 99, 100, 250, 500):
+            predicate = lambda x, t=threshold: x <= t
+            assert bisect_int_boundary(predicate, 1, 500) == min(threshold, 500)
+
+
+class TestHvnlCrossover:
+    def test_bounded_by_paper_claim(self):
+        # "M is likely to be limited by 100" (summary point 2)
+        for stats in (WSJ, FR, DOE):
+            crossover = hvnl_selection_crossover(stats)
+            assert crossover is not None
+            assert 1 <= crossover <= 100
+
+    def test_ordered_by_terms_per_document(self):
+        # the bound "mainly depends on the number of terms in each
+        # document in the outer collection": larger K -> earlier flip
+        assert (
+            hvnl_selection_crossover(FR)
+            < hvnl_selection_crossover(WSJ)
+            < hvnl_selection_crossover(DOE)
+        )
+
+    def test_crossover_is_exact(self):
+        from repro.cost.model import CostModel
+        from repro.cost.params import JoinSide
+
+        crossover = hvnl_selection_crossover(WSJ)
+        at = CostModel(JoinSide(WSJ), JoinSide(WSJ, participating=crossover))
+        past = CostModel(JoinSide(WSJ), JoinSide(WSJ, participating=crossover + 1))
+        assert at.choose() == "HVNL"
+        assert past.choose() != "HVNL"
+
+
+class TestVvmCrossover:
+    def test_exists_for_all_collections(self):
+        for stats in (WSJ, FR, DOE):
+            crossover = vvm_rescale_crossover(stats)
+            assert crossover is not None
+            assert crossover > 1  # HHNL wins unscaled
+
+    def test_window_model_predicts_crossover(self):
+        # point 3's window: VVM wins once N^2 < 10000 * B (roughly)
+        for stats in (WSJ, DOE):
+            crossover = vvm_rescale_crossover(stats)
+            scaled = stats.rescaled(crossover)
+            assert scaled.N**2 < 10 * 10_000 * 10_000  # within 10x of the window
+
+    def test_bigger_buffer_earlier_crossover(self):
+        tight = vvm_rescale_crossover(WSJ, SystemParams(buffer_pages=2_000))
+        roomy = vvm_rescale_crossover(WSJ, SystemParams(buffer_pages=40_000))
+        assert roomy <= tight
+
+
+class TestBufferEscape:
+    def test_escape_exceeds_collection_size(self):
+        # one-scan HHNL needs the whole outer collection buffered
+        for stats in (WSJ, FR, DOE):
+            escape = hhnl_buffer_escape(stats)
+            assert escape is not None
+            assert escape > stats.D
+
+    def test_escape_is_exact(self):
+        from repro.cost.model import CostModel
+        from repro.cost.params import JoinSide
+        from repro.cost.params import QueryParams
+
+        escape = hhnl_buffer_escape(WSJ)
+        below = CostModel(
+            JoinSide(WSJ), JoinSide(WSJ), SystemParams(buffer_pages=escape - 1)
+        ).hhnl().detail
+        at = CostModel(
+            JoinSide(WSJ), JoinSide(WSJ), SystemParams(buffer_pages=escape)
+        ).hhnl().detail
+        assert below.inner_scans > 1
+        assert at.inner_scans == 1
+
+
+class TestTrecSummary:
+    def test_all_profiles_covered(self):
+        boundaries = trec_boundaries()
+        assert {b.collection for b in boundaries} == {"WSJ", "FR", "DOE"}
+        for b in boundaries:
+            assert b.hvnl_selection_crossover is not None
+            assert b.vvm_rescale_crossover is not None
+            assert b.hhnl_buffer_escape is not None
+
+    def test_decision_boundaries_single_profile(self):
+        b = decision_boundaries(WSJ)
+        assert b.collection == "WSJ"

@@ -1,0 +1,80 @@
+"""Figure-series extraction and ASCII rendering."""
+
+import pytest
+
+from repro.experiments.figures import FigureSeries, extract_series, render_ascii
+from repro.experiments.groups import run_group1, run_group3, run_group5
+
+
+@pytest.fixture(scope="module")
+def group1():
+    return run_group1()
+
+
+class TestExtraction:
+    def test_b_sweep_series(self, group1):
+        figure = extract_series(group1, "WSJ", "B", "WSJ")
+        assert figure.x_values == [2_000, 5_000, 10_000, 20_000, 40_000, 80_000]
+        assert set(figure.series) == {"hhs", "hhr", "hvs", "hvr", "vvs", "vvr"}
+        assert all(len(v) == 6 for v in figure.series.values())
+
+    def test_series_sorted_by_x(self, group1):
+        figure = extract_series(group1, "FR", "alpha", "FR")
+        assert figure.x_values == sorted(figure.x_values)
+
+    def test_hhs_flat_in_alpha(self, group1):
+        figure = extract_series(group1, "DOE", "alpha", "DOE")
+        assert len(set(figure.series["hhs"])) == 1  # hhs ignores alpha
+        hhr = figure.series["hhr"]
+        assert hhr == sorted(hhr)  # hhr grows with alpha
+
+    def test_group5_prefix_matching(self):
+        figure = extract_series(run_group5(), "WSJ", "factor", match_prefix=True)
+        assert figure.x_values == [1, 2, 5, 10, 20, 50, 100]
+
+    def test_group3_series(self):
+        figure = extract_series(run_group3(), "WSJ", "n2", "WSJ")
+        hvs = figure.series["hvs"]
+        assert hvs == sorted(hvs)  # HVNL cost grows with the selection
+
+    def test_as_rows(self, group1):
+        figure = extract_series(group1, "WSJ", "B", "WSJ")
+        rows = figure.as_rows()
+        assert len(rows) == 6
+        assert rows[0]["B"] == 2_000
+        assert rows[0]["hhs"] > rows[-1]["hhs"]
+
+    def test_missing_collection_gives_empty(self, group1):
+        figure = extract_series(group1, "GHOST", "B")
+        assert figure.x_values == []
+
+
+class TestRendering:
+    def test_chart_structure(self, group1):
+        figure = extract_series(group1, "WSJ", "B", "WSJ")
+        chart = render_ascii(figure, height=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("Group 1")
+        assert len(lines) == 10 + 4  # title + rows + axis rule + labels + legend
+        assert "H" in chart and "M" in chart
+
+    def test_empty_figure(self):
+        chart = render_ascii(FigureSeries(title="empty", x_label="B"))
+        assert "no finite data" in chart
+
+    def test_infeasible_values_skipped(self):
+        figure = FigureSeries(
+            title="t", x_label="x", x_values=[1.0, 2.0],
+            series={k: [10.0, float("inf")] for k in
+                    ("hhs", "hhr", "hvs", "hvr", "vvs", "vvr")},
+        )
+        chart = render_ascii(figure)
+        assert "inf" not in chart
+
+    def test_markers_collide_to_star(self):
+        figure = FigureSeries(
+            title="t", x_label="x", x_values=[1.0],
+            series={k: [100.0] for k in
+                    ("hhs", "hhr", "hvs", "hvr", "vvs", "vvr")},
+        )
+        assert "*" in render_ascii(figure)

@@ -1,0 +1,151 @@
+"""The five simulation groups over the paper's TREC statistics."""
+
+import pytest
+
+from repro.experiments.groups import (
+    run_group1,
+    run_group2,
+    run_group3,
+    run_group4,
+    run_group5,
+    statistics_table,
+)
+
+
+class TestStatisticsTable:
+    def test_six_rows_three_collections(self):
+        rows = statistics_table()
+        assert len(rows) == 6
+        for row in rows:
+            assert {"statistic", "WSJ", "FR", "DOE"} <= set(row)
+
+    def test_matches_paper_cells(self):
+        rows = {r["statistic"]: r for r in statistics_table()}
+        assert rows["#documents"]["WSJ"] == 98_736
+        assert rows["collection size in pages"]["FR"] == 33_315
+        assert rows["avg. size of an inv. fi. en."]["DOE"] == 0.135
+
+
+class TestGroup1:
+    def test_grid_shape(self):
+        result = run_group1()
+        # 3 collections x (6 buffer points + 5 alpha points)
+        assert len(result) == 3 * 11
+
+    def test_self_joins_only(self):
+        for point in run_group1().points:
+            assert point.collection1 == point.collection2
+
+    def test_hhnl_dominates_at_base_parameters(self):
+        result = run_group1()
+        base = [p for p in result.points if p.variable == "B" and p.value == 10_000]
+        assert all(p.report.winner() == "HHNL" for p in base)
+
+    def test_cost_decreases_with_buffer(self):
+        result = run_group1()
+        for name in ("WSJ", "FR", "DOE"):
+            sweep = [
+                p for p in result.points
+                if p.collection1 == name and p.variable == "B"
+            ]
+            costs = [p.report["HHNL"].sequential for p in sweep]
+            assert costs == sorted(costs, reverse=True)
+
+    def test_sequential_costs_ignore_alpha(self):
+        result = run_group1()
+        for name in ("WSJ",):
+            sweep = [
+                p for p in result.points
+                if p.collection1 == name and p.variable == "alpha"
+            ]
+            hhs = {p.report["HHNL"].sequential for p in sweep}
+            assert len(hhs) == 1  # hhs does not depend on alpha
+            hhr = [p.report["HHNL"].random for p in sweep]
+            assert hhr == sorted(hhr)  # hhr grows with alpha
+
+
+class TestGroup2:
+    def test_grid_shape(self):
+        # 6 ordered pairs x 6 buffer points
+        assert len(run_group2()) == 36
+
+    def test_distinct_pairs_only(self):
+        for point in run_group2().points:
+            assert point.collection1 != point.collection2
+
+    def test_rows_expose_winner(self):
+        rows = run_group2().rows()
+        assert all(row["winner_seq"] in ("HHNL", "HVNL", "VVM") for row in rows)
+
+
+class TestGroup3:
+    def test_small_selection_favours_hvnl(self):
+        # "How small is small enough mainly depends on the number of
+        # terms in each document in the outer collection" (point 2): FR's
+        # huge K pushes its crossover below 10 documents, so assert at 5.
+        result = run_group3()
+        tiny = [p for p in result.points if p.value <= 5]
+        winners = {p.report.winner() for p in tiny}
+        assert winners == {"HVNL"}
+
+    def test_fr_crossover_earlier_than_doe(self):
+        # The per-document term count drives the crossover (point 2).
+        result = run_group3()
+        def crossover(name):
+            sweep = sorted(
+                (p for p in result.points if p.collection1 == name),
+                key=lambda p: p.value,
+            )
+            for p in sweep:
+                if p.report.winner() != "HVNL":
+                    return p.value
+            return float("inf")
+        assert crossover("FR") <= crossover("DOE")
+
+    def test_large_selection_reverts_to_hhnl(self):
+        result = run_group3()
+        big = [p for p in result.points if p.value >= 500]
+        assert all(p.report.winner() == "HHNL" for p in big)
+
+    def test_hvnl_cost_grows_with_selection_size(self):
+        result = run_group3()
+        for name in ("WSJ", "FR", "DOE"):
+            sweep = [p for p in result.points if p.collection1 == name]
+            costs = [p.report["HVNL"].sequential for p in sweep]
+            assert costs == sorted(costs)
+
+
+class TestGroup4:
+    def test_small_collections_favour_hvnl(self):
+        result = run_group4()
+        tiny = [p for p in result.points if p.value <= 10]
+        assert {p.report.winner() for p in tiny} == {"HVNL"}
+
+    def test_derived_stats_shrink(self):
+        result = run_group4()
+        for point in result.points:
+            assert point.collection2 != point.collection1
+
+
+class TestGroup5:
+    def test_vvm_wins_at_high_factors(self):
+        result = run_group5()
+        extreme = [p for p in result.points if p.value >= 50]
+        assert all(p.report.winner() == "VVM" for p in extreme)
+
+    def test_hhnl_wins_at_factor_one(self):
+        result = run_group5()
+        base = [p for p in result.points if p.value == 1]
+        assert all(p.report.winner() == "HHNL" for p in base)
+
+    def test_vvm_cost_monotone_in_factor(self):
+        result = run_group5()
+        for name in ("WSJ", "FR", "DOE"):
+            sweep = [p for p in result.points if p.collection1.startswith(name)]
+            costs = [p.report["VVM"].sequential for p in sweep]
+            assert costs == sorted(costs, reverse=True)
+
+    def test_winner_counts_helper(self):
+        counts = run_group5().winners()
+        assert counts["VVM"] > 0
+        assert sum(counts.values()) == len(run_group5())

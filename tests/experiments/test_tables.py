@@ -1,0 +1,46 @@
+"""Plain-text table rendering."""
+
+from repro.experiments.tables import format_grid, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["name", "cost"], [["HHNL", 243630.0], ["VVM", 7.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "243,630" in lines[2]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Group 1")
+        assert out.splitlines()[0] == "Group 1"
+
+    def test_infinity_rendered(self):
+        out = format_table(["c"], [[float("inf")]])
+        assert "inf" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestFormatGrid:
+    def test_dict_rows(self):
+        rows = [{"x": 1, "y": 2.0}, {"x": 3, "y": 4.0}]
+        out = format_grid(rows)
+        assert "x" in out and "y" in out
+        assert "3" in out
+
+    def test_column_selection(self):
+        rows = [{"x": 1, "y": 2, "z": 3}]
+        out = format_grid(rows, columns=["z", "x"])
+        header = out.splitlines()[0]
+        assert "z" in header and "x" in header and "y" not in header
+
+    def test_empty(self):
+        assert format_grid([], title="nothing") == "nothing"
+
+    def test_missing_cells_blank(self):
+        out = format_grid([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert out  # renders without KeyError

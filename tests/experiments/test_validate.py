@@ -1,0 +1,85 @@
+"""Measured-vs-model validation and the cross-executor agreement check."""
+
+import pytest
+
+from repro.cost.params import SystemParams
+from repro.experiments.validate import ValidationRow, validate_algorithms
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+
+@pytest.fixture(scope="module")
+def pair():
+    c1 = generate_collection(
+        SyntheticSpec("v1", n_documents=100, avg_terms_per_doc=18,
+                      vocabulary_size=500, seed=31)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("v2", n_documents=80, avg_terms_per_doc=15,
+                      vocabulary_size=500, seed=32)
+    )
+    return c1, c2
+
+
+class TestRatios:
+    @pytest.mark.parametrize("buffer_pages", [10, 20, 48])
+    def test_sequential_within_band(self, pair, buffer_pages):
+        rows = validate_algorithms(
+            *pair,
+            system=SystemParams(buffer_pages=buffer_pages, page_bytes=1024),
+            lam=5,
+            delta=0.5,
+        )
+        for row in rows:
+            assert 0.5 < row.ratio < 2.0, f"{row.algorithm}: {row.ratio}"
+
+    @pytest.mark.parametrize("buffer_pages", [10, 48])
+    def test_random_within_band(self, pair, buffer_pages):
+        rows = validate_algorithms(
+            *pair,
+            system=SystemParams(buffer_pages=buffer_pages, page_bytes=1024),
+            lam=5,
+            delta=0.5,
+            interference=True,
+        )
+        for row in rows:
+            assert 0.4 < row.ratio < 2.5, f"{row.algorithm}: {row.ratio}"
+            assert row.scenario == "random"
+
+    def test_selection_within_band(self, pair):
+        rows = validate_algorithms(
+            *pair,
+            system=SystemParams(buffer_pages=24, page_bytes=1024),
+            lam=5,
+            delta=0.5,
+            outer_ids=list(range(0, 80, 10)),
+        )
+        for row in rows:
+            assert 0.3 < row.ratio < 3.0, f"{row.algorithm}: {row.ratio}"
+
+
+class TestAgreement:
+    def test_executors_agree_is_enforced(self, pair):
+        # validate_algorithms raises if the three results ever diverge
+        validate_algorithms(
+            *pair,
+            system=SystemParams(buffer_pages=24, page_bytes=1024),
+            lam=3,
+            check_agreement=True,
+        )
+
+    def test_self_join_agreement(self, pair):
+        c1, _ = pair
+        validate_algorithms(
+            c1,
+            system=SystemParams(buffer_pages=24, page_bytes=1024),
+            lam=3,
+        )
+
+
+class TestValidationRow:
+    def test_ratio(self):
+        assert ValidationRow("X", "sequential", 10, 8).ratio == pytest.approx(1.25)
+
+    def test_zero_predicted(self):
+        assert ValidationRow("X", "sequential", 0, 0).ratio == 1.0
+        assert ValidationRow("X", "sequential", 5, 0).ratio == float("inf")

@@ -1,0 +1,193 @@
+"""B+-tree unit tests (structural property tests live in tests/properties)."""
+
+import pytest
+
+from repro.errors import BPlusTreeError
+from repro.index.bptree import BPlusTree
+from repro.storage.pages import PageGeometry
+
+
+def build(keys, order=4):
+    tree = BPlusTree(order=order)
+    for key in keys:
+        tree.insert(key, f"v{key}")
+    return tree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(1) is None
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+        tree.validate()
+
+    def test_insert_and_search(self):
+        tree = build([5, 1, 9, 3])
+        assert tree.search(3) == "v3"
+        assert tree.search(9) == "v9"
+        assert tree.search(2) is None
+
+    def test_rejects_small_order(self):
+        with pytest.raises(BPlusTreeError):
+            BPlusTree(order=2)
+
+    def test_duplicate_insert_raises(self):
+        tree = build([1])
+        with pytest.raises(BPlusTreeError):
+            tree.insert(1, "again")
+
+    def test_replace(self):
+        tree = build([1])
+        tree.insert(1, "new", replace=True)
+        assert tree.search(1) == "new"
+        assert len(tree) == 1
+
+    def test_contains(self):
+        tree = build([1, 2])
+        assert 1 in tree
+        assert 3 not in tree
+
+
+class TestSplitting:
+    def test_many_inserts_stay_valid(self):
+        tree = build(range(200), order=4)
+        tree.validate()
+        assert len(tree) == 200
+        assert tree.height > 2
+
+    def test_reverse_order_inserts(self):
+        tree = build(reversed(range(100)), order=4)
+        tree.validate()
+        assert [k for k, _ in tree.items()] == list(range(100))
+
+    def test_interleaved_inserts(self):
+        keys = [i * 7919 % 500 for i in range(500)]
+        unique = list(dict.fromkeys(keys))
+        tree = build(unique, order=5)
+        tree.validate()
+        assert len(tree) == len(unique)
+
+    def test_min_max(self):
+        tree = build([42, 7, 300, 19], order=4)
+        assert tree.min_key() == 7
+        assert tree.max_key() == 300
+
+
+class TestRangeScan:
+    def test_range_inclusive(self):
+        tree = build(range(0, 100, 2), order=4)
+        got = [k for k, _ in tree.range(10, 20)]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_range_between_keys(self):
+        tree = build([10, 20, 30], order=4)
+        assert [k for k, _ in tree.range(11, 19)] == []
+
+    def test_range_crossing_leaves(self):
+        tree = build(range(100), order=4)
+        got = [k for k, _ in tree.range(37, 63)]
+        assert got == list(range(37, 64))
+
+    def test_empty_range(self):
+        tree = build([1, 2, 3])
+        assert list(tree.range(5, 4)) == []
+
+    def test_items_sorted(self):
+        tree = build([5, 3, 8, 1], order=4)
+        assert [k for k, _ in tree.items()] == [1, 3, 5, 8]
+
+
+class TestDeletion:
+    def test_delete_returns_value(self):
+        tree = build([1, 2, 3])
+        assert tree.delete(2) == "v2"
+        assert tree.search(2) is None
+        assert len(tree) == 2
+
+    def test_delete_absent_raises(self):
+        tree = build([1])
+        with pytest.raises(BPlusTreeError):
+            tree.delete(9)
+
+    def test_delete_everything(self):
+        keys = list(range(100))
+        tree = build(keys, order=4)
+        for key in keys:
+            tree.delete(key)
+            tree.validate()
+        assert len(tree) == 0
+
+    def test_delete_in_reverse(self):
+        keys = list(range(60))
+        tree = build(keys, order=4)
+        for key in reversed(keys):
+            tree.delete(key)
+        tree.validate()
+        assert len(tree) == 0
+
+    def test_delete_alternating(self):
+        keys = list(range(80))
+        tree = build(keys, order=5)
+        for key in keys[::2]:
+            tree.delete(key)
+        tree.validate()
+        assert [k for k, _ in tree.items()] == keys[1::2]
+
+    def test_root_collapse(self):
+        tree = build(range(50), order=4)
+        height_before = tree.height
+        for key in range(49):
+            tree.delete(key)
+        assert tree.height < height_before
+        tree.validate()
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_inserts(self):
+        items = [(k, f"v{k}") for k in range(137)]
+        loaded = BPlusTree.bulk_load(items, order=4)
+        loaded.validate()
+        assert list(loaded.items()) == items
+
+    def test_bulk_load_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_bulk_load_single(self):
+        tree = BPlusTree.bulk_load([(7, "x")], order=4)
+        assert tree.search(7) == "x"
+        tree.validate()
+
+    def test_bulk_load_rejects_unsorted(self):
+        with pytest.raises(BPlusTreeError):
+            BPlusTree.bulk_load([(2, "a"), (1, "b")])
+
+    def test_bulk_load_rejects_duplicates(self):
+        with pytest.raises(BPlusTreeError):
+            BPlusTree.bulk_load([(1, "a"), (1, "b")])
+
+    def test_bulk_load_then_insert_delete(self):
+        tree = BPlusTree.bulk_load([(k, k) for k in range(0, 100, 2)], order=4)
+        tree.insert(51, "new")
+        tree.delete(50)
+        tree.validate()
+        assert tree.search(51) == "new"
+        assert tree.search(50) is None
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 16, 17, 63, 64, 65, 200])
+    def test_bulk_load_boundary_sizes(self, n):
+        tree = BPlusTree.bulk_load([(k, k) for k in range(n)], order=4)
+        tree.validate()
+        assert len(tree) == n
+
+
+class TestSizing:
+    def test_paper_bt_formula(self):
+        # Section 5.2's example: 100,000 terms -> about 220 pages of 4KB.
+        tree = BPlusTree.bulk_load([(k, k) for k in range(100_000)], order=64)
+        pages = tree.size_in_pages(PageGeometry(4096))
+        assert pages == pytest.approx(9 * 100_000 / 4096)
+        assert 219 < pages < 221

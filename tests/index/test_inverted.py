@@ -1,0 +1,134 @@
+"""Inverted files: the transpose of the document-term matrix."""
+
+import pytest
+
+from repro.errors import InvertedFileError
+from repro.index.inverted import InvertedEntry, InvertedFile, merge_join_entries
+from repro.text.collection import DocumentCollection
+
+
+def make_collection():
+    return DocumentCollection.from_term_lists(
+        "c",
+        [
+            [1, 2],        # doc 0
+            [2, 2, 3],     # doc 1 (term 2 twice)
+            [1, 3, 4],     # doc 2
+        ],
+    )
+
+
+class TestEntry:
+    def test_valid_entry(self):
+        entry = InvertedEntry(5, ((0, 1), (2, 3)))
+        assert entry.document_frequency == 2
+        assert entry.n_bytes == 10  # 5 bytes per i-cell
+
+    def test_rejects_unsorted_postings(self):
+        with pytest.raises(InvertedFileError):
+            InvertedEntry(5, ((2, 1), (0, 1)))
+
+    def test_rejects_duplicate_docs(self):
+        with pytest.raises(InvertedFileError):
+            InvertedEntry(5, ((0, 1), (0, 2)))
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(InvertedFileError):
+            InvertedEntry(5, ((0, 0),))
+
+    def test_rejects_negative_term(self):
+        with pytest.raises(InvertedFileError):
+            InvertedEntry(-1, ())
+
+    def test_iter_len_eq(self):
+        entry = InvertedEntry(1, ((0, 1), (1, 2)))
+        assert list(entry) == [(0, 1), (1, 2)]
+        assert len(entry) == 2
+        assert entry == InvertedEntry(1, ((0, 1), (1, 2)))
+
+
+class TestBuild:
+    def test_entries_sorted_by_term(self):
+        inv = InvertedFile.build(make_collection())
+        terms = [entry.term for entry in inv]
+        assert terms == sorted(terms) == [1, 2, 3, 4]
+
+    def test_postings_sorted_by_doc(self):
+        inv = InvertedFile.build(make_collection())
+        assert inv.entry(1).postings == ((0, 1), (2, 1))
+        assert inv.entry(2).postings == ((0, 1), (1, 2))
+
+    def test_transpose_invariant(self):
+        c = make_collection()
+        InvertedFile.build(c).verify_against(c)
+
+    def test_verify_detects_corruption(self):
+        c = make_collection()
+        inv = InvertedFile.build(c)
+        inv.entries[0] = InvertedEntry(1, ((0, 9),))  # wrong weight
+        with pytest.raises(InvertedFileError):
+            inv.verify_against(c)
+
+    def test_size_equals_collection_size(self):
+        # Section 3: same total size when |d#| == |t#|.
+        c = make_collection()
+        inv = InvertedFile.build(c)
+        assert inv.total_bytes == c.total_bytes
+
+    def test_empty_collection(self):
+        inv = InvertedFile.build(DocumentCollection("e", []))
+        assert inv.n_terms == 0
+        assert inv.total_bytes == 0
+
+
+class TestLookups:
+    def test_entry_and_get(self):
+        inv = InvertedFile.build(make_collection())
+        assert inv.get(4).postings == ((2, 1),)
+        assert inv.get(99) is None
+        with pytest.raises(InvertedFileError):
+            inv.entry(99)
+
+    def test_contains(self):
+        inv = InvertedFile.build(make_collection())
+        assert 1 in inv
+        assert 99 not in inv
+
+    def test_entry_index_matches_storage_order(self):
+        inv = InvertedFile.build(make_collection())
+        for position, entry in enumerate(inv):
+            assert inv.entry_index(entry.term) == position
+
+    def test_entry_index_unknown(self):
+        inv = InvertedFile.build(make_collection())
+        with pytest.raises(InvertedFileError):
+            inv.entry_index(99)
+
+    def test_document_frequencies(self):
+        inv = InvertedFile.build(make_collection())
+        assert inv.document_frequencies() == {1: 2, 2: 2, 3: 2, 4: 1}
+
+
+class TestConstructionValidation:
+    def test_rejects_unsorted_entries(self):
+        entries = [InvertedEntry(5, ((0, 1),)), InvertedEntry(3, ((0, 1),))]
+        with pytest.raises(InvertedFileError):
+            InvertedFile("c", entries)
+
+    def test_rejects_duplicate_terms(self):
+        entries = [InvertedEntry(5, ((0, 1),)), InvertedEntry(5, ((1, 1),))]
+        with pytest.raises(InvertedFileError):
+            InvertedFile("c", entries)
+
+
+class TestMergeJoin:
+    def test_crosses_postings(self):
+        e1 = InvertedEntry(7, ((0, 2), (1, 3)))
+        e2 = InvertedEntry(7, ((5, 4),))
+        pairs = list(merge_join_entries(e1, e2))
+        assert pairs == [(0, 2, 5, 4), (1, 3, 5, 4)]
+
+    def test_none_side_yields_nothing(self):
+        e = InvertedEntry(7, ((0, 1),))
+        assert list(merge_join_entries(e, None)) == []
+        assert list(merge_join_entries(None, e)) == []

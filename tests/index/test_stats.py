@@ -1,0 +1,137 @@
+"""CollectionStats: the Section 3 derived quantities."""
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.index.stats import CollectionStats
+from repro.storage.pages import PageGeometry
+from repro.text.collection import DocumentCollection
+
+
+def stats(n=1000, k=100, t=5000, **kw):
+    return CollectionStats("c", n, k, t, **kw)
+
+
+class TestDerivations:
+    def test_s_formula(self):
+        # S = 5K/P
+        assert stats(k=100).S == pytest.approx(500 / 4096)
+
+    def test_d_formula(self):
+        assert stats(n=1000, k=100).D == pytest.approx(1000 * 500 / 4096)
+
+    def test_j_formula(self):
+        # J = 5KN/(TP)
+        s = stats(n=1000, k=100, t=5000)
+        assert s.J == pytest.approx(5 * 100 * 1000 / (5000 * 4096))
+
+    def test_i_equals_d(self):
+        # Section 3: inverted file has the same total size as the collection.
+        s = stats()
+        assert s.I == pytest.approx(s.D)
+
+    def test_bt_formula(self):
+        assert stats(t=5000).Bt == pytest.approx(9 * 5000 / 4096)
+
+    def test_paper_aliases(self):
+        s = stats(n=10, k=5, t=20)
+        assert (s.N, s.K, s.T) == (10, 5, 20)
+
+    def test_custom_page_size(self):
+        s = stats(k=100, page_bytes=1024)
+        assert s.S == pytest.approx(500 / 1024)
+
+
+class TestOverrides:
+    def test_override_pins_value(self):
+        s = stats(collection_pages_override=40605.0)
+        assert s.D == 40605.0
+
+    def test_override_s_feeds_nothing_else(self):
+        s = stats(doc_pages_override=0.41)
+        assert s.S == 0.41
+        # D uses the overridden S
+        assert s.D == pytest.approx(0.41 * 1000)
+
+    def test_j_override_feeds_i(self):
+        s = stats(entry_pages_override=0.26)
+        assert s.I == pytest.approx(0.26 * 5000)
+
+
+class TestValidation:
+    def test_rejects_negative_n(self):
+        with pytest.raises(CostModelError):
+            stats(n=-1)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(CostModelError):
+            stats(k=-1)
+
+    def test_rejects_terms_without_vocabulary(self):
+        with pytest.raises(CostModelError):
+            CollectionStats("c", 10, 5, 0)
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(CostModelError):
+            stats(page_bytes=0)
+
+    def test_empty_collection_allowed(self):
+        s = CollectionStats("empty", 0, 0, 0)
+        assert s.D == 0.0
+        assert s.J == 0.0
+
+
+class TestFromCollection:
+    def test_measures_exactly(self):
+        c = DocumentCollection.from_term_lists("c", [[1, 2], [2, 3, 4]])
+        s = CollectionStats.from_collection(c, PageGeometry(100))
+        assert s.N == 2
+        assert s.K == pytest.approx(2.5)
+        assert s.T == 4
+        # D pinned to the true packed size: 5 cells * 5 bytes / 100
+        assert s.D == pytest.approx(0.25)
+
+
+class TestWithDocuments:
+    def test_vocabulary_growth_model(self):
+        base = stats(n=10_000, k=100, t=50_000)
+        small = base.with_documents(10)
+        # f(10) = T(1 - (1 - K/T)^10) ~= 10*K for K << T
+        assert small.T == pytest.approx(10 * 100, rel=0.05)
+        assert small.N == 10
+        assert small.K == base.K
+
+    def test_full_size_recovers_t(self):
+        base = stats(n=100_000, k=100, t=50_000)
+        same = base.with_documents(100_000)
+        assert same.T == pytest.approx(base.T, rel=0.01)
+
+    def test_zero_documents(self):
+        assert stats().with_documents(0).N == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(CostModelError):
+            stats().with_documents(-1)
+
+
+class TestRescaled:
+    def test_preserves_collection_size(self):
+        base = stats(n=10_000, k=100, t=50_000)
+        scaled = base.rescaled(10)
+        assert scaled.N == 1000
+        assert scaled.K == pytest.approx(1000)
+        assert scaled.D == pytest.approx(base.D, rel=0.01)
+        assert scaled.I == pytest.approx(base.I, rel=0.01)
+
+    def test_overrides_survive_rescale(self):
+        base = stats(collection_pages_override=40605.0)
+        assert base.rescaled(5).D == 40605.0
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(CostModelError):
+            stats().rescaled(0)
+
+    def test_factor_one_is_identity_on_numbers(self):
+        base = stats()
+        scaled = base.rescaled(1)
+        assert (scaled.N, scaled.K, scaled.T) == (base.N, base.K, base.T)

@@ -1,0 +1,71 @@
+"""Property-based tests: the B+-tree stays valid under arbitrary workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bptree import BPlusTree
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=10_000), unique=True, max_size=300
+)
+
+
+@st.composite
+def ops_strategy(draw):
+    """A sequence of (op, key) with deletes drawn from inserted keys."""
+    keys = draw(st.lists(st.integers(0, 2000), unique=True, min_size=1, max_size=150))
+    deletions = draw(
+        st.lists(st.sampled_from(keys), unique=True, max_size=len(keys))
+    )
+    return keys, deletions
+
+
+class TestStructuralInvariants:
+    @given(keys=keys_strategy, order=st.integers(min_value=3, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_inserts_preserve_invariants(self, keys, order):
+        tree = BPlusTree(order=order)
+        for key in keys:
+            tree.insert(key, key * 2)
+        tree.validate()
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        for key in keys:
+            assert tree.search(key) == key * 2
+
+    @given(ops=ops_strategy(), order=st.integers(min_value=3, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_insert_delete(self, ops, order):
+        keys, deletions = ops
+        tree = BPlusTree(order=order)
+        for key in keys:
+            tree.insert(key, key)
+        for key in deletions:
+            tree.delete(key)
+            tree.validate()
+        remaining = sorted(set(keys) - set(deletions))
+        assert [k for k, _ in tree.items()] == remaining
+
+    @given(keys=keys_strategy, order=st.integers(min_value=3, max_value=16))
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_load_equals_insertion(self, keys, order):
+        items = [(k, str(k)) for k in sorted(keys)]
+        bulk = BPlusTree.bulk_load(items, order=order)
+        bulk.validate()
+        incremental = BPlusTree(order=order)
+        for k, v in items:
+            incremental.insert(k, v)
+        assert list(bulk.items()) == list(incremental.items())
+
+    @given(
+        keys=keys_strategy,
+        lo=st.integers(0, 10_000),
+        span=st.integers(0, 3_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_scan_equals_filter(self, keys, lo, span):
+        hi = lo + span
+        tree = BPlusTree(order=8)
+        for key in keys:
+            tree.insert(key, key)
+        got = [k for k, _ in tree.range(lo, hi)]
+        assert got == sorted(k for k in keys if lo <= k <= hi)

@@ -1,0 +1,69 @@
+"""Property-based tests for the posting-compression codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.compression import (
+    compress_postings,
+    decode_vbyte,
+    decompress_postings,
+    encode_vbyte,
+)
+
+postings_strategy = st.lists(
+    st.tuples(st.integers(0, 10**6), st.integers(1, 10**4)),
+    max_size=100,
+).map(
+    # make doc ids strictly increasing while keeping weights
+    lambda pairs: tuple(
+        (doc_id, weight)
+        for doc_id, (_, weight) in zip(
+            sorted({d for d, _ in pairs}), sorted(pairs)
+        )
+    )
+)
+
+
+class TestVByteProperties:
+    @given(value=st.integers(min_value=0, max_value=2**62))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, value):
+        data = encode_vbyte(value)
+        decoded, position = decode_vbyte(data, 0)
+        assert decoded == value
+        assert position == len(data)
+
+    @given(values=st.lists(st.integers(0, 2**40), max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_concatenated_stream(self, values):
+        stream = b"".join(encode_vbyte(v) for v in values)
+        position = 0
+        decoded = []
+        while position < len(stream):
+            value, position = decode_vbyte(stream, position)
+            decoded.append(value)
+        assert decoded == values
+
+    @given(value=st.integers(min_value=0, max_value=2**62))
+    @settings(max_examples=100, deadline=None)
+    def test_length_is_ceil_bits_over_seven(self, value):
+        bits = max(1, value.bit_length())
+        assert len(encode_vbyte(value)) == -(-bits // 7)
+
+
+class TestPostingsProperties:
+    @given(postings=postings_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, postings):
+        assert decompress_postings(compress_postings(postings)) == postings
+
+    @given(postings=postings_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_dense_lists_never_larger_than_uncompressed(self, postings):
+        # 5 bytes per i-cell uncompressed; gaps+weights < 128 fit in 2.
+        if all(w < 128 for _, w in postings):
+            if all(
+                b - a <= 127
+                for (a, _), (b, _) in zip(postings, postings[1:])
+            ) and (not postings or postings[0][0] <= 127):
+                assert len(compress_postings(postings)) <= 5 * len(postings)

@@ -1,0 +1,104 @@
+"""Property-based tests over the cost formulas.
+
+The formulas must behave like costs: non-negative, worst case at least
+as dear as the sequential case, monotone in memory, and monotone in the
+amount of work (participating documents).
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cost.hhnl import hhnl_cost
+from repro.cost.hvnl import hvnl_cost
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.cost.vvm import vvm_cost
+from repro.errors import InsufficientMemoryError
+from repro.index.stats import CollectionStats
+
+
+@st.composite
+def stats_strategy(draw, name="c"):
+    n = draw(st.integers(min_value=1, max_value=500_000))
+    k = draw(st.integers(min_value=1, max_value=2_000))
+    t = draw(st.integers(min_value=k, max_value=500_000))
+    return CollectionStats(name, n, k, t)
+
+
+@st.composite
+def scenario_strategy(draw):
+    side1 = JoinSide(draw(stats_strategy("c1")))
+    side2 = JoinSide(draw(stats_strategy("c2")))
+    system = SystemParams(
+        buffer_pages=draw(st.integers(min_value=100, max_value=100_000)),
+        alpha=draw(st.floats(min_value=1.0, max_value=20.0)),
+    )
+    query = QueryParams(
+        lam=draw(st.integers(min_value=1, max_value=100)),
+        delta=draw(st.floats(min_value=0.0, max_value=1.0)),
+    )
+    q = draw(st.floats(min_value=0.0, max_value=1.0))
+    return side1, side2, system, query, q
+
+
+def _all_costs(side1, side2, system, query, q):
+    out = []
+    for fn in (
+        lambda: hhnl_cost(side1, side2, system, query),
+        lambda: hvnl_cost(side1, side2, system, query, q),
+        lambda: vvm_cost(side1, side2, system, query),
+    ):
+        try:
+            out.append(fn())
+        except InsufficientMemoryError:
+            pass
+    return out
+
+
+class TestCostSanity:
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_nonnegative_and_ordered(self, scenario):
+        for cost in _all_costs(*scenario):
+            assert cost.sequential >= 0
+            assert cost.random >= cost.sequential - 1e-6
+
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_alpha_one_collapses_scenarios(self, scenario):
+        side1, side2, system, query, q = scenario
+        system = system.with_alpha(1.0)
+        for cost in _all_costs(side1, side2, system, query, q):
+            assert cost.random <= cost.sequential * 1.0001 + 1e-6
+
+    @given(scenario=scenario_strategy(), factor=st.integers(2, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_more_memory_never_hurts(self, scenario, factor):
+        side1, side2, system, query, q = scenario
+        big_system = system.with_buffer(system.buffer_pages * factor)
+        small = _all_costs(side1, side2, system, query, q)
+        big = _all_costs(side1, side2, big_system, query, q)
+        by_name_small = {type(c).__name__: c for c in small}
+        by_name_big = {type(c).__name__: c for c in big}
+        for name, cost_small in by_name_small.items():
+            cost_big = by_name_big.get(name)
+            if cost_big is not None:
+                assert cost_big.sequential <= cost_small.sequential * 1.0001 + 1e-6
+
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_selection_never_increases_hhnl_hvnl(self, scenario):
+        side1, side2, system, query, q = scenario
+        assume(side2.stats.N >= 10)
+        selected = side2.selected(side2.stats.N // 10)
+        try:
+            full_hh = hhnl_cost(side1, side2, system, query).sequential
+            sel_hh = hhnl_cost(side1, selected, system, query).sequential
+            assert sel_hh <= full_hh * 1.0001 + 1e-6
+        except InsufficientMemoryError:
+            pass
+        try:
+            full_hv = hvnl_cost(side1, side2, system, query, q).sequential
+            sel_hv = hvnl_cost(side1, selected, system, query, q).sequential
+            assert sel_hv <= full_hv * 1.0001 + 1e-6
+        except InsufficientMemoryError:
+            pass

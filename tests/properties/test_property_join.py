@@ -1,0 +1,117 @@
+"""Property-based tests over the join executors.
+
+The strongest invariant of the reproduction: for *any* pair of
+collections and any buffer size that admits execution, the three
+algorithms return identical matches, and those matches equal the
+brute-force top-lambda.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hhnl import run_hhnl
+from repro.core.hvnl import run_hvnl
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.core.vvm import run_vvm
+from repro.cost.params import SystemParams
+from repro.storage.pages import PageGeometry
+from repro.text.collection import DocumentCollection
+from repro.text.document import Document
+from repro.text.similarity import dot_product
+
+counts_strategy = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=40),
+    values=st.integers(min_value=1, max_value=5),
+    min_size=1,
+    max_size=12,
+)
+
+collection_strategy = st.lists(counts_strategy, min_size=1, max_size=12)
+
+
+def build(name, counts_list):
+    return DocumentCollection(
+        name, [Document.from_counts(i, c) for i, c in enumerate(counts_list)]
+    )
+
+
+def oracle(c1, c2, lam):
+    expected = {}
+    for outer in c2:
+        candidates = [
+            (inner.doc_id, dot_product(outer, inner))
+            for inner in c1
+            if dot_product(outer, inner) > 0
+        ]
+        candidates.sort(key=lambda pair: (-pair[1], pair[0]))
+        expected[outer.doc_id] = candidates[:lam]
+    return expected
+
+
+class TestExecutorAgreement:
+    @given(
+        counts1=collection_strategy,
+        counts2=collection_strategy,
+        lam=st.integers(min_value=1, max_value=6),
+        buffer_pages=st.integers(min_value=8, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_algorithms_equal_oracle(self, counts1, counts2, lam, buffer_pages):
+        c1, c2 = build("p1", counts1), build("p2", counts2)
+        system = SystemParams(buffer_pages=buffer_pages, page_bytes=256)
+        env = JoinEnvironment(c1, c2, PageGeometry(256))
+        spec = TextJoinSpec(lam=lam)
+        expected = oracle(c1, c2, lam)
+        assert run_hhnl(env, spec, system).matches == expected
+        assert run_hvnl(env, spec, system).matches == expected
+        assert run_vvm(env, spec, system).matches == expected
+
+    @given(
+        counts=collection_strategy,
+        lam=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_self_join_agreement(self, counts, lam):
+        c = build("self", counts)
+        system = SystemParams(buffer_pages=16, page_bytes=256)
+        env = JoinEnvironment(c, c, PageGeometry(256))
+        spec = TextJoinSpec(lam=lam)
+        expected = oracle(c, c, lam)
+        assert run_hhnl(env, spec, system).matches == expected
+        assert run_vvm(env, spec, system).matches == expected
+
+    @given(
+        counts1=collection_strategy,
+        counts2=collection_strategy,
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_selection_consistency(self, counts1, counts2, seed):
+        c1, c2 = build("p1", counts1), build("p2", counts2)
+        outer_ids = sorted(set(range(seed % len(c2.documents), len(c2.documents), 2)))
+        if not outer_ids:
+            outer_ids = [0]
+        system = SystemParams(buffer_pages=16, page_bytes=256)
+        env = JoinEnvironment(c1, c2, PageGeometry(256))
+        spec = TextJoinSpec(lam=3)
+        full_oracle = oracle(c1, c2, 3)
+        expected = {doc_id: full_oracle[doc_id] for doc_id in outer_ids}
+        assert run_hhnl(env, spec, system, outer_ids=outer_ids).matches == expected
+        assert run_hvnl(env, spec, system, outer_ids=outer_ids).matches == expected
+        assert run_vvm(env, spec, system, outer_ids=outer_ids).matches == expected
+
+    @given(
+        counts1=collection_strategy,
+        counts2=collection_strategy,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_interference_never_changes_results(self, counts1, counts2):
+        c1, c2 = build("p1", counts1), build("p2", counts2)
+        system = SystemParams(buffer_pages=16, page_bytes=256)
+        env = JoinEnvironment(c1, c2, PageGeometry(256))
+        spec = TextJoinSpec(lam=2)
+        for run in (run_hhnl, run_hvnl, run_vvm):
+            calm = run(env, spec, system, interference=False)
+            noisy = run(env, spec, system, interference=True)
+            assert calm.matches == noisy.matches
+            assert noisy.weighted_cost(5.0) >= calm.weighted_cost(5.0)

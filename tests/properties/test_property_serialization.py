@@ -1,0 +1,62 @@
+"""Property-based round trips for the Section 3 physical format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.inverted import InvertedFile
+from repro.text.collection import DocumentCollection
+from repro.text.document import Document
+from repro.text.serialization import (
+    MAX_OCCURRENCES,
+    MAX_TERM_NUMBER,
+    cells_from_bytes,
+    cells_to_bytes,
+    load_collection,
+    load_inverted,
+    save_collection,
+    save_inverted,
+)
+
+cells_strategy = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=MAX_TERM_NUMBER),
+    values=st.integers(min_value=1, max_value=MAX_OCCURRENCES),
+    max_size=30,
+).map(lambda counts: tuple(sorted(counts.items())))
+
+collection_strategy = st.lists(cells_strategy, min_size=0, max_size=15)
+
+
+class TestCellCodecProperties:
+    @given(cells=cells_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, cells):
+        assert cells_from_bytes(cells_to_bytes(cells)) == cells
+
+    @given(cells=cells_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_size_is_five_bytes_per_cell(self, cells):
+        assert len(cells_to_bytes(cells)) == 5 * len(cells)
+
+
+class TestFileRoundTripProperties:
+    @given(counts_list=collection_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_collection_roundtrip(self, counts_list, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("roundtrip")
+        collection = DocumentCollection(
+            "prop", [Document(i, cells) for i, cells in enumerate(counts_list)]
+        )
+        save_collection(collection, directory)
+        loaded = load_collection("prop", directory)
+        assert [d.cells for d in loaded] == [d.cells for d in collection]
+
+    @given(counts_list=collection_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_inverted_roundtrip_preserves_transpose(self, counts_list, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("invrt")
+        collection = DocumentCollection(
+            "prop", [Document(i, cells) for i, cells in enumerate(counts_list)]
+        )
+        inverted = InvertedFile.build(collection)
+        save_inverted(inverted, directory)
+        load_inverted("prop", directory).verify_against(collection)

@@ -1,0 +1,84 @@
+"""Property-based round trip: parse(query.to_sql()) == query."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    LikePredicate,
+    SelectQuery,
+    SimilarToPredicate,
+    TableRef,
+)
+from repro.sql.parser import parse
+
+# identifiers that survive the lexer (no keywords, start with a letter)
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "LIKE", "SIMILAR_TO", "AS"}
+identifier = st.from_regex(r"[A-Za-z][A-Za-z0-9_#]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper() not in _KEYWORDS
+)
+
+column = st.builds(ColumnRef, st.one_of(st.none(), identifier), identifier)
+qualified_column = st.builds(ColumnRef, identifier, identifier)
+
+string_literal = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=12,
+)
+
+comparison = st.builds(
+    Comparison,
+    column=column,
+    op=st.sampled_from(["=", "<>", "!=", "<", "<=", ">", ">="]),
+    literal=st.one_of(
+        st.integers(min_value=0, max_value=10**6),
+        string_literal,
+    ),
+)
+
+like = st.builds(
+    LikePredicate,
+    column=column,
+    pattern=string_literal,
+    negated=st.booleans(),
+)
+
+similar = st.builds(
+    SimilarToPredicate,
+    left=qualified_column,
+    lam=st.integers(min_value=1, max_value=1000),
+    right=qualified_column,
+)
+
+
+@st.composite
+def queries(draw):
+    columns = tuple(draw(st.lists(column, min_size=1, max_size=4)))
+    tables = tuple(
+        draw(
+            st.lists(
+                st.builds(TableRef, identifier, st.one_of(st.none(), identifier)),
+                min_size=1,
+                max_size=3,
+            )
+        )
+    )
+    predicates = tuple(draw(st.lists(st.one_of(comparison, like), max_size=3)))
+    if draw(st.booleans()):
+        predicates = predicates + (draw(similar),)
+    return SelectQuery(columns=columns, tables=tables, predicates=predicates)
+
+
+class TestRoundTrip:
+    @given(query=queries())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_inverts_to_sql(self, query):
+        reparsed = parse(query.to_sql())
+        assert reparsed == query
+
+    @given(query=queries())
+    @settings(max_examples=100, deadline=None)
+    def test_to_sql_is_stable(self, query):
+        text = query.to_sql()
+        assert parse(text).to_sql() == text

@@ -1,0 +1,82 @@
+"""Property-based tests: TopK equals sort-and-slice, order-independently."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import TopK
+
+offers_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),  # doc id (duplicates allowed)
+        st.floats(min_value=-5.0, max_value=100.0, allow_nan=False),
+    ),
+    max_size=200,
+)
+
+
+def reference(offers, k):
+    """Sort-and-slice oracle over the *last* offer per doc id.
+
+    TopK's contract takes each offered (doc, sim) pair as a candidate;
+    feeding the same doc twice models two candidates, so the oracle keeps
+    them as separate candidates too.
+    """
+    positive = [(d, s) for d, s in offers if s > 0]
+    positive.sort(key=lambda pair: (-pair[1], pair[0]))
+    return positive[:k]
+
+
+class TestAgainstOracle:
+    @given(offers=offers_strategy, k=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_sort_and_slice_for_unique_docs(self, offers, k):
+        # restrict to unique doc ids so the oracle is unambiguous
+        seen = set()
+        unique_offers = []
+        for doc, sim in offers:
+            if doc not in seen:
+                seen.add(doc)
+                unique_offers.append((doc, sim))
+        top = TopK(k)
+        for doc, sim in unique_offers:
+            top.offer(doc, sim)
+        assert top.results() == reference(unique_offers, k)
+
+    @given(offers=offers_strategy, k=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_order_independence(self, offers, k):
+        seen = set()
+        unique_offers = []
+        for doc, sim in offers:
+            if doc not in seen:
+                seen.add(doc)
+                unique_offers.append((doc, sim))
+        forward = TopK(k)
+        backward = TopK(k)
+        for doc, sim in unique_offers:
+            forward.offer(doc, sim)
+        for doc, sim in reversed(unique_offers):
+            backward.offer(doc, sim)
+        assert forward.results() == backward.results()
+
+    @given(offers=offers_strategy, k=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, offers, k):
+        # Executors offer each doc id at most once per outer document;
+        # keep the first offer per doc to respect that contract.
+        seen = set()
+        top = TopK(k)
+        for doc, sim in offers:
+            if doc in seen:
+                continue
+            seen.add(doc)
+            top.offer(doc, sim)
+        results = top.results()
+        assert len(results) <= k
+        sims = [s for _, s in results]
+        assert all(s > 0 for s in sims)
+        assert sims == sorted(sims, reverse=True)
+        # ties sorted by doc id
+        for (d1, s1), (d2, s2) in zip(results, results[1:]):
+            if s1 == s2:
+                assert d1 < d2

@@ -1,0 +1,49 @@
+"""A small Applicants/Positions catalog shared by planner/executor tests."""
+
+import pytest
+
+from repro.sql.catalog import Catalog, Relation
+from repro.text.collection import DocumentCollection
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+
+RESUMES = [
+    "python databases query optimization engineering",   # 0 Ada
+    "civil engineering bridges concrete construction",   # 1 Bob
+    "marketing social media brand campaigns",            # 2 Cyn
+    "software engineering python distributed databases", # 3 Dan
+    "cooking catering menus events kitchen",             # 4 Eve
+]
+
+JOBS = [
+    "software engineering python databases",  # position 0
+    "marketing campaigns social brand",       # position 1
+    "catering kitchen events",                # position 2
+]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    vocab = Vocabulary()
+    tok = Tokenizer(stem=False)
+    applicants = Relation.from_rows(
+        "Applicants",
+        [
+            {"SSN": f"000-0{i}", "Name": name, "Years": years}
+            for i, (name, years) in enumerate(
+                [("Ada", 8), ("Bob", 12), ("Cyn", 3), ("Dan", 5), ("Eve", 20)]
+            )
+        ],
+    ).bind_text("Resume", DocumentCollection.from_texts("resumes", RESUMES, vocab, tok))
+    positions = Relation.from_rows(
+        "Positions",
+        [
+            {"P#": 1, "Title": "Senior Software Engineer"},
+            {"P#": 2, "Title": "Marketing Manager"},
+            {"P#": 3, "Title": "Catering Lead"},
+        ],
+    ).bind_text("Job_descr", DocumentCollection.from_texts("jobs", JOBS, vocab, tok))
+    cat = Catalog()
+    cat.register(applicants)
+    cat.register(positions)
+    return cat

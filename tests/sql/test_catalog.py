@@ -1,0 +1,83 @@
+"""Catalog and relations with textual attributes."""
+
+import pytest
+
+from repro.errors import SqlSemanticError
+from repro.sql.catalog import Catalog, Relation
+from repro.text.collection import DocumentCollection
+
+
+def docs(n):
+    return DocumentCollection.from_term_lists("d", [[i + 1] for i in range(n)])
+
+
+def relation(n=3):
+    rows = [{"Id": i, "Name": f"row{i}"} for i in range(n)]
+    return Relation.from_rows("R", rows)
+
+
+class TestRelation:
+    def test_from_rows_infers_attributes(self):
+        r = relation()
+        assert r.attributes == ("Id", "Name")
+        assert r.n_rows == 3
+
+    def test_from_rows_rejects_empty(self):
+        with pytest.raises(SqlSemanticError):
+            Relation.from_rows("R", [])
+
+    def test_rows_must_be_complete(self):
+        with pytest.raises(SqlSemanticError):
+            Relation("R", ("A", "B"), rows=[{"A": 1}])
+
+    def test_value_lookup(self):
+        r = relation()
+        assert r.value(1, "Name") == "row1"
+
+    def test_value_unknown_attribute(self):
+        with pytest.raises(SqlSemanticError):
+            relation().value(0, "Ghost")
+
+
+class TestTextBinding:
+    def test_bind_text(self):
+        r = relation().bind_text("Body", docs(3))
+        assert r.is_text("Body")
+        assert r.has_attribute("Body")
+        assert r.collection("Body").n_documents == 3
+
+    def test_bind_requires_matching_cardinality(self):
+        with pytest.raises(SqlSemanticError):
+            relation(3).bind_text("Body", docs(5))
+
+    def test_cannot_shadow_ordinary_attribute(self):
+        with pytest.raises(SqlSemanticError):
+            relation().bind_text("Name", docs(3))
+
+    def test_text_value_not_directly_projectable(self):
+        r = relation().bind_text("Body", docs(3))
+        with pytest.raises(SqlSemanticError):
+            r.value(0, "Body")
+
+    def test_collection_of_non_text(self):
+        with pytest.raises(SqlSemanticError):
+            relation().collection("Name")
+
+
+class TestCatalog:
+    def test_register_and_lookup_case_insensitive(self):
+        cat = Catalog()
+        cat.register(relation())
+        assert cat.relation("r").name == "R"
+        assert "R" in cat
+        assert len(cat) == 1
+
+    def test_duplicate_rejected(self):
+        cat = Catalog()
+        cat.register(relation())
+        with pytest.raises(SqlSemanticError):
+            cat.register(relation())
+
+    def test_unknown_relation(self):
+        with pytest.raises(SqlSemanticError):
+            Catalog().relation("nope")

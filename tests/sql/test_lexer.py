@@ -1,0 +1,69 @@
+"""Lexer for the extended-SQL dialect."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import tokenize
+
+
+def kinds_and_values(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds_and_values("select FROM Where")[0] == ("keyword", "SELECT")
+        assert kinds_and_values("select")[0][1] == "SELECT"
+
+    def test_similar_to_is_one_keyword(self):
+        tokens = kinds_and_values("SIMILAR_TO")
+        assert tokens == [("keyword", "SIMILAR_TO")]
+
+    def test_identifier_with_hash(self):
+        # the paper's P# attribute
+        assert kinds_and_values("P.P#") == [
+            ("name", "P"), ("punct", "."), ("name", "P#"),
+        ]
+
+    def test_string_literal(self):
+        assert kinds_and_values("'%Engineer%'") == [("string", "%Engineer%")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds_and_values("'it''s'") == [("string", "it's")]
+
+    def test_numbers(self):
+        assert kinds_and_values("42 3.5") == [("number", "42"), ("number", "3.5")]
+
+    def test_operators(self):
+        ops = [v for k, v in kinds_and_values("= < > <= >= <> !=") if k == "op"]
+        assert ops == ["=", "<", ">", "<=", ">=", "<>", "!="]
+
+    def test_punctuation(self):
+        assert [v for _, v in kinds_and_values("( ) , . *")] == ["(", ")", ",", ".", "*"]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT X")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_rejects_junk(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestFullQuery:
+    def test_motivating_example_lexes(self):
+        text = """
+            Select P.P#, P.Title, A.SSN, A.Name
+            From Positions P, Applicants A
+            Where P.Title like '%Engineer%'
+              and A.Resume SIMILAR_TO(20) P.Job_descr
+        """
+        tokens = tokenize(text)
+        keywords = [t.value for t in tokens if t.kind == "keyword"]
+        assert keywords == [
+            "SELECT", "FROM", "WHERE", "LIKE", "AND", "SIMILAR_TO",
+        ]

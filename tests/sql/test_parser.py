@@ -1,0 +1,124 @@
+"""Parser for the extended-SQL dialect."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    LikePredicate,
+    SimilarToPredicate,
+)
+from repro.sql.parser import parse
+
+
+class TestProjection:
+    def test_qualified_columns(self):
+        q = parse("SELECT A.X, B.Y FROM R1 A, R2 B")
+        assert q.columns == (ColumnRef("A", "X"), ColumnRef("B", "Y"))
+
+    def test_unqualified_column(self):
+        q = parse("SELECT X FROM R")
+        assert q.columns == (ColumnRef(None, "X"),)
+
+    def test_star(self):
+        q = parse("SELECT * FROM R")
+        assert q.columns[0].column == "*"
+
+
+class TestFromClause:
+    def test_aliases(self):
+        q = parse("SELECT X FROM Positions P, Applicants A")
+        assert q.tables[0].name == "Positions"
+        assert q.tables[0].binding == "P"
+        assert q.tables[1].binding == "A"
+
+    def test_as_keyword(self):
+        q = parse("SELECT X FROM Positions AS P")
+        assert q.tables[0].binding == "P"
+
+    def test_no_alias(self):
+        q = parse("SELECT X FROM Positions")
+        assert q.tables[0].binding == "Positions"
+
+
+class TestPredicates:
+    def test_comparison_int(self):
+        q = parse("SELECT X FROM R WHERE R.Age >= 21")
+        pred = q.predicates[0]
+        assert isinstance(pred, Comparison)
+        assert pred.op == ">="
+        assert pred.literal == 21
+
+    def test_comparison_float_and_string(self):
+        q = parse("SELECT X FROM R WHERE A = 1.5 AND B = 'txt'")
+        assert q.predicates[0].literal == 1.5
+        assert q.predicates[1].literal == "txt"
+
+    def test_like(self):
+        q = parse("SELECT X FROM R WHERE R.Title LIKE '%Engineer%'")
+        pred = q.predicates[0]
+        assert isinstance(pred, LikePredicate)
+        assert pred.pattern == "%Engineer%"
+        assert not pred.negated
+
+    def test_not_like(self):
+        q = parse("SELECT X FROM R WHERE R.Title NOT LIKE '%Intern%'")
+        assert q.predicates[0].negated
+
+    def test_similar_to(self):
+        q = parse("SELECT X FROM R1 A, R2 P WHERE A.Resume SIMILAR_TO(20) P.Job_descr")
+        pred = q.predicates[0]
+        assert isinstance(pred, SimilarToPredicate)
+        assert pred.left == ColumnRef("A", "Resume")
+        assert pred.lam == 20
+        assert pred.right == ColumnRef("P", "Job_descr")
+
+    def test_similar_to_accessors(self):
+        q = parse(
+            "SELECT X FROM R1 A, R2 P "
+            "WHERE A.Age > 30 AND A.Resume SIMILAR_TO(5) P.Job_descr"
+        )
+        assert q.similar_to is not None
+        assert q.similar_to.lam == 5
+        assert len(q.local_predicates) == 1
+
+    def test_no_where(self):
+        q = parse("SELECT X FROM R")
+        assert q.predicates == ()
+        assert q.similar_to is None
+
+
+class TestMotivatingExample:
+    def test_full_paper_query(self):
+        q = parse(
+            "Select P.P#, P.Title, A.SSN, A.Name "
+            "From Positions P, Applicants A "
+            "Where P.Title like '%Engineer%' "
+            "and A.Resume SIMILAR_TO(20) P.Job_descr"
+        )
+        assert len(q.columns) == 4
+        assert q.columns[0] == ColumnRef("P", "P#")
+        assert isinstance(q.predicates[0], LikePredicate)
+        assert isinstance(q.predicates[1], SimilarToPredicate)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "FROM R",                                     # missing SELECT
+            "SELECT FROM R",                              # missing columns
+            "SELECT X",                                   # missing FROM
+            "SELECT X FROM R WHERE",                      # empty WHERE
+            "SELECT X FROM R WHERE A LIKE 5",             # LIKE needs string
+            "SELECT X FROM R WHERE A SIMILAR_TO B",       # missing (lambda)
+            "SELECT X FROM R WHERE A SIMILAR_TO(0) B",    # lambda must be > 0
+            "SELECT X FROM R WHERE NOT A = 1",            # NOT only before LIKE
+            "SELECT X FROM R alias junk",                 # trailing tokens
+            "SELECT X FROM R WHERE A = ",                 # missing literal
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(SqlSyntaxError):
+            parse(text)

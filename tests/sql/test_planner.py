@@ -1,0 +1,161 @@
+"""Planner: resolution, selection pushdown, role assignment."""
+
+import pytest
+
+from repro.errors import SqlSemanticError
+from repro.sql.parser import parse
+from repro.sql.planner import SelectionPlan, TextJoinPlan, like_to_regex, plan
+
+
+class TestLikeToRegex:
+    def test_percent_wildcard(self):
+        assert like_to_regex("%Eng%").match("Software Engineer")
+        assert not like_to_regex("%Eng%").match("Marketer")
+
+    def test_underscore_wildcard(self):
+        assert like_to_regex("r_w").match("row")
+        assert not like_to_regex("r_w").match("rooow")
+
+    def test_anchored(self):
+        assert not like_to_regex("Eng").match("Engineer")
+
+    def test_case_insensitive(self):
+        assert like_to_regex("%engineer%").match("ENGINEER")
+
+    def test_special_chars_escaped(self):
+        assert like_to_regex("a.b").match("a.b")
+        assert not like_to_regex("a.b").match("axb")
+
+
+class TestRoles:
+    def test_similar_to_right_side_is_outer(self, catalog):
+        q = parse(
+            "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+            "WHERE A.Resume SIMILAR_TO(2) P.Job_descr"
+        )
+        p = plan(q, catalog)
+        assert isinstance(p, TextJoinPlan)
+        assert p.outer_binding == "P"
+        assert p.inner_binding == "A"
+        assert p.lam == 2
+        assert p.outer_ids is None
+        assert not p.inner_is_filtered
+
+    def test_swapped_operands_swap_roles(self, catalog):
+        q = parse(
+            "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+            "WHERE P.Job_descr SIMILAR_TO(2) A.Resume"
+        )
+        p = plan(q, catalog)
+        assert p.outer_binding == "A"
+        assert p.inner_binding == "P"
+
+
+class TestSelectionPushdown:
+    def test_outer_selection_becomes_participating_ids(self, catalog):
+        q = parse(
+            "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+            "WHERE P.Title LIKE '%Engineer%' AND A.Resume SIMILAR_TO(2) P.Job_descr"
+        )
+        p = plan(q, catalog)
+        assert p.outer_ids == [0]  # only the engineer position
+
+    def test_inner_selection_materialises_subcollection(self, catalog):
+        q = parse(
+            "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+            "WHERE A.Years >= 8 AND A.Resume SIMILAR_TO(2) P.Job_descr"
+        )
+        p = plan(q, catalog)
+        assert p.inner_is_filtered
+        assert p.inner_row_of_doc == [0, 1, 4]  # Ada, Bob, Eve
+        assert p.inner_collection.n_documents == 3
+
+    def test_empty_selection_is_allowed(self, catalog):
+        q = parse(
+            "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+            "WHERE P.Title LIKE '%Astronaut%' AND A.Resume SIMILAR_TO(2) P.Job_descr"
+        )
+        p = plan(q, catalog)
+        assert p.outer_ids == []
+
+
+class TestSelectionOnlyPlan:
+    def test_single_table_selection(self, catalog):
+        q = parse("SELECT Name FROM Applicants WHERE Years > 10")
+        p = plan(q, catalog)
+        assert isinstance(p, SelectionPlan)
+        assert p.row_ids == [1, 4]
+
+    def test_not_like(self, catalog):
+        q = parse("SELECT P# FROM Positions WHERE Title NOT LIKE '%Manager%'")
+        p = plan(q, catalog)
+        assert p.row_ids == [0, 2]
+
+
+class TestSemanticErrors:
+    def test_unknown_relation(self, catalog):
+        with pytest.raises(SqlSemanticError):
+            plan(parse("SELECT X FROM Ghost"), catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(SqlSemanticError):
+            plan(parse("SELECT Salary FROM Applicants"), catalog)
+
+    def test_ambiguous_unqualified_column(self, catalog):
+        # both relations could own a generic name only if present in both;
+        # 'Name' exists only in Applicants, so qualify-free works:
+        q = parse(
+            "SELECT Name FROM Positions P, Applicants A "
+            "WHERE A.Resume SIMILAR_TO(1) P.Job_descr"
+        )
+        plan(q, catalog)  # resolves uniquely, no error
+
+    def test_similar_to_on_non_text(self, catalog):
+        with pytest.raises(SqlSemanticError):
+            plan(
+                parse(
+                    "SELECT A.Name FROM Positions P, Applicants A "
+                    "WHERE A.Name SIMILAR_TO(2) P.Job_descr"
+                ),
+                catalog,
+            )
+
+    def test_local_predicate_on_text(self, catalog):
+        with pytest.raises(SqlSemanticError):
+            plan(
+                parse(
+                    "SELECT A.Name FROM Positions P, Applicants A "
+                    "WHERE A.Resume LIKE '%python%' "
+                    "AND A.Resume SIMILAR_TO(2) P.Job_descr"
+                ),
+                catalog,
+            )
+
+    def test_projecting_text_attribute(self, catalog):
+        with pytest.raises(SqlSemanticError):
+            plan(
+                parse(
+                    "SELECT A.Resume FROM Positions P, Applicants A "
+                    "WHERE A.Resume SIMILAR_TO(2) P.Job_descr"
+                ),
+                catalog,
+            )
+
+    def test_two_similar_to_rejected(self, catalog):
+        with pytest.raises(SqlSemanticError):
+            plan(
+                parse(
+                    "SELECT A.Name FROM Positions P, Applicants A "
+                    "WHERE A.Resume SIMILAR_TO(2) P.Job_descr "
+                    "AND A.Resume SIMILAR_TO(3) P.Job_descr"
+                ),
+                catalog,
+            )
+
+    def test_multi_table_without_join(self, catalog):
+        with pytest.raises(SqlSemanticError):
+            plan(parse("SELECT A.Name FROM Positions P, Applicants A"), catalog)
+
+    def test_duplicate_binding(self, catalog):
+        with pytest.raises(SqlSemanticError):
+            plan(parse("SELECT X.Name FROM Applicants X, Positions X"), catalog)

@@ -1,0 +1,137 @@
+"""End-to-end SQL execution of the motivating example."""
+
+import pytest
+
+from repro.cost.params import SystemParams
+from repro.sql.executor import execute
+
+
+SYSTEM = SystemParams(buffer_pages=64)
+
+
+class TestTextJoinQueries:
+    def test_motivating_example(self, catalog):
+        result = execute(
+            "SELECT P.P#, P.Title, A.SSN, A.Name "
+            "FROM Positions P, Applicants A "
+            "WHERE A.Resume SIMILAR_TO(2) P.Job_descr",
+            catalog,
+            SYSTEM,
+        )
+        assert result.algorithm in ("HHNL", "HVNL", "VVM")
+        assert result.columns == [
+            "P.P#", "P.Title", "A.SSN", "A.Name", "_rank", "_similarity",
+        ]
+        by_position = {}
+        for row in result.as_dicts():
+            by_position.setdefault(row["P.P#"], []).append(row)
+        # each position gets at most lambda = 2 matches, ranked
+        for rows in by_position.values():
+            assert [r["_rank"] for r in rows] == list(range(1, len(rows) + 1))
+            sims = [r["_similarity"] for r in rows]
+            assert sims == sorted(sims, reverse=True)
+        # the engineering job matches the two engineering-ish resumes
+        engineer_names = {r["A.Name"] for r in by_position[1]}
+        assert "Dan" in engineer_names
+
+    def test_outer_selection_restricts_groups(self, catalog):
+        result = execute(
+            "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+            "WHERE P.Title LIKE '%Engineer%' AND A.Resume SIMILAR_TO(2) P.Job_descr",
+            catalog,
+            SYSTEM,
+        )
+        assert {row["P.P#"] for row in result.as_dicts()} == {1}
+
+    def test_inner_selection_restricts_candidates(self, catalog):
+        result = execute(
+            "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+            "WHERE A.Years >= 8 AND A.Resume SIMILAR_TO(5) P.Job_descr",
+            catalog,
+            SYSTEM,
+        )
+        assert {row["A.Name"] for row in result.as_dicts()} <= {"Ada", "Bob", "Eve"}
+
+    def test_reversed_operands_group_by_applicant(self, catalog):
+        result = execute(
+            "SELECT A.Name, P.Title FROM Positions P, Applicants A "
+            "WHERE P.Job_descr SIMILAR_TO(1) A.Resume",
+            catalog,
+            SYSTEM,
+        )
+        names = [row["A.Name"] for row in result.as_dicts()]
+        # one best position per applicant with any match
+        assert len(names) == len(set(names))
+
+    def test_join_result_attached(self, catalog):
+        result = execute(
+            "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+            "WHERE A.Resume SIMILAR_TO(1) P.Job_descr",
+            catalog,
+            SYSTEM,
+        )
+        assert result.join is not None
+        assert result.join.io.total_reads > 0
+        assert result.extras["decision"] is not None
+
+    def test_empty_outer_selection_gives_no_rows(self, catalog):
+        result = execute(
+            "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+            "WHERE P.Title LIKE '%Astronaut%' AND A.Resume SIMILAR_TO(2) P.Job_descr",
+            catalog,
+            SYSTEM,
+        )
+        assert result.rows == []
+
+
+class TestSelectionQueries:
+    def test_simple_selection(self, catalog):
+        result = execute(
+            "SELECT Name, Years FROM Applicants WHERE Years > 10", catalog
+        )
+        assert result.columns == ["Applicants.Name", "Applicants.Years"]
+        assert set(result.rows) == {("Bob", 12), ("Eve", 20)}
+        assert result.algorithm is None
+
+    def test_star_projection(self, catalog):
+        result = execute("SELECT * FROM Positions WHERE P# = 2", catalog)
+        assert len(result.rows) == 1
+        assert "Positions.Title" in result.columns
+
+    def test_len_and_as_dicts(self, catalog):
+        result = execute("SELECT Name FROM Applicants WHERE Years < 6", catalog)
+        assert len(result) == 2
+        assert result.as_dicts()[0].keys() == {"Applicants.Name"}
+
+
+class TestInnerStrategies:
+    QUERY = (
+        "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+        "WHERE A.Years >= 8 AND A.Resume SIMILAR_TO(5) P.Job_descr"
+    )
+
+    def test_filter_strategy_equals_materialize(self, catalog):
+        materialized = execute(self.QUERY, catalog, SYSTEM)
+        filtered = execute(
+            self.QUERY, catalog, SYSTEM, inner_strategy="filter"
+        )
+        assert sorted(materialized.rows) == sorted(filtered.rows)
+
+    def test_filter_strategy_keeps_original_collection(self, catalog):
+        from repro.sql.parser import parse
+        from repro.sql.planner import plan
+
+        p_mat = plan(parse(self.QUERY), catalog)
+        p_fil = plan(parse(self.QUERY), catalog, inner_strategy="filter")
+        assert p_mat.inner_collection.n_documents == 3  # renumbered copy
+        assert p_fil.inner_collection.n_documents == 5  # original
+        assert p_fil.inner_ids == [0, 1, 4]
+        assert p_mat.inner_ids is None
+
+    def test_unknown_strategy_rejected(self, catalog):
+        from repro.errors import SqlSemanticError
+        from repro.sql.parser import parse
+        from repro.sql.planner import plan
+
+        with pytest.raises(SqlSemanticError):
+            plan(parse(self.QUERY), catalog, inner_strategy="teleport")

@@ -1,0 +1,129 @@
+"""The budgeted object buffer HVNL caches inverted entries in."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import ObjectBuffer
+from repro.storage.policies import LowestDocFrequencyPolicy, LRUPolicy
+
+
+def make_buffer(budget=100, policy=None):
+    return ObjectBuffer(budget, policy or LRUPolicy())
+
+
+class TestInsertAndGet:
+    def test_roundtrip(self):
+        buf = make_buffer()
+        assert buf.insert("t1", "entry1", 40)
+        assert buf.get("t1") == "entry1"
+        assert buf.hits == 1
+
+    def test_miss_counts(self):
+        buf = make_buffer()
+        assert buf.get("absent") is None
+        assert buf.misses == 1
+
+    def test_peek_does_not_touch_counters(self):
+        buf = make_buffer()
+        buf.insert("t1", "x", 10)
+        assert buf.peek("t1") == "x"
+        assert buf.peek("nope") is None
+        assert buf.hits == 0 and buf.misses == 0
+
+    def test_reinsert_is_noop(self):
+        buf = make_buffer()
+        buf.insert("t1", "x", 10)
+        assert buf.insert("t1", "x", 10)
+        assert buf.used_bytes == 10
+
+    def test_contains(self):
+        buf = make_buffer()
+        buf.insert("t1", "x", 10)
+        assert "t1" in buf
+        assert "t2" not in buf
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(StorageError):
+            make_buffer().insert("x", "p", -1)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(StorageError):
+            ObjectBuffer(-1, LRUPolicy())
+
+
+class TestEviction:
+    def test_evicts_to_fit(self):
+        buf = make_buffer(budget=100)
+        buf.insert("a", "A", 60)
+        buf.insert("b", "B", 60)  # must evict a
+        assert "a" not in buf
+        assert "b" in buf
+        assert buf.evictions == 1
+
+    def test_evicts_multiple_if_needed(self):
+        buf = make_buffer(budget=100)
+        buf.insert("a", "A", 40)
+        buf.insert("b", "B", 40)
+        buf.insert("c", "C", 90)  # must evict both
+        assert buf.n_resident == 1
+        assert buf.evictions == 2
+
+    def test_oversized_object_rejected_not_evicting(self):
+        buf = make_buffer(budget=100)
+        buf.insert("a", "A", 50)
+        assert not buf.insert("huge", "H", 200)
+        assert "a" in buf  # nothing evicted for a hopeless insert
+        assert buf.rejected == 1
+
+    def test_paper_policy_evicts_lowest_df(self):
+        buf = ObjectBuffer(100, LowestDocFrequencyPolicy())
+        buf.insert("rare", "R", 50, priority=1)
+        buf.insert("common", "C", 50, priority=99)
+        buf.insert("new", "N", 50, priority=10)
+        assert "rare" not in buf
+        assert "common" in buf
+
+    def test_used_and_free_bytes(self):
+        buf = make_buffer(budget=100)
+        buf.insert("a", "A", 30)
+        assert buf.used_bytes == 30
+        assert buf.free_bytes == 70
+
+
+class TestDiscardAndClear:
+    def test_discard(self):
+        buf = make_buffer()
+        buf.insert("a", "A", 10)
+        assert buf.discard("a")
+        assert "a" not in buf
+        assert buf.used_bytes == 0
+        assert buf.evictions == 0  # explicit drop, not an eviction
+
+    def test_discard_absent(self):
+        assert not make_buffer().discard("ghost")
+
+    def test_clear(self):
+        buf = make_buffer()
+        buf.insert("a", "A", 10)
+        buf.insert("b", "B", 10)
+        buf.clear()
+        assert len(buf) == 0
+        assert buf.used_bytes == 0
+
+
+class TestHitRate:
+    def test_zero_lookups(self):
+        assert make_buffer().hit_rate == 0.0
+
+    def test_mixed_lookups(self):
+        buf = make_buffer()
+        buf.insert("a", "A", 10)
+        buf.get("a")
+        buf.get("a")
+        buf.get("missing")
+        assert buf.hit_rate == pytest.approx(2 / 3)
+
+    def test_zero_budget_buffer_caches_nothing_but_zero_size(self):
+        buf = make_buffer(budget=0)
+        assert not buf.insert("a", "A", 1)
+        assert buf.insert("empty", "E", 0)

@@ -1,0 +1,105 @@
+"""I/O accounting: the paper's weighted cost metric."""
+
+import pytest
+
+from repro.storage.iostats import IOStats
+
+
+class TestRecording:
+    def test_starts_empty(self):
+        stats = IOStats()
+        assert stats.sequential_reads == 0
+        assert stats.random_reads == 0
+        assert stats.total_reads == 0
+
+    def test_records_both_kinds(self):
+        stats = IOStats()
+        stats.record("docs", sequential=10, random=3)
+        assert stats.sequential_reads == 10
+        assert stats.random_reads == 3
+        assert stats.total_reads == 13
+
+    def test_accumulates_per_extent(self):
+        stats = IOStats()
+        stats.record("a", sequential=5)
+        stats.record("a", random=2)
+        stats.record("b", sequential=1)
+        assert stats.by_extent["a"] == (5, 2)
+        assert stats.by_extent["b"] == (1, 0)
+
+    def test_rejects_negative_counts(self):
+        stats = IOStats()
+        with pytest.raises(ValueError):
+            stats.record("a", sequential=-1)
+        with pytest.raises(ValueError):
+            stats.record("a", random=-1)
+
+
+class TestWeightedCost:
+    def test_sequential_costs_one(self):
+        stats = IOStats()
+        stats.record("a", sequential=7)
+        assert stats.weighted_cost(alpha=5) == 7
+
+    def test_random_costs_alpha(self):
+        stats = IOStats()
+        stats.record("a", random=3)
+        assert stats.weighted_cost(alpha=5) == 15
+
+    def test_mixed(self):
+        stats = IOStats()
+        stats.record("a", sequential=10, random=4)
+        assert stats.weighted_cost(alpha=2.5) == 10 + 2.5 * 4
+
+    def test_repricing_same_run_different_alpha(self):
+        # The alpha-sweep experiments reprice one measured run.
+        stats = IOStats()
+        stats.record("a", sequential=100, random=10)
+        costs = [stats.weighted_cost(alpha) for alpha in (1, 2, 5, 10)]
+        assert costs == [110, 120, 150, 200]
+
+    def test_rejects_alpha_below_one(self):
+        stats = IOStats()
+        with pytest.raises(ValueError):
+            stats.weighted_cost(0.5)
+
+
+class TestSnapshotDelta:
+    def test_snapshot_is_independent(self):
+        stats = IOStats()
+        stats.record("a", sequential=1)
+        snap = stats.snapshot()
+        stats.record("a", sequential=9)
+        assert snap.sequential_reads == 1
+        assert stats.sequential_reads == 10
+
+    def test_delta_counts_only_new_reads(self):
+        stats = IOStats()
+        stats.record("a", sequential=5, random=1)
+        snap = stats.snapshot()
+        stats.record("a", sequential=2)
+        stats.record("b", random=4)
+        delta = stats.delta(snap)
+        assert delta.sequential_reads == 2
+        assert delta.random_reads == 4
+        assert delta.by_extent == {"a": (2, 0), "b": (0, 4)}
+
+    def test_delta_of_unchanged_stats_is_zero(self):
+        stats = IOStats()
+        stats.record("a", sequential=5)
+        delta = stats.delta(stats.snapshot())
+        assert delta.total_reads == 0
+        assert delta.by_extent == {}
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record("a", sequential=5, random=5)
+        stats.reset()
+        assert stats.total_reads == 0
+        assert stats.by_extent == {}
+
+    def test_str_mentions_counts(self):
+        stats = IOStats()
+        stats.record("a", sequential=2, random=1)
+        assert "seq=2" in str(stats)
+        assert "rand=1" in str(stats)

@@ -1,0 +1,101 @@
+"""Page-geometry arithmetic."""
+
+import math
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pages import PageGeometry, ceil_div, pages_for_bytes, span_pages
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_one_byte(self):
+        assert ceil_div(1, 4096) == 1
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(StorageError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(StorageError):
+            ceil_div(-1, 4)
+
+
+class TestPagesForBytes:
+    def test_zero_bytes_need_no_pages(self):
+        assert pages_for_bytes(0) == 0
+
+    def test_partial_page(self):
+        assert pages_for_bytes(100, page_bytes=4096) == 1
+
+    def test_exact_pages(self):
+        assert pages_for_bytes(8192, page_bytes=4096) == 2
+
+    def test_one_over(self):
+        assert pages_for_bytes(8193, page_bytes=4096) == 3
+
+
+class TestSpanPages:
+    def test_record_within_one_page(self):
+        assert span_pages(10, 100, page_bytes=4096) == (0, 0)
+
+    def test_record_straddles_boundary(self):
+        # starts near the end of page 0, spills into page 1
+        assert span_pages(4090, 10, page_bytes=4096) == (0, 1)
+
+    def test_record_aligned_at_boundary(self):
+        assert span_pages(4096, 4096, page_bytes=4096) == (1, 1)
+
+    def test_multi_page_record(self):
+        assert span_pages(0, 3 * 4096 + 1, page_bytes=4096) == (0, 3)
+
+    def test_zero_length_record(self):
+        assert span_pages(5000, 0, page_bytes=4096) == (1, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(StorageError):
+            span_pages(-1, 10)
+        with pytest.raises(StorageError):
+            span_pages(0, -10)
+
+
+class TestPageGeometry:
+    def test_default_page_size(self):
+        assert PageGeometry().page_bytes == 4096
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(StorageError):
+            PageGeometry(0)
+
+    def test_fractional_pages(self):
+        geom = PageGeometry(1000)
+        assert geom.fractional_pages(2500) == pytest.approx(2.5)
+
+    def test_whole_pages(self):
+        assert PageGeometry(1000).whole_pages(2500) == 3
+
+    def test_ceil_pages_of_fraction(self):
+        geom = PageGeometry()
+        assert geom.ceil_pages(0.41) == 1
+        assert geom.ceil_pages(1.27) == 2
+        assert geom.ceil_pages(0.0) == 0
+        assert geom.ceil_pages(3.0) == 3
+
+    def test_ceil_pages_rejects_negative(self):
+        with pytest.raises(StorageError):
+            PageGeometry().ceil_pages(-0.1)
+
+    def test_consistency_fractional_vs_whole(self):
+        geom = PageGeometry(777)
+        for n in (0, 1, 776, 777, 778, 10_000):
+            if n > 0:
+                assert geom.whole_pages(n) == math.ceil(geom.fractional_pages(n))

@@ -1,0 +1,139 @@
+"""Replacement policies, especially the paper's lowest-df-in-C2 rule."""
+
+import pytest
+
+from repro.errors import BufferExhaustedError
+from repro.storage.policies import (
+    FIFOPolicy,
+    LowestDocFrequencyPolicy,
+    LRUPolicy,
+    RandomPolicy,
+)
+
+
+class TestLowestDocFrequency:
+    def test_victim_is_lowest_priority(self):
+        policy = LowestDocFrequencyPolicy()
+        policy.admitted("common", priority=90)
+        policy.admitted("rare", priority=2)
+        policy.admitted("mid", priority=40)
+        assert policy.victim() == "rare"
+
+    def test_ties_break_by_admission_order(self):
+        policy = LowestDocFrequencyPolicy()
+        policy.admitted("first", priority=5)
+        policy.admitted("second", priority=5)
+        assert policy.victim() == "first"
+
+    def test_eviction_updates_victim(self):
+        policy = LowestDocFrequencyPolicy()
+        policy.admitted("a", 1)
+        policy.admitted("b", 2)
+        policy.evicted("a")
+        assert policy.victim() == "b"
+
+    def test_access_does_not_change_order(self):
+        policy = LowestDocFrequencyPolicy()
+        policy.admitted("a", 1)
+        policy.admitted("b", 2)
+        policy.accessed("a")
+        assert policy.victim() == "a"  # frequency is static
+
+    def test_empty_raises(self):
+        with pytest.raises(BufferExhaustedError):
+            LowestDocFrequencyPolicy().victim()
+
+    def test_len_tracks_live_keys(self):
+        policy = LowestDocFrequencyPolicy()
+        policy.admitted("a", 1)
+        policy.admitted("b", 2)
+        policy.evicted("a")
+        assert len(policy) == 1
+
+    def test_readmission_after_eviction(self):
+        policy = LowestDocFrequencyPolicy()
+        policy.admitted("a", 1)
+        policy.evicted("a")
+        policy.admitted("a", 10)
+        policy.admitted("b", 5)
+        assert policy.victim() == "b"
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy()
+        policy.admitted("a", 0)
+        policy.admitted("b", 0)
+        policy.accessed("a")
+        assert policy.victim() == "b"
+
+    def test_admission_counts_as_use(self):
+        policy = LRUPolicy()
+        policy.admitted("a", 0)
+        policy.admitted("b", 0)
+        assert policy.victim() == "a"
+
+    def test_access_to_unknown_is_ignored(self):
+        policy = LRUPolicy()
+        policy.admitted("a", 0)
+        policy.accessed("ghost")
+        assert policy.victim() == "a"
+
+    def test_empty_raises(self):
+        with pytest.raises(BufferExhaustedError):
+            LRUPolicy().victim()
+
+
+class TestFIFO:
+    def test_victim_is_oldest_regardless_of_use(self):
+        policy = FIFOPolicy()
+        policy.admitted("a", 0)
+        policy.admitted("b", 0)
+        policy.accessed("a")
+        assert policy.victim() == "a"
+
+    def test_eviction_advances_queue(self):
+        policy = FIFOPolicy()
+        for key in "abc":
+            policy.admitted(key, 0)
+        policy.evicted("a")
+        assert policy.victim() == "b"
+
+    def test_empty_raises(self):
+        with pytest.raises(BufferExhaustedError):
+            FIFOPolicy().victim()
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        p1, p2 = RandomPolicy(seed=42), RandomPolicy(seed=42)
+        for key in "abcdef":
+            p1.admitted(key, 0)
+            p2.admitted(key, 0)
+        assert p1.victim() == p2.victim()
+
+    def test_victim_is_tracked_key(self):
+        policy = RandomPolicy(seed=1)
+        keys = set("abcdef")
+        for key in keys:
+            policy.admitted(key, 0)
+        assert policy.victim() in keys
+
+    def test_eviction_removes_key(self):
+        policy = RandomPolicy(seed=1)
+        policy.admitted("a", 0)
+        policy.admitted("b", 0)
+        policy.evicted("a")
+        for _ in range(20):
+            assert policy.victim() == "b"
+
+    def test_empty_raises(self):
+        with pytest.raises(BufferExhaustedError):
+            RandomPolicy().victim()
+
+    def test_len(self):
+        policy = RandomPolicy()
+        policy.admitted("a", 0)
+        policy.admitted("b", 0)
+        policy.evicted("b")
+        assert len(policy) == 1

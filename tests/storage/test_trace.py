@@ -1,0 +1,103 @@
+"""I/O tracing and access-pattern analysis."""
+
+import pytest
+
+from repro.core.hhnl import run_hhnl
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.core.vvm import run_vvm
+from repro.cost.params import SystemParams
+from repro.storage.pages import PageGeometry
+from repro.storage.trace import IOTrace, TracingIOStats
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+
+class TestIOTrace:
+    def test_records_in_order(self):
+        trace = IOTrace()
+        trace.record("a", 2, 0)
+        trace.record("b", 0, 1)
+        assert len(trace) == 2
+        assert trace.events[0].extent == "a"
+        assert trace.events[1].random == 1
+        assert [e.sequence for e in trace] == [0, 1]
+
+    def test_extents_touched_first_touch_order(self):
+        trace = IOTrace()
+        for name in ("b", "a", "b", "c"):
+            trace.record(name, 1, 0)
+        assert trace.extents_touched() == ["b", "a", "c"]
+
+    def test_pages_read(self):
+        trace = IOTrace()
+        trace.record("a", 2, 1)
+        trace.record("b", 5, 0)
+        assert trace.pages_read() == 8
+        assert trace.pages_read("a") == 3
+
+    def test_random_fraction(self):
+        trace = IOTrace()
+        trace.record("a", 3, 1)
+        assert trace.random_fraction() == pytest.approx(0.25)
+        assert IOTrace().random_fraction() == 0.0
+
+    def test_interleaving_switches(self):
+        trace = IOTrace()
+        for name in ("a", "b", "a", "b", "c", "a"):
+            trace.record(name, 1, 0)
+        # c is ignored; stream over {a, b}: a b a b a -> 4 switches
+        assert trace.interleaving_switches("a", "b") == 4
+
+    def test_scan_passes(self):
+        trace = IOTrace()
+        trace.record("a", 30, 0)
+        assert trace.scan_passes("a", extent_pages=10) == pytest.approx(3.0)
+        assert trace.scan_passes("a", extent_pages=0) == 0.0
+
+    def test_clear(self):
+        trace = IOTrace()
+        trace.record("a", 1, 0)
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestTracingStats:
+    def test_counters_and_trace_agree(self):
+        stats = TracingIOStats()
+        stats.record("x", sequential=4, random=2)
+        assert stats.sequential_reads == 4
+        assert stats.trace.pages_read() == 6
+
+
+class TestExecutorPatterns:
+    @pytest.fixture(scope="class")
+    def env(self):
+        c1 = generate_collection(
+            SyntheticSpec("t1", n_documents=80, avg_terms_per_doc=12,
+                          vocabulary_size=300, seed=301)
+        )
+        c2 = generate_collection(
+            SyntheticSpec("t2", n_documents=60, avg_terms_per_doc=10,
+                          vocabulary_size=300, seed=302)
+        )
+        return JoinEnvironment(c1, c2, PageGeometry(256))
+
+    def test_vvm_merge_interleaves_both_inverted_files(self, env):
+        env.disk.stats = TracingIOStats()
+        run_vvm(env, TextJoinSpec(lam=3), SystemParams(buffer_pages=64, page_bytes=256))
+        trace = env.disk.stats.trace
+        assert set(trace.extents_touched()) == {"c1.inv", "c2.inv"}
+        # a merge alternates between the two files many times
+        assert trace.interleaving_switches("c1.inv", "c2.inv") > 10
+
+    def test_hhnl_scans_inner_once_per_chunk(self, env):
+        env.disk.stats = TracingIOStats()
+        system = SystemParams(buffer_pages=12, page_bytes=256)
+        result = run_hhnl(env, TextJoinSpec(lam=3), system)
+        trace = env.disk.stats.trace
+        passes = trace.scan_passes("c1.docs", env.docs1.n_pages)
+        assert passes == pytest.approx(result.extras["inner_scans"], rel=0.01)
+
+    def test_sequential_run_has_no_random_reads(self, env):
+        env.disk.stats = TracingIOStats()
+        run_hhnl(env, TextJoinSpec(lam=3), SystemParams(buffer_pages=64, page_bytes=256))
+        assert env.disk.stats.trace.random_fraction() == 0.0

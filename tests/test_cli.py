@@ -1,0 +1,154 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStats:
+    def test_prints_table(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "WSJ" in out and "FR" in out and "DOE" in out
+        assert "98,736" in out or "98736" in out
+
+
+class TestAdvise:
+    def test_basic_advice(self, capsys):
+        code = main([
+            "advise",
+            "--n1", "98736", "--k1", "329", "--t1", "156298",
+            "--n2", "98736", "--k2", "329", "--t2", "156298",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner (sequential): HHNL" in out
+
+    def test_selection_changes_advice(self, capsys):
+        code = main([
+            "advise",
+            "--n1", "98736", "--k1", "329", "--t1", "156298",
+            "--n2", "98736", "--k2", "329", "--t2", "156298",
+            "--select2", "5",
+        ])
+        assert code == 0
+        assert "winner (sequential): HVNL" in capsys.readouterr().out
+
+    def test_backward_flag_adds_candidate(self, capsys):
+        code = main([
+            "advise",
+            "--n1", "100", "--k1", "50", "--t1", "1000",
+            "--n2", "5000", "--k2", "50", "--t2", "5000",
+            "--backward",
+        ])
+        assert code == 0
+        assert "HHNL-BWD" in capsys.readouterr().out
+
+    def test_missing_argument_exits(self):
+        with pytest.raises(SystemExit):
+            main(["advise", "--n1", "10"])
+
+
+class TestGroup:
+    @pytest.mark.parametrize("number", ["3", "5"])
+    def test_group_prints_grid(self, capsys, number):
+        assert main(["group", number]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "Group " + number in out
+
+    def test_invalid_group(self):
+        with pytest.raises(SystemExit):
+            main(["group", "9"])
+
+
+class TestSummary:
+    def test_all_points_hold(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ok]") == 5
+        assert "FAIL" not in out
+
+
+class TestValidate:
+    def test_quick_validation(self, capsys):
+        assert main(["validate", "--documents", "60", "--buffer", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "HHNL" in out and "VVM" in out
+        assert "ratio" in out
+
+
+class TestParser:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# Text-join simulation study" in out
+        assert "Group 5" in out
+        assert "summary points" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--output", str(target)]) == 0
+        text = target.read_text()
+        assert "Collection statistics" in text
+        assert "Integrated algorithm" in text
+        assert "hhs" in text
+
+
+class TestBoundaries:
+    def test_boundaries_table(self, capsys):
+        assert main(["boundaries"]) == 0
+        out = capsys.readouterr().out
+        assert "HVNL wins up to n2" in out
+        assert "WSJ" in out and "FR" in out and "DOE" in out
+
+
+class TestJoin:
+    @pytest.fixture()
+    def folders(self, tmp_path):
+        inner = tmp_path / "inner"
+        outer = tmp_path / "outer"
+        inner.mkdir()
+        outer.mkdir()
+        (inner / "db.txt").write_text("database query join optimization")
+        (inner / "ir.txt").write_text("text retrieval ranking index")
+        (outer / "q1.txt").write_text("optimize my database join query")
+        return inner, outer
+
+    def test_join_folders(self, capsys, folders):
+        inner, outer = folders
+        code = main([
+            "join", "--inner-dir", str(inner), "--outer-dir", str(outer),
+            "--lam", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "q1.txt" in out
+        assert "db.txt" in out  # the matching inner file
+        assert "ir.txt" not in out.split("q1.txt")[1]  # lam=1: only best
+
+    def test_join_cosine_flag(self, capsys, folders):
+        inner, outer = folders
+        assert main([
+            "join", "--inner-dir", str(inner), "--outer-dir", str(outer),
+            "--lam", "2", "--cosine",
+        ]) == 0
+
+    def test_join_missing_dir(self, folders, tmp_path):
+        inner, _ = folders
+        from repro.errors import WorkloadError
+        with pytest.raises(WorkloadError):
+            main([
+                "join", "--inner-dir", str(inner),
+                "--outer-dir", str(tmp_path / "ghost"),
+            ])

@@ -1,0 +1,79 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.StorageError,
+    errors.PageOutOfRangeError,
+    errors.BufferExhaustedError,
+    errors.ExtentFullError,
+    errors.TextError,
+    errors.VocabularyError,
+    errors.DocumentFormatError,
+    errors.IndexError_,
+    errors.BPlusTreeError,
+    errors.InvertedFileError,
+    errors.CostModelError,
+    errors.InsufficientMemoryError,
+    errors.JoinError,
+    errors.SqlError,
+    errors.SqlSyntaxError,
+    errors.SqlSemanticError,
+    errors.WorkloadError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error", ALL_ERRORS, ids=lambda e: e.__name__)
+    def test_derives_from_repro_error(self, error):
+        assert issubclass(error, errors.ReproError)
+
+    def test_catch_all_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SqlSyntaxError("boom")
+
+    def test_subsystem_grouping(self):
+        assert issubclass(errors.PageOutOfRangeError, errors.StorageError)
+        assert issubclass(errors.BPlusTreeError, errors.IndexError_)
+        assert issubclass(errors.SqlSemanticError, errors.SqlError)
+        assert issubclass(errors.InsufficientMemoryError, errors.CostModelError)
+        assert issubclass(errors.VocabularyError, errors.TextError)
+
+    def test_does_not_shadow_builtin(self):
+        # IndexError_ intentionally avoids clobbering builtins.IndexError
+        assert errors.IndexError_ is not IndexError
+        assert not issubclass(errors.IndexError_, IndexError)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_exports_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name, None) is not None, name
+
+    def test_cost_exports_resolve(self):
+        import repro.cost as cost
+
+        for name in cost.__all__:
+            assert getattr(cost, name, None) is not None, name
+
+    def test_storage_exports_resolve(self):
+        import repro.storage as storage
+
+        for name in storage.__all__:
+            assert getattr(storage, name, None) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

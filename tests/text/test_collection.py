@@ -1,0 +1,95 @@
+"""Document collections and the statistics the cost model consumes."""
+
+import pytest
+
+from repro.errors import DocumentFormatError
+from repro.text.collection import DocumentCollection
+from repro.text.document import Document
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+
+
+def make_collection():
+    return DocumentCollection.from_term_lists(
+        "c", [[1, 2, 3], [2, 3, 3], [4], []]
+    )
+
+
+class TestConstruction:
+    def test_doc_ids_must_match_positions(self):
+        docs = [Document(0, [(1, 1)]), Document(2, [(1, 1)])]
+        with pytest.raises(DocumentFormatError):
+            DocumentCollection("bad", docs)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DocumentFormatError):
+            DocumentCollection("", [])
+
+    def test_from_term_lists(self):
+        c = make_collection()
+        assert c.n_documents == 4
+        assert c[1].as_dict() == {2: 1, 3: 2}
+
+    def test_from_texts_uses_shared_vocabulary(self):
+        vocab = Vocabulary()
+        c1 = DocumentCollection.from_texts("a", ["join processing"], vocab, Tokenizer(stem=False))
+        c2 = DocumentCollection.from_texts("b", ["processing cost"], vocab, Tokenizer(stem=False))
+        shared = c1.terms() & c2.terms()
+        assert vocab.number("processing") in shared
+
+
+class TestStatistics:
+    def test_n_distinct_terms(self):
+        assert make_collection().n_distinct_terms == 4  # terms 1,2,3,4
+
+    def test_avg_terms_per_document_counts_distinct(self):
+        # per-doc distinct terms: 3, 2, 1, 0 -> avg 1.5
+        assert make_collection().avg_terms_per_document == pytest.approx(1.5)
+
+    def test_total_bytes(self):
+        # 6 d-cells total * 5 bytes
+        assert make_collection().total_bytes == 30
+
+    def test_document_frequency(self):
+        df = make_collection().document_frequency()
+        assert df == {1: 1, 2: 2, 3: 2, 4: 1}
+
+    def test_empty_collection_stats(self):
+        c = DocumentCollection("empty", [])
+        assert c.n_documents == 0
+        assert c.avg_terms_per_document == 0.0
+        assert c.n_distinct_terms == 0
+
+    def test_term_overlap_with(self):
+        c1 = DocumentCollection.from_term_lists("a", [[1, 2, 3, 4]])
+        c2 = DocumentCollection.from_term_lists("b", [[3, 4, 5, 6]])
+        assert c1.term_overlap_with(c2) == pytest.approx(0.5)
+        assert c2.term_overlap_with(c1) == pytest.approx(0.5)
+
+    def test_term_overlap_empty_self(self):
+        empty = DocumentCollection("e", [])
+        other = DocumentCollection.from_term_lists("o", [[1]])
+        assert empty.term_overlap_with(other) == 0.0
+
+
+class TestAccess:
+    def test_len_getitem_iter(self):
+        c = make_collection()
+        assert len(c) == 4
+        assert c[0].doc_id == 0
+        assert [d.doc_id for d in c] == [0, 1, 2, 3]
+
+
+class TestRenumberedSubset:
+    def test_subset_renumbers_and_copies(self):
+        c = make_collection()
+        sub = c.renumbered_subset([1, 3], "sub")
+        assert sub.n_documents == 2
+        assert sub[0].cells == c[1].cells
+        assert sub[0].doc_id == 0
+        assert sub[1].doc_id == 1
+
+    def test_subset_preserves_statistics_of_chosen_docs(self):
+        c = make_collection()
+        sub = c.renumbered_subset([0, 1], "sub")
+        assert sub.terms() == {1, 2, 3}

@@ -1,0 +1,104 @@
+"""Documents as sorted d-cell vectors (Section 3 format)."""
+
+import math
+
+import pytest
+
+from repro.errors import DocumentFormatError
+from repro.text.document import Document
+
+
+class TestConstruction:
+    def test_valid_document(self):
+        doc = Document(0, [(1, 2), (5, 1), (9, 3)])
+        assert doc.n_terms == 3
+        assert doc.terms == (1, 5, 9)
+
+    def test_empty_document(self):
+        doc = Document(0, [])
+        assert doc.n_terms == 0
+        assert doc.n_bytes == 0
+
+    def test_rejects_unsorted_cells(self):
+        with pytest.raises(DocumentFormatError):
+            Document(0, [(5, 1), (1, 1)])
+
+    def test_rejects_duplicate_terms(self):
+        with pytest.raises(DocumentFormatError):
+            Document(0, [(1, 1), (1, 2)])
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(DocumentFormatError):
+            Document(0, [(1, 0)])
+
+    def test_rejects_negative_term(self):
+        with pytest.raises(DocumentFormatError):
+            Document(0, [(-1, 1)])
+
+    def test_rejects_negative_doc_id(self):
+        with pytest.raises(DocumentFormatError):
+            Document(-1, [(1, 1)])
+
+    def test_from_counts_sorts(self):
+        doc = Document.from_counts(3, {9: 1, 1: 2})
+        assert doc.cells == ((1, 2), (9, 1))
+
+    def test_from_terms_counts_occurrences(self):
+        doc = Document.from_terms(0, [4, 2, 4, 4, 2, 7])
+        assert doc.as_dict() == {2: 2, 4: 3, 7: 1}
+
+
+class TestSize:
+    def test_five_bytes_per_cell(self):
+        # Section 3: |t#| + |w| = 3 + 2
+        doc = Document(0, [(1, 1), (2, 1), (3, 1)])
+        assert doc.n_bytes == 15
+
+
+class TestLookup:
+    def test_weight_of_present_term(self):
+        doc = Document(0, [(1, 2), (5, 7)])
+        assert doc.weight(5) == 7
+
+    def test_weight_of_absent_term(self):
+        doc = Document(0, [(1, 2), (5, 7)])
+        assert doc.weight(3) == 0
+        assert doc.weight(99) == 0
+
+    def test_contains(self):
+        doc = Document(0, [(1, 2)])
+        assert 1 in doc
+        assert 2 not in doc
+
+    def test_weight_binary_search_over_many_terms(self):
+        cells = [(t * 3, t + 1) for t in range(500)]
+        doc = Document(0, cells)
+        for t, w in cells[::37]:
+            assert doc.weight(t) == w
+        assert doc.weight(1) == 0  # between stored terms
+
+
+class TestVectorOps:
+    def test_norm(self):
+        doc = Document(0, [(1, 3), (2, 4)])
+        assert doc.norm() == pytest.approx(5.0)
+
+    def test_norm_empty(self):
+        assert Document(0, []).norm() == 0.0
+
+    def test_norm_cached_value_consistent(self):
+        doc = Document(0, [(1, 1), (2, 2)])
+        assert doc.norm() == doc.norm() == pytest.approx(math.sqrt(5))
+
+    def test_iteration_and_len(self):
+        doc = Document(0, [(1, 2), (3, 4)])
+        assert list(doc) == [(1, 2), (3, 4)]
+        assert len(doc) == 2
+
+    def test_equality_and_hash(self):
+        a = Document(0, [(1, 2)])
+        b = Document(0, [(1, 2)])
+        c = Document(1, [(1, 2)])
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)

@@ -1,0 +1,129 @@
+"""The Section 3 physical format, written to real files."""
+
+import pytest
+
+from repro.errors import DocumentFormatError
+from repro.index.inverted import InvertedFile
+from repro.text.collection import DocumentCollection
+from repro.text.document import Document
+from repro.text.serialization import (
+    MAX_OCCURRENCES,
+    MAX_TERM_NUMBER,
+    cells_from_bytes,
+    cells_to_bytes,
+    load_collection,
+    load_inverted,
+    save_collection,
+    save_inverted,
+)
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+
+class TestCellCodec:
+    def test_five_bytes_per_cell(self):
+        data = cells_to_bytes(((1, 2), (500, 3)))
+        assert len(data) == 10
+
+    def test_roundtrip(self):
+        cells = ((0, 1), (12_345, 99), (MAX_TERM_NUMBER, MAX_OCCURRENCES))
+        assert cells_from_bytes(cells_to_bytes(cells)) == cells
+
+    def test_empty(self):
+        assert cells_from_bytes(cells_to_bytes(())) == ()
+
+    def test_term_overflow_raises(self):
+        with pytest.raises(DocumentFormatError):
+            cells_to_bytes(((MAX_TERM_NUMBER + 1, 1),))
+
+    def test_weight_overflow_raises(self):
+        with pytest.raises(DocumentFormatError):
+            cells_to_bytes(((1, MAX_OCCURRENCES + 1),))
+
+    def test_weight_clamping(self):
+        data = cells_to_bytes(((1, MAX_OCCURRENCES + 7),), clamp_weights=True)
+        assert cells_from_bytes(data) == ((1, MAX_OCCURRENCES),)
+
+    def test_misaligned_stream_rejected(self):
+        with pytest.raises(DocumentFormatError):
+            cells_from_bytes(b"\x00\x01\x02")
+
+
+class TestCollectionFiles:
+    @pytest.fixture(scope="class")
+    def collection(self):
+        return generate_collection(
+            SyntheticSpec("persisted", n_documents=60, avg_terms_per_doc=12,
+                          vocabulary_size=300, seed=55)
+        )
+
+    def test_roundtrip(self, collection, tmp_path):
+        save_collection(collection, tmp_path)
+        loaded = load_collection("persisted", tmp_path)
+        assert loaded.n_documents == collection.n_documents
+        for original, restored in zip(collection, loaded):
+            assert original.cells == restored.cells
+
+    def test_file_size_is_exactly_total_bytes(self, collection, tmp_path):
+        # the headline property: the paper's size model is the file size
+        base = save_collection(collection, tmp_path)
+        cells_file = base.with_suffix(base.suffix + ".cells")
+        assert cells_file.stat().st_size == collection.total_bytes
+
+    def test_empty_collection(self, tmp_path):
+        empty = DocumentCollection("empty", [])
+        save_collection(empty, tmp_path)
+        assert load_collection("empty", tmp_path).n_documents == 0
+
+    def test_documents_with_empty_cells(self, tmp_path):
+        collection = DocumentCollection(
+            "sparse", [Document(0, ()), Document(1, ((5, 2),))]
+        )
+        save_collection(collection, tmp_path)
+        loaded = load_collection("sparse", tmp_path)
+        assert loaded[0].cells == ()
+        assert loaded[1].cells == ((5, 2),)
+
+    def test_corrupt_directory_detected(self, collection, tmp_path):
+        base = save_collection(collection, tmp_path)
+        dir_file = base.with_suffix(base.suffix + ".dir")
+        dir_file.write_bytes(b"XXXX" + dir_file.read_bytes()[4:])
+        with pytest.raises(DocumentFormatError):
+            load_collection("persisted", tmp_path)
+
+    def test_truncated_cells_detected(self, collection, tmp_path):
+        base = save_collection(collection, tmp_path)
+        cells_file = base.with_suffix(base.suffix + ".cells")
+        cells_file.write_bytes(cells_file.read_bytes()[:-5])
+        with pytest.raises(DocumentFormatError):
+            load_collection("persisted", tmp_path)
+
+
+class TestInvertedFiles:
+    @pytest.fixture(scope="class")
+    def inverted(self):
+        collection = generate_collection(
+            SyntheticSpec("inv", n_documents=50, avg_terms_per_doc=10,
+                          vocabulary_size=200, seed=66)
+        )
+        return InvertedFile.build(collection), collection
+
+    def test_roundtrip(self, inverted, tmp_path):
+        inv, _ = inverted
+        save_inverted(inv, tmp_path)
+        loaded = load_inverted("inv", tmp_path)
+        assert loaded.n_terms == inv.n_terms
+        for original, restored in zip(inv, loaded):
+            assert original.term == restored.term
+            assert original.postings == restored.postings
+
+    def test_loaded_file_still_transposes_collection(self, inverted, tmp_path):
+        inv, collection = inverted
+        save_inverted(inv, tmp_path)
+        load_inverted("inv", tmp_path).verify_against(collection)
+
+    def test_inverted_size_equals_collection(self, inverted, tmp_path):
+        inv, collection = inverted
+        base = save_inverted(inv, tmp_path)
+        cells_file = base.with_suffix(base.suffix + ".cells")
+        # Section 3: same total size as the collection file
+        assert cells_file.stat().st_size == collection.total_bytes

@@ -1,0 +1,117 @@
+"""Similarity functions: the paper's inner product and its refinements."""
+
+import math
+
+import pytest
+
+from repro.text.document import Document
+from repro.text.similarity import (
+    cosine_similarity,
+    dot_product,
+    idf_weights,
+    pairwise_similarity_matrix,
+    weighted_dot_product,
+)
+
+
+def doc(doc_id, counts):
+    return Document.from_counts(doc_id, counts)
+
+
+class TestDotProduct:
+    def test_paper_definition(self):
+        # common terms 1 and 3: 2*1 + 4*5 = 22
+        d1 = doc(0, {1: 2, 2: 9, 3: 4})
+        d2 = doc(1, {1: 1, 3: 5, 7: 2})
+        assert dot_product(d1, d2) == 22.0
+
+    def test_no_common_terms(self):
+        assert dot_product(doc(0, {1: 5}), doc(1, {2: 5})) == 0.0
+
+    def test_identical_documents(self):
+        d = doc(0, {1: 2, 2: 3})
+        assert dot_product(d, d) == 4 + 9
+
+    def test_symmetry(self):
+        d1 = doc(0, {1: 2, 5: 4, 9: 1})
+        d2 = doc(1, {1: 3, 9: 2})
+        assert dot_product(d1, d2) == dot_product(d2, d1)
+
+    def test_empty_document(self):
+        assert dot_product(doc(0, {}), doc(1, {1: 1})) == 0.0
+
+    def test_merge_handles_interleaved_terms(self):
+        d1 = doc(0, {1: 1, 3: 1, 5: 1, 7: 1})
+        d2 = doc(1, {2: 1, 3: 1, 6: 1, 7: 1})
+        assert dot_product(d1, d2) == 2.0
+
+
+class TestCosine:
+    def test_identical_docs_have_cosine_one(self):
+        d = doc(0, {1: 3, 2: 4})
+        assert cosine_similarity(d, d) == pytest.approx(1.0)
+
+    def test_orthogonal_docs(self):
+        assert cosine_similarity(doc(0, {1: 1}), doc(1, {2: 1})) == 0.0
+
+    def test_empty_doc_gives_zero(self):
+        assert cosine_similarity(doc(0, {}), doc(1, {1: 1})) == 0.0
+
+    def test_scale_invariance(self):
+        d1 = doc(0, {1: 1, 2: 1})
+        d2 = doc(1, {1: 2, 2: 2})
+        assert cosine_similarity(d1, d2) == pytest.approx(1.0)
+
+    def test_matches_manual_computation(self):
+        d1, d2 = doc(0, {1: 2, 2: 1}), doc(1, {1: 1, 3: 2})
+        expected = 2.0 / (math.sqrt(5) * math.sqrt(5))
+        assert cosine_similarity(d1, d2) == pytest.approx(expected)
+
+
+class TestIdf:
+    def test_rare_terms_weigh_more(self):
+        weights = idf_weights({1: 1, 2: 50}, n_documents=100)
+        assert weights[1] > weights[2]
+
+    def test_ubiquitous_term_weighs_zero(self):
+        weights = idf_weights({1: 100}, n_documents=100)
+        assert weights[1] == pytest.approx(0.0)
+
+    def test_zero_df_ignored(self):
+        assert 1 not in idf_weights({1: 0}, n_documents=10)
+
+    def test_negative_df_rejected(self):
+        with pytest.raises(ValueError):
+            idf_weights({1: -1}, n_documents=10)
+
+    def test_non_positive_n_rejected(self):
+        with pytest.raises(ValueError):
+            idf_weights({1: 1}, n_documents=0)
+
+    def test_weighted_dot_product_prefers_rare_overlap(self):
+        idf = idf_weights({1: 1, 2: 90}, n_documents=100)
+        similarity = weighted_dot_product(idf)
+        rare_pair = (doc(0, {1: 1}), doc(1, {1: 1}))
+        common_pair = (doc(0, {2: 1}), doc(1, {2: 1}))
+        assert similarity(*rare_pair) > similarity(*common_pair)
+
+    def test_weighted_normalised_bounded(self):
+        idf = {1: 1.0, 2: 1.0}
+        similarity = weighted_dot_product(idf, normalise=True)
+        d = doc(0, {1: 2, 2: 3})
+        assert similarity(d, d) == pytest.approx(1.0)
+
+    def test_unknown_terms_contribute_nothing(self):
+        similarity = weighted_dot_product({})
+        assert similarity(doc(0, {1: 5}), doc(1, {1: 5})) == 0.0
+
+
+class TestPairwiseMatrix:
+    def test_shape_and_values(self):
+        docs1 = [doc(0, {1: 1}), doc(1, {2: 1})]
+        docs2 = [doc(0, {1: 2, 2: 3})]
+        matrix = pairwise_similarity_matrix(docs1, docs2)
+        assert matrix == [[2.0], [3.0]]
+
+    def test_empty_inputs(self):
+        assert pairwise_similarity_matrix([], []) == []

@@ -1,0 +1,62 @@
+"""The example-facing tokenizer."""
+
+from repro.text.tokenizer import DEFAULT_STOPWORDS, Tokenizer
+
+
+class TestBasics:
+    def test_lowercase_and_split(self):
+        tokens = Tokenizer(stem=False).tokenize("Query Processing, Textual-Database!")
+        assert tokens == ["query", "processing", "textual", "database"]
+
+    def test_stopwords_removed(self):
+        tokens = Tokenizer(stem=False).tokenize("the cat and the hat")
+        assert tokens == ["cat", "hat"]
+
+    def test_short_tokens_removed(self):
+        tokens = Tokenizer(stem=False, min_length=3).tokenize("a an ox fox")
+        assert tokens == ["fox"]
+
+    def test_numbers_kept(self):
+        tokens = Tokenizer(stem=False).tokenize("tcp port 8080")
+        assert "8080" in tokens
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert Tokenizer().tokenize("!!! ... ???") == []
+
+
+class TestStemming:
+    def test_strips_common_suffixes(self):
+        tok = Tokenizer()
+        assert tok.tokenize("running")[0] == "runn"
+        assert tok.tokenize("databases")[0] == "database"
+
+    def test_preserves_short_roots(self):
+        # 'ring' would stem to 'r' which is below min_stem_root
+        assert Tokenizer().tokenize("ring") == ["ring"]
+
+    def test_stemming_unifies_variants(self):
+        tok = Tokenizer()
+        a = tok.tokenize("optimization of queries")
+        b = tok.tokenize("optimization of query")
+        assert a[-1] == b[-1]
+
+    def test_stem_disabled(self):
+        assert Tokenizer(stem=False).tokenize("running") == ["running"]
+
+
+class TestConfiguration:
+    def test_custom_stopwords(self):
+        tok = Tokenizer(stopwords=frozenset({"foo"}), stem=False)
+        assert tok.tokenize("foo bar the") == ["bar", "the"]
+
+    def test_default_stopwords_exported(self):
+        assert "the" in DEFAULT_STOPWORDS
+        assert "and" in DEFAULT_STOPWORDS
+
+    def test_deterministic(self):
+        tok = Tokenizer()
+        text = "Performance analysis of several algorithms for processing joins"
+        assert tok.tokenize(text) == tok.tokenize(text)

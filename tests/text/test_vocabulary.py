@@ -1,0 +1,80 @@
+"""The standard term-number mapping and local-numbering translation."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.text.vocabulary import Vocabulary
+
+
+class TestInterning:
+    def test_dense_numbers_in_first_seen_order(self):
+        vocab = Vocabulary()
+        assert vocab.add("join") == 0
+        assert vocab.add("text") == 1
+        assert vocab.add("join") == 0  # idempotent
+
+    def test_add_all(self):
+        vocab = Vocabulary()
+        assert vocab.add_all(["a", "b", "a"]) == [0, 1, 0]
+
+    def test_roundtrip(self):
+        vocab = Vocabulary()
+        n = vocab.add("similarity")
+        assert vocab.term(n) == "similarity"
+        assert vocab.number("similarity") == n
+
+    def test_unknown_term(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().number("ghost")
+
+    def test_unknown_number(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().term(0)
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().add("")
+
+    def test_contains_len_iter(self):
+        vocab = Vocabulary()
+        vocab.add_all(["x", "y"])
+        assert "x" in vocab
+        assert "z" not in vocab
+        assert len(vocab) == 2
+        assert list(vocab) == ["x", "y"]
+
+
+class TestFreezing:
+    def test_frozen_rejects_new_terms(self):
+        vocab = Vocabulary()
+        vocab.add("known")
+        vocab.freeze()
+        assert vocab.frozen
+        assert vocab.add("known") == 0  # lookups still fine
+        with pytest.raises(VocabularyError):
+            vocab.add("new")
+
+
+class TestRenumbering:
+    def test_local_system_translation(self):
+        # Section 3: different local numbers for the same terms.
+        standard = Vocabulary()
+        standard.add_all(["join", "text", "query"])
+        local = {100: "text", 200: "join", 300: "parallel"}
+        translation = standard.renumber(local)
+        assert translation[100] == standard.number("text")
+        assert translation[200] == standard.number("join")
+        assert translation[300] == standard.number("parallel")  # added
+
+    def test_frozen_standard_rejects_unknown_local_terms(self):
+        standard = Vocabulary()
+        standard.add("join")
+        standard.freeze()
+        with pytest.raises(VocabularyError):
+            standard.renumber({1: "unheard"})
+
+    def test_frozen_standard_accepts_known_terms(self):
+        standard = Vocabulary()
+        standard.add_all(["a", "b"])
+        standard.freeze()
+        assert standard.renumber({7: "b"}) == {7: 1}

@@ -1,0 +1,113 @@
+"""Group 3/4/5 workload derivations."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.text.collection import DocumentCollection
+from repro.workloads.derive import (
+    originally_small,
+    rescale_collection,
+    select_subset,
+    shuffle_collection,
+)
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_collection(
+        SyntheticSpec("base", n_documents=100, avg_terms_per_doc=15,
+                      vocabulary_size=400, seed=3)
+    )
+
+
+class TestSelectSubset:
+    def test_sorted_unique_in_range(self, base):
+        ids = select_subset(base, 10, seed=1)
+        assert ids == sorted(set(ids))
+        assert all(0 <= i < 100 for i in ids)
+        assert len(ids) == 10
+
+    def test_deterministic(self, base):
+        assert select_subset(base, 10, seed=5) == select_subset(base, 10, seed=5)
+
+    def test_select_all(self, base):
+        assert select_subset(base, 100) == list(range(100))
+
+    def test_select_none(self, base):
+        assert select_subset(base, 0) == []
+
+    def test_rejects_oversized(self, base):
+        with pytest.raises(WorkloadError):
+            select_subset(base, 101)
+
+
+class TestOriginallySmall:
+    def test_renumbered_and_independent(self, base):
+        small = originally_small(base, 8, seed=2)
+        assert small.n_documents == 8
+        assert [d.doc_id for d in small] == list(range(8))
+        assert small.name != base.name
+
+    def test_documents_copied_from_base(self, base):
+        ids = select_subset(base, 8, seed=2)
+        small = originally_small(base, 8, seed=2)
+        for new_id, old_id in enumerate(ids):
+            assert small[new_id].cells == base[old_id].cells
+
+    def test_small_collection_has_small_vocabulary(self, base):
+        small = originally_small(base, 5, seed=2)
+        assert small.n_distinct_terms < base.n_distinct_terms
+
+
+class TestRescale:
+    def test_document_count_divides(self, base):
+        merged = rescale_collection(base, 10)
+        assert merged.n_documents == 10
+
+    def test_uneven_final_group(self, base):
+        merged = rescale_collection(base, 30)
+        assert merged.n_documents == 4  # 30+30+30+10
+
+    def test_total_occurrence_mass_preserved(self, base):
+        mass = lambda c: sum(w for d in c for _, w in d.cells)
+        assert mass(rescale_collection(base, 7)) == mass(base)
+
+    def test_terms_per_document_grow(self, base):
+        merged = rescale_collection(base, 10)
+        assert merged.avg_terms_per_document > 5 * base.avg_terms_per_document
+
+    def test_collection_size_roughly_preserved(self, base):
+        # shrinkage only from terms shared within merge groups
+        merged = rescale_collection(base, 5)
+        assert merged.total_bytes <= base.total_bytes
+        assert merged.total_bytes > 0.5 * base.total_bytes
+
+    def test_factor_one_identity(self, base):
+        same = rescale_collection(base, 1)
+        assert [d.cells for d in same] == [d.cells for d in base]
+
+    def test_rejects_bad_factor(self, base):
+        with pytest.raises(WorkloadError):
+            rescale_collection(base, 0)
+
+
+class TestShuffle:
+    def test_permutes_but_preserves_stats(self, base):
+        shuffled = shuffle_collection(base, seed=4)
+        assert shuffled.n_documents == base.n_documents
+        assert shuffled.n_distinct_terms == base.n_distinct_terms
+        assert sorted(d.cells for d in shuffled) == sorted(d.cells for d in base)
+
+    def test_order_actually_changes(self, base):
+        shuffled = shuffle_collection(base, seed=4)
+        assert [d.cells for d in shuffled] != [d.cells for d in base]
+
+    def test_ids_renumbered(self, base):
+        shuffled = shuffle_collection(base, seed=4)
+        assert [d.doc_id for d in shuffled] == list(range(base.n_documents))
+
+    def test_valid_standalone_collection(self, base):
+        # constructor revalidates doc ids == positions
+        shuffled = shuffle_collection(base, seed=4)
+        DocumentCollection(shuffled.name, shuffled.documents)

@@ -1,0 +1,94 @@
+"""Loading collections from real text files."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+from repro.workloads.files import collection_from_directory, collection_from_files
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    (tmp_path / "a.txt").write_text("query processing in database systems")
+    (tmp_path / "b.txt").write_text("text retrieval with inverted files")
+    (tmp_path / "c.txt").write_text("database query optimization")
+    (tmp_path / "ignore.md").write_text("not matched by the pattern")
+    return tmp_path
+
+
+class TestFromFiles:
+    def test_one_document_per_file_in_order(self, corpus_dir):
+        vocab = Vocabulary()
+        collection = collection_from_files(
+            "corpus",
+            [corpus_dir / "b.txt", corpus_dir / "a.txt"],
+            vocab,
+            Tokenizer(stem=False),
+        )
+        assert collection.n_documents == 2
+        assert vocab.number("retrieval") in collection[0].terms
+        assert vocab.number("database") in collection[1].terms
+
+    def test_missing_file_raises(self, corpus_dir):
+        with pytest.raises(WorkloadError):
+            collection_from_files(
+                "corpus", [corpus_dir / "ghost.txt"], Vocabulary()
+            )
+
+    def test_empty_path_list_raises(self):
+        with pytest.raises(WorkloadError):
+            collection_from_files("corpus", [], Vocabulary())
+
+    def test_shared_vocabulary_across_collections(self, corpus_dir):
+        vocab = Vocabulary()
+        tok = Tokenizer(stem=False)
+        c1 = collection_from_files("c1", [corpus_dir / "a.txt"], vocab, tok)
+        c2 = collection_from_files("c2", [corpus_dir / "c.txt"], vocab, tok)
+        shared = c1.terms() & c2.terms()
+        assert vocab.number("database") in shared
+        assert vocab.number("query") in shared
+
+
+class TestFromDirectory:
+    def test_glob_and_stable_order(self, corpus_dir):
+        collection, paths = collection_from_directory(
+            "corpus", corpus_dir, Vocabulary(), Tokenizer(stem=False)
+        )
+        assert [p.name for p in paths] == ["a.txt", "b.txt", "c.txt"]
+        assert collection.n_documents == 3
+
+    def test_custom_pattern(self, corpus_dir):
+        collection, paths = collection_from_directory(
+            "md", corpus_dir, Vocabulary(), pattern="*.md"
+        )
+        assert len(paths) == 1
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            collection_from_directory("x", tmp_path / "nope", Vocabulary())
+
+    def test_no_matches(self, corpus_dir):
+        with pytest.raises(WorkloadError):
+            collection_from_directory(
+                "x", corpus_dir, Vocabulary(), pattern="*.pdf"
+            )
+
+    def test_joinable_end_to_end(self, corpus_dir):
+        from repro.core.integrated import IntegratedJoin
+        from repro.core.join import JoinEnvironment, TextJoinSpec
+        from repro.cost.params import SystemParams
+
+        vocab = Vocabulary()
+        collection, paths = collection_from_directory(
+            "corpus", corpus_dir, vocab, Tokenizer(stem=False)
+        )
+        env = JoinEnvironment(collection, collection)
+        result = IntegratedJoin(env, SystemParams(buffer_pages=32)).run(
+            TextJoinSpec(lam=2)
+        )
+        # a.txt and c.txt share 'database query'; each should surface
+        # the other among its matches
+        a_index = [p.name for p in paths].index("a.txt")
+        c_index = [p.name for p in paths].index("c.txt")
+        assert c_index in [doc for doc, _ in result.matches[a_index]]

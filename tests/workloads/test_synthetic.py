@@ -1,0 +1,142 @@
+"""The Zipfian synthetic-collection generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.index.stats import CollectionStats
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    generate_collection,
+    spec_from_stats,
+)
+from repro.workloads.trec import WSJ
+
+
+def spec(**kw):
+    defaults = dict(
+        name="s", n_documents=100, avg_terms_per_doc=20, vocabulary_size=500, seed=7
+    )
+    defaults.update(kw)
+    return SyntheticSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_rejects_negative_documents(self):
+        with pytest.raises(WorkloadError):
+            spec(n_documents=-1)
+
+    def test_rejects_vocabulary_smaller_than_document(self):
+        with pytest.raises(WorkloadError):
+            spec(avg_terms_per_doc=100, vocabulary_size=50)
+
+    def test_rejects_negative_skew(self):
+        with pytest.raises(WorkloadError):
+            spec(skew=-0.5)
+
+    def test_rejects_bad_affinity(self):
+        with pytest.raises(WorkloadError):
+            spec(clusters=3, cluster_affinity=1.5)
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(WorkloadError):
+            spec(clusters=0)
+
+
+class TestGeneration:
+    def test_document_count(self):
+        assert generate_collection(spec()).n_documents == 100
+
+    def test_empty_collection(self):
+        c = generate_collection(spec(n_documents=0, avg_terms_per_doc=1))
+        assert c.n_documents == 0
+
+    def test_deterministic_per_seed(self):
+        a = generate_collection(spec(seed=3))
+        b = generate_collection(spec(seed=3))
+        assert [d.cells for d in a] == [d.cells for d in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_collection(spec(seed=1))
+        b = generate_collection(spec(seed=2))
+        assert [d.cells for d in a] != [d.cells for d in b]
+
+    def test_average_terms_near_target(self):
+        c = generate_collection(spec(n_documents=300))
+        assert c.avg_terms_per_document == pytest.approx(20, rel=0.25)
+
+    def test_vocabulary_bounded(self):
+        c = generate_collection(spec())
+        assert max(c.terms()) < 500
+
+    def test_zipf_skew_concentrates_mass(self):
+        skewed = generate_collection(spec(skew=1.3, n_documents=200))
+        flat = generate_collection(spec(skew=0.0, n_documents=200))
+        # the most frequent term covers far more documents under skew
+        top_share = lambda c: max(c.document_frequency().values()) / c.n_documents
+        assert top_share(skewed) > top_share(flat) * 2
+
+    def test_weights_positive_and_bounded(self):
+        c = generate_collection(spec(max_occurrences=4))
+        for doc in c:
+            for _, weight in doc.cells:
+                assert 1 <= weight <= 4
+
+
+class TestClustering:
+    def test_clustered_neighbours_share_more_terms(self):
+        clustered = generate_collection(
+            spec(n_documents=120, clusters=6, cluster_affinity=0.9, seed=9)
+        )
+        def adjacent_overlap(c):
+            overlaps = []
+            for i in range(0, c.n_documents - 1, 2):
+                t1 = set(c[i].terms)
+                t2 = set(c[i + 1].terms)
+                if t1 and t2:
+                    overlaps.append(len(t1 & t2) / min(len(t1), len(t2)))
+            return sum(overlaps) / len(overlaps)
+
+        plain = generate_collection(spec(n_documents=120, seed=9))
+        assert adjacent_overlap(clustered) > adjacent_overlap(plain)
+
+    def test_clustered_statistics_still_sane(self):
+        c = generate_collection(spec(n_documents=100, clusters=4))
+        assert c.n_documents == 100
+        assert c.avg_terms_per_document > 5
+
+
+class TestSpecFromStats:
+    def test_document_count_scaled(self):
+        spec = spec_from_stats(WSJ, 1000)
+        assert spec.n_documents == round(WSJ.N / 1000)
+
+    def test_document_size_preserved(self):
+        spec = spec_from_stats(WSJ, 1000)
+        assert spec.avg_terms_per_doc == WSJ.K
+
+    def test_vocabulary_follows_growth_model(self):
+        spec = spec_from_stats(WSJ, 1000)
+        expected = WSJ.with_documents(round(WSJ.N / 1000)).n_distinct_terms
+        assert spec.vocabulary_size == expected
+        assert spec.vocabulary_size < WSJ.T
+
+    def test_scale_one_keeps_everything(self):
+        spec = spec_from_stats(WSJ, 1)
+        assert spec.n_documents == WSJ.N
+        assert spec.vocabulary_size == pytest.approx(WSJ.T, rel=0.01)
+
+    def test_generated_collection_matches_k(self):
+        spec = spec_from_stats(WSJ, 1200, seed=3)
+        collection = generate_collection(spec)
+        stats = CollectionStats.from_collection(collection)
+        assert stats.K == pytest.approx(WSJ.K, rel=0.2)
+        assert stats.N == spec.n_documents
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            spec_from_stats(WSJ, 0)
+
+    def test_custom_name_and_seed(self):
+        spec = spec_from_stats(WSJ, 500, seed=9, name="custom")
+        assert spec.name == "custom"
+        assert spec.seed == 9

@@ -1,0 +1,63 @@
+"""The paper's TREC statistics, reproduced verbatim."""
+
+import pytest
+
+from repro.workloads.trec import DOE, FR, TREC_COLLECTIONS, WSJ
+
+
+class TestTableValues:
+    """Every cell of the Section 6 statistics table."""
+
+    def test_wsj_row(self):
+        assert WSJ.N == 98_736
+        assert WSJ.K == 329
+        assert WSJ.T == 156_298
+        assert WSJ.D == 40_605
+        assert WSJ.S == 0.41
+        assert WSJ.J == 0.26
+
+    def test_fr_row(self):
+        assert FR.N == 26_207
+        assert FR.K == 1017
+        assert FR.T == 126_258
+        assert FR.D == 33_315
+        assert FR.S == 1.27
+        assert FR.J == 0.264
+
+    def test_doe_row(self):
+        assert DOE.N == 226_087
+        assert DOE.K == 89
+        assert DOE.T == 186_225
+        assert DOE.D == 25_152
+        assert DOE.S == 0.111
+        assert DOE.J == 0.135
+
+    def test_registry(self):
+        assert set(TREC_COLLECTIONS) == {"WSJ", "FR", "DOE"}
+        assert TREC_COLLECTIONS["WSJ"] is WSJ
+
+
+class TestInternalConsistency:
+    """The pinned sizes stay close to the Section 3 derivations."""
+
+    @pytest.mark.parametrize("stats", [WSJ, FR, DOE], ids=lambda s: s.name)
+    def test_s_close_to_5k_over_p(self, stats):
+        derived = 5 * stats.K / 4096
+        assert stats.S == pytest.approx(derived, rel=0.05)
+
+    @pytest.mark.parametrize("stats", [WSJ, FR, DOE], ids=lambda s: s.name)
+    def test_j_close_to_derivation(self, stats):
+        derived = 5 * stats.K * stats.N / (stats.T * 4096)
+        assert stats.J == pytest.approx(derived, rel=0.05)
+
+    @pytest.mark.parametrize("stats", [WSJ, FR, DOE], ids=lambda s: s.name)
+    def test_collection_and_inverted_sizes_comparable(self, stats):
+        # Section 3: same size when |d#| == |t#|; the measured table
+        # values drift a little.
+        assert stats.I == pytest.approx(stats.D, rel=0.1)
+
+    def test_paper_shape_comparisons(self):
+        # "FR has fewer but larger documents and DOE has more but smaller"
+        assert FR.N < WSJ.N < DOE.N
+        assert DOE.K < WSJ.K < FR.K
+        assert DOE.S < WSJ.S < FR.S
