@@ -1,0 +1,39 @@
+"""Domain-aware static analysis for the text-join reproduction.
+
+The paper's credibility rests on invariants that ordinary tests cannot
+watch everywhere at once: page counts must never mix with byte counts
+(RA-UNITS), cost formulas must be pure predictions (RA-COST-PURITY),
+every simulated read must be charged through ``IOStats`` (RA-CORE-IO),
+and so on.  This package checks them mechanically on every run:
+
+>>> python -m repro.analysis src/repro            # doctest: +SKIP
+>>> python -m repro --help                        # doctest: +SKIP
+
+See ``docs/ANALYSIS.md`` for the full rule catalogue and the
+``# repro: ignore[RULE-ID]`` suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    Finding,
+    ModuleContext,
+    Rule,
+    analyze_paths,
+    load_module,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "analyze_paths",
+    "default_rules",
+    "load_module",
+    "render_json",
+    "render_text",
+]

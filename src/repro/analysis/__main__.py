@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — run the linter from a shell."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import run
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,99 @@
+"""Command-line front-end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit codes are CI-friendly: ``0`` when every file is clean (suppressed
+findings do not count), ``1`` when unsuppressed findings exist, ``2``
+for usage errors, unknown rule ids, or unparseable files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import default_rules
+from repro.errors import AnalysisError
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _default_target() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser shared by ``__main__`` and ``repro lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Domain-aware static analysis for the text-join "
+        "reproduction: unit, purity and I/O-discipline lints.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyse (default: the installed "
+        "repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE-ID",
+        help="run only these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule id and summary, then exit",
+    )
+    return parser
+
+
+def run(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro.analysis`` and ``repro lint``."""
+    args = build_parser().parse_args(argv)
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id:15} {rule.severity:8} {rule.summary}")
+        return EXIT_CLEAN
+    select = None
+    if args.select:
+        select = [
+            part.strip()
+            for chunk in args.select
+            for part in chunk.split(",")
+            if part.strip()
+        ]
+    paths = list(args.paths) or [_default_target()]
+    try:
+        report = analyze_paths(paths, rules, select=select)
+    except AnalysisError as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_suppressed=args.show_suppressed))
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+__all__ = ["EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_USAGE", "build_parser", "run"]

@@ -1,0 +1,268 @@
+"""Core of the domain-aware static-analysis engine.
+
+The engine parses every Python file it is pointed at with the stdlib
+:mod:`ast`, hands each module to a set of registered rules, and collects
+:class:`Finding` objects.  It exists because the paper's cost formulas
+(``hhs/hhr``, ``hvs/hvr``, ``vvs/vvr``) rest on invariants that unit
+tests cannot watch everywhere at once: page counts must never mix with
+byte counts, cost formulas must stay pure, and every simulated read must
+be charged through :class:`~repro.storage.iostats.IOStats`.
+
+Suppressions
+------------
+A finding is suppressed by a trailing comment on the reported line::
+
+    from repro.storage.disk import SimulatedDisk  # repro: ignore[RA-CORE-IO] -- layout boundary
+
+Several ids may be listed, comma-separated.  Suppressed findings are
+kept (so reporters can show them and tests can count them) but do not
+affect the exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_\-, ]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    column: int
+    message: str
+    suppressed: bool = False
+
+    @property
+    def location(self) -> str:
+        """``path:line:column`` — the clickable anchor of the finding."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-serialisable view of the finding."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """One parsed module plus everything a rule needs to inspect it."""
+
+    path: Path
+    module_name: str
+    source: str
+    tree: ast.Module
+    suppressions: Mapping[int, frozenset[str]]
+
+    def in_package(self, prefix: str) -> bool:
+        """True when the module lives at or below the dotted ``prefix``."""
+        return self.module_name == prefix or self.module_name.startswith(prefix + ".")
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`severity` and :attr:`summary`
+    and implement :meth:`check`, yielding findings via :meth:`finding`.
+    """
+
+    rule_id: str = ""
+    severity: str = SEVERITY_ERROR
+    summary: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``, honouring suppressions."""
+        line = int(getattr(node, "lineno", 1))
+        column = int(getattr(node, "col_offset", 0)) + 1
+        suppressed = self.rule_id in module.suppressions.get(line, frozenset())
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=str(module.path),
+            line=line,
+            column=column,
+            message=message,
+            suppressed=suppressed,
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one engine run."""
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[Finding, ...]
+    n_files: int
+    rule_ids: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when no unsuppressed finding was produced."""
+        return not self.findings
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-serialisable view of the whole report."""
+        return {
+            "files": self.n_files,
+            "rules": list(self.rule_ids),
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "clean": self.clean,
+        }
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number to the rule ids suppressed on that line."""
+    table: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match:
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if ids:
+                table[lineno] = ids
+    return table
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name inferred from the path.
+
+    The rightmost ``repro`` directory component anchors the package, so
+    both ``src/repro/cost/hvnl.py`` and a test fixture laid out as
+    ``fixtures/repro/cost/bad.py`` resolve to ``repro.cost.*`` and are
+    scoped identically by path-sensitive rules.
+    """
+    parts = list(path.parts)
+    stem = path.stem
+    anchor = None
+    for index in range(len(parts) - 2, -1, -1):
+        if parts[index] == "repro":
+            anchor = index
+            break
+    if anchor is None:
+        return stem
+    dotted = list(parts[anchor:-1])
+    if stem != "__init__":
+        dotted.append(stem)
+    return ".".join(dotted)
+
+
+def load_module(path: Path) -> ModuleContext:
+    """Parse one file into a :class:`ModuleContext`.
+
+    Raises :class:`~repro.errors.AnalysisError` for unreadable or
+    syntactically invalid files.
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+    return ModuleContext(
+        path=path,
+        module_name=module_name_for(path),
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def analyze_paths(
+    paths: Sequence[Path], rules: Sequence[Rule], select: Iterable[str] | None = None
+) -> AnalysisReport:
+    """Run ``rules`` over every Python file reachable from ``paths``.
+
+    ``select`` restricts the run to the given rule ids; unknown ids
+    raise :class:`~repro.errors.AnalysisError` so typos fail loudly.
+    """
+    active = list(rules)
+    if select is not None:
+        wanted = set(select)
+        known = {rule.rule_id for rule in active}
+        unknown = wanted - known
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        active = [rule for rule in active if rule.rule_id in wanted]
+
+    open_findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    files = iter_python_files(paths)
+    for file_path in files:
+        module = load_module(file_path)
+        for rule in active:
+            for found in rule.check(module):
+                if found.suppressed:
+                    suppressed.append(found)
+                else:
+                    open_findings.append(found)
+    order = lambda f: (f.path, f.line, f.column, f.rule_id)  # noqa: E731
+    return AnalysisReport(
+        findings=tuple(sorted(open_findings, key=order)),
+        suppressed=tuple(sorted(suppressed, key=order)),
+        n_files=len(files),
+        rule_ids=tuple(rule.rule_id for rule in active),
+    )
+
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "analyze_paths",
+    "iter_python_files",
+    "load_module",
+    "module_name_for",
+    "parse_suppressions",
+]

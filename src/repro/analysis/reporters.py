@@ -1,0 +1,40 @@
+"""Text and JSON renderings of an :class:`~repro.analysis.engine.AnalysisReport`.
+
+The text form is for humans at a terminal (one ``path:line:col`` line
+per finding); the JSON form is for CI gates and downstream tooling and
+is stable: ``files``, ``rules``, ``findings``, ``suppressed``, ``clean``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisReport, Finding
+
+
+def _format_finding(finding: Finding) -> str:
+    mark = " (suppressed)" if finding.suppressed else ""
+    return (
+        f"{finding.location}: {finding.rule_id} {finding.severity}: "
+        f"{finding.message}{mark}"
+    )
+
+
+def render_text(report: AnalysisReport, *, show_suppressed: bool = False) -> str:
+    """Human-readable report; one line per finding plus a summary line."""
+    lines = [_format_finding(finding) for finding in report.findings]
+    if show_suppressed:
+        lines.extend(_format_finding(finding) for finding in report.suppressed)
+    lines.append(
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed, "
+        f"{report.n_files} file(s), {len(report.rule_ids)} rule(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """The report as a stable JSON document (for CI and tooling)."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)
+
+
+__all__ = ["render_json", "render_text"]

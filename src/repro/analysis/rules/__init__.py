@@ -1,0 +1,45 @@
+"""The domain-aware rule set; see each module for the rationale.
+
+:func:`default_rules` is the single assembly point — the CLI, the tier-1
+self-check and the fixture tests all instantiate the same list, so a
+rule registered here is automatically enforced everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.api import PublicApiRule
+from repro.analysis.rules.asserts import NoBareAssertRule
+from repro.analysis.rules.errors_discipline import ErrorHierarchyRule
+from repro.analysis.rules.floateq import FloatEqualityRule
+from repro.analysis.rules.frozen import FrozenValueTypesRule
+from repro.analysis.rules.io_discipline import CoreIODisciplineRule
+from repro.analysis.rules.purity import CostPurityRule
+from repro.analysis.rules.units import UnitDisciplineRule
+
+
+def default_rules() -> tuple[Rule, ...]:
+    """Instantiate every registered rule, in reporting order."""
+    return (
+        UnitDisciplineRule(),
+        CostPurityRule(),
+        CoreIODisciplineRule(),
+        FrozenValueTypesRule(),
+        FloatEqualityRule(),
+        ErrorHierarchyRule(),
+        PublicApiRule(),
+        NoBareAssertRule(),
+    )
+
+
+__all__ = [
+    "CoreIODisciplineRule",
+    "CostPurityRule",
+    "ErrorHierarchyRule",
+    "FloatEqualityRule",
+    "FrozenValueTypesRule",
+    "NoBareAssertRule",
+    "PublicApiRule",
+    "UnitDisciplineRule",
+    "default_rules",
+]

@@ -1,0 +1,132 @@
+"""RA-PUBLIC-API — module docstrings and honest ``__all__`` lists.
+
+The package is grown PR by PR by sessions with no shared memory; the
+public surface *is* the documentation.  Three checks keep it honest:
+every module carries a docstring, every name exported through
+``__all__`` actually exists in the module, and every function or class
+defined here and exported is documented.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+
+def _defined_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.If, ast.Try)):
+            names.update(_defined_names_in_block(node))
+    return names
+
+
+def _defined_names_in_block(node: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(child.name)
+        elif isinstance(child, ast.Assign):
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(child, (ast.Import, ast.ImportFrom)):
+            for alias in child.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def _find_all(tree: ast.Module) -> tuple[ast.Assign | None, list[ast.expr]]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        return node, list(node.value.elts)
+                    return node, []
+    return None, []
+
+
+class PublicApiRule(Rule):
+    """Flag missing docstrings and inconsistent ``__all__`` lists."""
+
+    rule_id = "RA-PUBLIC-API"
+    summary = (
+        "modules need docstrings; __all__ entries must exist and exported "
+        "definitions must be documented"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield docstring and ``__all__`` consistency findings."""
+        if not module.in_package("repro"):
+            return
+        tree = module.tree
+        if tree.body and ast.get_docstring(tree) is None:
+            yield self.finding(
+                module,
+                tree.body[0],
+                "module has no docstring; say what this file contributes",
+            )
+        all_node, elements = self._exported(module)
+        if all_node is None:
+            return
+        defined = _defined_names(tree)
+        seen: set[str] = set()
+        exported: set[str] = set()
+        for element in elements:
+            if not (
+                isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ):
+                yield self.finding(
+                    module, element, "__all__ entries must be string literals"
+                )
+                continue
+            name = element.value
+            if name in seen:
+                yield self.finding(
+                    module, element, f"__all__ lists {name!r} more than once"
+                )
+            seen.add(name)
+            exported.add(name)
+            if name not in defined:
+                yield self.finding(
+                    module,
+                    element,
+                    f"__all__ exports {name!r} but the module never defines "
+                    "or imports it",
+                )
+        for node in tree.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and node.name in exported
+                and ast.get_docstring(node) is None
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{node.name!r} is exported via __all__ but has no docstring",
+                )
+
+    def _exported(
+        self, module: ModuleContext
+    ) -> tuple[ast.Assign | None, list[ast.expr]]:
+        return _find_all(module.tree)
+
+
+__all__ = ["PublicApiRule"]

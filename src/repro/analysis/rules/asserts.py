@@ -1,0 +1,42 @@
+"""RA-ASSERT — no ``assert`` for runtime validation in library code.
+
+``python -O`` strips every ``assert``, so a precondition guarded by one
+silently stops being checked in optimised deployments — the exact
+scenario in which a cost model quietly accepts inconsistent parameters.
+Library code under ``src/repro`` must raise
+:class:`~repro.errors.InvalidParameterError` (or another
+:mod:`repro.errors` class) instead; tests keep using ``assert`` freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+
+class NoBareAssertRule(Rule):
+    """Flag every ``assert`` statement in ``repro`` modules."""
+
+    rule_id = "RA-ASSERT"
+    summary = (
+        "no assert statements in src/repro (asserts vanish under -O); "
+        "raise a repro.errors class instead"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding per ``assert`` statement."""
+        if not module.in_package("repro"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    module,
+                    node,
+                    "assert is stripped under python -O; raise "
+                    "InvalidParameterError (repro.errors) for runtime validation",
+                )
+
+
+__all__ = ["NoBareAssertRule"]

@@ -1,0 +1,68 @@
+"""RA-ERRORS — raise from the :mod:`repro.errors` hierarchy only.
+
+Embedders catch :class:`~repro.errors.ReproError`; a stray built-in
+``ValueError`` escapes that net and turns a cost-model precondition into
+an unclassified crash.  Argument validation raises
+:class:`~repro.errors.InvalidParameterError` (which also subclasses
+``ValueError`` for backward compatibility); ``NotImplementedError`` on
+abstract methods and bare ``raise`` re-raises stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+_BUILTIN_EXCEPTIONS = {
+    "ArithmeticError",
+    "AssertionError",
+    "AttributeError",
+    "BaseException",
+    "Exception",
+    "IOError",
+    "IndexError",
+    "KeyError",
+    "LookupError",
+    "NameError",
+    "OSError",
+    "OverflowError",
+    "RuntimeError",
+    "StopIteration",
+    "TypeError",
+    "ValueError",
+    "ZeroDivisionError",
+}
+
+
+class ErrorHierarchyRule(Rule):
+    """Flag raises of built-in exception types inside ``repro``."""
+
+    rule_id = "RA-ERRORS"
+    summary = (
+        "exceptions raised inside src/repro must come from repro.errors "
+        "(built-in raises escape the ReproError net)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding per ``raise <builtin>(...)`` statement."""
+        if not module.in_package("repro"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id in _BUILTIN_EXCEPTIONS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"raises built-in {exc.id}; use a repro.errors class "
+                    "(InvalidParameterError subclasses ValueError) so callers "
+                    "can catch ReproError",
+                )
+
+
+__all__ = ["ErrorHierarchyRule"]

@@ -1,0 +1,60 @@
+"""RA-FLOAT-EQ — no exact float equality in cost and similarity code.
+
+Costs and similarities are accumulated floats; ``==``/``!=`` against a
+float literal (or a freshly divided value) encodes an exact-representation
+assumption that breaks silently when a formula is re-ordered.  Use an
+ordering comparison, ``math.isclose`` or an explicit epsilon instead.
+Scoped to ``repro.cost`` and the similarity modules, where the numbers
+are genuinely approximate; discrete code may keep exact sentinels.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    return False
+
+
+class FloatEqualityRule(Rule):
+    """Flag ``==``/``!=`` where either operand is visibly a float."""
+
+    rule_id = "RA-FLOAT-EQ"
+    summary = (
+        "cost/similarity code must not compare floats with == or !=; use "
+        "ordering, math.isclose or an epsilon"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding per exact float comparison in scope."""
+        if not (
+            module.in_package("repro.cost") or "similarity" in module.module_name
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(operands[index]) or _is_floatish(operands[index + 1]):
+                    yield self.finding(
+                        module,
+                        node,
+                        "exact float equality; use an ordering comparison, "
+                        "math.isclose or an explicit epsilon",
+                    )
+
+
+__all__ = ["FloatEqualityRule"]

@@ -1,0 +1,71 @@
+"""RA-FROZEN — parameter and statistics dataclasses must be immutable.
+
+Cost formulas are memo-safe and comparable only because their inputs
+(``SystemParams``, ``QueryParams``, ``CollectionStats``, the per-
+algorithm ``*Cost`` results) cannot change under them.  Any
+``@dataclass`` whose name ends in ``Params``, ``Stats``, ``Spec`` or
+``Cost`` therefore has to be declared ``frozen=True``; deliberately
+mutable accumulators (e.g. the ``IOStats`` counters) carry an explicit
+suppression with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+_VALUE_TYPE_SUFFIXES = ("Params", "Stats", "Spec", "Cost")
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return decorator
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return isinstance(keyword.value, ast.Constant) and bool(
+                keyword.value.value
+            )
+    return False
+
+
+class FrozenValueTypesRule(Rule):
+    """Flag mutable ``@dataclass`` value types (``*Params`` etc.)."""
+
+    rule_id = "RA-FROZEN"
+    summary = (
+        "dataclasses named *Params/*Stats/*Spec/*Cost must be "
+        "@dataclass(frozen=True)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding per mutable value-type dataclass."""
+        if not module.in_package("repro"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith(_VALUE_TYPE_SUFFIXES):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is not None and not _is_frozen(decorator):
+                yield self.finding(
+                    module,
+                    node,
+                    f"value type {node.name} is a mutable dataclass; declare it "
+                    "@dataclass(frozen=True) so cost inputs cannot drift",
+                )
+
+
+__all__ = ["FrozenValueTypesRule"]

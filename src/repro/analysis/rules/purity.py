@@ -1,0 +1,166 @@
+"""RA-COST-PURITY — the cost layer must stay a pure function library.
+
+Section 5's formulas (``hhs/hhr``, ``hvs/hvr``, ``vvs/vvr``) are
+*predictions*; the moment code under ``repro/cost/`` performs I/O,
+touches the simulated storage stack, or mutates its inputs, the
+measured-vs-model validation loop (``repro validate``) stops being an
+independent check.  This rule pins the layering: cost modules may import
+only parameter/statistics types, and cost functions may not write to
+their arguments, print, or open files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+#: dotted prefixes of repro modules the cost layer may import
+_ALLOWED_IMPORT_PREFIXES = (
+    "repro.analysis",
+    "repro.constants",
+    "repro.cost",
+    "repro.errors",
+    "repro.index.stats",
+)
+
+_IO_BUILTINS = {"open", "print", "input", "exec", "eval"}
+_WRITE_METHODS = {
+    "write",
+    "write_text",
+    "write_bytes",
+    "unlink",
+    "mkdir",
+    "rmdir",
+    "touch",
+}
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "sort",
+    "reverse",
+}
+
+
+def _is_allowed_import(dotted: str) -> bool:
+    if not dotted.startswith("repro"):
+        return True
+    return any(
+        dotted == prefix or dotted.startswith(prefix + ".")
+        for prefix in _ALLOWED_IMPORT_PREFIXES
+    )
+
+
+class CostPurityRule(Rule):
+    """Flag impurity inside ``repro.cost``: I/O, layering leaks, mutation."""
+
+    rule_id = "RA-COST-PURITY"
+    summary = (
+        "repro/cost/ must not import storage/execution layers, perform I/O, "
+        "use global state, or mutate its arguments"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield layering, I/O and argument-mutation violations."""
+        if not module.in_package("repro.cost"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if not _is_allowed_import(alias.name):
+                        yield self._layer_finding(module, node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and not _is_allowed_import(node.module):
+                    yield self._layer_finding(module, node, node.module)
+            elif isinstance(node, ast.Call):
+                yield from self._call(module, node)
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                yield self.finding(
+                    module,
+                    node,
+                    "cost formulas must not rely on global/nonlocal state",
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._argument_mutations(module, node)
+
+    def _layer_finding(
+        self, module: ModuleContext, node: ast.AST, dotted: str
+    ) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"cost layer imports {dotted}; only parameter/statistics modules "
+            "(repro.cost, repro.constants, repro.errors, repro.index.stats) are pure",
+        )
+
+    def _call(self, module: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _IO_BUILTINS:
+            yield self.finding(
+                module,
+                node,
+                f"cost formulas must not call {func.id}(); return values instead",
+            )
+        elif isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            yield self.finding(
+                module,
+                node,
+                f".{func.attr}() writes outside the formula; cost code must be pure",
+            )
+
+    def _argument_mutations(
+        self, module: ModuleContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        params = {
+            arg.arg
+            for arg in (
+                *func.args.posonlyargs,
+                *func.args.args,
+                *func.args.kwonlyargs,
+            )
+            if arg.arg not in ("self", "cls")
+        }
+        if not params:
+            return
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in params
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"mutates parameter {target.value.id!r}; cost formulas "
+                            "must treat their inputs as immutable",
+                        )
+            elif isinstance(node, ast.Call):
+                func_expr = node.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and func_expr.attr in _MUTATING_METHODS
+                    and isinstance(func_expr.value, ast.Name)
+                    and func_expr.value.id in params
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"calls {func_expr.value.id}.{func_expr.attr}(); cost "
+                        "formulas must treat their inputs as immutable",
+                    )
+
+
+__all__ = ["CostPurityRule"]

@@ -1,0 +1,126 @@
+"""RA-UNITS — unit discipline for the cost-model quantities.
+
+The paper's formulas juggle five incompatible units: *pages* (``B``,
+``D``, ``I``, ``Bt``), *bytes* (``P``, cell sizes), *terms* (``T``,
+``K``), *entries* (``X``) and *documents* (``N``).  Mixing them silently
+is exactly the class of bug that corrupts a cost model while every unit
+test still passes, so any addition, subtraction, comparison or direct
+assignment between identifiers tagged with different units is flagged.
+Conversions must go through arithmetic (``pages * page_bytes``) or a
+helper, which the rule deliberately does not flag.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+#: identifier suffix -> unit tag
+_SUFFIX_UNITS = {
+    "pages": "pages",
+    "bytes": "bytes",
+    "terms": "terms",
+    "entries": "entries",
+    "documents": "documents",
+    "docs": "documents",
+    "records": "records",
+}
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def unit_of_name(name: str) -> str | None:
+    """The unit an identifier advertises, or ``None``.
+
+    Plural suffixes tag counts (``buffer_pages`` -> pages); singular
+    forms (``first_page``) are ordinals, not quantities, and stay
+    untagged so index arithmetic is never flagged.
+    """
+    lowered = name.lower()
+    if lowered in _SUFFIX_UNITS:
+        return _SUFFIX_UNITS[lowered]
+    tail = lowered.rsplit("_", 1)[-1]
+    if tail != lowered and tail in _SUFFIX_UNITS:
+        return _SUFFIX_UNITS[tail]
+    return None
+
+
+def _expr_unit(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return unit_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of_name(node.attr)
+    return None
+
+
+class UnitDisciplineRule(Rule):
+    """Flag additive arithmetic, comparison or assignment across units."""
+
+    rule_id = "RA-UNITS"
+    summary = (
+        "pages/bytes/terms/entries/documents quantities must not be added, "
+        "compared or cross-assigned without an explicit conversion"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Walk the module and yield every cross-unit operation."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._binop(module, node)
+            elif isinstance(node, ast.Compare):
+                yield from self._compare(module, node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._assignment(module, node, target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield from self._assignment(module, node, node.target, node.value)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._assignment(module, node, node.target, node.value)
+
+    def _binop(self, module: ModuleContext, node: ast.BinOp) -> Iterator[Finding]:
+        left, right = _expr_unit(node.left), _expr_unit(node.right)
+        if left is not None and right is not None and left != right:
+            verb = "adds" if isinstance(node.op, ast.Add) else "subtracts"
+            yield self.finding(
+                module,
+                node,
+                f"{verb} {right} to/from {left} without an explicit conversion",
+            )
+
+    def _compare(self, module: ModuleContext, node: ast.Compare) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, _COMPARE_OPS):
+                continue
+            left = _expr_unit(operands[index])
+            right = _expr_unit(operands[index + 1])
+            if left is not None and right is not None and left != right:
+                yield self.finding(
+                    module,
+                    node,
+                    f"compares a {left} quantity against a {right} quantity",
+                )
+
+    def _assignment(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        target: ast.expr,
+        value: ast.expr,
+    ) -> Iterator[Finding]:
+        left = _expr_unit(target)
+        right = _expr_unit(value)
+        if left is not None and right is not None and left != right:
+            yield self.finding(
+                module,
+                node,
+                f"assigns a {right} quantity to a {left} variable "
+                "without an explicit conversion",
+            )
+
+
+__all__ = ["UnitDisciplineRule", "unit_of_name"]

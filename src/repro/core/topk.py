@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import heapq
 
+from repro.errors import InvalidParameterError
+
 
 class TopK:
     """A bounded max-similarity tracker for one outer document.
@@ -28,7 +30,7 @@ class TopK:
 
     def __init__(self, k: int) -> None:
         if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+            raise InvalidParameterError(f"k must be positive, got {k}")
         self.k = k
         self._heap: list[tuple[float, int]] = []
 

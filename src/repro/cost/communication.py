@@ -33,6 +33,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.constants import SIMILARITY_VALUE_BYTES
+from repro.errors import InvalidParameterError
 from repro.cost.params import JoinSide, QueryParams, SystemParams
 
 
@@ -55,7 +56,7 @@ class CommunicationCost:
     def cost(self, beta: float) -> float:
         """Shipped pages priced at ``beta`` sequential-read units each."""
         if beta < 0:
-            raise ValueError(f"beta must be non-negative, got {beta}")
+            raise InvalidParameterError(f"beta must be non-negative, got {beta}")
         return self.shipped_pages * beta
 
 
@@ -103,7 +104,7 @@ def communication_cost(
     elif algorithm == "VVM":
         needs = {"C1-inv": i1, "C2-inv": i2}
     else:
-        raise ValueError(f"unknown algorithm {algorithm!r}")
+        raise InvalidParameterError(f"unknown algorithm {algorithm!r}")
 
     local_at = {
         ExecutionSite.SITE1: {"C1-docs", "C1-inv"},

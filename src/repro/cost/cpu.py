@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 from repro.cost.params import JoinSide, QueryParams, SystemParams
 from repro.cost.vvm import vvm_passes
-from repro.errors import InsufficientMemoryError
+from repro.errors import InsufficientMemoryError, InvalidParameterError
 
 
 @dataclass(frozen=True)
@@ -61,7 +61,7 @@ class CpuCost:
         a sensible 1996-era range).
         """
         if ops_per_io_unit <= 0:
-            raise ValueError("ops_per_io_unit must be positive")
+            raise InvalidParameterError("ops_per_io_unit must be positive")
         return io_cost + self.total_operations / ops_per_io_unit
 
 
@@ -76,7 +76,7 @@ def hhnl_cpu_cost(side1: JoinSide, side2: JoinSide) -> CpuCost:
 def hvnl_cpu_cost(side1: JoinSide, side2: JoinSide, q: float) -> CpuCost:
     """Posting-list accumulation plus B+-tree probes per outer term."""
     if not 0.0 <= q <= 1.0:
-        raise ValueError(f"q must be in [0, 1], got {q}")
+        raise InvalidParameterError(f"q must be in [0, 1], got {q}")
     s1, s2 = side1.stats, side2.stats
     n2 = side2.n_participating
     avg_posting = (s1.K * s1.N / s1.T) if s1.T else 0.0
@@ -94,7 +94,7 @@ def vvm_cpu_cost(
 ) -> CpuCost:
     """Pairwise posting products over shared terms, once per pass."""
     if not 0.0 <= p <= 1.0:
-        raise ValueError(f"p must be in [0, 1], got {p}")
+        raise InvalidParameterError(f"p must be in [0, 1], got {p}")
     s1, s2 = side1.stats, side2.stats
     if s1.T == 0 or s2.T == 0:
         return CpuCost("VVM", 0.0)

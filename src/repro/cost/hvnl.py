@@ -31,7 +31,7 @@ import math
 from dataclasses import dataclass
 
 from repro.constants import SIMILARITY_VALUE_BYTES, TERM_NUMBER_BYTES
-from repro.errors import InsufficientMemoryError
+from repro.errors import InsufficientMemoryError, InvalidParameterError
 from repro.cost.params import JoinSide, QueryParams, SystemParams
 
 
@@ -61,7 +61,7 @@ def distinct_terms_in_documents(m: float, k: float, t: float) -> float:
     for real ``m >= 0`` (the paper evaluates it at ``s + X1``).
     """
     if m < 0:
-        raise ValueError(f"m must be non-negative, got {m}")
+        raise InvalidParameterError(f"m must be non-negative, got {m}")
     if t <= 0 or k <= 0:
         return 0.0
     ratio = max(0.0, 1.0 - k / t)
@@ -118,7 +118,7 @@ def hvnl_cost(
     (Section 6 model or measured).
     """
     if not 0.0 <= q <= 1.0:
-        raise ValueError(f"q must be in [0, 1], got {q}")
+        raise InvalidParameterError(f"q must be in [0, 1], got {q}")
     alpha = system.alpha
     stats1, stats2 = side1.stats, side2.stats
     n2 = side2.n_participating
@@ -186,6 +186,14 @@ def hvnl_cost(
         + bt1
         + remaining_docs * y * cj1 * alpha
     )
+    # Thrashing can never beat having every needed entry resident: each
+    # of the ``needed`` entries is fetched at least once, so the
+    # needed-entries-fit formula is a floor.  Without it the two-phase
+    # accounting charges X + (refetches) entries, which dips fractionally
+    # below ``needed`` just under the regime boundary and makes a larger
+    # buffer look *worse* (non-monotone in B).  The clamp makes the
+    # thrashing -> needed-entries-fit transition continuous.
+    hvs = max(hvs, d2_read + needed * cj1 * alpha + bt1)
     if outer_interference:
         extra = min(d2, float(n2))
     else:
@@ -214,7 +222,7 @@ def _fill_point(x: int, q: float, k2: float, t2: float) -> tuple[int, float]:
     if x >= limit:  # defensive: the caller only reaches here when X < q*T2
         return 1, 0.0
     ratio = max(0.0, 1.0 - k2 / t2)
-    if ratio == 0.0:
+    if ratio <= 0.0:
         s = 1
     else:
         # q * T2 * (1 - ratio**m) > X  <=>  ratio**m < 1 - X/(q*T2)

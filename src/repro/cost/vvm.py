@@ -58,14 +58,14 @@ def vvm_passes(
         * side2.n_participating
         / system.page_bytes
     )
-    resident_entries = (
+    resident_entry_pages = (
         (math.ceil(stats1.J) if stats1.J > 0 else 0)
         + (math.ceil(stats2.J) if stats2.J > 0 else 0)
     )
-    m = system.buffer_pages - resident_entries
+    m = system.buffer_pages - resident_entry_pages
     if m <= 0:
         raise InsufficientMemoryError(
-            f"VVM needs ceil(J1)+ceil(J2)={resident_entries} pages for resident "
+            f"VVM needs ceil(J1)+ceil(J2)={resident_entry_pages} pages for resident "
             f"entries; buffer is {system.buffer_pages}"
         )
     passes = max(1, math.ceil(sm / m))

@@ -12,6 +12,18 @@ class ReproError(Exception):
     """Base class for every error raised by this package."""
 
 
+class InvalidParameterError(ReproError, ValueError):
+    """An argument failed validation (wrong range, sign or combination).
+
+    Also subclasses :class:`ValueError` so callers written against the
+    built-in type keep working.
+    """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis engine could not read, parse or run a target."""
+
+
 class StorageError(ReproError):
     """Base class for simulated-storage errors."""
 

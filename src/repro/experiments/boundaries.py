@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.cost.model import CostModel
+from repro.errors import InvalidParameterError
 from repro.cost.params import JoinSide, QueryParams, SystemParams
 from repro.index.stats import CollectionStats
 from repro.workloads.trec import TREC_COLLECTIONS
@@ -39,7 +40,7 @@ def bisect_int_boundary(
     returns ``None`` when even ``lo`` is false.
     """
     if lo > hi:
-        raise ValueError(f"empty range [{lo}, {hi}]")
+        raise InvalidParameterError(f"empty range [{lo}, {hi}]")
     if not predicate(lo):
         return None
     if predicate(hi):

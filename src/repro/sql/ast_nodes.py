@@ -9,6 +9,8 @@ conjunction of comparisons, LIKE patterns and (at most) one
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.errors import SqlError
 from typing import Union
 
 
@@ -86,7 +88,7 @@ def predicate_to_sql(predicate: Predicate) -> str:
         return f"{predicate.column} {keyword} {_quote(predicate.pattern)}"
     if isinstance(predicate, SimilarToPredicate):
         return f"{predicate.left} SIMILAR_TO({predicate.lam}) {predicate.right}"
-    raise TypeError(f"unknown predicate {predicate!r}")
+    raise SqlError(f"unknown predicate {predicate!r}")
 
 
 @dataclass(frozen=True)

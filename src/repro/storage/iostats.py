@@ -13,9 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import InvalidParameterError
+
 
 @dataclass
-class IOStats:
+class IOStats:  # repro: ignore[RA-FROZEN] -- the one mutable I/O counter, by design
     """Mutable counter of page reads, split by access pattern.
 
     The counter does not know ``alpha`` itself; :meth:`weighted_cost`
@@ -31,7 +33,7 @@ class IOStats:
     def record(self, extent_name: str, *, sequential: int = 0, random: int = 0) -> None:
         """Add page reads attributed to one extent."""
         if sequential < 0 or random < 0:
-            raise ValueError("I/O counts cannot be negative")
+            raise InvalidParameterError("I/O counts cannot be negative")
         self.sequential_reads += sequential
         self.random_reads += random
         seq0, rnd0 = self.by_extent.get(extent_name, (0, 0))
@@ -45,7 +47,7 @@ class IOStats:
     def weighted_cost(self, alpha: float) -> float:
         """The paper's I/O cost: sequential reads + ``alpha`` * random reads."""
         if alpha < 1:
-            raise ValueError(f"alpha must be >= 1, got {alpha}")
+            raise InvalidParameterError(f"alpha must be >= 1, got {alpha}")
         return self.sequential_reads + alpha * self.random_reads
 
     def snapshot(self) -> "IOStats":

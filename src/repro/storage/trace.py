@@ -109,7 +109,7 @@ class IOTrace:
 
 
 @dataclass
-class TracingIOStats(IOStats):
+class TracingIOStats(IOStats):  # repro: ignore[RA-FROZEN] -- mutable like its IOStats base
     """An :class:`IOStats` that also feeds an :class:`IOTrace`.
 
     Swap it into a disk (``disk.stats = TracingIOStats()``) before a run

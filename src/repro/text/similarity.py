@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Mapping, Sequence
 
+from repro.errors import InvalidParameterError
 from repro.text.document import Document
 
 SimilarityFn = Callable[[Document, Document], float]
@@ -50,7 +51,7 @@ def norm(doc: Document) -> float:
 def cosine_similarity(doc1: Document, doc2: Document) -> float:
     """Dot product normalised by both document norms (0 for empty docs)."""
     denominator = doc1.norm() * doc2.norm()
-    if denominator == 0.0:
+    if denominator <= 0.0:
         return 0.0
     return dot_product(doc1, doc2) / denominator
 
@@ -63,11 +64,11 @@ def idf_weights(document_frequency: Mapping[int, int], n_documents: int) -> dict
     Document frequencies of 0 are ignored (the term never occurs).
     """
     if n_documents <= 0:
-        raise ValueError(f"n_documents must be positive, got {n_documents}")
+        raise InvalidParameterError(f"n_documents must be positive, got {n_documents}")
     weights: dict[int, float] = {}
     for term, df in document_frequency.items():
         if df < 0:
-            raise ValueError(f"negative document frequency {df} for term {term}")
+            raise InvalidParameterError(f"negative document frequency {df} for term {term}")
         if df > 0:
             weights[term] = math.log(n_documents / df)
     return weights

@@ -1,0 +1,12 @@
+"""Fixture: deliberate RA-PUBLIC-API violations around __all__."""
+
+
+def documented():
+    """Exported and documented — must pass."""
+
+
+def undocumented():
+    return 1
+
+
+__all__ = ["documented", "ghost", "undocumented", "documented"]

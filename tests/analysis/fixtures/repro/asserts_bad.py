@@ -1,0 +1,7 @@
+"""Fixture: deliberate RA-ASSERT violation."""
+
+
+def guard(value):
+    """Uses assert for runtime validation — flagged."""
+    assert value > 0, "value must be positive"
+    return value

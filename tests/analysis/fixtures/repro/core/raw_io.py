@@ -1,0 +1,14 @@
+"""Fixture: deliberate RA-CORE-IO violations in a core executor."""
+
+from repro.storage.pages import PageGeometry
+
+
+def uncharged_read(extent):
+    """Reads payloads but never charges IOStats — flagged."""
+    return [extent.payload(i) for i in range(3)]
+
+
+def charged_read(disk, extent):
+    """Charges at block granularity before reading — must pass."""
+    disk.stats.record(extent.name, sequential=extent.n_pages)
+    return [extent.payload(i) for i in range(3)]

@@ -1,0 +1,13 @@
+"""Fixture: deliberate RA-FLOAT-EQ violations in cost-scoped code."""
+
+
+def exact_compare(cost):
+    """Two exact float comparisons — both flagged."""
+    if cost == 0.0:
+        return True
+    return cost / 2 != cost
+
+
+def ordered_compare(cost):
+    """Ordering comparisons are the sanctioned style — must pass."""
+    return cost <= 0.0

@@ -1,0 +1,19 @@
+"""Fixture: deliberate RA-COST-PURITY violations in a cost module."""
+
+from repro.storage.disk import SimulatedDisk
+import repro.core
+
+from repro.cost.params import SystemParams
+
+
+def leaky_cost(system, history):
+    """A cost 'formula' that does everything the rule forbids."""
+    print("evaluating", system)
+    system.buffer_pages = 0
+    history.append(system)
+    return 0.0
+
+
+def honest_cost(system):
+    """A pure formula — must produce no findings."""
+    return float(system.buffer_pages)

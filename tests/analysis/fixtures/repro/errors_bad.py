@@ -1,0 +1,12 @@
+"""Fixture: deliberate RA-ERRORS violation plus legal raises."""
+
+from repro.errors import CostModelError
+
+
+def validate(value):
+    """Raises a built-in (flagged), a repro error and NotImplementedError."""
+    if value < 0:
+        raise ValueError("negative")
+    if value > 100:
+        raise CostModelError("too big")
+    raise NotImplementedError

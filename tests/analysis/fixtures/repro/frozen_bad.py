@@ -1,0 +1,24 @@
+"""Fixture: deliberate RA-FROZEN violation plus compliant neighbours."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WobblyParams:
+    """A mutable value type — flagged."""
+
+    buffer_pages: int = 0
+
+
+@dataclass(frozen=True)
+class SolidParams:
+    """Properly frozen — must pass."""
+
+    buffer_pages: int = 0
+
+
+@dataclass
+class ScratchBuffer:
+    """Mutable but not a *Params/*Stats/*Spec/*Cost name — must pass."""
+
+    used: int = 0

@@ -1,0 +1,11 @@
+"""Fixture: every violation carries a justified suppression."""
+
+buffer_pages = 1
+budget_bytes = 2
+both = buffer_pages + budget_bytes  # repro: ignore[RA-UNITS] -- exercising the suppression syntax
+
+
+def noisy(value):
+    """An assert and a builtin raise, both suppressed."""
+    assert value  # repro: ignore[RA-ASSERT] -- exercising the suppression syntax
+    raise ValueError(value)  # repro: ignore[RA-ERRORS, RA-ASSERT] -- multiple ids on one line

@@ -1,0 +1,11 @@
+"""Fixture: deliberate RA-UNITS violations (and legal conversions)."""
+
+buffer_pages = 100
+budget_bytes = 409600
+n_terms = 7
+mixed_total = buffer_pages + budget_bytes
+mixed_diff = buffer_pages - n_terms
+copied_pages = budget_bytes
+overflowing = buffer_pages > budget_bytes
+converted_pages = budget_bytes // 4096
+suppressed_total = buffer_pages + budget_bytes  # repro: ignore[RA-UNITS] -- fixture for the suppression test

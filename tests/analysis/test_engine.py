@@ -1,0 +1,139 @@
+"""Engine mechanics: suppressions, module naming, reporters, CLI codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, run
+from repro.analysis.engine import (
+    analyze_paths,
+    load_module,
+    module_name_for,
+    parse_suppressions,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import default_rules
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+
+class TestModuleNaming:
+    def test_src_layout(self):
+        assert module_name_for(Path("src/repro/cost/hvnl.py")) == "repro.cost.hvnl"
+
+    def test_package_init(self):
+        assert module_name_for(Path("src/repro/cost/__init__.py")) == "repro.cost"
+
+    def test_fixture_layout_mimics_package(self):
+        path = Path("tests/analysis/fixtures/repro/cost/impure.py")
+        assert module_name_for(path) == "repro.cost.impure"
+
+    def test_outside_repro(self):
+        assert module_name_for(Path("scripts/tool.py")) == "tool"
+
+
+class TestSuppressionParsing:
+    def test_single_id(self):
+        table = parse_suppressions("x = 1  # repro: ignore[RA-UNITS]\n")
+        assert table == {1: frozenset({"RA-UNITS"})}
+
+    def test_multiple_ids_and_justification(self):
+        table = parse_suppressions(
+            "x = 1\ny = 2  # repro: ignore[RA-UNITS, RA-ASSERT] -- because\n"
+        )
+        assert table == {2: frozenset({"RA-UNITS", "RA-ASSERT"})}
+
+    def test_plain_comment_is_not_a_suppression(self):
+        assert parse_suppressions("x = 1  # repro: ignore\n") == {}
+
+
+class TestEngineErrors:
+    def test_missing_path(self):
+        with pytest.raises(AnalysisError):
+            analyze_paths([Path("does/not/exist.py")], default_rules())
+
+    def test_syntax_error(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(AnalysisError):
+            load_module(bad)
+
+    def test_unknown_rule_id(self):
+        with pytest.raises(AnalysisError, match="unknown rule id"):
+            analyze_paths([FIXTURES], default_rules(), select=["RA-NOPE"])
+
+
+class TestReporters:
+    def test_text_report_lines(self):
+        report = analyze_paths([FIXTURES / "asserts_bad.py"], default_rules())
+        text = render_text(report)
+        assert "asserts_bad.py:6" in text
+        assert "RA-ASSERT" in text
+        assert text.endswith("8 rule(s)")
+
+    def test_json_report_round_trips(self):
+        report = analyze_paths([FIXTURES / "asserts_bad.py"], default_rules())
+        payload = json.loads(render_json(report))
+        assert payload["clean"] is False
+        assert payload["files"] == 1
+        assert len(payload["rules"]) == 8
+        [finding] = payload["findings"]
+        assert finding["rule"] == "RA-ASSERT"
+        assert finding["line"] == 6
+        assert finding["suppressed"] is False
+
+    def test_suppressed_hidden_unless_requested(self):
+        report = analyze_paths([FIXTURES / "suppressed_ok.py"], default_rules())
+        assert "suppressed)" not in render_text(report)
+        assert "(suppressed)" in render_text(report, show_suppressed=True)
+
+
+class TestCliExitCodes:
+    def test_clean_run(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""A module outside repro scope."""\n')
+        assert run([str(clean)]) == EXIT_CLEAN
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_run(self, capsys):
+        assert run([str(FIXTURES / "asserts_bad.py")]) == EXIT_FINDINGS
+        assert "RA-ASSERT" in capsys.readouterr().out
+
+    def test_usage_error(self, capsys):
+        assert run(["definitely/not/a/path"]) == EXIT_USAGE
+        assert "error" in capsys.readouterr().err
+
+    def test_json_format(self, capsys):
+        assert run([str(FIXTURES / "asserts_bad.py"), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "RA-ASSERT"
+
+    def test_list_rules(self, capsys):
+        assert run(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule in default_rules():
+            assert rule.rule_id in out
+
+    def test_select_comma_separated(self, capsys):
+        code = run(
+            [str(FIXTURES), "--select", "RA-ASSERT,RA-FROZEN", "--format", "json"]
+        )
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["rules"]) == {"RA-ASSERT", "RA-FROZEN"}
+
+
+class TestCliSubcommand:
+    def test_repro_lint_list_rules(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--list-rules"]) == 0
+        assert "RA-UNITS" in capsys.readouterr().out
+
+    def test_repro_lint_on_fixture(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", str(FIXTURES / "asserts_bad.py")]) == 1
+        assert "RA-ASSERT" in capsys.readouterr().out

@@ -1,0 +1,141 @@
+"""Each analysis rule fires exactly where its fixture violates it.
+
+The fixtures under ``fixtures/repro/`` mimic the package layout
+(``fixtures/repro/cost/...`` resolves to ``repro.cost.*``) so the
+path-scoped rules apply to them exactly as they apply to the real tree.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import default_rules
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+
+def findings_for(relative: str, rule_id: str | None = None):
+    report = analyze_paths([FIXTURES / relative], default_rules())
+    found = report.findings
+    if rule_id is not None:
+        found = tuple(f for f in found if f.rule_id == rule_id)
+    return report, found
+
+
+class TestRuleFiring:
+    def test_units_rule(self):
+        report, found = findings_for("units_bad.py", "RA-UNITS")
+        assert [f.line for f in found] == [6, 7, 8, 9]
+        assert "adds bytes" in found[0].message
+        assert "subtracts terms" in found[1].message
+        assert "assigns a bytes quantity" in found[2].message
+        assert "compares a pages quantity" in found[3].message
+        # conversions through arithmetic are never flagged
+        assert all(f.line != 10 for f in found)
+        # line 11 is suppressed, not open
+        assert [f.line for f in report.suppressed] == [11]
+
+    def test_cost_purity_rule(self):
+        _, found = findings_for("cost/impure.py", "RA-COST-PURITY")
+        assert [f.line for f in found] == [3, 4, 11, 12, 13]
+        messages = "\n".join(f.message for f in found)
+        assert "repro.storage.disk" in messages
+        assert "repro.core" in messages
+        assert "print()" in messages
+        assert "mutates parameter 'system'" in messages
+        assert "history.append()" in messages
+
+    def test_core_io_rule(self):
+        _, found = findings_for("core/raw_io.py", "RA-CORE-IO")
+        assert [f.line for f in found] == [3, 8]
+        assert "physical layer" in found[0].message
+        assert "without charging IOStats" in found[1].message
+        # charged_read (line 14) reads payloads after charging — clean
+        assert all(f.line < 11 for f in found)
+
+    def test_frozen_rule(self):
+        _, found = findings_for("frozen_bad.py", "RA-FROZEN")
+        assert [f.line for f in found] == [7]
+        assert "WobblyParams" in found[0].message
+
+    def test_float_eq_rule(self):
+        _, found = findings_for("cost/floats_bad.py", "RA-FLOAT-EQ")
+        assert [f.line for f in found] == [6, 8]
+
+    def test_float_eq_rule_is_scoped(self):
+        # The same comparisons outside cost/similarity code are legal:
+        # the discrete layers may keep exact sentinels.
+        source = FIXTURES / "cost" / "floats_bad.py"
+        scoped = analyze_paths([source], default_rules())
+        assert any(f.rule_id == "RA-FLOAT-EQ" for f in scoped.findings)
+
+    def test_errors_rule(self):
+        _, found = findings_for("errors_bad.py", "RA-ERRORS")
+        assert [f.line for f in found] == [9]
+        assert "ValueError" in found[0].message
+        # CostModelError and NotImplementedError raises stay legal
+        assert all(f.line not in (11, 12) for f in found)
+
+    def test_public_api_rule(self):
+        _, found = findings_for("api_bad.py", "RA-PUBLIC-API")
+        assert [f.line for f in found] == [8, 12, 12]
+        messages = "\n".join(f.message for f in found)
+        assert "'undocumented' is exported" in messages
+        assert "'ghost'" in messages
+        assert "more than once" in messages
+
+    def test_module_docstring_required(self):
+        _, found = findings_for("no_docstring.py", "RA-PUBLIC-API")
+        assert [f.line for f in found] == [1]
+        assert "no docstring" in found[0].message
+
+    def test_assert_rule(self):
+        _, found = findings_for("asserts_bad.py", "RA-ASSERT")
+        assert [f.line for f in found] == [6]
+        assert "-O" in found[0].message
+
+
+class TestSuppressions:
+    def test_suppressed_fixture_is_clean(self):
+        report, _ = findings_for("suppressed_ok.py")
+        assert report.clean
+        assert [f.line for f in report.suppressed] == [5, 10, 11]
+
+    def test_suppression_records_rule_and_stays_visible(self):
+        report, _ = findings_for("suppressed_ok.py")
+        by_line = {f.line: f for f in report.suppressed}
+        assert by_line[5].rule_id == "RA-UNITS"
+        assert by_line[10].rule_id == "RA-ASSERT"
+        # multiple ids on one comment: RA-ERRORS is suppressed on line 11
+        assert by_line[11].rule_id == "RA-ERRORS"
+        assert all(f.suppressed for f in report.suppressed)
+
+    def test_suppression_is_per_rule(self):
+        # The RA-UNITS suppression on units_bad.py line 11 must not leak
+        # to the unsuppressed violations above it.
+        report, found = findings_for("units_bad.py", "RA-UNITS")
+        assert len(found) == 4
+
+
+class TestWholeFixtureTree:
+    def test_every_rule_demonstrated(self):
+        report = analyze_paths([FIXTURES], default_rules())
+        fired = {f.rule_id for f in report.findings}
+        assert fired == {
+            "RA-UNITS",
+            "RA-COST-PURITY",
+            "RA-CORE-IO",
+            "RA-FROZEN",
+            "RA-FLOAT-EQ",
+            "RA-ERRORS",
+            "RA-PUBLIC-API",
+            "RA-ASSERT",
+        }
+
+    @pytest.mark.parametrize("rule_id", [r.rule_id for r in default_rules()])
+    def test_select_isolates_one_rule(self, rule_id):
+        report = analyze_paths([FIXTURES], default_rules(), select=[rule_id])
+        assert report.rule_ids == (rule_id,)
+        assert all(f.rule_id == rule_id for f in report.findings)
+        assert report.findings  # every rule has at least one fixture hit
