@@ -11,6 +11,14 @@ Subcommands::
 Every command writes plain text to stdout and exits 0 on success; the
 ``summary`` command exits 1 if any of the paper's five points fails to
 hold, so it can gate CI.
+
+The sweep-driven commands (``group``, ``summary``, ``report``,
+``boundaries``) evaluate their grids through one
+:class:`~repro.experiments.engine.SweepEngine` and accept ``--jobs N``
+(process-pool fan-out; 0 = sequential, the default) and ``--no-cache``
+(disable memoization).  Output is byte-identical across modes.
+``report --manifest PATH`` additionally writes the engine's JSON run
+manifest — point counts, cache hits/misses and wall-clock timings.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from typing import Sequence
 
 from repro.cost.model import CostModel
 from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.experiments.engine import SweepEngine
 from repro.experiments.groups import (
     run_group1,
     run_group2,
@@ -36,6 +45,24 @@ from repro.index.stats import CollectionStats
 from repro.workloads.synthetic import SyntheticSpec, generate_collection
 
 _GROUPS = {1: run_group1, 2: run_group2, 3: run_group3, 4: run_group4, 5: run_group5}
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared sweep-engine flags to a subcommand parser."""
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="evaluate grid points through an N-process pool "
+        "(0 = sequential, the default; output is identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable sweep-point memoization (recompute every point)",
+    )
+
+
+def _engine_from(args: argparse.Namespace) -> SweepEngine:
+    """One engine per CLI invocation, configured from the shared flags."""
+    return SweepEngine(jobs=args.jobs, cache=not args.no_cache)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,8 +95,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     group = sub.add_parser("group", help="regenerate one simulation group (1-5)")
     group.add_argument("number", type=int, choices=sorted(_GROUPS))
+    _add_engine_options(group)
 
-    sub.add_parser("summary", help="check the five Section 6.1 summary points")
+    summary = sub.add_parser("summary", help="check the five Section 6.1 summary points")
+    _add_engine_options(summary)
 
     validate = sub.add_parser(
         "validate", help="run executors on synthetic data vs the cost model"
@@ -83,10 +112,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--output", default=None,
                         help="file to write (default: stdout)")
+    report.add_argument("--manifest", default=None,
+                        help="also write the engine's JSON run manifest here")
+    _add_engine_options(report)
 
-    sub.add_parser(
+    boundaries = sub.add_parser(
         "boundaries", help="locate the exact algorithm crossovers by bisection"
     )
+    _add_engine_options(boundaries)
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static-analysis rules (repro.analysis)"
@@ -150,15 +183,15 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_group(args: argparse.Namespace) -> int:
-    result = _GROUPS[args.number]()
+    result = _GROUPS[args.number](engine=_engine_from(args))
     print(format_grid(result.rows(), title=f"Group {args.number} — {result.description}"))
     winners = result.winners()
     print(f"\nwinners (sequential): {winners}")
     return 0
 
 
-def _cmd_summary(_args: argparse.Namespace) -> int:
-    findings = evaluate_summary()
+def _cmd_summary(args: argparse.Namespace) -> int:
+    findings = evaluate_summary(engine=_engine_from(args))
     checks = [
         ("1: drastic cost spread", findings.point1_drastic_spread),
         ("2: HVNL wins small outer side", findings.point2_hvnl_small_side),
@@ -204,7 +237,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report
 
-    text = build_report()
+    engine = _engine_from(args)
+    text = build_report(engine)
     if args.output:
         from pathlib import Path
 
@@ -212,15 +246,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {len(text.splitlines())} lines to {args.output}")
     else:
         print(text)
+    if args.manifest:
+        path = engine.write_manifest(args.manifest)
+        print(f"wrote engine run manifest to {path}")
     return 0
 
 
-def _cmd_boundaries(_args: argparse.Namespace) -> int:
+def _cmd_boundaries(args: argparse.Namespace) -> int:
     from repro.experiments.boundaries import trec_boundaries
     from repro.workloads.trec import TREC_COLLECTIONS
 
     rows = []
-    for boundary in trec_boundaries():
+    for boundary in trec_boundaries(engine=_engine_from(args)):
         stats = TREC_COLLECTIONS[boundary.collection]
         rows.append(
             {

@@ -14,6 +14,7 @@ pairs, so admitting zeros in HHNL would make the algorithms disagree.
 from __future__ import annotations
 
 import heapq
+import math
 
 from repro.errors import InvalidParameterError
 
@@ -35,8 +36,16 @@ class TopK:
         self._heap: list[tuple[float, int]] = []
 
     def offer(self, doc_id: int, similarity: float) -> bool:
-        """Consider a candidate; returns True if it was retained."""
-        if similarity <= 0.0:
+        """Consider a candidate; returns True if it was retained.
+
+        Non-finite similarities are rejected, not just non-positive ones:
+        ``NaN <= 0.0`` is False, so without the explicit check a NaN from
+        a degenerate normalisation would slip into the heap and poison
+        every later comparison (heap order and :meth:`results` sorting
+        both become undefined).  ``inf`` is rejected for the same reason —
+        no real similarity is unbounded.
+        """
+        if not math.isfinite(similarity) or similarity <= 0.0:
             return False
         entry = (similarity, -doc_id)
         if len(self._heap) < self.k:

@@ -1,5 +1,8 @@
 """The paper's simulation study, reproducible end to end.
 
+* :mod:`repro.experiments.engine` — the declarative sweep engine: grids
+  as :class:`SweepSpec` values, memoized (optionally process-parallel)
+  evaluation, and JSON run manifests,
 * :mod:`repro.experiments.groups` — the five simulation groups of
   Section 6, each returning a grid of cost reports,
 * :mod:`repro.experiments.summary` — programmatic checks of the five
@@ -10,10 +13,20 @@
   benchmark harness.
 """
 
+from repro.experiments.engine import (
+    SweepEngine,
+    SweepPoint,
+    SweepSpec,
+    default_engine,
+    load_manifest,
+    set_default_engine,
+    validate_manifest,
+)
 from repro.experiments.figures import FigureSeries, extract_series, render_ascii
 from repro.experiments.groups import (
     GroupResult,
     SimulationPoint,
+    run_all_groups,
     run_group1,
     run_group2,
     run_group3,
@@ -29,6 +42,13 @@ __all__ = [
     "FigureSeries",
     "GroupResult",
     "SimulationPoint",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepSpec",
+    "default_engine",
+    "set_default_engine",
+    "load_manifest",
+    "validate_manifest",
     "extract_series",
     "render_ascii",
     "SummaryFindings",
@@ -36,6 +56,7 @@ __all__ = [
     "evaluate_summary",
     "format_grid",
     "format_table",
+    "run_all_groups",
     "run_group1",
     "run_group2",
     "run_group3",

@@ -17,6 +17,10 @@ Boundaries located:
 * ``hhnl_buffer_escape`` — the buffer size where HHNL's cost stops
   being scan-bound (single inner scan), i.e. where extra memory stops
   mattering.
+
+Every probe goes through a :class:`~repro.experiments.engine.SweepEngine`,
+so bisection steps that coincide with group-grid points (the base points
+always do) are cache hits rather than recomputations.
 """
 
 from __future__ import annotations
@@ -24,9 +28,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.cost.model import CostModel
 from repro.errors import InvalidParameterError
 from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.experiments.engine import SweepEngine, default_engine
 from repro.index.stats import CollectionStats
 from repro.workloads.trec import TREC_COLLECTIONS
 
@@ -70,16 +74,18 @@ def hvnl_selection_crossover(
     system: SystemParams | None = None,
     query: QueryParams | None = None,
     hi: int = 10_000,
+    engine: SweepEngine | None = None,
 ) -> int | None:
     """Largest n2 where HVNL wins the selected self-join (Group 3)."""
     system = system or SystemParams()
     query = query or QueryParams()
+    engine = engine if engine is not None else default_engine()
 
     def hvnl_wins(n2: int) -> bool:
-        model = CostModel(
+        report = engine.report_for(
             JoinSide(stats), JoinSide(stats, participating=n2), system, query
         )
-        return model.choose() == "HVNL"
+        return report.winner() == "HVNL"
 
     return bisect_int_boundary(hvnl_wins, 1, min(hi, stats.n_documents))
 
@@ -89,6 +95,7 @@ def vvm_rescale_crossover(
     system: SystemParams | None = None,
     query: QueryParams | None = None,
     hi: int = 10_000,
+    engine: SweepEngine | None = None,
 ) -> int | None:
     """Smallest merge factor where VVM wins the rescaled self-join.
 
@@ -97,11 +104,12 @@ def vvm_rescale_crossover(
     """
     system = system or SystemParams()
     query = query or QueryParams()
+    engine = engine if engine is not None else default_engine()
 
     def vvm_loses(factor: int) -> bool:
         scaled = stats.rescaled(factor)
-        model = CostModel(JoinSide(scaled), JoinSide(scaled), system, query)
-        return model.choose() != "VVM"
+        report = engine.report_for(JoinSide(scaled), JoinSide(scaled), system, query)
+        return report.winner() != "VVM"
 
     last_losing = bisect_int_boundary(vvm_loses, 1, hi)
     if last_losing is None:
@@ -115,16 +123,18 @@ def hhnl_buffer_escape(
     stats: CollectionStats,
     query: QueryParams | None = None,
     hi: int = 10_000_000,
+    engine: SweepEngine | None = None,
 ) -> int | None:
     """Smallest buffer where HHNL needs only one inner scan."""
     query = query or QueryParams()
+    engine = engine if engine is not None else default_engine()
 
     def multi_scan(buffer_pages: int) -> bool:
-        model = CostModel(
+        report = engine.report_for(
             JoinSide(stats), JoinSide(stats),
             SystemParams(buffer_pages=buffer_pages), query,
         )
-        detail = model.hhnl().detail
+        detail = report["HHNL"].detail
         return detail is None or detail.inner_scans > 1
 
     last_multi = bisect_int_boundary(multi_scan, 1, hi)
@@ -139,16 +149,22 @@ def decision_boundaries(
     stats: CollectionStats,
     system: SystemParams | None = None,
     query: QueryParams | None = None,
+    engine: SweepEngine | None = None,
 ) -> DecisionBoundaries:
     """All boundaries for one collection profile."""
     return DecisionBoundaries(
         collection=stats.name,
-        hvnl_selection_crossover=hvnl_selection_crossover(stats, system, query),
-        vvm_rescale_crossover=vvm_rescale_crossover(stats, system, query),
-        hhnl_buffer_escape=hhnl_buffer_escape(stats, query),
+        hvnl_selection_crossover=hvnl_selection_crossover(
+            stats, system, query, engine=engine
+        ),
+        vvm_rescale_crossover=vvm_rescale_crossover(stats, system, query, engine=engine),
+        hhnl_buffer_escape=hhnl_buffer_escape(stats, query, engine=engine),
     )
 
 
-def trec_boundaries() -> list[DecisionBoundaries]:
+def trec_boundaries(engine: SweepEngine | None = None) -> list[DecisionBoundaries]:
     """Boundaries for all three paper collections at base parameters."""
-    return [decision_boundaries(stats) for stats in TREC_COLLECTIONS.values()]
+    return [
+        decision_boundaries(stats, engine=engine)
+        for stats in TREC_COLLECTIONS.values()
+    ]

@@ -1,0 +1,413 @@
+"""Declarative sweep evaluation: one memoized engine under every study.
+
+The paper's Section 6 study is 21 sweeps over the same six cost
+formulas, and the five group runners, the summary checks, the report
+generator and the bisection boundaries all revisit overlapping
+``(statistics, system, query)`` grid points.  This module factors that
+repetition out:
+
+* a :class:`SweepPoint` names one cost-model evaluation by its complete
+  canonical input — ``(JoinSide C1, JoinSide C2, SystemParams,
+  QueryParams)`` plus the swept-variable label; every frozen parameter
+  dataclass is hashable, so the input tuple *is* the cache key;
+* a :class:`SweepSpec` is a named, ordered grid of points — what a
+  ``run_groupN`` used to express as nested loops;
+* a :class:`SweepEngine` evaluates specs through a per-process memo
+  table (each unique point is computed exactly once per engine, no
+  matter how many grids request it) and, optionally, a
+  ``concurrent.futures`` process pool.  Results are returned in spec
+  order and re-labelled per point, so sequential and parallel runs are
+  byte-identical;
+* every ``evaluate``/``report_for`` call is instrumented — wall-clock
+  seconds, point counts, cache hits/misses — and exported as a JSON
+  *run manifest* (see :meth:`SweepEngine.manifest` and
+  :func:`validate_manifest`) that the benchmark suite writes under
+  ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.cost.model import CostModel, CostReport
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.errors import InvalidParameterError
+
+MANIFEST_SCHEMA = "repro-engine-manifest/1"
+"""Schema tag stamped into (and required of) every run manifest."""
+
+PointKey = tuple[JoinSide, JoinSide, SystemParams, QueryParams]
+"""The canonical identity of one cost-model evaluation."""
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell: a full cost-model input plus its sweep label.
+
+    ``variable``/``value`` do not affect the computed
+    :class:`~repro.cost.model.CostReport` — they only name which knob
+    this cell sweeps — so two points differing only in their label share
+    one cache entry.
+    """
+
+    side1: JoinSide
+    side2: JoinSide
+    system: SystemParams
+    query: QueryParams
+    variable: str
+    value: float
+
+    @property
+    def key(self) -> PointKey:
+        """The memoization key: everything the cost model consumes."""
+        return (self.side1, self.side2, self.system, self.query)
+
+    @property
+    def label(self) -> str:
+        """The report label (matches the historical group-grid labels)."""
+        return (
+            f"{self.side1.stats.name}|{self.side2.stats.name}"
+            f"|{self.variable}={self.value}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, ordered grid of sweep points."""
+
+    name: str
+    points: tuple[SweepPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class RunRecord:
+    """Instrumentation for one ``evaluate``/``report_for`` call."""
+
+    spec: str
+    mode: str
+    points: int
+    cache_hits: int
+    cache_misses: int
+    wall_seconds: float
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready flat dict."""
+        return {
+            "spec": self.spec,
+            "mode": self.mode,
+            "points": self.points,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def _evaluate_key(key: PointKey) -> CostReport:
+    """Evaluate one point (module-level so process pools can pickle it)."""
+    side1, side2, system, query = key
+    return CostModel(side1, side2, system, query).report()
+
+
+class SweepEngine:
+    """Evaluates sweep grids with per-process memoization and fan-out.
+
+    ``jobs`` selects the execution mode: ``0``/``1`` (the default) is
+    deterministic sequential evaluation in this process; ``N > 1`` fans
+    cache misses out to an ``N``-worker process pool; ``None`` asks for
+    ``os.cpu_count()`` workers.  Either way results come back in request
+    order with per-point labels, so the rendered output is byte-identical
+    across modes.
+
+    ``cache=False`` disables memoization (every requested point is
+    recomputed) — the baseline the benchmarks measure speedups against.
+    """
+
+    def __init__(self, jobs: int | None = 0, cache: bool = True) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 0:
+            raise InvalidParameterError(f"jobs must be non-negative, got {jobs}")
+        self.jobs = jobs
+        self.cache_enabled = cache
+        self._cache: dict[PointKey, CostReport] = {}
+        self.hits = 0
+        self.misses = 0
+        self.runs: list[RunRecord] = []
+        self._point_record: RunRecord | None = None
+
+    # --- evaluation -------------------------------------------------------
+
+    def evaluate(self, spec: SweepSpec) -> list[CostReport]:
+        """All of a spec's reports, in point order, labelled per point.
+
+        Unique missing keys are computed once (sequentially or through
+        the pool) and memoized; repeated keys — within the spec or from
+        earlier calls — are cache hits.
+        """
+        start = time.perf_counter()
+        hits = 0
+        if self.cache_enabled:
+            missing: list[PointKey] = []
+            seen: set[PointKey] = set()
+            for point in spec.points:
+                key = point.key
+                if key in self._cache:
+                    hits += 1
+                elif key not in seen:
+                    seen.add(key)
+                    missing.append(key)
+                else:
+                    hits += 1  # deduplicated within this very spec
+            self._cache.update(zip(missing, self._compute(missing)))
+            reports = [
+                replace(self._cache[point.key], label=point.label)
+                for point in spec.points
+            ]
+            misses = len(missing)
+        else:
+            keys = [point.key for point in spec.points]
+            reports = [
+                replace(report, label=point.label)
+                for point, report in zip(spec.points, self._compute(keys))
+            ]
+            misses = len(keys)
+        self.hits += hits
+        self.misses += misses
+        self.runs.append(
+            RunRecord(
+                spec=spec.name,
+                mode=self.mode,
+                points=len(spec.points),
+                cache_hits=hits,
+                cache_misses=misses,
+                wall_seconds=time.perf_counter() - start,
+            )
+        )
+        return reports
+
+    def report_for(
+        self,
+        side1: JoinSide,
+        side2: JoinSide,
+        system: SystemParams | None = None,
+        query: QueryParams | None = None,
+        label: str = "",
+    ) -> CostReport:
+        """One memoized report — the single-point path bisection uses.
+
+        Point evaluations land in the same cache as :meth:`evaluate`, so
+        a bisection probing a grid's base point gets it for free (and
+        vice versa).  All single-point queries aggregate into one rolling
+        run record named ``"points"`` (a bisection makes hundreds of
+        these; one record per probe would bloat the manifest and the
+        bookkeeping would dominate the 60-microsecond evaluation).
+        """
+        start = time.perf_counter()
+        key: PointKey = (
+            side1,
+            side2,
+            system if system is not None else SystemParams(),
+            query if query is not None else QueryParams(),
+        )
+        if self.cache_enabled:
+            report = self._cache.get(key)
+            if report is None:
+                report = _evaluate_key(key)
+                self._cache[key] = report
+                hit = False
+            else:
+                hit = True
+        else:
+            report = _evaluate_key(key)
+            hit = False
+        record = self._point_record
+        if record is None:
+            record = RunRecord(
+                spec="points", mode=self.mode, points=0,
+                cache_hits=0, cache_misses=0, wall_seconds=0.0,
+            )
+            self._point_record = record
+            self.runs.append(record)
+        record.points += 1
+        if hit:
+            self.hits += 1
+            record.cache_hits += 1
+        else:
+            self.misses += 1
+            record.cache_misses += 1
+        record.wall_seconds += time.perf_counter() - start
+        return report if not label else replace(report, label=label)
+
+    def _compute(self, keys: Sequence[PointKey]) -> list[CostReport]:
+        if not keys:
+            return []
+        if self.jobs > 1 and len(keys) > 1:
+            chunksize = max(1, len(keys) // (self.jobs * 4))
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                return list(pool.map(_evaluate_key, keys, chunksize=chunksize))
+        return [_evaluate_key(key) for key in keys]
+
+    # --- introspection ----------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``'sequential'`` or ``'parallel[N]'``."""
+        return f"parallel[{self.jobs}]" if self.jobs > 1 else "sequential"
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized points."""
+        return len(self._cache)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requested points served from cache (0.0 when idle)."""
+        requested = self.hits + self.misses
+        return self.hits / requested if requested else 0.0
+
+    def clear_cache(self) -> None:
+        """Drop every memoized report (run records are preserved)."""
+        self._cache.clear()
+
+    # --- the run manifest -------------------------------------------------
+
+    def manifest(self, extras: Mapping[str, object] | None = None) -> dict[str, object]:
+        """The JSON-ready run manifest for everything this engine did.
+
+        ``extras`` lets a caller attach benchmark figures (measured
+        speedups, host facts) without touching the schema's core keys.
+        """
+        wall = sum(record.wall_seconds for record in self.runs)
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "created_unix": time.time(),
+            "jobs": self.jobs,
+            "mode": self.mode,
+            "cache_enabled": self.cache_enabled,
+            "cpu_count": os.cpu_count() or 1,
+            "totals": {
+                "runs": len(self.runs),
+                "points_requested": self.hits + self.misses,
+                "points_evaluated": self.misses,
+                "cache_hits": self.hits,
+                "cache_misses": self.misses,
+                "cache_hit_rate": self.hit_rate,
+                "unique_points_cached": self.cache_size,
+                "wall_seconds": wall,
+            },
+            "runs": [record.as_dict() for record in self.runs],
+            "extras": dict(extras or {}),
+        }
+
+    def write_manifest(
+        self, path: str | Path, extras: Mapping[str, object] | None = None
+    ) -> Path:
+        """Write :meth:`manifest` to ``path`` as indented JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.manifest(extras), indent=2) + "\n")
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepEngine(mode={self.mode}, cache={self.cache_enabled}, "
+            f"cached={self.cache_size}, hits={self.hits}, misses={self.misses})"
+        )
+
+
+_MANIFEST_TOTAL_KEYS = frozenset(
+    {
+        "runs",
+        "points_requested",
+        "points_evaluated",
+        "cache_hits",
+        "cache_misses",
+        "cache_hit_rate",
+        "unique_points_cached",
+        "wall_seconds",
+    }
+)
+
+_MANIFEST_RUN_KEYS = frozenset(
+    {"spec", "mode", "points", "cache_hits", "cache_misses", "wall_seconds"}
+)
+
+
+def validate_manifest(manifest: Mapping[str, object]) -> dict[str, object]:
+    """Check a run manifest against the v1 schema; return it as a dict.
+
+    Raises :class:`~repro.errors.InvalidParameterError` naming the first
+    violated expectation — CI runs this over the benchmark artifact so a
+    schema drift fails the build instead of silently corrupting the
+    ``BENCH_*.json`` perf trajectory.
+    """
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise InvalidParameterError(
+            f"manifest schema is {manifest.get('schema')!r}, "
+            f"expected {MANIFEST_SCHEMA!r}"
+        )
+    for key in ("created_unix", "jobs", "mode", "cache_enabled", "cpu_count"):
+        if key not in manifest:
+            raise InvalidParameterError(f"manifest is missing {key!r}")
+    totals = manifest.get("totals")
+    if not isinstance(totals, Mapping) or not _MANIFEST_TOTAL_KEYS <= set(totals):
+        raise InvalidParameterError(
+            f"manifest totals must carry {sorted(_MANIFEST_TOTAL_KEYS)}"
+        )
+    runs = manifest.get("runs")
+    if not isinstance(runs, list):
+        raise InvalidParameterError("manifest runs must be a list")
+    for record in runs:
+        if not isinstance(record, Mapping) or not _MANIFEST_RUN_KEYS <= set(record):
+            raise InvalidParameterError(
+                f"every run record must carry {sorted(_MANIFEST_RUN_KEYS)}"
+            )
+    if totals["points_requested"] != totals["cache_hits"] + totals["cache_misses"]:
+        raise InvalidParameterError("manifest totals are inconsistent")
+    return dict(manifest)
+
+
+def load_manifest(path: str | Path) -> dict[str, object]:
+    """Read and :func:`validate_manifest` a manifest file."""
+    return validate_manifest(json.loads(Path(path).read_text()))
+
+
+_default_engine: SweepEngine | None = None
+
+
+def default_engine() -> SweepEngine:
+    """The process-wide shared engine (sequential, caching).
+
+    Created lazily on first use; everything that evaluates grid points
+    without an explicit engine — ``run_groupN``, ``evaluate_summary``,
+    ``build_report``, the boundary bisections — shares it, so repeated
+    studies in one process pay for each unique point once.
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = SweepEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: SweepEngine | None) -> SweepEngine | None:
+    """Swap the process-wide engine; returns the previous one (or None)."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+def grid(
+    name: str,
+    points: Iterable[SweepPoint],
+) -> SweepSpec:
+    """Convenience constructor: materialise an iterable into a spec."""
+    return SweepSpec(name, tuple(points))

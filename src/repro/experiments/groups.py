@@ -11,6 +11,13 @@ Parameter conventions (Section 6): page size fixed at 4 KB, ``delta`` at
 ``alpha = 5``; one parameter sweeps while the other stays at its base.
 The paper does not publish its sweep grids (they are in tech report
 [11]), so we choose round grids bracketing the base values.
+
+Each group's grid is first expressed declaratively as a
+:class:`~repro.experiments.engine.SweepSpec` (see ``groupN_spec``) and
+then evaluated through a :class:`~repro.experiments.engine.SweepEngine`,
+so points shared between groups — or with the summary checks, the report
+generator and the boundary bisections — are computed exactly once per
+engine, and a parallel engine fans the grid out across processes.
 """
 
 from __future__ import annotations
@@ -18,8 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.cost.model import CostModel, CostReport
+from repro.cost.model import CostReport
 from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.experiments.engine import SweepEngine, SweepPoint, SweepSpec, default_engine
 from repro.index.stats import CollectionStats
 from repro.workloads.trec import TREC_COLLECTIONS
 
@@ -90,68 +98,94 @@ def _base_query() -> QueryParams:
     return QueryParams()  # lambda = 20, delta = 0.1 — the fixed Section 6 values
 
 
-def _point(
-    group: int,
+def _sweep_point(
     side1: JoinSide,
     side2: JoinSide,
     system: SystemParams,
     variable: str,
     value: float,
-) -> SimulationPoint:
-    report = CostModel(side1, side2, system, _base_query()).report(
-        label=f"{side1.stats.name}|{side2.stats.name}|{variable}={value}"
-    )
-    return SimulationPoint(
-        group=group,
-        collection1=side1.stats.name,
-        collection2=side2.stats.name,
-        buffer_pages=system.buffer_pages,
-        alpha=system.alpha,
+) -> SweepPoint:
+    return SweepPoint(
+        side1=side1,
+        side2=side2,
+        system=system,
+        query=_base_query(),
         variable=variable,
         value=value,
-        report=report,
     )
+
+
+def _run_spec(
+    group: int, description: str, spec: SweepSpec, engine: SweepEngine | None
+) -> GroupResult:
+    """Evaluate a grid spec and wrap the reports as a GroupResult."""
+    engine = engine if engine is not None else default_engine()
+    result = GroupResult(group, description)
+    for point, report in zip(spec.points, engine.evaluate(spec)):
+        result.points.append(
+            SimulationPoint(
+                group=group,
+                collection1=point.side1.stats.name,
+                collection2=point.side2.stats.name,
+                buffer_pages=point.system.buffer_pages,
+                alpha=point.system.alpha,
+                variable=point.variable,
+                value=point.value,
+                report=report,
+            )
+        )
+    return result
+
+
+def group1_spec(
+    collections: Iterable[CollectionStats] | None = None,
+    buffer_sweep: Sequence[int] = BUFFER_SWEEP,
+    alpha_sweep: Sequence[float] = ALPHA_SWEEP,
+) -> SweepSpec:
+    """Group 1's grid: self-joins, B sweep then alpha sweep."""
+    points: list[SweepPoint] = []
+    for stats in collections or TREC_COLLECTIONS.values():
+        side = JoinSide(stats)
+        for b in buffer_sweep:
+            points.append(_sweep_point(side, side, SystemParams(buffer_pages=b), "B", b))
+        for alpha in alpha_sweep:
+            points.append(_sweep_point(side, side, SystemParams(alpha=alpha), "alpha", alpha))
+    return SweepSpec("group1", tuple(points))
 
 
 def run_group1(
     collections: Iterable[CollectionStats] | None = None,
     buffer_sweep: Sequence[int] = BUFFER_SWEEP,
     alpha_sweep: Sequence[float] = ALPHA_SWEEP,
+    engine: SweepEngine | None = None,
 ) -> GroupResult:
     """Group 1: self-joins of each real collection; sweep B, then alpha.
 
     Six simulations in the paper: three collections x two swept
     parameters.
     """
-    result = GroupResult(1, "self-join of each real collection; sweep B and alpha")
-    for stats in collections or TREC_COLLECTIONS.values():
-        side = JoinSide(stats)
-        for b in buffer_sweep:
-            result.points.append(
-                _point(1, side, side, SystemParams(buffer_pages=b), "B", b)
-            )
-        for alpha in alpha_sweep:
-            result.points.append(
-                _point(1, side, side, SystemParams(alpha=alpha), "alpha", alpha)
-            )
-    return result
+    return _run_spec(
+        1,
+        "self-join of each real collection; sweep B and alpha",
+        group1_spec(collections, buffer_sweep, alpha_sweep),
+        engine,
+    )
 
 
-def run_group2(
+def group2_spec(
     collections: Iterable[CollectionStats] | None = None,
     buffer_sweep: Sequence[int] = BUFFER_SWEEP,
-) -> GroupResult:
-    """Group 2: every ordered pair of distinct collections; sweep B."""
-    result = GroupResult(2, "cross-joins of distinct collections; sweep B")
+) -> SweepSpec:
+    """Group 2's grid: every ordered distinct pair, B sweep."""
+    points: list[SweepPoint] = []
     pool = list(collections or TREC_COLLECTIONS.values())
     for stats1 in pool:
         for stats2 in pool:
             if stats1.name == stats2.name:
                 continue
             for b in buffer_sweep:
-                result.points.append(
-                    _point(
-                        2,
+                points.append(
+                    _sweep_point(
                         JoinSide(stats1),
                         JoinSide(stats2),
                         SystemParams(buffer_pages=b),
@@ -159,12 +193,46 @@ def run_group2(
                         b,
                     )
                 )
-    return result
+    return SweepSpec("group2", tuple(points))
+
+
+def run_group2(
+    collections: Iterable[CollectionStats] | None = None,
+    buffer_sweep: Sequence[int] = BUFFER_SWEEP,
+    engine: SweepEngine | None = None,
+) -> GroupResult:
+    """Group 2: every ordered pair of distinct collections; sweep B."""
+    return _run_spec(
+        2,
+        "cross-joins of distinct collections; sweep B",
+        group2_spec(collections, buffer_sweep),
+        engine,
+    )
+
+
+def group3_spec(
+    collections: Iterable[CollectionStats] | None = None,
+    selection_sweep: Sequence[int] = SELECTION_SWEEP,
+) -> SweepSpec:
+    """Group 3's grid: selected-outer self-joins, n2 sweep."""
+    points: list[SweepPoint] = []
+    system = SystemParams()
+    for stats in collections or TREC_COLLECTIONS.values():
+        for n in selection_sweep:
+            if n > stats.n_documents:
+                continue
+            points.append(
+                _sweep_point(
+                    JoinSide(stats), JoinSide(stats, participating=n), system, "n2", n
+                )
+            )
+    return SweepSpec("group3", tuple(points))
 
 
 def run_group3(
     collections: Iterable[CollectionStats] | None = None,
     selection_sweep: Sequence[int] = SELECTION_SWEEP,
+    engine: SweepEngine | None = None,
 ) -> GroupResult:
     """Group 3: a selection leaves few participating documents of C2.
 
@@ -172,57 +240,91 @@ def run_group3(
     they are fetched randomly and C2's index structures keep their
     original size.  Base B and alpha.
     """
-    result = GroupResult(3, "few selected documents of an originally large C2")
-    system = SystemParams()
-    for stats in collections or TREC_COLLECTIONS.values():
-        for n in selection_sweep:
-            if n > stats.n_documents:
-                continue
-            result.points.append(
-                _point(3, JoinSide(stats), JoinSide(stats, participating=n), system, "n2", n)
-            )
-    return result
+    return _run_spec(
+        3,
+        "few selected documents of an originally large C2",
+        group3_spec(collections, selection_sweep),
+        engine,
+    )
 
 
-def run_group4(
+def group4_spec(
     collections: Iterable[CollectionStats] | None = None,
     selection_sweep: Sequence[int] = SELECTION_SWEEP,
-) -> GroupResult:
-    """Group 4: C2 is an originally small collection derived from C1.
-
-    Unlike Group 3 the small collection owns its (small) inverted file
-    and B+-tree and is read sequentially.  Base B and alpha.
-    """
-    result = GroupResult(4, "an originally small C2 derived from C1")
+) -> SweepSpec:
+    """Group 4's grid: originally-small derived C2, n2 sweep."""
+    points: list[SweepPoint] = []
     system = SystemParams()
     for stats in collections or TREC_COLLECTIONS.values():
         for n in selection_sweep:
             if n > stats.n_documents:
                 continue
             small = stats.with_documents(n)
-            result.points.append(
-                _point(4, JoinSide(stats), JoinSide(small), system, "n2", n)
-            )
-    return result
+            points.append(_sweep_point(JoinSide(stats), JoinSide(small), system, "n2", n))
+    return SweepSpec("group4", tuple(points))
+
+
+def run_group4(
+    collections: Iterable[CollectionStats] | None = None,
+    selection_sweep: Sequence[int] = SELECTION_SWEEP,
+    engine: SweepEngine | None = None,
+) -> GroupResult:
+    """Group 4: C2 is an originally small collection derived from C1.
+
+    Unlike Group 3 the small collection owns its (small) inverted file
+    and B+-tree and is read sequentially.  Base B and alpha.
+    """
+    return _run_spec(
+        4,
+        "an originally small C2 derived from C1",
+        group4_spec(collections, selection_sweep),
+        engine,
+    )
+
+
+def group5_spec(
+    collections: Iterable[CollectionStats] | None = None,
+    rescale_sweep: Sequence[int] = RESCALE_SWEEP,
+) -> SweepSpec:
+    """Group 5's grid: size-preserving rescaled self-joins, factor sweep."""
+    points: list[SweepPoint] = []
+    system = SystemParams()
+    for stats in collections or TREC_COLLECTIONS.values():
+        for factor in rescale_sweep:
+            scaled = stats.rescaled(factor)
+            side = JoinSide(scaled)
+            points.append(_sweep_point(side, side, system, "factor", factor))
+    return SweepSpec("group5", tuple(points))
 
 
 def run_group5(
     collections: Iterable[CollectionStats] | None = None,
     rescale_sweep: Sequence[int] = RESCALE_SWEEP,
+    engine: SweepEngine | None = None,
 ) -> GroupResult:
     """Group 5: self-joins of rescaled collections (VVM's sweet spot).
 
     Each derived collection keeps the original total size but has
     ``N / factor`` documents of ``K * factor`` terms.  Base B and alpha.
     """
-    result = GroupResult(5, "self-joins of size-preserving rescaled collections")
-    system = SystemParams()
-    for stats in collections or TREC_COLLECTIONS.values():
-        for factor in rescale_sweep:
-            scaled = stats.rescaled(factor)
-            side = JoinSide(scaled)
-            result.points.append(_point(5, side, side, system, "factor", factor))
-    return result
+    return _run_spec(
+        5,
+        "self-joins of size-preserving rescaled collections",
+        group5_spec(collections, rescale_sweep),
+        engine,
+    )
+
+
+def run_all_groups(engine: SweepEngine | None = None) -> list[GroupResult]:
+    """All five groups over the TREC statistics, sharing one engine."""
+    engine = engine if engine is not None else default_engine()
+    return [
+        run_group1(engine=engine),
+        run_group2(engine=engine),
+        run_group3(engine=engine),
+        run_group4(engine=engine),
+        run_group5(engine=engine),
+    ]
 
 
 def statistics_table(

@@ -6,21 +6,30 @@ the integrated-algorithm choices and the figure charts — and renders one
 self-contained markdown document.  The CLI exposes it as
 ``python -m repro report [--output PATH]`` so a reader can reproduce the
 study without pytest.
+
+The whole study runs through a single
+:class:`~repro.experiments.engine.SweepEngine`: the summary and figure
+sections re-request the same grids the group sections already evaluated,
+and the engine's memo table turns every shared point — grid cells,
+integrated-algorithm situations, bisection probes — into a cache hit, so
+each unique point is computed exactly once per report.  Pass a parallel
+engine (``SweepEngine(jobs=N)``) to fan the grids out across processes,
+or ``SweepEngine(cache=False)`` to reproduce the pre-engine behaviour
+(every section recomputes its own grids — the benchmarks' baseline); the
+rendered markdown is byte-identical in every mode.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cost.model import CostModel
 from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.experiments.engine import SweepEngine, default_engine
 from repro.experiments.figures import extract_series, render_ascii
 from repro.experiments.groups import (
     GroupResult,
+    run_all_groups,
     run_group1,
-    run_group2,
-    run_group3,
-    run_group4,
     run_group5,
     statistics_table,
 )
@@ -31,10 +40,13 @@ from repro.workloads.trec import TREC_COLLECTIONS, WSJ
 
 @dataclass
 class ReportSection:
+    """One titled, fenced block of the rendered study."""
+
     title: str
     body: str
 
     def render(self) -> str:
+        """The section as markdown (title plus fenced body)."""
         return f"## {self.title}\n\n```\n{self.body}\n```\n"
 
 
@@ -47,10 +59,10 @@ def _group_section(result: GroupResult) -> ReportSection:
     )
 
 
-def _figures_section() -> ReportSection:
+def _figures_section(engine: SweepEngine) -> ReportSection:
     charts = []
-    g1 = run_group1()
-    g5 = run_group5()
+    g1 = run_group1(engine=engine)
+    g5 = run_group5(engine=engine)
     for name in TREC_COLLECTIONS:
         charts.append(render_ascii(extract_series(g1, name, "B", name)))
     charts.append(render_ascii(extract_series(g5, "FR", "factor", match_prefix=True)))
@@ -60,8 +72,8 @@ def _figures_section() -> ReportSection:
     )
 
 
-def _summary_section() -> ReportSection:
-    findings = evaluate_summary()
+def _summary_section(engine: SweepEngine) -> ReportSection:
+    findings = evaluate_summary(engine=engine)
     lines = [
         f"1. drastic cost spread: max x{findings.max_cost_spread:,.0f} "
         f"[{'holds' if findings.point1_drastic_spread else 'FAILS'}]",
@@ -81,7 +93,7 @@ def _summary_section() -> ReportSection:
     return ReportSection(title="Section 6.1 summary points", body="\n".join(lines))
 
 
-def _integrated_section() -> ReportSection:
+def _integrated_section(engine: SweepEngine) -> ReportSection:
     system, query = SystemParams(), QueryParams()
     rows = []
     situations = [
@@ -91,7 +103,7 @@ def _integrated_section() -> ReportSection:
          JoinSide(WSJ.rescaled(20)), JoinSide(WSJ.rescaled(20))),
     ]
     for label, side1, side2 in situations:
-        report = CostModel(side1, side2, system, query).report(label)
+        report = engine.report_for(side1, side2, system, query, label=label)
         rows.append(
             {
                 "situation": label,
@@ -104,11 +116,11 @@ def _integrated_section() -> ReportSection:
     return ReportSection(title="Integrated algorithm", body=format_grid(rows))
 
 
-def _boundaries_section() -> ReportSection:
+def _boundaries_section(engine: SweepEngine) -> ReportSection:
     from repro.experiments.boundaries import trec_boundaries
 
     rows = []
-    for boundary in trec_boundaries():
+    for boundary in trec_boundaries(engine=engine):
         stats = TREC_COLLECTIONS[boundary.collection]
         rows.append(
             {
@@ -125,22 +137,27 @@ def _boundaries_section() -> ReportSection:
     )
 
 
-def build_report() -> str:
-    """The full study as one markdown document."""
+def build_report(engine: SweepEngine | None = None) -> str:
+    """The full study as one markdown document.
+
+    ``engine`` defaults to the process-wide shared engine; pass
+    ``SweepEngine(jobs=N)`` for process-pool evaluation or
+    ``SweepEngine(cache=False)`` to force every point to recompute (the
+    benchmarks' baseline).  Output is identical for any engine
+    configuration.
+    """
+    engine = engine if engine is not None else default_engine()
+    groups = run_all_groups(engine)
     sections = [
         ReportSection(
             title="Collection statistics (the paper's Section 6 table)",
             body=format_grid(statistics_table()),
         ),
-        _group_section(run_group1()),
-        _group_section(run_group2()),
-        _group_section(run_group3()),
-        _group_section(run_group4()),
-        _group_section(run_group5()),
-        _summary_section(),
-        _integrated_section(),
-        _boundaries_section(),
-        _figures_section(),
+        *(_group_section(result) for result in groups),
+        _summary_section(engine),
+        _integrated_section(engine),
+        _boundaries_section(engine),
+        _figures_section(engine),
     ]
     header = (
         "# Text-join simulation study (regenerated)\n\n"

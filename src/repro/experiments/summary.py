@@ -21,14 +21,8 @@ from dataclasses import dataclass
 
 from repro.cost.model import CostModel, CostReport
 from repro.cost.params import JoinSide, QueryParams, SystemParams
-from repro.experiments.groups import (
-    GroupResult,
-    run_group1,
-    run_group2,
-    run_group3,
-    run_group4,
-    run_group5,
-)
+from repro.experiments.engine import SweepEngine
+from repro.experiments.groups import GroupResult, run_all_groups
 from repro.index.stats import CollectionStats
 from repro.workloads.trec import TREC_COLLECTIONS
 
@@ -108,10 +102,17 @@ def _window(point_side1: JoinSide, point_side2: JoinSide, buffer_pages: int) -> 
 
 def evaluate_summary(
     groups: list[GroupResult] | None = None,
+    engine: SweepEngine | None = None,
 ) -> SummaryFindings:
-    """Scan the grids of all five groups and tally each point's evidence."""
+    """Scan the grids of all five groups and tally each point's evidence.
+
+    Pass pre-built ``groups`` to reuse grids you already have (as
+    ``build_report`` does); otherwise the five groups are regenerated
+    through ``engine`` (or the shared default engine), so their points
+    are memoized rather than recomputed.
+    """
     if groups is None:
-        groups = [run_group1(), run_group2(), run_group3(), run_group4(), run_group5()]
+        groups = run_all_groups(engine)
 
     max_spread = 0.0
     hvnl_small = small_points = 0

@@ -77,12 +77,18 @@ class ObjectBuffer:
         than the whole budget is *rejected* (returns ``False``): HVNL then
         uses the entry once without caching it, which is what a real
         system does with an oversized fetch.
+
+        Re-offering a resident key is an update, not a no-op: the payload,
+        size and replacement priority are refreshed (an inverted entry
+        re-read after a collection update may well have grown), the byte
+        accounting follows the new size, and a growth that overflows the
+        budget evicts — possibly including the updated object itself when
+        the policy picks it.
         """
         if n_bytes < 0:
             raise StorageError(f"object size must be non-negative, got {n_bytes}")
         if key in self._resident:
-            self.policy.accessed(key)
-            return True
+            return self._update_resident(key, payload, n_bytes, priority)
         if n_bytes > self.budget_bytes:
             self.rejected += 1
             return False
@@ -92,6 +98,27 @@ class ObjectBuffer:
         self._used_bytes += n_bytes
         self.policy.admitted(key, priority)
         return True
+
+    def _update_resident(
+        self, key: Hashable, payload: Any, n_bytes: int, priority: float
+    ) -> bool:
+        """Refresh a resident object's payload, size and priority."""
+        if n_bytes > self.budget_bytes:
+            # the new size can never fit: drop the stale copy and reject
+            self.discard(key)
+            self.rejected += 1
+            return False
+        obj = self._resident[key]
+        self._used_bytes += n_bytes - obj.n_bytes
+        obj.payload = payload
+        obj.n_bytes = n_bytes
+        # Re-inform the policy so the new priority takes effect (and the
+        # refresh counts as this key's most recent admission).
+        self.policy.evicted(key)
+        self.policy.admitted(key, priority)
+        while self._used_bytes > self.budget_bytes:
+            self._evict_one()
+        return key in self._resident
 
     def discard(self, key: Hashable) -> bool:
         """Remove ``key`` without counting an eviction (explicit drop)."""

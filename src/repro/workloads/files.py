@@ -40,7 +40,7 @@ def collection_from_files(
         path = Path(path)
         try:
             texts.append(path.read_text(encoding=encoding, errors=errors))
-        except OSError as exc:
+        except (OSError, UnicodeDecodeError) as exc:
             raise WorkloadError(f"cannot read {path}: {exc}") from exc
     if not texts:
         raise WorkloadError(f"collection {name!r} needs at least one file")
@@ -55,11 +55,15 @@ def collection_from_directory(
     *,
     pattern: str = "*.txt",
     encoding: str = "utf-8",
+    errors: str = "replace",
 ) -> tuple[DocumentCollection, list[Path]]:
     """All files matching ``pattern``, sorted by name for stable ids.
 
     Returns the collection plus the path list (``paths[i]`` is document
-    ``i``'s source file).
+    ``i``'s source file).  ``errors`` is the codec error handler forwarded
+    to :func:`collection_from_files` — ``"replace"`` (the default) keeps a
+    directory loadable when one file is badly encoded; pass ``"strict"``
+    to fail loudly instead.
     """
     directory = Path(directory)
     if not directory.is_dir():
@@ -70,6 +74,6 @@ def collection_from_directory(
             f"no files matching {pattern!r} under {directory}"
         )
     collection = collection_from_files(
-        name, paths, vocabulary, tokenizer, encoding=encoding
+        name, paths, vocabulary, tokenizer, encoding=encoding, errors=errors
     )
     return collection, paths

@@ -268,3 +268,33 @@ class TestResultObject:
         env = JoinEnvironment(c1, c2, PageGeometry(small_system.page_bytes))
         result = run_hvnl(env, TextJoinSpec(lam=2), small_system)
         assert result.weighted_cost(10) >= result.weighted_cost(2)
+
+
+class TestSimilarityFiniteness:
+    """Regression: non-finite similarities must never reach the results.
+
+    The normalised path divides by the product of document norms; TopK
+    now rejects non-finite offers outright, so even a degenerate
+    normalisation cannot poison the heap.  These tests pin the
+    end-to-end guarantee on the executors' real code path.
+    """
+
+    def test_normalized_hvnl_results_all_finite(self, synthetic_pair, small_system):
+        import math
+
+        c1, c2 = synthetic_pair
+        env = JoinEnvironment(c1, c2, PageGeometry(small_system.page_bytes))
+        result = run_hvnl(env, TextJoinSpec(lam=3, normalized=True), small_system)
+        sims = [s for matches in result.matches.values() for _, s in matches]
+        assert sims, "normalized join should still produce matches"
+        assert all(math.isfinite(s) and s > 0.0 for s in sims)
+
+    def test_all_runners_finite_when_normalized(self, tiny_pair, runner, small_system):
+        import math
+
+        name, run = runner
+        c1, c2 = tiny_pair
+        env = JoinEnvironment(c1, c2, PageGeometry(small_system.page_bytes))
+        result = run(env, TextJoinSpec(lam=5, normalized=True), small_system)
+        for matches in result.matches.values():
+            assert all(math.isfinite(s) for _, s in matches)

@@ -1,5 +1,7 @@
 """Top-lambda tracking and its tie-breaking contract."""
 
+import math
+
 import pytest
 
 from repro.core.topk import TopK
@@ -22,6 +24,29 @@ class TestBasics:
         assert not top.offer(1, 0.0)
         assert not top.offer(2, -1.0)
         assert top.results() == []
+
+    def test_rejects_nan(self):
+        # NaN <= 0.0 is False, so without an explicit isfinite check a
+        # NaN from a degenerate normalisation would enter the heap and
+        # make every later comparison (and results() sorting) undefined.
+        top = TopK(3)
+        assert not top.offer(1, math.nan)
+        assert top.results() == []
+        assert top.threshold() == 0.0
+
+    def test_rejects_infinities(self):
+        top = TopK(3)
+        assert not top.offer(1, math.inf)
+        assert not top.offer(2, -math.inf)
+        assert top.results() == []
+
+    def test_nan_after_fill_does_not_disturb_heap(self):
+        top = TopK(2)
+        top.offer(1, 5.0)
+        top.offer(2, 3.0)
+        assert not top.offer(3, math.nan)
+        assert top.results() == [(1, 5.0), (2, 3.0)]
+        assert top.threshold() == 3.0
 
     def test_offer_returns_retention(self):
         top = TopK(1)

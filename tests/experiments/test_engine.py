@@ -1,0 +1,214 @@
+"""The memoized sweep engine behind every simulation group."""
+
+import json
+
+import pytest
+
+from repro.cost.params import JoinSide, QueryParams, SystemParams
+from repro.errors import InvalidParameterError
+from repro.experiments.engine import (
+    MANIFEST_SCHEMA,
+    SweepEngine,
+    SweepPoint,
+    SweepSpec,
+    default_engine,
+    grid,
+    load_manifest,
+    set_default_engine,
+    validate_manifest,
+)
+from repro.workloads.trec import DOE, FR, WSJ
+
+
+def _point(stats=WSJ, other=None, buffer_pages=10_000, alpha=5.0,
+           variable="B", value=None):
+    side1 = JoinSide(stats)
+    side2 = JoinSide(other if other is not None else stats)
+    system = SystemParams(buffer_pages=buffer_pages, alpha=alpha)
+    return SweepPoint(
+        side1, side2, system, QueryParams(),
+        variable, value if value is not None else float(buffer_pages),
+    )
+
+
+def _buffer_spec(name="b-sweep", sweep=(2_000, 10_000, 40_000)):
+    return grid(name, (_point(buffer_pages=b, value=float(b)) for b in sweep))
+
+
+class TestSweepPoint:
+    def test_key_omits_the_label(self):
+        a = _point(variable="B", value=1.0)
+        b = _point(variable="alpha", value=99.0)
+        assert a.key == b.key
+        assert a.label != b.label
+
+    def test_label_names_both_sides_and_the_knob(self):
+        point = _point(stats=WSJ, other=FR, variable="B", value=2_000.0)
+        assert point.label == "WSJ|FR|B=2000.0"
+
+
+class TestEvaluate:
+    def test_reports_in_point_order_with_labels(self):
+        engine = SweepEngine()
+        spec = _buffer_spec()
+        reports = engine.evaluate(spec)
+        assert len(reports) == len(spec)
+        assert [r.label for r in reports] == [p.label for p in spec.points]
+
+    def test_memoizes_across_specs(self):
+        engine = SweepEngine()
+        engine.evaluate(_buffer_spec("first"))
+        assert engine.misses == 3 and engine.hits == 0
+        engine.evaluate(_buffer_spec("second"))
+        assert engine.misses == 3 and engine.hits == 3
+        assert engine.hit_rate == pytest.approx(0.5)
+
+    def test_dedupes_within_one_spec(self):
+        spec = SweepSpec("dup", (_point(value=1.0), _point(value=2.0)))
+        engine = SweepEngine()
+        reports = engine.evaluate(spec)
+        assert engine.misses == 1 and engine.hits == 1
+        # labels still differ even though the evaluation was shared
+        assert reports[0].label != reports[1].label
+        assert reports[0].winner() == reports[1].winner()
+
+    def test_no_cache_mode_recomputes_everything(self):
+        engine = SweepEngine(cache=False)
+        engine.evaluate(_buffer_spec())
+        engine.evaluate(_buffer_spec())
+        assert engine.hits == 0 and engine.misses == 6
+        assert engine.cache_size == 0
+
+    def test_parallel_matches_sequential(self):
+        spec = grid(
+            "mixed",
+            [
+                _point(stats=s, other=o, buffer_pages=b, value=float(b))
+                for s in (WSJ, FR, DOE)
+                for o in (WSJ, DOE)
+                for b in (2_000, 10_000)
+            ],
+        )
+        sequential = SweepEngine(jobs=0).evaluate(spec)
+        parallel = SweepEngine(jobs=2).evaluate(spec)
+        assert sequential == parallel
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SweepEngine(jobs=-1)
+
+    def test_jobs_none_uses_cpu_count(self):
+        import os
+        assert SweepEngine(jobs=None).jobs == (os.cpu_count() or 1)
+
+    def test_mode_strings(self):
+        assert SweepEngine(jobs=0).mode == "sequential"
+        assert SweepEngine(jobs=1).mode == "sequential"
+        assert SweepEngine(jobs=3).mode == "parallel[3]"
+
+    def test_clear_cache_keeps_run_records(self):
+        engine = SweepEngine()
+        engine.evaluate(_buffer_spec())
+        engine.clear_cache()
+        assert engine.cache_size == 0
+        assert len(engine.runs) == 1
+
+
+class TestReportFor:
+    def test_shares_the_cache_with_evaluate(self):
+        engine = SweepEngine()
+        engine.evaluate(_buffer_spec(sweep=(10_000,)))
+        report = engine.report_for(
+            JoinSide(WSJ), JoinSide(WSJ), SystemParams(buffer_pages=10_000)
+        )
+        assert engine.hits == 1  # served from the grid's evaluation
+        assert report.winner() == "HHNL"
+
+    def test_aggregates_probes_into_one_record(self):
+        engine = SweepEngine()
+        for _ in range(5):
+            engine.report_for(JoinSide(FR), JoinSide(FR))
+        records = [r for r in engine.runs if r.spec == "points"]
+        assert len(records) == 1
+        assert records[0].points == 5
+        assert records[0].cache_hits == 4
+        assert records[0].cache_misses == 1
+
+    def test_label_override(self):
+        engine = SweepEngine()
+        report = engine.report_for(
+            JoinSide(WSJ), JoinSide(FR), label="WSJ vs FR"
+        )
+        assert report.label == "WSJ vs FR"
+
+
+class TestDefaultEngine:
+    def test_lazily_created_and_shared(self):
+        previous = set_default_engine(None)
+        try:
+            engine = default_engine()
+            assert default_engine() is engine
+            assert engine.mode == "sequential"
+        finally:
+            set_default_engine(previous)
+
+    def test_swap_returns_previous(self):
+        mine = SweepEngine()
+        previous = set_default_engine(mine)
+        try:
+            assert default_engine() is mine
+        finally:
+            set_default_engine(previous)
+
+
+class TestManifest:
+    def test_round_trip_through_disk(self, tmp_path):
+        engine = SweepEngine()
+        engine.evaluate(_buffer_spec())
+        engine.report_for(JoinSide(DOE), JoinSide(DOE))
+        path = engine.write_manifest(tmp_path / "manifest.json",
+                                     extras={"note": "unit test"})
+        manifest = load_manifest(path)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["extras"] == {"note": "unit test"}
+        totals = manifest["totals"]
+        assert totals["runs"] == 2
+        assert totals["points_requested"] == 4
+        assert totals["unique_points_cached"] == engine.cache_size
+
+    def test_totals_reconcile_with_run_records(self):
+        engine = SweepEngine()
+        engine.evaluate(_buffer_spec("a"))
+        engine.evaluate(_buffer_spec("b"))
+        manifest = validate_manifest(engine.manifest())
+        runs = manifest["runs"]
+        assert sum(r["cache_hits"] for r in runs) == manifest["totals"]["cache_hits"]
+        assert sum(r["cache_misses"] for r in runs) == manifest["totals"]["cache_misses"]
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            validate_manifest({"schema": "something-else/9"})
+
+    def test_missing_totals_rejected(self):
+        manifest = SweepEngine().manifest()
+        del manifest["totals"]["cache_hits"]
+        with pytest.raises(InvalidParameterError):
+            validate_manifest(manifest)
+
+    def test_inconsistent_totals_rejected(self):
+        manifest = SweepEngine().manifest()
+        manifest["totals"]["points_requested"] = 7
+        with pytest.raises(InvalidParameterError):
+            validate_manifest(manifest)
+
+    def test_malformed_run_record_rejected(self):
+        manifest = SweepEngine().manifest()
+        manifest["runs"] = [{"spec": "broken"}]
+        with pytest.raises(InvalidParameterError):
+            validate_manifest(manifest)
+
+    def test_manifest_is_json_serialisable(self):
+        engine = SweepEngine(jobs=2)
+        engine.evaluate(_buffer_spec())
+        text = json.dumps(engine.manifest())
+        assert "parallel[2]" in text

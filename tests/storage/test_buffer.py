@@ -30,11 +30,18 @@ class TestInsertAndGet:
         assert buf.peek("nope") is None
         assert buf.hits == 0 and buf.misses == 0
 
-    def test_reinsert_is_noop(self):
+    def test_reinsert_same_size_keeps_accounting(self):
         buf = make_buffer()
         buf.insert("t1", "x", 10)
         assert buf.insert("t1", "x", 10)
         assert buf.used_bytes == 10
+
+    def test_exact_fit_insert(self):
+        buf = make_buffer(budget=100)
+        assert buf.insert("full", "F", 100)
+        assert buf.used_bytes == 100
+        assert buf.free_bytes == 0
+        assert buf.evictions == 0 and buf.rejected == 0
 
     def test_contains(self):
         buf = make_buffer()
@@ -88,6 +95,76 @@ class TestEviction:
         buf.insert("a", "A", 30)
         assert buf.used_bytes == 30
         assert buf.free_bytes == 70
+
+
+class TestResidentUpdate:
+    """Re-offering a resident key refreshes payload, size and priority."""
+
+    def test_payload_refreshed(self):
+        buf = make_buffer()
+        buf.insert("t1", "stale", 10)
+        assert buf.insert("t1", "fresh", 10)
+        assert buf.peek("t1") == "fresh"
+
+    def test_grow_adjusts_used_bytes(self):
+        buf = make_buffer(budget=100)
+        buf.insert("t1", "x", 10)
+        assert buf.insert("t1", "xx", 35)
+        assert buf.used_bytes == 35
+
+    def test_shrink_adjusts_used_bytes(self):
+        buf = make_buffer(budget=100)
+        buf.insert("t1", "xx", 40)
+        assert buf.insert("t1", "x", 15)
+        assert buf.used_bytes == 15
+        assert buf.free_bytes == 85
+
+    def test_growth_overflow_evicts_other_objects(self):
+        buf = make_buffer(budget=100)
+        buf.insert("old", "O", 50)
+        buf.insert("grows", "g", 40)
+        # growing 'grows' to 80 overflows; LRU evicts 'old'
+        assert buf.insert("grows", "G", 80)
+        assert "old" not in buf
+        assert buf.used_bytes == 80
+        assert buf.evictions == 1
+
+    def test_growth_may_evict_the_updated_object_itself(self):
+        # With LRU the refreshed key becomes most-recent, so eviction
+        # lands elsewhere first — but a policy preferring the updated key
+        # may evict it; insert's return value reports residency honestly.
+        buf = ObjectBuffer(100, LowestDocFrequencyPolicy())
+        buf.insert("common", "C", 50, priority=99)
+        buf.insert("rare", "r", 40, priority=1)
+        assert not buf.insert("rare", "R", 80, priority=1)
+        assert "rare" not in buf
+        assert "common" in buf
+        assert buf.used_bytes == 50
+
+    def test_update_to_oversized_drops_and_rejects(self):
+        buf = make_buffer(budget=100)
+        buf.insert("t1", "x", 10)
+        assert not buf.insert("t1", "huge", 200)
+        assert "t1" not in buf
+        assert buf.used_bytes == 0
+        assert buf.rejected == 1
+
+    def test_update_refreshes_replacement_priority(self):
+        buf = ObjectBuffer(100, LowestDocFrequencyPolicy())
+        buf.insert("a", "A", 50, priority=1)
+        buf.insert("b", "B", 50, priority=10)
+        # 'a' was the lowest-df victim candidate; refresh makes it safe
+        buf.insert("a", "A2", 50, priority=999)
+        buf.insert("c", "C", 50, priority=20)  # must evict someone
+        assert "a" in buf
+        assert "b" not in buf
+
+    def test_exact_fit_update(self):
+        buf = make_buffer(budget=100)
+        buf.insert("t1", "x", 60)
+        assert buf.insert("t1", "X", 100)
+        assert buf.used_bytes == 100
+        assert buf.n_resident == 1
 
 
 class TestDiscardAndClear:

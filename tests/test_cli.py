@@ -113,6 +113,56 @@ class TestBoundaries:
         assert "WSJ" in out and "FR" in out and "DOE" in out
 
 
+class TestEngineOptions:
+    """--jobs/--no-cache/--manifest on the sweep-backed subcommands."""
+
+    def test_group_accepts_jobs_and_no_cache(self, capsys):
+        assert main(["group", "3", "--jobs", "1", "--no-cache"]) == 0
+        assert "Group 3" in capsys.readouterr().out
+
+    def test_summary_accepts_engine_flags(self, capsys):
+        assert main(["summary", "--jobs", "0"]) == 0
+        assert capsys.readouterr().out.count("[ok]") == 5
+
+    def test_boundaries_accepts_engine_flags(self, capsys):
+        assert main(["boundaries", "--no-cache"]) == 0
+        assert "HVNL wins up to n2" in capsys.readouterr().out
+
+    def test_report_parallel_matches_sequential(self, tmp_path):
+        seq = tmp_path / "seq.md"
+        par = tmp_path / "par.md"
+        assert main(["report", "--output", str(seq)]) == 0
+        assert main(["report", "--output", str(par), "--jobs", "2"]) == 0
+        assert seq.read_bytes() == par.read_bytes()
+
+    def test_report_no_cache_matches_cached(self, tmp_path):
+        cached = tmp_path / "cached.md"
+        uncached = tmp_path / "uncached.md"
+        assert main(["report", "--output", str(cached)]) == 0
+        assert main(["report", "--output", str(uncached), "--no-cache"]) == 0
+        assert cached.read_bytes() == uncached.read_bytes()
+
+    def test_report_writes_valid_manifest(self, tmp_path, capsys):
+        from repro.experiments.engine import load_manifest
+
+        manifest_path = tmp_path / "manifest.json"
+        assert main([
+            "report", "--output", str(tmp_path / "r.md"),
+            "--manifest", str(manifest_path),
+        ]) == 0
+        assert "manifest" in capsys.readouterr().out
+        manifest = load_manifest(manifest_path)
+        totals = manifest["totals"]
+        assert totals["cache_hits"] > 0  # groups share points via the engine
+        assert totals["points_requested"] > totals["points_evaluated"]
+
+    def test_negative_jobs_raises(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            main(["group", "1", "--jobs", "-2"])
+
+
 class TestJoin:
     @pytest.fixture()
     def folders(self, tmp_path):

@@ -50,6 +50,56 @@ class TestFromFiles:
         assert vocab.number("query") in shared
 
 
+class TestEncodingErrors:
+    @pytest.fixture()
+    def latin1_dir(self, tmp_path):
+        (tmp_path / "plain.txt").write_text("database join processing")
+        # latin-1 'résumé café' is not valid UTF-8
+        (tmp_path / "accented.txt").write_bytes(
+            "résumé café database".encode("latin-1")
+        )
+        return tmp_path
+
+    def test_default_replace_keeps_directory_loadable(self, latin1_dir):
+        vocab = Vocabulary()
+        collection, paths = collection_from_directory(
+            "mixed", latin1_dir, vocab, Tokenizer(stem=False)
+        )
+        assert collection.n_documents == 2
+        # the decodable words of the bad file still index normally
+        assert vocab.number("database") in collection.terms()
+
+    def test_strict_errors_raise_workload_error(self, latin1_dir):
+        with pytest.raises(WorkloadError):
+            collection_from_directory(
+                "mixed", latin1_dir, Vocabulary(), errors="strict"
+            )
+
+    def test_matching_encoding_decodes_exactly(self, latin1_dir):
+        vocab = Vocabulary()
+        collection = collection_from_files(
+            "latin",
+            [latin1_dir / "accented.txt"],
+            vocab,
+            Tokenizer(stem=False),
+            encoding="latin-1",
+            errors="strict",
+        )
+        # strict decode succeeds under the right codec and the ASCII
+        # words index normally
+        assert collection.n_documents == 1
+        assert vocab.number("database") in collection[0].terms
+
+    def test_strict_errors_on_files_raise(self, latin1_dir):
+        with pytest.raises(WorkloadError):
+            collection_from_files(
+                "bad",
+                [latin1_dir / "accented.txt"],
+                Vocabulary(),
+                errors="strict",
+            )
+
+
 class TestFromDirectory:
     def test_glob_and_stable_order(self, corpus_dir):
         collection, paths = collection_from_directory(
