@@ -7,6 +7,7 @@ Subcommands::
     python -m repro group 1..5                  # regenerate a simulation group
     python -m repro summary                     # check the Section 6.1 points
     python -m repro validate                    # measured-vs-model quick run
+    python -m repro conformance                 # differential/metamorphic/cost sweep
 
 Every command writes plain text to stdout and exits 0 on success; the
 ``summary`` command exits 1 if any of the paper's five points fails to
@@ -41,6 +42,7 @@ from repro.experiments.groups import (
 from repro.experiments.summary import evaluate_summary
 from repro.experiments.tables import format_grid
 from repro.experiments.validate import validate_algorithms
+from repro.conformance.report import CHECK_NAMES
 from repro.index.stats import CollectionStats
 from repro.workloads.synthetic import SyntheticSpec, generate_collection
 
@@ -134,6 +136,25 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also print suppressed findings")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="cross-check executors, SQL path and cost models "
+        "(differential / metamorphic / costcheck)",
+    )
+    conformance.add_argument("--seed", type=int, default=0,
+                             help="base seed for the randomized trials")
+    conformance.add_argument("--trials", type=int, default=25,
+                             help="randomized trials per check")
+    conformance.add_argument(
+        "--check", action="append", choices=CHECK_NAMES, metavar="NAME",
+        help="run only this check (repeatable; default: all of "
+        f"{', '.join(CHECK_NAMES)})",
+    )
+    conformance.add_argument("--report", default=None, metavar="PATH",
+                             help="also write the JSON report here")
+    conformance.add_argument("--no-sql", action="store_true",
+                             help="skip the SQL-pipeline cross-check")
 
     join = sub.add_parser(
         "join", help="join two folders of .txt files (SIMILAR_TO over files)"
@@ -286,6 +307,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_analysis(argv)
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.conformance import run_conformance, save_report
+
+    report = run_conformance(
+        args.seed,
+        args.trials,
+        checks=args.check,
+        include_sql=not args.no_sql,
+    )
+    for name, section in report["checks"].items():
+        divergences = section["divergences"]
+        extras = []
+        if "comparisons" in section:
+            extras.append(f"{section['comparisons']} comparisons")
+        if "checks_run" in section:
+            extras.append(f"{sum(section['checks_run'].values())} invariant runs")
+        if "rows" in section:
+            extras.append(f"{len(section['rows'])} cost rows")
+        detail = f" ({', '.join(extras)})" if extras else ""
+        status = "ok" if section["passed"] else f"{len(divergences)} DIVERGENCES"
+        print(f"  [{status:>4}] {name}: {section['trials_run']} trials{detail}")
+        for divergence in divergences[:3]:
+            print(
+                f"         {divergence['executor']} trial "
+                f"{divergence['trial']}: {divergence['detail']}"
+            )
+            print(f"         reproduce: {divergence['reproduction']}")
+    if args.report:
+        save_report(report, args.report)
+        print(f"wrote conformance report to {args.report}")
+    print(
+        f"conformance: {'PASS' if report['passed'] else 'FAIL'} "
+        f"(seed {report['seed']}, {report['trials']} trials, "
+        f"{report['divergence_count']} divergences)"
+    )
+    return 0 if report["passed"] else 1
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     from repro.core.integrated import IntegratedJoin
     from repro.core.join import JoinEnvironment, TextJoinSpec
@@ -324,6 +383,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "boundaries": _cmd_boundaries,
     "lint": _cmd_lint,
+    "conformance": _cmd_conformance,
     "join": _cmd_join,
 }
 

@@ -1,0 +1,94 @@
+"""Differential, metamorphic and cost conformance for the join stack.
+
+This package cross-examines every execution path of the reproduction —
+the three executors (HHNL, HVNL, VVM), the SQL pipeline and the Section
+5 cost models — against independent ground truth:
+
+* :mod:`~repro.conformance.oracle` — a brute-force executor that shares
+  no code with the production stack;
+* :mod:`~repro.conformance.differential` — randomized workloads where
+  every path must reproduce the oracle's match set exactly;
+* :mod:`~repro.conformance.metamorphic` — invariants between *related*
+  runs (lambda/buffer monotonicity, term permutation, document
+  duplication, normalized-vs-raw consistency) that catch bugs an oracle
+  sharing the same mistake could not;
+* :mod:`~repro.conformance.costcheck` — measured I/O versus the
+  analytical ``hhs/hvs/vvs`` (and worst-case) formulas, plus
+  trace-shape assertions on the recorded access patterns.
+
+:func:`~repro.conformance.runner.run_conformance` drives everything and
+emits the schema-tagged JSON report consumed by CI; the ``repro
+conformance`` CLI subcommand is a thin wrapper around it.
+"""
+
+from repro.conformance.costcheck import (
+    CostCheckOutcome,
+    CostCheckRow,
+    CostToleranceSpec,
+    run_costcheck,
+)
+from repro.conformance.differential import (
+    DifferentialOutcome,
+    Divergence,
+    SQL_PATH,
+    run_differential,
+    sql_join_matches,
+)
+from repro.conformance.metamorphic import (
+    INVARIANTS,
+    MetamorphicOutcome,
+    run_metamorphic,
+)
+from repro.conformance.oracle import (
+    Matches,
+    compare_matches,
+    oracle_join,
+    oracle_norm,
+    oracle_similarity,
+)
+from repro.conformance.report import (
+    CHECK_NAMES,
+    REPORT_SCHEMA,
+    build_report,
+    load_report,
+    save_report,
+    validate_report,
+)
+from repro.conformance.runner import run_conformance
+from repro.conformance.trials import (
+    DEFAULT_EXECUTORS,
+    ExecutorFn,
+    TrialConfig,
+    random_trial_config,
+)
+
+__all__ = [
+    "CHECK_NAMES",
+    "CostCheckOutcome",
+    "CostCheckRow",
+    "CostToleranceSpec",
+    "DEFAULT_EXECUTORS",
+    "DifferentialOutcome",
+    "Divergence",
+    "ExecutorFn",
+    "INVARIANTS",
+    "Matches",
+    "MetamorphicOutcome",
+    "REPORT_SCHEMA",
+    "SQL_PATH",
+    "TrialConfig",
+    "build_report",
+    "compare_matches",
+    "load_report",
+    "oracle_join",
+    "oracle_norm",
+    "oracle_similarity",
+    "random_trial_config",
+    "run_conformance",
+    "run_costcheck",
+    "run_differential",
+    "run_metamorphic",
+    "save_report",
+    "sql_join_matches",
+    "validate_report",
+]

@@ -1,0 +1,162 @@
+"""Brute-force similarity-join oracle: ground truth for every executor.
+
+The oracle computes ``C1 SIMILAR_TO(lambda) C2`` the slowest, most
+obvious way — a dense double loop over pure-python dictionaries, no
+simulated disk, no buffers, no inverted files — so that a bug in the
+storage stack, the indexes or any executor cannot also hide here.  The
+implementation deliberately shares *nothing* with :mod:`repro.core`:
+similarities are summed over hash maps rather than the executors'
+sorted-merge loops, norms are recomputed from raw cells, and the
+top-``lambda`` cut is a full sort rather than a heap.
+
+Semantics mirror :class:`~repro.core.join.TextJoinSpec` exactly:
+
+* per participating outer (C2) document, the up-to-``lambda`` inner
+  (C1) documents with the largest strictly positive similarity;
+* ties broken toward the smaller inner document number;
+* ``normalized=True`` divides each similarity by the product of the two
+  documents' Euclidean norms (cosine);
+* ``outer_ids`` / ``inner_ids`` restrict the participating documents of
+  either side (Section 2 selections).
+
+Similarities over occurrence counts are exact integer sums, so executor
+results are expected to match the oracle *bit for bit* (tolerances exist
+only for the normalized division).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ConformanceError
+from repro.text.collection import DocumentCollection
+from repro.text.document import Document
+
+Matches = dict[int, list[tuple[int, float]]]
+
+
+def oracle_similarity(doc1: Document, doc2: Document) -> float:
+    """Inner product of occurrence counts, via a hash map.
+
+    Independent of :func:`repro.text.similarity.dot_product` (which
+    merges the sorted d-cell lists): one side becomes a dictionary, the
+    other is probed against it.
+    """
+    counts: dict[int, int] = {term: weight for term, weight in doc1.cells}
+    total = 0
+    for term, weight in doc2.cells:
+        other = counts.get(term)
+        if other is not None:
+            total += weight * other
+    return float(total)
+
+
+def oracle_norm(doc: Document) -> float:
+    """Euclidean norm recomputed from the raw cells (no caching)."""
+    return math.sqrt(sum(weight * weight for _, weight in doc.cells))
+
+
+def _participants(
+    ids: Sequence[int] | None, collection: DocumentCollection, label: str
+) -> list[int]:
+    if ids is None:
+        return list(range(collection.n_documents))
+    unique = sorted(set(ids))
+    if len(unique) != len(ids):
+        raise ConformanceError(f"{label} contains duplicates")
+    if unique and (unique[0] < 0 or unique[-1] >= collection.n_documents):
+        raise ConformanceError(
+            f"{label} out of range 0..{collection.n_documents - 1}"
+        )
+    return unique
+
+
+def oracle_join(
+    collection1: DocumentCollection,
+    collection2: DocumentCollection,
+    *,
+    lam: int,
+    normalized: bool = False,
+    outer_ids: Sequence[int] | None = None,
+    inner_ids: Sequence[int] | None = None,
+) -> Matches:
+    """The ground-truth match set, in the executors' result shape.
+
+    Returns ``{outer doc id: [(inner doc id, similarity), ...]}`` with
+    every participating outer document present (an empty list when
+    nothing matches), each list best-first with ties by ascending inner
+    document id — the exact shape and order of
+    :attr:`~repro.core.join.TextJoinResult.matches`.
+    """
+    if lam <= 0:
+        raise ConformanceError(f"lambda must be positive, got {lam}")
+    outer_docs = _participants(outer_ids, collection2, "outer_ids")
+    inner_docs = _participants(inner_ids, collection1, "inner_ids")
+
+    matches: Matches = {}
+    for outer_id in outer_docs:
+        outer_doc = collection2.documents[outer_id]
+        candidates: list[tuple[int, float]] = []
+        for inner_id in inner_docs:
+            inner_doc = collection1.documents[inner_id]
+            similarity = oracle_similarity(inner_doc, outer_doc)
+            if similarity <= 0.0:
+                continue
+            if normalized:
+                similarity = similarity / (
+                    oracle_norm(inner_doc) * oracle_norm(outer_doc)
+                )
+            candidates.append((inner_id, similarity))
+        candidates.sort(key=lambda pair: (-pair[1], pair[0]))
+        matches[outer_id] = candidates[:lam]
+    return matches
+
+
+def compare_matches(
+    expected: Matches,
+    actual: Mapping[int, Sequence[tuple[int, float]]],
+    *,
+    tolerance: float = 1e-9,
+) -> str | None:
+    """First discrepancy between two match sets, or None when equal.
+
+    Order-sensitive within each outer document's list (rank matters) and
+    exact on document ids; similarities compare within ``tolerance``.
+    The returned string names the outer document and the first differing
+    pair, so a divergence report pinpoints the failure.
+    """
+    missing = sorted(set(expected) - set(actual))
+    if missing:
+        return f"outer documents missing from result: {missing[:5]}"
+    extra = sorted(set(actual) - set(expected))
+    if extra:
+        return f"unexpected outer documents in result: {extra[:5]}"
+    for outer_id in sorted(expected):
+        want, got = expected[outer_id], list(actual[outer_id])
+        if len(want) != len(got):
+            return (
+                f"outer doc {outer_id}: expected {len(want)} matches, "
+                f"got {len(got)}"
+            )
+        for rank, ((d_w, s_w), (d_g, s_g)) in enumerate(zip(want, got), 1):
+            if d_w != d_g:
+                return (
+                    f"outer doc {outer_id} rank {rank}: expected inner doc "
+                    f"{d_w} (sim {s_w:.6g}), got {d_g} (sim {s_g:.6g})"
+                )
+            if abs(s_w - s_g) > tolerance:
+                return (
+                    f"outer doc {outer_id} rank {rank} (inner doc {d_w}): "
+                    f"similarity {s_g!r} differs from expected {s_w!r}"
+                )
+    return None
+
+
+__all__ = [
+    "Matches",
+    "compare_matches",
+    "oracle_join",
+    "oracle_norm",
+    "oracle_similarity",
+]

@@ -1,0 +1,119 @@
+"""The conformance report: one JSON document per sweep.
+
+A report is a plain dictionary with a versioned ``schema`` tag
+(:data:`REPORT_SCHEMA`), so CI can archive it as an artifact and later
+tooling can detect incompatible layouts instead of misreading them.
+:func:`validate_report` is deliberately strict — an unknown schema tag,
+a missing section or a wrongly-typed field raises
+:class:`~repro.errors.ConformanceError` — because a malformed report
+that *looks* passing is worse than no report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConformanceError
+
+#: versioned schema tag embedded in (and demanded of) every report
+REPORT_SCHEMA = "repro-conformance-report/1"
+
+#: every check a report may contain, in canonical order
+CHECK_NAMES = ("differential", "metamorphic", "costcheck")
+
+
+def build_report(
+    seed: int,
+    trials: int,
+    sections: Mapping[str, Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Assemble the report dictionary from per-check outcome summaries.
+
+    ``sections`` maps check names (a subset of :data:`CHECK_NAMES`) to
+    the matching outcome's ``to_dict()``; each must carry ``passed`` and
+    ``divergences``.
+    """
+    unknown = sorted(set(sections) - set(CHECK_NAMES))
+    if unknown:
+        raise ConformanceError(f"unknown conformance checks: {unknown}")
+    divergence_count = sum(
+        len(section["divergences"]) for section in sections.values()
+    )
+    report = {
+        "schema": REPORT_SCHEMA,
+        "seed": seed,
+        "trials": trials,
+        "checks": {
+            name: dict(sections[name]) for name in CHECK_NAMES if name in sections
+        },
+        "divergence_count": divergence_count,
+        "passed": all(section["passed"] for section in sections.values()),
+    }
+    validate_report(report)
+    return report
+
+
+def validate_report(report: Mapping[str, Any]) -> None:
+    """Raise :class:`~repro.errors.ConformanceError` unless well-formed."""
+    if not isinstance(report, Mapping):
+        raise ConformanceError("conformance report must be a mapping")
+    schema = report.get("schema")
+    if schema != REPORT_SCHEMA:
+        raise ConformanceError(
+            f"unsupported report schema {schema!r}, expected {REPORT_SCHEMA!r}"
+        )
+    for key, kind in (("seed", int), ("trials", int), ("passed", bool),
+                      ("divergence_count", int), ("checks", Mapping)):
+        if not isinstance(report.get(key), kind):
+            raise ConformanceError(
+                f"report field {key!r} missing or not a {kind.__name__}"
+            )
+    checks = report["checks"]
+    unknown = sorted(set(checks) - set(CHECK_NAMES))
+    if unknown:
+        raise ConformanceError(f"report contains unknown checks: {unknown}")
+    for name, section in checks.items():
+        if not isinstance(section, Mapping):
+            raise ConformanceError(f"check section {name!r} is not a mapping")
+        if not isinstance(section.get("passed"), bool):
+            raise ConformanceError(
+                f"check section {name!r} has no boolean 'passed'"
+            )
+        if not isinstance(section.get("divergences"), list):
+            raise ConformanceError(
+                f"check section {name!r} has no 'divergences' list"
+            )
+    declared = report["divergence_count"]
+    actual = sum(len(section["divergences"]) for section in checks.values())
+    if declared != actual:
+        raise ConformanceError(
+            f"report declares {declared} divergences but lists {actual}"
+        )
+
+
+def save_report(report: Mapping[str, Any], path: str | Path) -> None:
+    """Validate and write the report as pretty-printed JSON."""
+    validate_report(report)
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Read and validate a report written by :func:`save_report`."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConformanceError(f"cannot read conformance report {path}: {exc}")
+    validate_report(raw)
+    return raw
+
+
+__all__ = [
+    "CHECK_NAMES",
+    "REPORT_SCHEMA",
+    "build_report",
+    "load_report",
+    "save_report",
+    "validate_report",
+]

@@ -1,0 +1,68 @@
+"""Orchestrate the conformance checks into one report.
+
+:func:`run_conformance` is the single entry point behind both the
+``repro conformance`` CLI subcommand and the pytest suites: it runs the
+selected checks (all three by default) with a shared seed and trial
+count, then folds the outcomes into a schema-tagged report dictionary
+(:mod:`repro.conformance.report`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.conformance.costcheck import CostToleranceSpec, run_costcheck
+from repro.conformance.differential import run_differential
+from repro.conformance.metamorphic import run_metamorphic
+from repro.conformance.report import CHECK_NAMES, build_report
+from repro.conformance.trials import ExecutorFn
+from repro.errors import ConformanceError
+
+
+def run_conformance(
+    seed: int = 0,
+    trials: int = 25,
+    *,
+    checks: Sequence[str] | None = None,
+    executors: Mapping[str, ExecutorFn] | None = None,
+    include_sql: bool = True,
+    tolerance: float = 1e-9,
+    cost_tolerance: CostToleranceSpec | None = None,
+) -> dict[str, Any]:
+    """Run the selected conformance checks and return the report dict.
+
+    ``checks`` is a subset of :data:`~repro.conformance.report.CHECK_NAMES`
+    (order and duplicates are ignored); unknown names raise
+    :class:`~repro.errors.ConformanceError` rather than silently passing.
+    """
+    selected = set(CHECK_NAMES) if checks is None else set(checks)
+    unknown = sorted(selected - set(CHECK_NAMES))
+    if unknown:
+        raise ConformanceError(
+            f"unknown conformance checks: {unknown}; "
+            f"valid names are {list(CHECK_NAMES)}"
+        )
+    if trials <= 0:
+        raise ConformanceError(f"trials must be positive, got {trials}")
+
+    sections: dict[str, dict[str, Any]] = {}
+    if "differential" in selected:
+        sections["differential"] = run_differential(
+            seed,
+            trials,
+            executors=executors,
+            include_sql=include_sql,
+            tolerance=tolerance,
+        ).to_dict()
+    if "metamorphic" in selected:
+        sections["metamorphic"] = run_metamorphic(
+            seed, trials, executors=executors, tolerance=tolerance
+        ).to_dict()
+    if "costcheck" in selected:
+        sections["costcheck"] = run_costcheck(
+            seed, trials, executors=executors, tolerance=cost_tolerance
+        ).to_dict()
+    return build_report(seed, trials, sections)
+
+
+__all__ = ["run_conformance"]

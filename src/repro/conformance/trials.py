@@ -1,0 +1,285 @@
+"""Randomized trial workloads shared by every conformance check.
+
+One :class:`TrialConfig` captures *everything* a trial depends on —
+collection recipes, query, system parameters, selections, the I/O
+scenario — as a frozen value object, so any reported divergence can be
+replayed exactly from the parameters embedded in the report
+(:meth:`TrialConfig.reproduction`).
+
+Collections come from :mod:`repro.workloads.synthetic`, sized so that a
+trial costs milliseconds: the point of a conformance sweep is many small
+randomized configurations, not one big one.  The executor registry maps
+algorithm names to uniform adapters over a trial, which is also the
+mutation hook the differential tests use to prove the harness catches an
+injected executor bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.core.hhnl import run_hhnl
+from repro.core.hvnl import run_hvnl
+from repro.core.join import JoinEnvironment, TextJoinResult, TextJoinSpec
+from repro.core.vvm import run_vvm
+from repro.cost.params import SystemParams
+from repro.errors import ConformanceError
+from repro.storage.pages import PageGeometry
+from repro.text.collection import DocumentCollection
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+#: uniform executor signature over one trial
+ExecutorFn = Callable[[JoinEnvironment, "TrialConfig"], TextJoinResult]
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """Full reproduction parameters for one randomized trial.
+
+    ``spec2 is None`` means a self-join (C2 *is* C1, sharing storage and
+    indexes, as in Group 1 of the paper's simulations).
+    """
+
+    trial: int
+    spec1: SyntheticSpec
+    spec2: SyntheticSpec | None
+    lam: int
+    normalized: bool
+    buffer_pages: int
+    page_bytes: int
+    alpha: float
+    delta: float = 0.25
+    interference: bool = False
+    outer_selection: tuple[int, ...] | None = None
+    inner_selection: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0:
+            raise ConformanceError(f"lambda must be positive, got {self.lam}")
+
+    @property
+    def self_join(self) -> bool:
+        """True when C2 is the same collection (and storage) as C1."""
+        return self.spec2 is None
+
+    def build_collections(self) -> tuple[DocumentCollection, DocumentCollection]:
+        """Materialise (C1, C2); a self-join returns the same object twice."""
+        c1 = generate_collection(self.spec1)
+        c2 = c1 if self.spec2 is None else generate_collection(self.spec2)
+        return c1, c2
+
+    def build_environment(self) -> JoinEnvironment:
+        """Both collections laid out on a fresh simulated disk."""
+        c1, c2 = self.build_collections()
+        return JoinEnvironment(c1, c2, PageGeometry(self.page_bytes))
+
+    def system(self) -> SystemParams:
+        """The trial's ``B``/``P``/``alpha``."""
+        return SystemParams(
+            buffer_pages=self.buffer_pages,
+            page_bytes=self.page_bytes,
+            alpha=self.alpha,
+        )
+
+    def join_spec(self) -> TextJoinSpec:
+        """The trial's SIMILAR_TO specification."""
+        return TextJoinSpec(lam=self.lam, normalized=self.normalized)
+
+    def reproduction(self) -> dict[str, Any]:
+        """JSON-serialisable parameters that replay this trial exactly."""
+        def spec_dict(spec: SyntheticSpec) -> dict[str, Any]:
+            return {
+                "name": spec.name,
+                "n_documents": spec.n_documents,
+                "avg_terms_per_doc": spec.avg_terms_per_doc,
+                "vocabulary_size": spec.vocabulary_size,
+                "skew": spec.skew,
+                "seed": spec.seed,
+                "clusters": spec.clusters,
+                "cluster_affinity": spec.cluster_affinity,
+                "max_occurrences": spec.max_occurrences,
+            }
+
+        return {
+            "trial": self.trial,
+            "spec1": spec_dict(self.spec1),
+            "spec2": None if self.spec2 is None else spec_dict(self.spec2),
+            "lam": self.lam,
+            "normalized": self.normalized,
+            "buffer_pages": self.buffer_pages,
+            "page_bytes": self.page_bytes,
+            "alpha": self.alpha,
+            "delta": self.delta,
+            "interference": self.interference,
+            "outer_selection": (
+                None if self.outer_selection is None else list(self.outer_selection)
+            ),
+            "inner_selection": (
+                None if self.inner_selection is None else list(self.inner_selection)
+            ),
+        }
+
+
+def random_trial_config(rng: random.Random, trial: int) -> TrialConfig:
+    """Draw one randomized configuration.
+
+    Sizes are kept small (tens of documents, hundreds of terms) so a
+    sweep of dozens of trials finishes in seconds, while still covering
+    multi-page layouts, buffer eviction, multi-pass VVM, self-joins,
+    selections on both sides, normalisation and the worst-case scenario.
+    """
+    n1 = rng.randint(6, 36)
+    avg1 = rng.randint(4, 10)
+    vocabulary = rng.randint(max(40, avg1 + 1), 140)
+    skew = rng.choice((0.0, 0.7, 1.0, 1.3))
+    spec1 = SyntheticSpec(
+        name=f"conf{trial}-c1",
+        n_documents=n1,
+        avg_terms_per_doc=avg1,
+        vocabulary_size=vocabulary,
+        skew=skew,
+        seed=rng.randrange(2**20),
+    )
+
+    if rng.random() < 0.15:
+        spec2 = None
+        n2 = n1
+    else:
+        n2 = rng.randint(4, 28)
+        avg2 = rng.randint(4, 10)
+        spec2 = SyntheticSpec(
+            name=f"conf{trial}-c2",
+            n_documents=n2,
+            avg_terms_per_doc=avg2,
+            vocabulary_size=vocabulary,
+            skew=skew,
+            seed=rng.randrange(2**20),
+        )
+
+    outer_selection: tuple[int, ...] | None = None
+    if rng.random() < 0.25:
+        outer_selection = tuple(
+            sorted(rng.sample(range(n2), rng.randint(1, max(1, n2 - 1))))
+        )
+    inner_selection: tuple[int, ...] | None = None
+    if rng.random() < 0.2:
+        inner_selection = tuple(
+            sorted(rng.sample(range(n1), rng.randint(1, max(1, n1 - 1))))
+        )
+
+    return TrialConfig(
+        trial=trial,
+        spec1=spec1,
+        spec2=spec2,
+        lam=rng.randint(1, 8),
+        normalized=rng.random() < 0.3,
+        buffer_pages=rng.randint(18, 72),
+        page_bytes=rng.choice((256, 512, 1024)),
+        alpha=rng.choice((2.0, 5.0, 10.0)),
+        delta=rng.choice((0.15, 0.25, 0.5)),
+        interference=rng.random() < 0.25,
+        outer_selection=outer_selection,
+        inner_selection=inner_selection,
+    )
+
+
+def random_cost_trial_config(rng: random.Random, trial: int) -> TrialConfig:
+    """Draw one randomized configuration for measured-vs-model checks.
+
+    Cost conformance needs *larger* collections than match conformance:
+    the Section 5 formulas work with fractional average sizes while the
+    simulated disk charges whole pages, so on a three-page workload the
+    rounding alone can exceed the prediction.  These trials span tens of
+    pages per collection, which keeps the discretization error a small
+    fraction of the total while still finishing in milliseconds.
+    """
+    vocabulary = rng.randint(200, 600)
+    skew = rng.choice((0.0, 0.7, 1.0))
+    spec1 = SyntheticSpec(
+        name=f"cost{trial}-c1",
+        n_documents=rng.randint(50, 110),
+        avg_terms_per_doc=rng.randint(10, 18),
+        vocabulary_size=vocabulary,
+        skew=skew,
+        seed=rng.randrange(2**20),
+    )
+    spec2: SyntheticSpec | None = None
+    if rng.random() >= 0.15:
+        spec2 = SyntheticSpec(
+            name=f"cost{trial}-c2",
+            n_documents=rng.randint(40, 90),
+            avg_terms_per_doc=rng.randint(10, 18),
+            vocabulary_size=vocabulary,
+            skew=skew,
+            seed=rng.randrange(2**20),
+        )
+    return TrialConfig(
+        trial=trial,
+        spec1=spec1,
+        spec2=spec2,
+        lam=rng.randint(2, 6),
+        normalized=False,
+        buffer_pages=rng.randint(10, 48),
+        page_bytes=rng.choice((512, 1024)),
+        alpha=rng.choice((2.0, 5.0, 10.0)),
+        delta=rng.choice((0.25, 0.5)),
+    )
+
+
+def _run_hhnl(environment: JoinEnvironment, config: TrialConfig) -> TextJoinResult:
+    """HHNL adapter over a trial."""
+    return run_hhnl(
+        environment,
+        config.join_spec(),
+        config.system(),
+        outer_ids=config.outer_selection,
+        inner_ids=config.inner_selection,
+        interference=config.interference,
+    )
+
+
+def _run_hvnl(environment: JoinEnvironment, config: TrialConfig) -> TextJoinResult:
+    """HVNL adapter over a trial."""
+    return run_hvnl(
+        environment,
+        config.join_spec(),
+        config.system(),
+        outer_ids=config.outer_selection,
+        inner_ids=config.inner_selection,
+        interference=config.interference,
+        delta=config.delta,
+    )
+
+
+def _run_vvm(environment: JoinEnvironment, config: TrialConfig) -> TextJoinResult:
+    """VVM adapter over a trial."""
+    return run_vvm(
+        environment,
+        config.join_spec(),
+        config.system(),
+        outer_ids=config.outer_selection,
+        inner_ids=config.inner_selection,
+        interference=config.interference,
+        delta=config.delta,
+    )
+
+
+#: name -> adapter; the default set every check cross-examines.  Tests
+#: inject mutated entries here (via the ``executors=`` parameters, never
+#: by mutating this mapping) to prove divergences are caught.
+DEFAULT_EXECUTORS: Mapping[str, ExecutorFn] = {
+    "HHNL": _run_hhnl,
+    "HVNL": _run_hvnl,
+    "VVM": _run_vvm,
+}
+
+
+__all__ = [
+    "DEFAULT_EXECUTORS",
+    "ExecutorFn",
+    "TrialConfig",
+    "random_cost_trial_config",
+    "random_trial_config",
+]

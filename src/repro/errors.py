@@ -91,3 +91,13 @@ class SqlSemanticError(SqlError):
 
 class WorkloadError(ReproError):
     """A synthetic workload was requested with impossible parameters."""
+
+
+class ConformanceError(ReproError):
+    """The conformance harness was misconfigured or a report is malformed.
+
+    Divergences found *by* the harness are not raised — they are
+    collected into the conformance report so every executor and invariant
+    is still exercised; this error covers broken harness inputs (unknown
+    check names, invalid report schemas, impossible trial parameters).
+    """

@@ -122,3 +122,28 @@ class TracingIOStats(IOStats):  # repro: ignore[RA-FROZEN] -- mutable like its I
         """Count the reads and append the trace event."""
         super().record(extent_name, sequential=sequential, random=random)
         self.trace.record(extent_name, sequential, random)
+
+    def reset(self) -> None:
+        """Zero the counters *and* drop the recorded events.
+
+        Without the override a ``JoinEnvironment.reset_io()`` between runs
+        would zero the counters but leak the previous run's trace events
+        into the next run's access-pattern analysis.
+        """
+        super().reset()
+        self.trace.clear()
+
+    def snapshot(self) -> "TracingIOStats":
+        """An independent copy that keeps the trace (and its type).
+
+        The base implementation returns a plain :class:`IOStats`, which
+        silently drops the access pattern from before/after comparisons.
+        The copied trace shares no state with the live one.
+        """
+        copy = TracingIOStats(
+            sequential_reads=self.sequential_reads,
+            random_reads=self.random_reads,
+            by_extent=dict(self.by_extent),
+        )
+        copy.trace.events.extend(self.trace.events)
+        return copy

@@ -1,0 +1,80 @@
+"""Cost conformance: measured I/O vs the Section 5 formulas, plus shape."""
+
+import pytest
+
+from repro.conformance import (
+    CostToleranceSpec,
+    DEFAULT_EXECUTORS,
+    run_costcheck,
+)
+
+
+class TestBands:
+    def test_short_sweep_passes(self):
+        outcome = run_costcheck(0, 4)
+        assert outcome.passed, outcome.divergences[:1]
+        assert outcome.trials_run == 4
+        # three algorithms x two scenarios per trial (minus skips)
+        assert len(outcome.rows) >= 18
+
+    def test_rows_cover_both_scenarios(self):
+        outcome = run_costcheck(0, 3)
+        scenarios = {(row.algorithm, row.scenario) for row in outcome.rows}
+        for algorithm in ("HHNL", "HVNL", "VVM"):
+            assert (algorithm, "sequential") in scenarios
+            assert (algorithm, "random") in scenarios
+
+    @pytest.mark.conformance
+    @pytest.mark.slow
+    def test_full_sweep_passes(self):
+        outcome = run_costcheck(0, 25)
+        assert outcome.passed, outcome.divergences[:1]
+
+    def test_tight_tolerance_fails(self):
+        # the models are approximations; a near-exact band must trip
+        strict = CostToleranceSpec(
+            sequential_low=0.999,
+            sequential_high=1.001,
+            random_low=0.999,
+            random_high=1.001,
+        )
+        outcome = run_costcheck(0, 4, tolerance=strict)
+        assert not outcome.passed
+        assert any(d.check.startswith("costcheck:") for d in outcome.divergences)
+        assert all("ratio" in d.detail for d in outcome.divergences)
+
+
+class TestShape:
+    def test_trace_checks_run(self):
+        outcome = run_costcheck(0, 4)
+        assert outcome.trace_checks > 0
+
+    def test_inflated_io_mutant_caught(self):
+        def mutant(environment, config):
+            result = DEFAULT_EXECUTORS["HHNL"](environment, config)
+            # an executor that quietly does 3x the I/O it should
+            pages = environment.docs1.n_pages * 2 * max(
+                1, int(result.extras.get("inner_scans", 1))
+            )
+            environment.disk.stats.record(environment.docs1.name, sequential=pages)
+            result.io.record(environment.docs1.name, sequential=pages)
+            return result
+
+        outcome = run_costcheck(
+            0, 6, executors=dict(DEFAULT_EXECUTORS, HHNL=mutant)
+        )
+        assert not outcome.passed
+        checks = {d.check for d in outcome.divergences if d.executor == "HHNL"}
+        # both the magnitude band and the trace-shape pass count trip
+        assert any(c.startswith("costcheck:") for c in checks)
+        assert "costcheck:trace-shape" in checks
+
+    def test_outcome_dict_shape(self):
+        summary = run_costcheck(1, 2).to_dict()
+        assert summary["passed"] is True
+        assert summary["trials_run"] == 2
+        assert {"sequential_low", "random_high", "pass_rel"} <= set(
+            summary["tolerance"]
+        )
+        for row in summary["rows"]:
+            assert {"trial", "algorithm", "scenario", "ratio"} <= set(row)

@@ -1,0 +1,97 @@
+"""Differential conformance: real executors agree, mutants are caught."""
+
+import pytest
+
+from repro.conformance import (
+    DEFAULT_EXECUTORS,
+    SQL_PATH,
+    compare_matches,
+    oracle_join,
+    run_differential,
+    sql_join_matches,
+)
+from repro.cost.params import SystemParams
+
+
+class TestAgreement:
+    def test_short_sweep_passes(self):
+        outcome = run_differential(0, 5)
+        assert outcome.passed, outcome.first_divergence
+        assert outcome.trials_run == 5
+        # three executors per trial plus the SQL path where applicable
+        assert outcome.comparisons >= 15
+
+    def test_outcome_dict_shape(self):
+        summary = run_differential(1, 3).to_dict()
+        assert summary["seed"] == 1
+        assert summary["trials_requested"] == 3
+        assert summary["passed"] is True
+        assert summary["divergences"] == []
+
+    @pytest.mark.conformance
+    @pytest.mark.slow
+    def test_full_sweep_passes(self):
+        outcome = run_differential(0, 25)
+        assert outcome.passed, outcome.first_divergence
+
+
+class TestSQLPath:
+    def test_sql_matches_oracle(self, tiny_pair):
+        c1, c2 = tiny_pair
+        expected = oracle_join(c1, c2, lam=2)
+        actual = sql_join_matches(
+            c1, c2, 2, SystemParams(buffer_pages=64, page_bytes=512)
+        )
+        assert compare_matches(expected, actual) is None
+
+
+class TestMutantDetection:
+    """Acceptance: an injected executor bug is caught within 25 trials."""
+
+    @pytest.fixture
+    def off_by_one_hhnl(self):
+        # the classic blocking off-by-one: the last ranked match of every
+        # full result list is silently dropped
+        def mutant(environment, config):
+            result = DEFAULT_EXECUTORS["HHNL"](environment, config)
+            for hits in result.matches.values():
+                if len(hits) == config.lam:
+                    del hits[-1]
+            return result
+
+        return dict(DEFAULT_EXECUTORS, HHNL=mutant)
+
+    def test_mutant_caught_within_25_trials(self, off_by_one_hhnl):
+        outcome = run_differential(0, 25, executors=off_by_one_hhnl, fail_fast=True)
+        assert not outcome.passed
+        first = outcome.first_divergence
+        assert first.trial < 25
+        assert first.executor == "HHNL"
+        assert first.check == "differential"
+
+    def test_divergence_carries_reproduction(self, off_by_one_hhnl):
+        outcome = run_differential(0, 25, executors=off_by_one_hhnl, fail_fast=True)
+        repro = outcome.first_divergence.reproduction
+        assert repro["trial"] == outcome.first_divergence.trial
+        assert repro["spec1"]["seed"] is not None
+        assert "lam" in repro and "buffer_pages" in repro
+
+    def test_other_executors_unaffected(self, off_by_one_hhnl):
+        outcome = run_differential(0, 10, executors=off_by_one_hhnl)
+        assert all(d.executor == "HHNL" for d in outcome.divergences)
+        assert SQL_PATH not in {d.executor for d in outcome.divergences}
+
+    def test_wrong_similarity_caught(self):
+        def mutant(environment, config):
+            result = DEFAULT_EXECUTORS["VVM"](environment, config)
+            for hits in result.matches.values():
+                for i, (doc, sim) in enumerate(hits):
+                    hits[i] = (doc, sim * 1.001)
+            return result
+
+        outcome = run_differential(
+            0, 25, executors=dict(DEFAULT_EXECUTORS, VVM=mutant), fail_fast=True
+        )
+        assert not outcome.passed
+        assert outcome.first_divergence.executor == "VVM"
+        assert "similarity" in outcome.first_divergence.detail

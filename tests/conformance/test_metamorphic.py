@@ -1,0 +1,105 @@
+"""Metamorphic invariants: they hold for the real stack, and they bite."""
+
+import random
+
+import pytest
+
+from repro.conformance import DEFAULT_EXECUTORS, run_metamorphic
+from repro.conformance.metamorphic import (
+    INVARIANTS,
+    check_buffer_monotonicity,
+    check_lambda_monotonicity,
+    check_normalized_consistency,
+    check_term_permutation,
+)
+from repro.conformance.trials import random_trial_config
+
+
+@pytest.fixture
+def some_config():
+    return random_trial_config(random.Random(42), 0)
+
+
+class TestInvariantsHold:
+    def test_short_sweep_passes(self):
+        outcome = run_metamorphic(0, 4)
+        assert outcome.passed, outcome.divergences[:1]
+        assert outcome.trials_run == 4
+        assert set(outcome.checks_run) == set(INVARIANTS)
+
+    @pytest.mark.conformance
+    @pytest.mark.slow
+    def test_full_sweep_passes(self):
+        outcome = run_metamorphic(0, 25)
+        assert outcome.passed, outcome.divergences[:1]
+
+
+class TestInvariantsBite:
+    """Each invariant must detect a mutation built to violate it."""
+
+    def test_lambda_monotonicity_catches_reordering(self, some_config):
+        def mutant(environment, config):
+            result = DEFAULT_EXECUTORS["HHNL"](environment, config)
+            # a buggy top-k that re-sorts ascending for small lambda only
+            if config.lam <= 8:
+                for hits in result.matches.values():
+                    hits.sort(key=lambda pair: pair[1])
+            return result
+
+        failures = check_lambda_monotonicity(
+            some_config, {"HHNL": mutant}, 1e-9
+        )
+        assert failures and failures[0][0] == "HHNL"
+
+    def test_buffer_monotonicity_catches_regression(self, some_config):
+        def mutant(environment, config):
+            result = DEFAULT_EXECUTORS["VVM"](environment, config)
+            # fake a pathological executor whose cost grows with memory
+            result.io.record("c1.inv", sequential=config.buffer_pages * 10)
+            return result
+
+        failures = check_buffer_monotonicity(some_config, {"VVM": mutant}, 1e-9)
+        assert failures and failures[0][0] == "VVM"
+
+    def test_term_permutation_catches_term_dependence(self, some_config):
+        def mutant(environment, config):
+            result = DEFAULT_EXECUTORS["HVNL"](environment, config)
+            # similarity that illegally depends on raw term numbers: drop
+            # matches of outer doc 0 when the first inverted entry is odd
+            entries = environment.inverted1.entries
+            if entries and entries[0].term % 2 == 1:
+                result.matches[min(result.matches, default=0)] = []
+            return result
+
+        # try a handful of configs: the permutation must flip the parity
+        # of the lowest term for at least one of them
+        rng = random.Random(7)
+        caught = False
+        for trial in range(6):
+            config = random_trial_config(rng, trial)
+            if check_term_permutation(config, {"HVNL": mutant}, 1e-9):
+                caught = True
+                break
+        assert caught
+
+    def test_normalized_consistency_catches_wrong_norm(self, some_config):
+        def mutant(environment, config):
+            result = DEFAULT_EXECUTORS["HHNL"](environment, config)
+            if config.normalized:
+                for hits in result.matches.values():
+                    for i, (doc, sim) in enumerate(hits):
+                        hits[i] = (doc, sim * 0.5)  # halved cosine
+            return result
+
+        failures = check_normalized_consistency(
+            some_config, {"HHNL": mutant}, 1e-9
+        )
+        assert failures and failures[0][0] == "HHNL"
+
+
+class TestOutcome:
+    def test_dict_shape(self):
+        summary = run_metamorphic(3, 2).to_dict()
+        assert summary["trials_run"] == 2
+        assert summary["passed"] is True
+        assert all(count == 2 for count in summary["checks_run"].values())

@@ -1,0 +1,101 @@
+"""The brute-force oracle: semantics and the match-set comparator."""
+
+import math
+
+import pytest
+
+from repro.conformance.oracle import (
+    compare_matches,
+    oracle_join,
+    oracle_norm,
+    oracle_similarity,
+)
+from repro.errors import ConformanceError
+from repro.text.collection import DocumentCollection
+
+
+class TestOracleSimilarity:
+    def test_counts_multiply(self, tiny_pair):
+        c1, _ = tiny_pair
+        # doc 1 of tiny1 is [2, 2, 4]; doc 0 of tiny1 is [1, 2, 3]
+        assert oracle_similarity(c1.documents[1], c1.documents[0]) == 2.0
+
+    def test_disjoint_is_zero(self, tiny_pair):
+        c1, c2 = tiny_pair
+        assert oracle_similarity(c1.documents[0], c2.documents[2]) == 0.0
+
+    def test_norm(self, tiny_pair):
+        c1, _ = tiny_pair
+        # doc 3 is [1, 1, 1, 6, 7] -> counts 3, 1, 1
+        assert oracle_norm(c1.documents[3]) == pytest.approx(math.sqrt(11))
+
+
+class TestOracleJoin:
+    def test_every_outer_present(self, tiny_pair):
+        c1, c2 = tiny_pair
+        matches = oracle_join(c1, c2, lam=2)
+        assert sorted(matches) == [0, 1, 2]
+        assert matches[2] == []  # no overlap, still reported
+
+    def test_lambda_cuts_and_ties_prefer_small_id(self):
+        c1 = DocumentCollection.from_term_lists("ties1", [[1], [1], [1]])
+        c2 = DocumentCollection.from_term_lists("ties2", [[1]])
+        matches = oracle_join(c1, c2, lam=2)
+        assert matches[0] == [(0, 1.0), (1, 1.0)]
+
+    def test_normalized_divides_by_norms(self, tiny_pair):
+        c1, c2 = tiny_pair
+        raw = oracle_join(c1, c2, lam=4)
+        cosine = oracle_join(c1, c2, lam=4, normalized=True)
+        for outer_id, hits in raw.items():
+            raw_by_doc = dict(hits)
+            cosine_by_doc = dict(cosine[outer_id])
+            # lam=4 keeps every positive candidate, so the id sets agree
+            assert set(raw_by_doc) == set(cosine_by_doc)
+            for inner_id, sim in raw_by_doc.items():
+                expected = sim / (
+                    oracle_norm(c1.documents[inner_id])
+                    * oracle_norm(c2.documents[outer_id])
+                )
+                assert cosine_by_doc[inner_id] == pytest.approx(expected)
+
+    def test_selections_restrict_both_sides(self, tiny_pair):
+        c1, c2 = tiny_pair
+        matches = oracle_join(c1, c2, lam=4, outer_ids=(1,), inner_ids=(2, 3))
+        assert sorted(matches) == [1]
+        assert all(inner in (2, 3) for inner, _ in matches[1])
+
+    def test_rejects_bad_lambda_and_selections(self, tiny_pair):
+        c1, c2 = tiny_pair
+        with pytest.raises(ConformanceError):
+            oracle_join(c1, c2, lam=0)
+        with pytest.raises(ConformanceError):
+            oracle_join(c1, c2, lam=1, outer_ids=(0, 0))
+        with pytest.raises(ConformanceError):
+            oracle_join(c1, c2, lam=1, inner_ids=(99,))
+
+
+class TestCompareMatches:
+    def test_equal_is_none(self):
+        a = {0: [(1, 2.0)], 1: []}
+        assert compare_matches(a, {0: [(1, 2.0)], 1: []}) is None
+
+    def test_missing_outer(self):
+        assert "missing" in compare_matches({0: []}, {})
+
+    def test_extra_outer(self):
+        assert "unexpected" in compare_matches({}, {0: []})
+
+    def test_length_mismatch(self):
+        detail = compare_matches({0: [(1, 2.0)]}, {0: []})
+        assert "expected 1 matches" in detail
+
+    def test_rank_order_matters(self):
+        expected = {0: [(1, 2.0), (2, 2.0)]}
+        detail = compare_matches(expected, {0: [(2, 2.0), (1, 2.0)]})
+        assert "rank 1" in detail
+
+    def test_similarity_tolerance(self):
+        expected = {0: [(1, 2.0)]}
+        assert compare_matches(expected, {0: [(1, 2.0 + 1e-12)]}) is None
+        assert compare_matches(expected, {0: [(1, 2.1)]}) is not None

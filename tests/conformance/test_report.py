@@ -1,0 +1,100 @@
+"""The conformance report: schema, validation, persistence, orchestration."""
+
+import json
+
+import pytest
+
+from repro.conformance import (
+    REPORT_SCHEMA,
+    build_report,
+    load_report,
+    run_conformance,
+    save_report,
+    validate_report,
+)
+from repro.errors import ConformanceError
+
+
+def _minimal_section(passed=True, divergences=()):
+    return {"passed": passed, "divergences": list(divergences), "trials_run": 1}
+
+
+class TestBuildAndValidate:
+    def test_build_tags_schema(self):
+        report = build_report(0, 5, {"differential": _minimal_section()})
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["passed"] is True
+        assert report["divergence_count"] == 0
+
+    def test_build_rejects_unknown_check(self):
+        with pytest.raises(ConformanceError):
+            build_report(0, 5, {"telepathy": _minimal_section()})
+
+    def test_failed_section_fails_report(self):
+        report = build_report(
+            0, 5, {"metamorphic": _minimal_section(False, [{"detail": "x"}])}
+        )
+        assert report["passed"] is False
+        assert report["divergence_count"] == 1
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda r: r.pop("schema"),
+            lambda r: r.update(schema="repro-conformance-report/999"),
+            lambda r: r.pop("checks"),
+            lambda r: r.update(divergence_count=7),
+            lambda r: r["checks"].update(telepathy={"passed": True, "divergences": []}),
+            lambda r: r["checks"]["differential"].pop("passed"),
+            lambda r: r["checks"]["differential"].update(divergences="nope"),
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutate):
+        report = build_report(0, 5, {"differential": _minimal_section()})
+        mutate(report)
+        with pytest.raises(ConformanceError):
+            validate_report(report)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        report = build_report(0, 5, {"differential": _minimal_section()})
+        path = tmp_path / "conf.json"
+        save_report(report, path)
+        assert load_report(path) == report
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConformanceError):
+            load_report(path)
+        path.write_text(json.dumps({"schema": "???"}))
+        with pytest.raises(ConformanceError):
+            load_report(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConformanceError):
+            load_report(tmp_path / "absent.json")
+
+
+class TestRunConformance:
+    def test_check_selection(self):
+        report = run_conformance(0, 2, checks=["differential"])
+        assert list(report["checks"]) == ["differential"]
+        assert report["passed"] is True
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ConformanceError):
+            run_conformance(0, 2, checks=["telepathy"])
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ConformanceError):
+            run_conformance(0, 0)
+
+    @pytest.mark.conformance
+    @pytest.mark.slow
+    def test_full_run_is_schema_valid(self, tmp_path):
+        report = run_conformance(0, 25)
+        assert report["passed"] is True
+        save_report(report, tmp_path / "full.json")
+        assert load_report(tmp_path / "full.json")["divergence_count"] == 0

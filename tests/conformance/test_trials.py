@@ -1,0 +1,78 @@
+"""Trial configurations: reproduction fidelity and the random generator."""
+
+import random
+
+import pytest
+
+from repro.conformance.trials import (
+    TrialConfig,
+    random_cost_trial_config,
+    random_trial_config,
+)
+from repro.errors import ConformanceError
+from repro.workloads.synthetic import SyntheticSpec
+
+
+class TestTrialConfig:
+    def test_rejects_nonpositive_lambda(self):
+        spec = SyntheticSpec("x", n_documents=4, avg_terms_per_doc=3,
+                             vocabulary_size=20, seed=1)
+        with pytest.raises(ConformanceError):
+            TrialConfig(trial=0, spec1=spec, spec2=None, lam=0,
+                        normalized=False, buffer_pages=16, page_bytes=512,
+                        alpha=5.0)
+
+    def test_self_join_shares_the_collection(self):
+        config = random_trial_config(random.Random(0), 0)
+        c1, c2 = config.build_collections()
+        if config.self_join:
+            assert c1 is c2
+        else:
+            assert c1 is not c2
+
+    def test_reproduction_replays_identically(self):
+        config = random_trial_config(random.Random(5), 3)
+        repro = config.reproduction()
+        rebuilt = TrialConfig(
+            trial=repro["trial"],
+            spec1=SyntheticSpec(**repro["spec1"]),
+            spec2=None if repro["spec2"] is None
+            else SyntheticSpec(**repro["spec2"]),
+            lam=repro["lam"],
+            normalized=repro["normalized"],
+            buffer_pages=repro["buffer_pages"],
+            page_bytes=repro["page_bytes"],
+            alpha=repro["alpha"],
+            delta=repro["delta"],
+            interference=repro["interference"],
+            outer_selection=None if repro["outer_selection"] is None
+            else tuple(repro["outer_selection"]),
+            inner_selection=None if repro["inner_selection"] is None
+            else tuple(repro["inner_selection"]),
+        )
+        original = config.build_collections()[0]
+        replayed = rebuilt.build_collections()[0]
+        assert [d.cells for d in original] == [d.cells for d in replayed]
+
+
+class TestGenerators:
+    def test_same_seed_same_stream(self):
+        a = [random_trial_config(random.Random(9), t) for t in range(5)]
+        b = [random_trial_config(random.Random(9), t) for t in range(5)]
+        assert a == b
+
+    def test_streams_cover_the_parameter_space(self):
+        rng = random.Random(0)
+        configs = [random_trial_config(rng, t) for t in range(40)]
+        assert any(c.self_join for c in configs)
+        assert any(c.outer_selection is not None for c in configs)
+        assert any(c.inner_selection is not None for c in configs)
+        assert any(c.normalized for c in configs)
+        assert any(c.interference for c in configs)
+
+    def test_cost_trials_are_bigger(self):
+        rng = random.Random(0)
+        config = random_cost_trial_config(rng, 0)
+        assert config.spec1.n_documents >= 50
+        assert not config.normalized
+        assert config.outer_selection is None

@@ -3,11 +3,22 @@
 Collection sizes are chosen so the whole suite stays fast while still
 exercising multi-page layouts, buffer eviction and multi-pass VVM: the
 test geometry uses small pages (512B-1024B) so "big" is cheap.
+
+Hypothesis runs under named profiles instead of per-test ``@settings``
+boilerplate: ``dev`` (the default) keeps the property suites fast for
+tier-1, ``ci`` digs deeper.  Select with ``HYPOTHESIS_PROFILE=ci``.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+hypothesis_settings.register_profile("dev", max_examples=25, deadline=None)
+hypothesis_settings.register_profile("ci", max_examples=150, deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.core.join import JoinEnvironment
 from repro.cost.params import SystemParams

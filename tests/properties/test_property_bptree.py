@@ -1,6 +1,6 @@
 """Property-based tests: the B+-tree stays valid under arbitrary workloads."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.index.bptree import BPlusTree
@@ -22,7 +22,6 @@ def ops_strategy(draw):
 
 class TestStructuralInvariants:
     @given(keys=keys_strategy, order=st.integers(min_value=3, max_value=16))
-    @settings(max_examples=60, deadline=None)
     def test_inserts_preserve_invariants(self, keys, order):
         tree = BPlusTree(order=order)
         for key in keys:
@@ -33,7 +32,6 @@ class TestStructuralInvariants:
             assert tree.search(key) == key * 2
 
     @given(ops=ops_strategy(), order=st.integers(min_value=3, max_value=10))
-    @settings(max_examples=60, deadline=None)
     def test_mixed_insert_delete(self, ops, order):
         keys, deletions = ops
         tree = BPlusTree(order=order)
@@ -46,7 +44,6 @@ class TestStructuralInvariants:
         assert [k for k, _ in tree.items()] == remaining
 
     @given(keys=keys_strategy, order=st.integers(min_value=3, max_value=16))
-    @settings(max_examples=40, deadline=None)
     def test_bulk_load_equals_insertion(self, keys, order):
         items = [(k, str(k)) for k in sorted(keys)]
         bulk = BPlusTree.bulk_load(items, order=order)
@@ -61,7 +58,6 @@ class TestStructuralInvariants:
         lo=st.integers(0, 10_000),
         span=st.integers(0, 3_000),
     )
-    @settings(max_examples=60, deadline=None)
     def test_range_scan_equals_filter(self, keys, lo, span):
         hi = lo + span
         tree = BPlusTree(order=8)

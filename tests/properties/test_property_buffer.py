@@ -6,7 +6,7 @@ after *any* interleaving of inserts, re-inserts with new sizes,
 discards and lookups — and must never exceed the budget.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.storage.buffer import ObjectBuffer
@@ -50,7 +50,6 @@ def apply(buf: ObjectBuffer, ops) -> None:
 class TestAccounting:
     @given(ops=operations, budget=st.integers(min_value=0, max_value=120),
            policy=policies)
-    @settings(max_examples=150, deadline=None)
     def test_used_bytes_equals_sum_of_resident_sizes(self, ops, budget, policy):
         buf = ObjectBuffer(budget, policy())
         apply(buf, ops)
@@ -63,7 +62,6 @@ class TestAccounting:
 
     @given(ops=operations, budget=st.integers(min_value=0, max_value=120),
            policy=policies)
-    @settings(max_examples=100, deadline=None)
     def test_resident_set_matches_policy_view(self, ops, budget, policy):
         # every resident key must be evictable: run the buffer empty and
         # check the policy can name a victim for each resident object

@@ -1,6 +1,6 @@
 """Property-based tests for the posting-compression codec."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.index.compression import (
@@ -26,7 +26,6 @@ postings_strategy = st.lists(
 
 class TestVByteProperties:
     @given(value=st.integers(min_value=0, max_value=2**62))
-    @settings(max_examples=200, deadline=None)
     def test_roundtrip(self, value):
         data = encode_vbyte(value)
         decoded, position = decode_vbyte(data, 0)
@@ -34,7 +33,6 @@ class TestVByteProperties:
         assert position == len(data)
 
     @given(values=st.lists(st.integers(0, 2**40), max_size=50))
-    @settings(max_examples=100, deadline=None)
     def test_concatenated_stream(self, values):
         stream = b"".join(encode_vbyte(v) for v in values)
         position = 0
@@ -45,7 +43,6 @@ class TestVByteProperties:
         assert decoded == values
 
     @given(value=st.integers(min_value=0, max_value=2**62))
-    @settings(max_examples=100, deadline=None)
     def test_length_is_ceil_bits_over_seven(self, value):
         bits = max(1, value.bit_length())
         assert len(encode_vbyte(value)) == -(-bits // 7)
@@ -53,12 +50,10 @@ class TestVByteProperties:
 
 class TestPostingsProperties:
     @given(postings=postings_strategy)
-    @settings(max_examples=150, deadline=None)
     def test_roundtrip(self, postings):
         assert decompress_postings(compress_postings(postings)) == postings
 
     @given(postings=postings_strategy)
-    @settings(max_examples=100, deadline=None)
     def test_dense_lists_never_larger_than_uncompressed(self, postings):
         # 5 bytes per i-cell uncompressed; gaps+weights < 128 fit in 2.
         if all(w < 128 for _, w in postings):

@@ -5,7 +5,7 @@ as dear as the sequential case, monotone in memory, and monotone in the
 amount of work (participating documents).
 """
 
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.cost.hhnl import hhnl_cost
@@ -56,14 +56,12 @@ def _all_costs(side1, side2, system, query, q):
 
 class TestCostSanity:
     @given(scenario=scenario_strategy())
-    @settings(max_examples=150, deadline=None)
     def test_nonnegative_and_ordered(self, scenario):
         for cost in _all_costs(*scenario):
             assert cost.sequential >= 0
             assert cost.random >= cost.sequential - 1e-6
 
     @given(scenario=scenario_strategy())
-    @settings(max_examples=100, deadline=None)
     def test_alpha_one_collapses_scenarios(self, scenario):
         side1, side2, system, query, q = scenario
         system = system.with_alpha(1.0)
@@ -71,7 +69,6 @@ class TestCostSanity:
             assert cost.random <= cost.sequential * 1.0001 + 1e-6
 
     @given(scenario=scenario_strategy(), factor=st.integers(2, 8))
-    @settings(max_examples=100, deadline=None)
     def test_more_memory_never_hurts(self, scenario, factor):
         side1, side2, system, query, q = scenario
         big_system = system.with_buffer(system.buffer_pages * factor)
@@ -85,7 +82,6 @@ class TestCostSanity:
                 assert cost_big.sequential <= cost_small.sequential * 1.0001 + 1e-6
 
     @given(scenario=scenario_strategy())
-    @settings(max_examples=100, deadline=None)
     def test_selection_never_increases_hhnl_hvnl(self, scenario):
         side1, side2, system, query, q = scenario
         assume(side2.stats.N >= 10)

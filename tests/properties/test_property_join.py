@@ -6,7 +6,7 @@ algorithms return identical matches, and those matches equal the
 brute-force top-lambda.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.hhnl import run_hhnl
@@ -55,7 +55,6 @@ class TestExecutorAgreement:
         lam=st.integers(min_value=1, max_value=6),
         buffer_pages=st.integers(min_value=8, max_value=64),
     )
-    @settings(max_examples=40, deadline=None)
     def test_all_algorithms_equal_oracle(self, counts1, counts2, lam, buffer_pages):
         c1, c2 = build("p1", counts1), build("p2", counts2)
         system = SystemParams(buffer_pages=buffer_pages, page_bytes=256)
@@ -70,7 +69,6 @@ class TestExecutorAgreement:
         counts=collection_strategy,
         lam=st.integers(min_value=1, max_value=4),
     )
-    @settings(max_examples=25, deadline=None)
     def test_self_join_agreement(self, counts, lam):
         c = build("self", counts)
         system = SystemParams(buffer_pages=16, page_bytes=256)
@@ -85,7 +83,6 @@ class TestExecutorAgreement:
         counts2=collection_strategy,
         seed=st.integers(min_value=0, max_value=10),
     )
-    @settings(max_examples=25, deadline=None)
     def test_selection_consistency(self, counts1, counts2, seed):
         c1, c2 = build("p1", counts1), build("p2", counts2)
         outer_ids = sorted(set(range(seed % len(c2.documents), len(c2.documents), 2)))
@@ -104,7 +101,6 @@ class TestExecutorAgreement:
         counts1=collection_strategy,
         counts2=collection_strategy,
     )
-    @settings(max_examples=20, deadline=None)
     def test_interference_never_changes_results(self, counts1, counts2):
         c1, c2 = build("p1", counts1), build("p2", counts2)
         system = SystemParams(buffer_pages=16, page_bytes=256)

@@ -1,6 +1,6 @@
 """Property-based round trips for the Section 3 physical format."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.index.inverted import InvertedFile
@@ -28,19 +28,16 @@ collection_strategy = st.lists(cells_strategy, min_size=0, max_size=15)
 
 class TestCellCodecProperties:
     @given(cells=cells_strategy)
-    @settings(max_examples=150, deadline=None)
     def test_roundtrip(self, cells):
         assert cells_from_bytes(cells_to_bytes(cells)) == cells
 
     @given(cells=cells_strategy)
-    @settings(max_examples=100, deadline=None)
     def test_size_is_five_bytes_per_cell(self, cells):
         assert len(cells_to_bytes(cells)) == 5 * len(cells)
 
 
 class TestFileRoundTripProperties:
     @given(counts_list=collection_strategy)
-    @settings(max_examples=30, deadline=None)
     def test_collection_roundtrip(self, counts_list, tmp_path_factory):
         directory = tmp_path_factory.mktemp("roundtrip")
         collection = DocumentCollection(
@@ -51,7 +48,6 @@ class TestFileRoundTripProperties:
         assert [d.cells for d in loaded] == [d.cells for d in collection]
 
     @given(counts_list=collection_strategy)
-    @settings(max_examples=20, deadline=None)
     def test_inverted_roundtrip_preserves_transpose(self, counts_list, tmp_path_factory):
         directory = tmp_path_factory.mktemp("invrt")
         collection = DocumentCollection(

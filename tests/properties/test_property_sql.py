@@ -1,6 +1,6 @@
 """Property-based round trip: parse(query.to_sql()) == query."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.sql.ast_nodes import (
@@ -72,13 +72,11 @@ def queries(draw):
 
 class TestRoundTrip:
     @given(query=queries())
-    @settings(max_examples=200, deadline=None)
     def test_parse_inverts_to_sql(self, query):
         reparsed = parse(query.to_sql())
         assert reparsed == query
 
     @given(query=queries())
-    @settings(max_examples=100, deadline=None)
     def test_to_sql_is_stable(self, query):
         text = query.to_sql()
         assert parse(text).to_sql() == text

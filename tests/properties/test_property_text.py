@@ -2,7 +2,7 @@
 
 import math
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.index.inverted import InvertedFile
@@ -27,32 +27,27 @@ def build_collection(counts_list):
 
 class TestSimilarityProperties:
     @given(a=counts_strategy, b=counts_strategy)
-    @settings(max_examples=150, deadline=None)
     def test_dot_product_symmetry(self, a, b):
         d1, d2 = Document.from_counts(0, a), Document.from_counts(1, b)
         assert dot_product(d1, d2) == dot_product(d2, d1)
 
     @given(a=counts_strategy, b=counts_strategy)
-    @settings(max_examples=150, deadline=None)
     def test_dot_product_equals_naive(self, a, b):
         d1, d2 = Document.from_counts(0, a), Document.from_counts(1, b)
         naive = sum(w * b[t] for t, w in a.items() if t in b)
         assert dot_product(d1, d2) == float(naive)
 
     @given(a=counts_strategy, b=counts_strategy)
-    @settings(max_examples=100, deadline=None)
     def test_cauchy_schwarz(self, a, b):
         d1, d2 = Document.from_counts(0, a), Document.from_counts(1, b)
         assert dot_product(d1, d2) <= d1.norm() * d2.norm() + 1e-9
 
     @given(a=counts_strategy, b=counts_strategy)
-    @settings(max_examples=100, deadline=None)
     def test_cosine_bounded(self, a, b):
         d1, d2 = Document.from_counts(0, a), Document.from_counts(1, b)
         assert 0.0 <= cosine_similarity(d1, d2) <= 1.0 + 1e-9
 
     @given(a=counts_strategy)
-    @settings(max_examples=100, deadline=None)
     def test_norm_definition(self, a):
         d = Document.from_counts(0, a)
         assert d.norm() == math.sqrt(sum(w * w for w in a.values()))
@@ -60,14 +55,12 @@ class TestSimilarityProperties:
 
 class TestInvertedFileProperties:
     @given(counts_list=collection_strategy)
-    @settings(max_examples=80, deadline=None)
     def test_transpose_roundtrip(self, counts_list):
         collection = build_collection(counts_list)
         inverted = InvertedFile.build(collection)
         inverted.verify_against(collection)
 
     @given(counts_list=collection_strategy)
-    @settings(max_examples=80, deadline=None)
     def test_size_identity(self, counts_list):
         # Section 3: collection and inverted file have equal packed size.
         collection = build_collection(counts_list)
@@ -75,14 +68,12 @@ class TestInvertedFileProperties:
         assert inverted.total_bytes == collection.total_bytes
 
     @given(counts_list=collection_strategy)
-    @settings(max_examples=80, deadline=None)
     def test_document_frequencies_match_collection(self, counts_list):
         collection = build_collection(counts_list)
         inverted = InvertedFile.build(collection)
         assert inverted.document_frequencies() == collection.document_frequency()
 
     @given(counts_list=collection_strategy)
-    @settings(max_examples=50, deadline=None)
     def test_entry_count_is_distinct_terms(self, counts_list):
         collection = build_collection(counts_list)
         assert InvertedFile.build(collection).n_terms == collection.n_distinct_terms

@@ -1,6 +1,6 @@
 """Property-based tests: TopK equals sort-and-slice, order-independently."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.topk import TopK
@@ -28,7 +28,6 @@ def reference(offers, k):
 
 class TestAgainstOracle:
     @given(offers=offers_strategy, k=st.integers(min_value=1, max_value=30))
-    @settings(max_examples=100, deadline=None)
     def test_matches_sort_and_slice_for_unique_docs(self, offers, k):
         # restrict to unique doc ids so the oracle is unambiguous
         seen = set()
@@ -43,7 +42,6 @@ class TestAgainstOracle:
         assert top.results() == reference(unique_offers, k)
 
     @given(offers=offers_strategy, k=st.integers(min_value=1, max_value=10))
-    @settings(max_examples=60, deadline=None)
     def test_order_independence(self, offers, k):
         seen = set()
         unique_offers = []
@@ -60,7 +58,6 @@ class TestAgainstOracle:
         assert forward.results() == backward.results()
 
     @given(offers=offers_strategy, k=st.integers(min_value=1, max_value=10))
-    @settings(max_examples=60, deadline=None)
     def test_invariants(self, offers, k):
         # Executors offer each doc id at most once per outer document;
         # keep the first offer per doc to respect that contract.

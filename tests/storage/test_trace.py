@@ -60,12 +60,91 @@ class TestIOTrace:
         assert len(trace) == 0
 
 
+class TestIOTraceEdgeCases:
+    def test_interleaving_switches_ignores_interposed_extents(self):
+        trace = IOTrace()
+        # a and b never touch back-to-back; c sits between every time
+        for name in ("a", "c", "b", "c", "a", "c", "b"):
+            trace.record(name, 1, 0)
+        # filtered stream over {a, b}: a b a b -> 3 switches
+        assert trace.interleaving_switches("a", "b") == 3
+
+    def test_interleaving_switches_empty_trace(self):
+        assert IOTrace().interleaving_switches("a", "b") == 0
+
+    def test_interleaving_switches_single_extent(self):
+        trace = IOTrace()
+        for _ in range(3):
+            trace.record("a", 1, 0)
+        assert trace.interleaving_switches("a", "b") == 0
+
+    def test_scan_passes_zero_page_extent(self):
+        trace = IOTrace()
+        trace.record("a", 5, 0)
+        assert trace.scan_passes("a", extent_pages=0) == 0.0
+        assert trace.scan_passes("a", extent_pages=-1) == 0.0
+
+    def test_scan_passes_untouched_extent(self):
+        assert IOTrace().scan_passes("ghost", extent_pages=10) == 0.0
+
+    def test_random_fraction_all_random(self):
+        trace = IOTrace()
+        trace.record("a", 0, 4)
+        assert trace.random_fraction() == 1.0
+
+    def test_random_fraction_zero_page_events(self):
+        trace = IOTrace()
+        trace.record("a", 0, 0)
+        assert trace.random_fraction() == 0.0
+
+
 class TestTracingStats:
     def test_counters_and_trace_agree(self):
         stats = TracingIOStats()
         stats.record("x", sequential=4, random=2)
         assert stats.sequential_reads == 4
         assert stats.trace.pages_read() == 6
+
+    def test_reset_clears_trace(self):
+        # regression: reset() used to zero the counters but leak the
+        # previous run's events into the next run's pattern analysis
+        stats = TracingIOStats()
+        stats.record("x", sequential=4, random=2)
+        stats.reset()
+        assert stats.sequential_reads == 0
+        assert stats.random_reads == 0
+        assert len(stats.trace) == 0
+        stats.record("y", sequential=1)
+        assert stats.trace.extents_touched() == ["y"]
+
+    def test_snapshot_keeps_type_and_trace(self):
+        # regression: snapshot() used to downgrade to a plain IOStats,
+        # silently dropping the access pattern
+        stats = TracingIOStats()
+        stats.record("x", sequential=4, random=2)
+        snap = stats.snapshot()
+        assert isinstance(snap, TracingIOStats)
+        assert snap.sequential_reads == 4
+        assert snap.trace.pages_read() == 6
+        assert snap.by_extent == stats.by_extent
+
+    def test_snapshot_is_independent(self):
+        stats = TracingIOStats()
+        stats.record("x", sequential=1)
+        snap = stats.snapshot()
+        stats.record("y", random=3)
+        assert snap.trace.extents_touched() == ["x"]
+        assert snap.random_reads == 0
+        snap.trace.record("z", 1, 0)
+        assert "z" not in stats.trace.extents_touched()
+
+    def test_reset_after_snapshot_preserves_snapshot(self):
+        stats = TracingIOStats()
+        stats.record("x", sequential=2)
+        snap = stats.snapshot()
+        stats.reset()
+        assert snap.trace.pages_read() == 2
+        assert len(stats.trace) == 0
 
 
 class TestExecutorPatterns:

@@ -202,3 +202,63 @@ class TestJoin:
                 "join", "--inner-dir", str(inner),
                 "--outer-dir", str(tmp_path / "ghost"),
             ])
+
+
+class TestConformance:
+    def test_short_sweep_passes(self, capsys):
+        assert main(["conformance", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "differential" in out
+        assert "metamorphic" in out
+        assert "costcheck" in out
+        assert "PASS" in out
+
+    def test_check_selection(self, capsys):
+        assert main([
+            "conformance", "--trials", "2", "--check", "differential",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "differential" in out
+        assert "metamorphic" not in out
+
+    def test_writes_schema_valid_report(self, capsys, tmp_path):
+        from repro.conformance import load_report
+
+        path = tmp_path / "conf.json"
+        assert main([
+            "conformance", "--trials", "2", "--check", "differential",
+            "--report", str(path),
+        ]) == 0
+        report = load_report(path)
+        assert report["trials"] == 2
+        assert report["passed"] is True
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["conformance", "--check", "telepathy"])
+
+    def test_divergence_exits_nonzero(self, capsys, monkeypatch):
+        from repro.conformance import trials
+
+        real = trials.DEFAULT_EXECUTORS["VVM"]
+
+        def mutant(environment, config):
+            result = real(environment, config)
+            for hits in result.matches.values():
+                hits.clear()
+            return result
+
+        # the differential module captured the registry at import time;
+        # patch the name it actually reads
+        from repro.conformance import differential
+        monkeypatch.setattr(
+            differential, "DEFAULT_EXECUTORS",
+            dict(trials.DEFAULT_EXECUTORS, VVM=mutant),
+        )
+        code = main([
+            "conformance", "--trials", "2", "--check", "differential",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "reproduce:" in out
