@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.analysis.engine import Rule
 from repro.analysis.rules.api import PublicApiRule
 from repro.analysis.rules.asserts import NoBareAssertRule
+from repro.analysis.rules.context_discipline import ContextDisciplineRule
 from repro.analysis.rules.errors_discipline import ErrorHierarchyRule
 from repro.analysis.rules.floateq import FloatEqualityRule
 from repro.analysis.rules.frozen import FrozenValueTypesRule
@@ -24,6 +25,7 @@ def default_rules() -> tuple[Rule, ...]:
         UnitDisciplineRule(),
         CostPurityRule(),
         CoreIODisciplineRule(),
+        ContextDisciplineRule(),
         FrozenValueTypesRule(),
         FloatEqualityRule(),
         ErrorHierarchyRule(),
@@ -33,6 +35,7 @@ def default_rules() -> tuple[Rule, ...]:
 
 
 __all__ = [
+    "ContextDisciplineRule",
     "CoreIODisciplineRule",
     "CostPurityRule",
     "ErrorHierarchyRule",

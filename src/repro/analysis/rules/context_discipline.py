@@ -1,0 +1,75 @@
+"""RA-CONTEXT — executors must not manufacture their own I/O counters.
+
+The streaming refactor threads every page an operator reads through one
+:class:`~repro.exec.context.ExecutionContext` guarding the environment's
+:class:`~repro.storage.iostats.IOStats`.  An executor that constructs a
+*fresh* ``IOStats`` (or ``TracingIOStats``) sidesteps that guard: pages
+recorded into a private counter are invisible to page budgets, phase
+accounting and metric hooks, so the numbers the context reports stop
+being the numbers the run charged.
+
+The rule therefore flags ``IOStats(...)`` / ``TracingIOStats(...)``
+constructor calls inside ``repro/core/`` and ``repro/exec/``.  Two
+sanctioned boundaries exist:
+
+* ``repro.exec.context`` — the context itself materialises empty stats
+  objects for phase buckets; it *is* the accounting layer;
+* ``repro.core.join`` — the environment creates the disk's root counter
+  when laying collections out, before any execution starts (carries an
+  inline suppression at the construction site).
+
+``snapshot()`` / ``delta()`` / ``scoped()`` return derived ``IOStats``
+values without triggering the rule: those are reads of the shared
+counter, not parallel books.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+#: constructor names that open a parallel set of I/O books
+_COUNTER_TYPES = {"IOStats", "TracingIOStats"}
+
+#: modules allowed to construct counters (the accounting layer itself)
+_SANCTIONED_MODULES = ("repro.exec.context",)
+
+
+class ContextDisciplineRule(Rule):
+    """Flag private IOStats construction in the execution packages."""
+
+    rule_id = "RA-CONTEXT"
+    summary = (
+        "executors must record I/O into the environment's context-guarded "
+        "IOStats, never into a privately constructed counter"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding per counter constructor call in scope."""
+        if not (module.in_package("repro.core") or module.in_package("repro.exec")):
+            return
+        if module.module_name in _SANCTIONED_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Attribute):
+                name = callee.attr
+            elif isinstance(callee, ast.Name):
+                name = callee.id
+            else:
+                continue
+            if name in _COUNTER_TYPES:
+                yield self.finding(
+                    module,
+                    node,
+                    f"constructs a private {name}; pages recorded there bypass "
+                    "the ExecutionContext's budget and phase accounting — use "
+                    "the environment disk's stats under execution_scope()",
+                )
+
+
+__all__ = ["ContextDisciplineRule"]

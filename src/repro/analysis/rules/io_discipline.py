@@ -13,6 +13,11 @@ formulas if every page they touch lands in
 * calling ``<extent>.payload(...)`` — an uncharged in-memory read — in a
   function that never charges I/O.  Chunked executors that account at
   block granularity do both in the same function and pass.
+
+The streaming execution core (``repro/exec/``) sits on the same side of
+the boundary: it observes :class:`~repro.storage.iostats.IOStats` but
+must never touch the physical layer itself, so the rule's scope covers
+both packages.
 """
 
 from __future__ import annotations
@@ -56,17 +61,18 @@ def _is_physical(dotted: str) -> bool:
 
 
 class CoreIODisciplineRule(Rule):
-    """Flag physical-layer imports and uncharged reads in ``repro.core``."""
+    """Flag physical-layer imports and uncharged reads in ``repro.core``
+    and ``repro.exec``."""
 
     rule_id = "RA-CORE-IO"
     summary = (
-        "repro/core/ must not import the physical storage layer nor read "
-        "payloads in a function that never charges IOStats"
+        "repro/core/ and repro/exec/ must not import the physical storage "
+        "layer nor read payloads in a function that never charges IOStats"
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
-        """Yield layering and uncharged-read violations for core modules."""
-        if not module.in_package("repro.core"):
+        """Yield layering and uncharged-read violations for execution modules."""
+        if not (module.in_package("repro.core") or module.in_package("repro.exec")):
             return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):

@@ -156,6 +156,31 @@ def _build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--no-sql", action="store_true",
                              help="skip the SQL-pipeline cross-check")
 
+    sql = sub.add_parser(
+        "sql",
+        help="run an extended-SQL query over a synthetic two-relation catalog "
+        "(R1/R2 with Id and textual Doc attributes)",
+    )
+    sql.add_argument("query", help="the SELECT statement to execute")
+    sql.add_argument("--inner-docs", type=int, default=120,
+                     help="documents in R1.Doc (the inner side)")
+    sql.add_argument("--outer-docs", type=int, default=120,
+                     help="documents in R2.Doc (the outer side)")
+    sql.add_argument("--terms", type=int, default=12,
+                     help="average terms per document")
+    sql.add_argument("--vocab", type=int, default=300,
+                     help="vocabulary size shared by both collections")
+    sql.add_argument("--seed", type=int, default=0, help="generator seed")
+    sql.add_argument("--buffer", type=int, default=256, help="B in pages")
+    sql.add_argument("--page-bytes", type=int, default=1024, help="P in bytes")
+    sql.add_argument("--scenario", choices=("sequential", "random"),
+                     default="sequential", help="cost scenario for the optimizer")
+    sql.add_argument("--max-rows", type=int, default=20,
+                     help="result rows to print (does not affect execution)")
+    sql.add_argument("--json", action="store_true",
+                     help="emit a machine-readable execution summary instead "
+                     "of the row listing")
+
     join = sub.add_parser(
         "join", help="join two folders of .txt files (SIMILAR_TO over files)"
     )
@@ -345,6 +370,57 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def _cmd_sql(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sql.catalog import Catalog, Relation
+    from repro.sql.executor import execute
+
+    spec1 = SyntheticSpec(
+        "c1", n_documents=args.inner_docs, avg_terms_per_doc=args.terms,
+        vocabulary_size=args.vocab, seed=args.seed * 2 + 1,
+    )
+    spec2 = SyntheticSpec(
+        "c2", n_documents=args.outer_docs, avg_terms_per_doc=args.terms,
+        vocabulary_size=args.vocab, seed=args.seed * 2 + 2,
+    )
+    catalog = Catalog()
+    catalog.register(
+        Relation.from_rows(
+            "R1", [{"Id": i} for i in range(args.inner_docs)]
+        ).bind_text("Doc", generate_collection(spec1))
+    )
+    catalog.register(
+        Relation.from_rows(
+            "R2", [{"Id": i} for i in range(args.outer_docs)]
+        ).bind_text("Doc", generate_collection(spec2))
+    )
+    system = SystemParams(buffer_pages=args.buffer, page_bytes=args.page_bytes)
+    result = execute(args.query, catalog, system, scenario=args.scenario)
+
+    if args.json:
+        print(json.dumps({
+            "rows": len(result.rows),
+            "columns": result.columns,
+            "algorithm": result.algorithm,
+            "pages_read": result.extras.get("pages_read"),
+            "blocks_emitted": result.extras.get("blocks_emitted"),
+            "truncated": result.extras.get("truncated"),
+        }, sort_keys=True))
+        return 0
+
+    algorithm = result.algorithm or "selection"
+    pages = result.extras.get("pages_read")
+    detail = f", {pages} pages read" if pages is not None else ""
+    print(f"# {len(result.rows)} row(s) via {algorithm}{detail}")
+    print("  ".join(result.columns))
+    for row in result.rows[: args.max_rows]:
+        print("  ".join(str(value) for value in row))
+    if len(result.rows) > args.max_rows:
+        print(f"... {len(result.rows) - args.max_rows} more row(s)")
+    return 0
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     from repro.core.integrated import IntegratedJoin
     from repro.core.join import JoinEnvironment, TextJoinSpec
@@ -384,6 +460,7 @@ _COMMANDS = {
     "boundaries": _cmd_boundaries,
     "lint": _cmd_lint,
     "conformance": _cmd_conformance,
+    "sql": _cmd_sql,
     "join": _cmd_join,
 }
 

@@ -32,6 +32,7 @@ from repro.conformance.differential import (
     Divergence,
     SQL_PATH,
     run_differential,
+    run_streaming_equivalence,
     sql_join_matches,
 )
 from repro.conformance.metamorphic import (
@@ -57,7 +58,9 @@ from repro.conformance.report import (
 from repro.conformance.runner import run_conformance
 from repro.conformance.trials import (
     DEFAULT_EXECUTORS,
+    DEFAULT_STREAMERS,
     ExecutorFn,
+    StreamerFn,
     TrialConfig,
     random_trial_config,
 )
@@ -68,9 +71,11 @@ __all__ = [
     "CostCheckRow",
     "CostToleranceSpec",
     "DEFAULT_EXECUTORS",
+    "DEFAULT_STREAMERS",
     "DifferentialOutcome",
     "Divergence",
     "ExecutorFn",
+    "StreamerFn",
     "INVARIANTS",
     "Matches",
     "MetamorphicOutcome",
@@ -88,6 +93,7 @@ __all__ = [
     "run_costcheck",
     "run_differential",
     "run_metamorphic",
+    "run_streaming_equivalence",
     "save_report",
     "sql_join_matches",
     "validate_report",

@@ -22,12 +22,16 @@ from typing import Any, Mapping
 from repro.conformance.oracle import Matches, compare_matches, oracle_join
 from repro.conformance.trials import (
     DEFAULT_EXECUTORS,
+    DEFAULT_STREAMERS,
     ExecutorFn,
+    StreamerFn,
     TrialConfig,
+    random_cost_trial_config,
     random_trial_config,
 )
 from repro.cost.params import SystemParams
 from repro.errors import InsufficientMemoryError
+from repro.storage.iostats import IOStats
 from repro.sql.catalog import Catalog, Relation
 from repro.sql.executor import execute
 from repro.text.collection import DocumentCollection
@@ -217,10 +221,131 @@ def run_differential(
     return outcome
 
 
+def _io_mismatch(materialized: IOStats, streamed: IOStats) -> str | None:
+    """Describe the first I/O-counter disagreement, or None when equal."""
+    if materialized.sequential_reads != streamed.sequential_reads:
+        return (
+            f"sequential reads differ: run={materialized.sequential_reads} "
+            f"iter={streamed.sequential_reads}"
+        )
+    if materialized.random_reads != streamed.random_reads:
+        return (
+            f"random reads differ: run={materialized.random_reads} "
+            f"iter={streamed.random_reads}"
+        )
+    if dict(materialized.by_extent) != dict(streamed.by_extent):
+        return (
+            f"per-extent reads differ: run={dict(materialized.by_extent)} "
+            f"iter={dict(streamed.by_extent)}"
+        )
+    return None
+
+
+def _stream_mismatch(
+    result: "Any", blocks: list, summary: "Any"
+) -> str | None:
+    """Compare one materialized run against its streamed twin.
+
+    Byte-identity is demanded, not tolerance-based equality: ``run_*``
+    *is* ``collect(iter_*)``, so the streamed blocks must flatten to the
+    exact matches dict (same floats, same ranked order, same outer-id
+    iteration order) and charge the exact same I/O.
+    """
+    outer_seen = [block.outer_doc for block in blocks]
+    if len(set(outer_seen)) != len(outer_seen):
+        return f"an outer document was emitted twice: {outer_seen}"
+    if outer_seen != sorted(outer_seen):
+        return f"blocks not in ascending outer order: {outer_seen}"
+    flattened = {block.outer_doc: list(block.matches) for block in blocks}
+    if flattened != result.matches:
+        missing = set(result.matches) ^ set(flattened)
+        if missing:
+            return f"outer documents differ (symmetric difference {sorted(missing)})"
+        for outer_doc, hits in result.matches.items():
+            if flattened[outer_doc] != hits:
+                return (
+                    f"matches for outer {outer_doc} differ: "
+                    f"run={hits} iter={flattened[outer_doc]}"
+                )
+        return "matches dicts differ"
+    if list(flattened) != list(result.matches):
+        return "outer-document emission order differs from materialized order"
+    detail = _io_mismatch(result.io, summary.io)
+    if detail is not None:
+        return detail
+    if summary.algorithm != result.algorithm:
+        return f"algorithm differs: run={result.algorithm} iter={summary.algorithm}"
+    if summary.extras != result.extras:
+        return f"extras differ: run={result.extras} iter={summary.extras}"
+    return None
+
+
+def run_streaming_equivalence(
+    seed: int,
+    trials: int,
+    *,
+    executors: Mapping[str, ExecutorFn] | None = None,
+    streamers: Mapping[str, StreamerFn] | None = None,
+    fail_fast: bool = False,
+) -> DifferentialOutcome:
+    """Prove ``list(iter_*)`` flattens to exactly the ``run_*`` result.
+
+    Each trial draws a cost-scale workload (large enough for multi-page
+    layouts and multi-pass VVM), runs every algorithm twice on *fresh*
+    environments — once materialized, once consumed block-by-block via
+    the raw generator protocol — and demands byte-identical matches,
+    identical :class:`~repro.storage.iostats.IOStats` deltas and the
+    block-stream invariants (each participating outer document emitted
+    exactly once, in ascending order).  A mutated ``streamers`` mapping
+    is the harness-detects-bugs hook, mirroring ``run_differential``.
+    """
+    executors = DEFAULT_EXECUTORS if executors is None else executors
+    streamers = DEFAULT_STREAMERS if streamers is None else streamers
+    rng = random.Random(seed)
+    outcome = DifferentialOutcome(seed=seed, trials_requested=trials)
+
+    for trial in range(trials):
+        config = random_cost_trial_config(rng, trial)
+        outcome.trials_run += 1
+        for name, streamer in streamers.items():
+            executor = executors[name]
+            try:
+                result = executor(config.build_environment(), config)
+            except InsufficientMemoryError:
+                outcome.skips[name] = outcome.skips.get(name, 0) + 1
+                continue
+
+            blocks = []
+            stream = streamer(config.build_environment(), config)
+            while True:
+                try:
+                    blocks.append(next(stream))
+                except StopIteration as stop:
+                    summary = stop.value
+                    break
+
+            outcome.comparisons += 1
+            detail = _stream_mismatch(result, blocks, summary)
+            if detail is not None:
+                outcome.divergences.append(
+                    Divergence(
+                        check="streaming-equivalence",
+                        executor=name,
+                        trial=trial,
+                        detail=detail,
+                        reproduction=config.reproduction(),
+                    )
+                )
+        if fail_fast and outcome.divergences:
+            break
+    return outcome
+
+
 __all__ = [
     "Divergence",
     "DifferentialOutcome",
     "SQL_PATH",
     "run_differential",
+    "run_streaming_equivalence",
     "sql_join_matches",
 ]

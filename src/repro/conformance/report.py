@@ -21,7 +21,7 @@ from repro.errors import ConformanceError
 REPORT_SCHEMA = "repro-conformance-report/1"
 
 #: every check a report may contain, in canonical order
-CHECK_NAMES = ("differential", "metamorphic", "costcheck")
+CHECK_NAMES = ("differential", "metamorphic", "costcheck", "streaming-equivalence")
 
 
 def build_report(

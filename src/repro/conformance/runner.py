@@ -2,7 +2,7 @@
 
 :func:`run_conformance` is the single entry point behind both the
 ``repro conformance`` CLI subcommand and the pytest suites: it runs the
-selected checks (all three by default) with a shared seed and trial
+selected checks (all four by default) with a shared seed and trial
 count, then folds the outcomes into a schema-tagged report dictionary
 (:mod:`repro.conformance.report`).
 """
@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Mapping, Sequence
 
 from repro.conformance.costcheck import CostToleranceSpec, run_costcheck
-from repro.conformance.differential import run_differential
+from repro.conformance.differential import run_differential, run_streaming_equivalence
 from repro.conformance.metamorphic import run_metamorphic
 from repro.conformance.report import CHECK_NAMES, build_report
 from repro.conformance.trials import ExecutorFn
@@ -61,6 +61,10 @@ def run_conformance(
     if "costcheck" in selected:
         sections["costcheck"] = run_costcheck(
             seed, trials, executors=executors, tolerance=cost_tolerance
+        ).to_dict()
+    if "streaming-equivalence" in selected:
+        sections["streaming-equivalence"] = run_streaming_equivalence(
+            seed, trials, executors=executors
         ).to_dict()
     return build_report(seed, trials, sections)
 

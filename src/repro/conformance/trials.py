@@ -18,20 +18,24 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
-from repro.core.hhnl import run_hhnl
-from repro.core.hvnl import run_hvnl
+from repro.core.hhnl import iter_hhnl, run_hhnl
+from repro.core.hvnl import iter_hvnl, run_hvnl
 from repro.core.join import JoinEnvironment, TextJoinResult, TextJoinSpec
-from repro.core.vvm import run_vvm
+from repro.core.vvm import iter_vvm, run_vvm
 from repro.cost.params import SystemParams
 from repro.errors import ConformanceError
+from repro.exec.stream import MatchBlock
 from repro.storage.pages import PageGeometry
 from repro.text.collection import DocumentCollection
 from repro.workloads.synthetic import SyntheticSpec, generate_collection
 
 #: uniform executor signature over one trial
 ExecutorFn = Callable[[JoinEnvironment, "TrialConfig"], TextJoinResult]
+
+#: uniform streaming-executor signature over one trial
+StreamerFn = Callable[[JoinEnvironment, "TrialConfig"], Iterator[MatchBlock]]
 
 
 @dataclass(frozen=True)
@@ -266,6 +270,44 @@ def _run_vvm(environment: JoinEnvironment, config: TrialConfig) -> TextJoinResul
     )
 
 
+def _iter_hhnl(environment: JoinEnvironment, config: TrialConfig) -> Iterator[MatchBlock]:
+    """Streaming HHNL adapter over a trial."""
+    return iter_hhnl(
+        environment,
+        config.join_spec(),
+        config.system(),
+        outer_ids=config.outer_selection,
+        inner_ids=config.inner_selection,
+        interference=config.interference,
+    )
+
+
+def _iter_hvnl(environment: JoinEnvironment, config: TrialConfig) -> Iterator[MatchBlock]:
+    """Streaming HVNL adapter over a trial."""
+    return iter_hvnl(
+        environment,
+        config.join_spec(),
+        config.system(),
+        outer_ids=config.outer_selection,
+        inner_ids=config.inner_selection,
+        interference=config.interference,
+        delta=config.delta,
+    )
+
+
+def _iter_vvm(environment: JoinEnvironment, config: TrialConfig) -> Iterator[MatchBlock]:
+    """Streaming VVM adapter over a trial."""
+    return iter_vvm(
+        environment,
+        config.join_spec(),
+        config.system(),
+        outer_ids=config.outer_selection,
+        inner_ids=config.inner_selection,
+        interference=config.interference,
+        delta=config.delta,
+    )
+
+
 #: name -> adapter; the default set every check cross-examines.  Tests
 #: inject mutated entries here (via the ``executors=`` parameters, never
 #: by mutating this mapping) to prove divergences are caught.
@@ -275,10 +317,21 @@ DEFAULT_EXECUTORS: Mapping[str, ExecutorFn] = {
     "VVM": _run_vvm,
 }
 
+#: name -> streaming adapter, aligned with :data:`DEFAULT_EXECUTORS` so
+#: the streaming-equivalence check can pair each ``iter_*`` generator
+#: with its materializing ``run_*`` twin on the same trial.
+DEFAULT_STREAMERS: Mapping[str, StreamerFn] = {
+    "HHNL": _iter_hhnl,
+    "HVNL": _iter_hvnl,
+    "VVM": _iter_vvm,
+}
+
 
 __all__ = [
     "DEFAULT_EXECUTORS",
+    "DEFAULT_STREAMERS",
     "ExecutorFn",
+    "StreamerFn",
     "TrialConfig",
     "random_cost_trial_config",
     "random_trial_config",

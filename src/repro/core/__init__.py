@@ -9,11 +9,17 @@ All executors share :class:`repro.core.join.JoinEnvironment` (collections
 laid out on a simulated disk) and return a
 :class:`repro.core.join.TextJoinResult` whose matches are identical
 across algorithms — only the measured I/O differs.
+
+Each executor also exists in streaming form (``iter_hhnl`` /
+``iter_hvnl`` / ``iter_vvm``): a generator of
+:class:`~repro.exec.stream.MatchBlock`\\ s driven through an
+:class:`~repro.exec.context.ExecutionContext`; the ``run_*`` functions
+are their :func:`~repro.exec.stream.collect` wrappers.
 """
 
 from repro.core.accumulator import PairAccumulator, SparseAccumulator
-from repro.core.hhnl import run_hhnl, run_hhnl_backward
-from repro.core.hvnl import run_hvnl
+from repro.core.hhnl import iter_hhnl, iter_hhnl_backward, run_hhnl, run_hhnl_backward
+from repro.core.hvnl import iter_hvnl, run_hvnl
 from repro.core.integrated import IntegratedDecision, IntegratedJoin
 from repro.core.join import (
     JoinEnvironment,
@@ -29,7 +35,7 @@ from repro.core.optimizer import (
     optimize,
 )
 from repro.core.topk import TopK
-from repro.core.vvm import run_vvm
+from repro.core.vvm import iter_vvm, run_vvm
 
 __all__ = [
     "IntegratedDecision",
@@ -44,6 +50,10 @@ __all__ = [
     "TextJoinSpec",
     "TopK",
     "execute_plan",
+    "iter_hhnl",
+    "iter_hhnl_backward",
+    "iter_hvnl",
+    "iter_vvm",
     "optimize",
     "resolve_outer_ids",
     "run_hhnl",

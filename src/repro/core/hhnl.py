@@ -12,11 +12,19 @@ with random reads from their original storage locations (Group 3);
 everything else is unchanged.  ``interference=True`` reproduces the
 worst-case scenario behind ``hhr`` — each scan resumption and each chunk
 read pays a seek.
+
+Streaming: :func:`iter_hhnl` is the operator itself — a generator that
+yields one :class:`~repro.exec.stream.MatchBlock` per outer document as
+soon as its buffered block finishes the inner scan (the earliest point a
+top-``lambda`` set is final under HHNL), and returns a
+:class:`~repro.exec.stream.StreamSummary`.  :func:`run_hhnl` is the thin
+:func:`~repro.exec.stream.collect` wrapper producing the byte-identical
+materialized :class:`~repro.core.join.TextJoinResult`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.join import (
     JoinEnvironment,
@@ -29,11 +37,13 @@ from repro.core.join import (
 from repro.core.topk import TopK
 from repro.cost.hhnl import hhnl_backward_memory_capacity, hhnl_memory_capacity
 from repro.cost.params import QueryParams, SystemParams
+from repro.exec.context import ExecutionContext, ensure_context
+from repro.exec.stream import MatchBlock, StreamSummary, collect
 from repro.text.document import Document
 from repro.text.similarity import dot_product
 
 
-def run_hhnl(
+def iter_hhnl(
     environment: JoinEnvironment,
     spec: TextJoinSpec,
     system: SystemParams,
@@ -41,14 +51,16 @@ def run_hhnl(
     outer_ids: Sequence[int] | None = None,
     inner_ids: Sequence[int] | None = None,
     interference: bool = False,
-) -> TextJoinResult:
-    """Execute HHNL in forward order (C2 outer, C1 inner).
+    context: ExecutionContext | None = None,
+) -> Iterator[MatchBlock]:
+    """Execute HHNL in forward order, streaming per-chunk match blocks.
 
     ``inner_ids`` restricts the candidate pool to selected C1 documents
     (Section 2 allows selections on either relation); like the outer
     side, survivors are random-fetched only while that beats scanning
     and filtering.
     """
+    ctx = ensure_context(context)
     outer_ids = resolve_outer_ids(environment, outer_ids)
     inner_ids = resolve_inner_ids(environment, inner_ids)
     side1, side2 = environment.cost_sides(outer_ids, inner_ids)
@@ -91,67 +103,87 @@ def run_hhnl(
             inner_selected = False  # scan-and-filter the inner side too
     inner_filter = set(inner_ids) if inner_ids is not None else None
 
-    matches: dict[int, list[tuple[int, float]]] = {}
     inner_scans = 0
     cpu_ops = 0  # merge comparisons, the unit of repro.cost.cpu
     pages_read_through = -1  # sequential progress within the outer extent
 
-    for chunk_start in range(0, len(participating), x):
-        chunk_ids = participating[chunk_start : chunk_start + x]
-        if not chunk_ids:
-            continue
-        # --- bring the outer chunk in -----------------------------------
-        if selected:
-            chunk_docs = [disk.read_record(docs2, doc_id) for doc_id in chunk_ids]
-        else:
-            chunk_docs = [docs2.payload(doc_id) for doc_id in chunk_ids]
-            first_page = docs2.span(chunk_ids[0]).first_page
-            last_page = docs2.span(chunk_ids[-1]).last_page
-            first_new = max(first_page, pages_read_through + 1)
-            new_pages = last_page - first_new + 1
-            if new_pages > 0:
-                if interference:
-                    disk.stats.record(docs2.name, random=1, sequential=new_pages - 1)
-                else:
-                    disk.stats.record(docs2.name, sequential=new_pages)
-                pages_read_through = last_page
-        trackers = {doc_id: TopK(spec.lam) for doc_id in chunk_ids}
-
-        # --- bring the inner candidates in once for this chunk -------------
-        inner_scans += 1
-        if inner_selected:
-            # few surviving inner documents: fetch them at random
-            inner_stream = (
-                (None, disk.read_record(docs1, doc_id)) for doc_id in inner_ids
-            )
-        elif interference and len(participating) < x:
-            # All outer documents fit (the paper's N2 < X case): the
-            # leftover buffer reads C1 in blocks, one seek per block.
-            leftover = (x - len(participating)) * environment.stats2.S
-            inner_stream = scan_with_block_seeks(disk, docs1, leftover)
-        else:
-            inner_stream = disk.scan_records(docs1, interference=interference)
-        for _, inner_doc in inner_stream:
-            inner_doc: Document
-            if inner_filter is not None and inner_doc.doc_id not in inner_filter:
+    with environment.execution_scope(ctx):
+        for chunk_start in range(0, len(participating), x):
+            chunk_ids = participating[chunk_start : chunk_start + x]
+            if not chunk_ids:
                 continue
-            for outer_id, outer_doc in zip(chunk_ids, chunk_docs):
-                cpu_ops += outer_doc.n_terms + inner_doc.n_terms
-                similarity = dot_product(outer_doc, inner_doc)
-                if similarity <= 0.0:
-                    continue
-                if norms1 is not None:
-                    denominator = norms1[inner_doc.doc_id] * norms2[outer_id]
-                    similarity = similarity / denominator if denominator else 0.0
-                trackers[outer_id].offer(inner_doc.doc_id, similarity)
+            ctx.checkpoint()
+            # --- bring the outer chunk in -----------------------------------
+            with ctx.phase("hhnl.outer"):
+                if selected:
+                    chunk_docs = [
+                        disk.read_record(docs2, doc_id) for doc_id in chunk_ids
+                    ]
+                else:
+                    chunk_docs = [docs2.payload(doc_id) for doc_id in chunk_ids]
+                    first_page = docs2.span(chunk_ids[0]).first_page
+                    last_page = docs2.span(chunk_ids[-1]).last_page
+                    first_new = max(first_page, pages_read_through + 1)
+                    new_pages = last_page - first_new + 1
+                    if new_pages > 0:
+                        if interference:
+                            disk.stats.record(
+                                docs2.name, random=1, sequential=new_pages - 1
+                            )
+                        else:
+                            disk.stats.record(docs2.name, sequential=new_pages)
+                        pages_read_through = last_page
+            trackers = {doc_id: TopK(spec.lam) for doc_id in chunk_ids}
 
-        for doc_id, tracker in trackers.items():
-            matches[doc_id] = tracker.results()
+            # --- bring the inner candidates in once for this chunk -----------
+            inner_scans += 1
+            with ctx.phase("hhnl.inner"):
+                if inner_selected:
+                    # few surviving inner documents: fetch them at random
+                    inner_stream = (
+                        (None, disk.read_record(docs1, doc_id))
+                        for doc_id in inner_ids
+                    )
+                elif interference and len(participating) < x:
+                    # All outer documents fit (the paper's N2 < X case): the
+                    # leftover buffer reads C1 in blocks, one seek per block.
+                    leftover = (x - len(participating)) * environment.stats2.S
+                    inner_stream = scan_with_block_seeks(disk, docs1, leftover)
+                else:
+                    inner_stream = disk.scan_records(
+                        docs1, interference=interference
+                    )
+                for _, inner_doc in inner_stream:
+                    inner_doc: Document
+                    if (
+                        inner_filter is not None
+                        and inner_doc.doc_id not in inner_filter
+                    ):
+                        continue
+                    for outer_id, outer_doc in zip(chunk_ids, chunk_docs):
+                        cpu_ops += outer_doc.n_terms + inner_doc.n_terms
+                        similarity = dot_product(outer_doc, inner_doc)
+                        if similarity <= 0.0:
+                            continue
+                        if norms1 is not None:
+                            denominator = (
+                                norms1[inner_doc.doc_id] * norms2[outer_id]
+                            )
+                            similarity = (
+                                similarity / denominator if denominator else 0.0
+                            )
+                        trackers[outer_id].offer(inner_doc.doc_id, similarity)
 
-    return TextJoinResult(
+            # The chunk's inner scan is complete: every buffered outer
+            # document's top-lambda set is final — emit the blocks.
+            for doc_id, tracker in trackers.items():
+                yield ctx.emit(
+                    MatchBlock(outer_doc=doc_id, matches=tuple(tracker.results()))
+                )
+
+    return StreamSummary(
         algorithm="HHNL",
         spec=spec,
-        matches=matches,
         io=disk.stats.delta(io_start),
         extras={
             "x": x,
@@ -163,15 +195,41 @@ def run_hhnl(
     )
 
 
-def run_hhnl_backward(
+def run_hhnl(
+    environment: JoinEnvironment,
+    spec: TextJoinSpec,
+    system: SystemParams,
+    *,
+    outer_ids: Sequence[int] | None = None,
+    inner_ids: Sequence[int] | None = None,
+    interference: bool = False,
+    context: ExecutionContext | None = None,
+) -> TextJoinResult:
+    """Execute HHNL to completion (the materialized wrapper over
+    :func:`iter_hhnl`)."""
+    return collect(
+        iter_hhnl(
+            environment,
+            spec,
+            system,
+            outer_ids=outer_ids,
+            inner_ids=inner_ids,
+            interference=interference,
+            context=context,
+        )
+    )
+
+
+def iter_hhnl_backward(
     environment: JoinEnvironment,
     spec: TextJoinSpec,
     system: SystemParams,
     *,
     outer_ids: Sequence[int] | None = None,
     interference: bool = False,
-) -> TextJoinResult:
-    """Execute HHNL in *backward* order: C1 drives the loop.
+    context: ExecutionContext | None = None,
+) -> Iterator[MatchBlock]:
+    """Execute HHNL in *backward* order (C1 drives the loop), streaming.
 
     The join semantics are unchanged (top-``lambda`` C1 documents per C2
     document), so a running :class:`TopK` per C2 document is kept alive
@@ -181,10 +239,15 @@ def run_hhnl_backward(
     smaller than C2": the repeated-scan factor moves onto the small
     collection.
 
+    No top-``lambda`` set is final until the *last* C1 chunk has been
+    merged, so the backward operator streams all its blocks at the end;
+    budgets and cancellation still apply per chunk.
+
     ``outer_ids`` still selects C2 documents (the per-group side); C2 is
     re-read once per C1 chunk, scanning and filtering or random-fetching
     whichever the statistics say is cheaper.
     """
+    ctx = ensure_context(context)
     outer_ids = resolve_outer_ids(environment, outer_ids)
     side1, side2 = environment.cost_sides(outer_ids)
     query = QueryParams(lam=spec.lam)
@@ -214,56 +277,73 @@ def run_hhnl_backward(
     scans = 0
     pages_read_through = -1
 
-    for chunk_start in range(0, len(loop_ids), x):
-        chunk_ids = loop_ids[chunk_start : chunk_start + x]
-        if not chunk_ids:
-            continue
-        # --- bring the C1 chunk in (sequential progress over the extent) --
-        chunk_docs = [docs1.payload(doc_id) for doc_id in chunk_ids]
-        first_page = docs1.span(chunk_ids[0]).first_page
-        last_page = docs1.span(chunk_ids[-1]).last_page
-        first_new = max(first_page, pages_read_through + 1)
-        new_pages = last_page - first_new + 1
-        if new_pages > 0:
-            if interference:
-                disk.stats.record(docs1.name, random=1, sequential=new_pages - 1)
-            else:
-                disk.stats.record(docs1.name, sequential=new_pages)
-            pages_read_through = last_page
+    with environment.execution_scope(ctx):
+        for chunk_start in range(0, len(loop_ids), x):
+            chunk_ids = loop_ids[chunk_start : chunk_start + x]
+            if not chunk_ids:
+                continue
+            ctx.checkpoint()
+            # --- bring the C1 chunk in (sequential progress over the extent) --
+            with ctx.phase("hhnl.inner"):
+                chunk_docs = [docs1.payload(doc_id) for doc_id in chunk_ids]
+                first_page = docs1.span(chunk_ids[0]).first_page
+                last_page = docs1.span(chunk_ids[-1]).last_page
+                first_new = max(first_page, pages_read_through + 1)
+                new_pages = last_page - first_new + 1
+                if new_pages > 0:
+                    if interference:
+                        disk.stats.record(
+                            docs1.name, random=1, sequential=new_pages - 1
+                        )
+                    else:
+                        disk.stats.record(docs1.name, sequential=new_pages)
+                    pages_read_through = last_page
 
-        # --- one pass over the participating C2 documents -----------------
-        scans += 1
-        if c2_selected:
-            c2_stream = ((d, disk.read_record(docs2, d)) for d in participating)
-        elif interference and len(loop_ids) < x:
-            leftover = (x - len(loop_ids)) * environment.stats1.S
-            c2_stream = (
-                (span.record_id, doc)
-                for span, doc in scan_with_block_seeks(disk, docs2, leftover)
-                if span.record_id in participating_set
-            )
-        else:
-            c2_stream = (
-                (span.record_id, doc)
-                for span, doc in disk.scan_records(docs2, interference=interference)
-                if span.record_id in participating_set
-            )
-        for c2_id, c2_doc in c2_stream:
-            tracker = trackers[c2_id]
-            for c1_id, c1_doc in zip(chunk_ids, chunk_docs):
-                similarity = dot_product(c2_doc, c1_doc)
-                if similarity <= 0.0:
-                    continue
-                if norms1 is not None:
-                    denominator = norms1[c1_id] * norms2[c2_id]
-                    similarity = similarity / denominator if denominator else 0.0
-                tracker.offer(c1_id, similarity)
+            # --- one pass over the participating C2 documents -----------------
+            scans += 1
+            with ctx.phase("hhnl.outer"):
+                if c2_selected:
+                    c2_stream = (
+                        (d, disk.read_record(docs2, d)) for d in participating
+                    )
+                elif interference and len(loop_ids) < x:
+                    leftover = (x - len(loop_ids)) * environment.stats1.S
+                    c2_stream = (
+                        (span.record_id, doc)
+                        for span, doc in scan_with_block_seeks(
+                            disk, docs2, leftover
+                        )
+                        if span.record_id in participating_set
+                    )
+                else:
+                    c2_stream = (
+                        (span.record_id, doc)
+                        for span, doc in disk.scan_records(
+                            docs2, interference=interference
+                        )
+                        if span.record_id in participating_set
+                    )
+                for c2_id, c2_doc in c2_stream:
+                    tracker = trackers[c2_id]
+                    for c1_id, c1_doc in zip(chunk_ids, chunk_docs):
+                        similarity = dot_product(c2_doc, c1_doc)
+                        if similarity <= 0.0:
+                            continue
+                        if norms1 is not None:
+                            denominator = norms1[c1_id] * norms2[c2_id]
+                            similarity = (
+                                similarity / denominator if denominator else 0.0
+                            )
+                        tracker.offer(c1_id, similarity)
 
-    matches = {doc_id: tracker.results() for doc_id, tracker in trackers.items()}
-    return TextJoinResult(
+        for doc_id, tracker in trackers.items():
+            yield ctx.emit(
+                MatchBlock(outer_doc=doc_id, matches=tuple(tracker.results()))
+            )
+
+    return StreamSummary(
         algorithm="HHNL-BWD",
         spec=spec,
-        matches=matches,
         io=disk.stats.delta(io_start),
         extras={
             "x": x,
@@ -271,4 +351,27 @@ def run_hhnl_backward(
             "outer_documents": len(participating),
             "interference": interference,
         },
+    )
+
+
+def run_hhnl_backward(
+    environment: JoinEnvironment,
+    spec: TextJoinSpec,
+    system: SystemParams,
+    *,
+    outer_ids: Sequence[int] | None = None,
+    interference: bool = False,
+    context: ExecutionContext | None = None,
+) -> TextJoinResult:
+    """Execute HHNL backward to completion (wrapper over
+    :func:`iter_hhnl_backward`)."""
+    return collect(
+        iter_hhnl_backward(
+            environment,
+            spec,
+            system,
+            outer_ids=outer_ids,
+            interference=interference,
+            context=context,
+        )
     )

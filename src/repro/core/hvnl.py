@@ -16,12 +16,19 @@ this same document still needs.
 
 The whole B+-tree is read in once up-front (Section 5.2's one-time
 ``Bt1`` charge).
+
+Streaming: :func:`iter_hvnl` yields one
+:class:`~repro.exec.stream.MatchBlock` per probed outer document — HVNL
+finalises each document the moment its accumulator is ranked, which makes
+it the natural operator for ``LIMIT``-bounded queries: an abandoned
+stream fetches no further entries.  :func:`run_hvnl` is the materializing
+:func:`~repro.exec.stream.collect` wrapper.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.constants import TERM_NUMBER_BYTES
 from repro.core.accumulator import SparseAccumulator
@@ -36,13 +43,15 @@ from repro.core.join import (
 from repro.core.topk import TopK
 from repro.cost.params import QueryParams, SystemParams
 from repro.errors import InsufficientMemoryError, JoinError
+from repro.exec.context import ExecutionContext, ensure_context
+from repro.exec.stream import MatchBlock, StreamSummary, collect
 from repro.storage.buffer import ObjectBuffer
 from repro.storage.policies import LowestDocFrequencyPolicy, ReplacementPolicy
 
 BTREE_IO_LABEL = "c1.btree"
 
 
-def run_hvnl(
+def iter_hvnl(
     environment: JoinEnvironment,
     spec: TextJoinSpec,
     system: SystemParams,
@@ -52,17 +61,23 @@ def run_hvnl(
     interference: bool = False,
     delta: float = 0.1,
     policy: ReplacementPolicy | None = None,
-) -> TextJoinResult:
-    """Execute HVNL: C2 documents against C1's inverted file.
+    context: ExecutionContext | None = None,
+) -> Iterator[MatchBlock]:
+    """Execute HVNL, streaming one match block per probed outer document.
 
     ``delta`` sizes the similarity-accumulator reservation exactly as the
     cost model does (it does not limit the actual accumulation).
     ``inner_ids`` restricts the candidate pool: postings of filtered-out
     C1 documents are skipped during accumulation — the inverted file
     itself keeps its full size, the paper's Section 5.4 caveat.
+
+    Being a generator, the memory-floor check raises
+    :class:`~repro.errors.InsufficientMemoryError` at the first ``next``
+    (or inside :func:`run_hvnl`), not at call time.
     """
     if environment.inverted1 is None or environment.btree1 is None:
         raise JoinError("HVNL needs the inverted file and B+-tree on C1")
+    ctx = ensure_context(context)
     outer_ids = resolve_outer_ids(environment, outer_ids)
     inner_ids = resolve_inner_ids(environment, inner_ids)
     inner_filter = set(inner_ids) if inner_ids is not None else None
@@ -99,137 +114,172 @@ def run_hvnl(
     )
     df2 = environment.collection2.document_frequency()
 
-    # One-time B+-tree read-in.
-    disk.stats.record(BTREE_IO_LABEL, sequential=btree_pages)
+    with environment.execution_scope(ctx):
+        # One-time B+-tree read-in.
+        with ctx.phase("hvnl.btree"):
+            disk.stats.record(BTREE_IO_LABEL, sequential=btree_pages)
 
-    # Section 5.2, case X >= T1: when the whole inverted file fits, the
-    # algorithm may load it with one sequential scan instead of fetching
-    # the needed entries at random — whichever the statistics say is
-    # cheaper.  The estimate uses metadata only (no extra I/O).
-    bulk_loaded = False
-    inverted1 = environment.inverted1
-    total_entry_bytes = sum(
-        entry.n_bytes + TERM_NUMBER_BYTES for entry in inverted1.entries
-    )
-    if total_entry_bytes <= budget_bytes:
-        stats1 = environment.stats1
-        needed_entries = environment.measured_q() * environment.stats2.T
-        entry_pages = math.ceil(stats1.J) if stats1.J > 0 else 1
-        scan_cost = stats1.I
-        fetch_cost = needed_entries * entry_pages * system.alpha
-        if scan_cost <= fetch_cost:
-            # One continuous sequential read — the hvr formula keeps the
-            # I1 term sequential even in the worst-case scenario.
-            for span, entry in disk.scan_records(inv1_extent, interference=False):
-                buffer.insert(
-                    entry.term,
-                    entry,
-                    entry.n_bytes + TERM_NUMBER_BYTES,
-                    priority=df2.get(entry.term, 0),
-                )
-            bulk_loaded = True
-
-    # --- outer document stream ------------------------------------------------
-    selected = outer_ids is not None and len(outer_ids) < environment.collection2.n_documents
-    if selected:
-        per_doc_pages = math.ceil(stats2.S) if stats2.S > 0 else 0
-        if len(outer_ids) * per_doc_pages * system.alpha >= stats2.D:
-            # Scan-and-filter beats random fetches (the model's min).
-            participating_set = set(outer_ids)
-            outer_stream = (
-                (span.record_id, doc)
-                for span, doc in disk.scan_records(docs2, interference=interference)
-                if span.record_id in participating_set
-            )
-        else:
-            outer_stream = (
-                (doc_id, disk.read_record(docs2, doc_id)) for doc_id in outer_ids
-            )
-    elif interference:
-        # Worst case with spare memory (Section 5.2's hvr, cases 1-2):
-        # entry capacity beyond the resident working set buffers blocks
-        # of C2, one seek per block; with no spare capacity every
-        # document read can seek (case 3).
-        stats1 = environment.stats1
-        per_entry_pages = stats1.J + TERM_NUMBER_BYTES / page_bytes
-        capacity = (budget_bytes / page_bytes / per_entry_pages) if per_entry_pages > 0 else 0.0
-        working_set = (
-            float(stats1.T)
-            if bulk_loaded
-            else min(environment.measured_q() * environment.stats2.T, float(stats1.T))
+        # Section 5.2, case X >= T1: when the whole inverted file fits, the
+        # algorithm may load it with one sequential scan instead of fetching
+        # the needed entries at random — whichever the statistics say is
+        # cheaper.  The estimate uses metadata only (no extra I/O).
+        bulk_loaded = False
+        inverted1 = environment.inverted1
+        total_entry_bytes = sum(
+            entry.n_bytes + TERM_NUMBER_BYTES for entry in inverted1.entries
         )
-        leftover_pages = max(0.0, capacity - working_set) * stats1.J
-        if leftover_pages >= 1.0:
-            outer_stream = (
-                (span.record_id, doc)
-                for span, doc in scan_with_block_seeks(disk, docs2, leftover_pages)
-            )
-        else:
-            outer_stream = (
-                (span.record_id, doc)
-                for span, doc in disk.scan_records(docs2, interference=True)
-            )
-    else:
-        outer_stream = (
-            (span.record_id, doc)
-            for span, doc in disk.scan_records(docs2, interference=False)
+        if total_entry_bytes <= budget_bytes:
+            stats1 = environment.stats1
+            needed_entries = environment.measured_q() * environment.stats2.T
+            entry_pages = math.ceil(stats1.J) if stats1.J > 0 else 1
+            scan_cost = stats1.I
+            fetch_cost = needed_entries * entry_pages * system.alpha
+            if scan_cost <= fetch_cost:
+                # One continuous sequential read — the hvr formula keeps the
+                # I1 term sequential even in the worst-case scenario.
+                with ctx.phase("hvnl.bulk-load"):
+                    for span, entry in disk.scan_records(
+                        inv1_extent, interference=False
+                    ):
+                        buffer.insert(
+                            entry.term,
+                            entry,
+                            entry.n_bytes + TERM_NUMBER_BYTES,
+                            priority=df2.get(entry.term, 0),
+                        )
+                bulk_loaded = True
+
+        # --- outer document stream --------------------------------------------
+        selected = (
+            outer_ids is not None
+            and len(outer_ids) < environment.collection2.n_documents
         )
-
-    norms1 = environment.norms1() if spec.normalized else None
-    norms2 = environment.norms2() if spec.normalized else None
-
-    matches: dict[int, list[tuple[int, float]]] = {}
-    accumulator = SparseAccumulator()
-    entries_fetched = 0
-    cpu_ops = 0  # posting accumulations, the unit of repro.cost.cpu
-
-    for outer_id, outer_doc in outer_stream:
-        accumulator.clear()
-        # Resident-first term order (Section 4.2's reuse optimisation).
-        resident_terms: list[tuple[int, int]] = []
-        absent_terms: list[tuple[int, int]] = []
-        for term, weight in outer_doc.cells:
-            (resident_terms if term in buffer else absent_terms).append((term, weight))
-
-        for term, weight in resident_terms + absent_terms:
-            entry = buffer.get(term)
-            if entry is None:
-                location = btree1.search(term)
-                if location is None:
-                    continue  # term does not appear in C1
-                record_id, _df1 = location
-                entry = disk.read_record(inv1_extent, record_id)
-                entries_fetched += 1
-                buffer.insert(
-                    term,
-                    entry,
-                    entry.n_bytes + TERM_NUMBER_BYTES,
-                    priority=df2.get(term, 0),
+        if selected:
+            per_doc_pages = math.ceil(stats2.S) if stats2.S > 0 else 0
+            if len(outer_ids) * per_doc_pages * system.alpha >= stats2.D:
+                # Scan-and-filter beats random fetches (the model's min).
+                participating_set = set(outer_ids)
+                outer_stream = (
+                    (span.record_id, doc)
+                    for span, doc in disk.scan_records(
+                        docs2, interference=interference
+                    )
+                    if span.record_id in participating_set
                 )
-            cpu_ops += len(entry.postings)
-            if inner_filter is None:
-                for inner_id, inner_weight in entry.postings:
-                    accumulator.add(inner_id, weight * inner_weight)
             else:
-                for inner_id, inner_weight in entry.postings:
-                    if inner_id in inner_filter:
-                        accumulator.add(inner_id, weight * inner_weight)
-
-        tracker = TopK(spec.lam)
-        if norms1 is None:
-            for inner_id, similarity in accumulator.items():
-                tracker.offer(inner_id, similarity)
+                outer_stream = (
+                    (doc_id, disk.read_record(docs2, doc_id))
+                    for doc_id in outer_ids
+                )
+        elif interference:
+            # Worst case with spare memory (Section 5.2's hvr, cases 1-2):
+            # entry capacity beyond the resident working set buffers blocks
+            # of C2, one seek per block; with no spare capacity every
+            # document read can seek (case 3).
+            stats1 = environment.stats1
+            per_entry_pages = stats1.J + TERM_NUMBER_BYTES / page_bytes
+            capacity = (
+                (budget_bytes / page_bytes / per_entry_pages)
+                if per_entry_pages > 0
+                else 0.0
+            )
+            working_set = (
+                float(stats1.T)
+                if bulk_loaded
+                else min(
+                    environment.measured_q() * environment.stats2.T,
+                    float(stats1.T),
+                )
+            )
+            leftover_pages = max(0.0, capacity - working_set) * stats1.J
+            if leftover_pages >= 1.0:
+                outer_stream = (
+                    (span.record_id, doc)
+                    for span, doc in scan_with_block_seeks(
+                        disk, docs2, leftover_pages
+                    )
+                )
+            else:
+                outer_stream = (
+                    (span.record_id, doc)
+                    for span, doc in disk.scan_records(docs2, interference=True)
+                )
         else:
-            outer_norm = norms2[outer_id]
-            for inner_id, similarity in accumulator.items():
-                denominator = norms1[inner_id] * outer_norm
-                tracker.offer(inner_id, similarity / denominator if denominator else 0.0)
-        matches[outer_id] = tracker.results()
+            outer_stream = (
+                (span.record_id, doc)
+                for span, doc in disk.scan_records(docs2, interference=False)
+            )
 
-    return TextJoinResult(
+        norms1 = environment.norms1() if spec.normalized else None
+        norms2 = environment.norms2() if spec.normalized else None
+
+        accumulator = SparseAccumulator()
+        entries_fetched = 0
+        cpu_ops = 0  # posting accumulations, the unit of repro.cost.cpu
+
+        while True:
+            ctx.checkpoint()
+            # The outer stream is lazy: advancing it performs this
+            # document's read, so the pull itself is a scan phase.
+            with ctx.phase("hvnl.outer-scan"):
+                item = next(outer_stream, None)
+            if item is None:
+                break
+            outer_id, outer_doc = item
+            accumulator.clear()
+            with ctx.phase("hvnl.probe"):
+                # Resident-first term order (Section 4.2's reuse optimisation).
+                resident_terms: list[tuple[int, int]] = []
+                absent_terms: list[tuple[int, int]] = []
+                for term, weight in outer_doc.cells:
+                    (resident_terms if term in buffer else absent_terms).append(
+                        (term, weight)
+                    )
+
+                for term, weight in resident_terms + absent_terms:
+                    entry = buffer.get(term)
+                    if entry is None:
+                        location = btree1.search(term)
+                        if location is None:
+                            continue  # term does not appear in C1
+                        record_id, _df1 = location
+                        entry = disk.read_record(inv1_extent, record_id)
+                        entries_fetched += 1
+                        buffer.insert(
+                            term,
+                            entry,
+                            entry.n_bytes + TERM_NUMBER_BYTES,
+                            priority=df2.get(term, 0),
+                        )
+                    cpu_ops += len(entry.postings)
+                    if inner_filter is None:
+                        for inner_id, inner_weight in entry.postings:
+                            accumulator.add(inner_id, weight * inner_weight)
+                    else:
+                        for inner_id, inner_weight in entry.postings:
+                            if inner_id in inner_filter:
+                                accumulator.add(inner_id, weight * inner_weight)
+
+            tracker = TopK(spec.lam)
+            if norms1 is None:
+                for inner_id, similarity in accumulator.items():
+                    tracker.offer(inner_id, similarity)
+            else:
+                outer_norm = norms2[outer_id]
+                for inner_id, similarity in accumulator.items():
+                    denominator = norms1[inner_id] * outer_norm
+                    tracker.offer(
+                        inner_id, similarity / denominator if denominator else 0.0
+                    )
+            # This outer document's accumulator is ranked: its top-lambda
+            # set is final — emit before touching the next document.
+            yield ctx.emit(
+                MatchBlock(outer_doc=outer_id, matches=tuple(tracker.results()))
+            )
+
+    return StreamSummary(
         algorithm="HVNL",
         spec=spec,
-        matches=matches,
         io=disk.stats.delta(io_start),
         extras={
             "entry_budget_bytes": budget_bytes,
@@ -244,4 +294,33 @@ def run_hvnl(
             "interference": interference,
             "cpu_ops": cpu_ops,
         },
+    )
+
+
+def run_hvnl(
+    environment: JoinEnvironment,
+    spec: TextJoinSpec,
+    system: SystemParams,
+    *,
+    outer_ids: Sequence[int] | None = None,
+    inner_ids: Sequence[int] | None = None,
+    interference: bool = False,
+    delta: float = 0.1,
+    policy: ReplacementPolicy | None = None,
+    context: ExecutionContext | None = None,
+) -> TextJoinResult:
+    """Execute HVNL to completion (the materialized wrapper over
+    :func:`iter_hvnl`)."""
+    return collect(
+        iter_hvnl(
+            environment,
+            spec,
+            system,
+            outer_ids=outer_ids,
+            inner_ids=inner_ids,
+            interference=interference,
+            delta=delta,
+            policy=policy,
+            context=context,
+        )
     )

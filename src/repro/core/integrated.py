@@ -8,21 +8,26 @@ if it has the lowest estimated cost."
 :class:`IntegratedJoin` does exactly that over a
 :class:`~repro.core.join.JoinEnvironment`: build the statistics, evaluate
 all six cost formulas, pick the cheapest feasible algorithm under the
-chosen I/O scenario, and dispatch to its executor.
+chosen I/O scenario, and dispatch to its executor — either streamed
+(:meth:`IntegratedJoin.stream`, the path the SQL layer uses so ``LIMIT``
+can abandon the join mid-I/O) or materialized
+(:meth:`IntegratedJoin.run`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
-from repro.core.hhnl import run_hhnl, run_hhnl_backward
-from repro.core.hvnl import run_hvnl
+from repro.core.hhnl import iter_hhnl, iter_hhnl_backward
+from repro.core.hvnl import iter_hvnl
 from repro.core.join import JoinEnvironment, TextJoinResult, TextJoinSpec
-from repro.core.vvm import run_vvm
+from repro.core.vvm import iter_vvm
 from repro.cost.model import CostModel, CostReport
 from repro.cost.params import QueryParams, SystemParams
 from repro.errors import JoinError
+from repro.exec.context import ExecutionContext
+from repro.exec.stream import MatchBlock, collect
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,66 @@ class IntegratedJoin:
             chosen=report.winner(self.scenario), scenario=self.scenario, report=report
         )
 
+    def stream(
+        self,
+        spec: TextJoinSpec,
+        outer_ids: Sequence[int] | None = None,
+        *,
+        inner_ids: Sequence[int] | None = None,
+        interference: bool = False,
+        context: ExecutionContext | None = None,
+        decision: IntegratedDecision | None = None,
+    ) -> Iterator[MatchBlock]:
+        """Choose and stream the chosen operator's match blocks.
+
+        Pass a precomputed ``decision`` to skip re-evaluating the cost
+        model (the SQL executor calls :meth:`decide` up front so it can
+        report the algorithm even when ``LIMIT`` abandons the stream
+        early).  The decision and its estimated cost ride along in the
+        summary's ``extras`` exactly as :meth:`run` reports them.
+        """
+        if decision is None:
+            decision = self.decide(spec, outer_ids, inner_ids)
+        if decision.chosen == "HHNL":
+            stream = iter_hhnl(
+                self.environment, spec, self.system,
+                outer_ids=outer_ids, inner_ids=inner_ids,
+                interference=interference, context=context,
+            )
+        elif decision.chosen == "HHNL-BWD":
+            # the backward executor predates inner selections; fall back
+            # to filtering via the forward runner when one is requested
+            if inner_ids is not None:
+                stream = iter_hhnl(
+                    self.environment, spec, self.system,
+                    outer_ids=outer_ids, inner_ids=inner_ids,
+                    interference=interference, context=context,
+                )
+            else:
+                stream = iter_hhnl_backward(
+                    self.environment, spec, self.system,
+                    outer_ids=outer_ids, interference=interference,
+                    context=context,
+                )
+        elif decision.chosen == "HVNL":
+            stream = iter_hvnl(
+                self.environment, spec, self.system,
+                outer_ids=outer_ids, inner_ids=inner_ids,
+                interference=interference, delta=self.delta, context=context,
+            )
+        elif decision.chosen == "VVM":
+            stream = iter_vvm(
+                self.environment, spec, self.system,
+                outer_ids=outer_ids, inner_ids=inner_ids,
+                interference=interference, delta=self.delta, context=context,
+            )
+        else:  # pragma: no cover — the report only emits the four names
+            raise JoinError(f"unknown algorithm {decision.chosen!r}")
+        summary = yield from stream
+        summary.extras["decision"] = decision
+        summary.extras["estimated_cost"] = decision.estimated_cost
+        return summary
+
     def run(
         self,
         spec: TextJoinSpec,
@@ -89,43 +154,16 @@ class IntegratedJoin:
         *,
         inner_ids: Sequence[int] | None = None,
         interference: bool = False,
+        context: ExecutionContext | None = None,
     ) -> TextJoinResult:
-        """Choose and execute; the decision rides along in ``extras``."""
-        decision = self.decide(spec, outer_ids, inner_ids)
-        if decision.chosen == "HHNL":
-            result = run_hhnl(
-                self.environment, spec, self.system,
-                outer_ids=outer_ids, inner_ids=inner_ids,
+        """Choose and execute to completion; the decision rides along in
+        ``extras``."""
+        return collect(
+            self.stream(
+                spec,
+                outer_ids,
+                inner_ids=inner_ids,
                 interference=interference,
+                context=context,
             )
-        elif decision.chosen == "HHNL-BWD":
-            # the backward executor predates inner selections; fall back
-            # to filtering via the forward runner when one is requested
-            if inner_ids is not None:
-                result = run_hhnl(
-                    self.environment, spec, self.system,
-                    outer_ids=outer_ids, inner_ids=inner_ids,
-                    interference=interference,
-                )
-            else:
-                result = run_hhnl_backward(
-                    self.environment, spec, self.system,
-                    outer_ids=outer_ids, interference=interference,
-                )
-        elif decision.chosen == "HVNL":
-            result = run_hvnl(
-                self.environment, spec, self.system,
-                outer_ids=outer_ids, inner_ids=inner_ids,
-                interference=interference, delta=self.delta,
-            )
-        elif decision.chosen == "VVM":
-            result = run_vvm(
-                self.environment, spec, self.system,
-                outer_ids=outer_ids, inner_ids=inner_ids,
-                interference=interference, delta=self.delta,
-            )
-        else:  # pragma: no cover — the report only emits the three names
-            raise JoinError(f"unknown algorithm {decision.chosen!r}")
-        result.extras["decision"] = decision
-        result.extras["estimated_cost"] = decision.estimated_cost
-        return result
+        )

@@ -70,7 +70,7 @@ class JoinEnvironment:
         self.collection1 = collection1
         self.collection2 = collection2
         self.compress_inverted = compress_inverted
-        self.disk = SimulatedDisk(IOStats(), self.geometry)
+        self.disk = SimulatedDisk(IOStats(), self.geometry)  # repro: ignore[RA-CONTEXT] -- the environment creates the root counter before execution
 
         self.docs1 = self._layout_documents("c1.docs", collection1)
         if collection2 is collection1:
@@ -178,6 +178,16 @@ class JoinEnvironment:
     def reset_io(self) -> None:
         """Zero the disk's I/O counters."""
         self.disk.stats.reset()
+
+    def execution_scope(self, context):
+        """Guard this environment's disk with an execution context.
+
+        Convenience over
+        :meth:`~repro.storage.disk.SimulatedDisk.execution_scope`: the
+        ``iter_*`` operators open one scope around their whole run so
+        page budgets and metric hooks observe every charged read.
+        """
+        return self.disk.execution_scope(context)
 
 
 @dataclass

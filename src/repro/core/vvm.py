@@ -10,11 +10,20 @@ When the accumulator would not fit (``SM > M``), the outer collection is
 split into ``ceil(SM / M)`` sub-collections and the whole merge scan is
 repeated per sub-collection — the Section 4.3 extension, and the source
 of VVM's multiplicative cost blow-up on document-rich collections.
+
+Streaming: :func:`iter_vvm` yields the
+:class:`~repro.exec.stream.MatchBlock`\\ s of one accumulator partition as
+soon as that partition's merge pass completes — nothing inside a
+partition is final before its pass ends, but nothing needs to wait for
+the *other* partitions either.  A single-pass run therefore materializes
+everything before the first block; a multi-pass run streams per pass.
+:func:`run_vvm` is the materializing :func:`~repro.exec.stream.collect`
+wrapper.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.accumulator import PairAccumulator
 from repro.core.join import (
@@ -28,9 +37,11 @@ from repro.core.topk import TopK
 from repro.cost.params import QueryParams, SystemParams
 from repro.cost.vvm import vvm_passes
 from repro.errors import JoinError
+from repro.exec.context import ExecutionContext, ensure_context
+from repro.exec.stream import MatchBlock, StreamSummary, collect
 
 
-def run_vvm(
+def iter_vvm(
     environment: JoinEnvironment,
     spec: TextJoinSpec,
     system: SystemParams,
@@ -39,8 +50,9 @@ def run_vvm(
     inner_ids: Sequence[int] | None = None,
     interference: bool = False,
     delta: float = 0.1,
-) -> TextJoinResult:
-    """Execute VVM over both inverted files.
+    context: ExecutionContext | None = None,
+) -> Iterator[MatchBlock]:
+    """Execute VVM, streaming one batch of match blocks per merge pass.
 
     ``delta`` feeds the pass-count calculation exactly as in the cost
     model; the measured non-zero fraction is reported in
@@ -51,6 +63,7 @@ def run_vvm(
     """
     if environment.inverted1 is None or environment.inverted2 is None:
         raise JoinError("VVM needs inverted files on both collections")
+    ctx = ensure_context(context)
     outer_ids = resolve_outer_ids(environment, outer_ids)
     inner_ids = resolve_inner_ids(environment, inner_ids)
     inner_filter = set(inner_ids) if inner_ids is not None else None
@@ -81,62 +94,71 @@ def run_vvm(
     ] or [[]]
     actual_passes = len(chunks)
 
-    matches: dict[int, list[tuple[int, float]]] = {}
     accumulator = PairAccumulator()
     peak_cells_overall = 0
     cpu_ops = 0  # posting-pair products, the unit of repro.cost.cpu
 
-    for chunk in chunks:
-        accumulator.clear()
-        chunk_set = set(chunk)
+    with environment.execution_scope(ctx):
+        for chunk in chunks:
+            ctx.checkpoint()
+            accumulator.clear()
+            chunk_set = set(chunk)
 
-        scan1 = disk.scan_records(inv1_extent, interference=interference)
-        scan2 = disk.scan_records(inv2_extent, interference=interference)
-        entry1 = next(scan1, None)
-        entry2 = next(scan2, None)
-        while entry1 is not None and entry2 is not None:
-            term1 = entry1[1].term
-            term2 = entry2[1].term
-            if term1 == term2:
-                postings1 = entry1[1].postings
-                if inner_filter is not None:
-                    postings1 = tuple(
-                        cell for cell in postings1 if cell[0] in inner_filter
-                    )
-                for outer_doc, outer_weight in entry2[1].postings:
-                    if outer_doc not in chunk_set:
-                        continue
-                    cpu_ops += len(postings1)
-                    for inner_doc, inner_weight in postings1:
-                        accumulator.add(outer_doc, inner_doc, outer_weight * inner_weight)
+            with ctx.phase("vvm.merge"):
+                scan1 = disk.scan_records(inv1_extent, interference=interference)
+                scan2 = disk.scan_records(inv2_extent, interference=interference)
                 entry1 = next(scan1, None)
                 entry2 = next(scan2, None)
-            elif term1 < term2:
-                entry1 = next(scan1, None)
-            else:
-                entry2 = next(scan2, None)
-        # Drain the remainder of both scans: the merge reads each file to
-        # its end (the cost model charges the full I1 + I2 per pass).
-        for _ in scan1:
-            pass
-        for _ in scan2:
-            pass
+                while entry1 is not None and entry2 is not None:
+                    term1 = entry1[1].term
+                    term2 = entry2[1].term
+                    if term1 == term2:
+                        postings1 = entry1[1].postings
+                        if inner_filter is not None:
+                            postings1 = tuple(
+                                cell for cell in postings1 if cell[0] in inner_filter
+                            )
+                        for outer_doc, outer_weight in entry2[1].postings:
+                            if outer_doc not in chunk_set:
+                                continue
+                            cpu_ops += len(postings1)
+                            for inner_doc, inner_weight in postings1:
+                                accumulator.add(
+                                    outer_doc, inner_doc, outer_weight * inner_weight
+                                )
+                        entry1 = next(scan1, None)
+                        entry2 = next(scan2, None)
+                    elif term1 < term2:
+                        entry1 = next(scan1, None)
+                    else:
+                        entry2 = next(scan2, None)
+                # Drain the remainder of both scans: the merge reads each
+                # file to its end (the cost model charges the full I1 + I2
+                # per pass).
+                for _ in scan1:
+                    pass
+                for _ in scan2:
+                    pass
 
-        for outer_doc in chunk:
-            tracker = TopK(spec.lam)
-            row = accumulator.row(outer_doc)
-            if norms1 is None:
-                for inner_doc, similarity in row.items():
-                    tracker.offer(inner_doc, similarity)
-            else:
-                outer_norm = norms2[outer_doc]
-                for inner_doc, similarity in row.items():
-                    denominator = norms1[inner_doc] * outer_norm
-                    tracker.offer(
-                        inner_doc, similarity / denominator if denominator else 0.0
-                    )
-            matches[outer_doc] = tracker.results()
-        peak_cells_overall = max(peak_cells_overall, accumulator.peak_cells)
+            # This partition's merge pass is done: its accumulator rows are
+            # final, so the whole chunk can be ranked and flushed now.
+            for outer_doc in chunk:
+                tracker = TopK(spec.lam)
+                row = accumulator.row(outer_doc)
+                if norms1 is None:
+                    for inner_doc, similarity in row.items():
+                        tracker.offer(inner_doc, similarity)
+                else:
+                    outer_norm = norms2[outer_doc]
+                    for inner_doc, similarity in row.items():
+                        denominator = norms1[inner_doc] * outer_norm
+                        tracker.offer(
+                            inner_doc, similarity / denominator if denominator else 0.0
+                        )
+                yield ctx.emit(
+                    MatchBlock(outer_doc=outer_doc, matches=tuple(tracker.results()))
+                )
+            peak_cells_overall = max(peak_cells_overall, accumulator.peak_cells)
 
     n1 = environment.collection1.n_documents
     measured_delta = (
@@ -144,10 +166,9 @@ def run_vvm(
         if n1 and participating
         else 0.0
     )
-    return TextJoinResult(
+    return StreamSummary(
         algorithm="VVM",
         spec=spec,
-        matches=matches,
         io=disk.stats.delta(io_start),
         extras={
             "passes": actual_passes,
@@ -159,4 +180,31 @@ def run_vvm(
             "interference": interference,
             "cpu_ops": cpu_ops,
         },
+    )
+
+
+def run_vvm(
+    environment: JoinEnvironment,
+    spec: TextJoinSpec,
+    system: SystemParams,
+    *,
+    outer_ids: Sequence[int] | None = None,
+    inner_ids: Sequence[int] | None = None,
+    interference: bool = False,
+    delta: float = 0.1,
+    context: ExecutionContext | None = None,
+) -> TextJoinResult:
+    """Execute VVM to completion (the materialized wrapper over
+    :func:`iter_vvm`)."""
+    return collect(
+        iter_vvm(
+            environment,
+            spec,
+            system,
+            outer_ids=outer_ids,
+            inner_ids=inner_ids,
+            interference=interference,
+            delta=delta,
+            context=context,
+        )
     )

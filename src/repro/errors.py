@@ -76,6 +76,39 @@ class JoinError(ReproError):
     """Base class for join-execution errors."""
 
 
+class ExecError(ReproError):
+    """Base class for streaming-execution (``repro.exec``) errors."""
+
+
+class BudgetExceededError(ExecError):
+    """An :class:`~repro.exec.context.ExecutionContext` budget ran out.
+
+    Raised the moment the page or time budget is crossed — possibly in
+    the middle of a scan — and carries the partial accounting so the
+    caller can report how far the join got before it was cut off.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stats=None,
+        pages_used: int | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: :class:`~repro.storage.iostats.IOStats` delta accumulated
+        #: inside the context before the budget was crossed (may be None
+        #: when the context was never attached to a disk).
+        self.stats = stats
+        self.pages_used = pages_used
+        self.elapsed = elapsed
+
+
+class ExecutionCancelledError(ExecError):
+    """The context's cancellation check asked the join to stop."""
+
+
 class SqlError(ReproError):
     """Base class for the mini SQL front-end."""
 

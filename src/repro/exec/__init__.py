@@ -1,0 +1,34 @@
+"""repro.exec — the streaming execution core.
+
+The architectural seam between the storage/index layers and the query
+surface: a frozen-config :class:`~repro.exec.context.ExecutionContext`
+(budgets, cancellation, per-phase I/O scoping, metric hooks) threaded
+through every operator, and the block-stream protocol
+(:class:`~repro.exec.stream.MatchBlock` /
+:class:`~repro.exec.stream.StreamSummary` /
+:func:`~repro.exec.stream.collect`) the ``iter_*`` operators speak.
+
+See ``docs/EXECUTION.md`` for the architecture.
+"""
+
+from repro.exec.context import (
+    ExecutionBudget,
+    ExecutionContext,
+    ExecutionHooks,
+    MetricsHooks,
+    NullHooks,
+    ensure_context,
+)
+from repro.exec.stream import MatchBlock, StreamSummary, collect
+
+__all__ = [
+    "ExecutionBudget",
+    "ExecutionContext",
+    "ExecutionHooks",
+    "MatchBlock",
+    "MetricsHooks",
+    "NullHooks",
+    "StreamSummary",
+    "collect",
+    "ensure_context",
+]

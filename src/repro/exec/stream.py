@@ -1,0 +1,92 @@
+"""The streaming operator protocol: blocks in, one summary out.
+
+Every ``iter_*`` operator in :mod:`repro.core` is a generator that yields
+one :class:`MatchBlock` per outer document *as soon as that document's
+top-``lambda`` set is final* (HHNL per buffered block, HVNL per probed
+document, VVM per accumulator-partition flush) and **returns** a
+:class:`StreamSummary` — the algorithm name, the measured I/O delta and
+the extras — when it finishes.  Emission order is ascending outer
+document id for every operator, so downstream consumers (the SQL
+executor, :func:`collect`) never need to re-sort.
+
+:func:`collect` drives a stream to completion and folds it back into the
+materialized :class:`~repro.core.join.TextJoinResult`; the legacy
+``run_*`` entry points are exactly this wrapper, byte-identical to their
+pre-streaming outputs.
+
+A consumer that stops early (``LIMIT``, a deadline) simply stops pulling:
+the generator stays suspended before its next unit of I/O, so no further
+pages are charged.  Call ``close()`` on abandonment to run the
+operator's cleanup promptly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.join import TextJoinResult, TextJoinSpec
+from repro.errors import ExecError
+from repro.storage.iostats import IOStats
+
+
+@dataclass(frozen=True)
+class MatchBlock:
+    """One outer document's final top-``lambda`` matches.
+
+    ``matches`` is ranked best-first with ties broken toward smaller
+    inner document ids — the exact list the materialized executors store
+    per outer document, so flattening blocks reproduces ``run_*``
+    matches verbatim (the streaming-equivalence conformance check).
+    """
+
+    outer_doc: int
+    matches: tuple[tuple[int, float], ...]
+
+    @property
+    def n_matches(self) -> int:
+        return len(self.matches)
+
+
+@dataclass
+class StreamSummary:
+    """What a finished operator hands back alongside its blocks."""
+
+    algorithm: str
+    spec: TextJoinSpec
+    io: IOStats
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+def collect(stream: Iterator[MatchBlock]) -> TextJoinResult:
+    """Drive a streaming operator to completion and materialize the result.
+
+    The generator's return value (its :class:`StreamSummary`) supplies
+    the algorithm, I/O delta and extras; the blocks supply the matches in
+    emission order, which preserves the insertion order the materialized
+    executors produced.
+    """
+    matches: dict[int, list[tuple[int, float]]] = {}
+    summary: StreamSummary | None = None
+    while True:
+        try:
+            block = next(stream)
+        except StopIteration as stop:
+            summary = stop.value
+            break
+        matches[block.outer_doc] = list(block.matches)
+    if not isinstance(summary, StreamSummary):
+        raise ExecError(
+            f"streaming operator finished without a StreamSummary "
+            f"(got {summary!r}); iter_* generators must return one"
+        )
+    return TextJoinResult(
+        algorithm=summary.algorithm,
+        spec=summary.spec,
+        matches=matches,
+        io=summary.io,
+        extras=summary.extras,
+    )
+
+
+__all__ = ["MatchBlock", "StreamSummary", "collect"]

@@ -93,11 +93,18 @@ def predicate_to_sql(predicate: Predicate) -> str:
 
 @dataclass(frozen=True)
 class SelectQuery:
-    """A parsed query: projection, FROM list, WHERE conjunction."""
+    """A parsed query: projection, FROM list, WHERE conjunction, LIMIT."""
 
     columns: tuple[ColumnRef, ...]
     tables: tuple[TableRef, ...]
     predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+    #: maximum result rows (None = unbounded); the executor pushes this
+    #: into the streaming join, stopping I/O once enough rows exist
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit <= 0:
+            raise SqlError(f"LIMIT must be positive, got {self.limit}")
 
     @property
     def similar_to(self) -> SimilarToPredicate | None:
@@ -124,4 +131,6 @@ class SelectQuery:
             text += " WHERE " + " AND ".join(
                 predicate_to_sql(p) for p in self.predicates
             )
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
         return text

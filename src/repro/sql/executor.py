@@ -7,6 +7,14 @@ the algorithm, and stitches the matched document pairs back to relation
 rows for projection.  Every result row additionally carries the
 similarity and the match rank, which the paper's motivating example
 needs to present "the lambda most similar applicants per position".
+
+The text join is consumed as a **stream**: match blocks arrive in
+ascending outer-document order straight from the chosen ``iter_*``
+operator, rows are projected per block, and a ``LIMIT`` abandons the
+stream the moment enough rows are final — the generator's cleanup closes
+the execution scope and no further join I/O is issued.  Unbounded
+queries drain the stream and reconstruct the same
+:class:`~repro.core.join.TextJoinResult` the materialized path returns.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from typing import Any
 from repro.core.integrated import IntegratedJoin
 from repro.core.join import JoinEnvironment, TextJoinResult, TextJoinSpec
 from repro.cost.params import SystemParams
+from repro.exec.context import ExecutionContext, ensure_context
 from repro.sql.ast_nodes import SelectQuery
 from repro.sql.catalog import Catalog
 from repro.sql.parser import parse
@@ -30,6 +39,8 @@ class QueryResult:
     columns: list[str]
     rows: list[tuple[Any, ...]]
     algorithm: str | None = None
+    #: the full join result — None when a LIMIT abandoned the stream
+    #: before the join ran to completion (the rows are still exact)
     join: TextJoinResult | None = None
     extras: dict[str, Any] = field(default_factory=dict)
 
@@ -48,10 +59,13 @@ def execute(
     *,
     scenario: str = "sequential",
     inner_strategy: str = "materialize",
+    context: ExecutionContext | None = None,
 ) -> QueryResult:
     """Parse (if needed), plan and run a query against the catalog.
 
     ``inner_strategy`` is forwarded to :func:`repro.sql.planner.plan`.
+    ``context`` scopes the join execution (budgets, cancellation, metric
+    hooks); a fresh unlimited one is created when omitted.
     """
     if isinstance(query, str):
         query = parse(query)
@@ -59,52 +73,113 @@ def execute(
     the_plan = plan(query, catalog, inner_strategy=inner_strategy)
     if isinstance(the_plan, SelectionPlan):
         return _execute_selection(the_plan)
-    return _execute_text_join(the_plan, system, scenario)
+    return _execute_text_join(the_plan, system, scenario, context)
 
 
 def _execute_selection(the_plan: SelectionPlan) -> QueryResult:
     columns = [f"{p.binding}.{p.attribute}" for p in the_plan.projections]
+    row_ids = the_plan.row_ids
+    if the_plan.limit is not None:
+        row_ids = row_ids[: the_plan.limit]
     rows = [
         tuple(
             the_plan.relation.value(row_id, p.attribute) for p in the_plan.projections
         )
-        for row_id in the_plan.row_ids
+        for row_id in row_ids
     ]
     return QueryResult(columns=columns, rows=rows, extras={"plan": the_plan})
 
 
+def _project_block_rows(
+    the_plan: TextJoinPlan, outer_doc: int, matches: tuple[tuple[int, float], ...]
+) -> list[tuple[Any, ...]]:
+    """Stitch one match block back to projected relation rows."""
+    rows: list[tuple[Any, ...]] = []
+    for rank, (inner_doc, similarity) in enumerate(matches, 1):
+        inner_row = the_plan.inner_row_of_doc[inner_doc]
+        values: list[Any] = []
+        for projection in the_plan.projections:
+            if projection.binding == the_plan.inner_binding:
+                values.append(projection.relation.value(inner_row, projection.attribute))
+            elif projection.binding == the_plan.outer_binding:
+                values.append(projection.relation.value(outer_doc, projection.attribute))
+            else:  # pragma: no cover — planner enforces two bindings
+                values.append(None)
+        values.append(rank)
+        values.append(similarity)
+        rows.append(tuple(values))
+    return rows
+
+
 def _execute_text_join(
-    the_plan: TextJoinPlan, system: SystemParams, scenario: str
+    the_plan: TextJoinPlan,
+    system: SystemParams,
+    scenario: str,
+    context: ExecutionContext | None,
 ) -> QueryResult:
     environment = JoinEnvironment(the_plan.inner_collection, the_plan.outer_collection)
     joiner = IntegratedJoin(environment, system, scenario=scenario)
     spec = TextJoinSpec(lam=the_plan.lam)
-    result = joiner.run(
-        spec, outer_ids=the_plan.outer_ids, inner_ids=the_plan.inner_ids
+    ctx = ensure_context(context)
+    # Decide up front so the chosen algorithm is known even when LIMIT
+    # abandons the stream before the operator finishes.
+    decision = joiner.decide(spec, the_plan.outer_ids, the_plan.inner_ids)
+    stream = joiner.stream(
+        spec,
+        the_plan.outer_ids,
+        inner_ids=the_plan.inner_ids,
+        context=ctx,
+        decision=decision,
     )
 
+    limit = the_plan.limit
     columns = [f"{p.binding}.{p.attribute}" for p in the_plan.projections]
     columns += ["_rank", "_similarity"]
     rows: list[tuple[Any, ...]] = []
-    for outer_doc in sorted(result.matches):
-        for rank, (inner_doc, similarity) in enumerate(result.matches[outer_doc], 1):
-            inner_row = the_plan.inner_row_of_doc[inner_doc]
-            values: list[Any] = []
-            for projection in the_plan.projections:
-                if projection.binding == the_plan.inner_binding:
-                    values.append(projection.relation.value(inner_row, projection.attribute))
-                elif projection.binding == the_plan.outer_binding:
-                    values.append(projection.relation.value(outer_doc, projection.attribute))
-                else:  # pragma: no cover — planner enforces two bindings
-                    values.append(None)
-            values.append(rank)
-            values.append(similarity)
-            rows.append(tuple(values))
+    matches: dict[int, list[tuple[int, float]]] = {}
+    summary = None
+    truncated = False
+    try:
+        while True:
+            try:
+                block = next(stream)
+            except StopIteration as stop:
+                summary = stop.value
+                break
+            matches[block.outer_doc] = list(block.matches)
+            rows.extend(_project_block_rows(the_plan, block.outer_doc, block.matches))
+            if limit is not None and len(rows) >= limit:
+                truncated = True
+                break
+    finally:
+        # Closing an abandoned stream unwinds the operator's execution
+        # scope (guard + phases), so no further join I/O can be charged.
+        stream.close()
+
+    if limit is not None:
+        rows = rows[:limit]
+
+    join: TextJoinResult | None = None
+    if summary is not None:
+        # Drained to the end: reconstruct exactly what collect() returns.
+        join = TextJoinResult(
+            algorithm=summary.algorithm,
+            spec=summary.spec,
+            matches=matches,
+            io=summary.io,
+            extras=summary.extras,
+        )
 
     return QueryResult(
         columns=columns,
         rows=rows,
-        algorithm=result.algorithm,
-        join=result,
-        extras={"plan": the_plan, "decision": result.extras.get("decision")},
+        algorithm=decision.chosen,
+        join=join,
+        extras={
+            "plan": the_plan,
+            "decision": decision,
+            "pages_read": ctx.pages_used,
+            "blocks_emitted": ctx.blocks_emitted,
+            "truncated": truncated,
+        },
     )

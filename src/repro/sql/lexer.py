@@ -16,7 +16,18 @@ from typing import Iterator
 from repro.errors import SqlSyntaxError
 
 KEYWORDS = frozenset(
-    {"SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "LIKE", "SIMILAR_TO", "AS"}
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "LIKE",
+        "SIMILAR_TO",
+        "AS",
+        "LIMIT",
+    }
 )
 
 _TOKEN_RE = re.compile(

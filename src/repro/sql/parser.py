@@ -2,7 +2,7 @@
 
 Grammar::
 
-    query      := SELECT columns FROM tables [WHERE conjunction]
+    query      := SELECT columns FROM tables [WHERE conjunction] [LIMIT number]
     columns    := column (',' column)* | '*'
     column     := name ['.' name]
     tables     := table (',' table)*
@@ -73,8 +73,28 @@ class _Parser:
         predicates: tuple[Predicate, ...] = ()
         if self._accept("keyword", "WHERE"):
             predicates = self._parse_conjunction()
+        limit = self._parse_limit()
         self._expect("eof")
-        return SelectQuery(columns=columns, tables=tables, predicates=predicates)
+        return SelectQuery(
+            columns=columns, tables=tables, predicates=predicates, limit=limit
+        )
+
+    def _parse_limit(self) -> int | None:
+        if not self._accept("keyword", "LIMIT"):
+            return None
+        token = self._expect("number")
+        if "." in token.value:
+            raise SqlSyntaxError(
+                f"LIMIT must be an integer, got {token.value} "
+                f"at offset {token.position}"
+            )
+        limit = int(token.value)
+        if limit <= 0:
+            raise SqlSyntaxError(
+                f"LIMIT must be positive, got {token.value} "
+                f"at offset {token.position}"
+            )
+        return limit
 
     def _parse_columns(self) -> tuple[ColumnRef, ...]:
         if self._accept("punct", "*"):

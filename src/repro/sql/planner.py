@@ -70,6 +70,9 @@ class TextJoinPlan:
     #: already materialised)
     inner_ids: list[int] | None = None
     projections: list[ResolvedColumn] = field(default_factory=list)
+    #: maximum result rows; pushed into the streaming executor so the
+    #: join stops issuing I/O once enough rows are final
+    limit: int | None = None
 
     @property
     def inner_is_filtered(self) -> bool:
@@ -85,6 +88,8 @@ class SelectionPlan:
     relation: Relation
     row_ids: list[int]
     projections: list[ResolvedColumn] = field(default_factory=list)
+    #: maximum result rows (applied after the selection)
+    limit: int | None = None
 
 
 def like_to_regex(pattern: str) -> "re.Pattern[str]":
@@ -263,6 +268,7 @@ def plan(
             relation=resolver.bindings[binding],
             row_ids=sorted(survivors[binding]),
             projections=projections,
+            limit=query.limit,
         )
 
     predicate = similar[0]
@@ -316,4 +322,5 @@ def plan(
         outer_ids=outer_ids,
         inner_ids=inner_ids,
         projections=projections,
+        limit=query.limit,
     )

@@ -22,12 +22,15 @@ their inputs and the paper does not cost result output.
 from __future__ import annotations
 
 import enum
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, ContextManager, Iterator
 
 from repro.errors import StorageError
 from repro.storage.extents import Extent, RecordSpan
 from repro.storage.iostats import IOStats
 from repro.storage.pages import PageGeometry
+
+if TYPE_CHECKING:  # avoid a storage <-> exec import cycle at runtime
+    from repro.exec.context import ExecutionContext
 
 
 class DiskChargeModel(enum.Enum):
@@ -93,6 +96,20 @@ class SimulatedDisk:
     @property
     def extent_names(self) -> list[str]:
         return list(self._extents)
+
+    # --- execution scoping --------------------------------------------------
+
+    def execution_scope(self, context: "ExecutionContext") -> ContextManager:
+        """Guard this disk's stats with an execution context.
+
+        While the returned scope is open every :meth:`IOStats.record` on
+        this disk flows through the context's budget observer, so a page
+        budget aborts the read that crosses it (with the partial stats
+        attached to the raised
+        :class:`~repro.errors.BudgetExceededError`).  The ``iter_*``
+        operators open exactly one scope per run.
+        """
+        return context.guard(self.stats)
 
     # --- read paths ---------------------------------------------------------
 

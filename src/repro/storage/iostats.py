@@ -12,8 +12,12 @@ threaded through the simulated disk and the join executors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import InvalidParameterError
+
+#: observer signature: ``(extent_name, sequential, random)`` per record call
+IOObserver = Callable[[str, int, int], None]
 
 
 @dataclass
@@ -23,12 +27,22 @@ class IOStats:  # repro: ignore[RA-FROZEN] -- the one mutable I/O counter, by de
     The counter does not know ``alpha`` itself; :meth:`weighted_cost`
     takes it as an argument so one measured run can be re-priced under
     several cost ratios (used by the alpha-sweep experiments).
+
+    Observers subscribed via :meth:`subscribe` see every ``record`` call
+    *after* the counters are updated; an
+    :class:`~repro.exec.context.ExecutionContext` uses this to enforce
+    page budgets at the exact read that crosses the line.  Observers are
+    live-run state: :meth:`snapshot` and :meth:`delta` copies never carry
+    them.
     """
 
     sequential_reads: int = 0
     random_reads: int = 0
     #: per-extent breakdown, ``{extent_name: (sequential, random)}``
     by_extent: dict[str, tuple[int, int]] = field(default_factory=dict)
+    _observers: list[IOObserver] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def record(self, extent_name: str, *, sequential: int = 0, random: int = 0) -> None:
         """Add page reads attributed to one extent."""
@@ -38,6 +52,54 @@ class IOStats:  # repro: ignore[RA-FROZEN] -- the one mutable I/O counter, by de
         self.random_reads += random
         seq0, rnd0 = self.by_extent.get(extent_name, (0, 0))
         self.by_extent[extent_name] = (seq0 + sequential, rnd0 + random)
+        for observer in self._observers:
+            observer(extent_name, sequential, random)
+
+    def subscribe(self, observer: IOObserver) -> None:
+        """Register an observer called after every :meth:`record`."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: IOObserver) -> None:
+        """Remove a previously subscribed observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def merge(self, other: "IOStats") -> "IOStats":
+        """Fold ``other``'s counters into this one in place; returns self.
+
+        Extent breakdowns are added key-wise, so merging the
+        :meth:`scoped` slices of a partition of the extent namespace
+        reconstructs the original counter exactly (the additivity
+        property the conformance suite pins).
+        """
+        self.sequential_reads += other.sequential_reads
+        self.random_reads += other.random_reads
+        for name, (seq, rnd) in other.by_extent.items():
+            seq0, rnd0 = self.by_extent.get(name, (0, 0))
+            self.by_extent[name] = (seq0 + seq, rnd0 + rnd)
+        return self
+
+    def scoped(self, extent_prefix: str) -> "IOStats":
+        """Reads charged to extents whose name starts with ``extent_prefix``.
+
+        Returns an independent :class:`IOStats` holding only the matching
+        slice of :attr:`by_extent`, with the totals recomputed from that
+        slice.  Scoping by the prefixes of a disjoint partition (e.g.
+        ``"c1."`` / ``"c2."``) yields slices whose :meth:`merge` union is
+        the whole counter.
+        """
+        by_extent = {
+            name: counts
+            for name, counts in self.by_extent.items()
+            if name.startswith(extent_prefix)
+        }
+        return IOStats(
+            sequential_reads=sum(seq for seq, _ in by_extent.values()),
+            random_reads=sum(rnd for _, rnd in by_extent.values()),
+            by_extent=by_extent,
+        )
 
     @property
     def total_reads(self) -> int:

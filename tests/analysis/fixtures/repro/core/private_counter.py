@@ -1,0 +1,24 @@
+"""Fixture: deliberate RA-CONTEXT violations in a core executor."""
+
+from repro.storage.iostats import IOStats
+
+
+def off_the_books(extent):
+    """Records pages into a private counter — flagged."""
+    side_stats = IOStats()
+    side_stats.record(extent.name, sequential=extent.n_pages)
+    return side_stats
+
+
+def traced_off_the_books(TracingIOStats, extent):
+    """A private tracing counter is just as invisible — flagged."""
+    shadow = TracingIOStats()
+    shadow.record(extent.name, random=1)
+    return shadow
+
+
+def on_the_books(disk, extent):
+    """Derived views of the shared counter are fine — must pass."""
+    before = disk.stats.snapshot()
+    disk.stats.record(extent.name, sequential=extent.n_pages)
+    return disk.stats.delta(before)

@@ -71,14 +71,14 @@ class TestReporters:
         text = render_text(report)
         assert "asserts_bad.py:6" in text
         assert "RA-ASSERT" in text
-        assert text.endswith("8 rule(s)")
+        assert text.endswith("9 rule(s)")
 
     def test_json_report_round_trips(self):
         report = analyze_paths([FIXTURES / "asserts_bad.py"], default_rules())
         payload = json.loads(render_json(report))
         assert payload["clean"] is False
         assert payload["files"] == 1
-        assert len(payload["rules"]) == 8
+        assert len(payload["rules"]) == 9
         [finding] = payload["findings"]
         assert finding["rule"] == "RA-ASSERT"
         assert finding["line"] == 6

@@ -54,6 +54,14 @@ class TestRuleFiring:
         # charged_read (line 14) reads payloads after charging — clean
         assert all(f.line < 11 for f in found)
 
+    def test_context_rule(self):
+        _, found = findings_for("core/private_counter.py", "RA-CONTEXT")
+        assert [f.line for f in found] == [8, 15]
+        assert "private IOStats" in found[0].message
+        assert "private TracingIOStats" in found[1].message
+        # on_the_books (line 20) only derives views of the shared counter
+        assert all(f.line < 20 for f in found)
+
     def test_frozen_rule(self):
         _, found = findings_for("frozen_bad.py", "RA-FROZEN")
         assert [f.line for f in found] == [7]
@@ -126,6 +134,7 @@ class TestWholeFixtureTree:
             "RA-UNITS",
             "RA-COST-PURITY",
             "RA-CORE-IO",
+            "RA-CONTEXT",
             "RA-FROZEN",
             "RA-FLOAT-EQ",
             "RA-ERRORS",

@@ -1,0 +1,231 @@
+"""The streaming operator protocol end to end.
+
+Streaming and materialized execution must agree exactly (pinned in bulk
+by the ``streaming-equivalence`` conformance check); these tests pin the
+protocol itself — block ordering, early abandonment saving I/O, budget
+and cancellation behaviour, and the context's view of a real join.
+"""
+
+import pytest
+
+from repro.core.hhnl import iter_hhnl, run_hhnl
+from repro.core.hvnl import iter_hvnl, run_hvnl
+from repro.core.integrated import IntegratedJoin
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.core.vvm import iter_vvm, run_vvm
+from repro.cost.params import SystemParams
+from repro.errors import (
+    BudgetExceededError,
+    ExecError,
+    ExecutionCancelledError,
+)
+from repro.exec.context import ExecutionBudget, ExecutionContext, MetricsHooks
+from repro.exec.stream import MatchBlock, StreamSummary, collect
+from repro.storage.pages import PageGeometry
+
+PAIRS = {
+    "HHNL": (iter_hhnl, run_hhnl),
+    "HVNL": (iter_hvnl, run_hvnl),
+    "VVM": (iter_vvm, run_vvm),
+}
+
+
+@pytest.fixture(params=sorted(PAIRS))
+def operator(request):
+    return (request.param, *PAIRS[request.param])
+
+
+def fresh_env(pair, page_bytes=512):
+    c1, c2 = pair
+    return JoinEnvironment(c1, c2, PageGeometry(page_bytes))
+
+
+def drain(stream):
+    """All blocks plus the returned StreamSummary."""
+    blocks = []
+    while True:
+        try:
+            blocks.append(next(stream))
+        except StopIteration as stop:
+            return blocks, stop.value
+
+
+class TestProtocol:
+    def test_blocks_flatten_to_the_materialized_result(
+        self, synthetic_pair, operator, small_system
+    ):
+        name, iterate, run = operator
+        blocks, summary = drain(
+            iterate(fresh_env(synthetic_pair), TextJoinSpec(lam=3), small_system)
+        )
+        reference = run(
+            fresh_env(synthetic_pair), TextJoinSpec(lam=3), small_system
+        )
+        assert isinstance(summary, StreamSummary)
+        assert summary.algorithm == name == reference.algorithm
+        assert {b.outer_doc: list(b.matches) for b in blocks} == reference.matches
+        assert summary.io.by_extent == reference.io.by_extent
+        assert summary.extras == reference.extras
+
+    def test_blocks_arrive_in_ascending_outer_order_without_duplicates(
+        self, synthetic_pair, operator, small_system
+    ):
+        _, iterate, _ = operator
+        blocks, _ = drain(
+            iterate(fresh_env(synthetic_pair), TextJoinSpec(lam=2), small_system)
+        )
+        outers = [b.outer_doc for b in blocks]
+        assert outers == sorted(set(outers))
+        assert len(outers) == synthetic_pair[1].n_documents
+
+    def test_collect_rebuilds_the_result(self, tiny_pair, operator, small_system):
+        name, iterate, run = operator
+        spec = TextJoinSpec(lam=2)
+        collected = collect(iterate(fresh_env(tiny_pair), spec, small_system))
+        reference = run(fresh_env(tiny_pair), spec, small_system)
+        assert collected.algorithm == reference.algorithm
+        assert collected.matches == reference.matches
+        assert collected.io == reference.io
+
+    def test_match_block_exposes_its_size(self):
+        block = MatchBlock(outer_doc=7, matches=((1, 2.0), (4, 1.0)))
+        assert block.n_matches == 2
+
+    def test_collect_demands_a_summary(self):
+        def summaryless():
+            yield MatchBlock(outer_doc=0, matches=())
+
+        with pytest.raises(ExecError):
+            collect(summaryless())
+
+
+class TestEarlyAbandonment:
+    def test_closing_a_multi_chunk_hhnl_stream_saves_pages(self, synthetic_pair):
+        # buffer 8 pages << outer side: HHNL runs many outer chunks and
+        # finalizes each chunk's blocks before scanning for the next.
+        system = SystemParams(buffer_pages=8, page_bytes=512)
+        full_env = fresh_env(synthetic_pair)
+        run_hhnl(full_env, TextJoinSpec(lam=2), system)
+        full_pages = full_env.disk.stats.total_reads
+
+        env = fresh_env(synthetic_pair)
+        stream = iter_hhnl(env, TextJoinSpec(lam=2), system)
+        next(stream)
+        stream.close()
+        assert 0 < env.disk.stats.total_reads < full_pages
+
+    def test_abandoned_stream_charges_nothing_further(self, synthetic_pair):
+        system = SystemParams(buffer_pages=8, page_bytes=512)
+        env = fresh_env(synthetic_pair)
+        stream = iter_hhnl(env, TextJoinSpec(lam=2), system)
+        next(stream)
+        stream.close()
+        frozen = env.disk.stats.total_reads
+        assert env.disk.stats.total_reads == frozen
+        with pytest.raises(StopIteration):
+            next(stream)
+
+
+class TestContextThroughOperators:
+    def test_context_pages_match_the_measured_io(
+        self, synthetic_pair, operator, small_system
+    ):
+        _, iterate, _ = operator
+        ctx = ExecutionContext()
+        _, summary = drain(
+            iterate(
+                fresh_env(synthetic_pair),
+                TextJoinSpec(lam=2),
+                small_system,
+                context=ctx,
+            )
+        )
+        assert ctx.pages_used == summary.io.total_reads
+
+    def test_phase_stats_partition_the_measured_io(
+        self, synthetic_pair, operator, small_system
+    ):
+        _, iterate, _ = operator
+        ctx = ExecutionContext()
+        _, summary = drain(
+            iterate(
+                fresh_env(synthetic_pair),
+                TextJoinSpec(lam=2),
+                small_system,
+                context=ctx,
+            )
+        )
+        assert ctx.phase_stats  # every operator declares its phases
+        phased = sum(s.total_reads for s in ctx.phase_stats.values())
+        assert phased == summary.io.total_reads
+
+    def test_hooks_observe_every_block(self, tiny_pair, operator, small_system):
+        _, iterate, _ = operator
+        hooks = MetricsHooks()
+        ctx = ExecutionContext(hooks=(hooks,))
+        blocks, _ = drain(
+            iterate(
+                fresh_env(tiny_pair), TextJoinSpec(lam=2), small_system, context=ctx
+            )
+        )
+        assert hooks.blocks_seen == len(blocks) == ctx.blocks_emitted
+
+    def test_page_budget_stops_the_join_with_partial_accounting(
+        self, synthetic_pair, operator
+    ):
+        _, iterate, _ = operator
+        system = SystemParams(buffer_pages=16, page_bytes=512)
+        ctx = ExecutionContext(budget=ExecutionBudget(pages=5))
+        stream = iterate(
+            fresh_env(synthetic_pair), TextJoinSpec(lam=2), system, context=ctx
+        )
+        with pytest.raises(BudgetExceededError) as info:
+            for _ in stream:
+                pass
+        assert info.value.pages_used > 5
+        assert info.value.stats is not None
+        assert info.value.stats.total_reads == info.value.pages_used
+
+    def test_cancellation_between_blocks(self, synthetic_pair):
+        cancelled = {"flag": False}
+        ctx = ExecutionContext(cancel_check=lambda: cancelled["flag"])
+        system = SystemParams(buffer_pages=8, page_bytes=512)
+        stream = iter_hhnl(
+            fresh_env(synthetic_pair), TextJoinSpec(lam=2), system, context=ctx
+        )
+        next(stream)
+        cancelled["flag"] = True
+        with pytest.raises(ExecutionCancelledError):
+            for _ in stream:
+                pass
+
+
+class TestIntegratedStreaming:
+    def test_stream_carries_the_decision_into_the_summary(
+        self, synthetic_pair, small_system
+    ):
+        joiner = IntegratedJoin(fresh_env(synthetic_pair), small_system)
+        spec = TextJoinSpec(lam=2)
+        blocks, summary = drain(joiner.stream(spec))
+        assert summary.extras["decision"].chosen == summary.algorithm
+        assert "estimated_cost" in summary.extras
+        assert blocks
+
+    def test_run_with_context_equals_run_without(self, synthetic_pair, small_system):
+        spec = TextJoinSpec(lam=3)
+        plain = IntegratedJoin(fresh_env(synthetic_pair), small_system).run(spec)
+        ctx = ExecutionContext()
+        guarded = IntegratedJoin(fresh_env(synthetic_pair), small_system).run(
+            spec, context=ctx
+        )
+        assert guarded.algorithm == plain.algorithm
+        assert guarded.matches == plain.matches
+        assert guarded.io == plain.io
+        assert ctx.pages_used == guarded.io.total_reads
+
+    def test_precomputed_decision_is_respected(self, synthetic_pair, small_system):
+        joiner = IntegratedJoin(fresh_env(synthetic_pair), small_system)
+        spec = TextJoinSpec(lam=2)
+        decision = joiner.decide(spec, None, None)
+        _, summary = drain(joiner.stream(spec, decision=decision))
+        assert summary.extras["decision"] is decision

@@ -1,0 +1,86 @@
+"""Property-based tests: IOStats merge/scoped algebra.
+
+``merge`` is commutative-associative addition on counters, and the
+``scoped`` slices of a disjoint extent partition reconstruct the whole
+counter under ``merge`` — the algebra :class:`repro.exec.context
+.ExecutionContext` relies on for per-phase accounting.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.iostats import IOStats
+
+record_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["c1.docs", "c1.inv", "c1.btree", "c2.docs", "c2.inv"]),
+        st.integers(min_value=0, max_value=50),  # sequential
+        st.integers(min_value=0, max_value=50),  # random
+    ),
+    max_size=40,
+)
+
+
+def build(records):
+    stats = IOStats()
+    for name, seq, rnd in records:
+        stats.record(name, sequential=seq, random=rnd)
+    return stats
+
+
+def as_tuple(stats):
+    return (stats.sequential_reads, stats.random_reads, dict(stats.by_extent))
+
+
+class TestMergeAlgebra:
+    @given(a=record_strategy, b=record_strategy)
+    def test_merge_equals_replaying_both(self, a, b):
+        merged = build(a).merge(build(b))
+        replayed = build(a + b)
+        assert as_tuple(merged) == as_tuple(replayed)
+
+    @given(a=record_strategy, b=record_strategy)
+    def test_merge_is_commutative(self, a, b):
+        assert as_tuple(build(a).merge(build(b))) == as_tuple(
+            build(b).merge(build(a))
+        )
+
+    @given(a=record_strategy, b=record_strategy, c=record_strategy)
+    def test_merge_is_associative(self, a, b, c):
+        left = build(a).merge(build(b).merge(build(c)))
+        right = build(a).merge(build(b)).merge(build(c))
+        assert as_tuple(left) == as_tuple(right)
+
+    @given(a=record_strategy)
+    def test_totals_stay_consistent_with_extents(self, a):
+        stats = build(a)
+        assert stats.sequential_reads == sum(
+            seq for seq, _ in stats.by_extent.values()
+        )
+        assert stats.random_reads == sum(
+            rnd for _, rnd in stats.by_extent.values()
+        )
+
+
+class TestScopedPartition:
+    @given(a=record_strategy)
+    def test_disjoint_scopes_reconstruct_the_counter(self, a):
+        stats = build(a)
+        rebuilt = stats.scoped("c1.").merge(stats.scoped("c2."))
+        assert as_tuple(rebuilt) == as_tuple(stats)
+
+    @given(a=record_strategy)
+    def test_scoped_totals_match_their_slice(self, a):
+        sliced = build(a).scoped("c1.")
+        assert all(name.startswith("c1.") for name in sliced.by_extent)
+        assert sliced.sequential_reads == sum(
+            seq for seq, _ in sliced.by_extent.values()
+        )
+        assert sliced.random_reads == sum(
+            rnd for _, rnd in sliced.by_extent.values()
+        )
+
+    @given(a=record_strategy)
+    def test_scoping_twice_is_idempotent(self, a):
+        once = build(a).scoped("c1.")
+        assert as_tuple(once.scoped("c1.")) == as_tuple(once)

@@ -1,0 +1,139 @@
+"""LIMIT: lexing, parsing, planning and streaming pushdown.
+
+The executor pulls match blocks and closes the stream as soon as it has
+``n`` rows, so a bounded query on a multi-chunk join must read strictly
+fewer pages than its unbounded twin — the property the CI
+``streaming-smoke`` job also pins from the shell.
+"""
+
+import pytest
+
+from repro.cost.params import SystemParams
+from repro.errors import SqlError
+from repro.sql.ast_nodes import SelectQuery
+from repro.sql.catalog import Catalog, Relation
+from repro.sql.executor import execute
+from repro.sql.parser import parse
+from repro.sql.planner import plan
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+SYSTEM = SystemParams(buffer_pages=64)
+
+JOIN_QUERY = (
+    "SELECT P.P#, A.Name FROM Positions P, Applicants A "
+    "WHERE A.Resume SIMILAR_TO(2) P.Job_descr"
+)
+
+
+class TestParsing:
+    def test_limit_parses_and_round_trips(self):
+        query = parse(f"{JOIN_QUERY} LIMIT 4")
+        assert query.limit == 4
+        assert query.to_sql().endswith("LIMIT 4")
+        assert parse(query.to_sql()).limit == 4
+
+    def test_absent_limit_is_none(self):
+        assert parse(JOIN_QUERY).limit is None
+
+    @pytest.mark.parametrize("suffix", ["LIMIT 0", "LIMIT -3", "LIMIT 2.5"])
+    def test_rejects_non_positive_and_non_integer(self, suffix):
+        with pytest.raises(SqlError):
+            parse(f"{JOIN_QUERY} {suffix}")
+
+    def test_rejects_trailing_garbage_after_limit(self):
+        with pytest.raises(SqlError):
+            parse(f"{JOIN_QUERY} LIMIT 3 4")
+
+    def test_ast_validates_limit_directly(self):
+        with pytest.raises(SqlError):
+            SelectQuery(columns=(), tables=(), limit=0)
+
+    def test_limit_on_selection_queries(self):
+        query = parse("SELECT Name FROM Applicants WHERE Years > 1 LIMIT 2")
+        assert query.limit == 2
+
+
+class TestPlanning:
+    def test_limit_lands_on_the_text_join_plan(self, catalog):
+        the_plan = plan(parse(f"{JOIN_QUERY} LIMIT 3"), catalog)
+        assert the_plan.limit == 3
+
+    def test_limit_lands_on_the_selection_plan(self, catalog):
+        the_plan = plan(
+            parse("SELECT Name FROM Applicants WHERE Years > 1 LIMIT 2"), catalog
+        )
+        assert the_plan.limit == 2
+
+
+class TestExecution:
+    def test_limited_rows_are_a_prefix_of_the_unbounded_result(self, catalog):
+        unbounded = execute(JOIN_QUERY, catalog, SYSTEM)
+        limited = execute(f"{JOIN_QUERY} LIMIT 3", catalog, SYSTEM)
+        assert limited.rows == unbounded.rows[:3]
+        assert limited.extras["truncated"]
+        assert not unbounded.extras["truncated"]
+
+    def test_limit_above_the_result_size_changes_nothing(self, catalog):
+        unbounded = execute(JOIN_QUERY, catalog, SYSTEM)
+        limited = execute(f"{JOIN_QUERY} LIMIT 1000", catalog, SYSTEM)
+        assert limited.rows == unbounded.rows
+        assert not limited.extras["truncated"]
+
+    def test_selection_limit_truncates_rows(self, catalog):
+        result = execute(
+            "SELECT Name FROM Applicants WHERE Years > 1 LIMIT 2", catalog
+        )
+        assert len(result.rows) == 2
+
+    def test_executor_reports_pages_and_blocks(self, catalog):
+        result = execute(f"{JOIN_QUERY} LIMIT 1", catalog, SYSTEM)
+        assert result.extras["pages_read"] > 0
+        assert result.extras["blocks_emitted"] >= 1
+
+
+class TestIOSavings:
+    """LIMIT must stop I/O mid-join, not merely truncate rows."""
+
+    @pytest.fixture(scope="class")
+    def wide_catalog(self):
+        # Big enough (and a buffer small enough, below) that the chosen
+        # operator interleaves I/O with emission across many chunks.
+        vocab = 300
+        inner = generate_collection(
+            SyntheticSpec("w1", n_documents=300, avg_terms_per_doc=100,
+                          vocabulary_size=vocab, seed=1)
+        )
+        outer = generate_collection(
+            SyntheticSpec("w2", n_documents=300, avg_terms_per_doc=100,
+                          vocabulary_size=vocab, seed=2)
+        )
+        cat = Catalog()
+        cat.register(
+            Relation.from_rows(
+                "R1", [{"Id": i} for i in range(300)]
+            ).bind_text("Doc", inner)
+        )
+        cat.register(
+            Relation.from_rows(
+                "R2", [{"Id": i} for i in range(300)]
+            ).bind_text("Doc", outer)
+        )
+        return cat
+
+    QUERY = (
+        "SELECT R2.Id, R1.Id FROM R1, R2 WHERE R1.Doc SIMILAR_TO(3) R2.Doc"
+    )
+    TIGHT = SystemParams(buffer_pages=6, page_bytes=1024)
+
+    def test_bounded_query_reads_strictly_fewer_pages(self, wide_catalog):
+        unbounded = execute(self.QUERY, wide_catalog, self.TIGHT)
+        limited = execute(f"{self.QUERY} LIMIT 5", wide_catalog, self.TIGHT)
+        assert len(limited.rows) == 5
+        assert limited.rows == unbounded.rows[:5]
+        assert limited.extras["blocks_emitted"] < unbounded.extras["blocks_emitted"]
+        assert limited.extras["pages_read"] < unbounded.extras["pages_read"]
+
+    def test_same_algorithm_reported_either_way(self, wide_catalog):
+        unbounded = execute(self.QUERY, wide_catalog, self.TIGHT)
+        limited = execute(f"{self.QUERY} LIMIT 5", wide_catalog, self.TIGHT)
+        assert limited.algorithm == unbounded.algorithm

@@ -103,3 +103,96 @@ class TestSnapshotDelta:
         stats.record("a", sequential=2, random=1)
         assert "seq=2" in str(stats)
         assert "rand=1" in str(stats)
+
+
+class TestMerge:
+    def test_merge_adds_totals_and_extents(self):
+        left = IOStats()
+        left.record("a", sequential=3, random=1)
+        right = IOStats()
+        right.record("a", sequential=2)
+        right.record("b", random=4)
+        returned = left.merge(right)
+        assert returned is left
+        assert left.sequential_reads == 5
+        assert left.random_reads == 5
+        assert left.by_extent == {"a": (5, 1), "b": (0, 4)}
+
+    def test_merge_leaves_other_untouched(self):
+        left, right = IOStats(), IOStats()
+        right.record("a", sequential=2)
+        left.merge(right)
+        assert right.by_extent == {"a": (2, 0)}
+        assert right.sequential_reads == 2
+
+    def test_merge_empty_is_identity(self):
+        stats = IOStats()
+        stats.record("a", sequential=7, random=2)
+        before = stats.snapshot()
+        stats.merge(IOStats())
+        assert stats.delta(before).total_reads == 0
+
+
+class TestScoped:
+    def test_scoped_keeps_only_matching_extents(self):
+        stats = IOStats()
+        stats.record("c1.docs", sequential=10)
+        stats.record("c1.inv", random=3)
+        stats.record("c2.docs", sequential=4)
+        sliced = stats.scoped("c1.")
+        assert sliced.by_extent == {"c1.docs": (10, 0), "c1.inv": (0, 3)}
+        assert sliced.sequential_reads == 10
+        assert sliced.random_reads == 3
+
+    def test_scoped_slice_is_independent(self):
+        stats = IOStats()
+        stats.record("c1.docs", sequential=1)
+        sliced = stats.scoped("c1.")
+        sliced.record("c1.docs", sequential=9)
+        assert stats.by_extent["c1.docs"] == (1, 0)
+
+    def test_disjoint_scopes_merge_back_to_whole(self):
+        stats = IOStats()
+        stats.record("c1.docs", sequential=5, random=1)
+        stats.record("c2.inv", sequential=2, random=6)
+        rebuilt = stats.scoped("c1.").merge(stats.scoped("c2."))
+        assert rebuilt.sequential_reads == stats.sequential_reads
+        assert rebuilt.random_reads == stats.random_reads
+        assert rebuilt.by_extent == stats.by_extent
+
+
+class TestObservers:
+    def test_observer_sees_every_record(self):
+        stats = IOStats()
+        seen = []
+        stats.subscribe(lambda name, seq, rnd: seen.append((name, seq, rnd)))
+        stats.record("a", sequential=2)
+        stats.record("b", random=1)
+        assert seen == [("a", 2, 0), ("b", 0, 1)]
+
+    def test_observer_runs_after_counters_update(self):
+        stats = IOStats()
+        totals = []
+        stats.subscribe(lambda *_: totals.append(stats.total_reads))
+        stats.record("a", sequential=3)
+        assert totals == [3]
+
+    def test_unsubscribe_stops_delivery_and_tolerates_absent(self):
+        stats = IOStats()
+        seen = []
+        observer = lambda *call: seen.append(call)  # noqa: E731
+        stats.subscribe(observer)
+        stats.record("a", sequential=1)
+        stats.unsubscribe(observer)
+        stats.unsubscribe(observer)  # absent: no-op
+        stats.record("a", sequential=1)
+        assert len(seen) == 1
+
+    def test_snapshot_and_delta_never_carry_observers(self):
+        stats = IOStats()
+        seen = []
+        stats.subscribe(lambda *call: seen.append(call))
+        stats.record("a", sequential=1)
+        for copied in (stats.snapshot(), stats.delta(IOStats())):
+            copied.record("a", sequential=10)
+        assert len(seen) == 1

@@ -204,6 +204,51 @@ class TestJoin:
             ])
 
 
+class TestSql:
+    ARGS = ["--inner-docs", "30", "--outer-docs", "30", "--terms", "8",
+            "--vocab", "60", "--buffer", "64"]
+    QUERY = "SELECT R2.Id, R1.Id FROM R1, R2 WHERE R1.Doc SIMILAR_TO(2) R2.Doc"
+
+    def test_text_listing(self, capsys):
+        assert main(["sql", self.QUERY] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "row(s) via" in out
+        assert "pages read" in out
+        assert "R2.Id  R1.Id" in out
+
+    def test_json_summary(self, capsys):
+        import json
+
+        assert main(["sql", self.QUERY + " LIMIT 3", "--json"] + self.ARGS) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"] == 3
+        assert payload["truncated"] is True
+        assert payload["algorithm"] in ("HHNL", "HVNL", "VVM")
+        assert payload["pages_read"] > 0
+
+    def test_limit_reads_fewer_pages_than_unbounded(self, capsys):
+        import json
+
+        args = ["--inner-docs", "120", "--outer-docs", "120", "--terms", "40",
+                "--vocab", "150", "--buffer", "6", "--json"]
+        assert main(["sql", self.QUERY + " LIMIT 2"] + args) == 0
+        limited = json.loads(capsys.readouterr().out)
+        assert main(["sql", self.QUERY] + args) == 0
+        unbounded = json.loads(capsys.readouterr().out)
+        assert limited["pages_read"] < unbounded["pages_read"]
+
+    def test_max_rows_truncates_the_listing_only(self, capsys):
+        assert main(["sql", self.QUERY, "--max-rows", "2"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "more row(s)" in out
+
+    def test_invalid_limit_raises(self):
+        from repro.errors import SqlError
+
+        with pytest.raises(SqlError):
+            main(["sql", self.QUERY + " LIMIT 0"] + self.ARGS)
+
+
 class TestConformance:
     def test_short_sweep_passes(self, capsys):
         assert main(["conformance", "--trials", "3"]) == 0
