@@ -1,0 +1,97 @@
+"""W1 — warm factory construction vs cold per-query environment builds.
+
+The workspace refactor splits build-time from query-time: a long-lived
+:class:`~repro.core.environment.EnvironmentFactory` (or one loaded from
+a :mod:`repro.workspace` directory) derives the dataset artifacts once
+and stamps out environments, while the historical path re-tokenized,
+re-inverted and re-bulk-loaded on every ``JoinEnvironment(...)`` call.
+This benchmark times both paths over the same synthetic cross-join
+dataset and asserts the warm path is measurably cheaper — the number
+that justifies "build once, join many".
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.environment import EnvironmentFactory
+from repro.core.join import JoinEnvironment
+from repro.experiments.tables import format_grid
+from repro.storage.pages import PageGeometry
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+from repro.workspace import build_workspace, load_workspace
+
+C1 = generate_collection(
+    SyntheticSpec("c1", n_documents=900, avg_terms_per_doc=25,
+                  vocabulary_size=2_500, seed=71)
+)
+C2 = generate_collection(
+    SyntheticSpec("c2", n_documents=700, avg_terms_per_doc=25,
+                  vocabulary_size=2_500, seed=72)
+)
+
+ENVIRONMENTS_PER_ROUND = 10
+
+
+def cold_constructions():
+    """The historical path: every environment re-derives everything."""
+    for _ in range(ENVIRONMENTS_PER_ROUND):
+        JoinEnvironment(C1, C2, PageGeometry())
+
+
+def warm_constructions():
+    """The factory path: derive once, then assemble from the cache."""
+    factory = EnvironmentFactory(C1, C2)
+    factory.create()  # pay the derivation once, outside the measured claim
+    for _ in range(ENVIRONMENTS_PER_ROUND):
+        factory.create()
+
+
+def timed(fn, timer, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        start = timer()
+        fn()
+        best = min(best, timer() - start)
+    return best
+
+
+def test_warm_factory_beats_cold_construction(benchmark, save_table):
+    import time
+
+    benchmark.pedantic(warm_constructions, rounds=5, iterations=1)
+
+    cold = timed(cold_constructions, time.perf_counter)
+    warm = timed(warm_constructions, time.perf_counter)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ws-") as tmp:
+        start = time.perf_counter()
+        build_workspace(Path(tmp), C1, C2)
+        build_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        factory = load_workspace(Path(tmp))
+        factory.create()
+        load_seconds = time.perf_counter() - start
+        assert factory.derivation_events() == []
+
+    save_table(
+        "workspace_warm_vs_cold",
+        format_grid(
+            [
+                {
+                    "path": f"cold JoinEnvironment x{ENVIRONMENTS_PER_ROUND}",
+                    "seconds": round(cold, 4),
+                },
+                {
+                    "path": f"warm factory.create() x{ENVIRONMENTS_PER_ROUND}",
+                    "seconds": round(warm, 4),
+                },
+                {"path": "workspace build (once)", "seconds": round(build_seconds, 4)},
+                {"path": "workspace load + create", "seconds": round(load_seconds, 4)},
+            ],
+            columns=["path", "seconds"],
+            title="W1 — build-once factories vs per-query dataset derivation",
+        ),
+    )
+    # The claim: assembling from cached artifacts costs a small fraction
+    # of re-deriving the dataset every time.
+    assert warm < cold / 2

@@ -9,14 +9,16 @@ accounting and metric hooks, so the numbers the context reports stop
 being the numbers the run charged.
 
 The rule therefore flags ``IOStats(...)`` / ``TracingIOStats(...)``
-constructor calls inside ``repro/core/`` and ``repro/exec/``.  Two
-sanctioned boundaries exist:
+constructor calls inside ``repro/core/``, ``repro/exec/`` and
+``repro/workspace/`` (a workspace loader that counted its own pages
+would let "warm" environments report different I/O than cold ones).
+Two sanctioned boundaries exist:
 
 * ``repro.exec.context`` — the context itself materialises empty stats
   objects for phase buckets; it *is* the accounting layer;
-* ``repro.core.join`` — the environment creates the disk's root counter
-  when laying collections out, before any execution starts (carries an
-  inline suppression at the construction site).
+* ``repro.core.environment`` — the factory creates each environment's
+  root counter when assembling it, before any execution starts (carries
+  an inline suppression at the construction site).
 
 ``snapshot()`` / ``delta()`` / ``scoped()`` return derived ``IOStats``
 values without triggering the rule: those are reads of the shared
@@ -48,7 +50,11 @@ class ContextDisciplineRule(Rule):
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         """Yield a finding per counter constructor call in scope."""
-        if not (module.in_package("repro.core") or module.in_package("repro.exec")):
+        if not (
+            module.in_package("repro.core")
+            or module.in_package("repro.exec")
+            or module.in_package("repro.workspace")
+        ):
             return
         if module.module_name in _SANCTIONED_MODULES:
             return

@@ -16,8 +16,13 @@ formulas if every page they touch lands in
 
 The streaming execution core (``repro/exec/``) sits on the same side of
 the boundary: it observes :class:`~repro.storage.iostats.IOStats` but
-must never touch the physical layer itself, so the rule's scope covers
-both packages.
+must never touch the physical layer itself.  So does the workspace
+package (``repro/workspace/``): builders and loaders move *serialized*
+artifacts through :mod:`repro.text.serialization` and
+:mod:`repro.index.btree_io`, and lay extents out only through the
+factory — touching the physical layer directly there would let a loaded
+dataset charge I/O differently than a built one.  The rule's scope
+covers all three packages.
 """
 
 from __future__ import annotations
@@ -66,13 +71,18 @@ class CoreIODisciplineRule(Rule):
 
     rule_id = "RA-CORE-IO"
     summary = (
-        "repro/core/ and repro/exec/ must not import the physical storage "
-        "layer nor read payloads in a function that never charges IOStats"
+        "repro/core/, repro/exec/ and repro/workspace/ must not import the "
+        "physical storage layer nor read payloads in a function that never "
+        "charges IOStats"
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         """Yield layering and uncharged-read violations for execution modules."""
-        if not (module.in_package("repro.core") or module.in_package("repro.exec")):
+        if not (
+            module.in_package("repro.core")
+            or module.in_package("repro.exec")
+            or module.in_package("repro.workspace")
+        ):
             return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):

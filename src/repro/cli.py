@@ -8,6 +8,8 @@ Subcommands::
     python -m repro summary                     # check the Section 6.1 points
     python -m repro validate                    # measured-vs-model quick run
     python -m repro conformance                 # differential/metamorphic/cost sweep
+    python -m repro workspace build DIR         # persist a dataset workspace
+    python -m repro sql --workspace DIR "..."   # query it with zero rebuilds
 
 Every command writes plain text to stdout and exits 0 on success; the
 ``summary`` command exits 1 if any of the paper's five points fails to
@@ -28,6 +30,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.constants import DEFAULT_PAGE_BYTES
 from repro.cost.model import CostModel
 from repro.cost.params import JoinSide, QueryParams, SystemParams
 from repro.experiments.engine import SweepEngine
@@ -156,12 +159,65 @@ def _build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--no-sql", action="store_true",
                              help="skip the SQL-pipeline cross-check")
 
+    workspace = sub.add_parser(
+        "workspace",
+        help="build, inspect or verify a persistent dataset workspace "
+        "(pay tokenization/inversion/bulk-load once, query many times)",
+    )
+    ws_sub = workspace.add_subparsers(dest="ws_command", required=True)
+
+    ws_build = ws_sub.add_parser(
+        "build", help="derive and persist all physical artifacts into a directory"
+    )
+    ws_build.add_argument("directory", help="workspace directory to create")
+    ws_build.add_argument("--inner-docs", type=int, default=120,
+                          help="documents in the inner collection c1 (synthetic mode)")
+    ws_build.add_argument("--outer-docs", type=int, default=120,
+                          help="documents in the outer collection c2 (synthetic mode)")
+    ws_build.add_argument("--terms", type=int, default=12,
+                          help="average terms per document (synthetic mode)")
+    ws_build.add_argument("--vocab", type=int, default=300,
+                          help="vocabulary size shared by both collections")
+    ws_build.add_argument("--seed", type=int, default=0, help="generator seed")
+    ws_build.add_argument("--self-join", action="store_true",
+                          help="store one collection joined with itself")
+    ws_build.add_argument("--inner-dir", default=None,
+                          help="folder of .txt files for c1 (text mode; "
+                          "replaces the synthetic generator)")
+    ws_build.add_argument("--outer-dir", default=None,
+                          help="folder of .txt files for c2 (text mode)")
+    ws_build.add_argument("--pattern", default="*.txt",
+                          help="filename glob for text mode")
+    ws_build.add_argument("--page-bytes", type=int, default=DEFAULT_PAGE_BYTES,
+                          help="P in bytes for the stored layout (default: the "
+                          "layout every in-memory environment uses)")
+    ws_build.add_argument("--btree-order", type=int, default=64,
+                          help="order of the stored term trees")
+
+    ws_inspect = ws_sub.add_parser(
+        "inspect", help="print a workspace's manifest summary"
+    )
+    ws_inspect.add_argument("directory", help="workspace directory")
+    ws_inspect.add_argument("--json", action="store_true",
+                            help="emit the raw manifest JSON")
+
+    ws_verify = ws_sub.add_parser(
+        "verify",
+        help="deep-check a workspace (checksums, statistics, inverted files, "
+        "tree layout); exits 1 on any problem",
+    )
+    ws_verify.add_argument("directory", help="workspace directory")
+
     sql = sub.add_parser(
         "sql",
         help="run an extended-SQL query over a synthetic two-relation catalog "
         "(R1/R2 with Id and textual Doc attributes)",
     )
     sql.add_argument("query", help="the SELECT statement to execute")
+    sql.add_argument("--workspace", default=None, metavar="DIR",
+                     help="bind R1/R2 to a pre-built workspace instead of "
+                     "generating synthetic collections (zero dataset "
+                     "derivation at query time)")
     sql.add_argument("--inner-docs", type=int, default=120,
                      help="documents in R1.Doc (the inner side)")
     sql.add_argument("--outer-docs", type=int, default=120,
@@ -370,32 +426,129 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def _cmd_workspace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workspace import (
+        build_workspace,
+        load_manifest,
+        manifest_fingerprint,
+        verify_workspace,
+    )
+
+    if args.ws_command == "build":
+        from repro.core.environment import EnvironmentSpec
+
+        spec = EnvironmentSpec(
+            page_bytes=args.page_bytes, btree_order=args.btree_order
+        )
+        vocabulary = None
+        if args.inner_dir is not None:
+            from repro.text.tokenizer import Tokenizer
+            from repro.text.vocabulary import Vocabulary
+            from repro.workloads.files import collection_from_directory
+
+            vocabulary = Vocabulary()
+            tokenizer = Tokenizer()
+            c1, _ = collection_from_directory(
+                "c1", args.inner_dir, vocabulary, tokenizer, pattern=args.pattern
+            )
+            c2 = None
+            if not args.self_join:
+                if args.outer_dir is None:
+                    print("workspace build: --inner-dir needs --outer-dir "
+                          "(or --self-join)", file=sys.stderr)
+                    return 2
+                c2, _ = collection_from_directory(
+                    "c2", args.outer_dir, vocabulary, tokenizer,
+                    pattern=args.pattern,
+                )
+            vocabulary.freeze()
+        else:
+            c1 = generate_collection(SyntheticSpec(
+                "c1", n_documents=args.inner_docs, avg_terms_per_doc=args.terms,
+                vocabulary_size=args.vocab, seed=args.seed * 2 + 1,
+            ))
+            c2 = None if args.self_join else generate_collection(SyntheticSpec(
+                "c2", n_documents=args.outer_docs, avg_terms_per_doc=args.terms,
+                vocabulary_size=args.vocab, seed=args.seed * 2 + 2,
+            ))
+        manifest = build_workspace(
+            args.directory, c1, c2, spec=spec, vocabulary=vocabulary
+        )
+        total = sum(entry["bytes"] for entry in manifest["files"].values())
+        print(
+            f"built workspace {args.directory}: {len(manifest['files'])} files, "
+            f"{total} bytes, fingerprint {manifest_fingerprint(manifest)}"
+        )
+        return 0
+
+    if args.ws_command == "inspect":
+        manifest = load_manifest(args.directory)
+        if args.json:
+            print(json.dumps(manifest, indent=2, sort_keys=True))
+            return 0
+        print(f"schema:      {manifest['schema']}")
+        print(f"fingerprint: {manifest_fingerprint(manifest)}")
+        print(f"page bytes:  {manifest['page_bytes']}")
+        print(f"tree order:  {manifest['btree_order']}")
+        print(f"self-join:   {manifest['self_join']}")
+        print(f"vocabulary:  {manifest['vocabulary'] or '(none)'}")
+        for role, entry in sorted(manifest["collections"].items()):
+            print(
+                f"  {role}: {entry['name']!r} — {entry['n_documents']} docs, "
+                f"{entry['n_distinct_terms']} distinct terms, "
+                f"avg {entry['avg_terms_per_doc']:.2f} terms/doc, "
+                f"{entry['total_bytes']} bytes"
+            )
+        total = sum(entry["bytes"] for entry in manifest["files"].values())
+        print(f"  files: {len(manifest['files'])} totalling {total} bytes")
+        return 0
+
+    problems = verify_workspace(args.directory)
+    if problems:
+        for problem in problems:
+            print(f"  [FAIL] {problem}")
+        print(f"workspace {args.directory}: {len(problems)} problem(s)")
+        return 1
+    print(f"workspace {args.directory}: ok")
+    return 0
+
+
 def _cmd_sql(args: argparse.Namespace) -> int:
     import json
 
-    from repro.sql.catalog import Catalog, Relation
     from repro.sql.executor import execute
 
-    spec1 = SyntheticSpec(
-        "c1", n_documents=args.inner_docs, avg_terms_per_doc=args.terms,
-        vocabulary_size=args.vocab, seed=args.seed * 2 + 1,
-    )
-    spec2 = SyntheticSpec(
-        "c2", n_documents=args.outer_docs, avg_terms_per_doc=args.terms,
-        vocabulary_size=args.vocab, seed=args.seed * 2 + 2,
-    )
-    catalog = Catalog()
-    catalog.register(
-        Relation.from_rows(
-            "R1", [{"Id": i} for i in range(args.inner_docs)]
-        ).bind_text("Doc", generate_collection(spec1))
-    )
-    catalog.register(
-        Relation.from_rows(
-            "R2", [{"Id": i} for i in range(args.outer_docs)]
-        ).bind_text("Doc", generate_collection(spec2))
-    )
-    system = SystemParams(buffer_pages=args.buffer, page_bytes=args.page_bytes)
+    if args.workspace is not None:
+        from repro.workspace import load_manifest, workspace_catalog
+
+        page_bytes = load_manifest(args.workspace)["page_bytes"]
+        catalog, _factory = workspace_catalog(args.workspace)
+    else:
+        from repro.sql.catalog import Catalog, Relation
+
+        page_bytes = args.page_bytes
+        spec1 = SyntheticSpec(
+            "c1", n_documents=args.inner_docs, avg_terms_per_doc=args.terms,
+            vocabulary_size=args.vocab, seed=args.seed * 2 + 1,
+        )
+        spec2 = SyntheticSpec(
+            "c2", n_documents=args.outer_docs, avg_terms_per_doc=args.terms,
+            vocabulary_size=args.vocab, seed=args.seed * 2 + 2,
+        )
+        catalog = Catalog()
+        catalog.register(
+            Relation.from_rows(
+                "R1", [{"Id": i} for i in range(args.inner_docs)]
+            ).bind_text("Doc", generate_collection(spec1))
+        )
+        catalog.register(
+            Relation.from_rows(
+                "R2", [{"Id": i} for i in range(args.outer_docs)]
+            ).bind_text("Doc", generate_collection(spec2))
+        )
+    system = SystemParams(buffer_pages=args.buffer, page_bytes=page_bytes)
     result = execute(args.query, catalog, system, scenario=args.scenario)
 
     if args.json:
@@ -406,6 +559,7 @@ def _cmd_sql(args: argparse.Namespace) -> int:
             "pages_read": result.extras.get("pages_read"),
             "blocks_emitted": result.extras.get("blocks_emitted"),
             "truncated": result.extras.get("truncated"),
+            "dataset_build_events": result.extras.get("dataset_build_events"),
         }, sort_keys=True))
         return 0
 
@@ -460,6 +614,7 @@ _COMMANDS = {
     "boundaries": _cmd_boundaries,
     "lint": _cmd_lint,
     "conformance": _cmd_conformance,
+    "workspace": _cmd_workspace,
     "sql": _cmd_sql,
     "join": _cmd_join,
 }

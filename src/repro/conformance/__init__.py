@@ -14,7 +14,10 @@ the three executors (HHNL, HVNL, VVM), the SQL pipeline and the Section
   sharing the same mistake could not;
 * :mod:`~repro.conformance.costcheck` — measured I/O versus the
   analytical ``hhs/hvs/vvs`` (and worst-case) formulas, plus
-  trace-shape assertions on the recorded access patterns.
+  trace-shape assertions on the recorded access patterns;
+* :mod:`~repro.conformance.workspace` — save → load → join through a
+  :mod:`repro.workspace` directory must equal the all-in-memory join
+  exactly (matches, per-extent I/O counters and extras).
 
 :func:`~repro.conformance.runner.run_conformance` drives everything and
 emits the schema-tagged JSON report consumed by CI; the ``repro
@@ -56,6 +59,7 @@ from repro.conformance.report import (
     validate_report,
 )
 from repro.conformance.runner import run_conformance
+from repro.conformance.workspace import LoaderFn, run_workspace_roundtrip
 from repro.conformance.trials import (
     DEFAULT_EXECUTORS,
     DEFAULT_STREAMERS,
@@ -77,6 +81,7 @@ __all__ = [
     "ExecutorFn",
     "StreamerFn",
     "INVARIANTS",
+    "LoaderFn",
     "Matches",
     "MetamorphicOutcome",
     "REPORT_SCHEMA",
@@ -94,6 +99,7 @@ __all__ = [
     "run_differential",
     "run_metamorphic",
     "run_streaming_equivalence",
+    "run_workspace_roundtrip",
     "save_report",
     "sql_join_matches",
     "validate_report",

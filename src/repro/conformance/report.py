@@ -21,7 +21,13 @@ from repro.errors import ConformanceError
 REPORT_SCHEMA = "repro-conformance-report/1"
 
 #: every check a report may contain, in canonical order
-CHECK_NAMES = ("differential", "metamorphic", "costcheck", "streaming-equivalence")
+CHECK_NAMES = (
+    "differential",
+    "metamorphic",
+    "costcheck",
+    "streaming-equivalence",
+    "workspace-roundtrip",
+)
 
 
 def build_report(

@@ -2,7 +2,7 @@
 
 :func:`run_conformance` is the single entry point behind both the
 ``repro conformance`` CLI subcommand and the pytest suites: it runs the
-selected checks (all four by default) with a shared seed and trial
+selected checks (all five by default) with a shared seed and trial
 count, then folds the outcomes into a schema-tagged report dictionary
 (:mod:`repro.conformance.report`).
 """
@@ -16,6 +16,7 @@ from repro.conformance.differential import run_differential, run_streaming_equiv
 from repro.conformance.metamorphic import run_metamorphic
 from repro.conformance.report import CHECK_NAMES, build_report
 from repro.conformance.trials import ExecutorFn
+from repro.conformance.workspace import run_workspace_roundtrip
 from repro.errors import ConformanceError
 
 
@@ -64,6 +65,10 @@ def run_conformance(
         ).to_dict()
     if "streaming-equivalence" in selected:
         sections["streaming-equivalence"] = run_streaming_equivalence(
+            seed, trials, executors=executors
+        ).to_dict()
+    if "workspace-roundtrip" in selected:
+        sections["workspace-roundtrip"] = run_workspace_roundtrip(
             seed, trials, executors=executors
         ).to_dict()
     return build_report(seed, trials, sections)

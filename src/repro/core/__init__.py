@@ -18,6 +18,7 @@ are their :func:`~repro.exec.stream.collect` wrappers.
 """
 
 from repro.core.accumulator import PairAccumulator, SparseAccumulator
+from repro.core.environment import EnvironmentFactory, EnvironmentSpec
 from repro.core.hhnl import iter_hhnl, iter_hhnl_backward, run_hhnl, run_hhnl_backward
 from repro.core.hvnl import iter_hvnl, run_hvnl
 from repro.core.integrated import IntegratedDecision, IntegratedJoin
@@ -38,6 +39,8 @@ from repro.core.topk import TopK
 from repro.core.vvm import iter_vvm, run_vvm
 
 __all__ = [
+    "EnvironmentFactory",
+    "EnvironmentSpec",
     "IntegratedDecision",
     "IntegratedJoin",
     "JoinEnvironment",

@@ -54,7 +54,40 @@ class JoinEnvironment:
 
     For a self-join (``collection2 is collection1``) the storage and
     indexes are shared, exactly as Group 1 of the simulations assumes.
+
+    Construction is a thin assembly over
+    :class:`~repro.core.environment.EnvironmentFactory`: calling this
+    constructor spins up a one-shot factory (deriving every artifact
+    right here, as always), while a long-lived factory can stamp out
+    many environments over the *same* immutable artifacts — each with a
+    fresh disk and root :class:`~repro.storage.iostats.IOStats` — via
+    :meth:`~repro.core.environment.EnvironmentFactory.create`.
+
+    Attributes (``docs1``/``docs2``, ``inverted1``/``inverted2``,
+    ``inv1_extent``/``inv2_extent``, ``btree1``/``btree2``,
+    ``stats1``/``stats2``, ``disk``, ``geometry``) are identical either
+    way; with ``compress_inverted`` the stored entries are d-gap/vbyte
+    coded (:mod:`repro.index.compression`) and the executors run
+    unchanged over the smaller pages.
     """
+
+    geometry: PageGeometry
+    collection1: DocumentCollection
+    collection2: DocumentCollection
+    compress_inverted: bool
+    disk: SimulatedDisk
+    docs1: Extent
+    docs2: Extent
+    inverted1: InvertedFile | None
+    inverted2: InvertedFile | None
+    inv1_extent: Extent | None
+    inv2_extent: Extent | None
+    btree1: BPlusTree | None
+    btree2: BPlusTree | None
+    stats1: CollectionStats
+    stats2: CollectionStats
+    _norms1: dict[int, float] | None
+    _norms2: dict[int, float] | None
 
     def __init__(
         self,
@@ -66,72 +99,20 @@ class JoinEnvironment:
         btree_order: int = 64,
         compress_inverted: bool = False,
     ) -> None:
-        self.geometry = geometry or PageGeometry()
-        self.collection1 = collection1
-        self.collection2 = collection2
-        self.compress_inverted = compress_inverted
-        self.disk = SimulatedDisk(IOStats(), self.geometry)  # repro: ignore[RA-CONTEXT] -- the environment creates the root counter before execution
+        from repro.core.environment import EnvironmentFactory, EnvironmentSpec
 
-        self.docs1 = self._layout_documents("c1.docs", collection1)
-        if collection2 is collection1:
-            self.docs2 = self.docs1
-        else:
-            self.docs2 = self._layout_documents("c2.docs", collection2)
-
-        self.inverted1: InvertedFile | None = None
-        self.inverted2: InvertedFile | None = None
-        self.inv1_extent: Extent | None = None
-        self.inv2_extent: Extent | None = None
-        self.btree1: BPlusTree | None = None
-        self.btree2: BPlusTree | None = None
-        if build_inverted:
-            self.inverted1, self.inv1_extent, self.btree1 = self._layout_inverted(
-                "c1.inv", collection1, btree_order
-            )
-            if collection2 is collection1:
-                self.inverted2 = self.inverted1
-                self.inv2_extent = self.inv1_extent
-                self.btree2 = self.btree1
-            else:
-                self.inverted2, self.inv2_extent, self.btree2 = self._layout_inverted(
-                    "c2.inv", collection2, btree_order
-                )
-
-        self.stats1 = CollectionStats.from_collection(collection1, self.geometry)
-        self.stats2 = CollectionStats.from_collection(collection2, self.geometry)
-        self._norms1: dict[int, float] | None = None
-        self._norms2: dict[int, float] | None = None
-
-    # --- layout -----------------------------------------------------------
-
-    def _layout_documents(self, name: str, collection: DocumentCollection) -> Extent:
-        extent = self.disk.create_extent(name)
-        for doc in collection:
-            extent.append(doc, doc.n_bytes)
-        return extent
-
-    def _layout_inverted(
-        self, name: str, collection: DocumentCollection, btree_order: int
-    ):
-        """Build and lay out the inverted file (optionally compressed).
-
-        With ``compress_inverted`` the stored entries are d-gap/vbyte
-        coded (:mod:`repro.index.compression`): the executors run
-        unchanged — compressed entries expose the same interface — but
-        every page count they are charged shrinks.
-        """
-        inverted = InvertedFile.build(collection)
-        if self.compress_inverted:
-            from repro.index.compression import CompressedInvertedFile
-
-            inverted = CompressedInvertedFile.from_inverted(inverted)
-        extent = self.disk.create_extent(name)
-        leaf_items: list[tuple[int, tuple[int, int]]] = []
-        for record_id, entry in enumerate(inverted.entries):
-            extent.append(entry, entry.n_bytes)
-            leaf_items.append((entry.term, (record_id, entry.document_frequency)))
-        btree = BPlusTree.bulk_load(leaf_items, order=btree_order)
-        return inverted, extent, btree
+        spec = EnvironmentSpec(
+            page_bytes=(geometry or PageGeometry()).page_bytes,
+            build_inverted=build_inverted,
+            btree_order=btree_order,
+            compress_inverted=compress_inverted,
+        )
+        factory = EnvironmentFactory(
+            collection1,
+            None if collection2 is collection1 else collection2,
+            spec,
+        )
+        factory._assemble(self)
 
     # --- norms (pre-computed, no I/O — Section 3's normalisation strategy) ---
 

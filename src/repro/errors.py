@@ -134,3 +134,15 @@ class ConformanceError(ReproError):
     is still exercised; this error covers broken harness inputs (unknown
     check names, invalid report schemas, impossible trial parameters).
     """
+
+
+class WorkspaceError(ReproError):
+    """A persistent dataset workspace is malformed or cannot be built.
+
+    Raised by :mod:`repro.workspace` for invalid manifests, missing or
+    mismatched artifact files and unsupported build configurations.
+    Low-level decode failures inside individual artifact files surface as
+    the artifact's own error type (:class:`DocumentFormatError` for
+    ``.docs``/``.inv`` pairs, :class:`BPlusTreeError` for ``.btree``
+    files) so the byte-level context is not lost.
+    """

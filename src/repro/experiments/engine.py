@@ -42,8 +42,15 @@ from repro.errors import InvalidParameterError
 MANIFEST_SCHEMA = "repro-engine-manifest/1"
 """Schema tag stamped into (and required of) every run manifest."""
 
-PointKey = tuple[JoinSide, JoinSide, SystemParams, QueryParams]
-"""The canonical identity of one cost-model evaluation."""
+PointKey = tuple[JoinSide, JoinSide, SystemParams, QueryParams, str]
+"""The canonical identity of one cost-model evaluation.
+
+The trailing string is the *dataset tag* — empty for purely analytical
+sweeps, a :func:`~repro.workspace.manifest.manifest_fingerprint` for
+workspace-backed ones — so results computed over different persisted
+dataset contents never share a cache entry even when the summary
+statistics coincide.
+"""
 
 
 @dataclass(frozen=True)
@@ -53,7 +60,8 @@ class SweepPoint:
     ``variable``/``value`` do not affect the computed
     :class:`~repro.cost.model.CostReport` — they only name which knob
     this cell sweeps — so two points differing only in their label share
-    one cache entry.
+    one cache entry.  ``dataset`` *is* part of the identity: points tied
+    to different workspace fingerprints are distinct cache entries.
     """
 
     side1: JoinSide
@@ -62,11 +70,13 @@ class SweepPoint:
     query: QueryParams
     variable: str
     value: float
+    #: workspace fingerprint backing this point ("" = analytical only)
+    dataset: str = ""
 
     @property
     def key(self) -> PointKey:
         """The memoization key: everything the cost model consumes."""
-        return (self.side1, self.side2, self.system, self.query)
+        return (self.side1, self.side2, self.system, self.query, self.dataset)
 
     @property
     def label(self) -> str:
@@ -112,8 +122,12 @@ class RunRecord:
 
 
 def _evaluate_key(key: PointKey) -> CostReport:
-    """Evaluate one point (module-level so process pools can pickle it)."""
-    side1, side2, system, query = key
+    """Evaluate one point (module-level so process pools can pickle it).
+
+    The dataset tag is cache identity only — the analytical model sees
+    the dataset exclusively through the statistics in the sides.
+    """
+    side1, side2, system, query, _dataset = key
     return CostModel(side1, side2, system, query).report()
 
 
@@ -201,6 +215,7 @@ class SweepEngine:
         system: SystemParams | None = None,
         query: QueryParams | None = None,
         label: str = "",
+        dataset: str = "",
     ) -> CostReport:
         """One memoized report — the single-point path bisection uses.
 
@@ -217,6 +232,7 @@ class SweepEngine:
             side2,
             system if system is not None else SystemParams(),
             query if query is not None else QueryParams(),
+            dataset,
         )
         if self.cache_enabled:
             report = self._cache.get(key)

@@ -332,6 +332,21 @@ class BPlusTree:
             if leaves:
                 leaves[-1].next = leaf
             leaves.append(leaf)
+        return cls._from_leaves(leaves, order=order)
+
+    @classmethod
+    def _from_leaves(cls, leaves: list[_Leaf], *, order: int) -> "BPlusTree":
+        """Stack internal levels over pre-packed, pre-linked leaves.
+
+        The stacking is deterministic (driven by :func:`_group_sizes`
+        alone), so any two trees with identical leaf lists get identical
+        internal levels — this is what lets a persisted tree
+        (:mod:`repro.index.btree_io`) store only its leaves and still
+        reproduce the bulk-load page layout exactly on reload.
+        """
+        tree = cls(order=order)
+        if not leaves:
+            return tree
         level: list[_Leaf | _Internal] = list(leaves)
         first_keys = [leaf.keys[0] for leaf in leaves]
         while len(level) > 1:
@@ -350,7 +365,7 @@ class BPlusTree:
             level = parents
             first_keys = parent_first_keys
         tree._root = level[0]
-        tree._size = len(items)
+        tree._size = sum(len(leaf.keys) for leaf in leaves)
         return tree
 
     # --- sizing (the paper's Bt) ---------------------------------------------

@@ -1,0 +1,170 @@
+"""B+-tree persistence: store the leaves, reproduce the layout.
+
+The environment's term trees are built by
+:meth:`~repro.index.bptree.BPlusTree.bulk_load` over ``(term,
+(entry_address, document_frequency))`` leaf cells — exactly the 9-byte
+cells Section 5.2 sizes the tree by (``Bt = 9 * T / P``).  A workspace
+therefore persists *only the leaf level*: term numbers, entry addresses
+and document frequencies, grouped per leaf.  Loading rebuilds the leaves
+verbatim and restacks the internal levels with the same deterministic
+grouping :meth:`bulk_load` uses, so the loaded tree's page layout —
+node count per level, keys per node, height — equals the originally
+bulk-loaded tree's exactly; :func:`layout_signature` makes that equality
+checkable.
+
+File format (``<name>.btree``, little-endian)::
+
+    "TJB1" | u32 order | u32 n_leaves
+    per leaf: u32 n_cells, then n_cells x (u32 term, u32 address, u32 df)
+
+Truncated or corrupt files raise
+:class:`~repro.errors.BPlusTreeError` naming the file, the leaf index
+and the byte offset; the reconstructed tree is additionally run through
+:meth:`~repro.index.bptree.BPlusTree.validate`, so a file whose cells
+decode but violate the structural invariants is rejected too.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.errors import BPlusTreeError
+from repro.index.bptree import BPlusTree, _Internal, _Leaf
+
+#: file magic of the persisted-leaves format
+BTREE_MAGIC = b"TJB1"
+
+_HEADER = struct.Struct("<4sII")
+_LEAF_HEADER = struct.Struct("<I")
+_CELL = struct.Struct("<III")
+
+_MAX_U32 = (1 << 32) - 1
+
+
+def save_btree(tree: BPlusTree, path: str | Path) -> Path:
+    """Write a term tree's leaf level; returns the path.
+
+    Values must be ``(entry_address, document_frequency)`` pairs of
+    non-negative ints below ``2**32`` — the shape the environment's
+    inverted-file trees store; anything else raises
+    :class:`~repro.errors.BPlusTreeError` (the format is a term index,
+    not a pickle).
+    """
+    path = Path(path)
+    leaves = _collect_leaves(tree)
+    out = bytearray(_HEADER.pack(BTREE_MAGIC, tree.order, len(leaves)))
+    for leaf in leaves:
+        out += _LEAF_HEADER.pack(len(leaf.keys))
+        for key, value in zip(leaf.keys, leaf.values):
+            if (
+                not isinstance(value, tuple)
+                or len(value) != 2
+                or not all(isinstance(part, int) for part in value)
+            ):
+                raise BPlusTreeError(
+                    f"cannot persist value {value!r} under key {key}: the "
+                    ".btree format stores (entry_address, document_frequency) "
+                    "int pairs only"
+                )
+            address, frequency = value
+            if not (0 <= key <= _MAX_U32 and 0 <= address <= _MAX_U32 and 0 <= frequency <= _MAX_U32):
+                raise BPlusTreeError(
+                    f"cell ({key}, {address}, {frequency}) does not fit the "
+                    "u32 fields of the .btree format"
+                )
+            out += _CELL.pack(key, address, frequency)
+    path.write_bytes(bytes(out))
+    return path
+
+
+def load_btree(path: str | Path) -> BPlusTree:
+    """Read a tree written by :func:`save_btree`.
+
+    The leaves are reconstructed exactly as stored and the internal
+    levels restacked deterministically, so for a tree that was built by
+    ``bulk_load`` the loaded structure is layout-identical to the
+    original (same :func:`layout_signature`).
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < _HEADER.size:
+        raise BPlusTreeError(
+            f"{path}: truncated header: {len(data)} bytes, need {_HEADER.size}"
+        )
+    magic, order, n_leaves = _HEADER.unpack_from(data, 0)
+    if magic != BTREE_MAGIC:
+        raise BPlusTreeError(f"{path} is not a textjoin .btree file")
+    if order < 3:
+        raise BPlusTreeError(f"{path}: stored order {order} is below the minimum 3")
+    offset = _HEADER.size
+    leaves: list[_Leaf] = []
+    for leaf_index in range(n_leaves):
+        if len(data) < offset + _LEAF_HEADER.size:
+            raise BPlusTreeError(
+                f"{path}: leaf {leaf_index} at byte {offset}: truncated leaf header"
+            )
+        (n_cells,) = _LEAF_HEADER.unpack_from(data, offset)
+        offset += _LEAF_HEADER.size
+        cells_end = offset + n_cells * _CELL.size
+        if len(data) < cells_end:
+            raise BPlusTreeError(
+                f"{path}: leaf {leaf_index} at byte {offset}: {n_cells} cells "
+                f"need {cells_end} bytes but the file has {len(data)}"
+            )
+        leaf = _Leaf()
+        for cell_index in range(n_cells):
+            key, address, frequency = _CELL.unpack_from(
+                data, offset + cell_index * _CELL.size
+            )
+            leaf.keys.append(key)
+            leaf.values.append((address, frequency))
+        if leaves:
+            leaves[-1].next = leaf
+        leaves.append(leaf)
+        offset = cells_end
+    if offset != len(data):
+        raise BPlusTreeError(
+            f"{path}: {len(data) - offset} trailing bytes after "
+            f"{n_leaves} leaves (file ends at byte {offset})"
+        )
+    tree = BPlusTree._from_leaves(leaves, order=order)
+    try:
+        tree.validate()
+    except BPlusTreeError as exc:
+        raise BPlusTreeError(f"{path}: invalid tree structure: {exc}") from exc
+    return tree
+
+
+def layout_signature(tree: BPlusTree) -> tuple[tuple[int, ...], ...]:
+    """The exact page layout: keys-per-node for every level, top down.
+
+    Two trees with equal signatures have identical node counts, fills
+    and height — the property the workspace round-trip check pins, and
+    what "loaded trees reproduce the bulk-load layout" means precisely.
+    """
+    signature: list[tuple[int, ...]] = []
+    level: list[_Leaf | _Internal] = [tree._root]
+    while True:
+        signature.append(tuple(len(node.keys) for node in level))
+        if isinstance(level[0], _Leaf):
+            return tuple(signature)
+        level = [child for node in level for child in node.children]
+
+
+def _collect_leaves(tree: BPlusTree) -> list[_Leaf]:
+    """The leaf level in key order (empty tree -> one empty root leaf)."""
+    node: _Leaf | _Internal = tree._root
+    while isinstance(node, _Internal):
+        node = node.children[0]
+    leaves: list[_Leaf] = []
+    current: _Leaf | None = node
+    while current is not None:
+        leaves.append(current)
+        current = current.next
+    if len(leaves) == 1 and not leaves[0].keys:
+        return []
+    return leaves
+
+
+__all__ = ["BTREE_MAGIC", "layout_signature", "load_btree", "save_btree"]

@@ -12,10 +12,13 @@ in which row ``i``'s document is the one numbered ``i`` — the usual
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.errors import SqlSemanticError
 from repro.text.collection import DocumentCollection
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids a core import
+    from repro.core.environment import EnvironmentFactory
 
 
 @dataclass
@@ -107,10 +110,20 @@ class Relation:
 
 
 class Catalog:
-    """All relations visible to the query planner."""
+    """All relations visible to the query planner.
+
+    Besides relations, a catalog may hold pre-built
+    :class:`~repro.core.environment.EnvironmentFactory` instances
+    (registered with :meth:`register_factory`, e.g. by
+    :func:`repro.workspace.workspace_catalog`): when a planned text join
+    runs over exactly the collection pair such a factory holds, the
+    executor assembles its environment from the factory's immutable
+    artifacts instead of re-deriving indexes per query.
+    """
 
     def __init__(self) -> None:
         self._relations: dict[str, Relation] = {}
+        self._factories: list["EnvironmentFactory"] = []
 
     def register(self, relation: Relation) -> Relation:
         """Add a relation under its (case-insensitive) name."""
@@ -126,6 +139,26 @@ class Catalog:
             return self._relations[name.upper()]
         except KeyError:
             raise SqlSemanticError(f"unknown relation {name!r}") from None
+
+    def register_factory(self, factory: "EnvironmentFactory") -> "EnvironmentFactory":
+        """Offer a pre-built environment factory to the planner.
+
+        The factory is matched by *collection identity* (the exact
+        objects bound via :meth:`Relation.bind_text`), so a plan that
+        materialises a renumbered subset never silently reuses
+        mismatched artifacts — it simply finds no factory.
+        """
+        self._factories.append(factory)
+        return factory
+
+    def factory_for(
+        self, inner: DocumentCollection, outer: DocumentCollection
+    ) -> "EnvironmentFactory | None":
+        """The registered factory holding exactly this collection pair."""
+        for factory in self._factories:
+            if factory.collection1 is inner and factory.collection2 is outer:
+                return factory
+        return None
 
     def __contains__(self, name: str) -> bool:
         return name.upper() in self._relations

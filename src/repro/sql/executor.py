@@ -1,10 +1,15 @@
 """Execute planned queries.
 
-A :class:`~repro.sql.planner.TextJoinPlan` builds a
+A :class:`~repro.sql.planner.TextJoinPlan` assembles a
 :class:`~repro.core.join.JoinEnvironment` over the (possibly filtered)
-collections, lets :class:`~repro.core.integrated.IntegratedJoin` choose
-the algorithm, and stitches the matched document pairs back to relation
-rows for projection.  Every result row additionally carries the
+collections — through the plan's pre-built
+:class:`~repro.core.environment.EnvironmentFactory` when the catalog
+registered one (workspace-backed catalogs do), through a one-shot
+factory otherwise — lets :class:`~repro.core.integrated.IntegratedJoin`
+choose the algorithm, and stitches the matched document pairs back to
+relation rows for projection.  ``extras["dataset_build_events"]`` counts
+the expensive derivations (inversion, bulk loads) this particular query
+paid for: zero on the warm path.  Every result row additionally carries the
 similarity and the match rank, which the paper's motivating example
 needs to present "the lambda most similar applicants per position".
 
@@ -22,8 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.environment import EnvironmentFactory
 from repro.core.integrated import IntegratedJoin
-from repro.core.join import JoinEnvironment, TextJoinResult, TextJoinSpec
+from repro.core.join import TextJoinResult, TextJoinSpec
 from repro.cost.params import SystemParams
 from repro.exec.context import ExecutionContext, ensure_context
 from repro.sql.ast_nodes import SelectQuery
@@ -117,7 +123,19 @@ def _execute_text_join(
     scenario: str,
     context: ExecutionContext | None,
 ) -> QueryResult:
-    environment = JoinEnvironment(the_plan.inner_collection, the_plan.outer_collection)
+    factory = the_plan.environment_factory
+    if factory is None:
+        factory = EnvironmentFactory(
+            the_plan.inner_collection,
+            None
+            if the_plan.outer_collection is the_plan.inner_collection
+            else the_plan.outer_collection,
+        )
+    # Derivation events charged to *this* query: zero when the catalog
+    # supplied a warm (e.g. workspace-backed) factory.
+    events_before = len(factory.derivation_events())
+    environment = factory.create()
+    dataset_build_events = len(factory.derivation_events()) - events_before
     joiner = IntegratedJoin(environment, system, scenario=scenario)
     spec = TextJoinSpec(lam=the_plan.lam)
     ctx = ensure_context(context)
@@ -181,5 +199,6 @@ def _execute_text_join(
             "pages_read": ctx.pages_used,
             "blocks_emitted": ctx.blocks_emitted,
             "truncated": truncated,
+            "dataset_build_events": dataset_build_events,
         },
     )

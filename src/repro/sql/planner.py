@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import SqlSemanticError
 from repro.sql.ast_nodes import (
@@ -35,6 +35,9 @@ from repro.sql.ast_nodes import (
 )
 from repro.sql.catalog import Catalog, Relation
 from repro.text.collection import DocumentCollection
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids a core import
+    from repro.core.environment import EnvironmentFactory
 
 
 @dataclass(frozen=True)
@@ -73,6 +76,9 @@ class TextJoinPlan:
     #: maximum result rows; pushed into the streaming executor so the
     #: join stops issuing I/O once enough rows are final
     limit: int | None = None
+    #: pre-built artifacts for exactly this collection pair (workspace-
+    #: backed catalogs register one); None = build the dataset per query
+    environment_factory: "EnvironmentFactory | None" = None
 
     @property
     def inner_is_filtered(self) -> bool:
@@ -323,4 +329,7 @@ def plan(
         inner_ids=inner_ids,
         projections=projections,
         limit=query.limit,
+        # Identity lookup: a materialised (renumbered) inner subset is a
+        # new object, so it correctly finds no pre-built artifacts.
+        environment_factory=catalog.factory_for(inner_collection, outer_collection),
     )

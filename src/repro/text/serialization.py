@@ -31,7 +31,7 @@ from repro.constants import (
     OCCURRENCE_BYTES,
     TERM_NUMBER_BYTES,
 )
-from repro.errors import DocumentFormatError
+from repro.errors import DocumentFormatError, InvertedFileError
 from repro.index.inverted import InvertedEntry, InvertedFile
 from repro.text.collection import DocumentCollection
 from repro.text.document import Document
@@ -99,27 +99,61 @@ def _write_records(
     return docs_path, dir_path
 
 
-def _read_records(base: Path) -> list[bytes]:
+def _read_records(base: Path) -> list[tuple[int, bytes]]:
+    """Read ``(start_byte, record)`` pairs, validating both files first.
+
+    Every malformed condition — truncated directory header or offset
+    table, non-monotonic end offsets, a cell file shorter or longer than
+    the directory promises — raises :class:`DocumentFormatError` naming
+    the file, the record index and the byte offset of the damage, so a
+    corrupt workspace points at its own broken artifact instead of
+    surfacing a bare ``struct.error``.
+    """
     docs_path = base.with_suffix(base.suffix + ".cells")
     dir_path = base.with_suffix(base.suffix + ".dir")
-    with open(dir_path, "rb") as dir_file:
-        header = dir_file.read(_DIR_HEADER.size)
-        magic, count = _DIR_HEADER.unpack(header)
-        if magic != _DIR_MAGIC:
-            raise DocumentFormatError(f"{dir_path} is not a textjoin directory file")
-        ends = [
-            _DIR_OFFSET.unpack(dir_file.read(_DIR_OFFSET.size))[0]
-            for _ in range(count)
-        ]
+    raw = dir_path.read_bytes()
+    if len(raw) < _DIR_HEADER.size:
+        raise DocumentFormatError(
+            f"{dir_path}: truncated header: {len(raw)} bytes, "
+            f"need {_DIR_HEADER.size}"
+        )
+    magic, count = _DIR_HEADER.unpack_from(raw, 0)
+    if magic != _DIR_MAGIC:
+        raise DocumentFormatError(f"{dir_path} is not a textjoin directory file")
+    table_end = _DIR_HEADER.size + count * _DIR_OFFSET.size
+    if len(raw) < table_end:
+        short_record = (len(raw) - _DIR_HEADER.size) // _DIR_OFFSET.size
+        raise DocumentFormatError(
+            f"{dir_path}: offset table truncated at byte {len(raw)}: "
+            f"record {short_record} of {count} is incomplete "
+            f"(need {table_end} bytes)"
+        )
+    ends = []
+    previous = 0
+    for index in range(count):
+        offset = _DIR_HEADER.size + index * _DIR_OFFSET.size
+        (end,) = _DIR_OFFSET.unpack_from(raw, offset)
+        if end < previous:
+            raise DocumentFormatError(
+                f"{dir_path}: record {index} at byte {offset}: end offset "
+                f"{end} precedes the previous record's end {previous}"
+            )
+        ends.append(end)
+        previous = end
     data = docs_path.read_bytes()
     if ends and ends[-1] != len(data):
         raise DocumentFormatError(
-            f"{docs_path} has {len(data)} bytes but the directory expects {ends[-1]}"
+            f"{docs_path} has {len(data)} bytes but the directory expects "
+            f"{ends[-1]} (record {len(ends) - 1} ends there)"
+        )
+    if not ends and data:
+        raise DocumentFormatError(
+            f"{docs_path} has {len(data)} bytes but the directory lists no records"
         )
     records = []
     start = 0
     for end in ends:
-        records.append(data[start:end])
+        records.append((start, data[start:end]))
         start = end
     return records
 
@@ -143,13 +177,30 @@ def save_collection(
 
 
 def load_collection(name: str, directory: str | Path) -> DocumentCollection:
-    """Read a collection written by :func:`save_collection`."""
+    """Read a collection written by :func:`save_collection`.
+
+    The cell files store *term numbers* only (the whole point of the
+    Section 3 format), so the returned documents are number-only vectors:
+    joins and similarities work immediately, but mapping numbers back to
+    term strings needs the :class:`~repro.text.vocabulary.Vocabulary`
+    the collection was built with — save it alongside
+    (:meth:`~repro.text.vocabulary.Vocabulary.save`) and attach it after
+    loading, as :mod:`repro.workspace` does via its manifest.
+
+    Corrupt or truncated files raise
+    :class:`~repro.errors.DocumentFormatError` carrying the file name,
+    the record index and the byte offset of the damage.
+    """
     base = Path(directory) / f"{name}.docs"
-    records = _read_records(base)
-    documents = [
-        Document(doc_id, cells_from_bytes(record))
-        for doc_id, record in enumerate(records)
-    ]
+    docs_path = base.with_suffix(base.suffix + ".cells")
+    documents = []
+    for doc_id, (start, record) in enumerate(_read_records(base)):
+        try:
+            documents.append(Document(doc_id, cells_from_bytes(record)))
+        except DocumentFormatError as exc:
+            raise DocumentFormatError(
+                f"{docs_path}: record {doc_id} at byte {start}: {exc}"
+            ) from exc
     return DocumentCollection(name, documents)
 
 
@@ -176,20 +227,34 @@ def save_inverted(
 
 
 def load_inverted(name: str, directory: str | Path) -> InvertedFile:
-    """Read an inverted file written by :func:`save_inverted`."""
+    """Read an inverted file written by :func:`save_inverted`.
+
+    As with :func:`load_collection`, corruption raises
+    :class:`~repro.errors.DocumentFormatError` naming the file, the
+    entry index and the byte offset — including postings that decode but
+    violate the i-cell invariants (a bit flip can scramble document
+    order without changing the record length).
+    """
     base = Path(directory) / f"{name}.inv"
+    cells_path = base.with_suffix(base.suffix + ".cells")
+    terms_path = base.with_suffix(".inv.terms")
     records = _read_records(base)
-    terms_data = base.with_suffix(".inv.terms").read_bytes()
+    terms_data = terms_path.read_bytes()
     if len(terms_data) != TERM_NUMBER_BYTES * len(records):
         raise DocumentFormatError(
-            f"term listing for {name!r} has {len(terms_data)} bytes, "
-            f"expected {TERM_NUMBER_BYTES * len(records)}"
+            f"{terms_path}: term listing for {name!r} has {len(terms_data)} "
+            f"bytes, expected {TERM_NUMBER_BYTES * len(records)}"
         )
     entries = []
-    for index, record in enumerate(records):
+    for index, (start, record) in enumerate(records):
         term = int.from_bytes(
             terms_data[index * TERM_NUMBER_BYTES : (index + 1) * TERM_NUMBER_BYTES],
             "little",
         )
-        entries.append(InvertedEntry(term, cells_from_bytes(record)))
+        try:
+            entries.append(InvertedEntry(term, cells_from_bytes(record)))
+        except (DocumentFormatError, InvertedFileError) as exc:
+            raise DocumentFormatError(
+                f"{cells_path}: entry {index} (term {term}) at byte {start}: {exc}"
+            ) from exc
     return InvertedFile(name, entries)

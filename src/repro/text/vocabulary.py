@@ -13,9 +13,14 @@ against one shared :class:`Vocabulary` (see :meth:`renumber`).
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import VocabularyError
+
+#: versioned schema tag stamped into (and demanded of) every saved vocabulary
+VOCABULARY_SCHEMA = "repro-vocabulary/1"
 
 
 class Vocabulary:
@@ -82,6 +87,72 @@ class Vocabulary:
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._term_of)
+
+    # --- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the mapping as schema-tagged JSON; returns the path.
+
+        Term numbers are positional (``terms[i]`` has number ``i``), so
+        the file *is* the bijection: loading it reproduces every
+        term↔number pair and the frozen flag exactly.  JSON is used
+        rather than a packed format because terms are arbitrary
+        (unicode) strings and the vocabulary is tiny next to the cell
+        files it accompanies.
+        """
+        path = Path(path)
+        payload = {
+            "schema": VOCABULARY_SCHEMA,
+            "frozen": self._frozen,
+            "terms": list(self._term_of),
+        }
+        path.write_text(
+            json.dumps(payload, ensure_ascii=False) + "\n", encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Vocabulary":
+        """Read a vocabulary written by :meth:`save`.
+
+        Validates the schema tag and the term list strictly — a
+        malformed file raises :class:`~repro.errors.VocabularyError`
+        rather than producing a silently renumbered mapping.
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise VocabularyError(f"cannot read vocabulary {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise VocabularyError(f"{path}: vocabulary file must hold a JSON object")
+        schema = payload.get("schema")
+        if schema != VOCABULARY_SCHEMA:
+            raise VocabularyError(
+                f"{path}: unsupported vocabulary schema {schema!r}, "
+                f"expected {VOCABULARY_SCHEMA!r}"
+            )
+        terms = payload.get("terms")
+        if not isinstance(terms, list):
+            raise VocabularyError(f"{path}: 'terms' missing or not a list")
+        frozen = payload.get("frozen")
+        if not isinstance(frozen, bool):
+            raise VocabularyError(f"{path}: 'frozen' missing or not a boolean")
+        vocabulary = cls()
+        for number, term in enumerate(terms):
+            if not isinstance(term, str) or not term:
+                raise VocabularyError(
+                    f"{path}: term number {number} is not a non-empty string"
+                )
+            if term in vocabulary._number_of:
+                raise VocabularyError(
+                    f"{path}: duplicate term {term!r} at number {number} "
+                    f"(first seen as {vocabulary._number_of[term]})"
+                )
+            vocabulary.add(term)
+        if frozen:
+            vocabulary.freeze()
+        return vocabulary
 
     # --- multidatabase support ----------------------------------------------
 

@@ -1,0 +1,54 @@
+"""Persistent dataset workspaces: build the physical dataset once.
+
+The paper's Section 5 cost models price the *join*, not the dataset
+construction — yet historically every environment construction paid for
+tokenisation, inversion and bulk loading again.  A **workspace** is a
+versioned on-disk directory (schema ``repro-workspace/1``) holding the
+packed Section 3 artifacts of one join's collections:
+
+* :func:`build_workspace` derives and persists everything (d-cells,
+  i-cells, term-tree leaves, optional vocabulary, checksummed
+  manifest);
+* :func:`load_workspace` turns the directory back into a pre-populated
+  :class:`~repro.core.environment.EnvironmentFactory` whose
+  ``derivation_events()`` stay empty — environments assembled from it
+  are byte-identical to in-memory construction, fresh I/O counters
+  included;
+* :func:`verify_workspace` deep-checks checksums, statistics, inverted
+  files and tree layout;
+* :func:`workspace_catalog` binds the workspace into the SQL layer.
+
+See ``docs/WORKSPACE.md`` for the file format and workflow.
+"""
+
+from repro.workspace.builder import build_workspace, collection_files
+from repro.workspace.catalog import workspace_catalog
+from repro.workspace.loader import load_workspace, verify_workspace
+from repro.workspace.manifest import (
+    MANIFEST_NAME,
+    VOCABULARY_NAME,
+    WORKSPACE_SCHEMA,
+    build_manifest,
+    file_checksum,
+    load_manifest,
+    manifest_fingerprint,
+    save_manifest,
+    validate_manifest,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "VOCABULARY_NAME",
+    "WORKSPACE_SCHEMA",
+    "build_manifest",
+    "build_workspace",
+    "collection_files",
+    "file_checksum",
+    "load_manifest",
+    "load_workspace",
+    "manifest_fingerprint",
+    "save_manifest",
+    "validate_manifest",
+    "verify_workspace",
+    "workspace_catalog",
+]

@@ -1,0 +1,130 @@
+"""Build a workspace directory: pay the dataset cost exactly once.
+
+``build_workspace`` derives every physical artifact through one
+:class:`~repro.core.environment.EnvironmentFactory` — the same code
+path query-time construction uses, so what lands on disk is what an
+in-memory environment would have built — and persists it in the
+Section 3 physical format:
+
+* ``<name>.docs.cells`` / ``<name>.docs.dir`` — packed d-cells
+  (:func:`repro.text.serialization.save_collection`);
+* ``<name>.inv.cells`` / ``<name>.inv.dir`` / ``<name>.inv.terms`` —
+  packed i-cells (:func:`repro.text.serialization.save_inverted`);
+* ``<name>.btree`` — the term tree's leaf level
+  (:func:`repro.index.btree_io.save_btree`);
+* ``vocabulary.json`` — the shared term mapping, when provided;
+* ``workspace.json`` — the checksummed manifest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.core.environment import EnvironmentFactory, EnvironmentSpec
+from repro.errors import WorkspaceError
+from repro.index.btree_io import save_btree
+from repro.text.collection import DocumentCollection
+from repro.text.serialization import save_collection, save_inverted
+from repro.text.vocabulary import Vocabulary
+from repro.workspace.manifest import (
+    VOCABULARY_NAME,
+    build_manifest,
+    file_checksum,
+    save_manifest,
+)
+
+
+def collection_files(name: str) -> tuple[str, ...]:
+    """The artifact file names one collection contributes to a workspace."""
+    return (
+        f"{name}.docs.cells",
+        f"{name}.docs.dir",
+        f"{name}.inv.cells",
+        f"{name}.inv.dir",
+        f"{name}.inv.terms",
+        f"{name}.btree",
+    )
+
+
+def build_workspace(
+    directory: str | Path,
+    collection1: DocumentCollection,
+    collection2: DocumentCollection | None = None,
+    *,
+    spec: EnvironmentSpec | None = None,
+    vocabulary: Vocabulary | None = None,
+    clamp_weights: bool = False,
+) -> dict[str, Any]:
+    """Persist a dataset workspace; returns the written manifest.
+
+    ``collection2=None`` (or passing ``collection1`` itself) builds a
+    self-join workspace holding one collection.  A cross-join workspace
+    requires distinctly named collections, since artifact files are
+    keyed by collection name.  ``spec.compress_inverted`` is rejected:
+    the v1 format persists uncompressed i-cells only (compression is a
+    query-time layout choice, re-derivable from the stored cells).
+    """
+    spec = spec or EnvironmentSpec()
+    if spec.compress_inverted:
+        raise WorkspaceError(
+            "workspaces persist uncompressed inverted files only; "
+            "build the workspace uncompressed and choose compression at load time"
+        )
+    if not spec.build_inverted:
+        raise WorkspaceError("a workspace always stores inverted files")
+    if collection2 is collection1:
+        collection2 = None
+    if collection2 is not None and collection2.name == collection1.name:
+        raise WorkspaceError(
+            f"cross-join collections must have distinct names, both are "
+            f"{collection1.name!r}"
+        )
+
+    factory = EnvironmentFactory(collection1, collection2, spec)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    sides = (1,) if factory.self_join else (1, 2)
+    collections: dict[str, dict[str, Any]] = {}
+    file_names: list[str] = []
+    for side in sides:
+        collection = factory.collection(side)
+        save_collection(collection, directory, clamp_weights=clamp_weights)
+        save_inverted(factory.inverted(side), directory, clamp_weights=clamp_weights)
+        save_btree(factory.btree(side), directory / f"{collection.name}.btree")
+        file_names.extend(collection_files(collection.name))
+        collections[f"c{side}"] = {
+            "name": collection.name,
+            "n_documents": collection.n_documents,
+            "avg_terms_per_doc": float(collection.avg_terms_per_document),
+            "n_distinct_terms": collection.n_distinct_terms,
+            "total_bytes": collection.total_bytes,
+        }
+
+    vocabulary_name: str | None = None
+    if vocabulary is not None:
+        vocabulary.save(directory / VOCABULARY_NAME)
+        vocabulary_name = VOCABULARY_NAME
+        file_names.append(VOCABULARY_NAME)
+
+    files = {
+        file_name: {
+            "bytes": (directory / file_name).stat().st_size,
+            "sha256": file_checksum(directory / file_name),
+        }
+        for file_name in file_names
+    }
+    manifest = build_manifest(
+        page_bytes=spec.page_bytes,
+        btree_order=spec.btree_order,
+        self_join=factory.self_join,
+        collections=collections,
+        files=files,
+        vocabulary=vocabulary_name,
+    )
+    save_manifest(manifest, directory)
+    return manifest
+
+
+__all__ = ["build_workspace", "collection_files"]

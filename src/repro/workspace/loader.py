@@ -1,0 +1,201 @@
+"""Load and verify workspaces: query-time construction without rebuild.
+
+:func:`load_workspace` turns a workspace directory into a pre-populated
+:class:`~repro.core.environment.EnvironmentFactory`: collections come
+off the packed d-cell files, inverted files off the i-cell files and
+term trees off the ``.btree`` leaf images — so the factory's expensive
+derivation paths (tokenisation, inversion, bulk loading) never run.
+``factory.derivation_events()`` stays empty, which is the checkable
+meaning of "build once, join many".
+
+:func:`verify_workspace` is the paranoid counterpart: instead of
+trusting the manifest it re-checksums every file, cross-checks the
+manifest's collection statistics against the loaded data, replays the
+inverted files against the collections, and re-bulk-loads fresh term
+trees to prove the stored ones reproduce the exact
+:meth:`~repro.index.bptree.BPlusTree.bulk_load` layout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.environment import EnvironmentFactory, EnvironmentSpec
+from repro.errors import ReproError, WorkspaceError
+from repro.index.bptree import BPlusTree
+from repro.index.btree_io import layout_signature, load_btree
+from repro.index.inverted import InvertedFile
+from repro.text.collection import DocumentCollection
+from repro.text.serialization import load_collection, load_inverted
+from repro.text.vocabulary import Vocabulary
+from repro.workspace.manifest import file_checksum, load_manifest
+
+
+def _roles(manifest: Mapping[str, Any]) -> tuple[str, ...]:
+    return ("c1",) if manifest["self_join"] else ("c1", "c2")
+
+
+def _check_sizes(directory: Path, manifest: Mapping[str, Any]) -> None:
+    """Cheap pre-flight: every manifest file exists with the recorded size."""
+    for file_name, entry in manifest["files"].items():
+        path = directory / file_name
+        if not path.is_file():
+            raise WorkspaceError(f"workspace is missing artifact file {path}")
+        actual_bytes = path.stat().st_size
+        if actual_bytes != entry["bytes"]:
+            raise WorkspaceError(
+                f"{path}: has {actual_bytes} bytes, manifest records "
+                f"{entry['bytes']} (truncated or replaced artifact)"
+            )
+
+
+def _load_side(
+    directory: Path, manifest: Mapping[str, Any], role: str
+) -> tuple[DocumentCollection, InvertedFile, BPlusTree]:
+    """Load one collection's artifacts, cross-checking the manifest."""
+    entry = manifest["collections"][role]
+    name = entry["name"]
+    collection = load_collection(name, directory)
+    if collection.n_documents != entry["n_documents"]:
+        raise WorkspaceError(
+            f"collection {name!r} loads {collection.n_documents} documents, "
+            f"manifest records {entry['n_documents']}"
+        )
+    inverted = load_inverted(name, directory)
+    btree = load_btree(directory / f"{name}.btree")
+    if btree.order != manifest["btree_order"]:
+        raise WorkspaceError(
+            f"{name}.btree stores order {btree.order}, manifest records "
+            f"{manifest['btree_order']}"
+        )
+    return collection, inverted, btree
+
+
+def load_workspace(directory: str | Path) -> EnvironmentFactory:
+    """A factory pre-populated from a workspace directory.
+
+    Returns an :class:`~repro.core.environment.EnvironmentFactory` whose
+    inverted files and term trees were read from disk (its build log
+    shows ``load:`` events only — no ``invert:`` / ``bulk-load:``); the
+    workspace vocabulary, when present, is attached as
+    ``factory.vocabulary``.  Malformed directories raise
+    :class:`~repro.errors.WorkspaceError` (or the narrower
+    :class:`~repro.errors.DocumentFormatError` /
+    :class:`~repro.errors.BPlusTreeError` with byte-level context).
+    """
+    directory = Path(directory)
+    manifest = load_manifest(directory)
+    _check_sizes(directory, manifest)
+    spec = EnvironmentSpec(
+        page_bytes=manifest["page_bytes"], btree_order=manifest["btree_order"]
+    )
+    sides = [_load_side(directory, manifest, role) for role in _roles(manifest)]
+    collection2 = None if manifest["self_join"] else sides[1][0]
+    factory = EnvironmentFactory(sides[0][0], collection2, spec)
+    for side_number, (_, inverted, btree) in enumerate(sides, start=1):
+        factory.preload_side(side_number, inverted, btree)
+    if manifest["vocabulary"] is not None:
+        factory.vocabulary = Vocabulary.load(directory / manifest["vocabulary"])
+    return factory
+
+
+def verify_workspace(directory: str | Path) -> list[str]:
+    """Deep-check a workspace; returns human-readable problems (empty = ok).
+
+    Four layers, cheapest first: manifest well-formedness, per-file
+    SHA-256 checksums, manifest statistics against the loaded
+    collections, and semantic replay — every inverted file is verified
+    against its collection, every stored tree's layout is compared
+    node-for-node against a fresh bulk load, and the vocabulary (when
+    present) must cover every term number the collections use.
+    """
+    directory = Path(directory)
+    problems: list[str] = []
+    try:
+        manifest = load_manifest(directory)
+    except ReproError as exc:
+        return [str(exc)]
+
+    for file_name, entry in sorted(manifest["files"].items()):
+        path = directory / file_name
+        if not path.is_file():
+            problems.append(f"missing artifact file {file_name}")
+            continue
+        actual_bytes = path.stat().st_size
+        if actual_bytes != entry["bytes"]:
+            problems.append(
+                f"{file_name}: has {actual_bytes} bytes, manifest records "
+                f"{entry['bytes']}"
+            )
+            continue
+        digest = file_checksum(path)
+        if digest != entry["sha256"]:
+            problems.append(
+                f"{file_name}: checksum {digest[:12]}… does not match the "
+                f"manifest ({entry['sha256'][:12]}…)"
+            )
+    if problems:
+        return problems
+
+    max_term = -1
+    for role in _roles(manifest):
+        entry = manifest["collections"][role]
+        name = entry["name"]
+        try:
+            collection, inverted, btree = _load_side(directory, manifest, role)
+        except ReproError as exc:
+            problems.append(f"collection {name!r} does not load: {exc}")
+            continue
+        for field_name, actual in (
+            ("n_documents", collection.n_documents),
+            ("n_distinct_terms", collection.n_distinct_terms),
+            ("total_bytes", collection.total_bytes),
+        ):
+            if actual != entry[field_name]:
+                problems.append(
+                    f"collection {name!r}: loaded {field_name}={actual}, "
+                    f"manifest records {entry[field_name]}"
+                )
+        if abs(collection.avg_terms_per_document - entry["avg_terms_per_doc"]) > 1e-9:
+            problems.append(
+                f"collection {name!r}: loaded avg_terms_per_doc="
+                f"{collection.avg_terms_per_document!r}, manifest records "
+                f"{entry['avg_terms_per_doc']!r}"
+            )
+        try:
+            inverted.verify_against(collection)
+        except ReproError as exc:
+            problems.append(
+                f"inverted file of {name!r} disagrees with its collection: {exc}"
+            )
+        fresh = BPlusTree.bulk_load(
+            [
+                (inv_entry.term, (record_id, inv_entry.document_frequency))
+                for record_id, inv_entry in enumerate(inverted.entries)
+            ],
+            order=manifest["btree_order"],
+        )
+        if layout_signature(btree) != layout_signature(fresh):
+            problems.append(
+                f"{name}.btree layout differs from a fresh bulk load "
+                f"(stored {layout_signature(btree)}, fresh {layout_signature(fresh)})"
+            )
+        if collection.terms():
+            max_term = max(max_term, max(collection.terms()))
+
+    if manifest["vocabulary"] is not None and not problems:
+        try:
+            vocabulary = Vocabulary.load(directory / manifest["vocabulary"])
+        except ReproError as exc:
+            problems.append(f"vocabulary does not load: {exc}")
+        else:
+            if max_term >= len(vocabulary):
+                problems.append(
+                    f"vocabulary holds {len(vocabulary)} terms but the "
+                    f"collections use term number {max_term}"
+                )
+    return problems
+
+
+__all__ = ["load_workspace", "verify_workspace"]

@@ -1,0 +1,203 @@
+"""The workspace manifest: one schema-tagged JSON catalog per dataset.
+
+A workspace directory is self-describing: ``workspace.json`` records the
+schema version, the layout parameters (page size, tree order), per-
+collection statistics and a SHA-256 checksum for every artifact file.
+:func:`validate_manifest` is deliberately strict — an unknown schema
+tag, a missing section or a wrongly-typed field raises
+:class:`~repro.errors.WorkspaceError` — because a manifest that *looks*
+loadable but lies about its files is worse than no manifest.
+
+:func:`manifest_fingerprint` condenses the checksums into one short hex
+tag; the experiment engine mixes it into sweep-point memo keys so
+results computed over different workspace contents never share a cache
+entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import WorkspaceError
+
+#: versioned schema tag embedded in (and demanded of) every manifest
+WORKSPACE_SCHEMA = "repro-workspace/1"
+
+#: file name of the manifest inside a workspace directory
+MANIFEST_NAME = "workspace.json"
+
+#: file name of the optional shared vocabulary inside a workspace
+VOCABULARY_NAME = "vocabulary.json"
+
+_COLLECTION_FIELDS = (
+    ("name", str),
+    ("n_documents", int),
+    ("avg_terms_per_doc", float),
+    ("n_distinct_terms", int),
+    ("total_bytes", int),
+)
+
+
+def file_checksum(path: str | Path) -> str:
+    """Hex SHA-256 of one artifact file's bytes."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def build_manifest(
+    *,
+    page_bytes: int,
+    btree_order: int,
+    self_join: bool,
+    collections: Mapping[str, Mapping[str, Any]],
+    files: Mapping[str, Mapping[str, Any]],
+    vocabulary: str | None = None,
+) -> dict[str, Any]:
+    """Assemble and validate a manifest dictionary.
+
+    ``collections`` maps the roles (``"c1"``, and ``"c2"`` unless
+    ``self_join``) to their statistics; ``files`` maps artifact file
+    names to ``{"bytes": int, "sha256": hex}`` entries.
+    """
+    manifest = {
+        "schema": WORKSPACE_SCHEMA,
+        "page_bytes": page_bytes,
+        "btree_order": btree_order,
+        "self_join": self_join,
+        "collections": {role: dict(entry) for role, entry in collections.items()},
+        "files": {name: dict(entry) for name, entry in files.items()},
+        "vocabulary": vocabulary,
+    }
+    validate_manifest(manifest)
+    return manifest
+
+
+def validate_manifest(manifest: Mapping[str, Any]) -> None:
+    """Raise :class:`~repro.errors.WorkspaceError` unless well-formed."""
+    if not isinstance(manifest, Mapping):
+        raise WorkspaceError("workspace manifest must be a mapping")
+    schema = manifest.get("schema")
+    if schema != WORKSPACE_SCHEMA:
+        raise WorkspaceError(
+            f"unsupported workspace schema {schema!r}, expected {WORKSPACE_SCHEMA!r}"
+        )
+    for key, kind in (
+        ("page_bytes", int),
+        ("btree_order", int),
+        ("self_join", bool),
+        ("collections", Mapping),
+        ("files", Mapping),
+    ):
+        if not isinstance(manifest.get(key), kind):
+            raise WorkspaceError(
+                f"manifest field {key!r} missing or not a {kind.__name__}"
+            )
+    if manifest["page_bytes"] <= 0:
+        raise WorkspaceError(f"page_bytes must be positive, got {manifest['page_bytes']}")
+    if manifest["btree_order"] < 3:
+        raise WorkspaceError(
+            f"btree_order must be at least 3, got {manifest['btree_order']}"
+        )
+    vocabulary = manifest.get("vocabulary")
+    if vocabulary is not None and not isinstance(vocabulary, str):
+        raise WorkspaceError("manifest field 'vocabulary' must be a file name or null")
+
+    roles = ("c1",) if manifest["self_join"] else ("c1", "c2")
+    collections = manifest["collections"]
+    unknown = sorted(set(collections) - set(roles))
+    if unknown:
+        raise WorkspaceError(f"manifest lists unknown collection roles: {unknown}")
+    for role in roles:
+        entry = collections.get(role)
+        if not isinstance(entry, Mapping):
+            raise WorkspaceError(f"manifest is missing collection role {role!r}")
+        for field_name, kind in _COLLECTION_FIELDS:
+            value = entry.get(field_name)
+            if kind is float and isinstance(value, int):
+                value = float(value)
+            if not isinstance(value, kind) or isinstance(value, bool):
+                raise WorkspaceError(
+                    f"collection {role!r} field {field_name!r} missing or "
+                    f"not a {kind.__name__}"
+                )
+    if not manifest["self_join"]:
+        names = {collections[role]["name"] for role in roles}
+        if len(names) != len(roles):
+            raise WorkspaceError(
+                "a cross-join workspace needs distinctly named collections, "
+                f"got {sorted(collections[role]['name'] for role in roles)}"
+            )
+
+    for file_name, entry in manifest["files"].items():
+        if not isinstance(file_name, str) or not file_name:
+            raise WorkspaceError("manifest file names must be non-empty strings")
+        if not isinstance(entry, Mapping):
+            raise WorkspaceError(f"manifest file entry {file_name!r} is not a mapping")
+        if not isinstance(entry.get("bytes"), int) or isinstance(entry.get("bytes"), bool):
+            raise WorkspaceError(f"file {file_name!r} entry has no integer 'bytes'")
+        digest = entry.get("sha256")
+        if not isinstance(digest, str) or len(digest) != 64:
+            raise WorkspaceError(f"file {file_name!r} entry has no hex 'sha256'")
+    if vocabulary is not None and vocabulary not in manifest["files"]:
+        raise WorkspaceError(
+            f"manifest names vocabulary {vocabulary!r} but does not checksum it"
+        )
+
+
+def save_manifest(manifest: Mapping[str, Any], directory: str | Path) -> Path:
+    """Validate and write the manifest into a workspace directory."""
+    validate_manifest(manifest)
+    path = Path(directory) / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifest(directory: str | Path) -> dict[str, Any]:
+    """Read and validate the manifest of a workspace directory."""
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise WorkspaceError(f"cannot read workspace manifest {path}: {exc}") from exc
+    validate_manifest(raw)
+    return raw
+
+
+def manifest_fingerprint(manifest: Mapping[str, Any]) -> str:
+    """A short stable tag over the manifest's contents and checksums.
+
+    Two workspaces with byte-identical artifacts *and* the same layout
+    parameters share a fingerprint; any content change — one flipped bit
+    in one cell file, a different page size or tree order — produces a
+    different one.  Suitable as the ``dataset`` component of
+    :class:`~repro.experiments.engine.SweepPoint` memo keys.
+    """
+    validate_manifest(manifest)
+    digest = hashlib.sha256()
+    # The layout parameters change physical page counts (hence measured
+    # I/O) even over byte-identical cell files, so they are part of the
+    # dataset's identity.
+    header = (
+        f"{manifest['schema']};{manifest['page_bytes']};"
+        f"{manifest['btree_order']};{manifest['self_join']}"
+    )
+    digest.update(header.encode("ascii"))
+    for file_name in sorted(manifest["files"]):
+        digest.update(file_name.encode("utf-8"))
+        digest.update(manifest["files"][file_name]["sha256"].encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+__all__ = [
+    "MANIFEST_NAME",
+    "VOCABULARY_NAME",
+    "WORKSPACE_SCHEMA",
+    "build_manifest",
+    "file_checksum",
+    "load_manifest",
+    "manifest_fingerprint",
+    "save_manifest",
+    "validate_manifest",
+]

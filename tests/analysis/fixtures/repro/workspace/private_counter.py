@@ -1,0 +1,16 @@
+"""Fixture: deliberate RA-CONTEXT/RA-CORE-IO violations in a workspace loader."""
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.iostats import IOStats
+
+
+def load_with_private_books(directory, collection):
+    """A loader that counts its own pages — flagged (RA-CONTEXT)."""
+    warm_stats = IOStats()
+    warm_stats.record(collection.name, sequential=1)
+    return warm_stats
+
+
+def load_through_factory(factory):
+    """Loaders that only preload factory artifacts are fine — must pass."""
+    return factory.derivation_events()

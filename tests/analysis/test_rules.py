@@ -62,6 +62,19 @@ class TestRuleFiring:
         # on_the_books (line 20) only derives views of the shared counter
         assert all(f.line < 20 for f in found)
 
+    def test_context_rule_covers_workspace(self):
+        # A workspace loader keeping private I/O books would let "warm"
+        # environments report different numbers than cold ones.
+        _, found = findings_for("workspace/private_counter.py")
+        rule_ids = {f.rule_id for f in found}
+        assert "RA-CONTEXT" in rule_ids
+        assert "RA-CORE-IO" in rule_ids  # the physical-layer import
+        context = [f for f in found if f.rule_id == "RA-CONTEXT"]
+        assert [f.line for f in context] == [9]
+        assert "private IOStats" in context[0].message
+        # load_through_factory (line 15+) stays clean
+        assert all(f.line < 15 for f in found)
+
     def test_frozen_rule(self):
         _, found = findings_for("frozen_bad.py", "RA-FROZEN")
         assert [f.line for f in found] == [7]

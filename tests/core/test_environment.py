@@ -1,0 +1,139 @@
+"""EnvironmentSpec / EnvironmentFactory: build once, assemble many."""
+
+import pytest
+
+from repro.core import EnvironmentFactory, EnvironmentSpec
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.core.hhnl import run_hhnl
+from repro.core.vvm import run_vvm
+from repro.cost.params import SystemParams
+from repro.errors import JoinError
+from repro.index.inverted import InvertedFile
+from repro.storage.pages import PageGeometry
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+
+@pytest.fixture(scope="module")
+def collections():
+    c1 = generate_collection(
+        SyntheticSpec("env-c1", n_documents=35, avg_terms_per_doc=9,
+                      vocabulary_size=120, seed=5)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("env-c2", n_documents=25, avg_terms_per_doc=7,
+                      vocabulary_size=120, seed=6)
+    )
+    return c1, c2
+
+
+class TestSpec:
+    def test_defaults_match_direct_construction_geometry(self):
+        assert EnvironmentSpec().geometry() == PageGeometry()
+
+    def test_nonpositive_page_bytes_rejected(self):
+        with pytest.raises(JoinError):
+            EnvironmentSpec(page_bytes=0)
+
+    def test_tiny_btree_order_rejected(self):
+        with pytest.raises(JoinError):
+            EnvironmentSpec(btree_order=2)
+
+    def test_spec_is_frozen(self):
+        spec = EnvironmentSpec()
+        with pytest.raises(AttributeError):
+            spec.page_bytes = 99
+
+
+class TestFactoryAssembly:
+    def test_create_matches_direct_construction(self, collections):
+        c1, c2 = collections
+        spec = TextJoinSpec(lam=12)
+        system = SystemParams(buffer_pages=64)
+        for executor in (run_hhnl, run_vvm):
+            direct = executor(JoinEnvironment(c1, c2, PageGeometry()), spec, system)
+            warmed = executor(EnvironmentFactory(c1, c2).create(), spec, system)
+            assert warmed.matches == direct.matches
+            assert warmed.io.sequential_reads == direct.io.sequential_reads
+            assert warmed.io.random_reads == direct.io.random_reads
+            assert warmed.io.by_extent == direct.io.by_extent
+
+    def test_each_create_gets_fresh_iostats(self, collections):
+        c1, c2 = collections
+        factory = EnvironmentFactory(c1, c2)
+        first = factory.create()
+        run_hhnl(first, TextJoinSpec(lam=12), SystemParams(buffer_pages=64))
+        assert first.disk.stats.total_reads > 0
+        second = factory.create()
+        assert second.disk.stats.total_reads == 0
+        assert second.disk is not first.disk
+
+    def test_environments_share_the_immutable_artifacts(self, collections):
+        c1, c2 = collections
+        factory = EnvironmentFactory(c1, c2)
+        first, second = factory.create(), factory.create()
+        assert first.inverted1 is second.inverted1
+        assert first.btree1 is second.btree1
+        assert first.stats1 is second.stats1
+
+    def test_warm_create_adds_no_build_events(self, collections):
+        c1, c2 = collections
+        factory = EnvironmentFactory(c1, c2)
+        factory.create()
+        cold_counts = factory.build_counts()
+        assert cold_counts == {
+            "layout": 4, "invert": 2, "bulk-load": 2, "stats": 2,
+        }
+        factory.create()
+        assert factory.build_counts() == cold_counts
+
+    def test_self_join_aliases_side_two(self, collections):
+        c1, _ = collections
+        factory = EnvironmentFactory(c1)
+        assert factory.self_join
+        assert factory.inverted(2) is factory.inverted(1)
+        assert factory.btree(2) is factory.btree(1)
+        environment = factory.create()
+        assert environment.docs2 is environment.docs1
+        assert factory.build_counts() == {
+            "layout": 2, "invert": 1, "bulk-load": 1, "stats": 1,
+        }
+
+    def test_invalid_side_rejected(self, collections):
+        c1, _ = collections
+        with pytest.raises(JoinError, match="side"):
+            EnvironmentFactory(c1).collection(3)
+
+
+class TestPreload:
+    def test_preloaded_artifacts_are_used_verbatim(self, collections):
+        c1, c2 = collections
+        donor = EnvironmentFactory(c1, c2)
+        inverted, btree = donor.inverted(1), donor.btree(1)
+        factory = EnvironmentFactory(c1, c2)
+        factory.preload_side(1, inverted, btree)
+        assert factory.inverted(1) is inverted
+        assert factory.btree(1) is btree
+        assert factory.build_log == ["load:c1.inv", "load:c1.btree"]
+        assert factory.derivation_events() == []
+
+    def test_preload_refused_after_first_use(self, collections):
+        c1, c2 = collections
+        factory = EnvironmentFactory(c1, c2)
+        factory.inverted(1)
+        with pytest.raises(JoinError, match="already exist"):
+            factory.preload_side(1, InvertedFile("env-c1", []),
+                                 factory.btree(2))
+
+    def test_self_join_factory_preloads_side_one_only(self, collections):
+        c1, _ = collections
+        donor = EnvironmentFactory(c1)
+        factory = EnvironmentFactory(c1)
+        with pytest.raises(JoinError, match="side 1 only"):
+            factory.preload_side(2, donor.inverted(1), donor.btree(1))
+
+    def test_invalid_side_number_rejected(self, collections):
+        c1, c2 = collections
+        donor = EnvironmentFactory(c1, c2)
+        factory = EnvironmentFactory(c1, c2)
+        with pytest.raises(JoinError, match="side must be 1 or 2"):
+            factory.preload_side(0, donor.inverted(1), donor.btree(1))

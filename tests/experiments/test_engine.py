@@ -46,6 +46,38 @@ class TestSweepPoint:
         point = _point(stats=WSJ, other=FR, variable="B", value=2_000.0)
         assert point.label == "WSJ|FR|B=2000.0"
 
+    def test_dataset_tag_is_part_of_the_key(self):
+        from dataclasses import replace
+
+        base = _point()
+        tagged = replace(base, dataset="66d3aa0012bc34de")
+        assert base.key != tagged.key
+        assert base.key == replace(base, dataset="").key
+
+    def test_different_datasets_get_separate_cache_entries(self):
+        from dataclasses import replace
+
+        base = _point()
+        spec = SweepSpec(
+            "tagged",
+            (base,
+             replace(base, dataset="fingerprint-a"),
+             replace(base, dataset="fingerprint-b")),
+        )
+        engine = SweepEngine()
+        reports = engine.evaluate(spec)
+        # same analytical inputs -> same numbers, but three cache slots
+        assert engine.misses == 3 and engine.hits == 0
+        assert reports[0].winner() == reports[1].winner() == reports[2].winner()
+
+    def test_report_for_accepts_a_dataset_tag(self):
+        engine = SweepEngine()
+        side = JoinSide(WSJ)
+        engine.report_for(side, side, dataset="fingerprint-a")
+        engine.report_for(side, side, dataset="fingerprint-a")
+        engine.report_for(side, side, dataset="fingerprint-b")
+        assert engine.misses == 2 and engine.hits == 1
+
 
 class TestEvaluate:
     def test_reports_in_point_order_with_labels(self):

@@ -1,0 +1,105 @@
+"""Persisted term trees: leaves on disk, bulk-load layout on reload."""
+
+import pytest
+
+from repro.errors import BPlusTreeError
+from repro.index.btree_io import (
+    BTREE_MAGIC,
+    layout_signature,
+    load_btree,
+    save_btree,
+)
+from repro.index.bptree import BPlusTree
+
+
+def term_tree(n, order=64):
+    """A tree shaped like the environment's: (address, df) int pairs."""
+    items = [(term, (term * 9, term % 7 + 1)) for term in range(n)]
+    return BPlusTree.bulk_load(items, order=order)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [0, 1, 5, 64, 65, 200, 1000])
+    def test_layout_identical_to_bulk_load(self, n, tmp_path):
+        tree = term_tree(n)
+        loaded = load_btree(save_btree(tree, tmp_path / "t.btree"))
+        assert layout_signature(loaded) == layout_signature(tree)
+        assert loaded.order == tree.order
+        assert len(loaded) == len(tree)
+
+    @pytest.mark.parametrize("order", [3, 4, 16, 64])
+    def test_every_cell_survives(self, order, tmp_path):
+        tree = term_tree(150, order=order)
+        loaded = load_btree(save_btree(tree, tmp_path / "t.btree"))
+        for term in range(150):
+            assert loaded.search(term) == (term * 9, term % 7 + 1)
+        loaded.validate()
+
+    def test_empty_tree_roundtrips(self, tmp_path):
+        loaded = load_btree(save_btree(BPlusTree(order=8), tmp_path / "t.btree"))
+        assert len(loaded) == 0
+        assert loaded.order == 8
+
+    def test_magic_leads_the_file(self, tmp_path):
+        path = save_btree(term_tree(10), tmp_path / "t.btree")
+        assert path.read_bytes()[:4] == BTREE_MAGIC
+
+
+class TestValueDiscipline:
+    def test_non_pair_values_rejected(self, tmp_path):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a string, not a cell")
+        with pytest.raises(BPlusTreeError, match="int pairs only"):
+            save_btree(tree, tmp_path / "t.btree")
+
+    def test_oversized_cell_rejected(self, tmp_path):
+        tree = BPlusTree(order=4)
+        tree.insert(1, (1 << 32, 2))
+        with pytest.raises(BPlusTreeError, match="u32"):
+            save_btree(tree, tmp_path / "t.btree")
+
+
+class TestCorruption:
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        return save_btree(term_tree(200, order=8), tmp_path / "t.btree")
+
+    def test_truncated_header(self, saved):
+        saved.write_bytes(saved.read_bytes()[:6])
+        with pytest.raises(BPlusTreeError, match="truncated header"):
+            load_btree(saved)
+
+    def test_wrong_magic(self, saved):
+        saved.write_bytes(b"XXXX" + saved.read_bytes()[4:])
+        with pytest.raises(BPlusTreeError, match="not a textjoin"):
+            load_btree(saved)
+
+    def test_truncated_leaf_names_its_index(self, saved):
+        saved.write_bytes(saved.read_bytes()[:-5])
+        with pytest.raises(BPlusTreeError, match=r"leaf \d+ at byte \d+"):
+            load_btree(saved)
+
+    def test_trailing_bytes_rejected(self, saved):
+        saved.write_bytes(saved.read_bytes() + b"\x00" * 3)
+        with pytest.raises(BPlusTreeError, match="trailing bytes"):
+            load_btree(saved)
+
+    def test_stored_order_below_minimum(self, saved):
+        data = bytearray(saved.read_bytes())
+        data[4:8] = (2).to_bytes(4, "little")
+        saved.write_bytes(bytes(data))
+        with pytest.raises(BPlusTreeError, match="below the minimum"):
+            load_btree(saved)
+
+    def test_scrambled_keys_fail_validation(self, saved):
+        # Swap the first two cells' terms so leaf keys stop increasing;
+        # lengths stay right, only validate() can notice.
+        data = bytearray(saved.read_bytes())
+        first_cell = 12 + 4  # header + first leaf header
+        key0 = data[first_cell : first_cell + 4]
+        key1 = data[first_cell + 12 : first_cell + 16]
+        data[first_cell : first_cell + 4] = key1
+        data[first_cell + 12 : first_cell + 16] = key0
+        saved.write_bytes(bytes(data))
+        with pytest.raises(BPlusTreeError, match="invalid tree structure"):
+            load_btree(saved)

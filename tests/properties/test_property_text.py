@@ -9,6 +9,7 @@ from repro.index.inverted import InvertedFile
 from repro.text.collection import DocumentCollection
 from repro.text.document import Document
 from repro.text.similarity import cosine_similarity, dot_product
+from repro.text.vocabulary import Vocabulary
 
 counts_strategy = st.dictionaries(
     keys=st.integers(min_value=0, max_value=60),
@@ -77,3 +78,25 @@ class TestInvertedFileProperties:
     def test_entry_count_is_distinct_terms(self, counts_list):
         collection = build_collection(counts_list)
         assert InvertedFile.build(collection).n_terms == collection.n_distinct_terms
+
+
+# arbitrary non-empty unicode term strings, deduplicated but order-preserving
+terms_strategy = st.lists(
+    st.text(min_size=1, max_size=12), max_size=40, unique=True
+)
+
+
+class TestVocabularyPersistenceProperties:
+    @given(terms=terms_strategy, frozen=st.booleans())
+    def test_save_load_is_identity(self, terms, frozen, tmp_path_factory):
+        vocab = Vocabulary()
+        vocab.add_all(terms)
+        if frozen:
+            vocab.freeze()
+        path = tmp_path_factory.mktemp("vocab") / "vocab.json"
+        loaded = Vocabulary.load(vocab.save(path))
+        assert list(loaded) == terms
+        assert loaded.frozen == vocab.frozen
+        for number, term in enumerate(terms):
+            assert loaded.number(term) == number
+            assert loaded.term(number) == term

@@ -1,0 +1,95 @@
+"""SQL over a workspace-backed catalog: same rows, zero dataset builds."""
+
+import pytest
+
+from repro.cost.params import SystemParams
+from repro.sql.catalog import Catalog, Relation
+from repro.sql.executor import execute
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+from repro.workspace import build_workspace, workspace_catalog
+
+SYSTEM = SystemParams(buffer_pages=64)
+
+QUERY = (
+    "SELECT R1.Id, R2.Id FROM R1, R2 "
+    "WHERE R1.Doc SIMILAR_TO(3) R2.Doc"
+)
+
+
+@pytest.fixture(scope="module")
+def collections():
+    c1 = generate_collection(
+        SyntheticSpec("c1", n_documents=30, avg_terms_per_doc=8,
+                      vocabulary_size=120, seed=81)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("c2", n_documents=20, avg_terms_per_doc=8,
+                      vocabulary_size=120, seed=82)
+    )
+    return c1, c2
+
+
+def memory_catalog(c1, c2):
+    catalog = Catalog()
+    catalog.register(
+        Relation.from_rows(
+            "R1", [{"Id": i} for i in range(c1.n_documents)]
+        ).bind_text("Doc", c1)
+    )
+    catalog.register(
+        Relation.from_rows(
+            "R2", [{"Id": i} for i in range(c2.n_documents)]
+        ).bind_text("Doc", c2)
+    )
+    return catalog
+
+
+class TestWorkspaceBackedQueries:
+    def test_same_rows_as_in_memory(self, tmp_path, collections):
+        c1, c2 = collections
+        build_workspace(tmp_path, c1, c2)
+        catalog, _factory = workspace_catalog(tmp_path)
+        from_workspace = execute(QUERY, catalog, SYSTEM)
+        in_memory = execute(QUERY, memory_catalog(c1, c2), SYSTEM)
+        assert from_workspace.rows == in_memory.rows
+        assert from_workspace.columns == in_memory.columns
+        assert from_workspace.algorithm == in_memory.algorithm
+
+    def test_workspace_query_builds_nothing(self, tmp_path, collections):
+        c1, c2 = collections
+        build_workspace(tmp_path, c1, c2)
+        catalog, factory = workspace_catalog(tmp_path)
+        result = execute(QUERY, catalog, SYSTEM)
+        assert result.extras["dataset_build_events"] == 0
+        # the registered factory served the plan and stayed load-only
+        assert factory.derivation_events() == []
+
+    def test_in_memory_cross_join_pays_the_build(self, collections):
+        c1, c2 = collections
+        result = execute(QUERY, memory_catalog(c1, c2), SYSTEM)
+        # invert x2 + bulk-load x2 for a cross join built from scratch
+        assert result.extras["dataset_build_events"] == 4
+
+    def test_repeated_workspace_queries_stay_warm(self, tmp_path, collections):
+        c1, c2 = collections
+        build_workspace(tmp_path, c1, c2)
+        catalog, factory = workspace_catalog(tmp_path)
+        for _ in range(3):
+            result = execute(QUERY, catalog, SYSTEM)
+            assert result.extras["dataset_build_events"] == 0
+        assert factory.derivation_events() == []
+
+    def test_materialized_subset_rebuilds(self, tmp_path, collections):
+        # A selection on the inner side materializes a renumbered
+        # sub-collection; the plan no longer joins the factory's exact
+        # collection objects, so the subset is derived per query.
+        c1, c2 = collections
+        build_workspace(tmp_path, c1, c2)
+        catalog, _factory = workspace_catalog(tmp_path)
+        result = execute(
+            "SELECT R1.Id, R2.Id FROM R1, R2 "
+            "WHERE R1.Id < 10 AND R1.Doc SIMILAR_TO(3) R2.Doc",
+            catalog,
+            SYSTEM,
+        )
+        assert result.extras["dataset_build_events"] > 0

@@ -307,3 +307,77 @@ class TestConformance:
         out = capsys.readouterr().out
         assert "FAIL" in out
         assert "reproduce:" in out
+
+
+class TestWorkspace:
+    BUILD = ["--inner-docs", "30", "--outer-docs", "20", "--terms", "8",
+             "--vocab", "80", "--seed", "4"]
+
+    def test_build_then_inspect_then_verify(self, capsys, tmp_path):
+        directory = str(tmp_path / "ws")
+        assert main(["workspace", "build", directory] + self.BUILD) == 0
+        out = capsys.readouterr().out
+        assert "built workspace" in out
+        assert "fingerprint" in out
+
+        assert main(["workspace", "inspect", directory]) == 0
+        out = capsys.readouterr().out
+        assert "repro-workspace/1" in out
+        assert "c1" in out and "c2" in out
+
+        assert main(["workspace", "verify", directory]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_inspect_json_is_the_manifest(self, capsys, tmp_path):
+        import json
+
+        directory = str(tmp_path / "ws")
+        assert main(["workspace", "build", directory] + self.BUILD) == 0
+        capsys.readouterr()
+        assert main(["workspace", "inspect", directory, "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["schema"] == "repro-workspace/1"
+        assert set(manifest["collections"]) == {"c1", "c2"}
+
+    def test_self_join_build(self, capsys, tmp_path):
+        directory = str(tmp_path / "ws")
+        assert main(
+            ["workspace", "build", directory, "--self-join"] + self.BUILD
+        ) == 0
+        capsys.readouterr()
+        assert main(["workspace", "verify", directory]) == 0
+
+    def test_verify_fails_on_corruption(self, capsys, tmp_path):
+        directory = tmp_path / "ws"
+        assert main(["workspace", "build", str(directory)] + self.BUILD) == 0
+        capsys.readouterr()
+        cells = directory / "c1.docs.cells"
+        data = bytearray(cells.read_bytes())
+        data[3] ^= 0xFF
+        cells.write_bytes(bytes(data))
+        assert main(["workspace", "verify", str(directory)]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out
+        assert "c1.docs.cells" in out
+
+    def test_sql_against_workspace_matches_in_memory(self, capsys, tmp_path):
+        import json
+
+        directory = str(tmp_path / "ws")
+        query = ("SELECT R2.Id, R1.Id FROM R1, R2 "
+                 "WHERE R1.Doc SIMILAR_TO(2) R2.Doc")
+        assert main(["workspace", "build", directory] + self.BUILD) == 0
+        capsys.readouterr()
+        assert main(["sql", query, "--workspace", directory, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert main([
+            "sql", query, "--json",
+            "--inner-docs", "30", "--outer-docs", "20", "--terms", "8",
+            "--vocab", "80", "--seed", "4", "--page-bytes", "4096",
+        ]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert warm["dataset_build_events"] == 0
+        assert cold["dataset_build_events"] == 4
+        for key in ("rows", "columns", "algorithm", "pages_read",
+                    "blocks_emitted", "truncated"):
+            assert warm[key] == cold[key]

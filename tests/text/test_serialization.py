@@ -48,6 +48,33 @@ class TestCellCodec:
             cells_from_bytes(b"\x00\x01\x02")
 
 
+class TestClampBoundaries:
+    """clamp_weights at the exact edges of the 2-byte/3-byte cells."""
+
+    def test_max_occurrences_exactly_needs_no_clamping(self):
+        cells = ((7, MAX_OCCURRENCES),)
+        assert cells_from_bytes(cells_to_bytes(cells)) == cells
+        assert cells_from_bytes(cells_to_bytes(cells, clamp_weights=True)) == cells
+
+    def test_one_past_max_occurrences_raises_without_clamping(self):
+        with pytest.raises(DocumentFormatError):
+            cells_to_bytes(((7, MAX_OCCURRENCES + 1),))
+
+    def test_one_past_max_occurrences_clamps_to_the_boundary(self):
+        data = cells_to_bytes(((7, MAX_OCCURRENCES + 1),), clamp_weights=True)
+        assert cells_from_bytes(data) == ((7, MAX_OCCURRENCES),)
+
+    def test_clamping_never_applies_to_term_numbers(self):
+        # clamp_weights caps *weights*; a term number past 3 bytes is a
+        # vocabulary-corruption signal and must raise either way
+        with pytest.raises(DocumentFormatError):
+            cells_to_bytes(((MAX_TERM_NUMBER + 1, 1),), clamp_weights=True)
+
+    def test_max_term_number_exactly_survives(self):
+        cells = ((MAX_TERM_NUMBER, 1),)
+        assert cells_from_bytes(cells_to_bytes(cells)) == cells
+
+
 class TestCollectionFiles:
     @pytest.fixture(scope="class")
     def collection(self):
@@ -127,3 +154,101 @@ class TestInvertedFiles:
         cells_file = base.with_suffix(base.suffix + ".cells")
         # Section 3: same total size as the collection file
         assert cells_file.stat().st_size == collection.total_bytes
+
+
+class TestCorruptionContext:
+    """Damage reports carry the file, the record index and the byte offset."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        collection = DocumentCollection(
+            "ctx",
+            [Document(0, ((1, 2), (5, 1))), Document(1, ((1, 1), (2, 3))),
+             Document(2, ((0, 1), (4, 2), (9, 1)))],
+        )
+        save_collection(collection, tmp_path)
+        save_inverted(InvertedFile.build(collection), tmp_path)
+        return collection, tmp_path
+
+    def test_bit_flip_in_docs_names_record_and_offset(self, saved, tmp_path):
+        _, directory = saved
+        cells_file = directory / "ctx.docs.cells"
+        data = bytearray(cells_file.read_bytes())
+        # Records 0 and 1 hold two cells each, so record 2 starts at
+        # byte 20.  Zero the term number of its second cell so the
+        # d-cells stop increasing — the length stays valid, only the
+        # per-record decode can notice.
+        start_record2 = 20
+        for byte in range(start_record2 + 5, start_record2 + 8):
+            data[byte] = 0
+        cells_file.write_bytes(bytes(data))
+        with pytest.raises(DocumentFormatError) as excinfo:
+            load_collection("ctx", directory)
+        message = str(excinfo.value)
+        assert "ctx.docs.cells" in message
+        assert "record 2" in message
+        assert f"byte {start_record2}" in message
+
+    def test_truncated_dir_header_names_the_file(self, saved):
+        _, directory = saved
+        dir_file = directory / "ctx.docs.dir"
+        dir_file.write_bytes(dir_file.read_bytes()[:3])
+        with pytest.raises(DocumentFormatError) as excinfo:
+            load_collection("ctx", directory)
+        assert "truncated header" in str(excinfo.value)
+
+    def test_truncated_offset_table_names_the_record(self, saved):
+        _, directory = saved
+        dir_file = directory / "ctx.docs.dir"
+        dir_file.write_bytes(dir_file.read_bytes()[:-2])
+        with pytest.raises(DocumentFormatError) as excinfo:
+            load_collection("ctx", directory)
+        message = str(excinfo.value)
+        assert "offset table truncated" in message
+        assert "record 2" in message
+
+    def test_non_monotonic_directory_names_the_offsets(self, saved):
+        _, directory = saved
+        dir_file = directory / "ctx.docs.dir"
+        data = bytearray(dir_file.read_bytes())
+        # swap the end offsets of records 0 and 1 (u32s after the header)
+        data[8:12], data[12:16] = data[12:16], data[8:12]
+        dir_file.write_bytes(bytes(data))
+        with pytest.raises(DocumentFormatError) as excinfo:
+            load_collection("ctx", directory)
+        assert "precedes the previous record's end" in str(excinfo.value)
+
+    def test_bit_flip_in_inverted_names_entry_and_term(self, saved):
+        collection, directory = saved
+        cells_file = directory / "ctx.inv.cells"
+        data = bytearray(cells_file.read_bytes())
+        # term 0 posts one cell; term 1 posts one cell starting at byte 5.
+        # Zero the doc id of a later entry's second posting so postings
+        # stop increasing — find an entry with >= 2 postings first.
+        inverted = InvertedFile.build(collection)
+        offset = 0
+        target = None
+        for index, entry in enumerate(inverted.entries):
+            if len(entry.postings) >= 2:
+                target = (index, entry.term, offset)
+                break
+            offset += entry.n_bytes
+        assert target is not None
+        index, term, start = target
+        for byte in range(start + 5, start + 8):
+            data[byte] = 0
+        cells_file.write_bytes(bytes(data))
+        with pytest.raises(DocumentFormatError) as excinfo:
+            load_inverted("ctx", directory)
+        message = str(excinfo.value)
+        assert "ctx.inv.cells" in message
+        assert f"entry {index} (term {term})" in message
+        assert f"byte {start}" in message
+
+    def test_truncated_inverted_terms_listing(self, saved):
+        _, directory = saved
+        terms_file = directory / "ctx.inv.terms"
+        terms_file.write_bytes(terms_file.read_bytes()[:-1])
+        with pytest.raises(DocumentFormatError) as excinfo:
+            load_inverted("ctx", directory)
+        assert "term listing" in str(excinfo.value)

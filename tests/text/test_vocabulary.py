@@ -1,9 +1,11 @@
 """The standard term-number mapping and local-numbering translation."""
 
+import json
+
 import pytest
 
 from repro.errors import VocabularyError
-from repro.text.vocabulary import Vocabulary
+from repro.text.vocabulary import VOCABULARY_SCHEMA, Vocabulary
 
 
 class TestInterning:
@@ -78,3 +80,73 @@ class TestRenumbering:
         standard.add_all(["a", "b"])
         standard.freeze()
         assert standard.renumber({7: "b"}) == {7: 1}
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_every_number(self, tmp_path):
+        vocab = Vocabulary()
+        vocab.add_all(["join", "text", "naïve", "query"])
+        path = vocab.save(tmp_path / "vocab.json")
+        loaded = Vocabulary.load(path)
+        assert list(loaded) == list(vocab)
+        for term in vocab:
+            assert loaded.number(term) == vocab.number(term)
+        assert not loaded.frozen
+
+    def test_roundtrip_preserves_frozen_flag(self, tmp_path):
+        vocab = Vocabulary()
+        vocab.add("standard")
+        vocab.freeze()
+        loaded = Vocabulary.load(vocab.save(tmp_path / "vocab.json"))
+        assert loaded.frozen
+        with pytest.raises(VocabularyError):
+            loaded.add("new")
+
+    def test_empty_vocabulary_roundtrips(self, tmp_path):
+        loaded = Vocabulary.load(Vocabulary().save(tmp_path / "vocab.json"))
+        assert len(loaded) == 0
+
+    def test_schema_tag_written(self, tmp_path):
+        path = Vocabulary().save(tmp_path / "vocab.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["schema"] == VOCABULARY_SCHEMA
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "vocab.json"
+        path.write_text(json.dumps({"schema": "other/9", "frozen": False,
+                                    "terms": []}))
+        with pytest.raises(VocabularyError, match="schema"):
+            Vocabulary.load(path)
+
+    def test_unreadable_json_rejected(self, tmp_path):
+        path = tmp_path / "vocab.json"
+        path.write_text("{not json")
+        with pytest.raises(VocabularyError, match="cannot read"):
+            Vocabulary.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(VocabularyError, match="cannot read"):
+            Vocabulary.load(tmp_path / "absent.json")
+
+    def test_duplicate_terms_rejected(self, tmp_path):
+        path = tmp_path / "vocab.json"
+        path.write_text(json.dumps({"schema": VOCABULARY_SCHEMA,
+                                    "frozen": False,
+                                    "terms": ["a", "b", "a"]}))
+        with pytest.raises(VocabularyError, match="duplicate"):
+            Vocabulary.load(path)
+
+    def test_non_string_term_rejected(self, tmp_path):
+        path = tmp_path / "vocab.json"
+        path.write_text(json.dumps({"schema": VOCABULARY_SCHEMA,
+                                    "frozen": False,
+                                    "terms": ["a", 3]}))
+        with pytest.raises(VocabularyError, match="term number 1"):
+            Vocabulary.load(path)
+
+    def test_missing_frozen_flag_rejected(self, tmp_path):
+        path = tmp_path / "vocab.json"
+        path.write_text(json.dumps({"schema": VOCABULARY_SCHEMA,
+                                    "terms": []}))
+        with pytest.raises(VocabularyError, match="frozen"):
+            Vocabulary.load(path)

@@ -1,0 +1,26 @@
+"""Shared fixtures: small synthetic collections and built workspaces."""
+
+import pytest
+
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+from repro.workspace import build_workspace
+
+
+@pytest.fixture(scope="session")
+def collections():
+    c1 = generate_collection(
+        SyntheticSpec("ws-c1", n_documents=40, avg_terms_per_doc=8,
+                      vocabulary_size=150, seed=11)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("ws-c2", n_documents=30, avg_terms_per_doc=10,
+                      vocabulary_size=150, seed=22)
+    )
+    return c1, c2
+
+
+@pytest.fixture()
+def built(tmp_path, collections):
+    c1, c2 = collections
+    manifest = build_workspace(tmp_path, c1, c2)
+    return tmp_path, manifest

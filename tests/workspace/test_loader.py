@@ -1,0 +1,130 @@
+"""load_workspace / verify_workspace: warm construction, deep checking."""
+
+import pytest
+
+from repro.core import EnvironmentFactory, EnvironmentSpec
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.core.hhnl import run_hhnl
+from repro.core.vvm import run_vvm
+from repro.cost.params import SystemParams
+from repro.errors import WorkspaceError
+from repro.index.btree_io import layout_signature
+from repro.storage.pages import PageGeometry
+from repro.text.vocabulary import Vocabulary
+from repro.workspace import MANIFEST_NAME, build_workspace, load_workspace, verify_workspace
+
+
+class TestLoadWorkspace:
+    def test_no_derivation_work(self, built):
+        directory, _ = built
+        factory = load_workspace(directory)
+        assert factory.derivation_events() == []
+        factory.create()
+        # assembling environments still derives nothing expensive
+        assert factory.derivation_events() == []
+        kinds = {event.split(":", 1)[0] for event in factory.build_log}
+        assert "invert" not in kinds
+        assert "bulk-load" not in kinds
+
+    def test_join_results_equal_in_memory(self, built, collections):
+        directory, _ = built
+        c1, c2 = collections
+        spec = TextJoinSpec(lam=15)
+        system = SystemParams(buffer_pages=64)
+        cold = JoinEnvironment(c1, c2, PageGeometry())
+        warm = load_workspace(directory).create()
+        for executor in (run_hhnl, run_vvm):
+            memory = executor(cold, spec, system)
+            loaded = executor(warm, spec, system)
+            assert loaded.matches == memory.matches
+            assert loaded.io.sequential_reads == memory.io.sequential_reads
+            assert loaded.io.random_reads == memory.io.random_reads
+            assert loaded.io.by_extent == memory.io.by_extent
+            cold = JoinEnvironment(c1, c2, PageGeometry())
+            warm = load_workspace(directory).create()
+
+    def test_loaded_trees_reproduce_bulk_load_layout(self, built, collections):
+        directory, _ = built
+        c1, c2 = collections
+        factory = load_workspace(directory)
+        fresh = EnvironmentFactory(c1, c2, EnvironmentSpec())
+        for side in (1, 2):
+            assert layout_signature(factory.btree(side)) == layout_signature(
+                fresh.btree(side)
+            )
+
+    def test_vocabulary_attached_when_present(self, tmp_path, collections):
+        c1, _ = collections
+        vocabulary = Vocabulary()
+        vocabulary.add_all([f"t{n}" for n in range(150)])
+        vocabulary.freeze()
+        build_workspace(tmp_path, c1, vocabulary=vocabulary)
+        factory = load_workspace(tmp_path)
+        assert factory.vocabulary is not None
+        assert factory.vocabulary.frozen
+        assert len(factory.vocabulary) == 150
+
+    def test_missing_artifact_rejected(self, built):
+        directory, _ = built
+        (directory / "ws-c2.btree").unlink()
+        with pytest.raises(WorkspaceError, match="missing artifact"):
+            load_workspace(directory)
+
+    def test_truncated_artifact_rejected(self, built):
+        directory, _ = built
+        path = directory / "ws-c1.inv.cells"
+        path.write_bytes(path.read_bytes()[:-5])
+        with pytest.raises(WorkspaceError, match="truncated or replaced"):
+            load_workspace(directory)
+
+
+class TestVerifyWorkspace:
+    def test_fresh_workspace_is_clean(self, built):
+        directory, _ = built
+        assert verify_workspace(directory) == []
+
+    def test_flipped_bit_in_cells_caught(self, built):
+        directory, _ = built
+        path = directory / "ws-c1.docs.cells"
+        data = bytearray(path.read_bytes())
+        data[7] ^= 0xFF
+        path.write_bytes(bytes(data))
+        problems = verify_workspace(directory)
+        assert len(problems) == 1
+        assert "ws-c1.docs.cells" in problems[0]
+        assert "checksum" in problems[0]
+
+    def test_tampered_manifest_statistics_caught(self, built):
+        import json
+
+        directory, manifest = built
+        tampered = json.loads((directory / MANIFEST_NAME).read_text())
+        tampered["collections"]["c1"]["n_distinct_terms"] += 1
+        tampered["collections"]["c1"]["total_bytes"] += 5
+        (directory / MANIFEST_NAME).write_text(json.dumps(tampered))
+        problems = verify_workspace(directory)
+        # n_documents / total_bytes mismatches surface per field
+        assert any("n_distinct_terms" in p for p in problems)
+        assert any("total_bytes" in p for p in problems)
+
+    def test_unreadable_manifest_is_the_single_problem(self, built):
+        directory, _ = built
+        (directory / MANIFEST_NAME).write_text("{broken")
+        problems = verify_workspace(directory)
+        assert len(problems) == 1
+        assert "cannot read" in problems[0]
+
+    def test_missing_file_reported_by_name(self, built):
+        directory, _ = built
+        (directory / "ws-c2.inv.terms").unlink()
+        problems = verify_workspace(directory)
+        assert problems == ["missing artifact file ws-c2.inv.terms"]
+
+    def test_undersized_vocabulary_caught(self, tmp_path, collections):
+        c1, _ = collections
+        vocabulary = Vocabulary()
+        vocabulary.add("only-one-term")
+        build_workspace(tmp_path, c1, vocabulary=vocabulary)
+        problems = verify_workspace(tmp_path)
+        assert len(problems) == 1
+        assert "vocabulary holds 1 terms" in problems[0]

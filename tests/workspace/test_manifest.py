@@ -1,0 +1,150 @@
+"""Manifest schema validation and content fingerprinting."""
+
+import pytest
+
+from repro.errors import WorkspaceError
+from repro.workspace import (
+    MANIFEST_NAME,
+    WORKSPACE_SCHEMA,
+    build_manifest,
+    load_manifest,
+    manifest_fingerprint,
+    save_manifest,
+    validate_manifest,
+)
+
+STATS = {
+    "name": "c1",
+    "n_documents": 10,
+    "avg_terms_per_doc": 4.5,
+    "n_distinct_terms": 30,
+    "total_bytes": 225,
+}
+
+FILES = {
+    "c1.docs.cells": {"bytes": 225, "sha256": "a" * 64},
+    "c1.docs.dir": {"bytes": 48, "sha256": "b" * 64},
+}
+
+
+def minimal_manifest(**overrides):
+    manifest = build_manifest(
+        page_bytes=4096,
+        btree_order=64,
+        self_join=True,
+        collections={"c1": STATS},
+        files=FILES,
+    )
+    manifest.update(overrides)
+    return manifest
+
+
+class TestValidation:
+    def test_minimal_manifest_is_valid(self):
+        validate_manifest(minimal_manifest())
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(WorkspaceError, match="schema"):
+            validate_manifest(minimal_manifest(schema="repro-workspace/99"))
+
+    def test_missing_field_rejected(self):
+        manifest = minimal_manifest()
+        del manifest["files"]
+        with pytest.raises(WorkspaceError, match="files"):
+            validate_manifest(manifest)
+
+    def test_nonpositive_page_bytes_rejected(self):
+        with pytest.raises(WorkspaceError, match="page_bytes"):
+            validate_manifest(minimal_manifest(page_bytes=0))
+
+    def test_tiny_btree_order_rejected(self):
+        with pytest.raises(WorkspaceError, match="btree_order"):
+            validate_manifest(minimal_manifest(btree_order=2))
+
+    def test_self_join_forbids_role_c2(self):
+        with pytest.raises(WorkspaceError, match="unknown collection roles"):
+            validate_manifest(
+                minimal_manifest(collections={"c1": STATS, "c2": STATS})
+            )
+
+    def test_cross_join_requires_both_roles(self):
+        with pytest.raises(WorkspaceError, match="missing collection role"):
+            validate_manifest(minimal_manifest(self_join=False))
+
+    def test_cross_join_requires_distinct_names(self):
+        with pytest.raises(WorkspaceError, match="distinctly named"):
+            validate_manifest(
+                minimal_manifest(
+                    self_join=False,
+                    collections={"c1": STATS, "c2": dict(STATS)},
+                )
+            )
+
+    def test_missing_collection_stat_rejected(self):
+        broken = {role: dict(STATS) for role in ("c1",)}
+        del broken["c1"]["total_bytes"]
+        with pytest.raises(WorkspaceError, match="total_bytes"):
+            validate_manifest(minimal_manifest(collections=broken))
+
+    def test_file_entry_needs_bytes_and_checksum(self):
+        with pytest.raises(WorkspaceError, match="bytes"):
+            validate_manifest(
+                minimal_manifest(files={"x.cells": {"sha256": "c" * 64}})
+            )
+        with pytest.raises(WorkspaceError, match="sha256"):
+            validate_manifest(
+                minimal_manifest(files={"x.cells": {"bytes": 1, "sha256": "short"}})
+            )
+
+    def test_vocabulary_must_be_checksummed(self):
+        with pytest.raises(WorkspaceError, match="does not checksum"):
+            validate_manifest(minimal_manifest(vocabulary="vocabulary.json"))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        manifest = minimal_manifest()
+        path = save_manifest(manifest, tmp_path)
+        assert path.name == MANIFEST_NAME
+        assert load_manifest(tmp_path) == manifest
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(WorkspaceError, match="cannot read"):
+            load_manifest(tmp_path)
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{broken")
+        with pytest.raises(WorkspaceError, match="cannot read"):
+            load_manifest(tmp_path)
+
+    def test_schema_constant_round_trips(self, tmp_path):
+        save_manifest(minimal_manifest(), tmp_path)
+        assert load_manifest(tmp_path)["schema"] == WORKSPACE_SCHEMA
+
+
+class TestFingerprint:
+    def test_stable_over_equal_manifests(self):
+        assert manifest_fingerprint(minimal_manifest()) == manifest_fingerprint(
+            minimal_manifest()
+        )
+
+    def test_changes_when_a_checksum_changes(self):
+        flipped = {
+            "c1.docs.cells": {"bytes": 225, "sha256": "f" * 64},
+            "c1.docs.dir": FILES["c1.docs.dir"],
+        }
+        assert manifest_fingerprint(
+            minimal_manifest(files=flipped)
+        ) != manifest_fingerprint(minimal_manifest())
+
+    def test_changes_with_page_bytes(self):
+        # Same artifact bytes, different physical layout: page size
+        # changes the simulated page counts, so it is part of identity.
+        assert manifest_fingerprint(
+            minimal_manifest(page_bytes=1024)
+        ) != manifest_fingerprint(minimal_manifest())
+
+    def test_changes_with_btree_order(self):
+        assert manifest_fingerprint(
+            minimal_manifest(btree_order=8)
+        ) != manifest_fingerprint(minimal_manifest())
