@@ -3,17 +3,24 @@
 Exit codes are CI-friendly: ``0`` when every file is clean (suppressed
 findings do not count), ``1`` when unsuppressed findings exist, ``2``
 for usage errors, unknown rule ids, or unparseable files.
+
+``--jobs N`` fans the per-module rules out over a process pool; the
+report is byte-identical to a sequential run.  ``--cache-dir DIR``
+enables the SHA-256-keyed incremental cache (``--no-cache`` wins when
+both are given); a warm cache changes only the report's ``cache``
+counters, never its findings.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.engine import analyze_paths
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.rules import default_rules
 from repro.errors import AnalysisError
 
@@ -33,7 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
         description="Domain-aware static analysis for the text-join "
-        "reproduction: unit, purity and I/O-discipline lints.",
+        "reproduction: unit, purity, I/O-discipline, streaming and "
+        "parallel-safety lints.",
     )
     parser.add_argument(
         "paths",
@@ -44,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -64,6 +72,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every registered rule id and summary, then exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyse files with N worker processes (0 = one per CPU; "
+        "default: 1, sequential); reports are byte-identical across N",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        metavar="DIR",
+        help="reuse results for files whose SHA-256 is unchanged, storing "
+        "the cache under DIR (off unless given)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and analyse everything from scratch",
+    )
     return parser
 
 
@@ -73,7 +101,7 @@ def run(argv: Sequence[str] | None = None) -> int:
     rules = default_rules()
     if args.list_rules:
         for rule in rules:
-            print(f"{rule.rule_id:15} {rule.severity:8} {rule.summary}")
+            print(f"{rule.rule_id:18} {rule.severity:8} {rule.summary}")
         return EXIT_CLEAN
     select = None
     if args.select:
@@ -84,13 +112,21 @@ def run(argv: Sequence[str] | None = None) -> int:
             if part.strip()
         ]
     paths = list(args.paths) or [_default_target()]
+    jobs = args.jobs if args.jobs != 0 else (os.cpu_count() or 1)
+    cache = None
+    if args.cache_dir is not None and not args.no_cache:
+        from repro.analysis.program.cache import AnalysisCache
+
+        cache = AnalysisCache(args.cache_dir)
     try:
-        report = analyze_paths(paths, rules, select=select)
+        report = analyze_paths(paths, rules, select=select, jobs=jobs, cache=cache)
     except AnalysisError as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report, {rule.rule_id: rule.summary for rule in rules}))
     else:
         print(render_text(report, show_suppressed=args.show_suppressed))
     return EXIT_CLEAN if report.clean else EXIT_FINDINGS

@@ -8,9 +8,18 @@ tests cannot watch everywhere at once: page counts must never mix with
 byte counts, cost formulas must stay pure, and every simulated read must
 be charged through :class:`~repro.storage.iostats.IOStats`.
 
+Rules come in two shapes.  A plain :class:`Rule` sees one
+:class:`ModuleContext` at a time.  A :class:`ProgramRule` additionally
+receives a :class:`~repro.analysis.program.model.ProgramModel` — symbol
+table, call graph, dataflow — after every module is parsed, so it can
+reason across files (transitive cost purity, process-pool worker
+safety, stale suppressions).
+
 Suppressions
 ------------
-A finding is suppressed by a trailing comment on the reported line::
+A finding is suppressed by a trailing *comment* on the reported line —
+the marker must be a real ``#`` comment token, text inside strings or
+docstrings (such as this paragraph) does not count::
 
     from repro.storage.disk import SimulatedDisk  # repro: ignore[RA-CORE-IO] -- layout boundary
 
@@ -22,12 +31,20 @@ affect the exit code.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.program.cache import AnalysisCache
+    from repro.analysis.program.model import ProgramModel
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
@@ -111,6 +128,31 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """A rule that reasons over the whole program, not one module.
+
+    The engine runs :meth:`check_program` once per analysis, after every
+    file has been parsed, passing the assembled
+    :class:`~repro.analysis.program.model.ProgramModel`.  Per-module
+    :meth:`check` is a no-op for these rules.
+
+    Rules with :attr:`needs_findings` set run *after* all other rules
+    and see, via ``program.suppression_hits``, which suppressions
+    absorbed a finding this run — the stale-suppression rule lives on
+    that ordering.
+    """
+
+    needs_findings: bool = False
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Program rules contribute nothing during the per-module pass."""
+        return iter(())
+
+    def check_program(self, program: "ProgramModel") -> Iterator[Finding]:
+        """Yield every whole-program violation of this rule."""
+        raise NotImplementedError
+
+
 @dataclass(frozen=True)
 class AnalysisReport:
     """The outcome of one engine run."""
@@ -119,6 +161,8 @@ class AnalysisReport:
     suppressed: tuple[Finding, ...]
     n_files: int
     rule_ids: tuple[str, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def clean(self) -> bool:
@@ -133,20 +177,47 @@ class AnalysisReport:
             "findings": [f.as_dict() for f in self.findings],
             "suppressed": [f.as_dict() for f in self.suppressed],
             "clean": self.clean,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
         }
 
 
-def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
-    """Map line number to the rule ids suppressed on that line."""
+def _suppression_ids(comment: str) -> frozenset[str]:
+    """Rule ids named by one suppression comment ('' comments give none)."""
+    match = _SUPPRESSION_RE.search(comment)
+    if not match:
+        return frozenset()
+    return frozenset(
+        part.strip() for part in match.group(1).split(",") if part.strip()
+    )
+
+
+def _parse_suppressions_regex(source: str) -> dict[int, frozenset[str]]:
+    """Line-regex fallback for sources the tokenizer rejects."""
     table: dict[int, frozenset[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESSION_RE.search(line)
-        if match:
-            ids = frozenset(
-                part.strip() for part in match.group(1).split(",") if part.strip()
-            )
+        ids = _suppression_ids(line)
+        if ids:
+            table[lineno] = ids
+    return table
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number to the rule ids suppressed on that line.
+
+    Only real ``#`` comment tokens count: the source is tokenized, so a
+    suppression example quoted inside a docstring is not a suppression.
+    Sources the tokenizer cannot handle fall back to a line regex.
+    """
+    table: dict[int, frozenset[str]] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            ids = _suppression_ids(token.string)
             if ids:
-                table[lineno] = ids
+                table[token.start[0]] = ids
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return _parse_suppressions_regex(source)
     return table
 
 
@@ -213,43 +284,217 @@ def iter_python_files(paths: Iterable[Path]) -> list[Path]:
     return sorted(files)
 
 
+def _analyze_file_task(
+    path_str: str, rules: Sequence[Rule]
+) -> tuple[Finding, ...]:
+    """Run the local rules over one file — the process-pool worker entry.
+
+    Takes only picklable inputs (a path string and stateless rule
+    instances) and returns picklable findings; parses the file itself so
+    no AST crosses a process boundary.
+    """
+    module = load_module(Path(path_str))
+    found: list[Finding] = []
+    for rule in rules:
+        found.extend(rule.check(module))
+    return tuple(found)
+
+
+def _rules_signature_of(rules: Sequence[Rule]) -> str:
+    """Cache signature of a rule set (ids plus implementing classes)."""
+    from repro.analysis.program.cache import rules_signature
+
+    return rules_signature(
+        [
+            f"{rule.rule_id}:{type(rule).__module__}.{type(rule).__qualname__}"
+            for rule in rules
+        ]
+    )
+
+
+def _select_rules(
+    rules: Sequence[Rule], select: Iterable[str] | None
+) -> list[Rule]:
+    """The active subset of ``rules``; unknown ids fail loudly."""
+    active = list(rules)
+    if select is None:
+        return active
+    wanted = set(select)
+    known = {rule.rule_id for rule in active}
+    unknown = wanted - known
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [rule for rule in active if rule.rule_id in wanted]
+
+
+def _run_program_rules(
+    program_rules: Sequence["ProgramRule"],
+    modules: Sequence[ModuleContext],
+    known_rule_ids: Iterable[str],
+    active_rule_ids: Iterable[str],
+    prior_findings: Sequence[Finding],
+) -> tuple[Finding, ...]:
+    """Build the program model and run the whole-program rules in order."""
+    from repro.analysis.program.model import ProgramModel
+
+    program = ProgramModel.build(
+        modules,
+        known_rule_ids=known_rule_ids,
+        active_rule_ids=active_rule_ids,
+    )
+    collected: list[Finding] = []
+    for rule in program_rules:
+        if not rule.needs_findings:
+            collected.extend(rule.check_program(program))
+    late = [rule for rule in program_rules if rule.needs_findings]
+    if late:
+        program.mark_suppression_hits([*prior_findings, *collected])
+        for rule in late:
+            collected.extend(rule.check_program(program))
+    return tuple(collected)
+
+
 def analyze_paths(
-    paths: Sequence[Path], rules: Sequence[Rule], select: Iterable[str] | None = None
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    select: Iterable[str] | None = None,
+    *,
+    jobs: int = 1,
+    cache: "AnalysisCache | None" = None,
 ) -> AnalysisReport:
     """Run ``rules`` over every Python file reachable from ``paths``.
 
     ``select`` restricts the run to the given rule ids; unknown ids
     raise :class:`~repro.errors.AnalysisError` so typos fail loudly.
+
+    ``jobs`` > 1 fans the per-module rules out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; reports are
+    byte-identical to a sequential run because findings are sorted by
+    location, never by completion order.
+
+    ``cache`` (an :class:`~repro.analysis.program.cache.AnalysisCache`)
+    reuses findings for files whose SHA-256 is unchanged; the report's
+    ``cache_hits``/``cache_misses`` counters are the only fields a warm
+    run may change.
     """
-    active = list(rules)
-    if select is not None:
-        wanted = set(select)
-        known = {rule.rule_id for rule in active}
-        unknown = wanted - known
-        if unknown:
-            raise AnalysisError(
-                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
-                f"known: {', '.join(sorted(known))}"
+    if jobs < 1:
+        raise AnalysisError(f"jobs must be a positive integer, got {jobs}")
+    active = _select_rules(rules, select)
+    local_rules = [rule for rule in active if not isinstance(rule, ProgramRule)]
+    program_rules = [rule for rule in active if isinstance(rule, ProgramRule)]
+
+    files = iter_python_files(paths)
+    per_file: dict[str, tuple[Finding, ...]] = {}
+    shas: dict[str, str] = {}
+    cache_hits = 0
+    cache_misses = 0
+    local_signature = ""
+
+    pending: list[Path] = list(files)
+    if cache is not None:
+        from repro.analysis.program.cache import file_sha256
+
+        local_signature = _rules_signature_of(local_rules)
+        pending = []
+        for file_path in files:
+            key = str(file_path)
+            shas[key] = file_sha256(file_path)
+            hit = cache.lookup_file(key, shas[key], local_signature)
+            if hit is not None:
+                per_file[key] = hit
+                cache_hits += 1
+            else:
+                pending.append(file_path)
+                cache_misses += 1
+
+    contexts: dict[str, ModuleContext] = {}
+
+    def context_for(file_path: Path) -> ModuleContext:
+        key = str(file_path)
+        if key not in contexts:
+            contexts[key] = load_module(file_path)
+        return contexts[key]
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            worker = partial(_analyze_file_task, rules=tuple(local_rules))
+            chunksize = max(1, len(pending) // (jobs * 4))
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(
+                    pool.map(
+                        worker,
+                        [str(file_path) for file_path in pending],
+                        chunksize=chunksize,
+                    )
+                )
+            for file_path, found in zip(pending, results):
+                per_file[str(file_path)] = found
+        else:
+            for file_path in pending:
+                module = context_for(file_path)
+                per_file[str(file_path)] = tuple(
+                    found
+                    for rule in local_rules
+                    for found in rule.check(module)
+                )
+        if cache is not None:
+            for file_path in pending:
+                key = str(file_path)
+                cache.store_file(key, shas[key], local_signature, per_file[key])
+
+    local_findings = [
+        found for file_path in files for found in per_file.get(str(file_path), ())
+    ]
+
+    program_findings: tuple[Finding, ...] = ()
+    if program_rules:
+        fingerprint = ""
+        program_signature = ""
+        cached_program: tuple[Finding, ...] | None = None
+        if cache is not None:
+            from repro.analysis.program.cache import program_fingerprint
+
+            fingerprint = program_fingerprint(shas)
+            program_signature = _rules_signature_of(active)
+            cached_program = cache.lookup_program(fingerprint, program_signature)
+        if cached_program is not None:
+            program_findings = cached_program
+            cache_hits += 1
+        else:
+            modules = [context_for(file_path) for file_path in files]
+            program_findings = _run_program_rules(
+                program_rules,
+                modules,
+                known_rule_ids=[rule.rule_id for rule in rules],
+                active_rule_ids=[rule.rule_id for rule in active],
+                prior_findings=local_findings,
             )
-        active = [rule for rule in active if rule.rule_id in wanted]
+            if cache is not None:
+                cache.store_program(
+                    fingerprint, program_signature, program_findings
+                )
+                cache_misses += 1
+    if cache is not None:
+        cache.save()
 
     open_findings: list[Finding] = []
     suppressed: list[Finding] = []
-    files = iter_python_files(paths)
-    for file_path in files:
-        module = load_module(file_path)
-        for rule in active:
-            for found in rule.check(module):
-                if found.suppressed:
-                    suppressed.append(found)
-                else:
-                    open_findings.append(found)
+    for found in [*local_findings, *program_findings]:
+        if found.suppressed:
+            suppressed.append(found)
+        else:
+            open_findings.append(found)
     order = lambda f: (f.path, f.line, f.column, f.rule_id)  # noqa: E731
     return AnalysisReport(
         findings=tuple(sorted(open_findings, key=order)),
         suppressed=tuple(sorted(suppressed, key=order)),
         n_files=len(files),
         rule_ids=tuple(rule.rule_id for rule in active),
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )
 
 
@@ -257,6 +502,7 @@ __all__ = [
     "AnalysisReport",
     "Finding",
     "ModuleContext",
+    "ProgramRule",
     "Rule",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",

@@ -1,0 +1,63 @@
+"""Whole-program substrate for the domain-aware analysis engine.
+
+Layered bottom-up:
+
+* :mod:`~repro.analysis.program.symbols` — cross-module symbol table
+  (functions, classes, imports, module-level globals);
+* :mod:`~repro.analysis.program.callgraph` — statically-certain call
+  edges with reachability and shortest-path queries;
+* :mod:`~repro.analysis.program.cfg` /
+  :mod:`~repro.analysis.program.dataflow` — per-function control-flow
+  graphs and a worklist dataflow framework (reaching definitions,
+  escaping-global analysis);
+* :mod:`~repro.analysis.program.model` — the :class:`ProgramModel`
+  bundle handed to whole-program rules;
+* :mod:`~repro.analysis.program.cache` — the SHA-256-keyed incremental
+  result cache.
+"""
+
+from repro.analysis.program.cache import AnalysisCache
+from repro.analysis.program.callgraph import AttributeCall, CallGraph, FunctionCalls
+from repro.analysis.program.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.analysis.program.dataflow import (
+    GlobalUse,
+    ReachingDefinitions,
+    escaping_global_uses,
+    local_bindings,
+    mutable_global_names,
+    reaching_definitions,
+)
+from repro.analysis.program.model import ProgramModel
+from repro.analysis.program.symbols import (
+    FunctionInfo,
+    GlobalInfo,
+    ModuleSymbols,
+    SymbolTable,
+    index_module,
+    is_generator,
+    walk_shallow,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "AttributeCall",
+    "BasicBlock",
+    "CallGraph",
+    "ControlFlowGraph",
+    "FunctionCalls",
+    "FunctionInfo",
+    "GlobalInfo",
+    "GlobalUse",
+    "ModuleSymbols",
+    "ProgramModel",
+    "ReachingDefinitions",
+    "SymbolTable",
+    "build_cfg",
+    "escaping_global_uses",
+    "index_module",
+    "is_generator",
+    "local_bindings",
+    "mutable_global_names",
+    "reaching_definitions",
+    "walk_shallow",
+]

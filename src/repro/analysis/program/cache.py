@@ -1,0 +1,196 @@
+"""Incremental analysis-result cache keyed by SHA-256 fingerprints.
+
+``repro lint`` in CI runs on every push; most pushes change a handful of
+files.  The cache reuses the PR 5 workspace-manifest idiom — content
+checksums as identity — at two granularities:
+
+* **per-file** entries: the findings of the *local* (single-module)
+  rules depend only on that file's bytes and the active rule set, so
+  they are keyed by ``(file sha256, rule signature)``;
+* **one program entry**: whole-program findings (call-graph transitive
+  purity, parallel safety, stale suppressions) can change when *any*
+  file changes, so they are keyed by a program fingerprint — the SHA-256
+  over every analyzed file's ``(path, sha256)`` pair — plus the rule
+  signature.
+
+A cache is plain JSON under the cache directory; a missing, corrupt or
+schema-mismatched file degrades to an empty cache, never to an error —
+the cache may only ever change *speed*, not results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.engine import Finding
+
+CACHE_SCHEMA = "repro-analysis-cache/1"
+CACHE_FILE_NAME = "cache.json"
+
+
+def file_sha256(path: Path) -> str:
+    """Hex SHA-256 of one file's bytes."""
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def program_fingerprint(shas: Mapping[str, str]) -> str:
+    """One hex digest over every analyzed file's ``(path, sha256)``."""
+    digest = hashlib.sha256()
+    for path in sorted(shas):
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(shas[path].encode("ascii"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def rules_signature(rule_descriptions: Sequence[str]) -> str:
+    """Hex digest identifying the active rule set (ids + classes)."""
+    digest = hashlib.sha256()
+    for description in sorted(rule_descriptions):
+        digest.update(description.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def finding_from_dict(payload: Mapping[str, object]) -> Finding:
+    """Rebuild a :class:`Finding` from its ``as_dict`` form."""
+    return Finding(
+        rule_id=str(payload["rule"]),
+        severity=str(payload["severity"]),
+        path=str(payload["path"]),
+        line=int(payload["line"]),
+        column=int(payload["column"]),
+        message=str(payload["message"]),
+        suppressed=bool(payload["suppressed"]),
+    )
+
+
+class AnalysisCache:
+    """Load/store of per-file and whole-program findings."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / CACHE_FILE_NAME
+        self._files: dict[str, dict[str, object]] = {}
+        self._program: dict[str, object] | None = None
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._files = {
+                str(key): value
+                for key, value in files.items()
+                if isinstance(value, dict)
+            }
+        program = payload.get("program")
+        if isinstance(program, dict):
+            self._program = program
+
+    # --- per-file entries -------------------------------------------------
+
+    def lookup_file(
+        self, path: str, sha: str, signature: str
+    ) -> tuple[Finding, ...] | None:
+        """Cached local findings for one unchanged file, or None."""
+        entry = self._files.get(path)
+        if (
+            entry is None
+            or entry.get("sha256") != sha
+            or entry.get("signature") != signature
+        ):
+            return None
+        findings = entry.get("findings")
+        if not isinstance(findings, list):
+            return None
+        try:
+            return tuple(finding_from_dict(item) for item in findings)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_file(
+        self, path: str, sha: str, signature: str, findings: Sequence[Finding]
+    ) -> None:
+        """Record the local findings of one file."""
+        self._files[path] = {
+            "sha256": sha,
+            "signature": signature,
+            "findings": [finding.as_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    # --- the program entry ------------------------------------------------
+
+    def lookup_program(
+        self, fingerprint: str, signature: str
+    ) -> tuple[Finding, ...] | None:
+        """Cached whole-program findings for an unchanged tree, or None."""
+        entry = self._program
+        if (
+            entry is None
+            or entry.get("fingerprint") != fingerprint
+            or entry.get("signature") != signature
+        ):
+            return None
+        findings = entry.get("findings")
+        if not isinstance(findings, list):
+            return None
+        try:
+            return tuple(finding_from_dict(item) for item in findings)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_program(
+        self, fingerprint: str, signature: str, findings: Sequence[Finding]
+    ) -> None:
+        """Record the whole-program findings of one tree state."""
+        self._program = {
+            "fingerprint": fingerprint,
+            "signature": signature,
+            "findings": [finding.as_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    # --- persistence ------------------------------------------------------
+
+    def save(self) -> None:
+        """Write the cache back when anything changed (best effort)."""
+        if not self._dirty:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "files": self._files,
+            "program": self._program,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            # An unwritable cache directory must never fail the lint.
+            return
+        self._dirty = False
+
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_FILE_NAME",
+    "CACHE_SCHEMA",
+    "file_sha256",
+    "finding_from_dict",
+    "program_fingerprint",
+    "rules_signature",
+]

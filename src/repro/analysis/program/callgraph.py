@@ -1,0 +1,172 @@
+"""Static call graph over the indexed program.
+
+Edges connect qualified function names (see
+:mod:`repro.analysis.program.symbols`).  Three classes of call are kept
+apart because the whole-program rules consume them differently:
+
+* **internal** edges — the callee is a function the program defines;
+  these drive transitive analyses (reachability, taint propagation);
+* **external** calls — resolved dotted names outside the analyzed tree
+  (``math.ceil``, ``json.dumps``); kept for diagnostics, never traversed;
+* **attribute** calls — ``obj.method(...)`` with an unresolvable
+  receiver; recorded by attribute *name* so rules can match I/O verbs
+  (``.record``, ``.read_record``) without type inference;
+* **builtin** calls — bare names that resolve to nothing the program or
+  its imports define (``print``, ``open``, ``len``).
+
+Resolution is deliberately conservative: an edge exists only when the
+target is statically certain, so transitive findings never rest on a
+guessed dispatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.analysis.program.symbols import (
+    FunctionInfo,
+    SymbolTable,
+    walk_shallow,
+)
+
+
+@dataclass(frozen=True)
+class AttributeCall:
+    """One ``receiver.attr(...)`` call with an unresolved receiver."""
+
+    attr: str
+    lineno: int
+
+
+@dataclass
+class FunctionCalls:
+    """Every call made by one function body (shallow, no nested defs)."""
+
+    internal: tuple[str, ...] = ()
+    external: tuple[str, ...] = ()
+    attributes: tuple[AttributeCall, ...] = ()
+    builtins: tuple[str, ...] = ()
+
+
+class CallGraph:
+    """Call edges between qualified names, with reachability queries."""
+
+    def __init__(self, calls: Mapping[str, FunctionCalls]) -> None:
+        self._calls = dict(calls)
+
+    @classmethod
+    def build(cls, table: SymbolTable) -> "CallGraph":
+        """Scan every indexed function and resolve its call sites."""
+        calls: dict[str, FunctionCalls] = {}
+        for qualname, info in table.functions.items():
+            calls[qualname] = _collect_calls(table, info)
+        return cls(calls)
+
+    @property
+    def functions(self) -> tuple[str, ...]:
+        """Every function the graph knows about, sorted."""
+        return tuple(sorted(self._calls))
+
+    def calls(self, qualname: str) -> FunctionCalls:
+        """The call record of one function (empty for unknown names)."""
+        return self._calls.get(qualname, FunctionCalls())
+
+    def callees(self, qualname: str) -> tuple[str, ...]:
+        """Internal callees of one function."""
+        return self.calls(qualname).internal
+
+    def reachable(self, qualname: str) -> tuple[str, ...]:
+        """Every program function transitively reachable from ``qualname``.
+
+        The start itself is included — a function trivially reaches its
+        own body — and the result is sorted for deterministic reports.
+        """
+        seen: set[str] = {qualname}
+        frontier = deque([qualname])
+        while frontier:
+            current = frontier.popleft()
+            for callee in self.callees(current):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return tuple(sorted(seen))
+
+    def call_path(self, start: str, targets: Iterable[str]) -> tuple[str, ...]:
+        """Shortest internal-edge path from ``start`` into ``targets``.
+
+        Returns the qualified names along the path (start first, target
+        last), or an empty tuple when no target is reachable.
+        """
+        wanted = set(targets)
+        if start in wanted:
+            return (start,)
+        parents: dict[str, str] = {start: start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for callee in self.callees(current):
+                if callee in parents:
+                    continue
+                parents[callee] = current
+                if callee in wanted:
+                    path = [callee]
+                    while path[-1] != start:
+                        path.append(parents[path[-1]])
+                    return tuple(reversed(path))
+                frontier.append(callee)
+        return ()
+
+
+def _collect_calls(table: SymbolTable, info: FunctionInfo) -> FunctionCalls:
+    symbols = table.modules[info.module]
+    internal: list[str] = []
+    external: list[str] = []
+    attributes: list[AttributeCall] = []
+    builtins_seen: list[str] = []
+    for node in walk_shallow(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = table.resolve_call(symbols, node.func, info.class_name)
+        if resolved is None:
+            continue
+        target = table.function(resolved)
+        if target is not None:
+            internal.append(target.qualname)
+        elif isinstance(node.func, ast.Name) and "." not in resolved:
+            builtins_seen.append(resolved)
+        elif isinstance(node.func, ast.Attribute) and _is_opaque(
+            resolved, table, symbols.imports
+        ):
+            attributes.append(AttributeCall(node.func.attr, node.lineno))
+        else:
+            external.append(resolved)
+    return FunctionCalls(
+        internal=tuple(internal),
+        external=tuple(external),
+        attributes=tuple(attributes),
+        builtins=tuple(builtins_seen),
+    )
+
+
+def _is_opaque(
+    resolved: str, table: SymbolTable, imports: Mapping[str, str]
+) -> bool:
+    """True when the dotted base is a value, not a module/import target.
+
+    ``disk.read_record`` resolves to ``disk.read_record`` — the base is a
+    local variable, so the call is an opaque attribute call.  ``math.ceil``
+    has its base among the imports and is a real external reference.
+    """
+    base = resolved.split(".", 1)[0]
+    if base in imports.values() or any(
+        dotted == base or dotted.startswith(base + ".")
+        for dotted in imports.values()
+    ):
+        return False
+    return base not in table.modules
+
+
+__all__ = ["AttributeCall", "CallGraph", "FunctionCalls"]

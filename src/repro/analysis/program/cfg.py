@@ -1,0 +1,224 @@
+"""Per-function control-flow graphs for the dataflow framework.
+
+A :class:`ControlFlowGraph` is a set of :class:`BasicBlock`\\ s — maximal
+straight-line statement runs — connected by successor edges.  The
+builder covers the control constructs the repro codebase actually uses
+(``if``/``while``/``for``/``with``/``try``/``break``/``continue``/
+``return``/``raise``/``match``) and is conservative everywhere else:
+when in doubt an edge is added, never removed, so a dataflow fact proved
+on this graph holds on every real execution.
+
+Blocks are numbered in construction order; block ``0`` is the entry and
+the synthetic exit block carries no statements.  Statements keep their
+AST identity, so analyses can anchor findings on real source locations.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with its successor edges."""
+
+    block_id: int
+    statements: list[ast.stmt] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+
+    def add_successor(self, block_id: int) -> None:
+        """Append an edge, de-duplicated."""
+        if block_id not in self.successors:
+            self.successors.append(block_id)
+
+
+class ControlFlowGraph:
+    """All blocks of one function, entry first, synthetic exit last."""
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        self.entry_id = self._new_block().block_id
+        self.exit_id: int = -1  # assigned by the builder when sealing
+
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(block_id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def block(self, block_id: int) -> BasicBlock:
+        """The block with the given id."""
+        return self.blocks[block_id]
+
+    def predecessors(self, block_id: int) -> tuple[int, ...]:
+        """Ids of every block with an edge into ``block_id``."""
+        return tuple(
+            block.block_id
+            for block in self.blocks
+            if block_id in block.successors
+        )
+
+    def iter_statements(self) -> Iterator[tuple[int, int, ast.stmt]]:
+        """``(block_id, index, statement)`` over the whole graph."""
+        for block in self.blocks:
+            for index, statement in enumerate(block.statements):
+                yield block.block_id, index, statement
+
+
+_JUMP_STATEMENTS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+class _CFGBuilder:
+    """Recursive-descent CFG construction over a function body."""
+
+    def __init__(self) -> None:
+        self.cfg = ControlFlowGraph()
+        self._loop_stack: list[tuple[int, int]] = []  # (header, after)
+
+    def build(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> ControlFlowGraph:
+        """Build the graph of one function definition."""
+        current = self.cfg.block(self.cfg.entry_id)
+        current = self._statements(func.body, current)
+        exit_block = self.cfg._new_block()
+        self.cfg.exit_id = exit_block.block_id
+        if current is not None:
+            current.add_successor(exit_block.block_id)
+        # Every jump terminator targets the exit once it exists.
+        for block in self.cfg.blocks:
+            if block.block_id == exit_block.block_id:
+                continue
+            if block.statements and isinstance(
+                block.statements[-1], (ast.Return, ast.Raise)
+            ):
+                block.add_successor(exit_block.block_id)
+        return self.cfg
+
+    # --- helpers ----------------------------------------------------------
+
+    def _statements(
+        self, body: list[ast.stmt], current: BasicBlock | None
+    ) -> BasicBlock | None:
+        """Thread ``body`` through the graph; None means unreachable."""
+        for statement in body:
+            if current is None:
+                # Unreachable code still gets a block so its statements
+                # are visible to analyses, just with no inbound edge.
+                current = self.cfg._new_block()
+            current = self._statement(statement, current)
+        return current
+
+    def _statement(
+        self, statement: ast.stmt, current: BasicBlock
+    ) -> BasicBlock | None:
+        if isinstance(statement, ast.If):
+            return self._branch(statement, current)
+        if isinstance(statement, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(statement, current)
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            current.statements.append(statement)
+            return self._statements(statement.body, current)
+        if isinstance(statement, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            return self._try(statement, current)
+        if isinstance(statement, ast.Match):
+            return self._match(statement, current)
+        current.statements.append(statement)
+        if isinstance(statement, _JUMP_STATEMENTS):
+            if isinstance(statement, ast.Break) and self._loop_stack:
+                current.add_successor(self._loop_stack[-1][1])
+            elif isinstance(statement, ast.Continue) and self._loop_stack:
+                current.add_successor(self._loop_stack[-1][0])
+            return None
+        return current
+
+    def _branch(self, statement: ast.If, current: BasicBlock) -> BasicBlock | None:
+        current.statements.append(statement)
+        after = self.cfg._new_block()
+        then_block = self.cfg._new_block()
+        current.add_successor(then_block.block_id)
+        then_end = self._statements(statement.body, then_block)
+        if then_end is not None:
+            then_end.add_successor(after.block_id)
+        if statement.orelse:
+            else_block = self.cfg._new_block()
+            current.add_successor(else_block.block_id)
+            else_end = self._statements(statement.orelse, else_block)
+            if else_end is not None:
+                else_end.add_successor(after.block_id)
+        else:
+            current.add_successor(after.block_id)
+        return after
+
+    def _loop(
+        self,
+        statement: ast.While | ast.For | ast.AsyncFor,
+        current: BasicBlock,
+    ) -> BasicBlock:
+        header = self.cfg._new_block()
+        header.statements.append(statement)
+        current.add_successor(header.block_id)
+        after = self.cfg._new_block()
+        body_block = self.cfg._new_block()
+        header.add_successor(body_block.block_id)
+        header.add_successor(after.block_id)
+        self._loop_stack.append((header.block_id, after.block_id))
+        body_end = self._statements(statement.body, body_block)
+        self._loop_stack.pop()
+        if body_end is not None:
+            body_end.add_successor(header.block_id)
+        if statement.orelse:
+            else_end = self._statements(statement.orelse, after)
+            if else_end is not None:
+                return else_end
+        return after
+
+    def _try(self, statement: ast.Try, current: BasicBlock) -> BasicBlock | None:
+        after = self.cfg._new_block()
+        body_end = self._statements(statement.body, current)
+        handler_ends: list[BasicBlock | None] = []
+        for handler in statement.handlers:
+            handler_block = self.cfg._new_block()
+            # Conservatively, an exception may fire anywhere in the body.
+            current.add_successor(handler_block.block_id)
+            if body_end is not None:
+                body_end.add_successor(handler_block.block_id)
+            handler_ends.append(self._statements(handler.body, handler_block))
+        if statement.orelse and body_end is not None:
+            body_end = self._statements(statement.orelse, body_end)
+        finals = [body_end, *handler_ends]
+        tail: BasicBlock | None = after
+        if statement.finalbody:
+            final_block = self.cfg._new_block()
+            for end in finals:
+                if end is not None:
+                    end.add_successor(final_block.block_id)
+            tail = self._statements(statement.finalbody, final_block)
+            if tail is not None:
+                tail.add_successor(after.block_id)
+            return after
+        reachable = False
+        for end in finals:
+            if end is not None:
+                end.add_successor(after.block_id)
+                reachable = True
+        return after if reachable else None
+
+    def _match(self, statement: ast.Match, current: BasicBlock) -> BasicBlock:
+        current.statements.append(statement)
+        after = self.cfg._new_block()
+        for case in statement.cases:
+            case_block = self.cfg._new_block()
+            current.add_successor(case_block.block_id)
+            case_end = self._statements(case.body, case_block)
+            if case_end is not None:
+                case_end.add_successor(after.block_id)
+        current.add_successor(after.block_id)
+        return after
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> ControlFlowGraph:
+    """The control-flow graph of one function definition."""
+    return _CFGBuilder().build(func)
+
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]

@@ -1,0 +1,355 @@
+"""A small forward-dataflow framework plus the two analyses the rules use.
+
+The framework is the classic worklist iteration over a
+:class:`~repro.analysis.program.cfg.ControlFlowGraph` with union join —
+enough for *may* analyses, which is all a linter should assert.
+
+Two concrete analyses ship:
+
+* :class:`ReachingDefinitions` — which ``(name, site)`` definitions may
+  reach each block; powers alias questions ("does this local still hold
+  the module global it was assigned from?");
+* :func:`escaping_global_uses` — where a function reads, writes or
+  mutates module-level state, following local aliases of globals through
+  reaching definitions.  This is the substrate of RA-PAR-SAFE: a worker
+  function submitted to a process pool must not touch shared mutable
+  module state, and "touch" has to survive an ``alias = _TABLE`` hop.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.analysis.program.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.program.symbols import (
+    KIND_MUTABLE,
+    ModuleSymbols,
+    walk_shallow,
+)
+
+#: method names that mutate their receiver in place
+MUTATING_METHOD_NAMES = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "sort",
+        "reverse",
+        "record",
+        "merge",
+        "reset",
+        "subscribe",
+        "unsubscribe",
+    }
+)
+
+ACCESS_READ = "read"
+ACCESS_WRITE = "write"
+ACCESS_MUTATE = "mutate"
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One assignment site of one name."""
+
+    name: str
+    block_id: int
+    index: int
+    lineno: int
+
+
+class ReachingDefinitions:
+    """Which definitions of each name may reach each basic block."""
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+        self._gen: dict[int, dict[str, set[Definition]]] = {}
+        self._in: dict[int, set[Definition]] = {}
+        self._out: dict[int, set[Definition]] = {}
+        self._solve()
+
+    # --- framework --------------------------------------------------------
+
+    def _block_definitions(self, block_id: int) -> dict[str, set[Definition]]:
+        gen = self._gen.get(block_id)
+        if gen is None:
+            gen = {}
+            block = self.cfg.block(block_id)
+            for index, statement in enumerate(block.statements):
+                for name in _assigned_names(statement):
+                    gen[name] = {
+                        Definition(name, block_id, index, statement.lineno)
+                    }
+            self._gen[block_id] = gen
+        return gen
+
+    def _transfer(self, block_id: int, incoming: set[Definition]) -> set[Definition]:
+        gen = self._block_definitions(block_id)
+        killed_names = set(gen)
+        out = {d for d in incoming if d.name not in killed_names}
+        for defs in gen.values():
+            out |= defs
+        return out
+
+    def _solve(self) -> None:
+        for block in self.cfg.blocks:
+            self._in[block.block_id] = set()
+            self._out[block.block_id] = set()
+        worklist = [block.block_id for block in self.cfg.blocks]
+        while worklist:
+            block_id = worklist.pop(0)
+            incoming: set[Definition] = set()
+            for pred in self.cfg.predecessors(block_id):
+                incoming |= self._out[pred]
+            self._in[block_id] = incoming
+            out = self._transfer(block_id, incoming)
+            if out != self._out[block_id]:
+                self._out[block_id] = out
+                for successor in self.cfg.block(block_id).successors:
+                    if successor not in worklist:
+                        worklist.append(successor)
+
+    # --- queries ----------------------------------------------------------
+
+    def reaching_in(self, block_id: int) -> frozenset[Definition]:
+        """Definitions that may reach the entry of ``block_id``."""
+        return frozenset(self._in[block_id])
+
+    def reaching_out(self, block_id: int) -> frozenset[Definition]:
+        """Definitions that may reach the exit of ``block_id``."""
+        return frozenset(self._out[block_id])
+
+    def definitions_of(self, name: str) -> tuple[Definition, ...]:
+        """Every definition site of ``name`` in the function, sorted."""
+        found = [
+            definition
+            for block in self.cfg.blocks
+            for definition in self._block_definitions(block.block_id).get(
+                name, ()
+            )
+        ]
+        return tuple(sorted(found, key=lambda d: (d.block_id, d.index)))
+
+
+def _assigned_names(statement: ast.stmt) -> Iterator[str]:
+    """Names (re)bound by one statement, shallowly."""
+    if isinstance(statement, ast.Assign):
+        for target in statement.targets:
+            yield from _target_names(target)
+    elif isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+        yield from _target_names(statement.target)
+    elif isinstance(statement, (ast.For, ast.AsyncFor)):
+        yield from _target_names(statement.target)
+    elif isinstance(statement, (ast.With, ast.AsyncWith)):
+        for item in statement.items:
+            if item.optional_vars is not None:
+                yield from _target_names(item.optional_vars)
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def local_bindings(func: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+    """Names bound locally in ``func`` (params, assignments, loops, defs).
+
+    Names declared ``global``/``nonlocal`` are removed: assigning them
+    targets the enclosing scope, which is exactly what the escape
+    analysis needs to see.
+    """
+    names: set[str] = set()
+    args = func.args
+    for arg in (
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *((args.vararg,) if args.vararg else ()),
+        *((args.kwarg,) if args.kwarg else ()),
+    ):
+        names.add(arg.arg)
+    declared_global: set[str] = set()
+    for node in walk_shallow(func):
+        if isinstance(node, ast.stmt):
+            names.update(_assigned_names(node))
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".", 1)[0])
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return frozenset(names - declared_global)
+
+
+@dataclass(frozen=True)
+class GlobalUse:
+    """One touch of module-level state inside a function."""
+
+    name: str
+    access: str  # ACCESS_READ / ACCESS_WRITE / ACCESS_MUTATE
+    node: ast.AST
+    via_alias: bool = False
+
+
+def _alias_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, global_names: frozenset[str]
+) -> dict[str, str]:
+    """Local names that may alias a module global (``x = _TABLE`` hops).
+
+    Maps each alias to the underlying global so uses can be reported
+    against the real module binding.  Flow-insensitive fixpoint over
+    straight ``Name = Name`` assignments — conservative in the *may*
+    direction, which is the right polarity for a safety rule.
+    """
+    aliases: dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+        for node in walk_shallow(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Name):
+                continue
+            if value.id in global_names:
+                origin = value.id
+            elif value.id in aliases:
+                origin = aliases[value.id]
+            else:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id not in aliases:
+                    aliases[target.id] = origin
+                    changed = True
+    return {
+        alias: origin
+        for alias, origin in aliases.items()
+        if alias not in global_names
+    }
+
+
+def escaping_global_uses(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    symbols: ModuleSymbols,
+) -> tuple[GlobalUse, ...]:
+    """Every read/write/mutation of module-level state in ``func``.
+
+    Reads are reported for every module global the function references;
+    writes require a ``global`` declaration (plain assignment binds a
+    local); mutations are in-place method calls, subscript stores or
+    ``del`` on a module global or a local alias of one.
+    """
+    module_globals = frozenset(symbols.module_globals)
+    if not module_globals:
+        return ()
+    locals_ = local_bindings(func)
+    visible = module_globals - locals_
+    declared_global: set[str] = set()
+    for node in walk_shallow(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(
+                name for name in node.names if name in module_globals
+            )
+    aliases = _alias_names(func, visible | frozenset(declared_global))
+
+    uses: list[GlobalUse] = []
+
+    def classify(name: str) -> tuple[str, bool] | None:
+        if name in visible or name in declared_global:
+            return name, False
+        if name in aliases:
+            return aliases[name], True
+        return None
+
+    for node in walk_shallow(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                uses.extend(_store_uses(target, classify, declared_global))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            uses.extend(_store_uses(node.target, classify, declared_global))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                uses.extend(_store_uses(target, classify, declared_global))
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in MUTATING_METHOD_NAMES
+                and isinstance(callee.value, ast.Name)
+            ):
+                hit = classify(callee.value.id)
+                if hit is not None:
+                    name, via_alias = hit
+                    uses.append(
+                        GlobalUse(name, ACCESS_MUTATE, node, via_alias)
+                    )
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            hit = classify(node.id)
+            if hit is not None and not hit[1]:
+                uses.append(GlobalUse(hit[0], ACCESS_READ, node))
+    return tuple(uses)
+
+
+def _store_uses(target, classify, declared_global) -> Iterator[GlobalUse]:
+    """Write/mutate uses produced by one store target."""
+    if isinstance(target, ast.Name):
+        if target.id in declared_global:
+            yield GlobalUse(target.id, ACCESS_WRITE, target)
+    elif isinstance(target, (ast.Subscript, ast.Attribute)):
+        base = target.value
+        if isinstance(base, ast.Name):
+            hit = classify(base.id)
+            if hit is not None:
+                yield GlobalUse(hit[0], ACCESS_MUTATE, target, hit[1])
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _store_uses(element, classify, declared_global)
+
+
+def mutable_global_names(symbols: ModuleSymbols) -> frozenset[str]:
+    """Module globals bound to mutable containers in ``symbols``."""
+    return frozenset(
+        name
+        for name, info in symbols.module_globals.items()
+        if info.kind == KIND_MUTABLE
+    )
+
+
+def reaching_definitions(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> ReachingDefinitions:
+    """Convenience: build the CFG and solve reaching definitions."""
+    return ReachingDefinitions(build_cfg(func))
+
+
+__all__ = [
+    "ACCESS_MUTATE",
+    "ACCESS_READ",
+    "ACCESS_WRITE",
+    "Definition",
+    "GlobalUse",
+    "MUTATING_METHOD_NAMES",
+    "ReachingDefinitions",
+    "escaping_global_uses",
+    "local_bindings",
+    "mutable_global_names",
+    "reaching_definitions",
+]

@@ -1,0 +1,74 @@
+"""The whole-program model handed to :class:`~repro.analysis.engine.ProgramRule`.
+
+A :class:`ProgramModel` bundles everything the cross-module rules need:
+the parsed modules, the symbol table, the call graph, the active/known
+rule-id sets, and — for the stale-suppression rule, which runs after
+every other rule — the set of ``(path, line, rule_id)`` triples whose
+suppression actually absorbed a finding this run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.program.callgraph import CallGraph
+from repro.analysis.program.symbols import SymbolTable
+
+
+class ProgramModel:
+    """Cross-module view of one analysis run."""
+
+    def __init__(
+        self,
+        modules: Sequence[ModuleContext],
+        table: SymbolTable,
+        graph: CallGraph,
+        known_rule_ids: frozenset[str] = frozenset(),
+        active_rule_ids: frozenset[str] = frozenset(),
+    ) -> None:
+        self.modules = tuple(modules)
+        self.table = table
+        self.graph = graph
+        self.known_rule_ids = known_rule_ids
+        self.active_rule_ids = active_rule_ids
+        self.suppression_hits: set[tuple[str, int, str]] = set()
+
+    @classmethod
+    def build(
+        cls,
+        modules: Sequence[ModuleContext],
+        known_rule_ids: Iterable[str] = (),
+        active_rule_ids: Iterable[str] = (),
+    ) -> "ProgramModel":
+        """Index the modules and resolve the call graph in one pass."""
+        table = SymbolTable.build(modules)
+        graph = CallGraph.build(table)
+        return cls(
+            modules,
+            table,
+            graph,
+            known_rule_ids=frozenset(known_rule_ids),
+            active_rule_ids=frozenset(active_rule_ids),
+        )
+
+    @property
+    def modules_by_name(self) -> Mapping[str, ModuleContext]:
+        """Every analyzed module keyed by dotted name."""
+        return {context.module_name: context for context in self.modules}
+
+    def mark_suppression_hits(self, findings: Iterable[Finding]) -> None:
+        """Record which suppressions absorbed a finding this run.
+
+        Called by the engine with every finding (suppressed and not)
+        produced by the rules that ran *before* the stale-suppression
+        rule; a suppression with no matching hit is stale.
+        """
+        for finding in findings:
+            if finding.suppressed:
+                self.suppression_hits.add(
+                    (finding.path, finding.line, finding.rule_id)
+                )
+
+
+__all__ = ["ProgramModel"]

@@ -1,0 +1,325 @@
+"""Cross-module symbol table: who defines what, who imports whom.
+
+The per-module rules of :mod:`repro.analysis.rules` see one file at a
+time; every whole-program rule (transitive cost purity, parallel worker
+safety) first needs to know, for *every* analyzed module, which
+functions and classes it defines, what its imports resolve to, and what
+module-level state it carries.  :class:`SymbolTable` is that index.
+
+Qualified names are dotted: ``repro.cost.hhnl.hhnl_cost`` for a
+module-level function, ``repro.experiments.engine.SweepEngine.evaluate``
+for a method.  Resolution is purely static — no module is imported — so
+the table can be built over fixture trees and over the real package with
+identical semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.analysis.engine import ModuleContext
+
+#: AST literal nodes whose value is a shared *mutable* container
+MUTABLE_LITERAL_NODES = (
+    ast.Dict,
+    ast.List,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+)
+
+#: constructor names that build a mutable container
+MUTABLE_CONSTRUCTOR_NAMES = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "deque",
+        "Counter",
+        "OrderedDict",
+    }
+)
+
+#: global "kind" tags (see :class:`GlobalInfo`)
+KIND_MUTABLE = "mutable"
+KIND_INSTANCE = "instance"
+KIND_CONSTANT = "constant"
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree without descending into nested function/class defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def is_generator(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when the function body yields (ignoring nested defs)."""
+    for node in walk_shallow(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method, addressable by its qualified name."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+    lineno: int = 0
+
+    @property
+    def is_method(self) -> bool:
+        """True when the function is defined inside a class body."""
+        return self.class_name is not None
+
+    @property
+    def generator(self) -> bool:
+        """True when the function is a generator function."""
+        return is_generator(self.node)
+
+
+@dataclass(frozen=True)
+class GlobalInfo:
+    """One module-level binding and what kind of object it names.
+
+    ``kind`` is :data:`KIND_MUTABLE` for container literals/constructors
+    (shared mutable state candidates), :data:`KIND_INSTANCE` for a
+    module-level ``SomeClass(...)`` instance (``constructor`` carries the
+    resolved dotted constructor name), and :data:`KIND_CONSTANT` for
+    everything else.
+    """
+
+    name: str
+    module: str
+    lineno: int
+    kind: str
+    constructor: str = ""
+
+
+@dataclass
+class ModuleSymbols:
+    """Everything the program layer knows about one parsed module."""
+
+    context: ModuleContext
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    module_globals: dict[str, GlobalInfo] = field(default_factory=dict)
+
+    @property
+    def module_name(self) -> str:
+        """The dotted module name (mirrors the context)."""
+        return self.context.module_name
+
+
+def _resolve_value_constructor(
+    value: ast.expr, imports: Mapping[str, str], module_name: str
+) -> str:
+    """Dotted constructor behind ``Name(...)`` / ``mod.Name(...)``, or ''."""
+    if not isinstance(value, ast.Call):
+        return ""
+    func = value.func
+    if isinstance(func, ast.Name):
+        return imports.get(func.id, func.id)
+    if isinstance(func, ast.Attribute):
+        parts: list[str] = []
+        node: ast.expr = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            base = imports.get(node.id, node.id)
+            return ".".join([base, *reversed(parts)])
+    return ""
+
+
+def _classify_global(
+    name: str,
+    value: ast.expr | None,
+    lineno: int,
+    imports: Mapping[str, str],
+    module_name: str,
+) -> GlobalInfo:
+    if value is None:
+        return GlobalInfo(name, module_name, lineno, KIND_CONSTANT)
+    if isinstance(value, MUTABLE_LITERAL_NODES):
+        return GlobalInfo(name, module_name, lineno, KIND_MUTABLE)
+    constructor = _resolve_value_constructor(value, imports, module_name)
+    if constructor:
+        tail = constructor.rsplit(".", 1)[-1]
+        if tail in MUTABLE_CONSTRUCTOR_NAMES:
+            return GlobalInfo(name, module_name, lineno, KIND_MUTABLE, constructor)
+        return GlobalInfo(name, module_name, lineno, KIND_INSTANCE, constructor)
+    return GlobalInfo(name, module_name, lineno, KIND_CONSTANT)
+
+
+def index_module(context: ModuleContext) -> ModuleSymbols:
+    """Build the symbol index of one parsed module."""
+    symbols = ModuleSymbols(context=context)
+    module_name = context.module_name
+
+    for node in context.tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    symbols.imports[alias.asname] = alias.name
+                else:
+                    # `import a.b` binds `a`; attribute chains re-append `.b`.
+                    top = alias.name.split(".", 1)[0]
+                    symbols.imports[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level != 0 or node.module is None:
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                symbols.imports[local] = f"{node.module}.{alias.name}"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{module_name}.{node.name}"
+            symbols.functions[qualname] = FunctionInfo(
+                qualname=qualname,
+                module=module_name,
+                name=node.name,
+                node=node,
+                lineno=node.lineno,
+            )
+        elif isinstance(node, ast.ClassDef):
+            methods: list[str] = []
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{module_name}.{node.name}.{item.name}"
+                    symbols.functions[qualname] = FunctionInfo(
+                        qualname=qualname,
+                        module=module_name,
+                        name=item.name,
+                        node=item,
+                        class_name=node.name,
+                        lineno=item.lineno,
+                    )
+                    methods.append(item.name)
+            symbols.classes[node.name] = tuple(methods)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    symbols.module_globals[target.id] = _classify_global(
+                        target.id,
+                        node.value,
+                        node.lineno,
+                        symbols.imports,
+                        module_name,
+                    )
+    return symbols
+
+
+class SymbolTable:
+    """The cross-module index: dotted names in, definitions out."""
+
+    def __init__(self, modules: Sequence[ModuleSymbols]) -> None:
+        self.modules: dict[str, ModuleSymbols] = {
+            symbols.module_name: symbols for symbols in modules
+        }
+        self._functions: dict[str, FunctionInfo] = {}
+        for symbols in self.modules.values():
+            self._functions.update(symbols.functions)
+
+    @classmethod
+    def build(cls, contexts: Sequence[ModuleContext]) -> "SymbolTable":
+        """Index every parsed module into one table."""
+        return cls([index_module(context) for context in contexts])
+
+    @property
+    def functions(self) -> Mapping[str, FunctionInfo]:
+        """Every indexed function/method by qualified name."""
+        return self._functions
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        """The function behind a dotted name, if it is in the program."""
+        direct = self._functions.get(qualname)
+        if direct is not None:
+            return direct
+        # `repro.cost.model.CostModel(...)` — resolve a class call to its
+        # constructor when the class defines one.
+        init = self._functions.get(qualname + ".__init__")
+        if init is not None:
+            return init
+        # A re-export: `from repro.core.join import resolve_outer_ids`
+        # imported through an intermediate module.
+        if "." in qualname:
+            owner, name = qualname.rsplit(".", 1)
+            module = self.modules.get(owner)
+            if module is not None and name in module.imports:
+                target = module.imports[name]
+                if target != qualname:
+                    return self.function(target)
+        return None
+
+    def resolve_name(self, symbols: ModuleSymbols, name: str) -> str:
+        """A bare name in a module resolved to a dotted program name."""
+        local_function = f"{symbols.module_name}.{name}"
+        if local_function in symbols.functions:
+            return local_function
+        if name in symbols.classes:
+            return local_function
+        if name in symbols.imports:
+            return symbols.imports[name]
+        return name
+
+    def resolve_call(
+        self,
+        symbols: ModuleSymbols,
+        func: ast.expr,
+        enclosing_class: str | None = None,
+    ) -> str | None:
+        """Dotted target of a call expression, or None when unresolvable.
+
+        Handles bare names (local defs, imports), dotted module access
+        (``module.attr`` through an ``import module``), and
+        ``self.method()`` / ``cls.method()`` within a class body.
+        """
+        if isinstance(func, ast.Name):
+            return self.resolve_name(symbols, func.id)
+        if isinstance(func, ast.Attribute):
+            parts: list[str] = []
+            node: ast.expr = func
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            parts.reverse()
+            if isinstance(node, ast.Name):
+                base = node.id
+                if base in ("self", "cls") and enclosing_class is not None:
+                    return ".".join(
+                        [symbols.module_name, enclosing_class, *parts]
+                    )
+                resolved_base = self.resolve_name(symbols, base)
+                return ".".join([resolved_base, *parts])
+        return None
+
+
+__all__ = [
+    "FunctionInfo",
+    "GlobalInfo",
+    "KIND_CONSTANT",
+    "KIND_INSTANCE",
+    "KIND_MUTABLE",
+    "ModuleSymbols",
+    "SymbolTable",
+    "index_module",
+    "is_generator",
+    "walk_shallow",
+]

@@ -1,15 +1,29 @@
-"""Text and JSON renderings of an :class:`~repro.analysis.engine.AnalysisReport`.
+"""Text, JSON and SARIF renderings of an :class:`~repro.analysis.engine.AnalysisReport`.
 
 The text form is for humans at a terminal (one ``path:line:col`` line
 per finding); the JSON form is for CI gates and downstream tooling and
-is stable: ``files``, ``rules``, ``findings``, ``suppressed``, ``clean``.
+is stable: ``files``, ``rules``, ``findings``, ``suppressed``, ``clean``,
+``cache``.  The SARIF form targets the SARIF 2.1.0 log format so code
+hosts and IDEs can ingest lint results; :func:`validate_sarif` checks
+the structural invariants this module relies on and
+:func:`findings_from_sarif` converts a log back into findings for
+round-trip tests.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Mapping, Sequence
 
 from repro.analysis.engine import AnalysisReport, Finding
+from repro.errors import AnalysisError
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_SARIF_LEVELS = {"error", "warning", "note", "none"}
 
 
 def _format_finding(finding: Finding) -> str:
@@ -37,4 +51,175 @@ def render_json(report: AnalysisReport) -> str:
     return json.dumps(report.as_dict(), indent=2, sort_keys=True)
 
 
-__all__ = ["render_json", "render_text"]
+def _sarif_result(finding: Finding) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": finding.severity if finding.severity in _SARIF_LEVELS else "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def render_sarif(
+    report: AnalysisReport, rule_summaries: Mapping[str, str] | None = None
+) -> str:
+    """The report as a SARIF 2.1.0 log document.
+
+    ``rule_summaries`` maps rule id to its one-line summary; ids without
+    a summary still appear in the driver's rule table so every result's
+    ``ruleId`` resolves.
+    """
+    summaries = dict(rule_summaries or {})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": summaries.get(rule_id, rule_id)},
+        }
+        for rule_id in report.rule_ids
+    ]
+    results = [
+        _sarif_result(finding)
+        for finding in (*report.findings, *report.suppressed)
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def validate_sarif(document: object) -> None:
+    """Check the structural invariants of a SARIF 2.1.0 log.
+
+    Not a full JSON-Schema validation (the toolchain is stdlib-only) but
+    enough to catch every shape mistake the renderer could make: raises
+    :class:`~repro.errors.AnalysisError` on the first violation.
+    """
+    if not isinstance(document, dict):
+        raise AnalysisError("SARIF log must be a JSON object")
+    if document.get("version") != SARIF_VERSION:
+        raise AnalysisError(
+            f"SARIF version must be {SARIF_VERSION!r}, got "
+            f"{document.get('version')!r}"
+        )
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise AnalysisError("SARIF log must carry a non-empty 'runs' array")
+    for run in runs:
+        if not isinstance(run, dict):
+            raise AnalysisError("each SARIF run must be an object")
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not isinstance(driver, dict) or not driver.get("name"):
+            raise AnalysisError("each SARIF run needs tool.driver.name")
+        rule_ids = set()
+        for rule in driver.get("rules", ()):
+            if not isinstance(rule, dict) or not rule.get("id"):
+                raise AnalysisError("each SARIF rule needs an 'id'")
+            rule_ids.add(rule["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            raise AnalysisError("each SARIF run needs a 'results' array")
+        for result in results:
+            _validate_sarif_result(result, rule_ids)
+
+
+def _validate_sarif_result(result: object, rule_ids: set[str]) -> None:
+    if not isinstance(result, dict):
+        raise AnalysisError("each SARIF result must be an object")
+    rule_id = result.get("ruleId")
+    if not rule_id:
+        raise AnalysisError("each SARIF result needs a 'ruleId'")
+    if rule_ids and rule_id not in rule_ids:
+        raise AnalysisError(
+            f"SARIF result references undeclared rule {rule_id!r}"
+        )
+    if result.get("level") not in _SARIF_LEVELS:
+        raise AnalysisError(
+            f"SARIF result level must be one of {sorted(_SARIF_LEVELS)}"
+        )
+    message = result.get("message")
+    if not isinstance(message, dict) or "text" not in message:
+        raise AnalysisError("each SARIF result needs message.text")
+    locations = result.get("locations")
+    if not isinstance(locations, list) or not locations:
+        raise AnalysisError("each SARIF result needs a location")
+    for location in locations:
+        physical = (
+            location.get("physicalLocation")
+            if isinstance(location, dict)
+            else None
+        )
+        if not isinstance(physical, dict):
+            raise AnalysisError("each SARIF location needs physicalLocation")
+        artifact = physical.get("artifactLocation")
+        if not isinstance(artifact, dict) or not artifact.get("uri"):
+            raise AnalysisError("physicalLocation needs artifactLocation.uri")
+        region = physical.get("region")
+        if not isinstance(region, dict) or not isinstance(
+            region.get("startLine"), int
+        ):
+            raise AnalysisError("physicalLocation needs region.startLine")
+
+
+def findings_from_sarif(document: Mapping[str, object]) -> tuple[Finding, ...]:
+    """Rebuild findings from a SARIF log (the round-trip direction).
+
+    The log is validated first, so malformed input raises
+    :class:`~repro.errors.AnalysisError` rather than producing garbage.
+    """
+    validate_sarif(document)
+    findings: list[Finding] = []
+    runs: Sequence[Mapping[str, object]] = document["runs"]  # type: ignore[assignment]
+    for run in runs:
+        for result in run["results"]:  # type: ignore[index]
+            location = result["locations"][0]["physicalLocation"]
+            findings.append(
+                Finding(
+                    rule_id=str(result["ruleId"]),
+                    severity=str(result["level"]),
+                    path=str(location["artifactLocation"]["uri"]),
+                    line=int(location["region"]["startLine"]),
+                    column=int(location["region"].get("startColumn", 1)),
+                    message=str(result["message"]["text"]),
+                    suppressed=bool(result.get("suppressions")),
+                )
+            )
+    return tuple(findings)
+
+
+__all__ = [
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "findings_from_sarif",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "validate_sarif",
+]

@@ -2,7 +2,10 @@
 
 :func:`default_rules` is the single assembly point — the CLI, the tier-1
 self-check and the fixture tests all instantiate the same list, so a
-rule registered here is automatically enforced everywhere.
+rule registered here is automatically enforced everywhere.  The
+stale-suppression rule is listed last: it is a
+:class:`~repro.analysis.engine.ProgramRule` with ``needs_findings`` set,
+so the engine runs it after every other rule has reported.
 """
 
 from __future__ import annotations
@@ -15,7 +18,10 @@ from repro.analysis.rules.errors_discipline import ErrorHierarchyRule
 from repro.analysis.rules.floateq import FloatEqualityRule
 from repro.analysis.rules.frozen import FrozenValueTypesRule
 from repro.analysis.rules.io_discipline import CoreIODisciplineRule
+from repro.analysis.rules.parallel_safety import ParallelSafetyRule
 from repro.analysis.rules.purity import CostPurityRule
+from repro.analysis.rules.stale_suppress import StaleSuppressionRule
+from repro.analysis.rules.stream_discipline import StreamDisciplineRule
 from repro.analysis.rules.units import UnitDisciplineRule
 
 
@@ -31,6 +37,9 @@ def default_rules() -> tuple[Rule, ...]:
         ErrorHierarchyRule(),
         PublicApiRule(),
         NoBareAssertRule(),
+        ParallelSafetyRule(),
+        StreamDisciplineRule(),
+        StaleSuppressionRule(),
     )
 
 
@@ -42,7 +51,10 @@ __all__ = [
     "FloatEqualityRule",
     "FrozenValueTypesRule",
     "NoBareAssertRule",
+    "ParallelSafetyRule",
     "PublicApiRule",
+    "StaleSuppressionRule",
+    "StreamDisciplineRule",
     "UnitDisciplineRule",
     "default_rules",
 ]

@@ -1,0 +1,303 @@
+"""RA-PAR-SAFE — functions handed to process pools must be shard-safe.
+
+The sweep engine (and the sharded execution planned on the roadmap)
+fans work out through :class:`concurrent.futures.ProcessPoolExecutor`.
+A worker function crossing that boundary is pickled, re-imported in a
+child process, and runs against a *copy* of module state — so three
+classes of code are silently wrong in parallel even though they pass
+every sequential test:
+
+* workers that are not module-level functions (lambdas, nested
+  closures, bound methods) fail to pickle or drag hidden state along;
+* workers that — directly or through any chain of calls — write or
+  mutate module-level state: each child mutates its own copy and the
+  parent never sees it;
+* workers that read module-level mutable state which other code
+  mutates, or that share a module-level I/O counter
+  (:class:`~repro.storage.iostats.IOStats`), simulated-disk handle, or
+  lock: the parallel run observes a different value than the
+  sequential run, or fails to pickle outright.
+
+Findings anchor at the ``submit``/``map`` call site, where the fix
+(pass state as arguments, give each shard its own counters) is made.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, ProgramRule
+from repro.analysis.program.dataflow import (
+    ACCESS_READ,
+    escaping_global_uses,
+)
+from repro.analysis.program.model import ProgramModel
+from repro.analysis.program.symbols import (
+    KIND_INSTANCE,
+    KIND_MUTABLE,
+    FunctionInfo,
+    ModuleSymbols,
+    SymbolTable,
+    walk_shallow,
+)
+
+_EXECUTOR_NAME = "ProcessPoolExecutor"
+_SUBMIT_METHODS = {"submit", "map"}
+
+#: module-level instances a pickled worker must never reference
+_UNPICKLABLE_CONSTRUCTORS = {
+    "SimulatedDisk",
+    "open",
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+    "Thread",
+}
+
+#: module-level I/O counters a worker must not share across shards
+_SHARED_COUNTER_CONSTRUCTORS = {"IOStats", "TracingIOStats"}
+
+
+def _is_executor_call(table: SymbolTable, symbols: ModuleSymbols, node: ast.expr) -> bool:
+    """True when ``node`` is a ``ProcessPoolExecutor(...)`` construction."""
+    if not isinstance(node, ast.Call):
+        return False
+    resolved = table.resolve_call(symbols, node.func)
+    if resolved is None:
+        return False
+    return resolved.rsplit(".", 1)[-1] == _EXECUTOR_NAME
+
+
+def _pool_receivers(
+    table: SymbolTable,
+    symbols: ModuleSymbols,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> frozenset[str]:
+    """Local names bound to a process-pool executor inside ``func``."""
+    receivers: set[str] = set()
+    for node in walk_shallow(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    _is_executor_call(table, symbols, item.context_expr)
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    receivers.add(item.optional_vars.id)
+        elif isinstance(node, ast.Assign) and _is_executor_call(
+            table, symbols, node.value
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    receivers.add(target.id)
+    return frozenset(receivers)
+
+
+def _local_assignments(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, ast.expr]:
+    """Last straight ``name = value`` binding per local name (shallow)."""
+    assignments: dict[str, ast.expr] = {}
+    for node in walk_shallow(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assignments[target.id] = node.value
+    return assignments
+
+
+def _unwrap_partial(
+    table: SymbolTable, symbols: ModuleSymbols, node: ast.expr
+) -> ast.expr | None:
+    """The wrapped callable of a ``functools.partial(...)`` call, if any."""
+    if not isinstance(node, ast.Call):
+        return None
+    resolved = table.resolve_call(symbols, node.func)
+    if resolved is None or resolved.rsplit(".", 1)[-1] != "partial":
+        return None
+    return node.args[0] if node.args else None
+
+
+class ParallelSafetyRule(ProgramRule):
+    """Flag process-pool workers that are unpicklable or share state."""
+
+    rule_id = "RA-PAR-SAFE"
+    summary = (
+        "functions submitted to a ProcessPoolExecutor must be module-level, "
+        "picklable, and must not touch shared module-level mutable state "
+        "(transitively) or share I/O counters across shards"
+    )
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        """Yield one finding per unsafe worker per submit/map site."""
+        for context in program.modules:
+            symbols = program.table.modules.get(context.module_name)
+            if symbols is None or _EXECUTOR_NAME not in {
+                dotted.rsplit(".", 1)[-1] for dotted in symbols.imports.values()
+            }:
+                continue
+            for info in symbols.functions.values():
+                yield from self._check_function(program, context, symbols, info)
+
+    def _check_function(
+        self,
+        program: ProgramModel,
+        context: ModuleContext,
+        symbols: ModuleSymbols,
+        info: FunctionInfo,
+    ) -> Iterator[Finding]:
+        receivers = _pool_receivers(program.table, symbols, info.node)
+        if not receivers:
+            return
+        assignments = _local_assignments(info.node)
+        for node in walk_shallow(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SUBMIT_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in receivers
+            ):
+                continue
+            if not node.args:
+                continue
+            yield from self._check_worker(
+                program, context, symbols, node, node.args[0], assignments
+            )
+
+    def _check_worker(
+        self,
+        program: ProgramModel,
+        context: ModuleContext,
+        symbols: ModuleSymbols,
+        site: ast.Call,
+        worker_expr: ast.expr,
+        assignments: dict[str, ast.expr],
+    ) -> Iterator[Finding]:
+        table = program.table
+        # Follow one chain of local aliases and partial() wrappers.
+        for _hop in range(8):
+            unwrapped = _unwrap_partial(table, symbols, worker_expr)
+            if unwrapped is not None:
+                worker_expr = unwrapped
+                continue
+            if (
+                isinstance(worker_expr, ast.Name)
+                and worker_expr.id in assignments
+            ):
+                worker_expr = assignments[worker_expr.id]
+                continue
+            break
+        resolved = table.resolve_call(symbols, worker_expr)
+        worker = table.function(resolved) if resolved is not None else None
+        if worker is None:
+            yield self.finding(
+                context,
+                site,
+                "worker submitted to a process pool cannot be resolved to a "
+                "module-level function (lambdas, nested closures and "
+                "dynamically built callables do not pickle across processes)",
+            )
+            return
+        if worker.is_method:
+            yield self.finding(
+                context,
+                site,
+                f"worker {worker.qualname} is a method; process-pool workers "
+                "must be module-level functions (bound methods drag the "
+                "whole instance through pickle)",
+            )
+            return
+        yield from self._check_reachable_state(program, context, site, worker)
+
+    def _check_reachable_state(
+        self,
+        program: ProgramModel,
+        context: ModuleContext,
+        site: ast.Call,
+        worker: FunctionInfo,
+    ) -> Iterator[Finding]:
+        table = program.table
+        mutated_by_module = self._mutated_globals_by_module(program)
+        reported: set[tuple[str, str]] = set()
+        for qualname in program.graph.reachable(worker.qualname):
+            reached = table.functions.get(qualname)
+            if reached is None:
+                continue
+            reached_symbols = table.modules.get(reached.module)
+            if reached_symbols is None:
+                continue
+            for use in escaping_global_uses(reached.node, reached_symbols):
+                key = (use.name, use.access)
+                if key in reported:
+                    continue
+                info = reached_symbols.module_globals.get(use.name)
+                via = (
+                    "" if qualname == worker.qualname else f" via {qualname}"
+                )
+                if use.access != ACCESS_READ:
+                    reported.add(key)
+                    yield self.finding(
+                        context,
+                        site,
+                        f"worker {worker.qualname} {use.access}s module-level "
+                        f"state {use.name!r}{via}; each pool child mutates its "
+                        "own copy, so the parent never observes the change — "
+                        "return results instead of mutating shared state",
+                    )
+                elif info is not None and info.kind == KIND_MUTABLE:
+                    if use.name in mutated_by_module.get(reached.module, frozenset()):
+                        reported.add(key)
+                        yield self.finding(
+                            context,
+                            site,
+                            f"worker {worker.qualname} reads module-level "
+                            f"mutable {use.name!r}{via}, which other code in "
+                            f"{reached.module} mutates; pool children see a "
+                            "stale copy — pass the value as an argument",
+                        )
+                elif info is not None and info.kind == KIND_INSTANCE:
+                    tail = info.constructor.rsplit(".", 1)[-1]
+                    if tail in _SHARED_COUNTER_CONSTRUCTORS:
+                        reported.add(key)
+                        yield self.finding(
+                            context,
+                            site,
+                            f"worker {worker.qualname} shares the module-level "
+                            f"{tail} {use.name!r}{via}; every shard must take "
+                            "its own I/O counter and merge results in the "
+                            "parent",
+                        )
+                    elif tail in _UNPICKLABLE_CONSTRUCTORS:
+                        reported.add(key)
+                        yield self.finding(
+                            context,
+                            site,
+                            f"worker {worker.qualname} references module-level "
+                            f"{tail} instance {use.name!r}{via}, which does "
+                            "not survive pickling into a pool child",
+                        )
+
+    def _mutated_globals_by_module(
+        self, program: ProgramModel
+    ) -> dict[str, frozenset[str]]:
+        mutated: dict[str, set[str]] = {}
+        for qualname, info in program.table.functions.items():
+            symbols = program.table.modules.get(info.module)
+            if symbols is None:
+                continue
+            for use in escaping_global_uses(info.node, symbols):
+                if use.access != ACCESS_READ:
+                    mutated.setdefault(info.module, set()).add(use.name)
+        return {
+            module: frozenset(names) for module, names in mutated.items()
+        }
+
+
+__all__ = ["ParallelSafetyRule"]

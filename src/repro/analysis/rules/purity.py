@@ -4,17 +4,26 @@ Section 5's formulas (``hhs/hhr``, ``hvs/hvr``, ``vvs/vvr``) are
 *predictions*; the moment code under ``repro/cost/`` performs I/O,
 touches the simulated storage stack, or mutates its inputs, the
 measured-vs-model validation loop (``repro validate``) stops being an
-independent check.  This rule pins the layering: cost modules may import
-only parameter/statistics types, and cost functions may not write to
-their arguments, print, or open files.
+independent check.  This rule pins the layering two ways:
+
+* **locally** — cost modules may import only parameter/statistics
+  types, and cost functions may not write to their arguments, print, or
+  open files;
+* **transitively** — a cost function must not *reach*, through any
+  chain of statically-resolved calls, a function that performs I/O,
+  charges the simulated disk, or constructs the I/O-accounting stack.
+  An impure helper parked in an allowed-import module is exactly the
+  laundering this closes; the finding carries the full call path.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Mapping
 
-from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.engine import Finding, ModuleContext, ProgramRule
+from repro.analysis.program.model import ProgramModel
+from repro.analysis.program.symbols import FunctionInfo, SymbolTable, walk_shallow
 
 #: dotted prefixes of repro modules the cost layer may import
 _ALLOWED_IMPORT_PREFIXES = (
@@ -35,6 +44,17 @@ _WRITE_METHODS = {
     "rmdir",
     "touch",
 }
+#: attribute calls that charge the simulated I/O stack
+_CHARGING_METHODS = {
+    "record",
+    "read_record",
+    "read_run",
+    "scan_records",
+    "scan_pages",
+    "scan_with_block_seeks",
+}
+#: constructors whose mere instantiation couples code to the I/O stack
+_IO_CONSTRUCTORS = {"IOStats", "TracingIOStats", "SimulatedDisk"}
 _MUTATING_METHODS = {
     "append",
     "extend",
@@ -61,19 +81,54 @@ def _is_allowed_import(dotted: str) -> bool:
     )
 
 
-class CostPurityRule(Rule):
-    """Flag impurity inside ``repro.cost``: I/O, layering leaks, mutation."""
+def _in_cost_layer(module_name: str) -> bool:
+    return module_name == "repro.cost" or module_name.startswith("repro.cost.")
+
+
+def _direct_impurity(table: SymbolTable, info: FunctionInfo) -> str:
+    """Why ``info`` is impure by itself, or '' when it looks pure."""
+    symbols = table.modules.get(info.module)
+    for node in walk_shallow(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _IO_BUILTINS:
+            return f"calls {func.id}()"
+        if isinstance(func, ast.Attribute):
+            if func.attr in _WRITE_METHODS:
+                return f"calls .{func.attr}()"
+            if func.attr in _CHARGING_METHODS:
+                return f"charges I/O via .{func.attr}()"
+        if symbols is not None:
+            resolved = table.resolve_call(symbols, func, info.class_name)
+            if resolved is not None:
+                tail = resolved.rsplit(".", 1)[-1]
+                if tail in _IO_CONSTRUCTORS:
+                    return f"constructs {tail}"
+    return ""
+
+
+class CostPurityRule(ProgramRule):
+    """Flag impurity inside ``repro.cost``: I/O, layering leaks, mutation,
+    and call chains that reach impure code anywhere in the program."""
 
     rule_id = "RA-COST-PURITY"
     summary = (
         "repro/cost/ must not import storage/execution layers, perform I/O, "
-        "use global state, or mutate its arguments"
+        "use global state, mutate its arguments, or transitively call "
+        "impure code"
     )
 
-    def check(self, module: ModuleContext) -> Iterator[Finding]:
-        """Yield layering, I/O and argument-mutation violations."""
-        if not module.in_package("repro.cost"):
-            return
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        """Yield per-module purity violations, then transitive ones."""
+        for context in program.modules:
+            if context.in_package("repro.cost"):
+                yield from self._module_checks(context)
+        yield from self._transitive(program)
+
+    # --- per-module checks (intra-module purity) --------------------------
+
+    def _module_checks(self, module: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -161,6 +216,37 @@ class CostPurityRule(Rule):
                         f"calls {func_expr.value.id}.{func_expr.attr}(); cost "
                         "formulas must treat their inputs as immutable",
                     )
+
+    # --- transitive reach (the whole-program upgrade) ---------------------
+
+    def _transitive(self, program: ProgramModel) -> Iterator[Finding]:
+        impure: dict[str, str] = {}
+        for qualname, info in program.table.functions.items():
+            reason = _direct_impurity(program.table, info)
+            if reason:
+                impure[qualname] = reason
+        if not impure:
+            return
+        contexts: Mapping[str, ModuleContext] = program.modules_by_name
+        for qualname in sorted(program.table.functions):
+            info = program.table.functions[qualname]
+            if not _in_cost_layer(info.module):
+                continue
+            targets = set(impure) - {qualname}
+            path = program.graph.call_path(qualname, targets)
+            if len(path) < 2:
+                continue
+            context = contexts.get(info.module)
+            if context is None:
+                continue
+            chain = " -> ".join(path)
+            yield self.finding(
+                context,
+                info.node,
+                f"cost function reaches impure code: {chain} "
+                f"({impure[path[-1]]}); cost formulas must stay pure "
+                "along every call path",
+            )
 
 
 __all__ = ["CostPurityRule"]

@@ -1,0 +1,65 @@
+"""RA-STALE-SUPPRESS — every suppression must still suppress something.
+
+A ``# repro: ignore[RULE-ID] -- reason`` comment is a standing claim:
+*this line violates RULE-ID on purpose*.  When the code moves on — the
+violation is fixed, the rule is renamed, the line is refactored — the
+comment silently outlives its reason and starts masking *future*
+violations on that line.  This rule runs after every other rule and
+flags each suppression that absorbed no finding this run.
+
+A suppressed id is judged when it is active in this run, or when no
+rule with that id exists at all (a typo or a renamed rule can never
+fire, so such a suppression is stale under any ``--select``).  Ids that
+exist but were deselected are left alone — a partial run proves
+nothing about them.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ProgramRule
+from repro.analysis.program.model import ProgramModel
+
+
+class StaleSuppressionRule(ProgramRule):
+    """Flag ``repro: ignore`` comments whose rule no longer fires there."""
+
+    rule_id = "RA-STALE-SUPPRESS"
+    needs_findings = True
+    summary = (
+        "a '# repro: ignore[...]' comment whose rule no longer fires on "
+        "that line is dead and must be removed"
+    )
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        """Yield one finding per suppression that absorbed no finding."""
+        for context in program.modules:
+            path = str(context.path)
+            for line in sorted(context.suppressions):
+                for suppressed_id in sorted(context.suppressions[line]):
+                    if suppressed_id == self.rule_id:
+                        continue  # judging our own marker would be circular
+                    known = suppressed_id in program.known_rule_ids
+                    if known and suppressed_id not in program.active_rule_ids:
+                        continue  # deselected this run; nothing is proven
+                    if (path, line, suppressed_id) in program.suppression_hits:
+                        continue
+                    anchor = SimpleNamespace(lineno=line, col_offset=0)
+                    if known:
+                        message = (
+                            f"suppression ignore[{suppressed_id}] is stale: "
+                            f"{suppressed_id} no longer fires on this line — "
+                            "remove the comment so future violations surface"
+                        )
+                    else:
+                        message = (
+                            f"suppression names unknown rule id "
+                            f"{suppressed_id!r}; it can never fire, so the "
+                            "comment is dead — remove or correct it"
+                        )
+                    yield self.finding(context, anchor, message)
+
+
+__all__ = ["StaleSuppressionRule"]

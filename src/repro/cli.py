@@ -131,7 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", default=None,
                       help="files or directories (default: the repro package)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
+    lint.add_argument("--format", choices=("text", "json", "sarif"), default="text",
                       help="report format")
     lint.add_argument("--select", action="append", metavar="RULE-ID",
                       help="run only these rule ids")
@@ -139,6 +139,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also print suppressed findings")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="analyse with N worker processes (0 = one per CPU)")
+    lint.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="incremental result cache directory (off unless given)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="ignore --cache-dir and analyse from scratch")
 
     conformance = sub.add_parser(
         "conformance",
@@ -385,6 +391,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--show-suppressed")
     if args.list_rules:
         argv.append("--list-rules")
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
     return run_analysis(argv)
 
 

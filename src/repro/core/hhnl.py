@@ -337,6 +337,7 @@ def iter_hhnl_backward(
                         tracker.offer(c1_id, similarity)
 
         for doc_id, tracker in trackers.items():
+            ctx.checkpoint()
             yield ctx.emit(
                 MatchBlock(outer_doc=doc_id, matches=tuple(tracker.results()))
             )

@@ -141,6 +141,7 @@ def iter_hvnl(
                     for span, entry in disk.scan_records(
                         inv1_extent, interference=False
                     ):
+                        ctx.checkpoint()
                         buffer.insert(
                             entry.term,
                             entry,

@@ -1,0 +1,13 @@
+"""Fixture: a cost formula laundering I/O through an allowed import."""
+
+from repro.index.stats import dump_weights, weight_summary
+
+
+def pure_cost(weights):
+    """Stays pure: only reaches the pure helper."""
+    return 2.0 * weight_summary(weights)
+
+
+def leaky_cost(weights):
+    """Transitively impure: reaches print() through repro.index.stats."""
+    return weight_summary(dump_weights(weights))

@@ -1,0 +1,33 @@
+"""Fixture: streaming operators breaking every RA-STREAM contract."""
+
+
+def iter_unguarded(ctx, disk, extent):
+    """Loop charges pages with no guard wrapper and no checkpoint."""
+    for span, doc in disk.scan_records(extent, interference=False):
+        yield doc
+
+
+def iter_leaky_phase(ctx, environment, trackers):
+    """Yield suspends while the phase scope is still open."""
+    with environment.execution_scope(ctx):
+        while trackers:
+            ctx.checkpoint()
+            with ctx.phase("leaky.emit"):
+                yield ctx.emit(trackers.pop())
+
+
+def iter_no_checkpoint(ctx, environment, extent, disk):
+    """Outer streaming loop that can never be cancelled."""
+    with environment.execution_scope(ctx):
+        for span, doc in disk.scan_records(extent, interference=False):
+            yield ctx.emit(doc)
+
+
+def iter_disciplined(ctx, environment, extent, disk):
+    """The shape the rule wants: guarded, checkpointed, phases closed."""
+    with environment.execution_scope(ctx):
+        for span, doc in disk.scan_records(extent, interference=False):
+            ctx.checkpoint()
+            with ctx.phase("good.scan"):
+                doc.load()
+            yield ctx.emit(doc)

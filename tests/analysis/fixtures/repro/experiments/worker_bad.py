@@ -1,0 +1,40 @@
+"""Fixture: process-pool submissions violating every RA-PAR-SAFE contract."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.storage.iostats import IOStats
+
+_RESULTS: dict[int, float] = {}
+_SHARED_STATS = IOStats()
+
+
+def tally(key):
+    """Worker that mutates module state — each child mutates its own copy."""
+    _RESULTS[key] = float(key)
+    return len(_RESULTS)
+
+
+def read_shared(key):
+    """Worker reading mutable module state that other code mutates."""
+    return _RESULTS.get(key, 0.0)
+
+
+def charge(key):
+    """Worker sharing the module-level I/O counter across shards."""
+    return (key, _SHARED_STATS)
+
+
+def safe_worker(key):
+    """A self-contained worker — must produce no findings."""
+    return float(key) * 2.0
+
+
+def fan_out(keys):
+    """Submit every kind of unsafe worker, and one safe one."""
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        mutated = list(pool.map(tally, keys))
+        stale = list(pool.map(read_shared, keys))
+        counters = list(pool.map(charge, keys))
+        opaque = pool.submit(lambda key: key, keys[0])
+        clean = list(pool.map(safe_worker, keys))
+    return mutated, stale, counters, opaque, clean

@@ -1,0 +1,12 @@
+"""Fixture: an allowed-import module hiding one impure helper."""
+
+
+def weight_summary(weights):
+    """Pure helper — cost code may reach this freely."""
+    return sum(weights) / len(weights) if weights else 0.0
+
+
+def dump_weights(weights):
+    """Impure helper: cost code must not reach this transitively."""
+    print(weights)
+    return weights

@@ -1,0 +1,7 @@
+"""Fixture: suppression comments that no longer suppress anything."""
+
+
+def tidy(values):
+    """Clean code wearing dead suppression comments."""
+    total = sum(values)  # repro: ignore[RA-UNITS] -- stale: nothing mixes units here
+    return total  # repro: ignore[RA-GONE] -- unknown rule id, can never fire

@@ -8,4 +8,4 @@ both = buffer_pages + budget_bytes  # repro: ignore[RA-UNITS] -- exercising the 
 def noisy(value):
     """An assert and a builtin raise, both suppressed."""
     assert value  # repro: ignore[RA-ASSERT] -- exercising the suppression syntax
-    raise ValueError(value)  # repro: ignore[RA-ERRORS, RA-ASSERT] -- multiple ids on one line
+    raise ValueError(buffer_pages + budget_bytes)  # repro: ignore[RA-ERRORS, RA-UNITS] -- multiple ids on one line

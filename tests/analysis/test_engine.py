@@ -48,6 +48,20 @@ class TestSuppressionParsing:
     def test_plain_comment_is_not_a_suppression(self):
         assert parse_suppressions("x = 1  # repro: ignore\n") == {}
 
+    def test_docstring_text_is_not_a_suppression(self):
+        source = '"""Docs quoting # repro: ignore[RA-UNITS] verbatim."""\nx = 1\n'
+        assert parse_suppressions(source) == {}
+
+    def test_string_literal_is_not_a_suppression(self):
+        source = 'x = "# repro: ignore[RA-UNITS]"\n'
+        assert parse_suppressions(source) == {}
+
+    def test_unparseable_source_falls_back_to_line_scan(self):
+        # tokenize rejects this, but the regex fallback still honours
+        # the comment so a suppression never vanishes on broken input.
+        source = "def broken(:\n    pass  # repro: ignore[RA-UNITS]\n"
+        assert parse_suppressions(source) == {2: frozenset({"RA-UNITS"})}
+
 
 class TestEngineErrors:
     def test_missing_path(self):
@@ -71,14 +85,14 @@ class TestReporters:
         text = render_text(report)
         assert "asserts_bad.py:6" in text
         assert "RA-ASSERT" in text
-        assert text.endswith("9 rule(s)")
+        assert text.endswith("12 rule(s)")
 
     def test_json_report_round_trips(self):
         report = analyze_paths([FIXTURES / "asserts_bad.py"], default_rules())
         payload = json.loads(render_json(report))
         assert payload["clean"] is False
         assert payload["files"] == 1
-        assert len(payload["rules"]) == 9
+        assert len(payload["rules"]) == 12
         [finding] = payload["findings"]
         assert finding["rule"] == "RA-ASSERT"
         assert finding["line"] == 6

@@ -1,0 +1,96 @@
+"""Injected-mutant checks: the new rules catch realistic regressions.
+
+Each test copies a real source file into a ``repro/``-rooted tree under
+``tmp_path``, applies a plausible bad edit textually, and asserts the
+analyzer flags the mutant while the pristine copy stays clean — the same
+discipline ``repro.conformance`` applies to the executors.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import default_rules
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+def plant(tmp_path: Path, relative: str, source: str) -> Path:
+    path = tmp_path / "repro" / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def findings_on(tree: Path, rule_id: str):
+    report = analyze_paths([tree], default_rules(), select=[rule_id])
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+class TestParallelSafetyMutant:
+    """A worker that starts caching into a shared module dict is caught."""
+
+    ORIGINAL_LINE = "    side1, side2, system, query, _dataset = key\n"
+    MUTATION = (
+        "    side1, side2, system, query, _dataset = key\n"
+        "    if key in _POINT_CACHE:\n"
+        "        return _POINT_CACHE[key]\n"
+    )
+    RETURN_LINE = "    return CostModel(side1, side2, system, query).report()\n"
+    CACHING_RETURN = (
+        "    _POINT_CACHE[key] = CostModel(side1, side2, system, query).report()\n"
+        "    return _POINT_CACHE[key]\n"
+    )
+
+    def engine_source(self) -> str:
+        return (PACKAGE_ROOT / "experiments" / "engine.py").read_text()
+
+    def test_pristine_engine_is_clean(self, tmp_path):
+        plant(tmp_path, "experiments/engine.py", self.engine_source())
+        assert findings_on(tmp_path, "RA-PAR-SAFE") == []
+
+    def test_worker_mutating_a_shared_dict_is_caught(self, tmp_path):
+        source = self.engine_source()
+        assert self.ORIGINAL_LINE in source and self.RETURN_LINE in source
+        mutated = source.replace(
+            "def _evaluate_key",
+            "_POINT_CACHE: dict = {}\n\n\ndef _evaluate_key",
+        )
+        mutated = mutated.replace(self.ORIGINAL_LINE, self.MUTATION)
+        mutated = mutated.replace(self.RETURN_LINE, self.CACHING_RETURN)
+        plant(tmp_path, "experiments/engine.py", mutated)
+
+        found = findings_on(tmp_path, "RA-PAR-SAFE")
+        assert found, "the planted shared-dict cache went undetected"
+        messages = "\n".join(f.message for f in found)
+        assert "_POINT_CACHE" in messages
+        assert "mutates module-level state" in messages
+        # the finding anchors on the pool fan-out that ships the worker
+        submitting = (tmp_path / "repro" / "experiments" / "engine.py").read_text()
+        lines = submitting.splitlines()
+        for finding in found:
+            assert "pool.map" in lines[finding.line - 1]
+
+
+class TestStreamDisciplineMutant:
+    """Deleting a checkpoint from a real operator re-opens the finding."""
+
+    @pytest.mark.parametrize(
+        "relative, checkpoint_line",
+        [
+            ("core/hhnl.py", "            ctx.checkpoint()\n"),
+            ("core/hvnl.py", "                        ctx.checkpoint()\n"),
+        ],
+    )
+    def test_dropping_a_checkpoint_is_caught(
+        self, tmp_path, relative, checkpoint_line
+    ):
+        source = (PACKAGE_ROOT / relative).read_text()
+        assert checkpoint_line in source
+        mutated = source.replace(checkpoint_line, "")
+        plant(tmp_path, relative, mutated)
+        found = findings_on(tmp_path, "RA-STREAM")
+        assert found, f"dropping checkpoints from {relative} went undetected"
+        assert any("ctx.checkpoint()" in f.message for f in found)

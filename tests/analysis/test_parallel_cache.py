@@ -1,0 +1,132 @@
+"""Parallel fan-out and the incremental cache: speed-only, never results.
+
+The contract pinned here is the one CI relies on: any combination of
+``--jobs`` and a warm or cold cache yields byte-identical reports (the
+JSON ``cache`` counters aside, which exist precisely to observe hits).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, run
+from repro.analysis.engine import analyze_paths
+from repro.analysis.program import AnalysisCache
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import default_rules
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+
+def stripped(report) -> dict:
+    payload = json.loads(render_json(report))
+    payload.pop("cache")
+    return payload
+
+
+class TestParallelism:
+    def test_two_jobs_match_sequential_byte_for_byte(self):
+        sequential = analyze_paths([FIXTURES], default_rules(), jobs=1)
+        parallel = analyze_paths([FIXTURES], default_rules(), jobs=2)
+        assert render_json(sequential) == render_json(parallel)
+        assert render_text(sequential, show_suppressed=True) == render_text(
+            parallel, show_suppressed=True
+        )
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(AnalysisError, match="jobs"):
+            analyze_paths([FIXTURES], default_rules(), jobs=0)
+
+    def test_cli_jobs_flag(self, capsys):
+        assert run([str(FIXTURES), "--jobs", "2"]) == EXIT_FINDINGS
+        assert "12 rule(s)" in capsys.readouterr().out
+
+
+class TestCache:
+    def test_cold_then_warm(self, tmp_path):
+        cache = AnalysisCache(tmp_path / "cache")
+        cold = analyze_paths([FIXTURES], default_rules(), cache=cache)
+        assert cold.cache_hits == 0
+        # one entry per file plus the whole-program entry
+        assert cold.cache_misses == cold.n_files + 1
+
+        warm_cache = AnalysisCache(tmp_path / "cache")
+        warm = analyze_paths([FIXTURES], default_rules(), cache=warm_cache)
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == warm.n_files + 1
+        assert stripped(warm) == stripped(cold)
+        assert render_text(warm, show_suppressed=True) == render_text(
+            cold, show_suppressed=True
+        )
+
+    def test_content_change_invalidates_one_file(self, tmp_path):
+        tree = tmp_path / "tree" / "repro"
+        tree.mkdir(parents=True)
+        a = tree / "a.py"
+        b = tree / "b.py"
+        a.write_text('"""Doc."""\n')
+        b.write_text('"""Doc."""\n')
+        cache = AnalysisCache(tmp_path / "cache")
+        analyze_paths([tree], default_rules(), cache=cache)
+
+        b.write_text('"""Doc."""\nassert True\n')
+        again = analyze_paths(
+            [tree], default_rules(), cache=AnalysisCache(tmp_path / "cache")
+        )
+        assert again.cache_hits == 1  # a.py untouched
+        # b.py re-analyzed, and the program fingerprint moved with it
+        assert again.cache_misses == 2
+        assert [f.rule_id for f in again.findings] == ["RA-ASSERT"]
+
+    def test_rule_selection_changes_the_key(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        analyze_paths(
+            [FIXTURES / "asserts_bad.py"],
+            default_rules(),
+            cache=AnalysisCache(cache_dir),
+        )
+        selected = analyze_paths(
+            [FIXTURES / "asserts_bad.py"],
+            default_rules(),
+            select=["RA-UNITS"],
+            cache=AnalysisCache(cache_dir),
+        )
+        assert selected.cache_hits == 0
+        assert selected.findings == ()
+
+    def test_corrupt_cache_degrades_to_a_cold_run(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "cache.json").write_text("{not json")
+        report = analyze_paths(
+            [FIXTURES / "asserts_bad.py"],
+            default_rules(),
+            cache=AnalysisCache(cache_dir),
+        )
+        assert report.cache_hits == 0
+        assert [f.rule_id for f in report.findings] == ["RA-ASSERT"]
+
+    def test_cli_cache_flags(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        target = str(FIXTURES / "asserts_bad.py")
+        run([target, "--cache-dir", cache_dir, "--format", "json"])
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cache"]["hits"] == 0
+        run([target, "--cache-dir", cache_dir, "--format", "json"])
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cache"]["hits"] > 0
+        assert warm["cache"]["misses"] == 0
+        warm.pop("cache")
+        cold.pop("cache")
+        assert warm == cold
+
+    def test_no_cache_flag_wins(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        target = str(FIXTURES / "asserts_bad.py")
+        run([target, "--cache-dir", cache_dir])
+        capsys.readouterr()
+        run([target, "--cache-dir", cache_dir, "--no-cache", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"] == {"hits": 0, "misses": 0}

@@ -1,0 +1,461 @@
+"""The whole-program substrate: symbols, call graph, CFG, dataflow.
+
+Modules are written under ``tmp_path/repro/...`` so ``module_name_for``
+resolves them exactly like the real package, then parsed — never
+imported — through :func:`load_module`.
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import load_module
+from repro.analysis.program import (
+    CallGraph,
+    SymbolTable,
+    build_cfg,
+    escaping_global_uses,
+    index_module,
+    is_generator,
+    local_bindings,
+    mutable_global_names,
+    reaching_definitions,
+)
+from repro.analysis.program.dataflow import (
+    ACCESS_MUTATE,
+    ACCESS_READ,
+    ACCESS_WRITE,
+)
+from repro.analysis.program.symbols import (
+    KIND_CONSTANT,
+    KIND_INSTANCE,
+    KIND_MUTABLE,
+)
+
+
+def module(tmp_path: Path, relative: str, source: str):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return load_module(path)
+
+
+def function_node(context, name: str):
+    symbols = index_module(context)
+    return symbols.functions[f"{context.module_name}.{name}"].node
+
+
+class TestSymbols:
+    def test_index_functions_classes_and_methods(self, tmp_path):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            '''
+            """Doc."""
+
+            def helper():
+                """Doc."""
+
+            class Engine:
+                """Doc."""
+
+                def __init__(self):
+                    pass
+
+                def run(self):
+                    pass
+            ''',
+        )
+        symbols = index_module(context)
+        assert symbols.module_name == "repro.pkg.mod"
+        assert "repro.pkg.mod.helper" in symbols.functions
+        assert "repro.pkg.mod.Engine.run" in symbols.functions
+        assert symbols.functions["repro.pkg.mod.Engine.run"].is_method
+        assert not symbols.functions["repro.pkg.mod.helper"].is_method
+        assert symbols.classes["Engine"] == ("__init__", "run")
+
+    def test_import_resolution(self, tmp_path):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            '''
+            """Doc."""
+
+            import math
+            import os.path
+            import repro.cost.hvnl as hv
+            from repro.storage.iostats import IOStats as Stats
+            ''',
+        )
+        imports = index_module(context).imports
+        assert imports["math"] == "math"
+        assert imports["os"] == "os"  # `import os.path` binds the top name
+        assert imports["hv"] == "repro.cost.hvnl"
+        assert imports["Stats"] == "repro.storage.iostats.IOStats"
+
+    def test_global_classification(self, tmp_path):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            '''
+            """Doc."""
+
+            from collections import deque
+
+            from repro.storage.iostats import IOStats
+
+            TABLE = {}
+            QUEUE = deque()
+            STATS = IOStats()
+            LIMIT = 42
+            ''',
+        )
+        found = index_module(context).module_globals
+        assert found["TABLE"].kind == KIND_MUTABLE
+        assert found["QUEUE"].kind == KIND_MUTABLE
+        assert found["STATS"].kind == KIND_INSTANCE
+        assert found["STATS"].constructor == "repro.storage.iostats.IOStats"
+        assert found["LIMIT"].kind == KIND_CONSTANT
+
+    def test_generator_detection_ignores_nested_defs(self, tmp_path):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            '''
+            """Doc."""
+
+            def outer():
+                def inner():
+                    yield 1
+                return inner
+
+            def streaming():
+                yield 2
+            ''',
+        )
+        assert not is_generator(function_node(context, "outer"))
+        assert is_generator(function_node(context, "streaming"))
+
+    def test_table_resolves_class_calls_to_init(self, tmp_path):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            '''
+            """Doc."""
+
+            class Engine:
+                def __init__(self):
+                    pass
+            ''',
+        )
+        table = SymbolTable.build([context])
+        info = table.function("repro.pkg.mod.Engine")
+        assert info is not None
+        assert info.qualname == "repro.pkg.mod.Engine.__init__"
+
+    def test_table_chases_reexports(self, tmp_path):
+        origin = module(
+            tmp_path,
+            "repro/pkg/origin.py",
+            '''
+            """Doc."""
+
+            def helper():
+                pass
+            ''',
+        )
+        facade = module(
+            tmp_path,
+            "repro/pkg/facade.py",
+            '''
+            """Doc."""
+
+            from repro.pkg.origin import helper
+            ''',
+        )
+        table = SymbolTable.build([origin, facade])
+        info = table.function("repro.pkg.facade.helper")
+        assert info is not None
+        assert info.qualname == "repro.pkg.origin.helper"
+
+    def test_resolve_call_handles_self(self, tmp_path):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            '''
+            """Doc."""
+
+            class Engine:
+                def run(self):
+                    return self.step()
+
+                def step(self):
+                    return 1
+            ''',
+        )
+        table = SymbolTable.build([context])
+        symbols = table.modules["repro.pkg.mod"]
+        run = symbols.functions["repro.pkg.mod.Engine.run"].node
+        call = next(n for n in ast.walk(run) if isinstance(n, ast.Call))
+        resolved = table.resolve_call(symbols, call.func, "Engine")
+        assert resolved == "repro.pkg.mod.Engine.step"
+
+
+class TestCallGraph:
+    def build_graph(self, tmp_path):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            '''
+            """Doc."""
+
+            import math
+
+            def leaf():
+                print("x")
+
+            def middle(disk):
+                disk.record("e", sequential=1)
+                return leaf()
+
+            def top():
+                return middle(None) + math.ceil(0.5)
+
+            def lonely():
+                return 0
+            ''',
+        )
+        return CallGraph.build(SymbolTable.build([context]))
+
+    def test_call_classes_are_kept_apart(self, tmp_path):
+        graph = self.build_graph(tmp_path)
+        calls = graph.calls("repro.pkg.mod.middle")
+        assert calls.internal == ("repro.pkg.mod.leaf",)
+        assert [a.attr for a in calls.attributes] == ["record"]
+        assert graph.calls("repro.pkg.mod.leaf").builtins == ("print",)
+        assert "math.ceil" in graph.calls("repro.pkg.mod.top").external
+
+    def test_reachability_is_transitive_and_reflexive(self, tmp_path):
+        graph = self.build_graph(tmp_path)
+        assert graph.reachable("repro.pkg.mod.top") == (
+            "repro.pkg.mod.leaf",
+            "repro.pkg.mod.middle",
+            "repro.pkg.mod.top",
+        )
+        assert graph.reachable("repro.pkg.mod.lonely") == (
+            "repro.pkg.mod.lonely",
+        )
+
+    def test_call_path_is_shortest(self, tmp_path):
+        graph = self.build_graph(tmp_path)
+        assert graph.call_path(
+            "repro.pkg.mod.top", {"repro.pkg.mod.leaf"}
+        ) == (
+            "repro.pkg.mod.top",
+            "repro.pkg.mod.middle",
+            "repro.pkg.mod.leaf",
+        )
+        assert graph.call_path(
+            "repro.pkg.mod.top", {"repro.pkg.mod.top"}
+        ) == ("repro.pkg.mod.top",)
+        assert graph.call_path(
+            "repro.pkg.mod.lonely", {"repro.pkg.mod.leaf"}
+        ) == ()
+
+
+class TestControlFlowGraph:
+    def cfg_for(self, tmp_path, body: str):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            f'"""Doc."""\n\ndef f(x):\n{textwrap.indent(textwrap.dedent(body), "    ")}',
+        )
+        return build_cfg(function_node(context, "f"))
+
+    def test_entry_first_exit_last(self, tmp_path):
+        cfg = self.cfg_for(tmp_path, "return x\n")
+        assert cfg.entry_id == 0
+        assert cfg.exit_id == len(cfg.blocks) - 1
+        assert cfg.blocks[cfg.exit_id].statements == []
+
+    def test_if_branches_rejoin(self, tmp_path):
+        cfg = self.cfg_for(
+            tmp_path,
+            """
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+            """,
+        )
+        # the join block (holding `return a`) has both branch blocks as
+        # predecessors
+        join = next(
+            block.block_id
+            for block in cfg.blocks
+            if any(isinstance(s, ast.Return) for s in block.statements)
+        )
+        assert len(cfg.predecessors(join)) == 2
+
+    def test_while_has_a_back_edge(self, tmp_path):
+        cfg = self.cfg_for(
+            tmp_path,
+            """
+            while x:
+                x = x - 1
+            return x
+            """,
+        )
+        headers = [
+            block.block_id
+            for block in cfg.blocks
+            if any(isinstance(s, ast.While) for s in block.statements)
+        ]
+        assert len(headers) == 1
+        header = headers[0]
+        assert header in {
+            successor
+            for block in cfg.blocks
+            if block.block_id != header
+            for successor in block.successors
+        }
+
+    def test_iter_statements_sees_the_whole_body(self, tmp_path):
+        cfg = self.cfg_for(
+            tmp_path,
+            """
+            a = 1
+            if x:
+                a = 2
+            return a
+            """,
+        )
+        kinds = [type(stmt).__name__ for _, _, stmt in cfg.iter_statements()]
+        assert kinds.count("Assign") == 2
+        assert kinds.count("Return") == 1
+
+
+class TestDataflow:
+    def test_local_bindings(self, tmp_path):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            '''
+            """Doc."""
+
+            COUNT = 0
+
+            def f(a, *rest, **kw):
+                b = 1
+                for i in rest:
+                    pass
+                with open("x") as fh:
+                    pass
+                try:
+                    pass
+                except ValueError as err:
+                    pass
+                global COUNT
+                COUNT = 2
+            ''',
+        )
+        names = local_bindings(function_node(context, "f"))
+        assert {"a", "rest", "kw", "b", "i", "fh", "err"} <= names
+        assert "COUNT" not in names  # declared global, binds the module
+
+    def test_reaching_definitions_merge_at_joins(self, tmp_path):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            '''
+            """Doc."""
+
+            def f(x):
+                a = 1
+                if x:
+                    a = 2
+                return a
+            ''',
+        )
+        solved = reaching_definitions(function_node(context, "f"))
+        sites = solved.definitions_of("a")
+        assert [d.lineno for d in sites] == [5, 7]
+        exit_in = solved.reaching_in(solved.cfg.exit_id)
+        assert {d.lineno for d in exit_in if d.name == "a"} == {5, 7}
+
+    def escape_uses(self, tmp_path, source: str, name="f"):
+        context = module(tmp_path, "repro/pkg/mod.py", source)
+        symbols = index_module(context)
+        func = symbols.functions[f"repro.pkg.mod.{name}"].node
+        return escaping_global_uses(func, symbols)
+
+    def test_read_write_and_mutate_are_distinguished(self, tmp_path):
+        uses = self.escape_uses(
+            tmp_path,
+            '''
+            """Doc."""
+
+            TABLE = {}
+            COUNT = 0
+
+            def f(key):
+                global COUNT
+                COUNT = COUNT + 1
+                TABLE[key] = 1
+                return COUNT
+            ''',
+        )
+        by_access = {(u.name, u.access) for u in uses}
+        assert ("COUNT", ACCESS_WRITE) in by_access
+        assert ("COUNT", ACCESS_READ) in by_access
+        assert ("TABLE", ACCESS_MUTATE) in by_access
+
+    def test_plain_assignment_shadows_instead_of_writing(self, tmp_path):
+        uses = self.escape_uses(
+            tmp_path,
+            '''
+            """Doc."""
+
+            COUNT = 0
+
+            def f():
+                COUNT = 1
+                return COUNT
+            ''',
+        )
+        assert uses == ()  # `COUNT` is a local; the module is untouched
+
+    def test_mutation_through_a_local_alias_is_caught(self, tmp_path):
+        uses = self.escape_uses(
+            tmp_path,
+            '''
+            """Doc."""
+
+            TABLE = {}
+
+            def f(key):
+                alias = TABLE
+                handle = alias
+                handle.update({key: 1})
+            ''',
+        )
+        mutations = [u for u in uses if u.access == ACCESS_MUTATE]
+        assert [(u.name, u.via_alias) for u in mutations] == [("TABLE", True)]
+
+    def test_mutable_global_names(self, tmp_path):
+        context = module(
+            tmp_path,
+            "repro/pkg/mod.py",
+            '''
+            """Doc."""
+
+            TABLE = {}
+            LIMIT = 3
+            ''',
+        )
+        assert mutable_global_names(index_module(context)) == frozenset(
+            {"TABLE"}
+        )

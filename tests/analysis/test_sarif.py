@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 output: rendering, structural validation, round-trip."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import EXIT_FINDINGS, run
+from repro.analysis.engine import analyze_paths
+from repro.analysis.reporters import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    findings_from_sarif,
+    render_sarif,
+    validate_sarif,
+)
+from repro.analysis.rules import default_rules
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+
+def sarif_for(*relative: str) -> dict:
+    rules = default_rules()
+    report = analyze_paths([FIXTURES / r for r in relative], rules)
+    summaries = {rule.rule_id: rule.summary for rule in rules}
+    return json.loads(render_sarif(report, summaries))
+
+
+class TestRendering:
+    def test_document_shape(self):
+        document = sarif_for("asserts_bad.py")
+        assert document["version"] == SARIF_VERSION
+        assert document["$schema"] == SARIF_SCHEMA_URI
+        [sarif_run] = document["runs"]
+        driver = sarif_run["tool"]["driver"]
+        assert driver["name"] == "repro-analysis"
+        assert len(driver["rules"]) == 12
+        [result] = sarif_run["results"]
+        assert result["ruleId"] == "RA-ASSERT"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("asserts_bad.py")
+        assert location["region"]["startLine"] == 6
+
+    def test_validates_its_own_output(self):
+        validate_sarif(sarif_for("asserts_bad.py"))
+        validate_sarif(sarif_for())  # the whole fixture tree
+
+    def test_suppressed_findings_are_marked_in_source(self):
+        document = sarif_for("suppressed_ok.py")
+        [sarif_run] = document["runs"]
+        suppressions = [
+            result.get("suppressions") for result in sarif_run["results"]
+        ]
+        assert suppressions  # the fixture is entirely suppressed findings
+        assert all(s == [{"kind": "inSource"}] for s in suppressions)
+
+
+class TestValidation:
+    def test_rejects_wrong_version(self):
+        document = sarif_for("asserts_bad.py")
+        document["version"] = "1.0.0"
+        with pytest.raises(AnalysisError, match="version"):
+            validate_sarif(document)
+
+    def test_rejects_undeclared_rule_ids(self):
+        document = sarif_for("asserts_bad.py")
+        document["runs"][0]["results"][0]["ruleId"] = "RA-UNDECLARED"
+        with pytest.raises(AnalysisError, match="RA-UNDECLARED"):
+            validate_sarif(document)
+
+    def test_rejects_missing_location(self):
+        document = sarif_for("asserts_bad.py")
+        del document["runs"][0]["results"][0]["locations"]
+        with pytest.raises(AnalysisError):
+            validate_sarif(document)
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(AnalysisError):
+            validate_sarif(["not", "a", "log"])
+
+
+class TestRoundTrip:
+    def test_findings_survive_the_round_trip(self):
+        rules = default_rules()
+        report = analyze_paths([FIXTURES], rules)
+        summaries = {rule.rule_id: rule.summary for rule in rules}
+        document = json.loads(render_sarif(report, summaries))
+        rebuilt = findings_from_sarif(document)
+        assert rebuilt == (*report.findings, *report.suppressed)
+
+
+class TestCli:
+    def test_format_sarif(self, capsys):
+        code = run([str(FIXTURES / "asserts_bad.py"), "--format", "sarif"])
+        assert code == EXIT_FINDINGS
+        document = json.loads(capsys.readouterr().out)
+        validate_sarif(document)
+        assert document["runs"][0]["results"][0]["ruleId"] == "RA-ASSERT"
+
+    def test_repro_lint_subcommand_sarif(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", str(FIXTURES / "asserts_bad.py"), "--format", "sarif"]) == 1
+        validate_sarif(json.loads(capsys.readouterr().out))

@@ -28,9 +28,23 @@ class TestSelfClean:
             f"{f.location}: {f.rule_id}: {f.message}" for f in report.findings
         )
 
-    def test_at_least_eight_active_rules(self):
+    def test_at_least_twelve_active_rules(self):
         report = run_self_analysis()
-        assert len(report.rule_ids) >= 8
+        assert len(report.rule_ids) >= 12
+
+    def test_program_rules_are_active(self):
+        # The whole-program families must run in the self-check: a clean
+        # report with them disabled would be vacuous.
+        report = run_self_analysis()
+        for rule_id in ("RA-PAR-SAFE", "RA-STREAM", "RA-STALE-SUPPRESS"):
+            assert rule_id in report.rule_ids
+
+    def test_no_stale_suppressions_in_tree(self):
+        # Every in-tree suppression must absorb a live finding; the
+        # stale-suppress rule would report any that rotted.
+        report = run_self_analysis()
+        stale = [f for f in report.findings if f.rule_id == "RA-STALE-SUPPRESS"]
+        assert stale == []
 
     def test_analyzes_the_whole_package(self):
         report = run_self_analysis()

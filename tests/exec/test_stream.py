@@ -8,7 +8,7 @@ and cancellation behaviour, and the context's view of a real join.
 
 import pytest
 
-from repro.core.hhnl import iter_hhnl, run_hhnl
+from repro.core.hhnl import iter_hhnl, iter_hhnl_backward, run_hhnl
 from repro.core.hvnl import iter_hvnl, run_hvnl
 from repro.core.integrated import IntegratedJoin
 from repro.core.join import JoinEnvironment, TextJoinSpec
@@ -198,6 +198,46 @@ class TestContextThroughOperators:
         with pytest.raises(ExecutionCancelledError):
             for _ in stream:
                 pass
+
+    def test_backward_drain_is_cancellable(self, synthetic_pair):
+        # HHNL-backward emits every block in its final drain loop, after
+        # all scanning is done; cancellation must still interrupt the
+        # drain itself, block by block.
+        cancelled = {"flag": False}
+        ctx = ExecutionContext(cancel_check=lambda: cancelled["flag"])
+        system = SystemParams(buffer_pages=8, page_bytes=512)
+        stream = iter_hhnl_backward(
+            fresh_env(synthetic_pair), TextJoinSpec(lam=2), system, context=ctx
+        )
+        next(stream)
+        cancelled["flag"] = True
+        with pytest.raises(ExecutionCancelledError):
+            next(stream)
+        assert ctx.blocks_emitted == 1
+
+    def test_hvnl_bulk_load_is_cancellable(self, synthetic_pair):
+        # The one-shot inverted-file bulk load happens before the first
+        # block is yielded; a cancellation arriving mid-scan must stop it
+        # before the whole inverted extent has been paid for.
+        env = fresh_env(synthetic_pair)
+        inv1_name = env.inv1_extent.name
+
+        def cancelled_once_scanning():
+            return env.disk.stats.by_extent.get(inv1_name) is not None
+
+        ctx = ExecutionContext(cancel_check=cancelled_once_scanning)
+        system = SystemParams(buffer_pages=64, page_bytes=512)
+        stream = iter_hvnl(
+            fresh_env(synthetic_pair), TextJoinSpec(lam=2), system
+        )
+        full_pages = drain(stream)[1].io.total_reads
+        with pytest.raises(ExecutionCancelledError):
+            for _ in iter_hvnl(
+                env, TextJoinSpec(lam=2), system, context=ctx
+            ):
+                pass
+        assert "hvnl.bulk-load" in ctx.phase_stats
+        assert 0 < env.disk.stats.total_reads < full_pages
 
 
 class TestIntegratedStreaming:
