@@ -242,6 +242,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--json", action="store_true",
                      help="emit a machine-readable execution summary instead "
                      "of the row listing")
+    sql.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="run the text join partitioned across N shards "
+                     "with an exact top-lambda merge (rows are identical "
+                     "to the sequential path at any N)")
+    sql.add_argument("--jobs", type=int, default=0,
+                     help="process-pool workers for --shards (<= 1 runs "
+                     "the shards in-process)")
+    sql.add_argument("--rows-only", action="store_true",
+                     help="print only the column header and every row — "
+                     "no execution stats, so output is comparable across "
+                     "shard counts")
 
     join = sub.add_parser(
         "join", help="join two folders of .txt files (SIMILAR_TO over files)"
@@ -561,10 +572,19 @@ def _cmd_sql(args: argparse.Namespace) -> int:
             ).bind_text("Doc", generate_collection(spec2))
         )
     system = SystemParams(buffer_pages=args.buffer, page_bytes=page_bytes)
-    result = execute(args.query, catalog, system, scenario=args.scenario)
+    result = execute(
+        args.query, catalog, system, scenario=args.scenario,
+        shards=args.shards, jobs=args.jobs,
+    )
+
+    if args.rows_only:
+        print("  ".join(result.columns))
+        for row in result.rows:
+            print("  ".join(str(value) for value in row))
+        return 0
 
     if args.json:
-        print(json.dumps({
+        summary = {
             "rows": len(result.rows),
             "columns": result.columns,
             "algorithm": result.algorithm,
@@ -572,7 +592,10 @@ def _cmd_sql(args: argparse.Namespace) -> int:
             "blocks_emitted": result.extras.get("blocks_emitted"),
             "truncated": result.extras.get("truncated"),
             "dataset_build_events": result.extras.get("dataset_build_events"),
-        }, sort_keys=True))
+        }
+        if "sharding" in result.extras:
+            summary["sharding"] = result.extras["sharding"]
+        print(json.dumps(summary, sort_keys=True))
         return 0
 
     algorithm = result.algorithm or "selection"

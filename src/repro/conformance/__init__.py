@@ -58,6 +58,11 @@ from repro.conformance.report import (
     save_report,
     validate_report,
 )
+from repro.conformance.parallelcheck import (
+    SHARD_COUNTS,
+    ShardedRunnerFn,
+    run_parallel_equivalence,
+)
 from repro.conformance.runner import run_conformance
 from repro.conformance.workspace import LoaderFn, run_workspace_roundtrip
 from repro.conformance.trials import (
@@ -85,7 +90,9 @@ __all__ = [
     "Matches",
     "MetamorphicOutcome",
     "REPORT_SCHEMA",
+    "SHARD_COUNTS",
     "SQL_PATH",
+    "ShardedRunnerFn",
     "TrialConfig",
     "build_report",
     "compare_matches",
@@ -98,6 +105,7 @@ __all__ = [
     "run_costcheck",
     "run_differential",
     "run_metamorphic",
+    "run_parallel_equivalence",
     "run_streaming_equivalence",
     "run_workspace_roundtrip",
     "save_report",

@@ -27,6 +27,7 @@ CHECK_NAMES = (
     "costcheck",
     "streaming-equivalence",
     "workspace-roundtrip",
+    "parallel-equivalence",
 )
 
 

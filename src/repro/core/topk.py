@@ -9,6 +9,15 @@ results — an invariant the integration tests rely on.
 Only strictly positive similarities qualify: a pair sharing no terms is
 not "similar", and the inverted-file algorithms never even see such
 pairs, so admitting zeros in HHNL would make the algorithms disagree.
+
+Determinism is a *total-order* property: candidates are ranked by
+``(similarity desc, doc_id asc)`` with the document id as the final
+tie-break, so the retained set — and therefore :meth:`TopK.results` —
+is a pure function of the offered candidate set, independent of arrival
+order.  That is what makes sharded execution exact: per-shard trackers
+built over disjoint inner partitions :meth:`TopK.merge` into precisely
+the tracker a sequential run would have built, no matter how the shards
+are ordered or grouped (the merge is associative and commutative).
 """
 
 from __future__ import annotations
@@ -24,16 +33,21 @@ class TopK:
 
     Internally a min-heap of ``(similarity, -doc_id)`` so the *worst*
     retained candidate — smallest similarity, largest doc id among equals
-    — sits at the root and is evicted first.
+    — sits at the root and is evicted first, mirrored by a
+    ``doc_id -> similarity`` dict so re-offering a document already
+    retained (as merging overlapping trackers does) can never create a
+    duplicate heap entry: the document keeps its best similarity and the
+    heap always holds at most one entry per document.
     """
 
-    __slots__ = ("k", "_heap")
+    __slots__ = ("k", "_heap", "_entries")
 
     def __init__(self, k: int) -> None:
         if k <= 0:
             raise InvalidParameterError(f"k must be positive, got {k}")
         self.k = k
         self._heap: list[tuple[float, int]] = []
+        self._entries: dict[int, float] = {}
 
     def offer(self, doc_id: int, similarity: float) -> bool:
         """Consider a candidate; returns True if it was retained.
@@ -44,17 +58,66 @@ class TopK:
         every later comparison (heap order and :meth:`results` sorting
         both become undefined).  ``inf`` is rejected for the same reason —
         no real similarity is unbounded.
+
+        Offering a document that is already retained keeps the larger of
+        the two similarities (and never evicts a different document), so
+        any sequence of offers yields exactly the top-``k`` of the
+        distinct documents seen — the order-independence the sharded
+        merge relies on.
         """
         if not math.isfinite(similarity) or similarity <= 0.0:
             return False
         entry = (similarity, -doc_id)
+        if len(self._heap) >= self.k and entry <= self._heap[0]:
+            # Below (or tied with) the bar: not retained.  Correct even
+            # for a document already in the heap — its stored entry is
+            # >= the root, so this offer cannot improve it.
+            return False
+        current = self._entries.get(doc_id)
+        if current is not None:
+            if similarity <= current:
+                return False
+            # The document is retained with a worse similarity: upgrade
+            # it in place rather than pushing a duplicate entry.
+            self._entries[doc_id] = similarity
+            self._rebuild()
+            return True
         if len(self._heap) < self.k:
+            self._entries[doc_id] = similarity
             heapq.heappush(self._heap, entry)
             return True
-        if entry > self._heap[0]:
-            heapq.heapreplace(self._heap, entry)
-            return True
-        return False
+        worst_sim, worst_neg = heapq.heapreplace(self._heap, entry)
+        del self._entries[-worst_neg]
+        self._entries[doc_id] = similarity
+        return True
+
+    def _rebuild(self) -> None:
+        """Re-heapify from the entries dict (after an in-place upgrade)."""
+        self._heap = [(sim, -doc_id) for doc_id, sim in self._entries.items()]
+        heapq.heapify(self._heap)
+
+    def merge(self, other: "TopK") -> "TopK":
+        """Fold ``other``'s retained candidates into this tracker; returns self.
+
+        Because :meth:`offer` is order-independent and duplicate-safe,
+        merging is **associative and commutative**: any tree of merges
+        over per-shard trackers produces the tracker a sequential run
+        over the union of their candidates would have produced.  A
+        document retained by both sides keeps its larger similarity.
+        ``other`` is not modified.
+        """
+        if not isinstance(other, TopK):
+            raise InvalidParameterError(
+                f"can only merge another TopK, got {type(other).__name__}"
+            )
+        if other.k != self.k:
+            raise InvalidParameterError(
+                f"cannot merge TopK trackers with different k: "
+                f"{self.k} vs {other.k}"
+            )
+        for doc_id, similarity in other._entries.items():
+            self.offer(doc_id, similarity)
+        return self
 
     def threshold(self) -> float:
         """Smallest similarity that currently survives (0.0 while unfilled)."""

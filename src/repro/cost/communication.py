@@ -78,6 +78,24 @@ def _participating_document_pages(side: JoinSide) -> float:
     return min(stats.D, side.n_participating * per_doc)
 
 
+def inner_structure_pages(algorithm: str, side1: JoinSide) -> float:
+    """Pages of the C1 structures one remote site needs for ``algorithm``.
+
+    This is the single source of truth for what fragment-and-replicate
+    execution ships per extra site, shared with :func:`communication_cost`
+    so the replication bill is priced consistently across algorithms —
+    in particular, a *selected* C1 ships only its participating
+    documents' pages, exactly as the per-site communication model does.
+    """
+    if algorithm == "HHNL":
+        return _participating_document_pages(side1)
+    if algorithm == "HVNL":
+        return side1.stats.I + side1.stats.Bt
+    if algorithm == "VVM":
+        return side1.stats.I
+    raise InvalidParameterError(f"unknown algorithm {algorithm!r}")
+
+
 def communication_cost(
     algorithm: str,
     side1: JoinSide,

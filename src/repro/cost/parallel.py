@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+from repro.cost.communication import inner_structure_pages
 from repro.cost.hhnl import hhnl_cost
 from repro.cost.hvnl import hvnl_cost
 from repro.cost.params import JoinSide, QueryParams, SystemParams
@@ -44,6 +45,13 @@ class ParallelCost:
 
     @property
     def speedup(self) -> float:
+        # Equal costs mean no speedup at all — exactly 1.0, by identity
+        # rather than division.  This covers k=1 (the fragment *is* the
+        # whole outer side, so the costs are the same float) and the
+        # infeasible-on-both-sides case, where inf/inf would otherwise
+        # poison the report with NaN.
+        if self.per_site_cost == self.sequential_cost:
+            return 1.0
         if self.per_site_cost <= 0:
             return float("inf") if self.sequential_cost > 0 else 1.0
         return self.sequential_cost / self.per_site_cost
@@ -100,12 +108,12 @@ def parallel_cost(
     except InsufficientMemoryError:
         per_site = float("inf")
 
-    if algorithm == "HHNL":
-        replication = side1.stats.D * (k - 1)
-    elif algorithm == "HVNL":
-        replication = (side1.stats.I + side1.stats.Bt) * (k - 1)
-    else:  # VVM ships the inner inverted file to every site
-        replication = side1.stats.I * (k - 1)
+    # The one-time replication bill: what each *extra* site must receive,
+    # priced by the same helper the communication model uses so all three
+    # algorithms (and selected inner sides) are billed consistently —
+    # HHNL ships the participating documents, HVNL the inverted file plus
+    # its B+-tree, VVM the inverted file alone.  Exactly 0.0 at k=1.
+    replication = inner_structure_pages(algorithm, side1) * (k - 1)
 
     return ParallelCost(
         algorithm=algorithm,

@@ -109,6 +109,20 @@ class ExecutionCancelledError(ExecError):
     """The context's cancellation check asked the join to stop."""
 
 
+class ParallelExecutionError(ExecError):
+    """Sharded parallel execution (:mod:`repro.parallel`) failed.
+
+    Raised for invalid shard configurations and for shard workers that
+    died in a pool child; carries the failing shard's index (when known)
+    so the caller can replay that shard sequentially.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None) -> None:
+        super().__init__(message)
+        #: index of the shard whose worker failed, when attributable
+        self.shard = shard
+
+
 class SqlError(ReproError):
     """Base class for the mini SQL front-end."""
 

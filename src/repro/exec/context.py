@@ -29,6 +29,7 @@ fresh context per query.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from types import MappingProxyType
@@ -66,6 +67,35 @@ class ExecutionBudget:
     @property
     def unlimited(self) -> bool:
         return self.pages is None and self.seconds is None
+
+    def split(self, count: int) -> tuple["ExecutionBudget", ...]:
+        """Divide this budget across ``count`` independent shards.
+
+        The page allowance is distributed as evenly as possible (the
+        first ``pages % count`` shards get one extra page); a shard
+        never receives less than one page, so splitting a tiny budget
+        across many shards over-allocates rather than handing out an
+        invalid zero budget.  The time allowance is *shared*, not
+        divided: shards run against the same wall clock, so each keeps
+        the full deadline.
+        """
+        if count <= 0:
+            raise InvalidParameterError(
+                f"shard count must be positive, got {count}"
+            )
+        if self.pages is None:
+            return tuple(
+                ExecutionBudget(pages=None, seconds=self.seconds)
+                for _ in range(count)
+            )
+        base, extra = divmod(self.pages, count)
+        return tuple(
+            ExecutionBudget(
+                pages=max(1, base + (1 if index < extra else 0)),
+                seconds=self.seconds,
+            )
+            for index in range(count)
+        )
 
 
 @runtime_checkable
@@ -227,15 +257,25 @@ class ExecutionContext:
             return
         if state.started_at is None:
             state.started_at = self.clock()
-        state.attached = stats
-        state.baseline = stats.snapshot()
+        # Take the baseline and subscribe *before* marking the context
+        # attached: if either raises (a tracing-stats subclass may), no
+        # observer is registered and the context stays clean — marking
+        # first would leave ``attached`` set forever, silently turning
+        # every later guard into a nested no-op with the budget
+        # unenforced.
+        baseline = stats.snapshot()
         stats.subscribe(self._on_record)
+        state.attached = stats
+        state.baseline = baseline
         try:
             yield self
         finally:
-            stats.unsubscribe(self._on_record)
+            # Detach unconditionally, even when the guarded body raised
+            # mid-phase: a failed shard must not leave an observer on a
+            # counter that the parent later merges.
             state.attached = None
             state.baseline = None
+            stats.unsubscribe(self._on_record)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -254,8 +294,18 @@ class ExecutionContext:
             )
             bucket = self._state.phase_stats.setdefault(name, IOStats())
             bucket.merge(delta)
+            # Every hook must see the phase close even if an earlier one
+            # raises, and a hook failure must never mask the exception
+            # that aborted the phase body (a shard worker's real error).
+            hook_error: BaseException | None = None
             for hook in self.hooks:
-                hook.on_phase_end(name, delta)
+                try:
+                    hook.on_phase_end(name, delta)
+                except BaseException as exc:  # noqa: BLE001 — re-raised below
+                    if hook_error is None:
+                        hook_error = exc
+            if hook_error is not None and sys.exc_info()[1] is None:
+                raise hook_error
 
     def emit(self, block: Any) -> Any:
         """Pass one finalised match block through the hooks; returns it."""

@@ -1,0 +1,29 @@
+"""Partitioned (sharded) join execution with exact top-``lambda`` merge.
+
+The package splits one side of a text join into contiguous document
+shards (:mod:`repro.core.shards`), runs the unmodified streaming
+operators once per shard — in-process or on a process pool — and merges
+the per-shard results into output byte-identical to a sequential run.
+"""
+
+from repro.parallel.merge import (
+    check_outcomes,
+    merge_io,
+    merge_matches,
+    merge_phase_stats,
+)
+from repro.parallel.runner import ShardedJoinResult, run_sharded
+from repro.parallel.tasks import ShardOutcome, ShardTask
+from repro.parallel.worker import run_shard_task
+
+__all__ = [
+    "ShardOutcome",
+    "ShardTask",
+    "ShardedJoinResult",
+    "check_outcomes",
+    "merge_io",
+    "merge_matches",
+    "merge_phase_stats",
+    "run_shard_task",
+    "run_sharded",
+]

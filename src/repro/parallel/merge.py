@@ -1,0 +1,97 @@
+"""Exact merge of per-shard results.
+
+The merge is where sharded execution earns its "byte-identical" claim:
+
+* **Matches.**  Every outer document's global top-``lambda`` set is a
+  subset of the union of its per-shard top-``lambda`` sets (dropping
+  candidates from a shard can only *remove* competitors, so a global
+  survivor survives its own shard), and
+  :meth:`~repro.core.topk.TopK.merge` re-ranks that union under the
+  same ``(similarity desc, doc id asc)`` total order every operator
+  uses.  Per-pair similarities are bit-identical across shard counts
+  (see :mod:`repro.core.shards`), so the merged lists equal a
+  sequential run's lists exactly — values, ordering and all.
+* **I/O.**  Shard counters are disjoint (each worker owns a fresh
+  disk), so :meth:`~repro.storage.iostats.IOStats.merge` makes the
+  global counter the exact key-wise sum of the per-shard counters: the
+  additivity invariant the conformance and property suites pin.  The
+  merge itself reads no pages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.join import TextJoinSpec
+from repro.core.topk import TopK
+from repro.errors import ParallelExecutionError
+from repro.parallel.tasks import ShardOutcome
+from repro.storage.iostats import IOStats
+
+
+def merge_matches(
+    outcomes: Sequence[ShardOutcome], spec: TextJoinSpec
+) -> dict[int, list[tuple[int, float]]]:
+    """Fold per-shard matches into the exact global top-``lambda`` dict.
+
+    Outer documents come back in ascending id order (the emission order
+    every sequential operator uses), and an outer document that matched
+    nothing anywhere keeps its empty list — exactly as a sequential run
+    reports it.
+    """
+    trackers: dict[int, TopK] = {}
+    for outcome in outcomes:
+        for outer_doc, hits in outcome.matches.items():
+            shard_tracker = TopK(spec.lam)
+            for inner_doc, similarity in hits:
+                shard_tracker.offer(inner_doc, similarity)
+            tracker = trackers.get(outer_doc)
+            if tracker is None:
+                trackers[outer_doc] = shard_tracker
+            else:
+                tracker.merge(shard_tracker)
+    return {
+        outer_doc: trackers[outer_doc].results()
+        for outer_doc in sorted(trackers)
+    }
+
+
+def merge_io(outcomes: Iterable[ShardOutcome]) -> IOStats:
+    """The key-wise sum of the shards' private counters."""
+    merged = IOStats()
+    for outcome in outcomes:
+        merged.merge(outcome.io)
+    return merged
+
+
+def merge_phase_stats(outcomes: Iterable[ShardOutcome]) -> dict[str, IOStats]:
+    """Per-phase buckets summed across shards (same keys as sequential)."""
+    merged: dict[str, IOStats] = {}
+    for outcome in outcomes:
+        for name, stats in outcome.phase_stats.items():
+            merged.setdefault(name, IOStats()).merge(stats)
+    return merged
+
+
+def check_outcomes(outcomes: Sequence[ShardOutcome]) -> None:
+    """Reject merge inputs that cannot have come from one shard plan."""
+    if not outcomes:
+        raise ParallelExecutionError("no shard outcomes to merge")
+    indices = sorted(outcome.index for outcome in outcomes)
+    if indices != list(range(len(outcomes))):
+        raise ParallelExecutionError(
+            f"shard outcomes are not a complete plan: indices {indices}"
+        )
+    algorithms = {outcome.algorithm for outcome in outcomes}
+    if len(algorithms) > 1:
+        raise ParallelExecutionError(
+            f"shard outcomes mix algorithms: {sorted(algorithms)}"
+        )
+
+
+__all__ = [
+    "check_outcomes",
+    "merge_io",
+    "merge_matches",
+    "merge_phase_stats",
+]

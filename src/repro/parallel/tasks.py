@@ -1,0 +1,82 @@
+"""Picklable units of sharded work and their results.
+
+A :class:`ShardTask` is everything one pool child needs to run one shard
+— algorithm, join spec, system parameters, the shard's document slice,
+the per-shard budget, and a *source* for the dataset (a workspace
+directory to warm-load, or a pickled
+:class:`~repro.core.environment.EnvironmentFactory`).  It deliberately
+carries **no** live execution state: no disk, no
+:class:`~repro.storage.iostats.IOStats`, no context — each worker builds
+its own, which is what makes the fan-out RA-PAR-SAFE-clean.
+
+A :class:`ShardOutcome` is the mirror image coming back: the shard's
+matches, its private I/O counters (snapshots, so no observers cross the
+process boundary) and enough accounting for the parent to merge and to
+prove the workspace path did zero derivation work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.environment import EnvironmentFactory
+from repro.core.join import TextJoinSpec
+from repro.core.shards import ShardSpec
+from repro.cost.params import SystemParams
+from repro.errors import ParallelExecutionError
+from repro.storage.iostats import IOStats
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's complete, picklable work order."""
+
+    algorithm: str
+    spec: TextJoinSpec
+    system: SystemParams
+    shard: ShardSpec
+    outer_ids: tuple[int, ...] | None = None
+    inner_ids: tuple[int, ...] | None = None
+    interference: bool = False
+    delta: float = 0.1
+    #: per-shard slice of the parent's page budget (None = unlimited)
+    budget_pages: int | None = None
+    #: shared wall-clock deadline in seconds (None = unlimited)
+    budget_seconds: float | None = None
+    #: workspace directory the worker warm-loads (zero derivation)
+    workspace: str | None = None
+    #: pre-built factory shipped by value when no workspace backs the data
+    factory: EnvironmentFactory | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if (self.workspace is None) == (self.factory is None):
+            raise ParallelExecutionError(
+                "a shard task needs exactly one dataset source: "
+                "a workspace directory or an environment factory"
+            )
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What one shard worker hands back to the parent."""
+
+    index: int
+    algorithm: str
+    #: outer doc -> ranked (inner doc, similarity) hits, ascending outer
+    matches: dict[int, list[tuple[int, float]]]
+    #: the shard's private I/O counter (an observer-free snapshot)
+    io: IOStats
+    #: per-phase I/O buckets from the shard's own execution context
+    phase_stats: dict[str, IOStats]
+    #: the operator's extras, verbatim
+    extras: dict[str, Any]
+    #: pages the shard's context counted (its budget accounting)
+    pages_used: int
+    #: match blocks the shard's operator emitted
+    blocks_emitted: int
+    #: expensive derivations this shard paid for (0 on the workspace path)
+    derivation_events: int
+
+
+__all__ = ["ShardOutcome", "ShardTask"]

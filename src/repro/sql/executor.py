@@ -66,12 +66,19 @@ def execute(
     scenario: str = "sequential",
     inner_strategy: str = "materialize",
     context: ExecutionContext | None = None,
+    shards: int | None = None,
+    jobs: int = 0,
 ) -> QueryResult:
     """Parse (if needed), plan and run a query against the catalog.
 
     ``inner_strategy`` is forwarded to :func:`repro.sql.planner.plan`.
     ``context`` scopes the join execution (budgets, cancellation, metric
-    hooks); a fresh unlimited one is created when omitted.
+    hooks); a fresh unlimited one is created when omitted.  ``shards``
+    switches a text join to partitioned execution
+    (:func:`repro.parallel.run_sharded`) over that many shards, with
+    ``jobs`` pool workers (``<= 1`` runs the shards in-process); the
+    rows are byte-identical to the sequential path by the parallel
+    package's exactness contract.
     """
     if isinstance(query, str):
         query = parse(query)
@@ -79,6 +86,10 @@ def execute(
     the_plan = plan(query, catalog, inner_strategy=inner_strategy)
     if isinstance(the_plan, SelectionPlan):
         return _execute_selection(the_plan)
+    if shards is not None:
+        return _execute_text_join_sharded(
+            the_plan, system, scenario, context, shards, jobs
+        )
     return _execute_text_join(the_plan, system, scenario, context)
 
 
@@ -117,12 +128,8 @@ def _project_block_rows(
     return rows
 
 
-def _execute_text_join(
-    the_plan: TextJoinPlan,
-    system: SystemParams,
-    scenario: str,
-    context: ExecutionContext | None,
-) -> QueryResult:
+def _plan_factory(the_plan: TextJoinPlan) -> EnvironmentFactory:
+    """The plan's factory, or a one-shot one over its collections."""
     factory = the_plan.environment_factory
     if factory is None:
         factory = EnvironmentFactory(
@@ -131,6 +138,96 @@ def _execute_text_join(
             if the_plan.outer_collection is the_plan.inner_collection
             else the_plan.outer_collection,
         )
+    return factory
+
+
+def _execute_text_join_sharded(
+    the_plan: TextJoinPlan,
+    system: SystemParams,
+    scenario: str,
+    context: ExecutionContext | None,
+    shards: int,
+    jobs: int,
+) -> QueryResult:
+    """Partitioned text-join execution: shard, merge, then project.
+
+    The algorithm choice reuses :class:`IntegratedJoin`'s cost-based
+    decision on the full (unsharded) statistics, so ``--shards`` never
+    changes which operator runs — only how many partitions run it.
+    ``LIMIT`` applies after the exact merge, so the retained rows equal
+    the sequential path's rows (the stream cannot be abandoned early
+    across shards, so sharding a limited query trades early exit for
+    parallelism).
+    """
+    from repro.parallel.runner import run_sharded
+
+    factory = _plan_factory(the_plan)
+    events_before = len(factory.derivation_events())
+    environment = factory.create()
+    dataset_build_events = len(factory.derivation_events()) - events_before
+    joiner = IntegratedJoin(environment, system, scenario=scenario)
+    spec = TextJoinSpec(lam=the_plan.lam)
+    ctx = ensure_context(context)
+    decision = joiner.decide(spec, the_plan.outer_ids, the_plan.inner_ids)
+
+    sharded = run_sharded(
+        decision.chosen,
+        spec,
+        system,
+        factory=factory,
+        shards=shards,
+        jobs=jobs,
+        outer_ids=the_plan.outer_ids,
+        inner_ids=the_plan.inner_ids,
+        delta=joiner.delta,
+        context=ctx,
+    )
+
+    limit = the_plan.limit
+    columns = [f"{p.binding}.{p.attribute}" for p in the_plan.projections]
+    columns += ["_rank", "_similarity"]
+    rows: list[tuple[Any, ...]] = []
+    for outer_doc in sharded.matches:
+        rows.extend(
+            _project_block_rows(
+                the_plan, outer_doc, tuple(sharded.matches[outer_doc])
+            )
+        )
+    truncated = limit is not None and len(rows) > limit
+    if limit is not None:
+        rows = rows[:limit]
+
+    return QueryResult(
+        columns=columns,
+        rows=rows,
+        # Report the decision, not the per-shard executor: HHNL-BWD's
+        # inner-sharded shards fall back to forward HHNL, but the
+        # logical choice (and the rows) are the same at every shard
+        # count.
+        algorithm=decision.chosen,
+        join=sharded.to_text_join_result(),
+        extras={
+            "plan": the_plan,
+            "decision": decision,
+            "pages_read": sharded.io.total_reads,
+            "blocks_emitted": ctx.blocks_emitted,
+            "truncated": truncated,
+            "dataset_build_events": dataset_build_events,
+            "sharding": {
+                key: sharded.extras[key]
+                for key in ("shards", "jobs", "axis", "per_shard")
+            },
+        },
+    )
+
+
+def _execute_text_join(
+    the_plan: TextJoinPlan,
+    system: SystemParams,
+    scenario: str,
+    context: ExecutionContext | None,
+) -> QueryResult:
+    factory = _plan_factory(the_plan)
     # Derivation events charged to *this* query: zero when the catalog
     # supplied a warm (e.g. workspace-backed) factory.
     events_before = len(factory.derivation_events())

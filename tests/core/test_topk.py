@@ -1,10 +1,13 @@
 """Top-lambda tracking and its tie-breaking contract."""
 
+import itertools
 import math
+import random
 
 import pytest
 
 from repro.core.topk import TopK
+from repro.errors import InvalidParameterError
 
 
 class TestBasics:
@@ -107,3 +110,104 @@ class TestThreshold:
         top.offer(2, 8.0)
         assert not top.offer(3, 7.9)
         assert top.threshold() == 8.0
+
+
+class TestDuplicateOffers:
+    def test_reoffer_keeps_best_similarity(self):
+        top = TopK(3)
+        top.offer(1, 5.0)
+        assert not top.offer(1, 3.0)
+        assert top.offer(1, 7.0)
+        assert top.results() == [(1, 7.0)]
+
+    def test_reoffer_never_duplicates_a_document(self):
+        # The regression the sharded merge depends on: offering the same
+        # document twice (as merging overlapping trackers does) must not
+        # occupy two of the k slots.
+        top = TopK(2)
+        top.offer(9, 5.0)
+        top.offer(9, 5.0)
+        top.offer(4, 4.0)
+        assert top.results() == [(9, 5.0), (4, 4.0)]
+        assert len(top) == 2
+
+    def test_upgrade_in_full_heap_keeps_other_documents(self):
+        top = TopK(2)
+        top.offer(1, 5.0)
+        top.offer(2, 3.0)
+        assert top.offer(2, 4.0)
+        assert top.results() == [(1, 5.0), (2, 4.0)]
+
+
+class TestMerge:
+    def _build(self, pairs, k=3):
+        top = TopK(k)
+        for doc, sim in pairs:
+            top.offer(doc, sim)
+        return top
+
+    def test_merge_equals_sequential_over_union(self):
+        a = self._build([(1, 5.0), (2, 4.0), (3, 3.0)])
+        b = self._build([(4, 6.0), (5, 2.0)])
+        expected = self._build(
+            [(1, 5.0), (2, 4.0), (3, 3.0), (4, 6.0), (5, 2.0)]
+        )
+        assert a.merge(b).results() == expected.results()
+
+    def test_merge_with_overlapping_documents(self):
+        # k=2, X retained by both shards: the merged tracker must hold
+        # {X, Y}, never X twice.
+        a = self._build([(10, 5.0)], k=2)
+        b = self._build([(10, 5.0), (20, 4.0)], k=2)
+        assert a.merge(b).results() == [(10, 5.0), (20, 4.0)]
+
+    def test_merge_returns_self_and_leaves_other_intact(self):
+        a = self._build([(1, 5.0)])
+        b = self._build([(2, 6.0)])
+        assert a.merge(b) is a
+        assert b.results() == [(2, 6.0)]
+
+    def test_merge_is_commutative(self):
+        pairs_a = [(1, 5.0), (2, 4.0), (7, 4.0)]
+        pairs_b = [(3, 6.0), (2, 7.0), (9, 1.0)]
+        ab = self._build(pairs_a).merge(self._build(pairs_b))
+        ba = self._build(pairs_b).merge(self._build(pairs_a))
+        assert ab.results() == ba.results()
+
+    def test_merge_is_associative(self):
+        shards = (
+            [(1, 5.0), (2, 4.0)],
+            [(3, 4.0), (2, 6.0)],
+            [(4, 7.0), (5, 0.5)],
+        )
+        left = (
+            self._build(shards[0])
+            .merge(self._build(shards[1]))
+            .merge(self._build(shards[2]))
+        )
+        right = self._build(shards[0]).merge(
+            self._build(shards[1]).merge(self._build(shards[2]))
+        )
+        assert left.results() == right.results()
+
+    def test_merge_order_independent_over_permuted_shards(self):
+        # The sharded-execution regression: per-shard trackers arriving
+        # in any order (process pools complete nondeterministically)
+        # must merge to the same results as a sequential run.
+        rng = random.Random(42)
+        candidates = [(doc, float(rng.randint(1, 9))) for doc in range(12)]
+        shards = [candidates[0:4], candidates[4:8], candidates[8:12]]
+        expected = self._build(candidates, k=4).results()
+        for order in itertools.permutations(range(3)):
+            merged = TopK(4)
+            for index in order:
+                merged.merge(self._build(shards[index], k=4))
+            assert merged.results() == expected, order
+
+    def test_merge_rejects_mismatched_k(self):
+        with pytest.raises(InvalidParameterError):
+            TopK(2).merge(TopK(3))
+
+    def test_merge_rejects_non_topk(self):
+        with pytest.raises(InvalidParameterError):
+            TopK(2).merge([(1, 5.0)])

@@ -82,3 +82,78 @@ class TestValidation:
         cost = parallel_cost("HHNL", s1, s2, SystemParams(buffer_pages=100), QueryParams(), 0.8, k=4)
         # 10 participating docs per site instead of 40
         assert cost.per_site_cost < cost.sequential_cost
+
+
+class TestExactnessAtOneSite:
+    """k=1 must be exact identity, not merely approximately 1.0."""
+
+    def test_k1_per_site_is_the_sequential_cost_exactly(self, sides):
+        s1, s2 = sides
+        cost = parallel_cost(
+            "HHNL", s1, s2, SystemParams(buffer_pages=100), QueryParams(), 0.8, k=1
+        )
+        assert cost.per_site_cost == cost.sequential_cost
+
+    def test_k1_speedup_and_efficiency_are_exactly_one(self, sides):
+        s1, s2 = sides
+        for algorithm in ("HHNL", "HVNL", "VVM"):
+            cost = parallel_cost(
+                algorithm, s1, s2, SystemParams(buffer_pages=100),
+                QueryParams(), 0.8, k=1,
+            )
+            assert cost.speedup == 1.0, algorithm
+            assert cost.efficiency == 1.0, algorithm
+            assert cost.replication_pages == 0.0, algorithm
+
+    def test_infeasible_on_both_sides_is_not_nan(self):
+        # A buffer too small for either the sequential run or the
+        # fragment used to yield inf/inf = NaN, which poisoned every
+        # report consumer; equal costs must read as "no speedup".
+        s1 = side(2000, 100, 8000)
+        s2 = side(4000, 80, 8000)
+        cost = parallel_cost(
+            "VVM", s1, s2, SystemParams(buffer_pages=1), QueryParams(), 0.8, k=2
+        )
+        assert cost.per_site_cost == float("inf")
+        assert cost.sequential_cost == float("inf")
+        assert cost.speedup == 1.0
+        assert cost.efficiency == 0.5
+
+
+class TestReplicationConsistency:
+    def test_replication_matches_the_communication_helper(self, sides):
+        from repro.cost.communication import inner_structure_pages
+
+        s1, s2 = sides
+        system = SystemParams(buffer_pages=100)
+        for algorithm in ("HHNL", "HVNL", "VVM"):
+            cost = parallel_cost(
+                algorithm, s1, s2, system, QueryParams(), 0.8, k=4
+            )
+            assert cost.replication_pages == pytest.approx(
+                3 * inner_structure_pages(algorithm, s1)
+            ), algorithm
+
+    def test_selected_inner_side_ships_participating_pages(self):
+        # A selection on C1 ships only the surviving documents' pages,
+        # not the whole collection — the inconsistency this release
+        # fixed: the replication bill and the communication model now
+        # share one source of truth.
+        full = side(2000, 100, 8000)
+        selected = side(2000, 100, 8000, participating=50)
+        system = SystemParams(buffer_pages=100)
+        s2 = side(4000, 80, 8000)
+        bill_full = parallel_cost(
+            "HHNL", full, s2, system, QueryParams(), 0.8, k=4
+        ).replication_pages
+        bill_selected = parallel_cost(
+            "HHNL", selected, s2, system, QueryParams(), 0.8, k=4
+        ).replication_pages
+        assert bill_selected < bill_full
+
+    def test_vvm_ships_the_inverted_file_only(self, sides):
+        s1, s2 = sides
+        cost = parallel_cost(
+            "VVM", s1, s2, SystemParams(buffer_pages=100), QueryParams(), 0.8, k=4
+        )
+        assert cost.replication_pages == pytest.approx(3 * s1.stats.I)

@@ -1,0 +1,120 @@
+"""Measured parallel cost: figures of merit from executed shard counters."""
+
+import pytest
+
+from repro.cost.parallel_measured import (
+    MeasuredParallelCost,
+    cross_check,
+    measured_parallel_cost,
+)
+from repro.errors import CostModelError
+
+
+class TestFiguresOfMerit:
+    def test_makespan_is_the_slowest_shard(self):
+        cost = measured_parallel_cost("HHNL", 100, [40, 35, 30])
+        assert cost.makespan_pages == 40
+        assert cost.total_pages == 105
+        assert cost.overhead_pages == 5
+
+    def test_speedup_and_efficiency(self):
+        cost = measured_parallel_cost("HHNL", 100, [50, 50])
+        assert cost.speedup == pytest.approx(2.0)
+        assert cost.efficiency == pytest.approx(1.0)
+
+    def test_one_shard_speedup_is_exactly_one(self):
+        # shards=1 is a pass-through: same pages, speedup 1.0 by
+        # identity, not by a float quotient.
+        cost = measured_parallel_cost("VVM", 77, [77])
+        assert cost.speedup == 1.0
+        assert cost.efficiency == 1.0
+        assert cost.overhead_pages == 0
+
+    def test_zero_page_degenerate_is_not_a_division_error(self):
+        cost = measured_parallel_cost("HHNL", 0, [0, 0])
+        assert cost.speedup == 1.0
+
+
+class TestValidation:
+    def test_counter_count_must_match_shards(self):
+        with pytest.raises(CostModelError):
+            MeasuredParallelCost("HHNL", 3, 100, (50, 50))
+
+    def test_rejects_negative_pages(self):
+        with pytest.raises(CostModelError):
+            measured_parallel_cost("HHNL", -1, [10])
+        with pytest.raises(CostModelError):
+            measured_parallel_cost("HHNL", 10, [-1])
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(CostModelError):
+            MeasuredParallelCost("HHNL", 0, 10, ())
+
+
+class TestCrossCheck:
+    def test_consistent_profiles_pass(self):
+        measured = measured_parallel_cost("VVM", 120, [45, 42, 40])
+        verdict = cross_check(measured, analytic_speedup=2.5, analytic_sites=3)
+        assert verdict["consistent"]
+        assert verdict["measured_in_bounds"]
+        assert verdict["analytic_in_bounds"]
+        assert verdict["speedup_ratio"] == pytest.approx(
+            measured.speedup / 2.5
+        )
+
+    def test_exactness_at_one_site_is_enforced(self):
+        measured = measured_parallel_cost("VVM", 100, [100])
+        good = cross_check(measured, analytic_speedup=1.0, analytic_sites=1)
+        assert good["exact_at_one_site"]
+        drifted = cross_check(
+            measured, analytic_speedup=1.0000001, analytic_sites=1
+        )
+        assert not drifted["exact_at_one_site"]
+        assert not drifted["consistent"]
+
+    def test_out_of_bounds_analytic_speedup_flagged(self):
+        measured = measured_parallel_cost("HHNL", 100, [60, 55])
+        verdict = cross_check(measured, analytic_speedup=5.0, analytic_sites=2)
+        assert not verdict["analytic_in_bounds"]
+        assert not verdict["consistent"]
+
+    def test_rejects_bad_site_count(self):
+        measured = measured_parallel_cost("HHNL", 100, [50])
+        with pytest.raises(CostModelError):
+            cross_check(measured, analytic_speedup=1.0, analytic_sites=0)
+
+
+class TestAgainstExecutedShards:
+    def test_vvm_measured_profile_from_a_real_run(self):
+        # End-to-end: run VVM sharded, feed the real counters in, and
+        # cross-check against the analytic model at the same k — VVM's
+        # executable shards are the analytic model's outer fragments.
+        from repro.core.environment import EnvironmentFactory
+        from repro.core.join import TextJoinSpec
+        from repro.core.vvm import run_vvm
+        from repro.cost.params import SystemParams
+        from repro.parallel import run_sharded
+        from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+        c1 = generate_collection(
+            SyntheticSpec("m1", n_documents=24, avg_terms_per_doc=8,
+                          vocabulary_size=70, seed=21)
+        )
+        c2 = generate_collection(
+            SyntheticSpec("m2", n_documents=18, avg_terms_per_doc=8,
+                          vocabulary_size=70, seed=22)
+        )
+        factory = EnvironmentFactory(c1, c2)
+        spec = TextJoinSpec(lam=3)
+        system = SystemParams(buffer_pages=48, page_bytes=512)
+        sequential = run_vvm(factory.create(), spec, system)
+        sharded = run_sharded("VVM", spec, system, factory=factory, shards=3)
+        measured = measured_parallel_cost(
+            "VVM", sequential.io.total_reads, sharded.shard_pages()
+        )
+        assert 0.0 < measured.speedup <= measured.shards
+        verdict = cross_check(
+            measured, analytic_speedup=measured.speedup,
+            analytic_sites=measured.shards,
+        )
+        assert verdict["consistent"]

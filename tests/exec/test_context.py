@@ -197,3 +197,113 @@ class TestEnsureContext:
 
     def test_fresh_contexts_are_never_shared(self):
         assert ensure_context(None) is not ensure_context(None)
+
+
+class TestBudgetSplit:
+    def test_even_division(self):
+        parts = ExecutionBudget(pages=12).split(3)
+        assert [b.pages for b in parts] == [4, 4, 4]
+
+    def test_remainder_goes_to_the_first_shards(self):
+        parts = ExecutionBudget(pages=10).split(4)
+        assert [b.pages for b in parts] == [3, 3, 2, 2]
+
+    def test_unlimited_pages_stay_unlimited(self):
+        parts = ExecutionBudget().split(3)
+        assert all(b.pages is None for b in parts)
+
+    def test_seconds_are_shared_not_divided(self):
+        parts = ExecutionBudget(pages=8, seconds=2.0).split(2)
+        assert [b.seconds for b in parts] == [2.0, 2.0]
+
+    def test_tiny_budget_floors_at_one_page_per_shard(self):
+        # Over-allocating beats constructing an invalid zero budget.
+        parts = ExecutionBudget(pages=2).split(5)
+        assert [b.pages for b in parts] == [1, 1, 1, 1, 1]
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(InvalidParameterError):
+            ExecutionBudget(pages=4).split(0)
+
+
+class TestGuardExceptionSafety:
+    def test_worker_exception_mid_phase_leaves_no_observer(self):
+        # The sharded-execution regression: a shard worker raising
+        # mid-phase must fully unwind the guard — no observer left on
+        # the counter, no attached scope on the context.
+        ctx = ExecutionContext()
+        stats = IOStats()
+        with pytest.raises(RuntimeError):
+            with ctx.guard(stats):
+                with ctx.phase("probe"):
+                    stats.record("a", sequential=1)
+                    raise RuntimeError("shard worker failed")
+        assert stats._observers == []
+        assert ctx.partial_stats() is None
+        # the partial phase delta is still accounted (pinned behavior)
+        assert ctx.phase_stats["probe"].total_reads == 1
+
+    def test_budget_still_enforced_after_a_failed_run(self):
+        ctx = ExecutionContext(budget=ExecutionBudget(pages=3))
+        stats = IOStats()
+        with pytest.raises(RuntimeError):
+            with ctx.guard(stats):
+                stats.record("a", sequential=1)
+                raise RuntimeError("boom")
+        fresh = IOStats()
+        with pytest.raises(BudgetExceededError):
+            with ctx.guard(fresh):
+                fresh.record("b", sequential=5)
+        assert fresh._observers == []
+
+    def test_failing_subscribe_leaves_context_clean(self):
+        # If snapshot/subscribe raises, the context must not be left
+        # permanently "attached" (which would turn every later guard
+        # into a nested no-op with the budget silently unenforced).
+        class ExplodingStats(IOStats):
+            def subscribe(self, observer):
+                raise RuntimeError("cannot subscribe")
+
+        ctx = ExecutionContext(budget=ExecutionBudget(pages=2))
+        with pytest.raises(RuntimeError):
+            with ctx.guard(ExplodingStats()):
+                pass  # pragma: no cover — guard setup raises
+        stats = IOStats()
+        with pytest.raises(BudgetExceededError):
+            with ctx.guard(stats):
+                stats.record("a", sequential=5)
+
+
+class TestPhaseHookErrors:
+    class _RaisingHooks(NullHooks):
+        def __init__(self):
+            self.ended = []
+
+        def on_phase_end(self, name, stats):
+            self.ended.append(name)
+            raise ValueError("hook failed")
+
+    def test_hook_error_surfaces_when_body_succeeds(self):
+        hook = self._RaisingHooks()
+        ctx = ExecutionContext(hooks=(hook,))
+        with pytest.raises(ValueError):
+            with ctx.phase("scan"):
+                pass
+        assert hook.ended == ["scan"]
+
+    def test_hook_error_does_not_mask_the_body_exception(self):
+        hook = self._RaisingHooks()
+        ctx = ExecutionContext(hooks=(hook,))
+        with pytest.raises(RuntimeError, match="real failure"):
+            with ctx.phase("scan"):
+                raise RuntimeError("real failure")
+        assert hook.ended == ["scan"]
+
+    def test_every_hook_runs_even_when_one_raises(self):
+        first = self._RaisingHooks()
+        second = MetricsHooks()
+        ctx = ExecutionContext(hooks=(first, second))
+        with pytest.raises(ValueError):
+            with ctx.phase("scan"):
+                pass
+        assert [name for name, _ in second.phases] == ["scan"]

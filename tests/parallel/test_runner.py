@@ -1,0 +1,213 @@
+"""Sharded execution: exact equivalence, pool parity, failure isolation."""
+
+import pytest
+
+from repro.core.environment import EnvironmentFactory
+from repro.core.hhnl import run_hhnl, run_hhnl_backward
+from repro.core.hvnl import run_hvnl
+from repro.core.join import TextJoinSpec
+from repro.core.vvm import run_vvm
+from repro.cost.params import SystemParams
+from repro.errors import BudgetExceededError, ParallelExecutionError
+from repro.exec.context import ExecutionBudget, ExecutionContext
+from repro.parallel import (
+    ShardOutcome,
+    ShardTask,
+    check_outcomes,
+    merge_io,
+    merge_matches,
+    run_sharded,
+)
+from repro.storage.iostats import IOStats
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+SEQUENTIAL = {
+    "HHNL": run_hhnl,
+    "HHNL-BWD": run_hhnl_backward,
+    "HVNL": run_hvnl,
+    "VVM": run_vvm,
+}
+
+
+@pytest.fixture(scope="module")
+def factory():
+    c1 = generate_collection(
+        SyntheticSpec("c1", n_documents=30, avg_terms_per_doc=8,
+                      vocabulary_size=80, seed=11)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("c2", n_documents=22, avg_terms_per_doc=8,
+                      vocabulary_size=80, seed=12)
+    )
+    return EnvironmentFactory(c1, c2)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return TextJoinSpec(lam=4)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SystemParams(buffer_pages=64, page_bytes=512)
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("algorithm", sorted(SEQUENTIAL))
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_matches_identical_to_sequential(
+        self, factory, spec, system, algorithm, shards
+    ):
+        sequential = SEQUENTIAL[algorithm](factory.create(), spec, system)
+        sharded = run_sharded(
+            algorithm, spec, system, factory=factory, shards=shards
+        )
+        assert sharded.matches == sequential.matches
+
+    @pytest.mark.parametrize("algorithm", sorted(SEQUENTIAL))
+    def test_single_shard_is_byte_identical(
+        self, factory, spec, system, algorithm
+    ):
+        sequential = SEQUENTIAL[algorithm](factory.create(), spec, system)
+        sharded = run_sharded(
+            algorithm, spec, system, factory=factory, shards=1
+        )
+        assert sharded.matches == sequential.matches
+        assert dict(sharded.io.by_extent) == dict(sequential.io.by_extent)
+        assert sharded.shard_outcomes[0].extras == sequential.extras
+        assert sharded.algorithm == sequential.algorithm
+
+    def test_merged_io_is_the_sum_of_shard_io(self, factory, spec, system):
+        sharded = run_sharded(
+            "HVNL", spec, system, factory=factory, shards=3
+        )
+        summed = IOStats()
+        for outcome in sharded.shard_outcomes:
+            summed.merge(outcome.io)
+        assert dict(sharded.io.by_extent) == dict(summed.by_extent)
+        assert sharded.io.total_reads == sum(sharded.shard_pages())
+
+    def test_selections_respected(self, factory, spec, system):
+        outer = (1, 3, 5, 8, 13)
+        inner = tuple(range(0, 30, 2))
+        sequential = run_hhnl(
+            factory.create(), spec, system,
+            outer_ids=outer, inner_ids=inner,
+        )
+        sharded = run_sharded(
+            "HHNL", spec, system, factory=factory, shards=3,
+            outer_ids=outer, inner_ids=inner,
+        )
+        assert sharded.matches == sequential.matches
+
+    def test_parent_context_sees_merged_blocks(self, factory, spec, system):
+        ctx = ExecutionContext()
+        sharded = run_sharded(
+            "HHNL", spec, system, factory=factory, shards=2, context=ctx
+        )
+        assert ctx.blocks_emitted == len(sharded.matches)
+
+
+class TestPoolParity:
+    def test_pool_results_equal_in_process_results(self, factory, spec, system):
+        solo = run_sharded("HHNL", spec, system, factory=factory, shards=3)
+        pooled = run_sharded(
+            "HHNL", spec, system, factory=factory, shards=3, jobs=2
+        )
+        assert pooled.matches == solo.matches
+        assert dict(pooled.io.by_extent) == dict(solo.io.by_extent)
+
+    def test_workspace_backed_pool_does_zero_derivation(
+        self, factory, spec, system, tmp_path
+    ):
+        from repro.workspace.builder import build_workspace
+
+        c1 = generate_collection(
+            SyntheticSpec("w1", n_documents=18, avg_terms_per_doc=7,
+                          vocabulary_size=60, seed=5)
+        )
+        c2 = generate_collection(
+            SyntheticSpec("w2", n_documents=14, avg_terms_per_doc=7,
+                          vocabulary_size=60, seed=6)
+        )
+        build_workspace(tmp_path, c1, c2)
+        in_memory = run_sharded(
+            "HVNL", spec, system,
+            factory=EnvironmentFactory(c1, c2), shards=2,
+        )
+        warm = run_sharded(
+            "HVNL", spec, system, workspace=str(tmp_path), shards=2, jobs=2
+        )
+        assert warm.matches == in_memory.matches
+        # Each pool child warm-loads the workspace: zero derivations.
+        assert all(
+            o.derivation_events == 0 for o in warm.shard_outcomes
+        )
+
+
+class TestFailureIsolation:
+    def test_shard_budget_error_propagates(self, factory, spec, system):
+        ctx = ExecutionContext(budget=ExecutionBudget(pages=2))
+        with pytest.raises(BudgetExceededError):
+            run_sharded(
+                "HHNL", spec, system, factory=factory, shards=2, context=ctx
+            )
+        # The parent context never observed the shard counters and
+        # emitted nothing: failed runs leave no partial result behind.
+        assert ctx.blocks_emitted == 0
+
+    def test_requires_exactly_one_dataset_source(self, spec, system, factory):
+        with pytest.raises(ParallelExecutionError):
+            run_sharded("HHNL", spec, system, shards=2)
+        with pytest.raises(ParallelExecutionError):
+            run_sharded(
+                "HHNL", spec, system,
+                factory=factory, workspace="/nonexistent", shards=2,
+            )
+
+    def test_rejects_bad_shard_count(self, factory, spec, system):
+        with pytest.raises(ParallelExecutionError):
+            run_sharded("HHNL", spec, system, factory=factory, shards=0)
+
+    def test_rejects_unknown_algorithm(self, factory, spec, system):
+        with pytest.raises(ParallelExecutionError):
+            run_sharded("SORT", spec, system, factory=factory, shards=2)
+
+
+class TestMergeValidation:
+    def _outcome(self, index, algorithm="HHNL", matches=None, io=None):
+        return ShardOutcome(
+            index=index, algorithm=algorithm,
+            matches=matches or {}, io=io or IOStats(), phase_stats={},
+            extras={}, pages_used=0, blocks_emitted=0, derivation_events=0,
+        )
+
+    def test_rejects_empty_outcomes(self):
+        with pytest.raises(ParallelExecutionError):
+            check_outcomes([])
+
+    def test_rejects_incomplete_plan(self):
+        with pytest.raises(ParallelExecutionError):
+            check_outcomes([self._outcome(0), self._outcome(2)])
+
+    def test_rejects_mixed_algorithms(self):
+        with pytest.raises(ParallelExecutionError):
+            check_outcomes(
+                [self._outcome(0), self._outcome(1, algorithm="VVM")]
+            )
+
+    def test_merge_matches_reranks_across_shards(self):
+        spec = TextJoinSpec(lam=2)
+        a = self._outcome(0, matches={7: [(1, 5.0), (2, 4.0)]})
+        b = self._outcome(1, matches={7: [(3, 6.0), (4, 1.0)], 9: []})
+        merged = merge_matches([a, b], spec)
+        assert merged == {7: [(3, 6.0), (1, 5.0)], 9: []}
+
+    def test_merge_io_is_additive(self):
+        a, b = IOStats(), IOStats()
+        a.record("x", sequential=2)
+        b.record("x", random=3)
+        b.record("y", sequential=1)
+        merged = merge_io([self._outcome(0, io=a), self._outcome(1, io=b)])
+        assert merged.total_reads == 6
+        assert dict(merged.by_extent)["x"] == (2, 3)

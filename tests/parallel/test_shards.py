@@ -1,0 +1,97 @@
+"""Shard planning: partitioning, specs, and the pass-through identity."""
+
+import pytest
+
+from repro.core.environment import EnvironmentFactory
+from repro.core.shards import (
+    SHARD_AXES,
+    ShardSpec,
+    partition_ids,
+    shard_specs,
+)
+from repro.errors import ParallelExecutionError
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+
+def make_factory(inner_docs=12, outer_docs=9):
+    c1 = generate_collection(
+        SyntheticSpec("c1", n_documents=inner_docs, avg_terms_per_doc=6,
+                      vocabulary_size=50, seed=1)
+    )
+    c2 = generate_collection(
+        SyntheticSpec("c2", n_documents=outer_docs, avg_terms_per_doc=6,
+                      vocabulary_size=50, seed=2)
+    )
+    return EnvironmentFactory(c1, c2)
+
+
+class TestPartitionIds:
+    def test_contiguous_near_even_runs(self):
+        assert partition_ids(range(10), 3) == [
+            (0, 1, 2, 3), (4, 5, 6), (7, 8, 9)
+        ]
+
+    def test_fewer_documents_than_shards_drops_empties(self):
+        assert partition_ids([3, 7], 5) == [(3,), (7,)]
+
+    def test_deterministic_and_sorted(self):
+        assert partition_ids([9, 1, 5], 2) == partition_ids([5, 9, 1], 2)
+        assert partition_ids([9, 1, 5], 2) == [(1, 5), (9,)]
+
+    def test_empty_pool(self):
+        assert partition_ids([], 3) == []
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ParallelExecutionError):
+            partition_ids(range(4), 0)
+
+
+class TestShardSpec:
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ParallelExecutionError):
+            ShardSpec(index=0, count=1, axis="sideways", doc_ids=None)
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ParallelExecutionError):
+            ShardSpec(index=2, count=2, axis="inner", doc_ids=(1,))
+
+    def test_rejects_empty_slice(self):
+        with pytest.raises(ParallelExecutionError):
+            ShardSpec(index=0, count=1, axis="inner", doc_ids=())
+
+
+class TestShardSpecs:
+    def test_single_shard_is_a_pass_through(self):
+        specs = shard_specs("HHNL", make_factory(), 1)
+        assert len(specs) == 1
+        assert specs[0].doc_ids is None
+
+    def test_inner_axis_covers_the_inner_collection(self):
+        factory = make_factory(inner_docs=10)
+        specs = shard_specs("HHNL", factory, 3)
+        combined = [d for s in specs for d in s.doc_ids]
+        assert combined == list(range(10))
+        assert all(s.axis == "inner" for s in specs)
+
+    def test_vvm_shards_the_outer_side(self):
+        factory = make_factory(outer_docs=7)
+        specs = shard_specs("VVM", factory, 2)
+        combined = [d for s in specs for d in s.doc_ids]
+        assert combined == list(range(7))
+        assert all(s.axis == "outer" for s in specs)
+
+    def test_explicit_selection_bounds_the_pool(self):
+        factory = make_factory()
+        specs = shard_specs("HVNL", factory, 2, inner_ids=(2, 5, 8))
+        combined = [d for s in specs for d in s.doc_ids]
+        assert combined == [2, 5, 8]
+
+    def test_every_algorithm_has_an_axis(self):
+        factory = make_factory()
+        for algorithm, axis in SHARD_AXES.items():
+            specs = shard_specs(algorithm, factory, 2)
+            assert all(s.axis == axis for s in specs), algorithm
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ParallelExecutionError):
+            shard_specs("SORT-MERGE", make_factory(), 2)

@@ -1,0 +1,119 @@
+"""Property-based tests over sharded execution.
+
+The sharded-execution contract, quantified: for *any* collections,
+lambda and shard count, partitioned execution is byte-identical to
+sequential execution, and the merged I/O counter is exactly the sum of
+the per-shard counters (the merge itself reads no pages).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.environment import EnvironmentFactory
+from repro.core.hhnl import run_hhnl
+from repro.core.hvnl import run_hvnl
+from repro.core.join import TextJoinSpec
+from repro.core.topk import TopK
+from repro.core.vvm import run_vvm
+from repro.cost.params import SystemParams
+from repro.parallel import run_sharded
+from repro.storage.iostats import IOStats
+from repro.text.collection import DocumentCollection
+from repro.text.document import Document
+
+counts_strategy = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=30),
+    values=st.integers(min_value=1, max_value=5),
+    min_size=1,
+    max_size=10,
+)
+
+collection_strategy = st.lists(counts_strategy, min_size=1, max_size=10)
+
+SEQUENTIAL = {"HHNL": run_hhnl, "HVNL": run_hvnl, "VVM": run_vvm}
+
+
+def build(name, counts_list):
+    return DocumentCollection(
+        name, [Document.from_counts(i, c) for i, c in enumerate(counts_list)]
+    )
+
+
+class TestShardedEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        counts1=collection_strategy,
+        counts2=collection_strategy,
+        lam=st.integers(min_value=1, max_value=5),
+        shards=st.sampled_from((1, 2, 3, 5, 8)),
+        algorithm=st.sampled_from(sorted(SEQUENTIAL)),
+    )
+    def test_sharded_equals_sequential_with_additive_io(
+        self, counts1, counts2, lam, shards, algorithm
+    ):
+        c1, c2 = build("p1", counts1), build("p2", counts2)
+        factory = EnvironmentFactory(c1, c2)
+        spec = TextJoinSpec(lam=lam)
+        system = SystemParams(buffer_pages=64, page_bytes=256)
+
+        sequential = SEQUENTIAL[algorithm](factory.create(), spec, system)
+        sharded = run_sharded(
+            algorithm, spec, system, factory=factory, shards=shards
+        )
+
+        # byte-identical matches: same outer documents, same hits, same
+        # ordering, same float values
+        assert sharded.matches == sequential.matches
+
+        # merged pages = sum of per-shard pages; the merge reads nothing
+        summed = IOStats()
+        for outcome in sharded.shard_outcomes:
+            summed.merge(outcome.io)
+        assert dict(sharded.io.by_extent) == dict(summed.by_extent)
+        assert sharded.io.total_reads == sum(
+            o.io.total_reads for o in sharded.shard_outcomes
+        )
+
+
+class TestTopKMergeProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        candidates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),
+                st.floats(
+                    min_value=0.001, max_value=100.0,
+                    allow_nan=False, allow_infinity=False,
+                ),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        k=st.integers(min_value=1, max_value=6),
+        cuts=st.lists(
+            st.integers(min_value=0, max_value=30), max_size=4
+        ),
+    )
+    def test_any_partition_merges_to_the_sequential_tracker(
+        self, candidates, k, cuts
+    ):
+        # sequential reference over the whole candidate stream
+        reference = TopK(k)
+        for doc, sim in candidates:
+            reference.offer(doc, sim)
+
+        # arbitrary partition of the stream into shard trackers
+        bounds = sorted({c for c in cuts if c < len(candidates)})
+        pieces, start = [], 0
+        for bound in bounds + [len(candidates)]:
+            if bound > start:
+                pieces.append(candidates[start:bound])
+                start = bound
+        merged = TopK(k)
+        for piece in pieces:
+            shard = TopK(k)
+            for doc, sim in piece:
+                shard.offer(doc, sim)
+            merged.merge(shard)
+
+        assert merged.results() == reference.results()

@@ -1,0 +1,76 @@
+"""SQL-level sharded execution: --shards changes nothing but the plan."""
+
+import pytest
+
+from repro.cost.params import SystemParams
+from repro.sql.catalog import Catalog, Relation
+from repro.sql.executor import execute
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+QUERY = "SELECT R2.Id, R1.Id FROM R1, R2 WHERE R1.Doc SIMILAR_TO(3) R2.Doc"
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    inner = generate_collection(
+        SyntheticSpec("s1", n_documents=40, avg_terms_per_doc=8,
+                      vocabulary_size=120, seed=31)
+    )
+    outer = generate_collection(
+        SyntheticSpec("s2", n_documents=30, avg_terms_per_doc=8,
+                      vocabulary_size=120, seed=32)
+    )
+    cat = Catalog()
+    cat.register(
+        Relation.from_rows(
+            "R1", [{"Id": i} for i in range(40)]
+        ).bind_text("Doc", inner)
+    )
+    cat.register(
+        Relation.from_rows(
+            "R2", [{"Id": i} for i in range(30)]
+        ).bind_text("Doc", outer)
+    )
+    return cat
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SystemParams(buffer_pages=64, page_bytes=512)
+
+
+class TestShardedSql:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_rows_identical_to_sequential(self, catalog, system, shards):
+        sequential = execute(QUERY, catalog, system)
+        sharded = execute(QUERY, catalog, system, shards=shards)
+        assert sharded.rows == sequential.rows
+        assert sharded.columns == sequential.columns
+        assert sharded.algorithm == sequential.algorithm
+
+    def test_limit_applies_after_the_exact_merge(self, catalog, system):
+        sequential = execute(f"{QUERY} LIMIT 7", catalog, system)
+        sharded = execute(f"{QUERY} LIMIT 7", catalog, system, shards=3)
+        assert sharded.rows == sequential.rows
+        assert sharded.extras["truncated"]
+
+    def test_sharding_metadata_in_extras(self, catalog, system):
+        result = execute(QUERY, catalog, system, shards=3)
+        sharding = result.extras["sharding"]
+        assert sharding["shards"] == 3
+        assert sharding["axis"] in ("inner", "outer")
+        assert len(sharding["per_shard"]) == 3
+        assert result.extras["pages_read"] == sum(
+            entry["pages"] for entry in sharding["per_shard"]
+        )
+
+    def test_pool_jobs_match_in_process(self, catalog, system):
+        solo = execute(QUERY, catalog, system, shards=3, jobs=0)
+        pooled = execute(QUERY, catalog, system, shards=3, jobs=2)
+        assert pooled.rows == solo.rows
+
+    def test_join_result_is_reconstructed(self, catalog, system):
+        result = execute(QUERY, catalog, system, shards=2)
+        assert result.join is not None
+        assert result.join.matches
+        assert result.join.algorithm
