@@ -10,6 +10,7 @@ Subcommands::
     python -m repro conformance                 # differential/metamorphic/cost sweep
     python -m repro workspace build DIR         # persist a dataset workspace
     python -m repro sql --workspace DIR "..."   # query it with zero rebuilds
+    python -m repro serve DIR ...               # long-lived HTTP join service
 
 Every command writes plain text to stdout and exits 0 on success; the
 ``summary`` command exits 1 if any of the paper's five points fails to
@@ -253,6 +254,26 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print only the column header and every row — "
                      "no execution stats, so output is comparable across "
                      "shard counts")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived HTTP join service over pre-built workspaces "
+        "(POST /query, GET /health, GET /metrics)",
+    )
+    serve.add_argument(
+        "workspaces", nargs="+", metavar="[NAME=]DIR",
+        help="workspace directories to load; NAME defaults to the "
+        "directory's basename",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8077,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--max-workers", type=int, default=4,
+                       help="concurrent queries admitted before 429")
+    serve.add_argument("--buffer", type=int, default=256, help="B in pages")
+    serve.add_argument("--scenario", choices=("sequential", "random"),
+                       default="sequential",
+                       help="cost scenario for the optimizer")
 
     join = sub.add_parser(
         "join", help="join two folders of .txt files (SIMILAR_TO over files)"
@@ -610,6 +631,48 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.service import JoinService, make_server
+
+    workspaces: dict[str, str] = {}
+    for spec in args.workspaces:
+        name, _, directory = spec.rpartition("=")
+        if not name:
+            from pathlib import Path
+
+            directory = spec
+            name = Path(spec).name or spec
+        if name in workspaces:
+            print(f"serve: duplicate workspace name {name!r}", file=sys.stderr)
+            return 2
+        workspaces[name] = directory
+    try:
+        service = JoinService(
+            workspaces,
+            max_workers=args.max_workers,
+            buffer_pages=args.buffer,
+            scenario=args.scenario,
+        )
+    except ReproError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    server = make_server(service, host=args.host, port=args.port)
+    names = ", ".join(sorted(service.workspace_names))
+    print(
+        f"serving {names} on http://{args.host}:{server.port} "
+        f"({args.max_workers} workers)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     from repro.core.integrated import IntegratedJoin
     from repro.core.join import JoinEnvironment, TextJoinSpec
@@ -651,6 +714,7 @@ _COMMANDS = {
     "conformance": _cmd_conformance,
     "workspace": _cmd_workspace,
     "sql": _cmd_sql,
+    "serve": _cmd_serve,
     "join": _cmd_join,
 }
 

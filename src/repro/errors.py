@@ -150,6 +150,34 @@ class ConformanceError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for the join-service layer (:mod:`repro.service`)."""
+
+
+class ServiceRequestError(ServiceError):
+    """A query request was malformed (bad JSON body, missing or
+    wrongly-typed fields, unknown parameters).  Maps to HTTP 400."""
+
+
+class ServiceResponseError(ServiceError):
+    """A service response document is malformed (wrong schema tag,
+    missing sections, mistyped fields).  Raised by the strict
+    validate/load helpers in :mod:`repro.service.schema` — a response
+    that *looks* well-formed but is not would silently corrupt clients
+    and CI artifacts."""
+
+
+class UnknownWorkspaceError(ServiceError):
+    """A request named a workspace the service did not load.  Maps to
+    HTTP 404."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request: every worker slot is
+    occupied.  Maps to HTTP 429 — the client should retry later rather
+    than queue unboundedly on the server."""
+
+
 class WorkspaceError(ReproError):
     """A persistent dataset workspace is malformed or cannot be built.
 

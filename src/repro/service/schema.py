@@ -1,0 +1,197 @@
+"""The versioned service response schema: ``repro-service-response/1``.
+
+A query response is a stream of JSON-line **events** — one ``header``,
+zero or more ``block``\\ s, then exactly one terminal ``summary`` (the
+query ran to completion) or ``error`` (it was cut off or failed after
+streaming began).  :func:`assemble_response` folds an event sequence
+into one **response document** that archives the whole exchange;
+:func:`validate_response` is deliberately strict — an unknown schema
+tag, a missing section or a wrongly-typed field raises
+:class:`~repro.errors.ServiceResponseError` — because a malformed
+response that *looks* ok is worse than no response.
+:func:`response_from_lines` parses the raw chunked-JSON-lines body a
+client captured (``curl`` output, the CI smoke job's artifact) straight
+into a validated document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ServiceResponseError
+
+#: versioned schema tag carried by every header event and response document
+RESPONSE_SCHEMA = "repro-service-response/1"
+
+#: every event kind a response stream may contain
+EVENT_KINDS = ("header", "block", "summary", "error")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceResponseError(message)
+
+
+def assemble_response(events: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Fold an event stream into one validated response document.
+
+    The document layout is ``{schema, header, blocks, summary, error}``
+    with exactly one of ``summary``/``error`` non-null; the events are
+    stored verbatim, so a document round-trips back to the stream that
+    produced it.
+    """
+    header: Mapping[str, Any] | None = None
+    blocks: list[Mapping[str, Any]] = []
+    terminal: Mapping[str, Any] | None = None
+    for event in events:
+        _require(isinstance(event, Mapping), "every event must be a JSON object")
+        kind = event.get("event")
+        _require(kind in EVENT_KINDS, f"unknown event kind {kind!r}")
+        _require(terminal is None, f"event {kind!r} after the terminal event")
+        if kind == "header":
+            _require(header is None, "more than one header event")
+            header = event
+        elif kind == "block":
+            _require(header is not None, "block event before the header")
+            blocks.append(event)
+        else:
+            _require(header is not None, f"{kind} event before the header")
+            terminal = event
+    _require(header is not None, "response stream carried no header event")
+    _require(terminal is not None, "response stream carried no terminal event")
+    response = {
+        "schema": RESPONSE_SCHEMA,
+        "header": dict(header),
+        "blocks": [dict(block) for block in blocks],
+        "summary": dict(terminal) if terminal.get("event") == "summary" else None,
+        "error": dict(terminal) if terminal.get("event") == "error" else None,
+    }
+    validate_response(response)
+    return response
+
+
+def validate_response(response: Mapping[str, Any]) -> None:
+    """Raise :class:`~repro.errors.ServiceResponseError` unless well-formed."""
+    if not isinstance(response, Mapping):
+        raise ServiceResponseError("service response must be a mapping")
+    schema = response.get("schema")
+    if schema != RESPONSE_SCHEMA:
+        raise ServiceResponseError(
+            f"unsupported response schema {schema!r}, expected {RESPONSE_SCHEMA!r}"
+        )
+    header = response.get("header")
+    _require(isinstance(header, Mapping), "response field 'header' must be a mapping")
+    _require(header.get("event") == "header", "header section is not a header event")
+    _require(
+        header.get("schema") == RESPONSE_SCHEMA,
+        "header event carries the wrong schema tag",
+    )
+    _require(
+        isinstance(header.get("columns"), list)
+        and all(isinstance(c, str) for c in header["columns"]),
+        "header field 'columns' must be a list of strings",
+    )
+    _require(
+        isinstance(header.get("workspace"), str),
+        "header field 'workspace' must be a string",
+    )
+    blocks = response.get("blocks")
+    _require(isinstance(blocks, list), "response field 'blocks' must be a list")
+    n_columns = len(header["columns"])
+    for index, block in enumerate(blocks):
+        _require(
+            isinstance(block, Mapping) and block.get("event") == "block",
+            f"blocks[{index}] is not a block event",
+        )
+        rows = block.get("rows")
+        _require(
+            isinstance(rows, list) and all(isinstance(row, list) for row in rows),
+            f"blocks[{index}] field 'rows' must be a list of lists",
+        )
+        for row in rows:
+            _require(
+                len(row) == n_columns,
+                f"blocks[{index}] carries a row of width {len(row)}, "
+                f"header declares {n_columns} columns",
+            )
+    summary = response.get("summary")
+    error = response.get("error")
+    _require(
+        (summary is None) != (error is None),
+        "exactly one of 'summary'/'error' must be present",
+    )
+    if summary is not None:
+        _require(
+            isinstance(summary, Mapping) and summary.get("event") == "summary",
+            "summary section is not a summary event",
+        )
+        _require(summary.get("status") == "ok", "summary status must be 'ok'")
+        for key in ("rows", "blocks"):
+            _require(
+                isinstance(summary.get(key), int),
+                f"summary field {key!r} must be an integer",
+            )
+        _require(
+            isinstance(summary.get("truncated"), bool),
+            "summary field 'truncated' must be a boolean",
+        )
+        streamed = sum(len(block["rows"]) for block in blocks)
+        _require(
+            summary["rows"] == streamed,
+            f"summary declares {summary['rows']} rows but the blocks "
+            f"stream {streamed}",
+        )
+    if error is not None:
+        _require(
+            isinstance(error, Mapping) and error.get("event") == "error",
+            "error section is not an error event",
+        )
+        for key in ("code", "message"):
+            _require(
+                isinstance(error.get(key), str),
+                f"error field {key!r} must be a string",
+            )
+
+
+def response_from_lines(text: str) -> dict[str, Any]:
+    """Parse a captured JSON-lines response body into a validated document."""
+    events: list[Mapping[str, Any]] = []
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ServiceResponseError(
+                f"response line {number} is not valid JSON: {exc}"
+            ) from None
+    return assemble_response(events)
+
+
+def save_response(response: Mapping[str, Any], path: str | Path) -> None:
+    """Validate and write a response document as pretty-printed JSON."""
+    validate_response(response)
+    Path(path).write_text(json.dumps(response, indent=2, sort_keys=True) + "\n")
+
+
+def load_response(path: str | Path) -> dict[str, Any]:
+    """Read and validate a response document written by :func:`save_response`."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServiceResponseError(f"cannot read service response {path}: {exc}")
+    validate_response(raw)
+    return raw
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "RESPONSE_SCHEMA",
+    "assemble_response",
+    "load_response",
+    "response_from_lines",
+    "save_response",
+    "validate_response",
+]

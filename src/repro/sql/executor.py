@@ -20,12 +20,22 @@ stream the moment enough rows are final — the generator's cleanup closes
 the execution scope and no further join I/O is issued.  Unbounded
 queries drain the stream and reconstruct the same
 :class:`~repro.core.join.TextJoinResult` the materialized path returns.
+
+Two consumption shapes share one implementation: :func:`iter_execute` is
+the generator — it yields a :class:`ProjectedHeader` (columns and the
+chosen algorithm) the moment planning and the cost-based decision are
+done, then one :class:`ProjectedBlock` of projected rows per finalised
+outer document, and returns the assembled :class:`QueryResult`;
+:func:`execute` simply drains it.  Long-lived consumers (the
+:mod:`repro.service` query server) forward the blocks to clients as they
+arrive, so the rows a service streams are, by construction, the rows a
+direct :func:`execute` call returns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Generator
 
 from repro.core.environment import EnvironmentFactory
 from repro.core.integrated import IntegratedJoin
@@ -58,6 +68,51 @@ class QueryResult:
         return len(self.rows)
 
 
+@dataclass(frozen=True)
+class ProjectedHeader:
+    """First item of an :func:`iter_execute` stream: the result shape.
+
+    Emitted after parsing, planning and the cost-based algorithm
+    decision but before any join I/O, so a streaming consumer can send
+    its response preamble while the join runs.
+    """
+
+    #: projected column names, ``_rank``/``_similarity`` included for joins
+    columns: tuple[str, ...]
+    #: the chosen operator (None for a plain selection query)
+    algorithm: str | None
+
+
+@dataclass(frozen=True)
+class ProjectedBlock:
+    """One streamed group of projected result rows.
+
+    For a text join this is one outer document's rows, emitted the
+    moment that document's top-``lambda`` set is final; a selection
+    query emits a single block with ``outer_doc`` ``None``.  The
+    concatenation of every block's rows equals :attr:`QueryResult.rows`
+    exactly — a ``LIMIT`` trims the final block rather than overshooting.
+    """
+
+    #: outer document id the rows belong to (None for selections)
+    outer_doc: int | None
+    #: projected rows, same tuples :attr:`QueryResult.rows` holds
+    rows: tuple[tuple[Any, ...], ...]
+
+
+#: what :func:`iter_execute` yields: the header, then row blocks
+StreamItem = ProjectedHeader | ProjectedBlock
+
+
+def _effective_limit(plan_limit: int | None, max_rows: int | None) -> int | None:
+    """The stricter of the SQL ``LIMIT`` and a caller-supplied row cap."""
+    if plan_limit is None:
+        return max_rows
+    if max_rows is None:
+        return plan_limit
+    return min(plan_limit, max_rows)
+
+
 def execute(
     query: str | SelectQuery,
     catalog: Catalog,
@@ -80,30 +135,78 @@ def execute(
     rows are byte-identical to the sequential path by the parallel
     package's exactness contract.
     """
+    stream = iter_execute(
+        query,
+        catalog,
+        system,
+        scenario=scenario,
+        inner_strategy=inner_strategy,
+        context=context,
+        shards=shards,
+        jobs=jobs,
+    )
+    while True:
+        try:
+            next(stream)
+        except StopIteration as stop:
+            return stop.value
+
+
+def iter_execute(
+    query: str | SelectQuery,
+    catalog: Catalog,
+    system: SystemParams | None = None,
+    *,
+    scenario: str = "sequential",
+    inner_strategy: str = "materialize",
+    context: ExecutionContext | None = None,
+    shards: int | None = None,
+    jobs: int = 0,
+    max_rows: int | None = None,
+) -> Generator[StreamItem, None, QueryResult]:
+    """Streaming twin of :func:`execute`: header, row blocks, result.
+
+    Yields one :class:`ProjectedHeader` (after planning and the
+    algorithm decision, before any join I/O), then a
+    :class:`ProjectedBlock` per finalised outer document, and returns
+    the same :class:`QueryResult` :func:`execute` would — the blocks'
+    rows concatenate to exactly its ``rows``.  ``max_rows`` is an extra
+    row cap with ``LIMIT`` semantics (the stricter of the two wins), so
+    transport-level caps get the same early-exit I/O savings as a SQL
+    ``LIMIT``.  Abandoning the generator (``close()``) unwinds the
+    operator's execution scope; no further join I/O is charged.
+    """
     if isinstance(query, str):
         query = parse(query)
     system = system or SystemParams()
     the_plan = plan(query, catalog, inner_strategy=inner_strategy)
     if isinstance(the_plan, SelectionPlan):
-        return _execute_selection(the_plan)
+        return (yield from _iter_selection(the_plan, max_rows))
     if shards is not None:
-        return _execute_text_join_sharded(
-            the_plan, system, scenario, context, shards, jobs
+        return (
+            yield from _iter_text_join_sharded(
+                the_plan, system, scenario, context, shards, jobs, max_rows
+            )
         )
-    return _execute_text_join(the_plan, system, scenario, context)
+    return (yield from _iter_text_join(the_plan, system, scenario, context, max_rows))
 
 
-def _execute_selection(the_plan: SelectionPlan) -> QueryResult:
+def _iter_selection(
+    the_plan: SelectionPlan, max_rows: int | None
+) -> Generator[StreamItem, None, QueryResult]:
     columns = [f"{p.binding}.{p.attribute}" for p in the_plan.projections]
     row_ids = the_plan.row_ids
-    if the_plan.limit is not None:
-        row_ids = row_ids[: the_plan.limit]
+    limit = _effective_limit(the_plan.limit, max_rows)
+    if limit is not None:
+        row_ids = row_ids[:limit]
     rows = [
         tuple(
             the_plan.relation.value(row_id, p.attribute) for p in the_plan.projections
         )
         for row_id in row_ids
     ]
+    yield ProjectedHeader(columns=tuple(columns), algorithm=None)
+    yield ProjectedBlock(outer_doc=None, rows=tuple(rows))
     return QueryResult(columns=columns, rows=rows, extras={"plan": the_plan})
 
 
@@ -141,14 +244,15 @@ def _plan_factory(the_plan: TextJoinPlan) -> EnvironmentFactory:
     return factory
 
 
-def _execute_text_join_sharded(
+def _iter_text_join_sharded(
     the_plan: TextJoinPlan,
     system: SystemParams,
     scenario: str,
     context: ExecutionContext | None,
     shards: int,
     jobs: int,
-) -> QueryResult:
+    max_rows: int | None,
+) -> Generator[StreamItem, None, QueryResult]:
     """Partitioned text-join execution: shard, merge, then project.
 
     The algorithm choice reuses :class:`IntegratedJoin`'s cost-based
@@ -157,7 +261,8 @@ def _execute_text_join_sharded(
     ``LIMIT`` applies after the exact merge, so the retained rows equal
     the sequential path's rows (the stream cannot be abandoned early
     across shards, so sharding a limited query trades early exit for
-    parallelism).
+    parallelism); blocks are therefore yielded only once the merge is
+    complete.
     """
     from repro.parallel.runner import run_sharded
 
@@ -169,6 +274,10 @@ def _execute_text_join_sharded(
     spec = TextJoinSpec(lam=the_plan.lam)
     ctx = ensure_context(context)
     decision = joiner.decide(spec, the_plan.outer_ids, the_plan.inner_ids)
+
+    columns = [f"{p.binding}.{p.attribute}" for p in the_plan.projections]
+    columns += ["_rank", "_similarity"]
+    yield ProjectedHeader(columns=tuple(columns), algorithm=decision.chosen)
 
     sharded = run_sharded(
         decision.chosen,
@@ -183,16 +292,22 @@ def _execute_text_join_sharded(
         context=ctx,
     )
 
-    limit = the_plan.limit
-    columns = [f"{p.binding}.{p.attribute}" for p in the_plan.projections]
-    columns += ["_rank", "_similarity"]
+    limit = _effective_limit(the_plan.limit, max_rows)
     rows: list[tuple[Any, ...]] = []
+    emitted = 0
     for outer_doc in sharded.matches:
-        rows.extend(
-            _project_block_rows(
-                the_plan, outer_doc, tuple(sharded.matches[outer_doc])
-            )
+        block_rows = _project_block_rows(
+            the_plan, outer_doc, tuple(sharded.matches[outer_doc])
         )
+        rows.extend(block_rows)
+        keep = (
+            len(block_rows)
+            if limit is None
+            else max(0, min(len(block_rows), limit - emitted))
+        )
+        if keep:
+            yield ProjectedBlock(outer_doc=outer_doc, rows=tuple(block_rows[:keep]))
+            emitted += keep
     truncated = limit is not None and len(rows) > limit
     if limit is not None:
         rows = rows[:limit]
@@ -221,12 +336,13 @@ def _execute_text_join_sharded(
     )
 
 
-def _execute_text_join(
+def _iter_text_join(
     the_plan: TextJoinPlan,
     system: SystemParams,
     scenario: str,
     context: ExecutionContext | None,
-) -> QueryResult:
+    max_rows: int | None,
+) -> Generator[StreamItem, None, QueryResult]:
     factory = _plan_factory(the_plan)
     # Derivation events charged to *this* query: zero when the catalog
     # supplied a warm (e.g. workspace-backed) factory.
@@ -239,6 +355,11 @@ def _execute_text_join(
     # Decide up front so the chosen algorithm is known even when LIMIT
     # abandons the stream before the operator finishes.
     decision = joiner.decide(spec, the_plan.outer_ids, the_plan.inner_ids)
+
+    columns = [f"{p.binding}.{p.attribute}" for p in the_plan.projections]
+    columns += ["_rank", "_similarity"]
+    yield ProjectedHeader(columns=tuple(columns), algorithm=decision.chosen)
+
     stream = joiner.stream(
         spec,
         the_plan.outer_ids,
@@ -247,9 +368,7 @@ def _execute_text_join(
         decision=decision,
     )
 
-    limit = the_plan.limit
-    columns = [f"{p.binding}.{p.attribute}" for p in the_plan.projections]
-    columns += ["_rank", "_similarity"]
+    limit = _effective_limit(the_plan.limit, max_rows)
     rows: list[tuple[Any, ...]] = []
     matches: dict[int, list[tuple[int, float]]] = {}
     summary = None
@@ -262,10 +381,20 @@ def _execute_text_join(
                 summary = stop.value
                 break
             matches[block.outer_doc] = list(block.matches)
-            rows.extend(_project_block_rows(the_plan, block.outer_doc, block.matches))
+            block_rows = _project_block_rows(
+                the_plan, block.outer_doc, block.matches
+            )
+            rows.extend(block_rows)
             if limit is not None and len(rows) >= limit:
+                overshoot = len(rows) - limit
+                kept = block_rows[: len(block_rows) - overshoot]
+                if kept:
+                    yield ProjectedBlock(
+                        outer_doc=block.outer_doc, rows=tuple(kept)
+                    )
                 truncated = True
                 break
+            yield ProjectedBlock(outer_doc=block.outer_doc, rows=tuple(block_rows))
     finally:
         # Closing an abandoned stream unwinds the operator's execution
         # scope (guard + phases), so no further join I/O can be charged.

@@ -1,0 +1,1 @@
+"""Service-level tests: a live HTTP join server exercised over real sockets."""

@@ -1,0 +1,103 @@
+"""Unit tests for the service metrics: percentiles, folding, payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service.metrics import (
+    LatencyHistogram,
+    ServiceMetrics,
+    phase_stats_payload,
+)
+from repro.storage.iostats import IOStats
+
+
+def test_percentiles_are_nearest_rank():
+    histogram = LatencyHistogram()
+    for value in range(1, 101):
+        histogram.record(float(value))
+    assert histogram.percentile(50) == 50.0
+    assert histogram.percentile(95) == 95.0
+    assert histogram.percentile(99) == 99.0
+    assert histogram.percentile(100) == 100.0
+    assert histogram.count == 100
+    assert histogram.max_seconds == 100.0
+
+
+def test_empty_histogram_reports_none():
+    snapshot = LatencyHistogram().snapshot()
+    assert snapshot["count"] == 0
+    assert snapshot["p50_seconds"] is None
+    assert snapshot["mean_seconds"] is None
+
+
+def test_window_bounds_memory_but_not_counters():
+    histogram = LatencyHistogram(sample_limit=10)
+    for value in range(100):
+        histogram.record(float(value))
+    assert histogram.count == 100
+    assert histogram.snapshot()["window"] == 10
+    # Only the most recent 10 samples feed the percentiles.
+    assert histogram.percentile(50) >= 90.0
+
+
+@pytest.mark.parametrize("bad", [-1.0, -0.001])
+def test_negative_latencies_are_rejected(bad):
+    with pytest.raises(InvalidParameterError):
+        LatencyHistogram().record(bad)
+
+
+@pytest.mark.parametrize("bad", [0, -5, 101])
+def test_out_of_range_percentiles_are_rejected(bad):
+    histogram = LatencyHistogram()
+    histogram.record(1.0)
+    with pytest.raises(InvalidParameterError):
+        histogram.percentile(bad)
+
+
+def test_record_query_folds_everything():
+    metrics = ServiceMetrics()
+    stats = IOStats()
+    stats.sequential_reads = 7
+    metrics.record_query(
+        status="ok", seconds=0.5, rows=10, blocks=3, pages=12,
+        phase_stats={"hhnl.outer": stats},
+    )
+    metrics.record_query(status="budget-exceeded", seconds=0.1)
+    snapshot = metrics.snapshot()
+    assert snapshot["queries_served"] == 1
+    assert snapshot["queries_failed"] == 1
+    assert snapshot["rows_returned"] == 10
+    assert snapshot["blocks_streamed"] == 3
+    assert snapshot["pages_read"] == 12
+    assert snapshot["by_status"] == {"budget-exceeded": 1, "ok": 1}
+    assert snapshot["phase_io"]["hhnl.outer"]["sequential_reads"] == 7
+    assert snapshot["latency"]["count"] == 2
+
+
+def test_phase_totals_merge_additively():
+    metrics = ServiceMetrics()
+    for _ in range(3):
+        stats = IOStats()
+        stats.random_reads = 2
+        metrics.record_query(status="ok", seconds=0.0, phase_stats={"p": stats})
+    assert metrics.snapshot()["phase_io"]["p"]["random_reads"] == 6
+
+
+def test_rejections_count_separately():
+    metrics = ServiceMetrics()
+    metrics.record_rejection("overloaded")
+    metrics.record_rejection("overloaded")
+    metrics.record_rejection("bad-request")
+    snapshot = metrics.snapshot()
+    assert snapshot["rejections"] == {"bad-request": 1, "overloaded": 2}
+    assert snapshot["queries_served"] == 0
+
+
+def test_phase_payload_is_sorted_and_plain():
+    b = IOStats()
+    b.sequential_reads = 1
+    payload = phase_stats_payload({"b": b, "a": IOStats()})
+    assert list(payload) == ["a", "b"]
+    assert payload["b"] == {"sequential_reads": 1, "random_reads": 0}

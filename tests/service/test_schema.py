@@ -1,0 +1,130 @@
+"""The versioned response schema: round-trips and strict validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceResponseError
+from repro.service.schema import (
+    RESPONSE_SCHEMA,
+    assemble_response,
+    load_response,
+    response_from_lines,
+    save_response,
+    validate_response,
+)
+
+
+def header(**overrides):
+    event = {
+        "event": "header",
+        "schema": RESPONSE_SCHEMA,
+        "workspace": "ws",
+        "sql": "SELECT ...",
+        "columns": ["R2.Id", "R1.Id"],
+        "algorithm": "HHNL",
+        "shards": None,
+        "jobs": 0,
+    }
+    event.update(overrides)
+    return event
+
+
+def block(rows):
+    return {"event": "block", "outer_doc": 0, "rows": rows}
+
+
+def summary(rows, blocks):
+    return {
+        "event": "summary",
+        "status": "ok",
+        "rows": rows,
+        "blocks": blocks,
+        "truncated": False,
+    }
+
+
+def test_assemble_and_round_trip(tmp_path):
+    events = [header(), block([[1, 2], [1, 3]]), summary(2, 1)]
+    document = assemble_response(events)
+    assert document["schema"] == RESPONSE_SCHEMA
+    assert len(document["blocks"]) == 1
+    assert document["error"] is None
+    path = tmp_path / "response.json"
+    save_response(document, path)
+    assert load_response(path) == document
+
+
+def test_response_from_lines_tolerates_blank_lines():
+    import json
+
+    text = "\n".join(
+        ["", "  ", json.dumps(header()), json.dumps(summary(0, 0)), ""]
+    )
+    document = response_from_lines(text)
+    assert document["summary"]["rows"] == 0
+
+
+def test_error_terminal_is_accepted():
+    events = [header(), {"event": "error", "code": "budget-exceeded", "message": "x"}]
+    document = assemble_response(events)
+    assert document["summary"] is None
+    assert document["error"]["code"] == "budget-exceeded"
+
+
+@pytest.mark.parametrize(
+    "events,fragment",
+    [
+        ([summary(0, 0)], "before the header"),
+        ([header(), header(), summary(0, 0)], "more than one header"),
+        ([block([[1, 2]]), header(), summary(0, 0)], "before the header"),
+        ([header()], "no terminal event"),
+        ([header(), summary(0, 0), block([[1, 2]])], "after the terminal"),
+        ([header(), {"event": "bogus"}], "unknown event kind"),
+    ],
+    ids=[
+        "terminal-first",
+        "two-headers",
+        "block-first",
+        "no-terminal",
+        "event-after-terminal",
+        "unknown-kind",
+    ],
+)
+def test_malformed_streams_are_rejected(events, fragment):
+    with pytest.raises(ServiceResponseError, match=fragment):
+        assemble_response(events)
+
+
+def test_wrong_schema_tag_is_rejected():
+    document = assemble_response([header(), summary(0, 0)])
+    document["schema"] = "repro-service-response/99"
+    with pytest.raises(ServiceResponseError, match="unsupported response schema"):
+        validate_response(document)
+
+
+def test_row_width_must_match_the_header():
+    with pytest.raises(ServiceResponseError, match="width"):
+        assemble_response([header(), block([[1, 2, 3]]), summary(1, 1)])
+
+
+def test_summary_row_count_must_match_the_blocks():
+    with pytest.raises(ServiceResponseError, match="declares 5 rows"):
+        assemble_response([header(), block([[1, 2]]), summary(5, 1)])
+
+
+def test_exactly_one_terminal_section():
+    document = assemble_response([header(), summary(0, 0)])
+    document["error"] = {"event": "error", "code": "x", "message": "y"}
+    with pytest.raises(ServiceResponseError, match="exactly one"):
+        validate_response(document)
+
+
+def test_bad_json_line_is_rejected_with_its_line_number():
+    with pytest.raises(ServiceResponseError, match="line 1"):
+        response_from_lines("{not json}")
+
+
+def test_load_rejects_missing_files(tmp_path):
+    with pytest.raises(ServiceResponseError, match="cannot read"):
+        load_response(tmp_path / "absent.json")
