@@ -3,8 +3,12 @@
 d-gap + vbyte posting compression shrinks exactly the ``I``/``J``
 figures the inverted-file algorithms pay for.  Executes HVNL and VVM
 over the same collections with and without compression and reports the
-measured I/O saving (results are bit-identical by construction).
+measured I/O saving (results are bit-identical by construction) — as a
+rendered table and as machine-readable, schema-validated rows in
+``results/BENCH_codec.json``.
 """
+
+import time
 
 from repro.core.hvnl import run_hvnl
 from repro.core.join import JoinEnvironment, TextJoinSpec
@@ -27,13 +31,20 @@ C2 = generate_collection(
 SYSTEM = SystemParams(buffer_pages=20, page_bytes=512)
 
 
+def _timed(runner, env):
+    start = time.perf_counter()
+    result = runner(env, TextJoinSpec(lam=5), SYSTEM, delta=0.5)
+    return result, time.perf_counter() - start
+
+
 def run_both():
     plain_env = JoinEnvironment(C1, C2, PageGeometry(512))
     packed_env = JoinEnvironment(C1, C2, PageGeometry(512), compress_inverted=True)
     rows = []
+    bench_rows = []
     for name, runner in (("HVNL", run_hvnl), ("VVM", run_vvm)):
-        plain = runner(plain_env, TextJoinSpec(lam=5), SYSTEM, delta=0.5)
-        packed = runner(packed_env, TextJoinSpec(lam=5), SYSTEM, delta=0.5)
+        plain, plain_wall = _timed(runner, plain_env)
+        packed, packed_wall = _timed(runner, packed_env)
         assert plain.same_matches_as(packed)
         rows.append(
             {
@@ -43,15 +54,30 @@ def run_both():
                 "saving": 1 - packed.io.total_reads / plain.io.total_reads,
             }
         )
+        n_matches = sum(len(hits) for hits in plain.matches.values())
+        for codec, result, wall in (
+            ("raw", plain, plain_wall),
+            ("vbyte", packed, packed_wall),
+        ):
+            bench_rows.append(
+                {
+                    "operator": name,
+                    "kernel": "auto",
+                    "codec": codec,
+                    "wall_seconds": wall,
+                    "matches": n_matches,
+                    "pages_read": result.io.total_reads,
+                }
+            )
     ratio = CompressedInvertedFile.from_inverted(
         InvertedFile.build(C1)
     ).compression_ratio(InvertedFile.build(C1))
     rows.append({"algorithm": "(codec ratio C1)", "plain pages": "", "compressed pages": "", "saving": 1 - 1 / ratio})
-    return rows
+    return rows, bench_rows, ratio
 
 
-def test_compression_extension(benchmark, save_table):
-    rows = benchmark.pedantic(run_both, rounds=3, iterations=1)
+def test_compression_extension(benchmark, save_table, save_kernel_bench):
+    rows, bench_rows, ratio = benchmark.pedantic(run_both, rounds=3, iterations=1)
     save_table(
         "extension_compression",
         format_grid(
@@ -59,6 +85,11 @@ def test_compression_extension(benchmark, save_table):
             columns=["algorithm", "plain pages", "compressed pages", "saving"],
             title="X4c — measured I/O with compressed inverted files",
         ),
+    )
+    save_kernel_bench(
+        "codec",
+        bench_rows,
+        extras={"codec_ratio_c1": ratio, "matches_codec_invariant": True},
     )
     for row in rows[:2]:
         assert row["saving"] > 0.3, row  # postings compress > 1.5x

@@ -48,3 +48,29 @@ def save_manifest():
         return path
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def save_kernel_bench():
+    """Write a kernel/codec timing manifest to ``BENCH_<name>.json``.
+
+    Same write barrier as :func:`save_manifest`, but for the
+    kernel-bench schema: the manifest is assembled and validated by
+    :mod:`repro.experiments.kernelbench` so drift fails the run.
+    """
+    from repro.experiments.kernelbench import (
+        kernel_bench_manifest,
+        validate_kernel_bench,
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, rows, extras=None) -> Path:
+        manifest = kernel_bench_manifest(rows, extras)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(manifest, indent=2) + "\n")
+        validate_kernel_bench(json.loads(path.read_text()))
+        print(f"\n[BENCH_{name}] wrote {path}")
+        return path
+
+    return _save

@@ -9,9 +9,12 @@ accounting and metric hooks, so the numbers the context reports stop
 being the numbers the run charged.
 
 The rule therefore flags ``IOStats(...)`` / ``TracingIOStats(...)``
-constructor calls inside ``repro/core/``, ``repro/exec/`` and
+constructor calls inside ``repro/core/``, ``repro/exec/``,
 ``repro/workspace/`` (a workspace loader that counted its own pages
-would let "warm" environments report different I/O than cold ones).
+would let "warm" environments report different I/O than cold ones) and
+``repro/kernels/`` (a batch kernel keeping private books would charge
+pages invisible to the scalar reference, breaking the backends'
+byte-identity contract).
 Two sanctioned boundaries exist:
 
 * ``repro.exec.context`` — the context itself materialises empty stats
@@ -54,6 +57,7 @@ class ContextDisciplineRule(Rule):
             module.in_package("repro.core")
             or module.in_package("repro.exec")
             or module.in_package("repro.workspace")
+            or module.in_package("repro.kernels")
         ):
             return
         if module.module_name in _SANCTIONED_MODULES:

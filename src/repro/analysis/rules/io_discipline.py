@@ -21,8 +21,12 @@ package (``repro/workspace/``): builders and loaders move *serialized*
 artifacts through :mod:`repro.text.serialization` and
 :mod:`repro.index.btree_io`, and lay extents out only through the
 factory — touching the physical layer directly there would let a loaded
-dataset charge I/O differently than a built one.  The rule's scope
-covers all three packages.
+dataset charge I/O differently than a built one.  And so does the
+kernel layer (``repro/kernels/``): batch kernels reorganise arithmetic
+over data the *operators* already paid for, so a kernel that imported
+the physical layer or read payloads itself would smuggle uncharged
+reads behind the byte-identity contract.  The rule's scope covers all
+four packages.
 """
 
 from __future__ import annotations
@@ -71,9 +75,9 @@ class CoreIODisciplineRule(Rule):
 
     rule_id = "RA-CORE-IO"
     summary = (
-        "repro/core/, repro/exec/ and repro/workspace/ must not import the "
-        "physical storage layer nor read payloads in a function that never "
-        "charges IOStats"
+        "repro/core/, repro/exec/, repro/workspace/ and repro/kernels/ must "
+        "not import the physical storage layer nor read payloads in a "
+        "function that never charges IOStats"
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
@@ -82,6 +86,7 @@ class CoreIODisciplineRule(Rule):
             module.in_package("repro.core")
             or module.in_package("repro.exec")
             or module.in_package("repro.workspace")
+            or module.in_package("repro.kernels")
         ):
             return
         for node in ast.walk(module.tree):

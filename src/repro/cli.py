@@ -200,6 +200,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "layout every in-memory environment uses)")
     ws_build.add_argument("--btree-order", type=int, default=64,
                           help="order of the stored term trees")
+    ws_build.add_argument("--codec", choices=("raw", "vbyte"), default="raw",
+                          help="postings codec for the stored inverted "
+                          "extents (vbyte: d-gaps + variable-byte coding; "
+                          "recorded in the manifest and fingerprint)")
 
     ws_inspect = ws_sub.add_parser(
         "inspect", help="print a workspace's manifest summary"
@@ -250,6 +254,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--jobs", type=int, default=0,
                      help="process-pool workers for --shards (<= 1 runs "
                      "the shards in-process)")
+    sql.add_argument("--codec", choices=("raw", "vbyte"), default=None,
+                     help="postings codec for the join environment "
+                     "(result rows are identical; only the physical "
+                     "inverted extents and measured I/O change)")
+    sql.add_argument("--kernel", choices=("auto", "scalar", "stdlib", "numpy"),
+                     default=None,
+                     help="scoring-kernel backend (results are "
+                     "byte-identical across backends; numpy needs numpy)")
     sql.add_argument("--rows-only", action="store_true",
                      help="print only the column header and every row — "
                      "no execution stats, so output is comparable across "
@@ -484,7 +496,8 @@ def _cmd_workspace(args: argparse.Namespace) -> int:
         from repro.core.environment import EnvironmentSpec
 
         spec = EnvironmentSpec(
-            page_bytes=args.page_bytes, btree_order=args.btree_order
+            page_bytes=args.page_bytes, btree_order=args.btree_order,
+            codec=args.codec,
         )
         vocabulary = None
         if args.inner_dir is not None:
@@ -596,6 +609,7 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     result = execute(
         args.query, catalog, system, scenario=args.scenario,
         shards=args.shards, jobs=args.jobs,
+        codec=args.codec, kernel=args.kernel,
     )
 
     if args.rows_only:

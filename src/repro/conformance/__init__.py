@@ -58,6 +58,11 @@ from repro.conformance.report import (
     save_report,
     validate_report,
 )
+from repro.conformance.kernelcheck import (
+    KERNEL_SHARD_COUNTS,
+    REFERENCE_KERNEL,
+    run_kernel_equivalence,
+)
 from repro.conformance.parallelcheck import (
     SHARD_COUNTS,
     ShardedRunnerFn,
@@ -105,6 +110,9 @@ __all__ = [
     "run_costcheck",
     "run_differential",
     "run_metamorphic",
+    "KERNEL_SHARD_COUNTS",
+    "REFERENCE_KERNEL",
+    "run_kernel_equivalence",
     "run_parallel_equivalence",
     "run_streaming_equivalence",
     "run_workspace_roundtrip",

@@ -28,6 +28,7 @@ CHECK_NAMES = (
     "streaming-equivalence",
     "workspace-roundtrip",
     "parallel-equivalence",
+    "kernel-equivalence",
 )
 
 

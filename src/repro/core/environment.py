@@ -54,18 +54,36 @@ DERIVATION_KINDS = ("invert", "compress", "bulk-load")
 
 @dataclass(frozen=True)
 class EnvironmentSpec:
-    """The frozen recipe for one physical dataset layout."""
+    """The frozen recipe for one physical dataset layout.
+
+    ``codec`` names the :mod:`repro.index.codecs` postings codec the
+    inverted extents are stored in.  ``compress_inverted`` predates the
+    codec layer and is kept as an alias: setting it selects ``vbyte``,
+    and selecting any compressed codec sets it — the two fields are
+    normalised to agree at construction time, so old call sites and new
+    ones describe the same physical layout.
+    """
 
     page_bytes: int = PageGeometry().page_bytes
     build_inverted: bool = True
     btree_order: int = 64
     compress_inverted: bool = False
+    codec: str = "raw"
 
     def __post_init__(self) -> None:
         if self.page_bytes <= 0:
             raise JoinError(f"page_bytes must be positive, got {self.page_bytes}")
         if self.btree_order < 3:
             raise JoinError(f"btree_order must be at least 3, got {self.btree_order}")
+        from repro.index.codecs import resolve_codec
+
+        codec = self.codec
+        if self.compress_inverted and codec == "raw":
+            codec = "vbyte"
+        if resolve_codec(codec).compressed != self.compress_inverted:
+            object.__setattr__(self, "compress_inverted", not self.compress_inverted)
+        if codec != self.codec:
+            object.__setattr__(self, "codec", codec)
 
     def geometry(self) -> PageGeometry:
         """The page geometry every artifact of this spec is laid out in."""
@@ -88,8 +106,14 @@ class EnvironmentFactory:
         collection1: DocumentCollection,
         collection2: DocumentCollection | None = None,
         spec: EnvironmentSpec | None = None,
+        *,
+        kernel: str = "auto",
     ) -> None:
         self.spec = spec or EnvironmentSpec()
+        #: kernel backend name resolved per assembled environment; mutable
+        #: (it selects arithmetic, not physical layout) and pickled with
+        #: the factory, so shard workers inherit the parent's choice
+        self.kernel = kernel
         self.collection1 = collection1
         self.collection2 = collection1 if collection2 is None else collection2
         #: the shared term↔number mapping, when known (workspaces carry it)
@@ -135,16 +159,17 @@ class EnvironmentFactory:
         return self._docs_extents[side]
 
     def inverted(self, side: int) -> InvertedFile:
-        """The inverted file of one side (optionally compressed)."""
+        """The inverted file of one side, in the spec's codec."""
         if self.self_join and side == 2:
             return self.inverted(1)
         if side not in self._inverted:
+            from repro.index.codecs import resolve_codec
+
             inverted = InvertedFile.build(self.collection(side))
             self.build_log.append(f"invert:c{side}")
-            if self.spec.compress_inverted:
-                from repro.index.compression import CompressedInvertedFile
-
-                inverted = CompressedInvertedFile.from_inverted(inverted)
+            codec = resolve_codec(self.spec.codec)
+            if codec.compressed:
+                inverted = codec.build(inverted)
                 self.build_log.append(f"compress:c{side}")
             self._inverted[side] = inverted
         return self._inverted[side]
@@ -178,13 +203,37 @@ class EnvironmentFactory:
         return self._btrees[side]
 
     def stats(self, side: int) -> CollectionStats:
-        """Measured collection statistics of one side."""
+        """Measured collection statistics of one side.
+
+        With a compressed codec the inverted-side figures (``J``, ``I``
+        and everything derived from them) are overridden by the measured
+        compression ratio, so the analytic cost models price the same
+        extent sizes the simulated disk actually charges for.
+        """
         if self.self_join and side == 2:
             return self.stats(1)
         if side not in self._stats:
-            self._stats[side] = CollectionStats.from_collection(
+            from repro.index.codecs import resolve_codec
+
+            stats = CollectionStats.from_collection(
                 self.collection(side), self._geometry
             )
+            codec = resolve_codec(self.spec.codec)
+            if codec.compressed and self.spec.build_inverted:
+                from repro.constants import I_CELL_BYTES
+
+                inverted = self.inverted(side)
+                compressed_total = inverted.total_bytes
+                uncompressed_total = I_CELL_BYTES * sum(
+                    entry.document_frequency for entry in inverted.entries
+                )
+                if compressed_total and uncompressed_total > compressed_total:
+                    stats = stats.with_compressed_inverted(
+                        uncompressed_total / compressed_total
+                    )
+                # Adversarial data can compress to >= raw size; the raw
+                # figures are then already the measured layout.
+            self._stats[side] = stats
             self.build_log.append(f"stats:c{side}")
         return self._stats[side]
 
@@ -252,11 +301,18 @@ class EnvironmentFactory:
 
     def _assemble(self, environment: "JoinEnvironment") -> "JoinEnvironment":
         """Wire one environment instance onto the cached artifacts."""
+        from repro.kernels import resolve_kernels
+
         spec = self.spec
         environment.geometry = self._geometry
         environment.collection1 = self.collection1
         environment.collection2 = self.collection2
         environment.compress_inverted = spec.compress_inverted
+        environment.codec = spec.codec
+        cells = self.collection1.total_cells
+        if not self.self_join:
+            cells += self.collection2.total_cells
+        environment.kernels = resolve_kernels(self.kernel, cells=cells)
         environment.disk = SimulatedDisk(IOStats(), self._geometry)  # repro: ignore[RA-CONTEXT] -- the factory creates each environment's root counter before execution
         environment.docs1 = environment.disk.attach_extent(self.docs_extent(1))
         if self.self_join:

@@ -40,7 +40,6 @@ from repro.cost.params import QueryParams, SystemParams
 from repro.exec.context import ExecutionContext, ensure_context
 from repro.exec.stream import MatchBlock, StreamSummary, collect
 from repro.text.document import Document
-from repro.text.similarity import dot_product
 
 
 def iter_hhnl(
@@ -72,6 +71,10 @@ def iter_hhnl(
     docs1, docs2 = environment.docs1, environment.docs2
     norms1 = environment.norms1() if spec.normalized else None
     norms2 = environment.norms2() if spec.normalized else None
+    kernels = environment.kernels
+    prepared_norms1 = kernels.prepare_norms(
+        norms1, environment.collection1.n_documents
+    )
 
     all_outer = list(range(environment.collection2.n_documents))
     participating = outer_ids if outer_ids is not None else all_outer
@@ -134,6 +137,8 @@ def iter_hhnl(
                             disk.stats.record(docs2.name, sequential=new_pages)
                         pages_read_through = last_page
             trackers = {doc_id: TopK(spec.lam) for doc_id in chunk_ids}
+            scorer = kernels.chunk_scorer(chunk_docs)
+            n_chunk = len(chunk_ids)
 
             # --- bring the inner candidates in once for this chunk -----------
             inner_scans += 1
@@ -160,19 +165,17 @@ def iter_hhnl(
                         and inner_doc.doc_id not in inner_filter
                     ):
                         continue
-                    for outer_id, outer_doc in zip(chunk_ids, chunk_docs):
-                        cpu_ops += outer_doc.n_terms + inner_doc.n_terms
-                        similarity = dot_product(outer_doc, inner_doc)
-                        if similarity <= 0.0:
-                            continue
-                        if norms1 is not None:
-                            denominator = (
-                                norms1[inner_doc.doc_id] * norms2[outer_id]
-                            )
-                            similarity = (
-                                similarity / denominator if denominator else 0.0
-                            )
-                        trackers[outer_id].offer(inner_doc.doc_id, similarity)
+                    # One merge comparison per (outer, inner) cell, exactly
+                    # as the original per-pair loop charged them.
+                    cpu_ops += scorer.total_terms + n_chunk * inner_doc.n_terms
+                    scorer.collect(inner_doc)
+                for position, outer_id in enumerate(chunk_ids):
+                    tracker = trackers[outer_id]
+                    chunk_norm = norms2[outer_id] if norms2 is not None else 0.0
+                    for inner_id, similarity in scorer.ranked_candidates(
+                        position, spec.lam, prepared_norms1, chunk_norm
+                    ):
+                        tracker.offer(inner_id, similarity)
 
             # The chunk's inner scan is complete: every buffered outer
             # document's top-lambda set is final — emit the blocks.
@@ -274,6 +277,7 @@ def iter_hhnl_backward(
 
     trackers = {doc_id: TopK(spec.lam) for doc_id in participating}
     loop_ids = list(range(environment.collection1.n_documents))
+    kernels = environment.kernels
     scans = 0
     pages_read_through = -1
 
@@ -298,6 +302,12 @@ def iter_hhnl_backward(
                     else:
                         disk.stats.record(docs1.name, sequential=new_pages)
                     pages_read_through = last_page
+            scorer = kernels.chunk_scorer(chunk_docs)
+            scorer.set_chunk_norms(
+                [norms1[c1_id] for c1_id in chunk_ids]
+                if norms1 is not None
+                else None
+            )
 
             # --- one pass over the participating C2 documents -----------------
             scans += 1
@@ -325,16 +335,11 @@ def iter_hhnl_backward(
                     )
                 for c2_id, c2_doc in c2_stream:
                     tracker = trackers[c2_id]
-                    for c1_id, c1_doc in zip(chunk_ids, chunk_docs):
-                        similarity = dot_product(c2_doc, c1_doc)
-                        if similarity <= 0.0:
-                            continue
-                        if norms1 is not None:
-                            denominator = norms1[c1_id] * norms2[c2_id]
-                            similarity = (
-                                similarity / denominator if denominator else 0.0
-                            )
-                        tracker.offer(c1_id, similarity)
+                    doc_norm = norms2[c2_id] if norms2 is not None else 0.0
+                    for position, similarity in scorer.floor_candidates(
+                        c2_doc, tracker.threshold(), doc_norm
+                    ):
+                        tracker.offer(chunk_ids[position], similarity)
 
         for doc_id, tracker in trackers.items():
             ctx.checkpoint()

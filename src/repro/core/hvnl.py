@@ -31,7 +31,6 @@ import math
 from typing import Iterator, Sequence
 
 from repro.constants import TERM_NUMBER_BYTES
-from repro.core.accumulator import SparseAccumulator
 from repro.core.join import (
     JoinEnvironment,
     TextJoinResult,
@@ -80,7 +79,6 @@ def iter_hvnl(
     ctx = ensure_context(context)
     outer_ids = resolve_outer_ids(environment, outer_ids)
     inner_ids = resolve_inner_ids(environment, inner_ids)
-    inner_filter = set(inner_ids) if inner_ids is not None else None
     query = QueryParams(lam=spec.lam, delta=delta)
 
     disk = environment.disk
@@ -213,8 +211,12 @@ def iter_hvnl(
 
         norms1 = environment.norms1() if spec.normalized else None
         norms2 = environment.norms2() if spec.normalized else None
+        kernels = environment.kernels
+        n_inner_docs = environment.collection1.n_documents
+        prepared_norms1 = kernels.prepare_norms(norms1, n_inner_docs)
+        prepared_filter = kernels.prepare_filter(inner_ids, n_inner_docs)
 
-        accumulator = SparseAccumulator()
+        accumulator = kernels.sparse_scores(n_inner_docs, prepared_filter)
         entries_fetched = 0
         cpu_ops = 0  # posting accumulations, the unit of repro.cost.cpu
 
@@ -252,26 +254,17 @@ def iter_hvnl(
                             entry.n_bytes + TERM_NUMBER_BYTES,
                             priority=df2.get(term, 0),
                         )
+                    # One accumulation per posting before filtering, exactly
+                    # as the original loop charged them.
                     cpu_ops += len(entry.postings)
-                    if inner_filter is None:
-                        for inner_id, inner_weight in entry.postings:
-                            accumulator.add(inner_id, weight * inner_weight)
-                    else:
-                        for inner_id, inner_weight in entry.postings:
-                            if inner_id in inner_filter:
-                                accumulator.add(inner_id, weight * inner_weight)
+                    accumulator.add_entry(entry, weight)
 
             tracker = TopK(spec.lam)
-            if norms1 is None:
-                for inner_id, similarity in accumulator.items():
-                    tracker.offer(inner_id, similarity)
-            else:
-                outer_norm = norms2[outer_id]
-                for inner_id, similarity in accumulator.items():
-                    denominator = norms1[inner_id] * outer_norm
-                    tracker.offer(
-                        inner_id, similarity / denominator if denominator else 0.0
-                    )
+            outer_norm = norms2[outer_id] if norms2 is not None else 0.0
+            for inner_id, similarity in accumulator.ranked_candidates(
+                spec.lam, prepared_norms1, outer_norm
+            ):
+                tracker.offer(inner_id, similarity)
             # This outer document's accumulator is ranked: its top-lambda
             # set is final — emit before touching the next document.
             yield ctx.emit(

@@ -18,7 +18,7 @@ their I/O differs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.cost.params import JoinSide, QueryParams, SystemParams
 from repro.errors import JoinError
@@ -30,6 +30,9 @@ from repro.storage.extents import Extent  # repro: ignore[RA-CORE-IO] -- environ
 from repro.storage.iostats import IOStats
 from repro.storage.pages import PageGeometry  # repro: ignore[RA-CORE-IO] -- environment layout boundary
 from repro.text.collection import DocumentCollection
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle broken at runtime
+    from repro.kernels import Kernels
 
 
 @dataclass(frozen=True)
@@ -75,6 +78,8 @@ class JoinEnvironment:
     collection1: DocumentCollection
     collection2: DocumentCollection
     compress_inverted: bool
+    codec: str
+    kernels: "Kernels"
     disk: SimulatedDisk
     docs1: Extent
     docs2: Extent
@@ -98,6 +103,8 @@ class JoinEnvironment:
         build_inverted: bool = True,
         btree_order: int = 64,
         compress_inverted: bool = False,
+        codec: str = "raw",
+        kernel: str = "auto",
     ) -> None:
         from repro.core.environment import EnvironmentFactory, EnvironmentSpec
 
@@ -106,11 +113,13 @@ class JoinEnvironment:
             build_inverted=build_inverted,
             btree_order=btree_order,
             compress_inverted=compress_inverted,
+            codec=codec,
         )
         factory = EnvironmentFactory(
             collection1,
             None if collection2 is collection1 else collection2,
             spec,
+            kernel=kernel,
         )
         factory._assemble(self)
 

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from repro.core.accumulator import PairAccumulator
 from repro.core.join import (
     JoinEnvironment,
     TextJoinResult,
@@ -66,7 +65,6 @@ def iter_vvm(
     ctx = ensure_context(context)
     outer_ids = resolve_outer_ids(environment, outer_ids)
     inner_ids = resolve_inner_ids(environment, inner_ids)
-    inner_filter = set(inner_ids) if inner_ids is not None else None
     side1, side2 = environment.cost_sides(outer_ids, inner_ids)
     query = QueryParams(lam=spec.lam, delta=delta)
     passes, sm_pages, m_pages = vvm_passes(side1, side2, system, query)
@@ -94,7 +92,12 @@ def iter_vvm(
     ] or [[]]
     actual_passes = len(chunks)
 
-    accumulator = PairAccumulator()
+    kernels = environment.kernels
+    n_inner_docs = environment.collection1.n_documents
+    n_outer_docs = environment.collection2.n_documents
+    prepared_norms1 = kernels.prepare_norms(norms1, n_inner_docs)
+    prepared_filter = kernels.prepare_filter(inner_ids, n_inner_docs)
+    accumulator = kernels.pair_scores(n_inner_docs)
     peak_cells_overall = 0
     cpu_ops = 0  # posting-pair products, the unit of repro.cost.cpu
 
@@ -102,7 +105,8 @@ def iter_vvm(
         for chunk in chunks:
             ctx.checkpoint()
             accumulator.clear()
-            chunk_set = set(chunk)
+            accumulator.begin_chunk(chunk)
+            chunk_filter = kernels.prepare_filter(chunk, n_outer_docs)
 
             with ctx.phase("vvm.merge"):
                 scan1 = disk.scan_records(inv1_extent, interference=interference)
@@ -113,19 +117,12 @@ def iter_vvm(
                     term1 = entry1[1].term
                     term2 = entry2[1].term
                     if term1 == term2:
-                        postings1 = entry1[1].postings
-                        if inner_filter is not None:
-                            postings1 = tuple(
-                                cell for cell in postings1 if cell[0] in inner_filter
-                            )
-                        for outer_doc, outer_weight in entry2[1].postings:
-                            if outer_doc not in chunk_set:
-                                continue
-                            cpu_ops += len(postings1)
-                            for inner_doc, inner_weight in postings1:
-                                accumulator.add(
-                                    outer_doc, inner_doc, outer_weight * inner_weight
-                                )
+                        batch1 = kernels.entry_batch(entry1[1], prepared_filter)
+                        batch2 = kernels.entry_batch(entry2[1], chunk_filter)
+                        # One product per surviving posting pair, exactly as
+                        # the original (post-filter) loop charged them.
+                        cpu_ops += len(batch2) * len(batch1)
+                        accumulator.add_block(batch2, batch1)
                         entry1 = next(scan1, None)
                         entry2 = next(scan2, None)
                     elif term1 < term2:
@@ -144,17 +141,11 @@ def iter_vvm(
             # final, so the whole chunk can be ranked and flushed now.
             for outer_doc in chunk:
                 tracker = TopK(spec.lam)
-                row = accumulator.row(outer_doc)
-                if norms1 is None:
-                    for inner_doc, similarity in row.items():
-                        tracker.offer(inner_doc, similarity)
-                else:
-                    outer_norm = norms2[outer_doc]
-                    for inner_doc, similarity in row.items():
-                        denominator = norms1[inner_doc] * outer_norm
-                        tracker.offer(
-                            inner_doc, similarity / denominator if denominator else 0.0
-                        )
+                outer_norm = norms2[outer_doc] if norms2 is not None else 0.0
+                for inner_doc, similarity in accumulator.row_ranked(
+                    outer_doc, spec.lam, prepared_norms1, outer_norm
+                ):
+                    tracker.offer(inner_doc, similarity)
                 yield ctx.emit(
                     MatchBlock(outer_doc=outer_doc, matches=tuple(tracker.results()))
                 )

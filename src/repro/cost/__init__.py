@@ -10,6 +10,15 @@ parameter dataclasses everything shares.
 Entry point: :class:`repro.cost.model.CostModel`.
 """
 
+from repro.cost.codec import (
+    PRICED_CODECS,
+    estimated_codec_ratio,
+    estimated_vbyte_cell_bytes,
+    measured_codec_ratio,
+    stats_with_codec,
+    vbyte_length,
+    vbyte_postings_bytes,
+)
 from repro.cost.communication import (
     CommunicationCost,
     ExecutionSite,
@@ -47,6 +56,7 @@ __all__ = [
     "CostModel",
     "CostReport",
     "CpuCost",
+    "PRICED_CODECS",
     "ExecutionSite",
     "JoinSide",
     "ParallelCost",
@@ -57,6 +67,8 @@ __all__ = [
     "communication_report",
     "cpu_report",
     "distinct_terms_in_documents",
+    "estimated_codec_ratio",
+    "estimated_vbyte_cell_bytes",
     "hhnl_backward_cost",
     "hhnl_backward_memory_capacity",
     "hhnl_cost",
@@ -65,10 +77,14 @@ __all__ = [
     "hvnl_cost",
     "hvnl_cpu_cost",
     "hvnl_memory_capacity",
+    "measured_codec_ratio",
     "overlap_probabilities",
     "overlap_probability",
     "parallel_cost",
     "parallel_report",
+    "stats_with_codec",
+    "vbyte_length",
+    "vbyte_postings_bytes",
     "vvm_cost",
     "vvm_cpu_cost",
     "vvm_passes",

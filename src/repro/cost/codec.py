@@ -1,0 +1,171 @@
+"""Codec-aware cost inputs: pricing joins over compressed inverted extents.
+
+Every Section 5 formula reads the inverted file through the ``J`` and
+``I`` figures of :class:`~repro.index.stats.CollectionStats`.  A
+postings codec (:mod:`repro.index.codecs`) changes the physical bytes
+behind those figures without touching the logical postings, so the
+analytic model prices a compressed index by shrinking ``J`` and ``I``
+by the codec's ratio (``CollectionStats.with_compressed_inverted``)
+and leaving ``N``/``K``/``T``/``D``/``Bt`` alone.
+
+This module supplies the ratio two ways:
+
+* :func:`measured_codec_ratio` — exact, from a concrete inverted file:
+  :func:`vbyte_length` reproduces the encoder's byte counts
+  arithmetically (d-gaps, 7 payload bits per byte), so the ratio
+  equals what :func:`repro.index.compression.compress_postings` would
+  store — without this pure layer importing the codec machinery.
+* :func:`estimated_codec_ratio` — analytic, from ``N``/``K``/``T``
+  alone: the expected vbyte cell size for the collection's average
+  d-gap.  Used when no data exists yet — capacity planning, the
+  conformance cost bands — and expected to bracket the measured ratio
+  rather than match it exactly.
+
+:func:`stats_with_codec` is the convenience entry point: statistics
+adjusted for a named codec, measured when an inverted file is at hand,
+estimated otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.constants import I_CELL_BYTES
+from repro.errors import CostModelError
+from repro.index.stats import CollectionStats
+
+#: codec names this layer knows how to price
+PRICED_CODECS = ("raw", "vbyte")
+
+
+def _codec_name(codec) -> str:
+    """Normalise a codec name or codec-like object to a priced name."""
+    name = codec if isinstance(codec, str) else getattr(codec, "name", None)
+    if name not in PRICED_CODECS:
+        raise CostModelError(
+            f"cannot price unknown postings codec {codec!r}; "
+            f"priced codecs are {PRICED_CODECS}"
+        )
+    return name
+
+
+def vbyte_length(value: int) -> int:
+    """Exact byte count of vbyte-encoding ``value``: 7 payload bits/byte."""
+    if value < 0:
+        raise CostModelError(f"cannot vbyte-encode negative value {value}")
+    length = 1
+    while value >= 128:
+        value >>= 7
+        length += 1
+    return length
+
+
+def vbyte_postings_bytes(postings) -> int:
+    """Exact stored size of one posting list under the vbyte codec.
+
+    Mirrors :func:`repro.index.compression.compress_postings` — each
+    i-cell stores the d-gap ``doc_id - previous - 1`` and the weight as
+    two vbyte values — purely arithmetically, so the cost layer prices
+    real posting lists without touching the encoder.
+    """
+    total = 0
+    previous = -1
+    for doc_id, weight in postings:
+        total += vbyte_length(doc_id - previous - 1) + vbyte_length(weight)
+        previous = doc_id
+    return total
+
+
+def estimated_vbyte_cell_bytes(
+    n_documents: int, document_frequency: float, avg_weight: float = 1.0
+) -> float:
+    """Expected compressed bytes per posting of one term.
+
+    A posting list of ``df`` entries over ``N`` document numbers has an
+    average d-gap of ``N / df - 1`` (the gaps partition the id space),
+    so one cell costs ``vbyte(avg_gap) + vbyte(avg_weight)`` bytes.
+    This is the mean-gap approximation, not the expectation over the
+    gap distribution — good to a fraction of a byte on real term
+    frequency mixes, which is all the cost bands need.
+    """
+    if document_frequency <= 0:
+        return 0.0
+    avg_gap = max(0.0, n_documents / document_frequency - 1.0)
+    return float(vbyte_length(int(avg_gap)) + vbyte_length(int(avg_weight)))
+
+
+def estimated_codec_ratio(stats: CollectionStats, codec) -> float:
+    """Analytic compression ratio (uncompressed / compressed, >= 1).
+
+    For ``raw`` the ratio is exactly 1.  For ``vbyte`` the collection's
+    average term has ``df = K * N / T`` postings, and the ratio is the
+    5-byte i-cell against :func:`estimated_vbyte_cell_bytes` at that
+    frequency, floored at 1 — adversarial shapes (tiny collections with
+    huge gaps) can estimate above 5 bytes per cell, where the codec
+    simply stops being a win.
+    """
+    if _codec_name(codec) == "raw":
+        return 1.0
+    if not (stats.n_documents and stats.n_distinct_terms and stats.avg_terms_per_doc):
+        return 1.0
+    document_frequency = (
+        stats.avg_terms_per_doc * stats.n_documents / stats.n_distinct_terms
+    )
+    cell_bytes = estimated_vbyte_cell_bytes(stats.n_documents, document_frequency)
+    if cell_bytes <= 0:
+        return 1.0
+    return max(1.0, I_CELL_BYTES / cell_bytes)
+
+
+def measured_codec_ratio(inverted, codec) -> float:
+    """Exact compression ratio of encoding ``inverted`` with ``codec``.
+
+    ``inverted`` is a logical :class:`~repro.index.inverted.InvertedFile`
+    (or anything with ``entries`` of ``postings``); every entry's exact
+    stored size is computed via :func:`vbyte_postings_bytes` and the
+    byte totals compared.  Returns at least 1: a codec that inflates
+    the data is priced as raw, matching the environment factory's own
+    guard.
+    """
+    if _codec_name(codec) == "raw":
+        return 1.0
+    uncompressed = 0
+    compressed = 0
+    for entry in inverted.entries:
+        postings = entry.postings
+        uncompressed += I_CELL_BYTES * len(postings)
+        compressed += vbyte_postings_bytes(postings)
+    if compressed == 0 or uncompressed <= compressed:
+        return 1.0
+    return uncompressed / compressed
+
+
+def stats_with_codec(
+    stats: CollectionStats,
+    codec,
+    inverted=None,
+    name: str | None = None,
+) -> CollectionStats:
+    """Statistics adjusted for a postings codec.
+
+    With an ``inverted`` file the ratio is measured exactly; without
+    one it is the analytic estimate.  A ratio of 1 (raw codec, or a
+    codec that does not win on this data) returns ``stats`` unchanged,
+    so the raw pipeline's figures are untouched byte for byte.
+    """
+    if inverted is not None:
+        ratio = measured_codec_ratio(inverted, codec)
+    else:
+        ratio = estimated_codec_ratio(stats, codec)
+    if ratio <= 1.0:
+        return stats
+    return stats.with_compressed_inverted(ratio, name=name)
+
+
+__all__ = [
+    "PRICED_CODECS",
+    "estimated_codec_ratio",
+    "estimated_vbyte_cell_bytes",
+    "measured_codec_ratio",
+    "stats_with_codec",
+    "vbyte_length",
+    "vbyte_postings_bytes",
+]

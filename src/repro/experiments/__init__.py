@@ -23,6 +23,11 @@ from repro.experiments.engine import (
     validate_manifest,
 )
 from repro.experiments.figures import FigureSeries, extract_series, render_ascii
+from repro.experiments.kernelbench import (
+    KERNEL_BENCH_SCHEMA,
+    kernel_bench_manifest,
+    validate_kernel_bench,
+)
 from repro.experiments.groups import (
     GroupResult,
     SimulationPoint,
@@ -41,6 +46,7 @@ from repro.experiments.validate import ValidationRow, validate_algorithms
 __all__ = [
     "FigureSeries",
     "GroupResult",
+    "KERNEL_BENCH_SCHEMA",
     "SimulationPoint",
     "SweepEngine",
     "SweepPoint",
@@ -56,6 +62,8 @@ __all__ = [
     "evaluate_summary",
     "format_grid",
     "format_table",
+    "kernel_bench_manifest",
+    "validate_kernel_bench",
     "run_all_groups",
     "run_group1",
     "run_group2",

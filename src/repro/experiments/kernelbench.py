@@ -1,0 +1,82 @@
+"""Machine-readable kernel/codec benchmark manifests.
+
+The engine benchmarks already persist their perf trajectory as
+schema-validated ``BENCH_*.json`` artifacts
+(:data:`~repro.experiments.engine.MANIFEST_SCHEMA`); this module gives
+the kernel and codec benchmarks the same treatment.  A kernel-bench
+manifest is a flat list of timed join executions — one row per
+(operator, kernel backend, codec) — plus run-level context (CPU count,
+numpy availability) and free-form extras (computed speedups).
+
+:func:`validate_kernel_bench` is the write barrier: the benchmark
+fixture validates every manifest on the way out, so schema drift fails
+the benchmark run instead of seeding a corrupt ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Mapping, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.kernels import numpy_available
+
+KERNEL_BENCH_SCHEMA = "repro-kernel-bench/1"
+"""Schema tag stamped into (and required of) every kernel-bench manifest."""
+
+_ROW_KEYS = frozenset(
+    {"operator", "kernel", "codec", "wall_seconds", "matches", "pages_read"}
+)
+
+
+def kernel_bench_manifest(
+    rows: Sequence[Mapping[str, object]],
+    extras: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """Assemble a v1 kernel-bench manifest around timed join rows."""
+    return {
+        "schema": KERNEL_BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy_available": numpy_available(),
+        "rows": [dict(row) for row in rows],
+        "extras": dict(extras or {}),
+    }
+
+
+def validate_kernel_bench(manifest: Mapping[str, object]) -> dict[str, object]:
+    """Check a kernel-bench manifest against the v1 schema.
+
+    Raises :class:`~repro.errors.InvalidParameterError` naming the first
+    violated expectation, mirroring
+    :func:`repro.experiments.engine.validate_manifest`.
+    """
+    if manifest.get("schema") != KERNEL_BENCH_SCHEMA:
+        raise InvalidParameterError(
+            f"kernel-bench manifest schema is {manifest.get('schema')!r}, "
+            f"expected {KERNEL_BENCH_SCHEMA!r}"
+        )
+    for key in ("created_unix", "cpu_count", "numpy_available", "extras"):
+        if key not in manifest:
+            raise InvalidParameterError(f"kernel-bench manifest is missing {key!r}")
+    rows = manifest.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise InvalidParameterError("kernel-bench manifest rows must be a non-empty list")
+    for index, row in enumerate(rows):
+        if not isinstance(row, Mapping) or not _ROW_KEYS <= set(row):
+            raise InvalidParameterError(
+                f"kernel-bench row {index} must carry {sorted(_ROW_KEYS)}"
+            )
+        if not isinstance(row["wall_seconds"], (int, float)) or row["wall_seconds"] < 0:
+            raise InvalidParameterError(
+                f"kernel-bench row {index} wall_seconds must be non-negative"
+            )
+    return dict(manifest)
+
+
+__all__ = [
+    "KERNEL_BENCH_SCHEMA",
+    "kernel_bench_manifest",
+    "validate_kernel_bench",
+]

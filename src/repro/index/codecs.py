@@ -1,0 +1,117 @@
+"""Postings codecs: how inverted-file entries are stored on disk.
+
+A codec is the pluggable layer between the logical inverted file (a
+list of ``(doc#, weight)`` i-cells per term) and its physical bytes —
+both on the simulated disk, where the stored size drives the paper's
+``I``/``J`` figures and therefore every measured page count, and in
+durable workspaces, where the encoded records are what gets
+checksummed and replayed by ``repro workspace verify``.
+
+Two codecs exist:
+
+* ``raw`` — 5 bytes per i-cell, the paper's Section 3 layout;
+* ``vbyte`` — d-gaps + variable-byte coding
+  (:mod:`repro.index.compression`), the classic IR compression scheme.
+
+Codecs are stateless singletons resolved by name
+(:func:`resolve_codec`); the name is part of
+:class:`~repro.core.environment.EnvironmentSpec` and is serialized
+into workspace manifests, where it participates in the fingerprint —
+two workspaces that differ only in codec are different datasets as far
+as caching is concerned.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.index.compression import (
+    CompressedInvertedFile,
+    compress_postings,
+    decompress_postings,
+)
+from repro.index.inverted import InvertedFile
+from repro.text.serialization import cells_from_bytes, cells_to_bytes
+
+
+class PostingsCodec:
+    """One way of encoding posting lists; stateless and safe to share."""
+
+    name: str = "base"
+    #: whether encoded entries are smaller than the 5-bytes-per-cell layout
+    #: (drives the measured-statistics override in the environment factory)
+    compressed: bool = False
+
+    def build(self, inverted: InvertedFile):
+        """The in-memory inverted artifact laid onto the simulated disk."""
+        raise NotImplementedError
+
+    def encode_postings(self, postings: tuple[tuple[int, int], ...]) -> bytes:
+        """Durable record payload for one entry's postings."""
+        raise NotImplementedError
+
+    def decode_postings(self, data: bytes) -> tuple[tuple[int, int], ...]:
+        """Inverse of :meth:`encode_postings`; raises on malformed input."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class RawCodec(PostingsCodec):
+    """The paper's uncompressed layout: 5 bytes per i-cell."""
+
+    name = "raw"
+    compressed = False
+
+    def build(self, inverted: InvertedFile) -> InvertedFile:
+        return inverted
+
+    def encode_postings(self, postings: tuple[tuple[int, int], ...]) -> bytes:
+        return cells_to_bytes(postings)
+
+    def decode_postings(self, data: bytes) -> tuple[tuple[int, int], ...]:
+        return cells_from_bytes(data)
+
+
+class VbyteCodec(PostingsCodec):
+    """D-gaps + variable-byte coding over sorted postings."""
+
+    name = "vbyte"
+    compressed = True
+
+    def build(self, inverted: InvertedFile) -> CompressedInvertedFile:
+        return CompressedInvertedFile.from_inverted(inverted)
+
+    def encode_postings(self, postings: tuple[tuple[int, int], ...]) -> bytes:
+        return compress_postings(postings)
+
+    def decode_postings(self, data: bytes) -> tuple[tuple[int, int], ...]:
+        return decompress_postings(data)
+
+
+#: every codec name accepted by :func:`resolve_codec`, manifests and specs
+CODEC_NAMES = ("raw", "vbyte")
+
+_CODECS: dict[str, PostingsCodec] = {
+    "raw": RawCodec(),
+    "vbyte": VbyteCodec(),
+}
+
+
+def resolve_codec(name: str) -> PostingsCodec:
+    """The codec registered under ``name`` (a shared stateless instance)."""
+    codec = _CODECS.get(name)
+    if codec is None:
+        raise InvalidParameterError(
+            f"unknown postings codec {name!r}; choose from {CODEC_NAMES}"
+        )
+    return codec
+
+
+__all__ = [
+    "CODEC_NAMES",
+    "PostingsCodec",
+    "RawCodec",
+    "VbyteCodec",
+    "resolve_codec",
+]

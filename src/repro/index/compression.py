@@ -86,13 +86,24 @@ class CompressedInvertedEntry:
     compressed one.
     """
 
-    __slots__ = ("term", "data", "document_frequency", "_decoded")
+    __slots__ = ("term", "data", "document_frequency", "_decoded", "_packed")
 
     def __init__(self, term: int, data: bytes, document_frequency: int) -> None:
         self.term = term
         self.data = data
         self.document_frequency = document_frequency
         self._decoded: tuple[tuple[int, int], ...] | None = None
+        #: kernel-backend pack cache: ``(backend_tag, data)`` or None
+        self._packed: tuple[str, object] | None = None
+
+    def __getstate__(self) -> tuple[int, bytes, int]:
+        # Decode/pack caches are process-local; rebuilt lazily after unpickling.
+        return (self.term, self.data, self.document_frequency)
+
+    def __setstate__(self, state: tuple[int, bytes, int]) -> None:
+        self.term, self.data, self.document_frequency = state
+        self._decoded = None
+        self._packed = None
 
     @classmethod
     def from_entry(cls, entry: InvertedEntry) -> "CompressedInvertedEntry":

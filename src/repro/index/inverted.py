@@ -20,7 +20,7 @@ from repro.text.collection import DocumentCollection
 class InvertedEntry:
     """One term's posting list."""
 
-    __slots__ = ("term", "postings")
+    __slots__ = ("term", "postings", "_packed")
 
     def __init__(self, term: int, postings: tuple[tuple[int, int], ...]) -> None:
         if term < 0:
@@ -40,6 +40,16 @@ class InvertedEntry:
             previous = doc_id
         self.term = term
         self.postings = postings
+        #: kernel-backend pack cache: ``(backend_tag, data)`` or None
+        self._packed: tuple[str, object] | None = None
+
+    def __getstate__(self) -> tuple[int, tuple[tuple[int, int], ...]]:
+        # Pack caches are process-local; rebuilt lazily after unpickling.
+        return (self.term, self.postings)
+
+    def __setstate__(self, state: tuple[int, tuple[tuple[int, int], ...]]) -> None:
+        self.term, self.postings = state
+        self._packed = None
 
     @property
     def document_frequency(self) -> int:

@@ -1,0 +1,102 @@
+"""The stdlib kernel backend: term-indexed chunk tables, no dependencies.
+
+Instead of merging every (chunk document, streamed document) pair of
+sorted cell vectors, the chunk is transposed once into a per-term table
+``{term: [(position, weight), ...]}``.  Scoring a streamed document is
+then one dictionary lookup per *document* term plus one multiply-add
+per actual match — the same integer arithmetic as the scalar backend
+(so results are bit-identical), with the quadratic pair merge replaced
+by work proportional to matches.
+
+Accumulator primitives reuse the scalar implementations: their inner
+loops are already dictionary updates, which is the best pure-Python
+shape for sparse accumulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.kernels.base import ChunkScorer
+from repro.kernels.scalar import ScalarKernels
+from repro.text.document import Document
+
+
+class StdlibChunkScorer(ChunkScorer):
+    """Chunk transposed into a term table; one lookup per streamed term."""
+
+    def __init__(self, docs: Sequence[Document]) -> None:
+        self._docs = list(docs)
+        self.total_terms = sum(doc.n_terms for doc in self._docs)
+        index: dict[int, list[tuple[int, int]]] = {}
+        for position, doc in enumerate(self._docs):
+            for term, weight in doc.cells:
+                index.setdefault(term, []).append((position, weight))
+        self._index = index
+        self._columns: list[list[int]] = []
+        self._scored_ids: list[int] = []
+        self._chunk_norms: Sequence[float] | None = None
+
+    def _score(self, doc: Document) -> list[int]:
+        scores = [0] * len(self._docs)
+        index = self._index
+        for term, weight in doc.cells:
+            cells = index.get(term)
+            if cells is None:
+                continue
+            for position, chunk_weight in cells:
+                scores[position] += chunk_weight * weight
+        return scores
+
+    def collect(self, doc: Document) -> None:
+        self._columns.append(self._score(doc))
+        self._scored_ids.append(doc.doc_id)
+
+    def ranked_candidates(
+        self,
+        position: int,
+        lam: int,
+        other_norms: Mapping[int, float] | None,
+        chunk_norm: float,
+    ) -> Iterator[tuple[int, float]]:
+        for index, doc_id in enumerate(self._scored_ids):
+            value = self._columns[index][position]
+            if value <= 0:
+                continue
+            similarity = float(value)
+            if other_norms is not None:
+                denominator = other_norms[doc_id] * chunk_norm
+                similarity = similarity / denominator if denominator else 0.0
+            yield doc_id, similarity
+
+    def set_chunk_norms(self, norms: Sequence[float] | None) -> None:
+        self._chunk_norms = norms
+
+    def floor_candidates(
+        self, doc: Document, floor: float, doc_norm: float
+    ) -> Iterator[tuple[int, float]]:
+        norms = self._chunk_norms
+        for position, value in enumerate(self._score(doc)):
+            if value <= 0:
+                continue
+            similarity = float(value)
+            if norms is not None:
+                denominator = norms[position] * doc_norm
+                similarity = similarity / denominator if denominator else 0.0
+            # Strict-dominance cut: the tracker's threshold only rises, so
+            # a candidate strictly below the floor can never be retained.
+            if similarity < floor:
+                continue
+            yield position, similarity
+
+
+class StdlibKernels(ScalarKernels):
+    """Dependency-free batch backend; accumulators inherit from scalar."""
+
+    name = "stdlib"
+
+    def chunk_scorer(self, docs: Sequence[Document]) -> StdlibChunkScorer:
+        return StdlibChunkScorer(docs)
+
+
+__all__ = ["StdlibChunkScorer", "StdlibKernels"]

@@ -1,0 +1,183 @@
+"""The scalar kernel backend: the operators' original loops, verbatim.
+
+This backend exists to *be compared against*: its arithmetic is the
+exact per-pair / per-posting Python the operators ran before the kernel
+layer, so any batch backend that matches it bit-for-bit (the
+``kernel-equivalence`` conformance check) matches the pre-kernel
+implementation.  It applies no candidate pre-cuts — every positive
+similarity is surfaced, exactly as the original loops offered them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.core.accumulator import PairAccumulator, SparseAccumulator
+from repro.kernels.base import ChunkScorer, Kernels, PairScores, SparseScores
+from repro.text.document import Document
+from repro.text.similarity import dot_product
+
+
+class ScalarChunkScorer(ChunkScorer):
+    """Per-pair :func:`~repro.text.similarity.dot_product`, one column at a time."""
+
+    def __init__(self, docs: Sequence[Document]) -> None:
+        self._docs = list(docs)
+        self.total_terms = sum(doc.n_terms for doc in self._docs)
+        self._columns: list[list[float]] = []
+        self._scored_ids: list[int] = []
+        self._chunk_norms: Sequence[float] | None = None
+
+    def collect(self, doc: Document) -> None:
+        self._columns.append([dot_product(outer, doc) for outer in self._docs])
+        self._scored_ids.append(doc.doc_id)
+
+    def ranked_candidates(
+        self,
+        position: int,
+        lam: int,
+        other_norms: Mapping[int, float] | None,
+        chunk_norm: float,
+    ) -> Iterator[tuple[int, float]]:
+        for index, doc_id in enumerate(self._scored_ids):
+            similarity = self._columns[index][position]
+            if similarity <= 0.0:
+                continue
+            if other_norms is not None:
+                denominator = other_norms[doc_id] * chunk_norm
+                similarity = similarity / denominator if denominator else 0.0
+            yield doc_id, similarity
+
+    def set_chunk_norms(self, norms: Sequence[float] | None) -> None:
+        self._chunk_norms = norms
+
+    def floor_candidates(
+        self, doc: Document, floor: float, doc_norm: float
+    ) -> Iterator[tuple[int, float]]:
+        norms = self._chunk_norms
+        for position, chunk_doc in enumerate(self._docs):
+            similarity = dot_product(doc, chunk_doc)
+            if similarity <= 0.0:
+                continue
+            if norms is not None:
+                denominator = norms[position] * doc_norm
+                similarity = similarity / denominator if denominator else 0.0
+            yield position, similarity
+
+
+class ScalarSparseScores(SparseScores):
+    """HVNL's original accumulation loop over a :class:`SparseAccumulator`."""
+
+    def __init__(self, prepared_filter: frozenset[int] | None) -> None:
+        self._accumulator = SparseAccumulator()
+        self._filter = prepared_filter
+
+    @property
+    def peak_cells(self) -> int:
+        return self._accumulator.peak_cells
+
+    def add_entry(self, entry: Any, weight: int) -> None:
+        accumulator = self._accumulator
+        if self._filter is None:
+            for inner_id, inner_weight in entry.postings:
+                accumulator.add(inner_id, weight * inner_weight)
+        else:
+            inner_filter = self._filter
+            for inner_id, inner_weight in entry.postings:
+                if inner_id in inner_filter:
+                    accumulator.add(inner_id, weight * inner_weight)
+
+    def clear(self) -> None:
+        self._accumulator.clear()
+
+    def ranked_candidates(
+        self, lam: int, other_norms: Mapping[int, float] | None, outer_norm: float
+    ) -> Iterator[tuple[int, float]]:
+        if other_norms is None:
+            yield from self._accumulator.items()
+            return
+        for inner_id, similarity in self._accumulator.items():
+            denominator = other_norms[inner_id] * outer_norm
+            yield inner_id, similarity / denominator if denominator else 0.0
+
+
+class ScalarPairScores(PairScores):
+    """VVM's original posting-pair loop over a :class:`PairAccumulator`."""
+
+    def __init__(self) -> None:
+        self._accumulator = PairAccumulator()
+
+    @property
+    def peak_cells(self) -> int:
+        return self._accumulator.peak_cells
+
+    def add_block(
+        self,
+        outer_batch: tuple[tuple[int, int], ...],
+        inner_batch: tuple[tuple[int, int], ...],
+    ) -> None:
+        accumulator = self._accumulator
+        for outer_doc, outer_weight in outer_batch:
+            for inner_doc, inner_weight in inner_batch:
+                accumulator.add(outer_doc, inner_doc, outer_weight * inner_weight)
+
+    def clear(self) -> None:
+        self._accumulator.clear()
+
+    def row_ranked(
+        self,
+        outer_doc: int,
+        lam: int,
+        other_norms: Mapping[int, float] | None,
+        outer_norm: float,
+    ) -> Iterator[tuple[int, float]]:
+        row = self._accumulator.row(outer_doc)
+        if other_norms is None:
+            yield from row.items()
+            return
+        for inner_doc, similarity in row.items():
+            denominator = other_norms[inner_doc] * outer_norm
+            yield inner_doc, similarity / denominator if denominator else 0.0
+
+
+class ScalarKernels(Kernels):
+    """Reference backend: pure-Python loops, no packing, no pre-cuts."""
+
+    name = "scalar"
+
+    def prepare_filter(
+        self, ids: Sequence[int] | None, n_docs: int
+    ) -> frozenset[int] | None:
+        return None if ids is None else frozenset(ids)
+
+    def prepare_norms(
+        self, norms: Mapping[int, float] | None, n_docs: int
+    ) -> Mapping[int, float] | None:
+        return norms
+
+    def entry_batch(
+        self, entry: Any, prepared_filter: frozenset[int] | None
+    ) -> tuple[tuple[int, int], ...]:
+        postings: tuple[tuple[int, int], ...] = entry.postings
+        if prepared_filter is None:
+            return postings
+        return tuple(cell for cell in postings if cell[0] in prepared_filter)
+
+    def chunk_scorer(self, docs: Sequence[Document]) -> ScalarChunkScorer:
+        return ScalarChunkScorer(docs)
+
+    def sparse_scores(
+        self, n_docs: int, prepared_filter: frozenset[int] | None
+    ) -> ScalarSparseScores:
+        return ScalarSparseScores(prepared_filter)
+
+    def pair_scores(self, n_docs: int) -> ScalarPairScores:
+        return ScalarPairScores()
+
+
+__all__ = [
+    "ScalarChunkScorer",
+    "ScalarKernels",
+    "ScalarPairScores",
+    "ScalarSparseScores",
+]

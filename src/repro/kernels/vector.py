@@ -1,0 +1,530 @@
+"""The numpy kernel backend: deferred bulk scoring over packed arrays.
+
+Documents and inverted entries are packed once into sorted ``int64``
+``(terms, weights)`` array pairs, cached on the object's ``_packed``
+slot (tagged with the backend name so backends can alternate on shared
+objects without reading each other's caches).  The expensive primitive
+is never the single pair — it is the *bulk* op:
+
+* chunk scoring — :meth:`VectorChunkScorer.collect` only buffers the
+  streamed document's pack; when the chunk is ranked, one sparse
+  term-join (``searchsorted`` + ragged expansion + ``bincount``) scores
+  the whole chunk against every collected document at once;
+* sparse accumulation — :meth:`VectorSparseScores.add_entry` only
+  buffers entry packs; the ranking flush concatenates them and folds
+  them into a dense score row with one ``bincount``;
+* pair accumulation — :meth:`VectorPairScores.add_block` buffers the
+  (outer, inner) batch pair per matched term; the flush expands every
+  ragged cross product in one shot into a chunk x collection matrix.
+
+All arithmetic is exact: weights are positive integers, every score is
+a sum of integer products far below ``2**53``, and float64 represents
+such sums exactly regardless of accumulation order, so similarities
+are bit-identical to the scalar backend's.  Ranking applies the
+strict-dominance pre-cut (``partition`` for the ``lambda``-th value,
+ties kept): only candidates that provably cannot enter the final
+top-``lambda`` set are dropped, so offered-set purity of
+:class:`~repro.core.topk.TopK` guarantees identical results.
+
+Peak-cell accounting matches the scalar accumulators because every
+contribution is positive: the number of non-zero cells after a flush
+equals the number of distinct cells the scalar backend would have
+touched, and cell counts only grow within a pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.kernels.base import ChunkScorer, Kernels, PairScores, SparseScores
+from repro.text.document import Document
+
+_TAG = "numpy"
+
+#: dense pair-matrix cells beyond which VVM accumulation falls back to
+#: lazily-allocated per-row storage (keeps worst-case memory bounded)
+DENSE_CELL_LIMIT = 1 << 24
+
+
+def _pack_cells(
+    obj: Any, cells: Sequence[tuple[int, int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted ``(keys, weights)`` int64 arrays, cached on ``obj``."""
+    packed = obj._packed
+    if packed is not None and packed[0] == _TAG:
+        return packed[1]
+    count = len(cells)
+    keys = np.fromiter((cell[0] for cell in cells), dtype=np.int64, count=count)
+    weights = np.fromiter((cell[1] for cell in cells), dtype=np.int64, count=count)
+    obj._packed = (_TAG, (keys, weights))
+    return keys, weights
+
+
+def _pack_document(doc: Document) -> tuple[np.ndarray, np.ndarray]:
+    return _pack_cells(doc, doc.cells)
+
+
+def _pack_entry(entry: Any) -> tuple[np.ndarray, np.ndarray]:
+    return _pack_cells(entry, entry.postings)
+
+
+def _top_lambda_mask(sims: np.ndarray, lam: int) -> np.ndarray | None:
+    """Mask keeping candidates that can still make a top-``lam`` set.
+
+    Keeps every candidate whose similarity ties or beats the ``lam``-th
+    largest; anything strictly below it has ``lam`` strictly better
+    competitors and can never be retained by the tracker.
+    """
+    count = len(sims)
+    if lam <= 0 or count <= lam:
+        return None
+    kth = np.partition(sims, count - lam)[count - lam]
+    return sims >= kth
+
+
+def _normalized(
+    sims: np.ndarray, denominators: np.ndarray
+) -> np.ndarray:
+    """Elementwise IEEE division with the scalar zero-denominator rule."""
+    return np.divide(
+        sims, denominators, out=np.zeros(len(sims)), where=denominators != 0
+    )
+
+
+class _PostingBatch:
+    """A filtered posting batch: parallel id/weight arrays with a length."""
+
+    __slots__ = ("ids", "weights")
+
+    def __init__(self, ids: np.ndarray, weights: np.ndarray) -> None:
+        self.ids = ids
+        self.weights = weights
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class VectorChunkScorer(ChunkScorer):
+    """Buffers streamed packs; one sparse term-join scores the chunk."""
+
+    def __init__(self, docs: Sequence[Document]) -> None:
+        self._docs = list(docs)
+        self.total_terms = sum(doc.n_terms for doc in self._docs)
+        packs = [_pack_document(doc) for doc in self._docs]
+        if packs and self.total_terms:
+            cat_terms = np.concatenate([terms for terms, _ in packs])
+            cat_weights = np.concatenate([weights for _, weights in packs])
+            counts = np.fromiter(
+                (len(terms) for terms, _ in packs), dtype=np.int64, count=len(packs)
+            )
+            positions = np.repeat(np.arange(len(packs)), counts)
+            # One term-sorted view of the whole chunk: the join side of
+            # every later searchsorted.
+            order = np.argsort(cat_terms, kind="stable")
+            self._chunk_terms = cat_terms[order]
+            self._chunk_weights = cat_weights[order]
+            self._chunk_positions = positions[order]
+        else:
+            self._chunk_terms = np.empty(0, dtype=np.int64)
+            self._chunk_weights = np.empty(0, dtype=np.int64)
+            self._chunk_positions = np.empty(0, dtype=np.int64)
+        self._collected: list[tuple[np.ndarray, np.ndarray]] = []
+        self._scored_ids: list[int] = []
+        self._matrix: np.ndarray | None = None
+        self._ids_array: np.ndarray | None = None
+        self._chunk_norms: np.ndarray | None = None
+
+    def collect(self, doc: Document) -> None:
+        self._collected.append(_pack_document(doc))
+        self._scored_ids.append(doc.doc_id)
+        self._matrix = None
+
+    def _ensure_matrix(self) -> None:
+        """Score chunk x collected in one sparse term-join."""
+        if self._matrix is not None:
+            return
+        n_chunk = len(self._docs)
+        n_collected = len(self._collected)
+        self._ids_array = np.asarray(self._scored_ids, dtype=np.int64)
+        if n_collected == 0 or len(self._chunk_terms) == 0:
+            self._matrix = np.zeros((n_chunk, max(n_collected, 1)))
+            return
+        terms = np.concatenate([pack[0] for pack in self._collected])
+        weights = np.concatenate([pack[1] for pack in self._collected])
+        lengths = np.fromiter(
+            (len(pack[0]) for pack in self._collected),
+            dtype=np.int64,
+            count=n_collected,
+        )
+        columns = np.repeat(np.arange(n_collected), lengths)
+        self._matrix = _sparse_term_join(
+            self._chunk_terms,
+            self._chunk_weights,
+            self._chunk_positions,
+            n_chunk,
+            terms,
+            weights,
+            columns,
+            n_collected,
+        )
+
+    def ranked_candidates(
+        self,
+        position: int,
+        lam: int,
+        other_norms: np.ndarray | None,
+        chunk_norm: float,
+    ) -> Iterator[tuple[int, float]]:
+        if not self._collected:
+            return
+        self._ensure_matrix()
+        values = self._matrix[position]
+        positive = values > 0
+        ids = self._ids_array[positive]
+        sims = values[positive]
+        if other_norms is not None:
+            sims = _normalized(sims, other_norms[ids] * chunk_norm)
+        keep = _top_lambda_mask(sims, lam)
+        if keep is not None:
+            ids = ids[keep]
+            sims = sims[keep]
+        yield from zip(ids.tolist(), sims.tolist())
+
+    def set_chunk_norms(self, norms: Sequence[float] | None) -> None:
+        self._chunk_norms = (
+            None if norms is None else np.asarray(norms, dtype=np.float64)
+        )
+
+    def floor_candidates(
+        self, doc: Document, floor: float, doc_norm: float
+    ) -> Iterator[tuple[int, float]]:
+        n_chunk = len(self._docs)
+        doc_terms, doc_weights = _pack_document(doc)
+        if len(doc_terms) == 0 or len(self._chunk_terms) == 0:
+            return
+        found = np.searchsorted(doc_terms, self._chunk_terms)
+        clipped = np.minimum(found, len(doc_terms) - 1)
+        valid = doc_terms[clipped] == self._chunk_terms
+        contrib = self._chunk_weights[valid] * doc_weights[clipped[valid]]
+        values = np.bincount(
+            self._chunk_positions[valid], weights=contrib, minlength=n_chunk
+        )
+        positive = values > 0
+        positions = np.nonzero(positive)[0]
+        sims = values[positive]
+        if self._chunk_norms is not None:
+            sims = _normalized(sims, self._chunk_norms[positions] * doc_norm)
+        if floor > 0.0:
+            # Strict-dominance cut: the tracker's threshold only rises, so
+            # a candidate strictly below the floor can never be retained.
+            keep = sims >= floor
+            positions = positions[keep]
+            sims = sims[keep]
+        yield from zip(positions.tolist(), sims.tolist())
+
+
+def _sparse_term_join(
+    join_terms: np.ndarray,
+    join_weights: np.ndarray,
+    join_rows: np.ndarray,
+    n_rows: int,
+    terms: np.ndarray,
+    weights: np.ndarray,
+    columns: np.ndarray,
+    n_columns: int,
+) -> np.ndarray:
+    """Dense ``n_rows x n_columns`` score matrix of a ragged term join.
+
+    ``join_*`` is one term-sorted cell multiset (row id per cell);
+    ``terms``/``weights``/``columns`` is another (column id per cell).
+    Every pair of cells sharing a term contributes the product of its
+    weights to ``matrix[row, column]`` — exactly the all-pairs dot
+    products, evaluated as one scatter-add.
+    """
+    left = np.searchsorted(join_terms, terms, side="left")
+    right = np.searchsorted(join_terms, terms, side="right")
+    counts = right - left
+    total = int(counts.sum())
+    matrix_cells = n_rows * n_columns
+    if total == 0:
+        return np.zeros((n_rows, n_columns))
+    source = np.repeat(np.arange(len(terms)), counts)
+    starts = np.cumsum(counts) - counts
+    join_index = np.repeat(left - starts, counts) + np.arange(total)
+    contrib = join_weights[join_index] * weights[source]
+    flat = join_rows[join_index] * n_columns + columns[source]
+    return np.bincount(flat, weights=contrib, minlength=matrix_cells).reshape(
+        n_rows, n_columns
+    )
+
+
+class VectorSparseScores(SparseScores):
+    """Buffers entry packs; one concatenated bincount per ranking flush."""
+
+    def __init__(self, n_docs: int, prepared_filter: np.ndarray | None) -> None:
+        self._n_docs = n_docs
+        self._filter = prepared_filter
+        self._batches: list[tuple[np.ndarray, np.ndarray]] = []
+        self._outer_weights: list[int] = []
+        self._scores: np.ndarray | None = None
+        self.peak_cells = 0
+
+    def add_entry(self, entry: Any, weight: int) -> None:
+        self._batches.append(_pack_entry(entry))
+        self._outer_weights.append(weight)
+        self._scores = None
+
+    def clear(self) -> None:
+        self._batches.clear()
+        self._outer_weights.clear()
+        self._scores = None
+
+    def _flush(self) -> np.ndarray:
+        if self._scores is not None:
+            return self._scores
+        if not self._batches:
+            scores = np.zeros(self._n_docs)
+        else:
+            ids = np.concatenate([batch[0] for batch in self._batches])
+            weights = np.concatenate([batch[1] for batch in self._batches])
+            lengths = np.fromiter(
+                (len(batch[0]) for batch in self._batches),
+                dtype=np.int64,
+                count=len(self._batches),
+            )
+            outer = np.repeat(
+                np.asarray(self._outer_weights, dtype=np.int64), lengths
+            )
+            contrib = outer * weights
+            if self._filter is not None:
+                allowed = self._filter[ids]
+                ids = ids[allowed]
+                contrib = contrib[allowed]
+            scores = np.bincount(ids, weights=contrib, minlength=self._n_docs)
+        self._scores = scores
+        # Contributions are positive integer products, so the non-zero
+        # cells are exactly the cells the scalar accumulator touched.
+        cells = int(np.count_nonzero(scores))
+        if cells > self.peak_cells:
+            self.peak_cells = cells
+        return scores
+
+    def ranked_candidates(
+        self, lam: int, other_norms: np.ndarray | None, outer_norm: float
+    ) -> Iterator[tuple[int, float]]:
+        scores = self._flush()
+        ids = np.nonzero(scores)[0]
+        sims = scores[ids]
+        if other_norms is not None:
+            sims = _normalized(sims, other_norms[ids] * outer_norm)
+        keep = _top_lambda_mask(sims, lam)
+        if keep is not None:
+            ids = ids[keep]
+            sims = sims[keep]
+        yield from zip(ids.tolist(), sims.tolist())
+
+
+class VectorPairScores(PairScores):
+    """Buffers batch pairs per matched term; one ragged cross-product flush.
+
+    When the chunk's dense matrix (``len(chunk) x n_docs``) stays under
+    :data:`DENSE_CELL_LIMIT` cells, the flush expands every buffered
+    cross product into one flat scatter-add.  Above the limit it falls
+    back to lazily-allocated dense rows updated batch-by-batch — slower,
+    but memory-proportional to the rows actually touched.
+    """
+
+    def __init__(self, n_docs: int) -> None:
+        self._n_docs = n_docs
+        self._chunk_rows: dict[int, int] = {}
+        self._blocks: list[tuple[_PostingBatch, _PostingBatch]] = []
+        self._matrix: np.ndarray | None = None
+        self._rows: dict[int, np.ndarray] = {}
+        self._touched: dict[int, np.ndarray] = {}
+        self._row_cells = 0
+        self._dense = True
+        self.peak_cells = 0
+
+    def begin_chunk(self, chunk: Sequence[int]) -> None:
+        self._chunk_rows = {doc_id: row for row, doc_id in enumerate(chunk)}
+        self._dense = len(chunk) * self._n_docs <= DENSE_CELL_LIMIT
+
+    def add_block(
+        self, outer_batch: _PostingBatch, inner_batch: _PostingBatch
+    ) -> None:
+        if self._dense:
+            self._blocks.append((outer_batch, inner_batch))
+            self._matrix = None
+            return
+        row_of = self._chunk_rows
+        inner_ids = inner_batch.ids
+        inner_weights = inner_batch.weights
+        for outer_doc, outer_weight in zip(
+            outer_batch.ids.tolist(), outer_batch.weights.tolist()
+        ):
+            row = self._rows.get(outer_doc)
+            if row is None:
+                row = np.zeros(self._n_docs)
+                self._rows[outer_doc] = row
+                self._touched[outer_doc] = np.zeros(self._n_docs, dtype=bool)
+            touched = self._touched[outer_doc]
+            row[inner_ids] += outer_weight * inner_weights
+            fresh = int(len(inner_ids) - np.count_nonzero(touched[inner_ids]))
+            if fresh:
+                touched[inner_ids] = True
+                self._row_cells += fresh
+                if self._row_cells > self.peak_cells:
+                    self.peak_cells = self._row_cells
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self._matrix = None
+        self._rows.clear()
+        self._touched.clear()
+        self._row_cells = 0
+        self._chunk_rows = {}
+
+    def _flush(self) -> np.ndarray:
+        if self._matrix is not None:
+            return self._matrix
+        n_rows = max(len(self._chunk_rows), 1)
+        n_docs = self._n_docs
+        if not self._blocks:
+            matrix = np.zeros((n_rows, n_docs))
+        else:
+            outer_sizes = np.fromiter(
+                (len(block[0]) for block in self._blocks),
+                dtype=np.int64,
+                count=len(self._blocks),
+            )
+            inner_sizes = np.fromiter(
+                (len(block[1]) for block in self._blocks),
+                dtype=np.int64,
+                count=len(self._blocks),
+            )
+            outer_ids = np.concatenate([block[0].ids for block in self._blocks])
+            outer_weights = np.concatenate(
+                [block[0].weights for block in self._blocks]
+            )
+            inner_starts = np.cumsum(inner_sizes) - inner_sizes
+            # Per outer posting: repeat it across its block's inner batch.
+            per_outer = np.repeat(inner_sizes, outer_sizes)
+            outer_start = np.repeat(inner_starts, outer_sizes)
+            total = int(per_outer.sum())
+            rows = np.fromiter(
+                (self._chunk_rows[doc] for doc in outer_ids.tolist()),
+                dtype=np.int64,
+                count=len(outer_ids),
+            )
+            cross_starts = np.cumsum(per_outer) - per_outer
+            offsets = np.arange(total) - np.repeat(cross_starts, per_outer)
+            inner_index = np.repeat(outer_start, per_outer) + offsets
+            inner_ids = np.concatenate([block[1].ids for block in self._blocks])
+            inner_weights = np.concatenate(
+                [block[1].weights for block in self._blocks]
+            )
+            contrib = np.repeat(outer_weights, per_outer) * inner_weights[inner_index]
+            flat = np.repeat(rows, per_outer) * n_docs + inner_ids[inner_index]
+            matrix = np.bincount(
+                flat, weights=contrib, minlength=n_rows * n_docs
+            ).reshape(n_rows, n_docs)
+        self._matrix = matrix
+        # Positive contributions: non-zero cells == distinct touched cells.
+        cells = int(np.count_nonzero(matrix))
+        if cells > self.peak_cells:
+            self.peak_cells = cells
+        return matrix
+
+    def row_ranked(
+        self,
+        outer_doc: int,
+        lam: int,
+        other_norms: np.ndarray | None,
+        outer_norm: float,
+    ) -> Iterator[tuple[int, float]]:
+        if self._dense:
+            row_index = self._chunk_rows.get(outer_doc)
+            if row_index is None:
+                return
+            row = self._flush()[row_index]
+            ids = np.nonzero(row)[0]
+            sims = row[ids]
+        else:
+            row = self._rows.get(outer_doc)
+            if row is None:
+                return
+            ids = np.nonzero(self._touched[outer_doc])[0]
+            sims = row[ids]
+        if other_norms is not None:
+            sims = _normalized(sims, other_norms[ids] * outer_norm)
+        keep = _top_lambda_mask(sims, lam)
+        if keep is not None:
+            ids = ids[keep]
+            sims = sims[keep]
+        if other_norms is None:
+            # The scalar accumulator yields plain int sums when no
+            # normalization runs; the float64 cells hold those sums
+            # exactly, so the cast preserves byte identity of the
+            # rendered similarity, not just its value.
+            sims = sims.astype(np.int64)
+        yield from zip(ids.tolist(), sims.tolist())
+
+
+class VectorKernels(Kernels):
+    """Vectorised backend; requires numpy at import time."""
+
+    name = "numpy"
+
+    def prepare_filter(
+        self, ids: Sequence[int] | None, n_docs: int
+    ) -> np.ndarray | None:
+        if ids is None:
+            return None
+        mask = np.zeros(n_docs, dtype=bool)
+        if len(ids):
+            mask[np.asarray(list(ids), dtype=np.int64)] = True
+        return mask
+
+    def prepare_norms(
+        self, norms: Mapping[int, float] | None, n_docs: int
+    ) -> np.ndarray | None:
+        if norms is None:
+            return None
+        out = np.zeros(n_docs)
+        if norms:
+            keys = np.fromiter(norms.keys(), dtype=np.int64, count=len(norms))
+            values = np.fromiter(norms.values(), dtype=np.float64, count=len(norms))
+            out[keys] = values
+        return out
+
+    def entry_batch(
+        self, entry: Any, prepared_filter: np.ndarray | None
+    ) -> _PostingBatch:
+        ids, weights = _pack_entry(entry)
+        if prepared_filter is not None:
+            allowed = prepared_filter[ids]
+            ids = ids[allowed]
+            weights = weights[allowed]
+        return _PostingBatch(ids, weights)
+
+    def chunk_scorer(self, docs: Sequence[Document]) -> VectorChunkScorer:
+        return VectorChunkScorer(docs)
+
+    def sparse_scores(
+        self, n_docs: int, prepared_filter: np.ndarray | None
+    ) -> VectorSparseScores:
+        return VectorSparseScores(n_docs, prepared_filter)
+
+    def pair_scores(self, n_docs: int) -> VectorPairScores:
+        return VectorPairScores(n_docs)
+
+
+__all__ = [
+    "DENSE_CELL_LIMIT",
+    "VectorChunkScorer",
+    "VectorKernels",
+    "VectorPairScores",
+    "VectorSparseScores",
+]

@@ -123,6 +123,8 @@ def execute(
     context: ExecutionContext | None = None,
     shards: int | None = None,
     jobs: int = 0,
+    codec: str | None = None,
+    kernel: str | None = None,
 ) -> QueryResult:
     """Parse (if needed), plan and run a query against the catalog.
 
@@ -133,7 +135,12 @@ def execute(
     (:func:`repro.parallel.run_sharded`) over that many shards, with
     ``jobs`` pool workers (``<= 1`` runs the shards in-process); the
     rows are byte-identical to the sequential path by the parallel
-    package's exactness contract.
+    package's exactness contract.  ``codec`` selects the postings codec
+    of a one-shot environment (a warm factory whose workspace stores a
+    different codec is bypassed — the physical layout cannot be changed
+    after the fact); ``kernel`` selects the scoring-kernel backend —
+    both leave the result rows untouched by the kernel layer's
+    byte-identity contract.
     """
     stream = iter_execute(
         query,
@@ -144,6 +151,8 @@ def execute(
         context=context,
         shards=shards,
         jobs=jobs,
+        codec=codec,
+        kernel=kernel,
     )
     while True:
         try:
@@ -163,6 +172,8 @@ def iter_execute(
     shards: int | None = None,
     jobs: int = 0,
     max_rows: int | None = None,
+    codec: str | None = None,
+    kernel: str | None = None,
 ) -> Generator[StreamItem, None, QueryResult]:
     """Streaming twin of :func:`execute`: header, row blocks, result.
 
@@ -185,10 +196,16 @@ def iter_execute(
     if shards is not None:
         return (
             yield from _iter_text_join_sharded(
-                the_plan, system, scenario, context, shards, jobs, max_rows
+                the_plan, system, scenario, context, shards, jobs, max_rows,
+                codec=codec, kernel=kernel,
             )
         )
-    return (yield from _iter_text_join(the_plan, system, scenario, context, max_rows))
+    return (
+        yield from _iter_text_join(
+            the_plan, system, scenario, context, max_rows,
+            codec=codec, kernel=kernel,
+        )
+    )
 
 
 def _iter_selection(
@@ -231,16 +248,33 @@ def _project_block_rows(
     return rows
 
 
-def _plan_factory(the_plan: TextJoinPlan) -> EnvironmentFactory:
-    """The plan's factory, or a one-shot one over its collections."""
+def _plan_factory(
+    the_plan: TextJoinPlan,
+    codec: str | None = None,
+    kernel: str | None = None,
+) -> EnvironmentFactory:
+    """The plan's factory, or a one-shot one over its collections.
+
+    A requested ``codec`` that differs from a catalog factory's stored
+    one forces a fresh one-shot factory: the codec is physical layout,
+    and a warm workspace cannot be re-encoded in place.  ``kernel`` is
+    arithmetic only, so it is simply set on whichever factory runs.
+    """
     factory = the_plan.environment_factory
+    if factory is not None and codec is not None and codec != factory.spec.codec:
+        factory = None
     if factory is None:
+        from repro.core.environment import EnvironmentSpec
+
         factory = EnvironmentFactory(
             the_plan.inner_collection,
             None
             if the_plan.outer_collection is the_plan.inner_collection
             else the_plan.outer_collection,
+            EnvironmentSpec(codec=codec) if codec is not None else None,
         )
+    if kernel is not None:
+        factory.kernel = kernel
     return factory
 
 
@@ -252,6 +286,9 @@ def _iter_text_join_sharded(
     shards: int,
     jobs: int,
     max_rows: int | None,
+    *,
+    codec: str | None = None,
+    kernel: str | None = None,
 ) -> Generator[StreamItem, None, QueryResult]:
     """Partitioned text-join execution: shard, merge, then project.
 
@@ -266,7 +303,7 @@ def _iter_text_join_sharded(
     """
     from repro.parallel.runner import run_sharded
 
-    factory = _plan_factory(the_plan)
+    factory = _plan_factory(the_plan, codec, kernel)
     events_before = len(factory.derivation_events())
     environment = factory.create()
     dataset_build_events = len(factory.derivation_events()) - events_before
@@ -342,8 +379,11 @@ def _iter_text_join(
     scenario: str,
     context: ExecutionContext | None,
     max_rows: int | None,
+    *,
+    codec: str | None = None,
+    kernel: str | None = None,
 ) -> Generator[StreamItem, None, QueryResult]:
-    factory = _plan_factory(the_plan)
+    factory = _plan_factory(the_plan, codec, kernel)
     # Derivation events charged to *this* query: zero when the catalog
     # supplied a warm (e.g. workspace-backed) factory.
     events_before = len(factory.derivation_events())

@@ -27,13 +27,15 @@ class Document:
     positive weights.
     """
 
-    __slots__ = ("doc_id", "cells", "_norm")
+    __slots__ = ("doc_id", "cells", "_norm", "_packed")
 
     def __init__(self, doc_id: int, cells: Iterable[tuple[int, int]]) -> None:
         self.doc_id = doc_id
         self.cells: tuple[tuple[int, int], ...] = tuple(cells)
         self._validate()
         self._norm: float | None = None
+        #: kernel-backend pack cache: ``(backend_tag, data)`` or None
+        self._packed: tuple[str, object] | None = None
 
     def _validate(self) -> None:
         if self.doc_id < 0:
@@ -117,6 +119,17 @@ class Document:
 
     def __len__(self) -> int:
         return len(self.cells)
+
+    def __getstate__(self) -> tuple[int, tuple[tuple[int, int], ...], float | None]:
+        # The pack cache is process-local (backend arrays); shipping it to
+        # pool workers would only bloat the pickle, so it is rebuilt lazily.
+        return (self.doc_id, self.cells, self._norm)
+
+    def __setstate__(
+        self, state: tuple[int, tuple[tuple[int, int], ...], float | None]
+    ) -> None:
+        self.doc_id, self.cells, self._norm = state
+        self._packed = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Document):

@@ -205,20 +205,32 @@ def load_collection(name: str, directory: str | Path) -> DocumentCollection:
 
 
 def save_inverted(
-    inverted: InvertedFile, directory: str | Path, *, clamp_weights: bool = False
+    inverted, directory: str | Path, *, clamp_weights: bool = False, codec=None
 ) -> Path:
-    """Write an inverted file: i-cells packed per entry, terms in the
-    directory file's companion ``.terms`` listing."""
+    """Write an inverted file: one record per entry, terms in the
+    directory file's companion ``.terms`` listing.
+
+    With no ``codec`` (or the raw one) the records are packed i-cells;
+    a compressed :class:`~repro.index.codecs.PostingsCodec` stores its
+    encoded payload instead — for an already-compressed inverted file
+    the stored ``data`` is written as-is, so what lands on disk is
+    byte-identical to what the simulated extents charged for.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     base = directory / f"{inverted.collection_name}.inv"
-    _write_records(
-        base,
-        [
-            cells_to_bytes(entry.postings, clamp_weights=clamp_weights)
-            for entry in inverted.entries
-        ],
-    )
+    records = []
+    for entry in inverted.entries:
+        data = getattr(entry, "data", None)
+        if data is not None:
+            records.append(data)
+        elif codec is not None:
+            records.append(codec.encode_postings(entry.postings))
+        else:
+            records.append(
+                cells_to_bytes(entry.postings, clamp_weights=clamp_weights)
+            )
+    _write_records(base, records)
     terms_path = base.with_suffix(".inv.terms")
     with open(terms_path, "wb") as terms_file:
         for entry in inverted.entries:
@@ -226,7 +238,7 @@ def save_inverted(
     return base
 
 
-def load_inverted(name: str, directory: str | Path) -> InvertedFile:
+def load_inverted(name: str, directory: str | Path, *, codec=None):
     """Read an inverted file written by :func:`save_inverted`.
 
     As with :func:`load_collection`, corruption raises
@@ -234,6 +246,13 @@ def load_inverted(name: str, directory: str | Path) -> InvertedFile:
     entry index and the byte offset — including postings that decode but
     violate the i-cell invariants (a bit flip can scramble document
     order without changing the record length).
+
+    With a compressed ``codec`` the records are its encoded payloads
+    and the result is a
+    :class:`~repro.index.compression.CompressedInvertedFile`; every
+    record is decoded once on the way in — both to validate the stream
+    and to pre-warm the entry's decode cache — and kept compressed, so
+    the simulated extents charge the stored size.
     """
     base = Path(directory) / f"{name}.inv"
     cells_path = base.with_suffix(base.suffix + ".cells")
@@ -245,6 +264,12 @@ def load_inverted(name: str, directory: str | Path) -> InvertedFile:
             f"{terms_path}: term listing for {name!r} has {len(terms_data)} "
             f"bytes, expected {TERM_NUMBER_BYTES * len(records)}"
         )
+    compressed = codec is not None and codec.compressed
+    if compressed:
+        from repro.index.compression import (
+            CompressedInvertedEntry,
+            CompressedInvertedFile,
+        )
     entries = []
     for index, (start, record) in enumerate(records):
         term = int.from_bytes(
@@ -252,9 +277,19 @@ def load_inverted(name: str, directory: str | Path) -> InvertedFile:
             "little",
         )
         try:
-            entries.append(InvertedEntry(term, cells_from_bytes(record)))
+            if compressed:
+                postings = codec.decode_postings(record)
+                entry = CompressedInvertedEntry(term, record, len(postings))
+                entry._decoded = postings
+            elif codec is not None:
+                entry = InvertedEntry(term, codec.decode_postings(record))
+            else:
+                entry = InvertedEntry(term, cells_from_bytes(record))
+            entries.append(entry)
         except (DocumentFormatError, InvertedFileError) as exc:
             raise DocumentFormatError(
                 f"{cells_path}: entry {index} (term {term}) at byte {start}: {exc}"
             ) from exc
+    if compressed:
+        return CompressedInvertedFile(name, entries)
     return InvertedFile(name, entries)

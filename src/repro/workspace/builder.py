@@ -24,6 +24,7 @@ from typing import Any
 from repro.core.environment import EnvironmentFactory, EnvironmentSpec
 from repro.errors import WorkspaceError
 from repro.index.btree_io import save_btree
+from repro.index.codecs import resolve_codec
 from repro.text.collection import DocumentCollection
 from repro.text.serialization import save_collection, save_inverted
 from repro.text.vocabulary import Vocabulary
@@ -61,16 +62,12 @@ def build_workspace(
     ``collection2=None`` (or passing ``collection1`` itself) builds a
     self-join workspace holding one collection.  A cross-join workspace
     requires distinctly named collections, since artifact files are
-    keyed by collection name.  ``spec.compress_inverted`` is rejected:
-    the v1 format persists uncompressed i-cells only (compression is a
-    query-time layout choice, re-derivable from the stored cells).
+    keyed by collection name.  ``spec.codec`` selects the postings
+    codec the ``.inv.cells`` records are encoded in; the codec name is
+    recorded in the manifest (and mixed into the fingerprint), so a
+    compressed workspace is a distinct dataset from its raw twin.
     """
     spec = spec or EnvironmentSpec()
-    if spec.compress_inverted:
-        raise WorkspaceError(
-            "workspaces persist uncompressed inverted files only; "
-            "build the workspace uncompressed and choose compression at load time"
-        )
     if not spec.build_inverted:
         raise WorkspaceError("a workspace always stores inverted files")
     if collection2 is collection1:
@@ -82,6 +79,7 @@ def build_workspace(
         )
 
     factory = EnvironmentFactory(collection1, collection2, spec)
+    codec = resolve_codec(spec.codec)
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
@@ -91,7 +89,12 @@ def build_workspace(
     for side in sides:
         collection = factory.collection(side)
         save_collection(collection, directory, clamp_weights=clamp_weights)
-        save_inverted(factory.inverted(side), directory, clamp_weights=clamp_weights)
+        save_inverted(
+            factory.inverted(side),
+            directory,
+            clamp_weights=clamp_weights,
+            codec=codec,
+        )
         save_btree(factory.btree(side), directory / f"{collection.name}.btree")
         file_names.extend(collection_files(collection.name))
         collections[f"c{side}"] = {
@@ -122,6 +125,7 @@ def build_workspace(
         collections=collections,
         files=files,
         vocabulary=vocabulary_name,
+        codec=spec.codec,
     )
     save_manifest(manifest, directory)
     return manifest

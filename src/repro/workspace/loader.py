@@ -25,11 +25,12 @@ from repro.core.environment import EnvironmentFactory, EnvironmentSpec
 from repro.errors import ReproError, WorkspaceError
 from repro.index.bptree import BPlusTree
 from repro.index.btree_io import layout_signature, load_btree
-from repro.index.inverted import InvertedFile
+from repro.index.inverted import InvertedEntry, InvertedFile
 from repro.text.collection import DocumentCollection
 from repro.text.serialization import load_collection, load_inverted
 from repro.text.vocabulary import Vocabulary
-from repro.workspace.manifest import file_checksum, load_manifest
+from repro.index.codecs import resolve_codec
+from repro.workspace.manifest import file_checksum, load_manifest, manifest_codec
 
 
 def _roles(manifest: Mapping[str, Any]) -> tuple[str, ...]:
@@ -52,7 +53,7 @@ def _check_sizes(directory: Path, manifest: Mapping[str, Any]) -> None:
 
 def _load_side(
     directory: Path, manifest: Mapping[str, Any], role: str
-) -> tuple[DocumentCollection, InvertedFile, BPlusTree]:
+) -> tuple[DocumentCollection, Any, BPlusTree]:
     """Load one collection's artifacts, cross-checking the manifest."""
     entry = manifest["collections"][role]
     name = entry["name"]
@@ -62,7 +63,8 @@ def _load_side(
             f"collection {name!r} loads {collection.n_documents} documents, "
             f"manifest records {entry['n_documents']}"
         )
-    inverted = load_inverted(name, directory)
+    codec = resolve_codec(manifest_codec(manifest))
+    inverted = load_inverted(name, directory, codec=codec)
     btree = load_btree(directory / f"{name}.btree")
     if btree.order != manifest["btree_order"]:
         raise WorkspaceError(
@@ -88,7 +90,9 @@ def load_workspace(directory: str | Path) -> EnvironmentFactory:
     manifest = load_manifest(directory)
     _check_sizes(directory, manifest)
     spec = EnvironmentSpec(
-        page_bytes=manifest["page_bytes"], btree_order=manifest["btree_order"]
+        page_bytes=manifest["page_bytes"],
+        btree_order=manifest["btree_order"],
+        codec=manifest_codec(manifest),
     )
     sides = [_load_side(directory, manifest, role) for role in _roles(manifest)]
     collection2 = None if manifest["self_join"] else sides[1][0]
@@ -163,8 +167,33 @@ def verify_workspace(directory: str | Path) -> list[str]:
                 f"{collection.avg_terms_per_document!r}, manifest records "
                 f"{entry['avg_terms_per_doc']!r}"
             )
+        codec = resolve_codec(manifest_codec(manifest))
+        logical = inverted
+        if codec.compressed:
+            # Decode-replay: every stored payload must decode, re-encode
+            # to the identical bytes (the codec is canonical), and the
+            # decoded postings must agree with the collection below.
+            replayed = []
+            try:
+                for inv_entry in inverted.entries:
+                    postings = inv_entry.postings
+                    encoded = codec.encode_postings(postings)
+                    if encoded != inv_entry.data:
+                        problems.append(
+                            f"inverted file of {name!r}: term {inv_entry.term} "
+                            f"payload is not canonical {codec.name} "
+                            f"(re-encoding {len(inv_entry.data)} stored bytes "
+                            f"gives {len(encoded)})"
+                        )
+                    replayed.append(InvertedEntry(inv_entry.term, postings))
+            except ReproError as exc:
+                problems.append(
+                    f"inverted file of {name!r} does not decode-replay: {exc}"
+                )
+                continue
+            logical = InvertedFile(name, replayed)
         try:
-            inverted.verify_against(collection)
+            logical.verify_against(collection)
         except ReproError as exc:
             problems.append(
                 f"inverted file of {name!r} disagrees with its collection: {exc}"

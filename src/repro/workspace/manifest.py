@@ -23,8 +23,14 @@ from typing import Any, Mapping
 
 from repro.errors import WorkspaceError
 
-#: versioned schema tag embedded in (and demanded of) every manifest
-WORKSPACE_SCHEMA = "repro-workspace/1"
+#: versioned schema tag written into every new manifest
+WORKSPACE_SCHEMA = "repro-workspace/2"
+
+#: the pre-codec schema; still accepted, its inverted extents are ``raw``
+WORKSPACE_SCHEMA_V1 = "repro-workspace/1"
+
+#: every schema tag :func:`validate_manifest` accepts
+ACCEPTED_SCHEMAS = (WORKSPACE_SCHEMA, WORKSPACE_SCHEMA_V1)
 
 #: file name of the manifest inside a workspace directory
 MANIFEST_NAME = "workspace.json"
@@ -54,18 +60,21 @@ def build_manifest(
     collections: Mapping[str, Mapping[str, Any]],
     files: Mapping[str, Mapping[str, Any]],
     vocabulary: str | None = None,
+    codec: str = "raw",
 ) -> dict[str, Any]:
     """Assemble and validate a manifest dictionary.
 
     ``collections`` maps the roles (``"c1"``, and ``"c2"`` unless
     ``self_join``) to their statistics; ``files`` maps artifact file
-    names to ``{"bytes": int, "sha256": hex}`` entries.
+    names to ``{"bytes": int, "sha256": hex}`` entries; ``codec`` names
+    the postings codec the ``.inv.cells`` records are encoded in.
     """
     manifest = {
         "schema": WORKSPACE_SCHEMA,
         "page_bytes": page_bytes,
         "btree_order": btree_order,
         "self_join": self_join,
+        "codec": codec,
         "collections": {role: dict(entry) for role, entry in collections.items()},
         "files": {name: dict(entry) for name, entry in files.items()},
         "vocabulary": vocabulary,
@@ -74,15 +83,39 @@ def build_manifest(
     return manifest
 
 
+def manifest_codec(manifest: Mapping[str, Any]) -> str:
+    """The postings codec of a validated manifest (v1 implies ``raw``)."""
+    return manifest.get("codec", "raw")
+
+
 def validate_manifest(manifest: Mapping[str, Any]) -> None:
     """Raise :class:`~repro.errors.WorkspaceError` unless well-formed."""
     if not isinstance(manifest, Mapping):
         raise WorkspaceError("workspace manifest must be a mapping")
     schema = manifest.get("schema")
-    if schema != WORKSPACE_SCHEMA:
+    if schema not in ACCEPTED_SCHEMAS:
         raise WorkspaceError(
-            f"unsupported workspace schema {schema!r}, expected {WORKSPACE_SCHEMA!r}"
+            f"unsupported workspace schema {schema!r}, expected one of "
+            f"{ACCEPTED_SCHEMAS!r}"
         )
+    codec = manifest.get("codec")
+    if schema == WORKSPACE_SCHEMA_V1:
+        # v1 predates the codec layer: its inverted extents are raw
+        # i-cells, and a codec claim would be unverifiable.
+        if codec is not None:
+            raise WorkspaceError(
+                "a v1 workspace manifest cannot declare a postings codec; "
+                "rebuild the workspace to use one"
+            )
+    else:
+        from repro.index.codecs import CODEC_NAMES
+
+        if codec not in CODEC_NAMES:
+            raise WorkspaceError(
+                f"workspace manifest names unknown postings codec {codec!r}; "
+                f"this build understands {CODEC_NAMES} — the workspace was "
+                "written by a newer version or the manifest is corrupt"
+            )
     for key, kind in (
         ("page_bytes", int),
         ("btree_order", int),
@@ -183,6 +216,11 @@ def manifest_fingerprint(manifest: Mapping[str, Any]) -> str:
         f"{manifest['schema']};{manifest['page_bytes']};"
         f"{manifest['btree_order']};{manifest['self_join']}"
     )
+    if manifest["schema"] != WORKSPACE_SCHEMA_V1:
+        # The codec changes the physical inverted extents, so it is part
+        # of the dataset's identity; v1 headers stay as they were so
+        # fingerprints of existing workspaces do not shift.
+        header += f";{manifest_codec(manifest)}"
     digest.update(header.encode("ascii"))
     for file_name in sorted(manifest["files"]):
         digest.update(file_name.encode("utf-8"))
@@ -191,12 +229,15 @@ def manifest_fingerprint(manifest: Mapping[str, Any]) -> str:
 
 
 __all__ = [
+    "ACCEPTED_SCHEMAS",
     "MANIFEST_NAME",
     "VOCABULARY_NAME",
     "WORKSPACE_SCHEMA",
+    "WORKSPACE_SCHEMA_V1",
     "build_manifest",
     "file_checksum",
     "load_manifest",
+    "manifest_codec",
     "manifest_fingerprint",
     "save_manifest",
     "validate_manifest",

@@ -1,0 +1,24 @@
+"""Fixture: deliberate RA-CONTEXT/RA-CORE-IO violations in a kernel backend."""
+
+from repro.storage.pages import PageGeometry
+from repro.storage.iostats import IOStats
+
+
+class PrivateBooksKernels:
+    """A batch kernel that keeps its own I/O books — flagged (RA-CONTEXT)."""
+
+    def entry_batch(self, postings, keep):
+        stats = IOStats()
+        stats.record("kernel", sequential=1)
+        return postings
+
+    def read_payload_directly(self, extent, record_id):
+        """An uncharged in-memory read — flagged (RA-CORE-IO)."""
+        return extent.payload(record_id)
+
+
+def pure_batch_update(accumulator, ids, weights):
+    """Kernels that only reorganise arithmetic are fine — must pass."""
+    for doc_id, weight in zip(ids, weights):
+        accumulator[doc_id] += weight
+    return accumulator

@@ -75,6 +75,22 @@ class TestRuleFiring:
         # load_through_factory (line 15+) stays clean
         assert all(f.line < 15 for f in found)
 
+    def test_context_rule_covers_kernels(self):
+        # A batch kernel with private I/O books (or uncharged payload
+        # reads) would hide pages behind the byte-identity contract.
+        _, found = findings_for("kernels/private_counter.py")
+        rule_ids = {f.rule_id for f in found}
+        assert "RA-CONTEXT" in rule_ids
+        assert "RA-CORE-IO" in rule_ids  # the physical-layer import
+        context = [f for f in found if f.rule_id == "RA-CONTEXT"]
+        assert [f.line for f in context] == [11]
+        assert "private IOStats" in context[0].message
+        core_io = [f for f in found if f.rule_id == "RA-CORE-IO"]
+        assert any("physical layer" in f.message for f in core_io)
+        assert any("without charging" in f.message for f in core_io)
+        # pure_batch_update (line 20+) stays clean
+        assert all(f.line < 20 for f in found)
+
     def test_frozen_rule(self):
         _, found = findings_for("frozen_bad.py", "RA-FROZEN")
         assert [f.line for f in found] == [7]

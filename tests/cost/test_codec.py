@@ -1,0 +1,137 @@
+"""Codec cost layer: analytic ratios track measured bytes and pages."""
+
+import pytest
+
+from repro.core.hvnl import run_hvnl
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.cost import (
+    estimated_codec_ratio,
+    vbyte_postings_bytes,
+    estimated_vbyte_cell_bytes,
+    measured_codec_ratio,
+    stats_with_codec,
+    vbyte_length,
+)
+from repro.cost.params import SystemParams
+from repro.errors import CostModelError
+from repro.index.compression import compress_postings, encode_vbyte
+from repro.index.stats import CollectionStats
+from repro.workloads.synthetic import SyntheticSpec, generate_collection
+
+#: the PR-3 sequential cost band: expected model error, not slack
+BAND_LOW, BAND_HIGH = 0.5, 2.0
+
+
+def _collections():
+    c1 = generate_collection(SyntheticSpec(
+        "c1", n_documents=400, avg_terms_per_doc=20,
+        vocabulary_size=400, seed=5,
+    ))
+    c2 = generate_collection(SyntheticSpec(
+        "c2", n_documents=60, avg_terms_per_doc=20,
+        vocabulary_size=400, seed=6,
+    ))
+    return c1, c2
+
+
+class TestVbyteLength:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 16383, 16384, 2**21, 2**28])
+    def test_matches_the_real_encoder(self, value):
+        assert vbyte_length(value) == len(encode_vbyte(value))
+
+    def test_negative_rejected(self):
+        with pytest.raises(CostModelError):
+            vbyte_length(-1)
+
+    def test_postings_bytes_match_the_real_encoder(self):
+        c1, _ = _collections()
+        environment = JoinEnvironment(c1, c1)
+        for entry in environment.inverted1.entries:
+            assert vbyte_postings_bytes(entry.postings) == len(
+                compress_postings(entry.postings)
+            )
+
+
+class TestEstimatedCellBytes:
+    def test_dense_terms_cost_two_bytes(self):
+        # df == N: every gap is 0, one byte each for gap and weight.
+        assert estimated_vbyte_cell_bytes(1000, 1000) == 2.0
+
+    def test_sparse_terms_cost_more(self):
+        dense = estimated_vbyte_cell_bytes(100_000, 100_000)
+        sparse = estimated_vbyte_cell_bytes(100_000, 10)
+        assert sparse > dense
+
+    def test_empty_list_is_free(self):
+        assert estimated_vbyte_cell_bytes(1000, 0) == 0.0
+
+
+class TestRatios:
+    def test_raw_ratio_is_one(self):
+        stats = CollectionStats("t", 1000, 50.0, 500)
+        assert estimated_codec_ratio(stats, "raw") == 1.0
+
+    def test_estimate_brackets_the_measurement(self):
+        c1, _ = _collections()
+        environment = JoinEnvironment(c1, c1, codec="vbyte")
+        measured = measured_codec_ratio(environment.inverted1, "vbyte")
+        estimated = estimated_codec_ratio(
+            CollectionStats.from_collection(c1), "vbyte"
+        )
+        assert measured > 1.0
+        assert BAND_LOW <= estimated / measured <= BAND_HIGH
+
+    def test_measured_ratio_never_below_one(self):
+        # One document, one term: a 5-byte cell compresses to 2 bytes...
+        c1 = generate_collection(SyntheticSpec(
+            "tiny", n_documents=2, avg_terms_per_doc=2,
+            vocabulary_size=4, seed=1,
+        ))
+        environment = JoinEnvironment(c1, c1)
+        assert measured_codec_ratio(environment.inverted1, "vbyte") >= 1.0
+
+
+class TestStatsWithCodec:
+    def test_raw_returns_the_same_stats(self):
+        stats = CollectionStats("t", 1000, 50.0, 500)
+        assert stats_with_codec(stats, "raw") is stats
+
+    def test_vbyte_shrinks_only_the_inverted_side(self):
+        stats = CollectionStats("t", 1000, 50.0, 500)
+        adjusted = stats_with_codec(stats, "vbyte")
+        assert adjusted.I < stats.I
+        assert adjusted.J < stats.J
+        assert adjusted.D == stats.D
+        assert adjusted.Bt == stats.Bt
+        assert adjusted.N == stats.N
+
+    def test_measured_inverted_file_pins_the_ratio(self):
+        c1, _ = _collections()
+        environment = JoinEnvironment(c1, c1)
+        stats = CollectionStats.from_collection(c1)
+        adjusted = stats_with_codec(stats, "vbyte", inverted=environment.inverted1)
+        ratio = measured_codec_ratio(environment.inverted1, "vbyte")
+        assert adjusted.I == pytest.approx(stats.I / ratio)
+
+
+class TestMeasuredPages:
+    """The acceptance criterion: vbyte extents read strictly fewer pages,
+    and the reduction matches the analytic model within the cost band."""
+
+    def test_vbyte_inverted_extents_read_strictly_fewer_pages(self):
+        c1, c2 = _collections()
+        spec = TextJoinSpec(lam=3)
+        system = SystemParams(buffer_pages=64)
+        raw = run_hvnl(JoinEnvironment(c1, c2), spec, system)
+        vbyte = run_hvnl(JoinEnvironment(c1, c2, codec="vbyte"), spec, system)
+
+        assert raw.matches == vbyte.matches
+        raw_inv = sum(raw.io.by_extent["c1.inv"])
+        vbyte_inv = sum(vbyte.io.by_extent["c1.inv"])
+        assert 0 < vbyte_inv < raw_inv
+
+        predicted_ratio = estimated_codec_ratio(
+            CollectionStats.from_collection(c1), "vbyte"
+        )
+        measured_page_ratio = raw_inv / vbyte_inv
+        assert BAND_LOW <= predicted_ratio / measured_page_ratio <= BAND_HIGH

@@ -1,0 +1,64 @@
+"""Kernel-bench manifests: assembly, schema validation, drift rejection."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.kernelbench import (
+    KERNEL_BENCH_SCHEMA,
+    kernel_bench_manifest,
+    validate_kernel_bench,
+)
+
+ROW = {
+    "operator": "HHNL",
+    "kernel": "numpy",
+    "codec": "raw",
+    "wall_seconds": 0.25,
+    "matches": 42,
+    "pages_read": 310,
+}
+
+
+class TestKernelBenchManifest:
+    def test_round_trips_through_json(self):
+        manifest = kernel_bench_manifest([ROW], extras={"best_backend": "numpy"})
+        restored = json.loads(json.dumps(manifest))
+        validated = validate_kernel_bench(restored)
+        assert validated["schema"] == KERNEL_BENCH_SCHEMA
+        assert validated["rows"] == [ROW]
+        assert validated["extras"]["best_backend"] == "numpy"
+
+    def test_records_run_context(self):
+        manifest = kernel_bench_manifest([ROW])
+        assert manifest["cpu_count"] >= 1
+        assert isinstance(manifest["numpy_available"], bool)
+        assert manifest["created_unix"] > 0
+
+    def test_wrong_schema_rejected(self):
+        manifest = kernel_bench_manifest([ROW])
+        manifest["schema"] = "repro-engine-manifest/1"
+        with pytest.raises(InvalidParameterError, match="schema"):
+            validate_kernel_bench(manifest)
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(InvalidParameterError, match="non-empty"):
+            validate_kernel_bench(kernel_bench_manifest([]))
+
+    def test_row_missing_a_key_rejected(self):
+        row = dict(ROW)
+        del row["pages_read"]
+        with pytest.raises(InvalidParameterError, match="row 0"):
+            validate_kernel_bench(kernel_bench_manifest([row]))
+
+    def test_negative_wall_seconds_rejected(self):
+        row = dict(ROW, wall_seconds=-1.0)
+        with pytest.raises(InvalidParameterError, match="wall_seconds"):
+            validate_kernel_bench(kernel_bench_manifest([row]))
+
+    def test_missing_context_key_rejected(self):
+        manifest = kernel_bench_manifest([ROW])
+        del manifest["numpy_available"]
+        with pytest.raises(InvalidParameterError, match="numpy_available"):
+            validate_kernel_bench(manifest)

@@ -322,7 +322,7 @@ class TestWorkspace:
 
         assert main(["workspace", "inspect", directory]) == 0
         out = capsys.readouterr().out
-        assert "repro-workspace/1" in out
+        assert "repro-workspace/2" in out
         assert "c1" in out and "c2" in out
 
         assert main(["workspace", "verify", directory]) == 0
@@ -336,7 +336,7 @@ class TestWorkspace:
         capsys.readouterr()
         assert main(["workspace", "inspect", directory, "--json"]) == 0
         manifest = json.loads(capsys.readouterr().out)
-        assert manifest["schema"] == "repro-workspace/1"
+        assert manifest["schema"] == "repro-workspace/2"
         assert set(manifest["collections"]) == {"c1", "c2"}
 
     def test_self_join_build(self, capsys, tmp_path):

@@ -11,6 +11,8 @@ from repro.workspace import (
     build_workspace,
     collection_files,
     file_checksum,
+    load_workspace,
+    verify_workspace,
 )
 
 
@@ -60,11 +62,15 @@ class TestArtifactSet:
 
 
 class TestRejections:
-    def test_compressed_spec_rejected(self, tmp_path, collections):
+    def test_compressed_spec_builds_a_vbyte_workspace(self, tmp_path, collections):
         c1, _ = collections
         spec = EnvironmentSpec(compress_inverted=True)
-        with pytest.raises(WorkspaceError, match="uncompressed"):
-            build_workspace(tmp_path, c1, spec=spec)
+        manifest = build_workspace(tmp_path, c1, spec=spec)
+        assert manifest["codec"] == "vbyte"
+        assert verify_workspace(tmp_path) == []
+        factory = load_workspace(tmp_path)
+        assert factory.spec.codec == "vbyte"
+        assert factory.derivation_events() == []
 
     def test_no_inverted_spec_rejected(self, tmp_path, collections):
         c1, _ = collections

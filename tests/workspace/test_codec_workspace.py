@@ -1,0 +1,168 @@
+"""Compressed workspaces: build, load, verify, and catch damaged payloads."""
+
+import json
+
+import pytest
+
+from repro.core import EnvironmentSpec
+from repro.core.hvnl import run_hvnl
+from repro.core.join import JoinEnvironment, TextJoinSpec
+from repro.cost.params import SystemParams
+from repro.errors import WorkspaceError
+from repro.index.compression import compress_postings, decompress_postings
+from repro.workspace import (
+    MANIFEST_NAME,
+    build_workspace,
+    load_manifest,
+    load_workspace,
+    manifest_fingerprint,
+    verify_workspace,
+)
+
+
+@pytest.fixture()
+def vbyte_built(tmp_path, collections):
+    c1, c2 = collections
+    manifest = build_workspace(
+        tmp_path, c1, c2, spec=EnvironmentSpec(codec="vbyte")
+    )
+    return tmp_path, manifest
+
+
+class TestCompressedBuildAndLoad:
+    def test_manifest_records_the_codec(self, vbyte_built):
+        _, manifest = vbyte_built
+        assert manifest["codec"] == "vbyte"
+        assert manifest["schema"] == "repro-workspace/2"
+
+    def test_fingerprint_differs_from_the_raw_twin(
+        self, tmp_path, collections, vbyte_built
+    ):
+        c1, c2 = collections
+        raw_dir = tmp_path / "raw-twin"
+        raw_manifest = build_workspace(raw_dir, c1, c2)
+        _, vbyte_manifest = vbyte_built
+        assert manifest_fingerprint(raw_manifest) != manifest_fingerprint(
+            vbyte_manifest
+        )
+
+    def test_loads_warm_and_joins_like_in_memory(self, vbyte_built, collections):
+        directory, _ = vbyte_built
+        c1, c2 = collections
+        factory = load_workspace(directory)
+        assert factory.spec.codec == "vbyte"
+        assert factory.derivation_events() == []
+        loaded = run_hvnl(
+            factory.create(), TextJoinSpec(lam=3), SystemParams(buffer_pages=64)
+        )
+        fresh = run_hvnl(
+            JoinEnvironment(c1, c2, codec="vbyte"),
+            TextJoinSpec(lam=3),
+            SystemParams(buffer_pages=64),
+        )
+        assert loaded.matches == fresh.matches
+        assert dict(loaded.io.by_extent) == dict(fresh.io.by_extent)
+
+    def test_inverted_extent_smaller_than_raw(self, tmp_path, collections):
+        c1, c2 = collections
+        raw_dir, vbyte_dir = tmp_path / "r", tmp_path / "v"
+        raw = build_workspace(raw_dir, c1, c2)
+        vbyte = build_workspace(
+            vbyte_dir, c1, c2, spec=EnvironmentSpec(codec="vbyte")
+        )
+        assert (
+            vbyte["files"]["ws-c1.inv.cells"]["bytes"]
+            < raw["files"]["ws-c1.inv.cells"]["bytes"]
+        )
+
+
+class TestCompressedVerify:
+    def test_fresh_compressed_workspace_is_clean(self, vbyte_built):
+        directory, _ = vbyte_built
+        assert verify_workspace(directory) == []
+
+    def _rewrite_inverted(self, directory, manifest, mutate):
+        """Rewrite ws-c1's first inverted record through ``mutate``."""
+        from repro.text.serialization import _read_records, _write_records
+
+        base = directory / "ws-c1.inv"
+        records = [record for _, record in _read_records(base)]
+        records[0] = mutate(records[0])
+        _write_records(base, records)
+        # Refresh the manifest checksums so only the payload layer trips.
+        from repro.workspace import file_checksum
+
+        for name in ("ws-c1.inv.cells", "ws-c1.inv.dir"):
+            path = directory / name
+            manifest["files"][name] = {
+                "bytes": path.stat().st_size,
+                "sha256": file_checksum(path),
+            }
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+
+    def test_truncated_payload_caught_with_byte_context(self, vbyte_built):
+        # Loading decodes every record eagerly, so the cut is caught at
+        # the load layer with the entry index and byte offset attached.
+        directory, manifest = vbyte_built
+        self._rewrite_inverted(directory, manifest, lambda record: record[:-1])
+        problems = verify_workspace(directory)
+        assert problems
+        assert any("truncated vbyte stream" in problem for problem in problems)
+        assert any("entry 0" in problem for problem in problems)
+
+    def test_non_canonical_payload_caught(self, vbyte_built):
+        directory, manifest = vbyte_built
+
+        def pad_first_value(record):
+            # Re-encode the first gap non-minimally: decodes to the same
+            # postings but is not the canonical vbyte stream.
+            postings = decompress_postings(record)
+            canonical = compress_postings(postings)
+            assert canonical == record
+            first = postings[0]
+            gap = first[0]  # previous is -1, so gap-1 coding gives doc0
+            assert gap < 128, "fixture postings start with a one-byte gap"
+            rest = record[1:]
+            return bytes([gap & 0x7F, 0x80]) + rest
+
+        self._rewrite_inverted(directory, manifest, pad_first_value)
+        problems = verify_workspace(directory)
+        assert problems
+        assert any("not canonical vbyte" in problem for problem in problems)
+
+    def test_unknown_codec_in_manifest_is_a_clear_error(self, vbyte_built):
+        directory, manifest = vbyte_built
+        manifest["codec"] = "zstd"
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        problems = verify_workspace(directory)
+        assert len(problems) == 1
+        assert "unknown postings codec 'zstd'" in problems[0]
+        with pytest.raises(WorkspaceError, match="unknown postings codec"):
+            load_workspace(directory)
+
+    def test_v1_manifest_with_codec_claim_rejected(self, built):
+        directory, manifest = built
+        manifest["schema"] = "repro-workspace/1"
+        manifest["codec"] = "vbyte"
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        problems = verify_workspace(directory)
+        assert len(problems) == 1
+        assert "v1 workspace manifest cannot declare" in problems[0]
+
+    def test_v1_manifest_without_codec_still_loads_as_raw(self, built):
+        directory, manifest = built
+        manifest["schema"] = "repro-workspace/1"
+        del manifest["codec"]
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        assert verify_workspace(directory) == []
+        factory = load_workspace(directory)
+        assert factory.spec.codec == "raw"
+        assert load_manifest(directory)["schema"] == "repro-workspace/1"
