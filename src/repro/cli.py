@@ -9,7 +9,9 @@ Subcommands::
     python -m repro validate                    # measured-vs-model quick run
     python -m repro conformance                 # differential/metamorphic/cost sweep
     python -m repro workspace build DIR         # persist a dataset workspace
-    python -m repro sql --workspace DIR "..."   # query it with zero rebuilds
+    python -m repro workspace mutate DIR "..."  # INSERT/DELETE as a delta segment
+    python -m repro workspace compact DIR       # fold all segments into one base
+    python -m repro sql --workspace DIR "..."   # query (or mutate) it, no rebuilds
     python -m repro serve DIR ...               # long-lived HTTP join service
 
 Every command writes plain text to stdout and exits 0 on success; the
@@ -218,6 +220,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "tree layout); exits 1 on any problem",
     )
     ws_verify.add_argument("directory", help="workspace directory")
+
+    ws_mutate = ws_sub.add_parser(
+        "mutate",
+        help="apply one INSERT INTO / DELETE FROM statement as an atomic "
+        "delta-segment commit (readers see the old or the new version, "
+        "never a mix)",
+    )
+    ws_mutate.add_argument("directory", help="workspace directory")
+    ws_mutate.add_argument("statement",
+                           help="the INSERT or DELETE statement to apply")
+    ws_mutate.add_argument("--json", action="store_true",
+                           help="emit the mutation summary as JSON")
+
+    ws_freeze = ws_sub.add_parser(
+        "freeze",
+        help="seal the trailing delta segment into an immutable base "
+        "(metadata-only manifest bump; a no-op without a delta)",
+    )
+    ws_freeze.add_argument("directory", help="workspace directory")
+    ws_freeze.add_argument("--json", action="store_true",
+                           help="emit the operation summary as JSON")
+
+    ws_compact = ws_sub.add_parser(
+        "compact",
+        help="rewrite all live documents as one fresh base segment, "
+        "dropping tombstones and superseded files (value-identical to "
+        "a cold rebuild)",
+    )
+    ws_compact.add_argument("directory", help="workspace directory")
+    ws_compact.add_argument("--json", action="store_true",
+                            help="emit the operation summary as JSON")
 
     sql = sub.add_parser(
         "sql",
@@ -541,11 +574,15 @@ def _cmd_workspace(args: argparse.Namespace) -> int:
         return 0
 
     if args.ws_command == "inspect":
+        from repro.cost import space_amplification
+        from repro.workspace import manifest_files, manifest_segments, manifest_version
+
         manifest = load_manifest(args.directory)
         if args.json:
             print(json.dumps(manifest, indent=2, sort_keys=True))
             return 0
         print(f"schema:      {manifest['schema']}")
+        print(f"version:     {manifest_version(manifest)}")
         print(f"fingerprint: {manifest_fingerprint(manifest)}")
         print(f"page bytes:  {manifest['page_bytes']}")
         print(f"tree order:  {manifest['btree_order']}")
@@ -558,8 +595,73 @@ def _cmd_workspace(args: argparse.Namespace) -> int:
                 f"avg {entry['avg_terms_per_doc']:.2f} terms/doc, "
                 f"{entry['total_bytes']} bytes"
             )
-        total = sum(entry["bytes"] for entry in manifest["files"].values())
-        print(f"  files: {len(manifest['files'])} totalling {total} bytes")
+        records = manifest_segments(manifest)
+        # Tombstones live in later segments but kill documents of earlier
+        # ones; fold them back onto their targets for the live counts.
+        dead: dict[str, int] = {}
+        for record in records:
+            for marks in record.get("tombstones", {}).values():
+                for target, _ in marks:
+                    dead[target] = dead.get(target, 0) + 1
+        print(f"  segments: {len(records)}")
+        for record in records:
+            stored = sum(
+                entry["n_documents"] for entry in record["collections"].values()
+            )
+            killed = dead.get(record["id"], 0)
+            carried = sum(
+                len(marks) for marks in record.get("tombstones", {}).values()
+            )
+            print(
+                f"    {record['id']} [{record['kind']}] codec={record['codec']} "
+                f"live={stored - killed} tombstoned={killed} "
+                f"carries={carried} fingerprint={record['fingerprint']}"
+            )
+        total = sum(entry["bytes"] for entry in manifest_files(manifest).values())
+        print(f"  files: {len(manifest_files(manifest))} totalling {total} bytes")
+        print(
+            f"  amplification: {space_amplification(manifest):.2f}x stored "
+            "bytes vs compacted baseline"
+        )
+        return 0
+
+    if args.ws_command in ("mutate", "freeze", "compact"):
+        from repro.errors import ReproError
+        from repro.workspace import compact, freeze_delta
+
+        try:
+            if args.ws_command == "mutate":
+                from repro.sql import execute_mutation
+
+                stats = execute_mutation(args.statement, args.directory)
+            elif args.ws_command == "freeze":
+                stats = freeze_delta(args.directory)
+            else:
+                stats = compact(args.directory)
+        except ReproError as exc:
+            print(f"workspace {args.ws_command}: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+            return 0
+        state = "committed" if stats.changed else "no-op"
+        print(
+            f"{stats.operation}: {state} — version {stats.version}, "
+            f"fingerprint {stats.fingerprint}"
+        )
+        if stats.inserted or stats.deleted:
+            inserted = ", ".join(
+                f"{role}+{n}" for role, n in sorted(stats.inserted.items()) if n
+            )
+            deleted = ", ".join(
+                f"{role}-{n}" for role, n in sorted(stats.deleted.items()) if n
+            )
+            parts = [p for p in (inserted, deleted) if p]
+            if parts:
+                print(f"  documents: {' '.join(parts)} "
+                      f"(tombstones added: {stats.tombstones_added})")
+        print(f"  segments: {', '.join(stats.segments)}")
+        print(f"  pages: {stats.pages_read} read, {stats.pages_written} written")
         return 0
 
     problems = verify_workspace(args.directory)
@@ -575,7 +677,40 @@ def _cmd_workspace(args: argparse.Namespace) -> int:
 def _cmd_sql(args: argparse.Namespace) -> int:
     import json
 
+    from repro.sql.ast_nodes import SelectQuery
     from repro.sql.executor import execute
+    from repro.sql.parser import parse_statement
+
+    statement = parse_statement(args.query)
+    if not isinstance(statement, SelectQuery):
+        # The write path: INSERT INTO / DELETE FROM commit against a
+        # workspace directory; there is nothing to mutate in a synthetic
+        # throwaway catalog.
+        if args.workspace is None:
+            print(
+                "sql: INSERT and DELETE statements require --workspace DIR "
+                "(mutations commit to a persistent workspace)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.errors import ReproError
+        from repro.sql import execute_mutation
+
+        try:
+            stats = execute_mutation(statement, args.workspace)
+        except ReproError as exc:
+            print(f"sql: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+            return 0
+        inserted = sum(stats.inserted.values())
+        deleted = sum(stats.deleted.values())
+        print(
+            f"# {stats.operation}: +{inserted}/-{deleted} document(s), "
+            f"version {stats.version}, {stats.pages_written} page(s) written"
+        )
+        return 0
 
     if args.workspace is not None:
         from repro.workspace import load_manifest, workspace_catalog

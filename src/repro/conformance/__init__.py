@@ -17,7 +17,11 @@ the three executors (HHNL, HVNL, VVM), the SQL pipeline and the Section
   trace-shape assertions on the recorded access patterns;
 * :mod:`~repro.conformance.workspace` — save → load → join through a
   :mod:`repro.workspace` directory must equal the all-in-memory join
-  exactly (matches, per-extent I/O counters and extras).
+  exactly (matches, per-extent I/O counters and extras);
+* :mod:`~repro.conformance.incrementalcheck` — a workspace grown
+  through delta-segment mutations, freezes and compactions must equal
+  a cold rebuild of its final live documents exactly, sequentially,
+  per kernel backend and through the sharded path.
 
 :func:`~repro.conformance.runner.run_conformance` drives everything and
 emits the schema-tagged JSON report consumed by CI; the ``repro
@@ -57,6 +61,10 @@ from repro.conformance.report import (
     load_report,
     save_report,
     validate_report,
+)
+from repro.conformance.incrementalcheck import (
+    INCREMENTAL_SHARD_COUNTS,
+    run_incremental_equivalence,
 )
 from repro.conformance.kernelcheck import (
     KERNEL_SHARD_COUNTS,
@@ -110,8 +118,10 @@ __all__ = [
     "run_costcheck",
     "run_differential",
     "run_metamorphic",
+    "INCREMENTAL_SHARD_COUNTS",
     "KERNEL_SHARD_COUNTS",
     "REFERENCE_KERNEL",
+    "run_incremental_equivalence",
     "run_kernel_equivalence",
     "run_parallel_equivalence",
     "run_streaming_equivalence",

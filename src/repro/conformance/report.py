@@ -29,6 +29,7 @@ CHECK_NAMES = (
     "workspace-roundtrip",
     "parallel-equivalence",
     "kernel-equivalence",
+    "incremental-equivalence",
 )
 
 

@@ -2,7 +2,7 @@
 
 :func:`run_conformance` is the single entry point behind both the
 ``repro conformance`` CLI subcommand and the pytest suites: it runs the
-selected checks (all seven by default) with a shared seed and trial
+selected checks (all eight by default) with a shared seed and trial
 count, then folds the outcomes into a schema-tagged report dictionary
 (:mod:`repro.conformance.report`).
 """
@@ -14,6 +14,7 @@ from typing import Any, Mapping, Sequence
 from repro.conformance.costcheck import CostToleranceSpec, run_costcheck
 from repro.conformance.differential import run_differential, run_streaming_equivalence
 from repro.conformance.metamorphic import run_metamorphic
+from repro.conformance.incrementalcheck import run_incremental_equivalence
 from repro.conformance.kernelcheck import run_kernel_equivalence
 from repro.conformance.parallelcheck import run_parallel_equivalence
 from repro.conformance.report import CHECK_NAMES, build_report
@@ -79,6 +80,10 @@ def run_conformance(
         ).to_dict()
     if "kernel-equivalence" in selected:
         sections["kernel-equivalence"] = run_kernel_equivalence(
+            seed, trials, executors=executors
+        ).to_dict()
+    if "incremental-equivalence" in selected:
+        sections["incremental-equivalence"] = run_incremental_equivalence(
             seed, trials, executors=executors
         ).to_dict()
     return build_report(seed, trials, sections)

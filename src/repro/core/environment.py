@@ -24,8 +24,13 @@ derivations never run at all.
 
 Every derivation is appended to :attr:`EnvironmentFactory.build_log` as
 a ``"kind:target"`` event (kinds: ``layout``, ``invert``, ``compress``,
-``bulk-load``, ``stats``, ``load``), which is how callers *prove* that a
-warm or workspace-backed factory did zero tokenization/inversion work.
+``bulk-load``, ``stats``, ``load``, ``merge``), which is how callers
+*prove* that a warm or workspace-backed factory did zero
+tokenization/inversion work.  ``merge`` records that a side's artifacts
+are the merged view of a segmented workspace (base segments + delta,
+tombstones applied); it is deliberately *not* a derivation kind — the
+merge works over already-derived per-segment artifacts, never
+re-tokenising or re-inverting documents.
 """
 
 from __future__ import annotations
@@ -261,6 +266,25 @@ class EnvironmentFactory:
         self._btrees[side] = btree
         self.build_log.append(f"load:c{side}.inv")
         self.build_log.append(f"load:c{side}.btree")
+
+    def preload_merged_side(
+        self,
+        side: int,
+        inverted: InvertedFile,
+        btree: BPlusTree,
+        *,
+        n_segments: int,
+    ) -> None:
+        """Install one side's merged multi-segment view.
+
+        Same contract as :meth:`preload_side`, plus a ``merge:cN[k]``
+        build-log event recording that the side is the tombstone-applied
+        merge of ``k`` workspace segments.  HHNL/HVNL/VVM — and every
+        kernel backend — see one logical collection; nothing downstream
+        can tell the view from a cold rebuild of the live document set.
+        """
+        self.preload_side(side, inverted, btree)
+        self.build_log.append(f"merge:c{side}[{n_segments}]")
 
     # --- instrumentation ------------------------------------------------------
 

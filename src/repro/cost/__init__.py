@@ -44,6 +44,12 @@ from repro.cost.hvnl import (
     hvnl_cost,
     hvnl_memory_capacity,
 )
+from repro.cost.incremental import (
+    compaction_read_pages,
+    delta_rewrite_pages,
+    segment_file_pages,
+    space_amplification,
+)
 from repro.cost.model import AlgorithmCost, CostModel, CostReport
 from repro.cost.overlap import overlap_probability, overlap_probabilities
 from repro.cost.parallel import ParallelCost, parallel_cost, parallel_report
@@ -65,7 +71,9 @@ __all__ = [
     "best_site",
     "communication_cost",
     "communication_report",
+    "compaction_read_pages",
     "cpu_report",
+    "delta_rewrite_pages",
     "distinct_terms_in_documents",
     "estimated_codec_ratio",
     "estimated_vbyte_cell_bytes",
@@ -82,6 +90,8 @@ __all__ = [
     "overlap_probability",
     "parallel_cost",
     "parallel_report",
+    "segment_file_pages",
+    "space_amplification",
     "stats_with_codec",
     "vbyte_length",
     "vbyte_postings_bytes",

@@ -1,0 +1,172 @@
+"""Pricing the workspace write path: delta rewrites and compaction.
+
+The Section 5 formulas price *queries*; a segmented workspace
+(:mod:`repro.workspace.mutate`) also pays **maintenance** I/O — every
+mutation batch rewrites the small delta segment, and a compaction
+streams every live segment through memory once and writes the merged
+artifacts back.  This module prices that maintenance from manifest
+metadata alone (the recorded per-file byte counts), in the same
+whole-page currency the measured :class:`~repro.storage.iostats.IOStats`
+uses, so a measured run can be cross-checked number-for-number:
+
+* :func:`delta_rewrite_pages` — pages the next ``apply_mutations`` must
+  re-read (the current delta's files, whole); equals its measured
+  ``pages_read`` exactly.
+* :func:`compaction_read_pages` — pages a compaction streams in (every
+  segment's files, whole); equals the measured ``pages_read`` exactly.
+* :func:`space_amplification` — stored bytes over live bytes, the
+  figure ``repro workspace inspect`` reports: 1.0 for a freshly
+  compacted workspace, growing as tombstones accumulate dead documents
+  that still occupy their base segments.
+
+Like the rest of the cost package this layer is pure arithmetic over
+plain mappings — it never opens a workspace, so it prices manifests the
+same whether or not the files behind them exist.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import CostModelError
+
+
+def _page_bytes(manifest: Mapping[str, Any]) -> int:
+    page_bytes = manifest.get("page_bytes")
+    if not isinstance(page_bytes, int) or page_bytes <= 0:
+        raise CostModelError(
+            f"manifest page_bytes must be a positive integer, got {page_bytes!r}"
+        )
+    return page_bytes
+
+
+def _whole_pages(n_bytes: int, page_bytes: int) -> int:
+    """Whole pages for page-aligned placement; the storage layer's
+    ``PageGeometry.whole_pages`` in pure arithmetic (the cost package
+    never imports the simulator)."""
+    if n_bytes == 0:
+        return 0
+    return -(-n_bytes // page_bytes)
+
+
+def _segments(manifest: Mapping[str, Any]) -> list[Mapping[str, Any]]:
+    """The manifest's segment records; a pre-v3 manifest is one segment.
+
+    Mirrors :func:`repro.workspace.manifest.manifest_segments` without
+    importing the workspace layer: the synthetic record carries just the
+    fields this module prices (files, kind, collections, tombstones).
+    """
+    if "segments" in manifest:
+        return list(manifest["segments"])
+    vocabulary = manifest.get("vocabulary")
+    files = {
+        name: entry
+        for name, entry in manifest.get("files", {}).items()
+        if name != vocabulary
+    }
+    return [
+        {
+            "id": "seg-000000",
+            "kind": "base",
+            "collections": manifest.get("collections", {}),
+            "tombstones": {},
+            "files": files,
+        }
+    ]
+
+
+def segment_file_pages(segment: Mapping[str, Any], page_bytes: int) -> int:
+    """Whole pages occupied by one segment's checksummed files."""
+    return sum(
+        _whole_pages(entry["bytes"], page_bytes)
+        for entry in segment.get("files", {}).values()
+    )
+
+
+def delta_rewrite_pages(manifest: Mapping[str, Any]) -> int:
+    """Pages the next mutation batch re-reads: the current delta, whole.
+
+    ``apply_mutations`` never touches base segments — it folds the old
+    delta's documents with the batch and writes a fresh delta — so its
+    read cost is exactly the old delta's file pages, and zero when the
+    workspace has no delta (a build-once workspace, or one just frozen
+    or compacted).  Cross-checks the measured
+    :attr:`~repro.workspace.mutate.MutationStats.pages_read`.
+    """
+    segments = _segments(manifest)
+    last = segments[-1]
+    if last.get("kind") != "delta":
+        return 0
+    return segment_file_pages(last, _page_bytes(manifest))
+
+
+def compaction_read_pages(manifest: Mapping[str, Any]) -> int:
+    """Pages a compaction streams in: every segment's files, whole.
+
+    The merge visits every stored document (live ones to re-emit, dead
+    ones to skip past — they still occupy their pages) and every
+    posting run, so the read side is the sum of all segment file pages.
+    Cross-checks the measured ``pages_read`` of
+    :func:`~repro.workspace.mutate.compact`.
+    """
+    page_bytes = _page_bytes(manifest)
+    return sum(
+        segment_file_pages(segment, page_bytes)
+        for segment in _segments(manifest)
+    )
+
+
+def _dead_by_segment(
+    segments: list[Mapping[str, Any]],
+) -> dict[tuple[str, str], int]:
+    """``{(role, segment_id): tombstoned document count}``."""
+    dead: dict[tuple[str, str], int] = {}
+    for segment in segments:
+        for role, marks in segment.get("tombstones", {}).items():
+            for target, _local in marks:
+                key = (role, target)
+                dead[key] = dead.get(key, 0) + 1
+    return dead
+
+
+def space_amplification(manifest: Mapping[str, Any]) -> float:
+    """Stored bytes over live bytes across the workspace's segments.
+
+    Each segment's bytes are attributed to its documents uniformly per
+    role, so a segment with half its documents tombstoned contributes
+    half its bytes to the live estimate; the ratio is 1.0 when nothing
+    is dead and grows as tombstones pile up — the signal that a
+    compaction would pay for itself.  Segments whose documents are all
+    dead still occupy their full stored bytes, which is the point.
+    """
+    segments = _segments(manifest)
+    dead = _dead_by_segment(segments)
+    stored = 0
+    live = 0.0
+    for segment in segments:
+        seg_bytes = sum(entry["bytes"] for entry in segment.get("files", {}).values())
+        stored += seg_bytes
+        collections = segment.get("collections", {})
+        total_docs = sum(entry["n_documents"] for entry in collections.values())
+        if total_docs == 0:
+            continue
+        dead_docs = sum(
+            dead.get((role, segment["id"]), 0) for role in collections
+        )
+        live += seg_bytes * (total_docs - dead_docs) / total_docs
+    if stored == 0:
+        return 1.0
+    if live <= 0:
+        raise CostModelError(
+            "workspace stores bytes but no live documents; the manifest is "
+            "inconsistent (a valid workspace keeps at least one live document)"
+        )
+    return stored / live
+
+
+__all__ = [
+    "compaction_read_pages",
+    "delta_rewrite_pages",
+    "segment_file_pages",
+    "space_amplification",
+]

@@ -183,6 +183,39 @@ class InvertedFile:
         return f"InvertedFile({self.collection_name!r}, terms={self.n_terms})"
 
 
+def merge_inverted_segments(
+    collection_name: str,
+    parts: "list[tuple[InvertedFile, Mapping[int, int]]]",
+) -> "InvertedFile":
+    """Merge per-segment inverted files into one logical inverted file.
+
+    ``parts`` pairs each segment's inverted file (in segment order) with
+    its live-document map — local doc id to merged global id, omitting
+    tombstoned documents.  Because global ids are assigned in (segment,
+    local) order and each map is monotone, per-term concatenation of the
+    remapped postings lands sorted — the result is value-identical to
+    :meth:`InvertedFile.build` over the merged live collection, which is
+    what makes segmented workspaces byte-identical to a cold rebuild.
+
+    Terms whose every posting is tombstoned vanish entirely, exactly as
+    a fresh inversion would never have created them.
+    """
+    merged: dict[int, list[tuple[int, int]]] = {}
+    for inverted, doc_map in parts:
+        for entry in inverted.entries:
+            cells = merged.setdefault(entry.term, [])
+            for doc_id, weight in entry.postings:
+                global_id = doc_map.get(doc_id)
+                if global_id is not None:
+                    cells.append((global_id, weight))
+    entries = [
+        InvertedEntry(term, tuple(cells))
+        for term, cells in sorted(merged.items())
+        if cells
+    ]
+    return InvertedFile(collection_name, entries)
+
+
 def merge_join_entries(
     entry1: InvertedEntry | None, entry2: InvertedEntry | None
 ) -> Iterator[tuple[int, int, int, int]]:

@@ -20,7 +20,12 @@ Start one from the shell with ``repro serve WORKSPACE_DIR``.  See
 ``docs/SERVICE.md`` for the API reference and admission semantics.
 """
 
-from repro.service.core import JoinService, LoadedWorkspace, QueryRequest
+from repro.service.core import (
+    JoinService,
+    LoadedWorkspace,
+    MutateRequest,
+    QueryRequest,
+)
 from repro.service.http import (
     STATUS_BY_CODE,
     ServiceHTTPServer,
@@ -41,6 +46,7 @@ __all__ = [
     "JoinService",
     "LatencyHistogram",
     "LoadedWorkspace",
+    "MutateRequest",
     "QueryRequest",
     "RESPONSE_SCHEMA",
     "STATUS_BY_CODE",

@@ -46,12 +46,15 @@ from repro.errors import (
     SqlSemanticError,
     SqlSyntaxError,
     UnknownWorkspaceError,
+    WorkspaceError,
 )
 from repro.exec.context import ExecutionBudget, ExecutionContext
 from repro.service.metrics import ServiceMetrics, phase_stats_payload
 from repro.service.schema import RESPONSE_SCHEMA
+from repro.sql.ast_nodes import SelectQuery
 from repro.sql.executor import iter_execute
-from repro.sql.parser import parse
+from repro.sql.mutations import execute_mutation
+from repro.sql.parser import parse, parse_statement
 from repro.workspace import load_manifest, manifest_fingerprint, workspace_catalog
 
 #: exception-to-error-code mapping, most specific class first; the
@@ -160,6 +163,39 @@ class QueryRequest:
 
 
 @dataclass(frozen=True)
+class MutateRequest:
+    """One validated ``POST /mutate`` payload.
+
+    ``sql`` is one INSERT INTO or DELETE FROM statement; ``workspace``
+    names the target (optional when the service hosts exactly one).
+    """
+
+    sql: str
+    workspace: str | None = None
+
+    #: every key a mutate payload may carry
+    FIELDS = ("sql", "workspace")
+
+    @classmethod
+    def from_mapping(cls, payload: Mapping[str, Any]) -> "MutateRequest":
+        """Validate a decoded JSON body; strict on shape, like queries."""
+        _require(isinstance(payload, Mapping), "request body must be a JSON object")
+        unknown = sorted(set(payload) - set(cls.FIELDS))
+        _require(not unknown, f"unknown request fields: {unknown}")
+        sql = payload.get("sql")
+        _require(
+            isinstance(sql, str) and bool(sql.strip()),
+            "request field 'sql' must be a non-empty string",
+        )
+        workspace = payload.get("workspace")
+        _require(
+            workspace is None or isinstance(workspace, str),
+            "request field 'workspace' must be a string",
+        )
+        return cls(sql=sql, workspace=workspace)
+
+
+@dataclass(frozen=True)
 class LoadedWorkspace:
     """One workspace the service resolved, loaded and warmed at startup."""
 
@@ -229,9 +265,12 @@ class JoinService:
         self.max_workers = max_workers
         self.metrics = ServiceMetrics()
         self.started_at = time.time()
+        self._buffer_pages = buffer_pages
         self._slots = threading.Semaphore(max_workers)
         self._in_flight = 0
         self._in_flight_lock = threading.Lock()
+        self._mutation_lock = threading.Lock()
+        self._mutations = 0
         self._workspaces: dict[str, LoadedWorkspace] = {}
         for name, directory in workspaces.items():
             self._workspaces[name] = self._load(name, directory, buffer_pages)
@@ -279,6 +318,7 @@ class JoinService:
             "uptime_seconds": time.time() - self.started_at,
             "in_flight": self.in_flight,
             "max_workers": self.max_workers,
+            "mutations": self._mutations,
             "workspaces": {
                 name: handle.describe()
                 for name, handle in sorted(self._workspaces.items())
@@ -323,6 +363,62 @@ class JoinService:
                 f"no workspace named {workspace!r} "
                 f"(loaded: {self.workspace_names})"
             ) from None
+
+    # --- mutation -------------------------------------------------------------
+
+    def mutate(self, request: MutateRequest) -> dict[str, Any]:
+        """Apply one INSERT/DELETE statement and swap in the new snapshot.
+
+        Writers are serialised on one mutation lock; readers are never
+        blocked.  The statement commits on disk atomically (the manifest
+        rewrite in :mod:`repro.workspace.mutate`), the workspace is
+        reloaded warm, and the service's handle is swapped in one
+        assignment — queries admitted before the swap keep streaming
+        from the previous in-memory snapshot, queries admitted after it
+        see the new version.  Returns the JSON-ready mutation summary.
+        """
+        slot = self.admit()
+        started = time.perf_counter()
+        status = "internal-error"
+        try:
+            with self._mutation_lock:
+                handle = self._handle_for(request.workspace)
+                statement = parse_statement(request.sql)
+                if isinstance(statement, SelectQuery):
+                    raise ServiceRequestError(
+                        "POST /mutate takes INSERT or DELETE statements; "
+                        "send SELECT queries to POST /query"
+                    )
+                try:
+                    stats = execute_mutation(statement, handle.directory)
+                except WorkspaceError as exc:
+                    # Batch validation failures (deleting the last
+                    # document, a term outside the vocabulary bound...)
+                    # are the caller's mistake, not a broken service.
+                    raise ServiceRequestError(str(exc)) from exc
+                reloaded = self._load(
+                    handle.name, handle.directory, self._buffer_pages
+                )
+                self._workspaces[handle.name] = reloaded
+                self._mutations += 1
+            status = "ok"
+            payload = stats.to_dict()
+            payload["event"] = "mutation"
+            payload["workspace"] = handle.name
+            payload["elapsed_seconds"] = time.perf_counter() - started
+            return payload
+        except BaseException as exc:
+            status = error_code_for(exc)
+            raise
+        finally:
+            slot.release()
+            self.metrics.record_query(
+                status=status,
+                seconds=time.perf_counter() - started,
+                rows=0,
+                blocks=0,
+                pages=0,
+            )
 
     # --- execution ------------------------------------------------------------
 
@@ -457,6 +553,7 @@ __all__ = [
     "ERROR_CODES",
     "JoinService",
     "LoadedWorkspace",
+    "MutateRequest",
     "QueryRequest",
     "error_code_for",
 ]

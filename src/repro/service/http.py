@@ -13,7 +13,14 @@ Endpoints:
   streamed; a budget that runs out *mid-stream* terminates the (already
   200) stream with an ``error`` event instead, since the status line is
   long gone.
-* ``GET /health`` — service liveness, loaded workspaces, in-flight count.
+* ``POST /mutate`` — body ``{"sql": ..., "workspace": ...}`` with one
+  ``INSERT INTO`` / ``DELETE FROM`` statement.  Commits atomically
+  under the service's mutation lock and answers with a single JSON
+  mutation summary (version, fingerprint, per-segment page I/O).
+  In-flight queries keep streaming from the pre-mutation snapshot;
+  queries admitted after the commit see the new version.
+* ``GET /health`` — service liveness, loaded workspaces, in-flight
+  count, mutations applied.
 * ``GET /metrics`` — counters, latency percentiles (p50/p95/p99) and
   per-phase I/O totals from :class:`~repro.service.metrics.ServiceMetrics`.
 
@@ -32,7 +39,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
 from repro.errors import ReproError, ServiceOverloadedError, ServiceRequestError
-from repro.service.core import JoinService, QueryRequest, error_code_for
+from repro.service.core import (
+    JoinService,
+    MutateRequest,
+    QueryRequest,
+    error_code_for,
+)
 from repro.service.schema import assemble_response
 
 #: HTTP status per service error code — the admission/failure contract
@@ -115,16 +127,20 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def _write_event_chunk(self, event: Mapping[str, Any]) -> None:
         self._write_chunk((json.dumps(event, sort_keys=True) + "\n").encode("utf-8"))
 
-    def _read_request(self) -> QueryRequest:
+    def _read_body(self) -> Any:
         length = self.headers.get("Content-Length")
         if length is None:
-            raise ServiceRequestError("POST /query requires a Content-Length body")
+            raise ServiceRequestError(
+                f"POST {self.path} requires a Content-Length body"
+            )
         try:
             raw = self.rfile.read(int(length))
-            payload = json.loads(raw.decode("utf-8"))
+            return json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
             raise ServiceRequestError(f"request body is not valid JSON: {exc}")
-        return QueryRequest.from_mapping(payload)
+
+    def _read_request(self) -> QueryRequest:
+        return QueryRequest.from_mapping(self._read_body())
 
     # --- routes -----------------------------------------------------------
 
@@ -150,8 +166,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:
-        """Serve ``/query``: admit, execute, stream."""
+        """Serve ``/query`` (admit, execute, stream) and ``/mutate``."""
         service = self.server.service
+        if self.path == "/mutate":
+            self._do_mutate(service)
+            return
         if self.path != "/query":
             self._send_json(
                 404,
@@ -182,6 +201,28 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._run_query(events)
         finally:
             events.close()
+
+    def _do_mutate(self, service: JoinService) -> None:
+        """Serve ``/mutate``: one statement in, one JSON summary out.
+
+        Mutations never stream — the whole commit happens under the
+        service's mutation lock and the response is a single document
+        (200 on success, the mapped error status otherwise).
+        """
+        try:
+            request = MutateRequest.from_mapping(self._read_body())
+        except ReproError as exc:
+            service.metrics.record_rejection(error_code_for(exc))
+            self._send_error_payload(exc)
+            return
+        try:
+            payload = service.mutate(request)
+        except ReproError as exc:
+            if not isinstance(exc, ServiceOverloadedError):
+                service.metrics.record_rejection(error_code_for(exc))
+            self._send_error_payload(exc)
+            return
+        self._send_json(200, payload)
 
     def _run_query(self, events: Any) -> None:
         """Pull the first events, pick the status, then stream the rest."""

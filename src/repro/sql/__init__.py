@@ -13,38 +13,52 @@ pushes the ordinary selections down (Section 2's point: only surviving
 documents participate in the join), lets the integrated algorithm pick
 the join strategy, and executes.
 
+The dialect also covers the incremental write path: ``INSERT INTO``
+and ``DELETE FROM`` statements (:func:`parse_statement`) execute
+against a workspace directory through :func:`execute_mutation`, landing
+as atomic delta-segment mutations (:mod:`repro.workspace.mutate`).
+
 Modules: :mod:`lexer`, :mod:`ast_nodes`, :mod:`parser`, :mod:`catalog`,
-:mod:`planner`, :mod:`executor`.
+:mod:`planner`, :mod:`executor`, :mod:`mutations`.
 """
 
 from repro.sql.ast_nodes import (
     ColumnRef,
     Comparison,
+    DeleteStatement,
+    InsertStatement,
     LikePredicate,
     SelectQuery,
     SimilarToPredicate,
+    Statement,
     TableRef,
 )
 from repro.sql.catalog import Catalog, Relation
 from repro.sql.executor import QueryResult, execute
 from repro.sql.lexer import Token, tokenize
-from repro.sql.parser import parse
+from repro.sql.mutations import execute_mutation
+from repro.sql.parser import parse, parse_statement
 from repro.sql.planner import TextJoinPlan, plan
 
 __all__ = [
     "Catalog",
     "ColumnRef",
     "Comparison",
+    "DeleteStatement",
+    "InsertStatement",
     "LikePredicate",
     "QueryResult",
     "Relation",
     "SelectQuery",
     "SimilarToPredicate",
+    "Statement",
     "TableRef",
     "TextJoinPlan",
     "Token",
     "execute",
+    "execute_mutation",
     "parse",
+    "parse_statement",
     "plan",
     "tokenize",
 ]

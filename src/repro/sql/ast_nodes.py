@@ -92,6 +92,53 @@ def predicate_to_sql(predicate: Predicate) -> str:
 
 
 @dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO table (column) VALUES ('text'), ...``.
+
+    Each VALUES tuple holds exactly one string — the raw text of one
+    new document for the relation's textual attribute.
+    """
+
+    table: TableRef
+    column: str
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SqlError("INSERT needs at least one VALUES tuple")
+
+    def to_sql(self) -> str:
+        """Render the statement back to parseable text."""
+        values = ", ".join(f"({_quote(value)})" for value in self.values)
+        return f"INSERT INTO {self.table.name} ({self.column}) VALUES {values}"
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE FROM table [WHERE conjunction]``.
+
+    The WHERE conjunction uses the same local predicates SELECT does
+    (comparisons and LIKE); a bare DELETE addresses every row, which
+    the executor refuses — a workspace collection keeps at least one
+    document.
+    """
+
+    table: TableRef
+    predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    def to_sql(self) -> str:
+        """Render the statement back to parseable text."""
+        text = f"DELETE FROM {self.table.name}"
+        if self.table.alias:
+            text = f"DELETE FROM {self.table.name} {self.table.alias}"
+        if self.predicates:
+            text += " WHERE " + " AND ".join(
+                predicate_to_sql(p) for p in self.predicates
+            )
+        return text
+
+
+@dataclass(frozen=True)
 class SelectQuery:
     """A parsed query: projection, FROM list, WHERE conjunction, LIMIT."""
 
@@ -134,3 +181,7 @@ class SelectQuery:
         if self.limit is not None:
             text += f" LIMIT {self.limit}"
         return text
+
+
+#: anything :func:`repro.sql.parser.parse_statement` can produce
+Statement = Union[SelectQuery, InsertStatement, DeleteStatement]

@@ -27,6 +27,10 @@ KEYWORDS = frozenset(
         "SIMILAR_TO",
         "AS",
         "LIMIT",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "DELETE",
     }
 )
 

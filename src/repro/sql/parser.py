@@ -2,7 +2,11 @@
 
 Grammar::
 
+    statement  := query | insert | delete
     query      := SELECT columns FROM tables [WHERE conjunction] [LIMIT number]
+    insert     := INSERT INTO table '(' name ')' VALUES tuple (',' tuple)*
+    tuple      := '(' string ')'
+    delete     := DELETE FROM table [WHERE conjunction]
     columns    := column (',' column)* | '*'
     column     := name ['.' name]
     tables     := table (',' table)*
@@ -14,6 +18,9 @@ Grammar::
 
 Only conjunctions are supported (the paper's queries need no OR); at
 most one SIMILAR_TO per query is enforced by the planner, not here.
+:func:`parse` stays SELECT-only (the join path's entry point);
+:func:`parse_statement` additionally admits the mutation statements the
+incremental write path executes (:mod:`repro.sql.mutations`).
 """
 
 from __future__ import annotations
@@ -22,10 +29,13 @@ from repro.errors import SqlSyntaxError
 from repro.sql.ast_nodes import (
     ColumnRef,
     Comparison,
+    DeleteStatement,
+    InsertStatement,
     LikePredicate,
     Predicate,
     SelectQuery,
     SimilarToPredicate,
+    Statement,
     TableRef,
 )
 from repro.sql.lexer import Token, tokenize
@@ -78,6 +88,49 @@ class _Parser:
         return SelectQuery(
             columns=columns, tables=tables, predicates=predicates, limit=limit
         )
+
+    def parse_statement(self) -> Statement:
+        if self._current.matches("keyword", "INSERT"):
+            return self.parse_insert()
+        if self._current.matches("keyword", "DELETE"):
+            return self.parse_delete()
+        return self.parse_query()
+
+    def parse_insert(self) -> InsertStatement:
+        self._expect("keyword", "INSERT")
+        self._expect("keyword", "INTO")
+        table = TableRef(self._expect("name").value, None)
+        self._expect("punct", "(")
+        column = self._expect("name").value
+        self._expect("punct", ")")
+        self._expect("keyword", "VALUES")
+        values = [self._parse_values_tuple()]
+        while self._accept("punct", ","):
+            values.append(self._parse_values_tuple())
+        self._expect("eof")
+        return InsertStatement(table=table, column=column, values=tuple(values))
+
+    def _parse_values_tuple(self) -> str:
+        self._expect("punct", "(")
+        token = self._expect("string")
+        self._expect("punct", ")")
+        return token.value
+
+    def parse_delete(self) -> DeleteStatement:
+        self._expect("keyword", "DELETE")
+        self._expect("keyword", "FROM")
+        table = self._parse_table()
+        predicates: tuple[Predicate, ...] = ()
+        if self._accept("keyword", "WHERE"):
+            predicates = self._parse_conjunction()
+        self._expect("eof")
+        for predicate in predicates:
+            if isinstance(predicate, SimilarToPredicate):
+                raise SqlSyntaxError(
+                    "SIMILAR_TO is a join predicate; DELETE supports only "
+                    "comparisons and LIKE"
+                )
+        return DeleteStatement(table=table, predicates=predicates)
 
     def _parse_limit(self) -> int | None:
         if not self._accept("keyword", "LIMIT"):
@@ -171,3 +224,8 @@ class _Parser:
 def parse(text: str) -> SelectQuery:
     """Parse one extended-SQL SELECT statement."""
     return _Parser(tokenize(text)).parse_query()
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse one statement: SELECT, INSERT INTO, or DELETE FROM."""
+    return _Parser(tokenize(text)).parse_statement()

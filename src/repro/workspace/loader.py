@@ -1,19 +1,32 @@
 """Load and verify workspaces: query-time construction without rebuild.
 
 :func:`load_workspace` turns a workspace directory into a pre-populated
-:class:`~repro.core.environment.EnvironmentFactory`: collections come
-off the packed d-cell files, inverted files off the i-cell files and
-term trees off the ``.btree`` leaf images — so the factory's expensive
-derivation paths (tokenisation, inversion, bulk loading) never run.
-``factory.derivation_events()`` stays empty, which is the checkable
-meaning of "build once, join many".
+:class:`~repro.core.environment.EnvironmentFactory`.  Both manifest
+generations go through the same segment path
+(:func:`~repro.workspace.manifest.manifest_segments` presents a v1/v2
+build-once workspace as one synthetic base segment):
+
+* a single clean base segment preloads its artifacts directly —
+  collections off the packed d-cell files, inverted files off the
+  i-cell files, term trees off the ``.btree`` leaf images — so the
+  factory's expensive derivation paths never run and its build log
+  shows ``load:`` events only;
+* multiple segments (or tombstones) additionally fold into the merged
+  live view (:func:`~repro.workspace.segments.merged_view`), recorded
+  as a ``merge:`` build-log event.  The merged artifacts are
+  value-identical to a cold rebuild over the live documents, so
+  everything downstream is oblivious to segmentation.
+
+``factory.derivation_events()`` stays empty either way, which is the
+checkable meaning of "build once, join many".
 
 :func:`verify_workspace` is the paranoid counterpart: instead of
-trusting the manifest it re-checksums every file, cross-checks the
-manifest's collection statistics against the loaded data, replays the
-inverted files against the collections, and re-bulk-loads fresh term
-trees to prove the stored ones reproduce the exact
-:meth:`~repro.index.bptree.BPlusTree.bulk_load` layout.
+trusting the manifest it re-checksums every file across every segment,
+replays each segment's inverted file against its collection and its
+term tree against a fresh bulk load, cross-checks per-segment manifest
+statistics, then folds the segments together and proves the manifest's
+top-level statistics describe the merged *live* view.  Any problem is
+reported with the owning segment id up front.
 """
 
 from __future__ import annotations
@@ -24,13 +37,24 @@ from typing import Any, Mapping
 from repro.core.environment import EnvironmentFactory, EnvironmentSpec
 from repro.errors import ReproError, WorkspaceError
 from repro.index.bptree import BPlusTree
-from repro.index.btree_io import layout_signature, load_btree
+from repro.index.btree_io import layout_signature
+from repro.index.codecs import resolve_codec
 from repro.index.inverted import InvertedEntry, InvertedFile
 from repro.text.collection import DocumentCollection
-from repro.text.serialization import load_collection, load_inverted
 from repro.text.vocabulary import Vocabulary
-from repro.index.codecs import resolve_codec
-from repro.workspace.manifest import file_checksum, load_manifest, manifest_codec
+from repro.workspace.manifest import (
+    file_checksum,
+    load_manifest,
+    manifest_codec,
+    manifest_files,
+    manifest_segments,
+)
+from repro.workspace.segments import (
+    LoadedSegment,
+    collection_stats,
+    load_segment,
+    merged_view,
+)
 
 
 def _roles(manifest: Mapping[str, Any]) -> tuple[str, ...]:
@@ -38,8 +62,8 @@ def _roles(manifest: Mapping[str, Any]) -> tuple[str, ...]:
 
 
 def _check_sizes(directory: Path, manifest: Mapping[str, Any]) -> None:
-    """Cheap pre-flight: every manifest file exists with the recorded size."""
-    for file_name, entry in manifest["files"].items():
+    """Cheap pre-flight: every checksummed file exists with its size."""
+    for file_name, entry in manifest_files(manifest).items():
         path = directory / file_name
         if not path.is_file():
             raise WorkspaceError(f"workspace is missing artifact file {path}")
@@ -51,68 +75,189 @@ def _check_sizes(directory: Path, manifest: Mapping[str, Any]) -> None:
             )
 
 
-def _load_side(
-    directory: Path, manifest: Mapping[str, Any], role: str
-) -> tuple[DocumentCollection, Any, BPlusTree]:
-    """Load one collection's artifacts, cross-checking the manifest."""
-    entry = manifest["collections"][role]
-    name = entry["name"]
-    collection = load_collection(name, directory)
-    if collection.n_documents != entry["n_documents"]:
-        raise WorkspaceError(
-            f"collection {name!r} loads {collection.n_documents} documents, "
-            f"manifest records {entry['n_documents']}"
-        )
-    codec = resolve_codec(manifest_codec(manifest))
-    inverted = load_inverted(name, directory, codec=codec)
-    btree = load_btree(directory / f"{name}.btree")
-    if btree.order != manifest["btree_order"]:
-        raise WorkspaceError(
-            f"{name}.btree stores order {btree.order}, manifest records "
-            f"{manifest['btree_order']}"
-        )
-    return collection, inverted, btree
+def _workspace_spec(manifest: Mapping[str, Any]) -> EnvironmentSpec:
+    return EnvironmentSpec(
+        page_bytes=manifest["page_bytes"],
+        btree_order=manifest["btree_order"],
+        codec=manifest_codec(manifest),
+    )
+
+
+def _is_single_clean_base(records: list[dict[str, Any]]) -> bool:
+    return (
+        len(records) == 1
+        and records[0]["kind"] == "base"
+        and not any(records[0].get("tombstones", {}).values())
+    )
 
 
 def load_workspace(directory: str | Path) -> EnvironmentFactory:
     """A factory pre-populated from a workspace directory.
 
     Returns an :class:`~repro.core.environment.EnvironmentFactory` whose
-    inverted files and term trees were read from disk (its build log
-    shows ``load:`` events only — no ``invert:`` / ``bulk-load:``); the
-    workspace vocabulary, when present, is attached as
-    ``factory.vocabulary``.  Malformed directories raise
+    inverted files and term trees were read from disk — its build log
+    shows ``load:`` events (plus a ``merge:`` event per side when the
+    workspace holds several segments), never ``invert:`` or
+    ``bulk-load:``.  The workspace vocabulary, when present, is attached
+    as ``factory.vocabulary``.  Malformed directories raise
     :class:`~repro.errors.WorkspaceError` (or the narrower
     :class:`~repro.errors.DocumentFormatError` /
-    :class:`~repro.errors.BPlusTreeError` with byte-level context).
+    :class:`~repro.errors.BPlusTreeError` with byte-level context); in a
+    segmented workspace the message leads with the failing segment id.
     """
     directory = Path(directory)
     manifest = load_manifest(directory)
     _check_sizes(directory, manifest)
-    spec = EnvironmentSpec(
-        page_bytes=manifest["page_bytes"],
-        btree_order=manifest["btree_order"],
-        codec=manifest_codec(manifest),
-    )
-    sides = [_load_side(directory, manifest, role) for role in _roles(manifest)]
-    collection2 = None if manifest["self_join"] else sides[1][0]
-    factory = EnvironmentFactory(sides[0][0], collection2, spec)
-    for side_number, (_, inverted, btree) in enumerate(sides, start=1):
-        factory.preload_side(side_number, inverted, btree)
+    spec = _workspace_spec(manifest)
+    roles = _roles(manifest)
+    records = manifest_segments(manifest)
+    segments = [
+        load_segment(directory, record, btree_order=manifest["btree_order"])
+        for record in records
+    ]
+
+    if _is_single_clean_base(records):
+        # The build-once fast path (every v1/v2 workspace, and any v3
+        # workspace after compaction): the stored artifacts ARE the live
+        # view, so they preload directly with no merge work at all.
+        only = segments[0]
+        for role in roles:
+            declared = manifest["collections"][role]["n_documents"]
+            loaded = only.collections[role].n_documents
+            if loaded != declared:
+                raise WorkspaceError(
+                    f"collection {manifest['collections'][role]['name']!r} "
+                    f"loads {loaded} documents, manifest records {declared}"
+                )
+        collection2 = None if manifest["self_join"] else only.collections["c2"]
+        factory = EnvironmentFactory(only.collections["c1"], collection2, spec)
+        for side_number, role in enumerate(roles, start=1):
+            factory.preload_side(
+                side_number, only.inverted[role], only.btrees[role]
+            )
+    else:
+        sides = {
+            role: merged_view(
+                role, manifest["collections"][role]["name"], segments, spec
+            )
+            for role in roles
+        }
+        for role in roles:
+            declared = manifest["collections"][role]["n_documents"]
+            merged = sides[role].collection.n_documents
+            if merged != declared:
+                raise WorkspaceError(
+                    f"collection {manifest['collections'][role]['name']!r} "
+                    f"merges to {merged} live documents, manifest records "
+                    f"{declared}"
+                )
+        collection2 = None if manifest["self_join"] else sides["c2"].collection
+        factory = EnvironmentFactory(sides["c1"].collection, collection2, spec)
+        for side_number, role in enumerate(roles, start=1):
+            factory.preload_merged_side(
+                side_number,
+                sides[role].inverted,
+                sides[role].btree,
+                n_segments=len(segments),
+            )
+
     if manifest["vocabulary"] is not None:
         factory.vocabulary = Vocabulary.load(directory / manifest["vocabulary"])
     return factory
 
 
+def _verify_side(
+    context: str,
+    name: str,
+    collection: DocumentCollection,
+    inverted: Any,
+    btree: BPlusTree | None,
+    codec_name: str,
+    btree_order: int,
+) -> list[str]:
+    """Semantic replay of one (collection, inverted, btree) triple."""
+    problems: list[str] = []
+    codec = resolve_codec(codec_name)
+    logical = inverted
+    if codec.compressed:
+        # Decode-replay: every stored payload must decode, re-encode to
+        # the identical bytes (the codec is canonical), and the decoded
+        # postings must agree with the collection below.
+        replayed = []
+        try:
+            for inv_entry in inverted.entries:
+                postings = inv_entry.postings
+                encoded = codec.encode_postings(postings)
+                if encoded != inv_entry.data:
+                    problems.append(
+                        f"{context}: inverted file of {name!r}: term "
+                        f"{inv_entry.term} payload is not canonical "
+                        f"{codec.name} (re-encoding {len(inv_entry.data)} "
+                        f"stored bytes gives {len(encoded)})"
+                    )
+                replayed.append(InvertedEntry(inv_entry.term, postings))
+        except ReproError as exc:
+            problems.append(
+                f"{context}: inverted file of {name!r} does not "
+                f"decode-replay: {exc}"
+            )
+            return problems
+        logical = InvertedFile(name, replayed)
+    try:
+        logical.verify_against(collection)
+    except ReproError as exc:
+        problems.append(
+            f"{context}: inverted file of {name!r} disagrees with its "
+            f"collection: {exc}"
+        )
+    if btree is not None:
+        fresh = BPlusTree.bulk_load(
+            [
+                (inv_entry.term, (record_id, inv_entry.document_frequency))
+                for record_id, inv_entry in enumerate(inverted.entries)
+            ],
+            order=btree_order,
+        )
+        if layout_signature(btree) != layout_signature(fresh):
+            problems.append(
+                f"{context}: {name}.btree layout differs from a fresh bulk "
+                f"load (stored {layout_signature(btree)}, fresh "
+                f"{layout_signature(fresh)})"
+            )
+    return problems
+
+
+def _stats_problems(
+    context: str, name: str, actual: Mapping[str, Any], declared: Mapping[str, Any]
+) -> list[str]:
+    problems = []
+    for field_name in ("n_documents", "n_distinct_terms", "total_bytes"):
+        if actual[field_name] != declared[field_name]:
+            problems.append(
+                f"{context}: collection {name!r}: loaded "
+                f"{field_name}={actual[field_name]}, manifest records "
+                f"{declared[field_name]}"
+            )
+    if abs(actual["avg_terms_per_doc"] - declared["avg_terms_per_doc"]) > 1e-9:
+        problems.append(
+            f"{context}: collection {name!r}: loaded avg_terms_per_doc="
+            f"{actual['avg_terms_per_doc']!r}, manifest records "
+            f"{declared['avg_terms_per_doc']!r}"
+        )
+    return problems
+
+
 def verify_workspace(directory: str | Path) -> list[str]:
     """Deep-check a workspace; returns human-readable problems (empty = ok).
 
-    Four layers, cheapest first: manifest well-formedness, per-file
-    SHA-256 checksums, manifest statistics against the loaded
-    collections, and semantic replay — every inverted file is verified
-    against its collection, every stored tree's layout is compared
-    node-for-node against a fresh bulk load, and the vocabulary (when
-    present) must cover every term number the collections use.
+    Five layers, cheapest first: manifest well-formedness (including the
+    segment invariants — tombstones only target earlier segments, live
+    counts add up, per-segment fingerprints hold), per-file SHA-256
+    checksums across every segment, per-segment semantic replay (each
+    inverted file against its collection, each stored tree against a
+    fresh bulk load, per-segment manifest statistics against the loaded
+    data), the merged-view check (the manifest's top-level statistics
+    must describe the folded live documents), and vocabulary coverage.
     """
     directory = Path(directory)
     problems: list[str] = []
@@ -121,7 +266,7 @@ def verify_workspace(directory: str | Path) -> list[str]:
     except ReproError as exc:
         return [str(exc)]
 
-    for file_name, entry in sorted(manifest["files"].items()):
+    for file_name, entry in sorted(manifest_files(manifest).items()):
         path = directory / file_name
         if not path.is_file():
             problems.append(f"missing artifact file {file_name}")
@@ -142,76 +287,74 @@ def verify_workspace(directory: str | Path) -> list[str]:
     if problems:
         return problems
 
-    max_term = -1
-    for role in _roles(manifest):
-        entry = manifest["collections"][role]
-        name = entry["name"]
+    roles = _roles(manifest)
+    records = manifest_segments(manifest)
+    single_clean = _is_single_clean_base(records)
+    segments: list[LoadedSegment] = []
+    for record in records:
+        seg_id = record["id"]
         try:
-            collection, inverted, btree = _load_side(directory, manifest, role)
+            segment = load_segment(
+                directory, record, btree_order=manifest["btree_order"]
+            )
         except ReproError as exc:
-            problems.append(f"collection {name!r} does not load: {exc}")
+            problems.append(f"segment {seg_id!r} does not load: {exc}")
             continue
-        for field_name, actual in (
-            ("n_documents", collection.n_documents),
-            ("n_distinct_terms", collection.n_distinct_terms),
-            ("total_bytes", collection.total_bytes),
-        ):
-            if actual != entry[field_name]:
-                problems.append(
-                    f"collection {name!r}: loaded {field_name}={actual}, "
-                    f"manifest records {entry[field_name]}"
+        segments.append(segment)
+        context = f"segment {seg_id!r}"
+        for role, entry in sorted(record["collections"].items()):
+            collection = segment.collections[role]
+            problems.extend(
+                _stats_problems(
+                    context, entry["name"], collection_stats(collection), entry
                 )
-        if abs(collection.avg_terms_per_document - entry["avg_terms_per_doc"]) > 1e-9:
-            problems.append(
-                f"collection {name!r}: loaded avg_terms_per_doc="
-                f"{collection.avg_terms_per_document!r}, manifest records "
-                f"{entry['avg_terms_per_doc']!r}"
             )
-        codec = resolve_codec(manifest_codec(manifest))
-        logical = inverted
-        if codec.compressed:
-            # Decode-replay: every stored payload must decode, re-encode
-            # to the identical bytes (the codec is canonical), and the
-            # decoded postings must agree with the collection below.
-            replayed = []
-            try:
-                for inv_entry in inverted.entries:
-                    postings = inv_entry.postings
-                    encoded = codec.encode_postings(postings)
-                    if encoded != inv_entry.data:
-                        problems.append(
-                            f"inverted file of {name!r}: term {inv_entry.term} "
-                            f"payload is not canonical {codec.name} "
-                            f"(re-encoding {len(inv_entry.data)} stored bytes "
-                            f"gives {len(encoded)})"
-                        )
-                    replayed.append(InvertedEntry(inv_entry.term, postings))
-            except ReproError as exc:
-                problems.append(
-                    f"inverted file of {name!r} does not decode-replay: {exc}"
+            problems.extend(
+                _verify_side(
+                    context,
+                    entry["name"],
+                    collection,
+                    segment.inverted[role],
+                    segment.btrees[role],
+                    record["codec"],
+                    manifest["btree_order"],
                 )
-                continue
-            logical = InvertedFile(name, replayed)
+            )
+    if problems or len(segments) != len(records):
+        return problems
+
+    spec = _workspace_spec(manifest)
+    max_term = -1
+    for role in roles:
+        declared = manifest["collections"][role]
+        name = declared["name"]
         try:
-            logical.verify_against(collection)
+            side = merged_view(role, name, segments, spec)
         except ReproError as exc:
-            problems.append(
-                f"inverted file of {name!r} disagrees with its collection: {exc}"
+            problems.append(f"merged view of {name!r} does not build: {exc}")
+            continue
+        problems.extend(
+            _stats_problems(
+                "merged live view", name, collection_stats(side.collection), declared
             )
-        fresh = BPlusTree.bulk_load(
-            [
-                (inv_entry.term, (record_id, inv_entry.document_frequency))
-                for record_id, inv_entry in enumerate(inverted.entries)
-            ],
-            order=manifest["btree_order"],
         )
-        if layout_signature(btree) != layout_signature(fresh):
-            problems.append(
-                f"{name}.btree layout differs from a fresh bulk load "
-                f"(stored {layout_signature(btree)}, fresh {layout_signature(fresh)})"
+        if not single_clean:
+            # The merged artifacts never touched disk, so replay them
+            # too: the folded inverted file must transpose the folded
+            # collection (no btree to compare — it IS a fresh bulk load).
+            problems.extend(
+                _verify_side(
+                    "merged live view",
+                    name,
+                    side.collection,
+                    side.inverted,
+                    None,
+                    spec.codec,
+                    manifest["btree_order"],
+                )
             )
-        if collection.terms():
-            max_term = max(max_term, max(collection.terms()))
+        if side.collection.terms():
+            max_term = max(max_term, max(side.collection.terms()))
 
     if manifest["vocabulary"] is not None and not problems:
         try:

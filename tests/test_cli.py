@@ -381,3 +381,70 @@ class TestWorkspace:
         for key in ("rows", "columns", "algorithm", "pages_read",
                     "blocks_emitted", "truncated"):
             assert warm[key] == cold[key]
+
+
+class TestWorkspaceMutation:
+    BUILD = ["--inner-docs", "18", "--outer-docs", "12", "--terms", "6",
+             "--vocab", "60", "--seed", "9"]
+
+    def _built(self, tmp_path, capsys):
+        directory = str(tmp_path / "ws")
+        assert main(["workspace", "build", directory] + self.BUILD) == 0
+        capsys.readouterr()
+        return directory
+
+    def test_mutate_freeze_compact_lifecycle(self, capsys, tmp_path):
+        directory = self._built(tmp_path, capsys)
+        assert main([
+            "workspace", "mutate", directory,
+            "INSERT INTO R1 (Doc) VALUES ('1 2 3')",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "committed" in out and "version 2" in out
+
+        assert main(["workspace", "freeze", directory]) == 0
+        assert "freeze_delta: committed" in capsys.readouterr().out
+
+        assert main(["workspace", "compact", directory]) == 0
+        assert "compact: committed" in capsys.readouterr().out
+
+        assert main(["workspace", "verify", directory]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_inspect_lists_segments_and_amplification(self, capsys, tmp_path):
+        directory = self._built(tmp_path, capsys)
+        assert main([
+            "workspace", "mutate", directory, "DELETE FROM R2 WHERE Id = 0",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["workspace", "inspect", directory]) == 0
+        out = capsys.readouterr().out
+        assert "segments: 2" in out
+        assert "seg-000000 [base]" in out
+        assert "seg-000002 [delta]" in out
+        assert "tombstoned=1" in out
+        assert "amplification:" in out
+
+    def test_sql_routes_mutations_to_the_workspace(self, capsys, tmp_path):
+        import json
+
+        directory = self._built(tmp_path, capsys)
+        assert main([
+            "sql", "INSERT INTO R1 (Doc) VALUES ('4 5'), ('6')",
+            "--workspace", directory, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["operation"] == "apply_mutations"
+        assert payload["inserted"] == {"c1": 2, "c2": 0}
+
+    def test_sql_mutation_without_workspace_is_an_error(self, capsys):
+        assert main(["sql", "DELETE FROM R1 WHERE Id = 1"]) == 2
+        assert "--workspace" in capsys.readouterr().err
+
+    def test_invalid_mutation_exits_nonzero(self, capsys, tmp_path):
+        directory = self._built(tmp_path, capsys)
+        assert main([
+            "workspace", "mutate", directory,
+            "DELETE FROM R1 WHERE Id = 9999",
+        ]) == 2
+        assert "matches no rows" in capsys.readouterr().err

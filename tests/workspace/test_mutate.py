@@ -1,0 +1,242 @@
+"""The write path: apply_mutations, freeze_delta, compact, and their pricing."""
+
+import pytest
+
+from repro.cost import (
+    compaction_read_pages,
+    delta_rewrite_pages,
+    space_amplification,
+)
+from repro.errors import WorkspaceError
+from repro.workspace import (
+    MutationBatch,
+    apply_mutations,
+    build_workspace,
+    compact,
+    freeze_delta,
+    load_manifest,
+    load_workspace,
+    manifest_segments,
+    manifest_version,
+    verify_workspace,
+)
+
+
+@pytest.fixture()
+def mutated(built):
+    """The shared built workspace plus one applied insert/delete batch."""
+    directory, _ = built
+    stats = apply_mutations(
+        directory,
+        MutationBatch.from_term_lists(
+            inserts={"c1": [[3, 5, 5, 9], [12, 1]]},
+            deletes={"c2": [0, 7]},
+        ),
+    )
+    return directory, stats
+
+
+class TestApplyMutations:
+    def test_upgrades_v2_to_segmented_v3(self, mutated):
+        directory, stats = mutated
+        manifest = load_manifest(directory)
+        assert manifest["schema"] == "repro-workspace/3"
+        assert manifest_version(manifest) == stats.version == 2
+        records = manifest_segments(manifest)
+        assert [r["kind"] for r in records] == ["base", "delta"]
+        assert records[0]["id"] == "seg-000000"
+        assert records[1]["id"] == "seg-000002"
+
+    def test_counts_and_tombstones(self, mutated):
+        _, stats = mutated
+        assert stats.inserted == {"c1": 2, "c2": 0}
+        assert stats.deleted == {"c1": 0, "c2": 2}
+        assert stats.tombstones_added == 2
+        assert stats.changed is True
+
+    def test_top_level_stats_reflect_the_live_view(self, mutated, collections):
+        directory, _ = mutated
+        c1, c2 = collections
+        manifest = load_manifest(directory)
+        assert manifest["collections"]["c1"]["n_documents"] == c1.n_documents + 2
+        assert manifest["collections"]["c2"]["n_documents"] == c2.n_documents - 2
+
+    def test_workspace_still_verifies(self, mutated):
+        directory, _ = mutated
+        assert verify_workspace(directory) == []
+
+    def test_loaded_view_renumbers_densely(self, mutated, collections):
+        directory, _ = mutated
+        c1, c2 = collections
+        factory = load_workspace(directory)
+        environment = factory.create()
+        assert environment.collection1.n_documents == c1.n_documents + 2
+        assert environment.collection2.n_documents == c2.n_documents - 2
+        # survivors keep relative order; inserts land at the tail
+        assert environment.collection1[c1.n_documents].cells == (
+            (3, 1), (5, 2), (9, 1)
+        )
+        assert environment.collection2[0].cells == c2[1].cells
+
+    def test_second_batch_rewrites_only_the_delta(self, mutated):
+        directory, first = mutated
+        second = apply_mutations(
+            directory,
+            MutationBatch.from_term_lists(inserts={"c1": [[2, 4]]}),
+        )
+        # the rewrite reads exactly the old delta's files, never the base
+        assert set(second.io_read.by_extent) == set(first.io_written.by_extent)
+        assert all(
+            name.startswith("seg-000002/") for name in second.io_read.by_extent
+        )
+        records = manifest_segments(load_manifest(directory))
+        assert [r["id"] for r in records] == ["seg-000000", "seg-000003"]
+
+    def test_old_delta_directory_is_garbage_collected(self, mutated):
+        directory, _ = mutated
+        assert (directory / "seg-000002").is_dir()
+        apply_mutations(
+            directory, MutationBatch.from_term_lists(inserts={"c1": [[1]]})
+        )
+        assert not (directory / "seg-000002").exists()
+        assert (directory / "seg-000003").is_dir()
+
+
+class TestValidation:
+    def test_empty_batch_is_refused(self, built):
+        directory, _ = built
+        with pytest.raises(WorkspaceError, match="insert or delete"):
+            apply_mutations(directory, MutationBatch())
+
+    def test_unknown_role_is_refused(self, built):
+        directory, _ = built
+        with pytest.raises(WorkspaceError, match="unknown roles"):
+            apply_mutations(
+                directory,
+                MutationBatch.from_term_lists(inserts={"c9": [[1]]}),
+            )
+
+    def test_out_of_range_delete_is_refused(self, built):
+        directory, _ = built
+        with pytest.raises(WorkspaceError, match="out of range"):
+            apply_mutations(
+                directory,
+                MutationBatch.from_term_lists(deletes={"c1": [10_000]}),
+            )
+
+    def test_duplicate_delete_is_refused(self, built):
+        directory, _ = built
+        with pytest.raises(WorkspaceError, match="deleted twice"):
+            apply_mutations(
+                directory,
+                MutationBatch.from_term_lists(deletes={"c1": [3, 3]}),
+            )
+
+    def test_empty_document_insert_is_refused(self, built):
+        directory, _ = built
+        with pytest.raises(WorkspaceError, match="no terms"):
+            apply_mutations(
+                directory,
+                MutationBatch.from_term_lists(inserts={"c1": [[]]}),
+            )
+
+    def test_deleting_every_live_document_is_refused(self, built, collections):
+        directory, _ = built
+        c1, _ = collections
+        with pytest.raises(WorkspaceError, match="every live document"):
+            apply_mutations(
+                directory,
+                MutationBatch.from_term_lists(
+                    deletes={"c1": list(range(c1.n_documents))}
+                ),
+            )
+        # the refused batch must not have changed anything on disk
+        assert load_manifest(directory)["schema"] == "repro-workspace/2"
+
+    def test_rejected_batch_leaves_no_segment_litter(self, built):
+        directory, _ = built
+        before = sorted(p.name for p in directory.iterdir())
+        with pytest.raises(WorkspaceError):
+            apply_mutations(
+                directory,
+                MutationBatch.from_term_lists(deletes={"c1": [0, 0]}),
+            )
+        assert sorted(p.name for p in directory.iterdir()) == before
+
+
+class TestFreezeAndCompact:
+    def test_freeze_flips_the_delta_kind_only(self, mutated):
+        directory, _ = mutated
+        before = manifest_segments(load_manifest(directory))
+        stats = freeze_delta(directory)
+        assert stats.changed is True
+        assert stats.pages_written == 0
+        after = manifest_segments(load_manifest(directory))
+        assert [r["kind"] for r in after] == ["base", "base"]
+        assert after[1]["files"] == before[1]["files"]
+        assert verify_workspace(directory) == []
+
+    def test_freeze_without_a_delta_is_a_no_op(self, mutated):
+        directory, _ = mutated
+        freeze_delta(directory)
+        version = manifest_version(load_manifest(directory))
+        again = freeze_delta(directory)
+        assert again.changed is False
+        assert again.version == version
+
+    def test_compact_folds_everything_into_one_base(self, mutated):
+        directory, _ = mutated
+        stats = compact(directory)
+        assert stats.changed is True
+        records = manifest_segments(load_manifest(directory))
+        assert len(records) == 1
+        assert records[0]["kind"] == "base"
+        assert not any(records[0]["tombstones"].values())
+        assert verify_workspace(directory) == []
+
+    def test_compact_garbage_collects_superseded_segments(self, mutated):
+        directory, _ = mutated
+        compact(directory)
+        leftover = [p.name for p in directory.iterdir() if p.name == "seg-000002"]
+        assert leftover == []
+        # the upgraded legacy root files are gone too
+        assert not (directory / "ws-c1.docs.cells").exists()
+
+    def test_compacted_workspace_compacts_as_a_no_op(self, mutated):
+        directory, _ = mutated
+        compact(directory)
+        version = manifest_version(load_manifest(directory))
+        again = compact(directory)
+        assert again.changed is False
+        assert again.version == version
+
+
+class TestCostCrossCheck:
+    def test_delta_rewrite_pages_match_the_next_batch(self, mutated):
+        directory, first = mutated
+        manifest = load_manifest(directory)
+        predicted = delta_rewrite_pages(manifest)
+        second = apply_mutations(
+            directory, MutationBatch.from_term_lists(inserts={"c1": [[4, 8]]})
+        )
+        assert second.pages_read == predicted
+
+    def test_compaction_read_pages_match_compact(self, mutated):
+        directory, _ = mutated
+        manifest = load_manifest(directory)
+        predicted = compaction_read_pages(manifest)
+        stats = compact(directory)
+        assert stats.pages_read == predicted
+
+    def test_amplification_returns_to_one_after_compaction(self, mutated):
+        directory, _ = mutated
+        assert space_amplification(load_manifest(directory)) > 1.0
+        compact(directory)
+        assert space_amplification(load_manifest(directory)) == pytest.approx(1.0)
+
+    def test_mutation_stats_page_totals_match_extents(self, mutated):
+        _, stats = mutated
+        assert stats.pages_written == sum(
+            seq for seq, _ in stats.io_written.by_extent.values()
+        )
+        assert stats.pages_read == 0

@@ -1,0 +1,146 @@
+"""The segment layer: write/load round trips, merged views, error context."""
+
+import pytest
+
+from repro.core.environment import EnvironmentSpec
+from repro.errors import ReproError
+from repro.text.collection import DocumentCollection
+from repro.workspace import (
+    load_segment,
+    merged_view,
+    write_segment,
+)
+
+
+@pytest.fixture()
+def pair():
+    c1 = DocumentCollection.from_term_lists(
+        "seg1", [[1, 2, 3], [2, 4], [5, 5, 6], [1, 7]]
+    )
+    c2 = DocumentCollection.from_term_lists("seg2", [[2, 3], [1, 5, 8]])
+    return c1, c2
+
+
+@pytest.fixture()
+def spec():
+    return EnvironmentSpec(page_bytes=512)
+
+
+class TestWriteLoadRoundTrip:
+    def test_round_trip_preserves_documents(self, tmp_path, pair, spec):
+        c1, c2 = pair
+        record = write_segment(
+            tmp_path, "seg-000001", {"c1": c1, "c2": c2}, {}, spec, kind="base"
+        )
+        loaded = load_segment(tmp_path, record, btree_order=spec.btree_order)
+        assert loaded.segment_id == "seg-000001"
+        for role, original in (("c1", c1), ("c2", c2)):
+            assert [d.cells for d in loaded.collections[role]] == [
+                d.cells for d in original
+            ]
+
+    def test_record_names_files_under_segment_path(self, tmp_path, pair, spec):
+        c1, c2 = pair
+        record = write_segment(
+            tmp_path, "seg-000007", {"c1": c1, "c2": c2}, {}, spec
+        )
+        assert all(name.startswith("seg-000007/") for name in record["files"])
+        assert (tmp_path / "seg-000007").is_dir()
+
+    def test_tombstones_survive_the_round_trip(self, tmp_path, pair, spec):
+        c1, _ = pair
+        marks = {"c1": [("seg-000001", 0), ("seg-000001", 2)]}
+        record = write_segment(
+            tmp_path, "seg-000002", {"c1": c1}, marks, spec, kind="delta"
+        )
+        loaded = load_segment(tmp_path, record, btree_order=spec.btree_order)
+        assert loaded.record["tombstones"] == {
+            "c1": [["seg-000001", 0], ["seg-000001", 2]]
+        }
+
+
+class TestErrorContext:
+    def test_load_failure_names_the_segment(self, tmp_path, pair, spec):
+        """Satellite: error context names the failing segment id."""
+        c1, c2 = pair
+        record = write_segment(
+            tmp_path, "seg-000003", {"c1": c1, "c2": c2}, {}, spec
+        )
+        victim = next(
+            name for name in sorted(record["files"]) if name.endswith("docs.cells")
+        )
+        (tmp_path / victim).write_bytes(b"")
+        with pytest.raises(ReproError) as excinfo:
+            load_segment(tmp_path, record, btree_order=spec.btree_order)
+        assert "seg-000003" in str(excinfo.value)
+
+    def test_missing_file_names_the_segment(self, tmp_path, pair, spec):
+        c1, c2 = pair
+        record = write_segment(
+            tmp_path, "seg-000004", {"c1": c1, "c2": c2}, {}, spec
+        )
+        victim = next(iter(sorted(record["files"])))
+        (tmp_path / victim).unlink()
+        with pytest.raises(ReproError) as excinfo:
+            load_segment(tmp_path, record, btree_order=spec.btree_order)
+        assert "seg-000004" in str(excinfo.value)
+
+
+class TestMergedView:
+    def _segments(self, tmp_path, spec, parts, tombstones_last=None):
+        records = []
+        for i, docs in enumerate(parts):
+            collection = DocumentCollection.from_term_lists(f"m{i}", docs)
+            marks = {}
+            if tombstones_last and i == len(parts) - 1:
+                marks = tombstones_last
+            kind = "delta" if i == len(parts) - 1 else "base"
+            records.append(
+                write_segment(
+                    tmp_path, f"seg-{i:06d}", {"c1": collection}, marks, spec,
+                    kind=kind,
+                )
+            )
+        return [
+            load_segment(tmp_path, record, btree_order=spec.btree_order)
+            for record in records
+        ]
+
+    def test_concatenates_in_segment_order(self, tmp_path, spec):
+        segments = self._segments(
+            tmp_path, spec, [[[1, 2], [3]], [[4, 5]]]
+        )
+        side = merged_view("c1", "merged", segments, spec)
+        assert side.collection.n_documents == 3
+        assert [sorted(t for t, _ in d.cells) for d in side.collection] == [
+            [1, 2], [3], [4, 5]
+        ]
+
+    def test_tombstones_skip_documents_and_renumber(self, tmp_path, spec):
+        segments = self._segments(
+            tmp_path, spec,
+            [[[1, 2], [3], [6]], [[4, 5]]],
+            tombstones_last={"c1": [("seg-000000", 1)]},
+        )
+        side = merged_view("c1", "merged", segments, spec)
+        assert side.collection.n_documents == 3
+        assert [sorted(t for t, _ in d.cells) for d in side.collection] == [
+            [1, 2], [6], [4, 5]
+        ]
+        # the id map points each live (segment, local) at its dense slot
+        assert side.global_ids[("seg-000000", 0)] == 0
+        assert side.global_ids[("seg-000000", 2)] == 1
+        assert side.global_ids[("seg-000001", 0)] == 2
+        assert ("seg-000000", 1) not in side.global_ids
+
+    def test_merged_inverted_matches_cold_build(self, tmp_path, spec):
+        from repro.index.inverted import InvertedFile
+
+        segments = self._segments(
+            tmp_path, spec,
+            [[[1, 2], [3], [6]], [[2, 6], [1]]],
+            tombstones_last={"c1": [("seg-000000", 2)]},
+        )
+        side = merged_view("c1", "merged", segments, spec)
+        cold = InvertedFile.build(side.collection)
+        assert side.inverted.entries == cold.entries
